@@ -1,0 +1,415 @@
+(* llhsc benchmark harness.
+
+   The paper (DSN'23) is a tool paper whose evaluation is the running
+   example; its reproducible artifacts are figures/listings plus claims in
+   the text.  This harness has two parts:
+
+   1. An *experiment report* (printed first): each experiment E1..E11 from
+      DESIGN.md is executed and its measured outcome is printed next to the
+      paper's claim.  This is the data recorded in EXPERIMENTS.md.
+
+   2. *Timing benches* (Bechamel, one Test.make per experiment id),
+      including the scaling sweeps E10/E11 and the ablations (E12
+      incremental-vs-scratch, CDCL-vs-DPLL) that characterise the solver
+      substrate standing in for Z3.
+
+     dune exec bench/main.exe            # full run
+     dune exec bench/main.exe -- report  # experiment report only *)
+
+open Bechamel
+
+module RE = Llhsc.Running_example
+module T = Devicetree.Tree
+
+(* ------------------------------------------------------------------ *)
+(* Shared workloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_pipeline () =
+  Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+    ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+    ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ()
+
+let clash_tree () =
+  let t = RE.core_tree () in
+  T.set_prop t ~path:"/uart@20000000" "reg"
+    [ Devicetree.Ast.Cells
+        { bits = 32;
+          cells = List.map (fun v -> Devicetree.Ast.Cell_int v) [ 0x0L; 0x60000000L; 0x0L; 0x1000L ]
+        }
+    ]
+
+let truncated_tree () =
+  let deltas = List.filter (fun d -> d.Delta.Lang.name <> "d4") (RE.deltas ()) in
+  Delta.Apply.generate ~core:(RE.core_tree ()) ~deltas ~selected:RE.vm1_features
+
+(* Synthetic tree with [n] disjoint device nodes (for the E11 sweep). *)
+let synthetic_tree n =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "/dts-v1/;\n/ { #address-cells = <1>; #size-cells = <1>;\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  dev%d@%x { reg = <0x%x 0x1000>; };\n" i (0x10000000 + (i * 0x10000))
+         (0x10000000 + (i * 0x10000)))
+  done;
+  Buffer.add_string buf "};\n";
+  T.of_source ~file:"synthetic.dts" (Buffer.contents buf)
+
+(* Synthetic feature model: [groups] XOR groups of [width] children each. *)
+let synthetic_model ~groups ~width =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "feature abstract Root {\n";
+  for g = 0 to groups - 1 do
+    Buffer.add_string buf (Printf.sprintf "  mandatory abstract g%d xor {\n" g);
+    for c = 0 to width - 1 do
+      Buffer.add_string buf (Printf.sprintf "    g%dc%d;\n" g c)
+    done;
+    Buffer.add_string buf "  }\n"
+  done;
+  Buffer.add_string buf "}\n";
+  Featuremodel.Parse.parse (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment report (paper claim vs measured)                  *)
+(* ------------------------------------------------------------------ *)
+
+let check mark = if mark then "OK" else "DIFFERS"
+
+let report () =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "llhsc experiment report (paper claim vs measured)@.";
+  Fmt.pr "==================================================================@.";
+
+  (* E1: Fig. 1a has 12 valid products. *)
+  let env = Featuremodel.Analysis.encode (RE.feature_model ()) in
+  let nproducts = Featuremodel.Analysis.count_products env in
+  Fmt.pr "E1  (Fig 1a)   valid products:           paper=12        measured=%d  [%s]@."
+    nproducts (check (nproducts = 12));
+
+  (* E2: Fig. 1b/1c products are valid; max 2 VMs. *)
+  let fig1b = Featuremodel.Analysis.is_valid_product env RE.vm1_features in
+  let fig1c = Featuremodel.Analysis.is_valid_product env RE.vm2_features in
+  let maxvms = Featuremodel.Multi.max_vms ~exclusive:RE.exclusive (RE.feature_model ()) in
+  Fmt.pr "E2  (Fig 1b/c) products valid, max VMs:  paper=yes,2     measured=%b/%b,%d  [%s]@."
+    fig1b fig1c maxvms (check (fig1b && fig1c && maxvms = 2));
+
+  (* E3: end-to-end pipeline green. *)
+  let outcome = run_pipeline () in
+  Fmt.pr "E3  (Fig 2)    end-to-end checks:        paper=green     measured=%s  [%s]@."
+    (if Llhsc.Pipeline.ok outcome then "green" else "red")
+    (check (Llhsc.Pipeline.ok outcome));
+
+  (* E4: delta orders d3 < d4 < d_add. *)
+  let order1 = List.assoc "vm1" outcome.Llhsc.Pipeline.delta_orders in
+  let order2 = List.assoc "vm2" outcome.Llhsc.Pipeline.delta_orders in
+  let pos x xs =
+    let rec go i = function [] -> -1 | y :: r -> if x = y then i else go (i + 1) r in
+    go 0 xs
+  in
+  let ok1 = pos "d3" order1 < pos "d4" order1 && pos "d4" order1 < pos "d1" order1 in
+  let ok2 = pos "d3" order2 < pos "d4" order2 && pos "d4" order2 < pos "d2" order2 in
+  Fmt.pr "E4  (SIII-B)   delta orders:             paper=d3<d4<add measured=%s; %s  [%s]@."
+    (String.concat "<" order1) (String.concat "<" order2)
+    (check (ok1 && ok2));
+
+  (* E5: uart/memory clash detected semantically, invisible syntactically. *)
+  let t5 = clash_tree () in
+  let direct5 =
+    Llhsc.Report.errors (Llhsc.Syntactic.check_direct ~schemas:(RE.schemas_for t5) t5)
+  in
+  let sem5 = Llhsc.Semantic.check_memory t5 in
+  Fmt.pr "E5  (SI-A)     uart clash:               paper=sem-only  measured=dt-schema:%d llhsc:%d  [%s]@."
+    (List.length direct5) (List.length sem5)
+    (check (direct5 = [] && List.length sem5 = 1));
+
+  (* E6: omitting d4 -> 4 banks, collision at 0x0. *)
+  let t6 = truncated_tree () in
+  let banks =
+    Devicetree.Addresses.decode_reg ~address_cells:1 ~size_cells:1
+      (Option.get (T.get_prop (T.find_exn t6 "/memory@40000000") "reg"))
+  in
+  let sem6 = Llhsc.Semantic.check_memory t6 in
+  let at_zero =
+    List.exists (fun f -> Llhsc.Util.contains f.Llhsc.Report.message "at address 0x0") sem6
+  in
+  Fmt.pr "E6  (SIV-C)    64->32 truncation:        paper=4banks@@0  measured=%dbanks,0x0:%b  [%s]@."
+    (List.length banks) at_zero
+    (check (List.length banks = 4 && at_zero));
+
+  (* E7: constraints (1)-(6) discharge; a const mutation flips to UNSAT. *)
+  let smt_fails tree =
+    Schema.Compile.check_tree (Smt.Solver.create ()) ~schemas:(RE.schemas_for tree) tree
+  in
+  let intact = smt_fails (RE.core_tree ()) = [] in
+  let broken =
+    smt_fails
+      (T.set_prop (RE.core_tree ()) ~path:"/memory@40000000" "device_type"
+         [ Devicetree.Ast.Str "ram" ])
+    <> []
+  in
+  Fmt.pr "E7  (Lst 5)    constraints (1)-(6):      paper=SAT/UNSAT measured=%b/%b  [%s]@."
+    intact broken (check (intact && broken));
+
+  (* E8: platform.c fields match Listing 3. *)
+  let platform_prod =
+    List.find (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+  in
+  let pc = Bao.Platform.to_c (Bao.Platform.of_tree platform_prod.Llhsc.Pipeline.tree) in
+  let has s = Llhsc.Util.contains pc s in
+  let e8 =
+    has ".cpu_num = 2" && has ".region_num = 2"
+    && has "{ .base = 0x40000000, .size = 0x20000000 }"
+    && has "{ .base = 0x60000000, .size = 0x20000000 }"
+    && has ".core_num = (uint8_t[]) {2}"
+  in
+  Fmt.pr "E8  (Lst 3)    platform_desc fields:     paper=match     measured=%s  [%s]@."
+    (if e8 then "match" else "mismatch") (check e8);
+
+  (* E9: struct config fields match Listing 6's shape. *)
+  let vms =
+    List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+  in
+  let cc =
+    Bao.Config.to_c
+      (Bao.Config.of_vm_trees
+         (List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree)) vms))
+  in
+  let hasc s = Llhsc.Util.contains cc s in
+  let e9 =
+    hasc ".vmlist_size = 2" && hasc ".entry = 0x40000000"
+    && hasc "{ .pa = 0x20000000, .va = 0x20000000, .size = 0x1000 }"
+    && hasc ".ipc_num = 1" && hasc ".shmemlist_size = 2"
+  in
+  Fmt.pr "E9  (Lst 6)    struct config fields:     paper=match     measured=%s  [%s]@."
+    (if e9 then "match" else "mismatch") (check e9);
+
+  (* E10/E11 functional outcomes (timings in part 2). *)
+  let t0 = Unix.gettimeofday () in
+  let m =
+    Featuremodel.Multi.encode ~exclusive:[ "g0" ] (synthetic_model ~groups:4 ~width:8) ~vms:4
+  in
+  let alloc_sat = Featuremodel.Multi.is_allocatable m in
+  let t1 = Unix.gettimeofday () in
+  Fmt.pr "E10 (SIV-A)    alloc 4 VMs x 8 cpus:     sat=%b in %.1f ms@." alloc_sat
+    ((t1 -. t0) *. 1000.);
+  let t0 = Unix.gettimeofday () in
+  let n_overlaps = List.length (Llhsc.Semantic.check_memory (synthetic_tree 64)) in
+  let t1 = Unix.gettimeofday () in
+  Fmt.pr "E11 (frm 7)    overlap check, 64 regions: collisions=%d in %.1f ms@." n_overlaps
+    ((t1 -. t0) *. 1000.);
+  (* E13: cross-VM partitioning — shared hardware warns, d7/d8 partition. *)
+  let shared_warnings = List.length outcome.Llhsc.Pipeline.partition_findings in
+  let partitioned =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas:(RE.partitioned_deltas ())
+      ~schemas_for:RE.schemas_for
+      ~vm_requests:[ RE.vm1_partitioned_features; RE.vm2_partitioned_features ] ()
+  in
+  let part_findings = List.length partitioned.Llhsc.Pipeline.partition_findings in
+  Fmt.pr
+    "E13 (SI-A)     RAM partitioning:         shared=%d warn  partitioned=%d  [%s]@."
+    shared_warnings part_findings
+    (check (shared_warnings = 4 && part_findings = 0));
+  (* E14: the quad-core RV64 case study, three VMs fully partitioned. *)
+  let quad = Llhsc.Quad_rv64.run_pipeline () in
+  Fmt.pr "E14 (scale)    quad RV64, 3 VMs:         green=%b cross-VM=%d  [%s]@."
+    (Llhsc.Pipeline.ok quad)
+    (List.length quad.Llhsc.Pipeline.partition_findings)
+    (check (Llhsc.Pipeline.ok quad && quad.Llhsc.Pipeline.partition_findings = []));
+  Fmt.pr "==================================================================@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timing benches                                      *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+let e1_bench =
+  Test.make ~name:"E01-fig1-count-products"
+    (stage @@ fun () ->
+    Featuremodel.Analysis.count_products (Featuremodel.Analysis.encode (RE.feature_model ())))
+
+let e2_bench =
+  Test.make ~name:"E02-fig1-two-vm-allocation"
+    (stage @@ fun () ->
+    Llhsc.Alloc.allocate ~exclusive:RE.exclusive (RE.feature_model ()) ~vms:2
+      ~requests:[ Llhsc.Alloc.request 1 [ "veth0" ]; Llhsc.Alloc.request 2 [ "veth1" ] ])
+
+let e3_bench = Test.make ~name:"E03-fig2-end-to-end" (stage run_pipeline)
+
+let e4_bench =
+  let deltas = RE.deltas () in
+  Test.make ~name:"E04-delta-linearize"
+    (stage @@ fun () -> Delta.Apply.order ~selected:RE.vm1_features deltas)
+
+let e5_bench =
+  let tree = clash_tree () in
+  Test.make ~name:"E05-clash-detection" (stage @@ fun () -> Llhsc.Semantic.check_memory tree)
+
+let e6_bench =
+  let tree = truncated_tree () in
+  Test.make ~name:"E06-truncation-detection"
+    (stage @@ fun () -> Llhsc.Semantic.check_memory tree)
+
+let e7_bench =
+  let tree = RE.core_tree () in
+  let schemas = RE.schemas_for tree in
+  Test.make ~name:"E07-syntactic-smt"
+    (stage @@ fun () -> Schema.Compile.check_tree (Smt.Solver.create ()) ~schemas tree)
+
+let e7_baseline_bench =
+  let tree = RE.core_tree () in
+  let schemas = RE.schemas_for tree in
+  Test.make ~name:"E07-syntactic-direct-baseline"
+    (stage @@ fun () -> Schema.Validate.check schemas tree)
+
+let e8_bench =
+  let outcome = run_pipeline () in
+  let platform =
+    (List.find (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products)
+      .Llhsc.Pipeline.tree
+  in
+  Test.make ~name:"E08-gen-platform-config"
+    (stage @@ fun () -> Bao.Platform.to_c (Bao.Platform.of_tree platform))
+
+let e9_bench =
+  let outcome = run_pipeline () in
+  let vms =
+    List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+    |> List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree))
+  in
+  Test.make ~name:"E09-gen-vm-config"
+    (stage @@ fun () -> Bao.Config.to_c (Bao.Config.of_vm_trees vms))
+
+(* E10: allocation solving time vs problem size (n cpus x m VMs). *)
+let e10_benches =
+  List.map
+    (fun (width, vms) ->
+      let model = synthetic_model ~groups:2 ~width in
+      Test.make ~name:(Printf.sprintf "E10-alloc-scaling-n%02d-m%d" width vms)
+        (stage @@ fun () ->
+        Featuremodel.Multi.is_allocatable
+          (Featuremodel.Multi.encode ~exclusive:[ "g0" ] model ~vms)))
+    [ (4, 2); (8, 2); (8, 4); (16, 4); (32, 4); (32, 8) ]
+
+(* E11: overlap checking time vs number of regions, in both the
+   paper-faithful all-pairs formulation and with the sweep prefilter. *)
+let e11_benches =
+  List.concat_map
+    (fun n ->
+      let tree = synthetic_tree n in
+      [ Test.make ~name:(Printf.sprintf "E11-overlap-pairwise-%03d" n)
+          (stage @@ fun () -> Llhsc.Semantic.check_memory ~strategy:`Pairwise tree);
+        Test.make ~name:(Printf.sprintf "E11-overlap-sweep-%03d" n)
+          (stage @@ fun () -> Llhsc.Semantic.check_memory ~strategy:`Sweep tree)
+      ])
+    [ 2; 8; 32 ]
+
+(* E12: incremental (one solver, push/pop) vs from-scratch solving — the
+   paper's §VI argument for adding constraints to the same Z3 instance. *)
+let e12_regions =
+  List.init 12 (fun i ->
+      { Llhsc.Semantic.owner = Printf.sprintf "/dev%d" i;
+        region = { Devicetree.Addresses.base = Int64.of_int (0x1000 * i); size = 0x800L };
+        loc = Devicetree.Loc.dummy
+      })
+
+let all_pairs =
+  let rec pairs = function
+    | [] -> []
+    | r :: rest -> List.map (fun r' -> (r, r')) rest @ pairs rest
+  in
+  pairs e12_regions
+
+let e12_incremental =
+  Test.make ~name:"E12-incremental-one-solver"
+    (stage @@ fun () ->
+    let solver = Smt.Solver.create () in
+    List.iter
+      (fun (a, b) -> ignore (Llhsc.Semantic.pair_overlap solver a b : int64 option))
+      all_pairs)
+
+let e12_scratch =
+  Test.make ~name:"E12-scratch-solver-per-query"
+    (stage @@ fun () ->
+    List.iter
+      (fun (a, b) ->
+        let solver = Smt.Solver.create () in
+        ignore (Llhsc.Semantic.pair_overlap solver a b : int64 option))
+      all_pairs)
+
+(* Ablation: CDCL vs plain DPLL on the same Tseitin encoding of a
+   feature-model formula. *)
+let ablation_model = synthetic_model ~groups:3 ~width:6
+
+let ablation_formula num_vars_ref =
+  (* Atoms are pre-numbered 0..n-1 so both solvers see identical CNF. *)
+  let names = Featuremodel.Model.feature_names ablation_model in
+  let vars = List.mapi (fun i n -> (n, i)) names in
+  num_vars_ref := List.length names;
+  Featuremodel.Analysis.formula ablation_model (fun n -> List.assoc n vars)
+
+let ablation_cdcl =
+  Test.make ~name:"ablation-cdcl-fm-sat"
+    (stage @@ fun () ->
+    let nv = ref 0 in
+    let formula = ablation_formula nv in
+    let solver = Sat.Solver.create () in
+    for _ = 1 to !nv do
+      ignore (Sat.Solver.new_var solver : int)
+    done;
+    ignore (Sat.Formula.assert_in solver formula : bool);
+    Sat.Solver.solve solver)
+
+let ablation_dpll =
+  Test.make ~name:"ablation-dpll-fm-sat"
+    (stage @@ fun () ->
+    let nv = ref 0 in
+    let formula = ablation_formula nv in
+    let problem = Sat.Dpll.of_formula ~num_vars:!nv formula in
+    Sat.Dpll.solve problem)
+
+let e14_bench =
+  Test.make ~name:"E14-quad-rv64-pipeline" (stage Llhsc.Quad_rv64.run_pipeline)
+
+let e13_bench =
+  Test.make ~name:"E13-partition-check"
+    (stage @@ fun () ->
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas:(RE.partitioned_deltas ())
+      ~schemas_for:RE.schemas_for
+      ~vm_requests:[ RE.vm1_partitioned_features; RE.vm2_partitioned_features ] ())
+
+let all_tests =
+  [ e1_bench; e2_bench; e3_bench; e4_bench; e5_bench; e6_bench; e7_bench;
+    e7_baseline_bench; e8_bench; e9_bench ]
+  @ e10_benches @ e11_benches
+  @ [ e12_incremental; e12_scratch; e13_bench; e14_bench; ablation_cdcl; ablation_dpll ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  Fmt.pr "benchmarks (time per run, OLS estimate over monotonic clock):@.";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols (List.hd instances) raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          let name = Test.Elt.name elt in
+          if ns > 1_000_000. then Fmt.pr "  %-36s %10.3f ms/run@." name (ns /. 1_000_000.)
+          else if ns > 1_000. then Fmt.pr "  %-36s %10.3f us/run@." name (ns /. 1_000.)
+          else Fmt.pr "  %-36s %10.1f ns/run@." name ns)
+        (Test.elements test))
+    all_tests
+
+let () =
+  let report_only = Array.length Sys.argv > 1 && Sys.argv.(1) = "report" in
+  report ();
+  if not report_only then run_benchmarks ()

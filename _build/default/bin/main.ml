@@ -1,0 +1,575 @@
+(* llhsc — DeviceTree syntax and semantic checker (command-line front end).
+
+   Subcommands:
+     check     parse a DTS and run the syntactic + semantic checkers
+     products  analyse a feature model (count/enumerate/dead features)
+     generate  apply delta modules for a feature selection, emit the DTS
+     pipeline  full workflow: alloc + generation + checks + Bao configs
+     dtb       compile DTS to a flattened DTB (or decompile with -d)
+     demo      run the paper's running example end to end *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Resolve /include/ relative to the including file's directory. *)
+let loader_for path file =
+  let dir = Filename.dirname path in
+  let candidate = Filename.concat dir file in
+  if Sys.file_exists candidate then Some (read_file candidate) else None
+
+let load_tree path =
+  Devicetree.Tree.of_source ~loader:(loader_for path) ~file:path (read_file path)
+
+let load_schemas = function
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun f -> Filename.check_suffix f ".yaml" || Filename.check_suffix f ".yml")
+    |> List.map (fun f -> Schema.Binding.of_string (read_file (Filename.concat dir f)))
+
+let print_findings findings =
+  List.iter (fun f -> Fmt.pr "%a@." Llhsc.Report.pp f) findings
+
+let exit_of_findings findings = if Llhsc.Report.is_clean findings then 0 else 1
+
+let handle_errors f =
+  try f () with
+  | Devicetree.Lexer.Error (msg, loc) | Devicetree.Parser.Error (msg, loc)
+  | Devicetree.Tree.Error (msg, loc) | Devicetree.Addresses.Error (msg, loc) ->
+    Fmt.epr "error: %s (%a)@." msg Devicetree.Loc.pp loc;
+    2
+  | Delta.Parse.Error (msg, loc) ->
+    Fmt.epr "error: %s (%a)@." msg Devicetree.Loc.pp loc;
+    2
+  | Delta.Apply.Error e ->
+    Fmt.epr "error: %a@." Delta.Apply.pp_error e;
+    2
+  | Schema.Binding.Error msg | Bao.Platform.Error msg | Bao.Config.Error msg
+  | Bao.Qemu.Error msg ->
+    Fmt.epr "error: %s@." msg;
+    2
+  | Schema.Yaml_lite.Error (msg, line) ->
+    Fmt.epr "error: %s (line %d)@." msg line;
+    2
+  | Featuremodel.Model.Error msg | Featuremodel.Analysis.Error msg ->
+    Fmt.epr "error: %s@." msg;
+    2
+  | Featuremodel.Parse.Error (msg, line) ->
+    Fmt.epr "error: %s (line %d)@." msg line;
+    2
+  | Smt.Solver.Error msg ->
+    Fmt.epr "solver error: %s@." msg;
+    2
+  | Sys_error msg | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    2
+
+(* --- check ----------------------------------------------------------------------- *)
+
+let cmd_check dts_path schema_dir semantic_only syntactic_only =
+  handle_errors @@ fun () ->
+  let tree = load_tree dts_path in
+  let schemas = load_schemas schema_dir in
+  let syntactic =
+    if semantic_only || schemas = [] then []
+    else Llhsc.Syntactic.check ~schemas tree
+  in
+  let semantic = if syntactic_only then [] else Llhsc.Semantic.check tree in
+  let findings = syntactic @ semantic in
+  if findings = [] then Fmt.pr "%s: all checks passed@." dts_path
+  else print_findings findings;
+  exit_of_findings findings
+
+(* --- products -------------------------------------------------------------------- *)
+
+let cmd_products fm_path count_only show_dead show_anomalies =
+  handle_errors @@ fun () ->
+  let model = Featuremodel.Parse.parse (read_file fm_path) in
+  let env = Featuremodel.Analysis.encode model in
+  if Featuremodel.Analysis.is_void env then begin
+    Fmt.pr "feature model is void (no valid products)@.";
+    1
+  end
+  else begin
+    let products = Featuremodel.Analysis.enumerate_products env in
+    Fmt.pr "%d valid product(s)@." (List.length products);
+    if not count_only then
+      List.iteri
+        (fun i p -> Fmt.pr "  %2d: {%s}@." (i + 1) (String.concat ", " p))
+        products;
+    if show_dead then begin
+      match Featuremodel.Analysis.dead_features env with
+      | [] -> Fmt.pr "no dead features@."
+      | dead -> Fmt.pr "dead features: %s@." (String.concat ", " dead)
+    end;
+    if show_anomalies then begin
+      (match Featuremodel.Analysis.false_optional_features env with
+       | [] -> Fmt.pr "no false-optional features@."
+       | fo -> Fmt.pr "false-optional features: %s@." (String.concat ", " fo));
+      match Featuremodel.Analysis.redundant_constraints env with
+      | [] -> Fmt.pr "no redundant constraints@."
+      | rs ->
+        List.iter (fun c -> Fmt.pr "redundant constraint: %a@." Featuremodel.Bexpr.pp c) rs
+    end;
+    0
+  end
+
+(* --- analyze (delta set vs feature model) -------------------------------------------- *)
+
+let cmd_analyze deltas_paths fm_path =
+  handle_errors @@ fun () ->
+  let deltas =
+    let all =
+      List.concat_map
+        (fun f -> Delta.Parse.parse ~validate_refs:false ~file:f (read_file f))
+        deltas_paths
+    in
+    Delta.Parse.validate all;
+    all
+  in
+  let model = Featuremodel.Parse.parse (read_file fm_path) in
+  let r = Delta.Analysis.analyze ~model deltas in
+  Fmt.pr "%a" Delta.Analysis.pp r;
+  if r.Delta.Analysis.conflicts = [] then 0 else 1
+
+(* --- configure --------------------------------------------------------------------- *)
+
+(* Batch-mode configurator: apply decisions in order, then print each
+   feature's propagated status ("forced"/"forbidden" = the greyed-out
+   features of the paper's Fig. 1). *)
+let cmd_configure fm_path decisions =
+  handle_errors @@ fun () ->
+  let model = Featuremodel.Parse.parse (read_file fm_path) in
+  let c = Featuremodel.Configurator.create model in
+  let apply spec =
+    match String.index_opt spec '=' with
+    | None -> Featuremodel.Configurator.decide c spec true
+    | Some i ->
+      let name = String.sub spec 0 i in
+      let value =
+        match String.sub spec (i + 1) (String.length spec - i - 1) with
+        | "on" | "true" | "yes" -> true
+        | "off" | "false" | "no" -> false
+        | v -> failwith (Printf.sprintf "bad decision value %S (use on/off)" v)
+      in
+      Featuremodel.Configurator.decide c name value
+  in
+  (try List.iter apply decisions
+   with Featuremodel.Configurator.Error msg ->
+     Fmt.epr "rejected: %s@." msg;
+     exit 1);
+  List.iter
+    (fun (name, status) ->
+      Fmt.pr "%-24s %a@." name Featuremodel.Configurator.pp_status status)
+    (Featuremodel.Configurator.state c);
+  if Featuremodel.Configurator.is_complete c then
+    Fmt.pr "complete product: {%s}@."
+      (String.concat ", " (Featuremodel.Configurator.product c));
+  0
+
+(* --- generate -------------------------------------------------------------------- *)
+
+let cmd_generate core_path deltas_path features out check =
+  handle_errors @@ fun () ->
+  let core = load_tree core_path in
+  let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
+  let tree = Delta.Apply.generate ~core ~deltas ~selected:features in
+  let order = Delta.Apply.order ~selected:features deltas in
+  Fmt.pr "applied deltas: %s@."
+    (match order with [] -> "(none)" | _ -> String.concat " < " order);
+  let dts = Devicetree.Printer.to_string tree in
+  (match out with
+   | Some path ->
+     write_file path dts;
+     Fmt.pr "wrote %s@." path
+   | None -> print_string dts);
+  if check then begin
+    let findings = Llhsc.Semantic.check tree in
+    print_findings findings;
+    exit_of_findings findings
+  end
+  else 0
+
+(* --- pipeline -------------------------------------------------------------------- *)
+
+let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir =
+  handle_errors @@ fun () ->
+  let core = load_tree core_path in
+  let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
+  let model = Featuremodel.Parse.parse (read_file fm_path) in
+  let schemas = load_schemas schema_dir in
+  let schemas_for _tree = schemas in
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
+  in
+  Fmt.pr "%a" Llhsc.Pipeline.pp_outcome outcome;
+  (match out_dir with
+   | Some dir when Llhsc.Pipeline.ok outcome ->
+     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+     let vm_products =
+       List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+     in
+     List.iter
+       (fun p ->
+         let path = Filename.concat dir (p.Llhsc.Pipeline.name ^ ".dts") in
+         write_file path (Devicetree.Printer.to_string p.Llhsc.Pipeline.tree);
+         Fmt.pr "wrote %s@." path)
+       outcome.Llhsc.Pipeline.products;
+     (* Bao artifacts. *)
+     (match
+        List.find_opt (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+      with
+      | Some platform ->
+        let c = Bao.Platform.to_c (Bao.Platform.of_tree platform.Llhsc.Pipeline.tree) in
+        write_file (Filename.concat dir "platform.c") c;
+        Fmt.pr "wrote %s@." (Filename.concat dir "platform.c")
+      | None -> ());
+     let cfg =
+       Bao.Config.of_vm_trees
+         (List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree)) vm_products)
+     in
+     write_file (Filename.concat dir "config.c") (Bao.Config.to_c cfg);
+     Fmt.pr "wrote %s@." (Filename.concat dir "config.c")
+   | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
+   | None -> ());
+  if Llhsc.Pipeline.ok outcome then 0 else 1
+
+(* --- dtb -------------------------------------------------------------------------- *)
+
+let cmd_dtb input output decompile =
+  handle_errors @@ fun () ->
+  if decompile then begin
+    let tree, memreserves = Devicetree.Fdt.decode (read_file input) in
+    ignore memreserves;
+    let dts = Devicetree.Printer.to_string tree in
+    match output with
+    | Some path ->
+      write_file path dts;
+      Fmt.pr "wrote %s@." path;
+      0
+    | None ->
+      print_string dts;
+      0
+  end
+  else begin
+    let src = read_file input in
+    let ast = Devicetree.Parser.parse ~file:input src in
+    let memreserves = Devicetree.Tree.memreserves_of_ast ast in
+    let tree = Devicetree.Tree.of_ast ~loader:(loader_for input) ast in
+    let blob = Devicetree.Fdt.encode ~memreserves tree in
+    let out = match output with Some p -> p | None -> Filename.remove_extension input ^ ".dtb" in
+    write_file out blob;
+    Fmt.pr "wrote %s (%d bytes)@." out (String.length blob);
+    0
+  end
+
+(* --- diff ------------------------------------------------------------------------- *)
+
+let cmd_diff a_path b_path =
+  handle_errors @@ fun () ->
+  let a = load_tree a_path and b = load_tree b_path in
+  let changes = Devicetree.Diff.diff a b in
+  Fmt.pr "%a@." Devicetree.Diff.pp changes;
+  if changes = [] then 0 else 1
+
+(* --- build (project file) ----------------------------------------------------------- *)
+
+(* Project file (YAML):
+     core: board.dts
+     deltas: [board.deltas, extra.deltas]
+     model: board.fm
+     schemas: schemas          # directory
+     exclusive: [cpus]
+     vms:
+       - name: vm1
+         features: [memory, cpu@0]
+     output: out               # optional artifact directory
+   Paths are relative to the project file. *)
+let cmd_build project_path =
+  handle_errors @@ fun () ->
+  let dir = Filename.dirname project_path in
+  let resolve p = if Filename.is_relative p then Filename.concat dir p else p in
+  let y = Schema.Yaml_lite.parse (read_file project_path) in
+  let str_field name =
+    match Option.bind (Schema.Yaml_lite.find name y) Schema.Yaml_lite.as_string with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "project file: missing %S" name)
+  in
+  let str_list name =
+    match Schema.Yaml_lite.find name y with
+    | Some (Schema.Yaml_lite.List items) ->
+      List.filter_map Schema.Yaml_lite.as_string items
+    | Some (Schema.Yaml_lite.Str s) -> [ s ]
+    | _ -> []
+  in
+  let core = load_tree (resolve (str_field "core")) in
+  let deltas =
+    let files = match str_list "deltas" with [] -> failwith "project file: missing deltas" | fs -> fs in
+    let all =
+      List.concat_map
+        (fun f -> Delta.Parse.parse ~validate_refs:false ~file:f (read_file (resolve f)))
+        files
+    in
+    Delta.Parse.validate all;
+    all
+  in
+  let model = Featuremodel.Parse.parse (read_file (resolve (str_field "model"))) in
+  let schemas =
+    match Option.bind (Schema.Yaml_lite.find "schemas" y) Schema.Yaml_lite.as_string with
+    | Some d -> load_schemas (Some (resolve d))
+    | None -> []
+  in
+  let vms =
+    match Schema.Yaml_lite.find "vms" y with
+    | Some (Schema.Yaml_lite.List items) ->
+      List.map
+        (fun item ->
+          match Schema.Yaml_lite.find "features" item with
+          | Some (Schema.Yaml_lite.List fs) -> List.filter_map Schema.Yaml_lite.as_string fs
+          | _ -> failwith "project file: vm entry missing features")
+        items
+    | _ -> failwith "project file: missing vms"
+  in
+  let exclusive = str_list "exclusive" in
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive ~model ~core ~deltas
+      ~schemas_for:(fun _ -> schemas) ~vm_requests:vms ()
+  in
+  Fmt.pr "%a" Llhsc.Pipeline.pp_outcome outcome;
+  (match Option.bind (Schema.Yaml_lite.find "output" y) Schema.Yaml_lite.as_string with
+   | Some out when Llhsc.Pipeline.ok outcome ->
+     let out = resolve out in
+     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+     List.iter
+       (fun p ->
+         write_file
+           (Filename.concat out (p.Llhsc.Pipeline.name ^ ".dts"))
+           (Devicetree.Printer.to_string p.Llhsc.Pipeline.tree))
+       outcome.Llhsc.Pipeline.products;
+     (match
+        List.find_opt (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+      with
+      | Some platform ->
+        write_file (Filename.concat out "platform.c")
+          (Bao.Platform.to_c (Bao.Platform.of_tree platform.Llhsc.Pipeline.tree))
+      | None -> ());
+     let vm_products =
+       List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+     in
+     write_file (Filename.concat out "config.c")
+       (Bao.Config.to_c
+          (Bao.Config.of_vm_trees
+             (List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree)) vm_products)));
+     Fmt.pr "artifacts written to %s@." out
+   | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
+   | None -> ());
+  if Llhsc.Pipeline.ok outcome then 0 else 1
+
+(* --- overlay ---------------------------------------------------------------------- *)
+
+let cmd_overlay base_path overlay_paths output check =
+  handle_errors @@ fun () ->
+  let base = load_tree base_path in
+  let merged =
+    List.fold_left
+      (fun base path ->
+        try Devicetree.Overlay.apply ~base ~overlay:(load_tree path)
+        with Devicetree.Overlay.Error (msg, loc) ->
+          Fmt.epr "error: %s: %s (%a)@." path msg Devicetree.Loc.pp loc;
+          exit 2)
+      base overlay_paths
+  in
+  let dts = Devicetree.Printer.to_string merged in
+  (match output with
+   | Some path ->
+     write_file path dts;
+     Fmt.pr "wrote %s@." path
+   | None -> print_string dts);
+  if check then begin
+    let findings = Llhsc.Semantic.check merged in
+    print_findings findings;
+    exit_of_findings findings
+  end
+  else 0
+
+(* --- smt2 ------------------------------------------------------------------------- *)
+
+let cmd_smt2 dts_path schema_dir output =
+  handle_errors @@ fun () ->
+  let tree = load_tree dts_path in
+  let schemas = load_schemas schema_dir in
+  let solver = Smt.Solver.create () in
+  Schema.Compile.compile_tree solver ~schemas tree;
+  let dump = Fmt.str "%a" Smt.Solver.pp_smtlib solver in
+  (match output with
+   | Some path ->
+     write_file path dump;
+     Fmt.pr "wrote %s@." path
+   | None -> print_string dump);
+  0
+
+(* --- demo ------------------------------------------------------------------------- *)
+
+let cmd_demo () =
+  handle_errors @@ fun () ->
+  let module RE = Llhsc.Running_example in
+  Fmt.pr "== llhsc demo: the paper's running example ==@.@.";
+  let model = RE.feature_model () in
+  let env = Featuremodel.Analysis.encode model in
+  Fmt.pr "feature model: %d valid products@."
+    (Featuremodel.Analysis.count_products env);
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model ~core:(RE.core_tree ())
+      ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+      ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ()
+  in
+  Fmt.pr "%a@." Llhsc.Pipeline.pp_outcome outcome;
+  (match
+     List.find_opt (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+   with
+   | Some platform ->
+     Fmt.pr "--- platform.c (Listing 3) ---@.%s@."
+       (Bao.Platform.to_c (Bao.Platform.of_tree platform.Llhsc.Pipeline.tree))
+   | None -> ());
+  let vms =
+    List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+  in
+  Fmt.pr "--- config.c (Listing 6) ---@.%s@."
+    (Bao.Config.to_c
+       (Bao.Config.of_vm_trees
+          (List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree)) vms)));
+  if Llhsc.Pipeline.ok outcome then 0 else 1
+
+(* --- cmdliner wiring ---------------------------------------------------------------- *)
+
+open Cmdliner
+
+let dts_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dts")
+
+let schema_dir_arg =
+  Arg.(value & opt (some dir) None & info [ "schemas" ] ~docv:"DIR" ~doc:"Directory of .yaml binding schemas.")
+
+let check_cmd =
+  let semantic_only =
+    Arg.(value & flag & info [ "semantic-only" ] ~doc:"Skip the schema-based syntactic checks.")
+  in
+  let syntactic_only =
+    Arg.(value & flag & info [ "syntactic-only" ] ~doc:"Skip the semantic (address) checks.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a DTS file syntactically and semantically")
+    Term.(const cmd_check $ dts_arg $ schema_dir_arg $ semantic_only $ syntactic_only)
+
+let products_cmd =
+  let fm = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.fm") in
+  let count = Arg.(value & flag & info [ "count" ] ~doc:"Print only the product count.") in
+  let dead = Arg.(value & flag & info [ "dead" ] ~doc:"Also report dead features.") in
+  let anomalies =
+    Arg.(value & flag & info [ "anomalies" ] ~doc:"Report false-optional features and redundant constraints.")
+  in
+  Cmd.v
+    (Cmd.info "products" ~doc:"Analyse a feature model")
+    Term.(const cmd_products $ fm $ count $ dead $ anomalies)
+
+let features_arg =
+  Arg.(value & opt (list string) [] & info [ "features"; "f" ] ~docv:"F1,F2" ~doc:"Selected features.")
+
+let analyze_cmd =
+  let deltas = Arg.(non_empty & opt_all file [] & info [ "deltas" ] ~docv:"FILE.deltas") in
+  let fm = Arg.(required & opt (some file) None & info [ "model" ] ~docv:"FILE.fm") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Static analysis of a delta set against its feature model")
+    Term.(const cmd_analyze $ deltas $ fm)
+
+let configure_cmd =
+  let fm = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.fm") in
+  let decisions =
+    Arg.(value & opt_all string [] & info [ "decide"; "d" ] ~docv:"FEATURE[=on|off]"
+           ~doc:"Apply a decision (repeatable, in order).")
+  in
+  Cmd.v
+    (Cmd.info "configure" ~doc:"Stepwise configuration with decision propagation")
+    Term.(const cmd_configure $ fm $ decisions)
+
+let generate_cmd =
+  let core = Arg.(required & opt (some file) None & info [ "core" ] ~docv:"CORE.dts") in
+  let deltas = Arg.(required & opt (some file) None & info [ "deltas" ] ~docv:"FILE.deltas") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.dts") in
+  let check = Arg.(value & flag & info [ "check" ] ~doc:"Run the semantic checker on the product.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a DTS product from a core and delta modules")
+    Term.(const cmd_generate $ core $ deltas $ features_arg $ out $ check)
+
+let pipeline_cmd =
+  let core = Arg.(required & opt (some file) None & info [ "core" ] ~docv:"CORE.dts") in
+  let deltas = Arg.(required & opt (some file) None & info [ "deltas" ] ~docv:"FILE.deltas") in
+  let fm = Arg.(required & opt (some file) None & info [ "model" ] ~docv:"FILE.fm") in
+  let vms =
+    Arg.(value & opt_all (list string) [] & info [ "vm" ] ~docv:"F1,F2" ~doc:"Feature selection of one VM (repeatable).")
+  in
+  let exclusive =
+    Arg.(value & opt (list string) [] & info [ "exclusive" ] ~docv:"FEATS" ~doc:"Features whose children are exclusive across VMs.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR") in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
+    Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out)
+
+let dtb_cmd =
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUTPUT") in
+  let decompile = Arg.(value & flag & info [ "d"; "decompile" ] ~doc:"DTB to DTS.") in
+  Cmd.v
+    (Cmd.info "dtb" ~doc:"Compile DTS to a flattened DTB, or decompile")
+    Term.(const cmd_dtb $ input $ output $ decompile)
+
+let diff_cmd =
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.dts") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.dts") in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Structural diff between two DTS files")
+    Term.(const cmd_diff $ a $ b)
+
+let build_cmd =
+  let project = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROJECT.yaml") in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Run the pipeline described by a project file")
+    Term.(const cmd_build $ project)
+
+let overlay_cmd =
+  let base = Arg.(required & pos 0 (some file) None & info [] ~docv:"BASE.dts") in
+  let overlays = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"OVERLAY.dts...") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.dts") in
+  let check = Arg.(value & flag & info [ "check" ] ~doc:"Run the semantic checker on the result.") in
+  Cmd.v
+    (Cmd.info "overlay" ~doc:"Apply DT overlays (dtbo fragments) to a base DTS")
+    Term.(const cmd_overlay $ base $ overlays $ output $ check)
+
+let smt2_cmd =
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.smt2") in
+  Cmd.v
+    (Cmd.info "smt2" ~doc:"Export the syntactic constraint problem as SMT-LIB2")
+    Term.(const cmd_smt2 $ dts_arg $ schema_dir_arg $ output)
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's running example end to end")
+    Term.(const cmd_demo $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "llhsc" ~version:"1.0.0"
+       ~doc:"DeviceTree syntax and semantic checker for static-partitioning hypervisors")
+    [ check_cmd; products_cmd; configure_cmd; analyze_cmd; generate_cmd; pipeline_cmd;
+      build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

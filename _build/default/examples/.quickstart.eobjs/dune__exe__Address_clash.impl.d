@@ -1,0 +1,1 @@
+examples/address_clash.ml: Delta Devicetree Fmt List Llhsc Printf

@@ -1,0 +1,1 @@
+examples/partitioning.ml: Bao Featuremodel Fmt List Llhsc String

@@ -1,0 +1,1 @@
+examples/quad_rv64.ml: Bao Featuremodel Fmt List Llhsc

@@ -1,0 +1,1 @@
+examples/quad_rv64.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char Devicetree Fmt List Llhsc Schema String

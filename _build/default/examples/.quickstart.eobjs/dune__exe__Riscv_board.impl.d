@@ -1,0 +1,1 @@
+examples/riscv_board.ml: Bao Devicetree Fmt List Llhsc String

@@ -1,0 +1,1 @@
+examples/running_example.ml: Bao Devicetree Featuremodel Fmt List Llhsc String

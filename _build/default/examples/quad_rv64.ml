@@ -1,0 +1,30 @@
+(* The quad-core RV64 case study: two CPU clusters, four memory banks, two
+   UARTs, virtio devices and virtual network channels, partitioned into
+   three VMs — the full llhsc workflow at a larger scale than the paper's
+   CustomSBC.
+
+     dune exec examples/quad_rv64.exe *)
+
+module Q = Llhsc.Quad_rv64
+
+let () =
+  let env = Featuremodel.Analysis.encode (Q.feature_model ()) in
+  Fmt.pr "QuadRV64 feature model: %d valid products@.@."
+    (Featuremodel.Analysis.count_products env);
+
+  let outcome = Q.run_pipeline () in
+  Fmt.pr "%a@." Llhsc.Pipeline.pp_outcome outcome;
+  if not (Llhsc.Pipeline.ok outcome) then exit 1;
+
+  let product name =
+    List.find (fun p -> p.Llhsc.Pipeline.name = name) outcome.Llhsc.Pipeline.products
+  in
+  let platform = (product "platform").Llhsc.Pipeline.tree in
+  Fmt.pr "== platform.c ==@.%s@." (Bao.Platform.to_c (Bao.Platform.of_tree platform));
+  let vms =
+    List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+    |> List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree))
+  in
+  Fmt.pr "== config.c (3 VMs) ==@.%s@." (Bao.Config.to_c (Bao.Config.of_vm_trees vms));
+  Fmt.pr "== QEMU, vm1 ==@.%s@."
+    (Bao.Qemu.command_line ~arch:Bao.Qemu.Rv64 (product "vm1").Llhsc.Pipeline.tree)

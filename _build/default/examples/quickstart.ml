@@ -1,0 +1,82 @@
+(* Quickstart: parse a DeviceTree source, decode its memory map, and run the
+   llhsc checkers on it.
+
+     dune exec examples/quickstart.exe *)
+
+let dts =
+  {|
+/dts-v1/;
+
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+
+    memory@80000000 {
+        device_type = "memory";
+        reg = <0x80000000 0x40000000>;
+    };
+
+    serial@10000000 {
+        compatible = "ns16550a";
+        reg = <0x10000000 0x100>;
+        interrupts = <10>;
+    };
+
+    /* Oops: this device's register window sits inside RAM. */
+    dma@90000000 {
+        compatible = "acme,dma";
+        reg = <0x90000000 0x1000>;
+        interrupts = <10>;
+    };
+};
+|}
+
+let () =
+  (* 1. Parse. *)
+  let tree = Devicetree.Tree.of_source ~file:"quickstart.dts" dts in
+  Fmt.pr "parsed %d nodes: %s@.@."
+    (List.length (Devicetree.Tree.paths tree))
+    (String.concat ", " (Devicetree.Tree.paths tree));
+
+  (* 2. Decode the memory map. *)
+  Fmt.pr "memory map:@.";
+  List.iter
+    (fun (nr : Devicetree.Addresses.node_regions) ->
+      List.iter
+        (fun r -> Fmt.pr "  %-20s %a@." nr.Devicetree.Addresses.path Devicetree.Addresses.pp_region r)
+        nr.Devicetree.Addresses.regions)
+    (Devicetree.Addresses.regions_in_root_space tree);
+  Fmt.pr "@.";
+
+  (* 3. Semantic checks: the DMA window collides with RAM, and both devices
+     claim interrupt line 10. *)
+  let findings = Llhsc.Semantic.check tree in
+  Fmt.pr "semantic checker found %d issue(s):@." (List.length findings);
+  List.iter (fun f -> Fmt.pr "  %a@." Llhsc.Report.pp f) findings;
+  Fmt.pr "@.";
+
+  (* 4. A schema-based syntactic check. *)
+  let schema =
+    Schema.Binding.of_string
+      {|
+$id: serial
+select:
+  compatible: [ns16550a]
+properties:
+  compatible:
+    const: ns16550a
+  reg:
+    minItems: 1
+    maxItems: 1
+    multipleOf: 2
+required: [compatible, reg, interrupts]
+|}
+  in
+  let syntactic = Llhsc.Syntactic.check ~schemas:[ schema ] tree in
+  Fmt.pr "syntactic checker found %d issue(s)@." (List.length syntactic);
+  List.iter (fun f -> Fmt.pr "  %a@." Llhsc.Report.pp f) syntactic;
+
+  (* 5. Emit the flattened DTB. *)
+  let blob = Devicetree.Fdt.encode tree in
+  Fmt.pr "@.flattened DTB: %d bytes (magic %02x%02x%02x%02x)@." (String.length blob)
+    (Char.code blob.[0]) (Char.code blob.[1]) (Char.code blob.[2]) (Char.code blob.[3])

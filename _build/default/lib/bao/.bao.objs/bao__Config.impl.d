@@ -1,0 +1,1 @@
+lib/bao/config.ml: Buffer Devicetree Fmt Int64 List Platform Printf String

@@ -1,0 +1,1 @@
+lib/bao/config.mli: Devicetree Format Platform

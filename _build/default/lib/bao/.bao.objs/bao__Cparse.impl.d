@@ -1,0 +1,1 @@
+lib/bao/cparse.ml: Array Buffer Fmt Int64 List Option Platform Printf String

@@ -1,0 +1,1 @@
+lib/bao/cparse.mli: Platform

@@ -1,0 +1,1 @@
+lib/bao/platform.ml: Buffer Devicetree Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/bao/platform.mli: Devicetree Format

@@ -1,0 +1,1 @@
+lib/bao/qemu.ml: Devicetree Fmt Int64 List Platform Printf String

@@ -1,0 +1,1 @@
+lib/bao/qemu.mli: Devicetree

@@ -1,0 +1,231 @@
+(* Bao VM configuration (Listing 6): the `struct config` C file generated
+   from the per-VM DTSs.
+
+   Extraction per VM tree:
+   - regions: the VM's memory banks (device_type = "memory");
+   - entry/image base: the first memory bank's base;
+   - cpu_affinity: a bitmask over the CPU ids present under /cpus;
+   - devs: pass-through devices with a reg (UARTs and other MMIO devices,
+     excluding memory and virtual devices) — pa = va, per the paper's
+     simplifying assumption in §IV-C;
+   - ipcs/shmem: the virtual Ethernet devices (compatible = "veth"), one
+     shared-memory object per veth id. *)
+
+module T = Devicetree.Tree
+module Addr = Devicetree.Addresses
+
+type dev_region = {
+  pa : int64;
+  va : int64;
+  size : int64;
+}
+
+type ipc = {
+  ipc_base : int64;
+  ipc_size : int64;
+  shmem_id : int;
+}
+
+type vm = {
+  name : string;
+  image_base : int64;
+  entry : int64;
+  cpu_affinity : int;
+  cpu_num : int;
+  regions : Platform.mem_region list;
+  devs : dev_region list;
+  ipcs : ipc list;
+  interrupts : int64 list; (* pass-through interrupt lines, deduplicated *)
+}
+
+type t = {
+  vms : vm list;
+  shmem_sizes : (int * int64) list; (* shmem id -> size *)
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let is_veth_node node =
+  match T.get_prop node "compatible" with
+  | Some p -> List.mem "veth" (T.prop_strings p)
+  | None -> false
+
+let cpu_ids tree =
+  match T.find tree "/cpus" with
+  | None -> []
+  | Some cpus ->
+    (* CPUs may hang directly off /cpus or inside cluster containers. *)
+    let rec collect node acc =
+      let acc =
+        if Platform.is_cpu_node node then
+          match T.get_prop node "reg" with
+          | Some p ->
+            (match T.prop_u32s p with id :: _ -> Int64.to_int id :: acc | [] -> acc)
+          | None -> acc
+        else acc
+      in
+      List.fold_left (fun acc c -> collect c acc) acc node.T.children
+    in
+    List.rev (collect cpus [])
+
+let node_regions_matching tree ~select =
+  List.concat_map
+    (fun (nr : Addr.node_regions) ->
+      match T.find tree nr.Addr.path with
+      | Some node when select node ->
+        List.map (fun (r : Addr.region) -> (nr.Addr.path, r)) nr.Addr.regions
+      | Some _ | None -> [])
+    (Addr.regions_in_root_space tree)
+
+let vm_of_tree ~name tree =
+  let memory =
+    List.map
+      (fun (_, (r : Addr.region)) -> { Platform.base = r.Addr.base; size = r.Addr.size })
+      (node_regions_matching tree ~select:Platform.is_memory_node)
+  in
+  (match memory with
+   | [] -> error "VM %s has no memory regions" name
+   | _ -> ());
+  let entry = (List.hd memory).Platform.base in
+  let ids = cpu_ids tree in
+  let cpu_affinity = List.fold_left (fun acc id -> acc lor (1 lsl id)) 0 ids in
+  let devs =
+    node_regions_matching tree ~select:(fun node ->
+        (not (Platform.is_memory_node node))
+        && (not (is_veth_node node))
+        && not (Platform.is_cpu_node node))
+    |> List.map (fun (_, (r : Addr.region)) ->
+           { pa = r.Addr.base; va = r.Addr.base; size = r.Addr.size })
+  in
+  let interrupts =
+    match Devicetree.Interrupts.specs (T.resolve_phandles tree) with
+    | exception Devicetree.Interrupts.Error _ -> []
+    | specs ->
+      List.sort_uniq Int64.compare
+        (List.filter_map
+           (fun s ->
+             match s.Devicetree.Interrupts.cells with
+             | irq :: _ -> Some irq
+             | [] -> None)
+           specs)
+  in
+  let ipcs =
+    T.fold
+      (fun _path node acc ->
+        if is_veth_node node then begin
+          let id =
+            match T.get_prop node "id" with
+            | Some p -> (match T.prop_u32s p with v :: _ -> Int64.to_int v | [] -> 0)
+            | None -> 0
+          in
+          match T.get_prop node "reg" with
+          | Some p ->
+            (match T.prop_u32s p with
+             | [ base; size ] ->
+               { ipc_base = base; ipc_size = size; shmem_id = id } :: acc
+             | _ -> error "VM %s: veth node has malformed reg" name)
+          | None -> acc
+        end
+        else acc)
+      tree []
+    |> List.rev
+  in
+  {
+    name;
+    image_base = entry;
+    entry;
+    cpu_affinity;
+    cpu_num = List.length ids;
+    regions = memory;
+    devs;
+    ipcs;
+    interrupts;
+  }
+
+(* Default shared-memory object size for a veth channel (Listing 6). *)
+let default_shmem_size = 0x10000L
+
+let of_vm_trees named_trees =
+  let vms = List.map (fun (name, tree) -> vm_of_tree ~name tree) named_trees in
+  let shmem_sizes =
+    List.sort_uniq compare
+      (List.concat_map (fun vm -> List.map (fun i -> (i.shmem_id, default_shmem_size)) vm.ipcs) vms)
+  in
+  { vms; shmem_sizes }
+
+(* Render the struct config C file in the shape of Listing 6. *)
+let to_c t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "#include <config.h>\n\n";
+  List.iter (fun vm -> add "VM_IMAGE(%s, %s.bin);\n" vm.name vm.name) t.vms;
+  add "\nstruct config config = {\n";
+  add "    CONFIG_HEADER\n";
+  add "    .vmlist_size = %d,\n" (List.length t.vms);
+  add "    .vmlist = {\n";
+  List.iter
+    (fun vm ->
+      add "        { .image = {\n";
+      add "              .base_addr = 0x%Lx,\n" vm.image_base;
+      add "              .load_addr = VM_IMAGE_OFFSET(%s),\n" vm.name;
+      add "              .size = VM_IMAGE_SIZE(%s)\n" vm.name;
+      add "          },\n";
+      add "          .entry = 0x%Lx,\n" vm.entry;
+      add "          .cpu_affinity = 0b%s,\n"
+        (if vm.cpu_affinity = 0 then "0"
+         else
+           let rec bits n = if n = 0 then "" else bits (n lsr 1) ^ string_of_int (n land 1) in
+           bits vm.cpu_affinity);
+      add "          .platform = { .cpu_num = %d, .dev_num = %d,\n" vm.cpu_num
+        (List.length vm.devs);
+      add "              .region_num = %d,\n" (List.length vm.regions);
+      add "              .regions = (struct mem_region[]) {\n";
+      List.iter
+        (fun (r : Platform.mem_region) ->
+          add "                  { .base = 0x%Lx, .size = 0x%Lx },\n" r.Platform.base
+            r.Platform.size)
+        vm.regions;
+      add "              },\n";
+      if vm.devs <> [] then begin
+        add "              .devs = (struct dev_region[]) {\n";
+        List.iter
+          (fun d ->
+            add "                  { .pa = 0x%Lx, .va = 0x%Lx, .size = 0x%Lx },\n" d.pa d.va
+              d.size)
+          vm.devs;
+        add "              },\n"
+      end;
+      if vm.interrupts <> [] then begin
+        add "              .interrupt_num = %d,\n" (List.length vm.interrupts);
+        add "              .interrupts = (irqid_t[]) {%s},\n"
+          (String.concat ", " (List.map Int64.to_string vm.interrupts))
+      end;
+      add "          },\n";
+      if vm.ipcs <> [] then begin
+        add "          .ipc_num = %d,\n" (List.length vm.ipcs);
+        add "          .ipcs = (struct ipc[]) {\n";
+        List.iter
+          (fun i ->
+            add "              { .base = 0x%Lx, .size = 0x%Lx, .shmem_id = %d },\n" i.ipc_base
+              i.ipc_size i.shmem_id)
+          vm.ipcs;
+        add "          },\n"
+      end;
+      add "        },\n")
+    t.vms;
+  add "    },\n";
+  if t.shmem_sizes <> [] then begin
+    add "    .shmemlist_size = %d,\n" (List.length t.shmem_sizes);
+    add "    .shmemlist = (struct shmem[]) {\n";
+    List.iter (fun (id, size) -> add "        [%d] = { .size = 0x%Lx },\n" id size) t.shmem_sizes;
+    add "    },\n"
+  end;
+  add "};\n";
+  Buffer.contents buf
+
+let pp_vm ppf vm =
+  Fmt.pf ppf "vm %s: %d cpu(s) (affinity 0x%x), %d region(s), %d dev(s), %d ipc(s), %d irq(s)"
+    vm.name vm.cpu_num vm.cpu_affinity (List.length vm.regions) (List.length vm.devs)
+    (List.length vm.ipcs) (List.length vm.interrupts)

@@ -1,0 +1,47 @@
+(** Bao VM configuration: the [struct config] C file (Listing 6) generated
+    from the per-VM DTSs. *)
+
+type dev_region = {
+  pa : int64;
+  va : int64;
+  size : int64;
+}
+
+type ipc = {
+  ipc_base : int64;
+  ipc_size : int64;
+  shmem_id : int;
+}
+
+type vm = {
+  name : string;
+  image_base : int64;
+  entry : int64;
+  cpu_affinity : int; (** bitmask over CPU ids *)
+  cpu_num : int;
+  regions : Platform.mem_region list;
+  devs : dev_region list; (** pass-through MMIO devices, pa = va *)
+  ipcs : ipc list;        (** virtual Ethernet / shared-memory channels *)
+  interrupts : int64 list; (** pass-through interrupt lines, deduplicated *)
+}
+
+type t = {
+  vms : vm list;
+  shmem_sizes : (int * int64) list; (** shmem id -> size *)
+}
+
+exception Error of string
+
+(** Default shared-memory object size per veth channel (Listing 6). *)
+val default_shmem_size : int64
+
+(** Extract one VM's configuration from its DTS. *)
+val vm_of_tree : name:string -> Devicetree.Tree.t -> vm
+
+(** Build the full configuration from named VM trees. *)
+val of_vm_trees : (string * Devicetree.Tree.t) list -> t
+
+(** Render the C file in the shape of Listing 6. *)
+val to_c : t -> string
+
+val pp_vm : Format.formatter -> vm -> unit

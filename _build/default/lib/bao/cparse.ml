@@ -1,0 +1,319 @@
+(* Parser for the C struct-literal subset the generators emit: designated
+   initializers, nested braces, arrays with casts, hex/binary/decimal
+   integers, and macro invocations (kept as atoms).  It exists so the test
+   suite can *round-trip* Listing 3/Listing 6 files — parse the generated C
+   back and compare against the structures that produced it — instead of
+   merely grepping for substrings. *)
+
+type cvalue =
+  | Int of int64
+  | Atom of string (* CONFIG_HEADER, VM_IMAGE_OFFSET(vm1), string literals *)
+  | Struct of (string option * cvalue) list
+      (* field designator (".x" or "[i]") or positional *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+(* --- tokenizer ------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int64
+  | STRING of string
+  | DOT
+  | COMMA
+  | EQUALS
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | EOF
+
+let tokenize src =
+  let toks = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  let is_ident c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do
+        incr i
+      done;
+      i := !i + 2
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '#' then
+      (* preprocessor line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '"' then begin
+      let start = !i + 1 in
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        incr i
+      done;
+      push (STRING (String.sub src start (!i - start)));
+      incr i
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      incr i;
+      while !i < n && (is_ident src.[!i]) do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      let value =
+        if String.length text > 2 && text.[0] = '0' && (text.[1] = 'b' || text.[1] = 'B') then
+          (* OCaml's Int64.of_string understands 0b *)
+          Int64.of_string_opt text
+        else Int64.of_string_opt text
+      in
+      match value with
+      | Some v -> push (NUMBER v)
+      | None -> error "bad number %S" text
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else begin
+      (match c with
+       | '.' -> push DOT
+       | ',' -> push COMMA
+       | '=' -> push EQUALS
+       | '{' -> push LBRACE
+       | '}' -> push RBRACE
+       | '(' -> push LPAREN
+       | ')' -> push RPAREN
+       | '[' -> push LBRACKET
+       | ']' -> push RBRACKET
+       | ';' -> push SEMI
+       | '*' | '&' -> () (* pointers in casts: ignore *)
+       | c -> error "unexpected character %C" c);
+      incr i
+    end
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)
+
+(* --- parser ----------------------------------------------------------------- *)
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st else error "expected %s" what
+
+(* Skip a parenthesised cast like (struct mem_region[]) or (uint8_t[]). *)
+let skip_cast st =
+  if peek st = LPAREN then begin
+    let depth = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (match peek st with
+       | LPAREN -> incr depth
+       | RPAREN ->
+         decr depth;
+         if !depth = 0 then continue := false
+       | EOF -> error "unterminated cast"
+       | _ -> ());
+      advance st
+    done
+  end
+
+let rec parse_value st =
+  skip_cast st;
+  match peek st with
+  | NUMBER v ->
+    advance st;
+    Int v
+  | STRING s ->
+    advance st;
+    Atom s
+  | IDENT name -> begin
+    advance st;
+    (* Macro invocation: flatten to an atom. *)
+    if peek st = LPAREN then begin
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf name;
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (match peek st with
+         | LPAREN ->
+           incr depth;
+           Buffer.add_char buf '('
+         | RPAREN ->
+           decr depth;
+           Buffer.add_char buf ')';
+           if !depth = 0 then continue := false
+         | IDENT s -> Buffer.add_string buf s
+         | NUMBER v -> Buffer.add_string buf (Int64.to_string v)
+         | COMMA -> Buffer.add_char buf ','
+         | DOT -> Buffer.add_char buf '.'
+         | EOF -> error "unterminated macro call"
+         | _ -> ());
+        advance st
+      done;
+      Atom (Buffer.contents buf)
+    end
+    else Atom name
+  end
+  | LBRACE -> parse_struct st
+  | tok ->
+    ignore tok;
+    error "expected a value"
+
+and parse_struct st =
+  expect st LBRACE "'{'";
+  let fields = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | RBRACE ->
+      advance st;
+      continue := false
+    | COMMA -> advance st
+    | DOT -> begin
+      advance st;
+      match peek st with
+      | IDENT name ->
+        advance st;
+        expect st EQUALS "'='";
+        fields := (Some ("." ^ name), parse_value st) :: !fields
+      | _ -> error "expected field name after '.'"
+    end
+    | LBRACKET -> begin
+      advance st;
+      match peek st with
+      | NUMBER idx ->
+        advance st;
+        expect st RBRACKET "']'";
+        expect st EQUALS "'='";
+        fields := (Some (Printf.sprintf "[%Ld]" idx), parse_value st) :: !fields
+      | _ -> error "expected index after '['"
+    end
+    | EOF -> error "unterminated initializer"
+    | _ -> fields := (None, parse_value st) :: !fields
+  done;
+  Struct (List.rev !fields)
+
+(* Parse "... <ident> = { ... };" — the single top-level definition the
+   generators emit — returning the initializer. *)
+let parse_toplevel src =
+  let st = { toks = tokenize src; pos = 0 } in
+  (* Scan forward to the first '=' at depth 0, then parse the value. *)
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | EQUALS ->
+      advance st;
+      continue := false
+    | EOF -> error "no definition found"
+    | _ -> advance st
+  done;
+  let v = parse_value st in
+  v
+
+(* --- accessors ---------------------------------------------------------------- *)
+
+let field name = function
+  | Struct fields -> List.assoc_opt (Some name) fields
+  | Int _ | Atom _ -> None
+
+let field_exn name v =
+  match field name v with
+  | Some x -> x
+  | None -> error "missing field %s" name
+
+let as_int = function
+  | Int v -> v
+  | Atom a -> error "expected integer, got atom %s" a
+  | Struct _ -> error "expected integer, got struct"
+
+let positional = function
+  | Struct fields -> List.filter_map (fun (n, v) -> if n = None then Some v else None) fields
+  | Int _ | Atom _ -> []
+
+(* --- domain extraction ----------------------------------------------------------- *)
+
+(* Re-extract a platform description from generated Listing-3 C text. *)
+let platform_of_string src =
+  let v = parse_toplevel src in
+  let regions =
+    positional (field_exn ".regions" v)
+    |> List.map (fun r ->
+           { Platform.base = as_int (field_exn ".base" r);
+             size = as_int (field_exn ".size" r)
+           })
+  in
+  let console_base = Option.map (fun c -> as_int (field_exn ".base" c)) (field ".console" v) in
+  let arch = field_exn ".arch" v in
+  let clusters = field_exn ".clusters" arch in
+  let core_nums = List.map as_int (positional (field_exn ".core_num" clusters)) in
+  {
+    Platform.cpu_num = Int64.to_int (as_int (field_exn ".cpu_num" v));
+    core_nums = List.map Int64.to_int core_nums;
+    regions;
+    console_base;
+  }
+
+type vm_summary = {
+  entry : int64;
+  cpu_affinity : int64;
+  cpu_num : int;
+  region_count : int;
+  dev_count : int;
+  ipc_count : int;
+  interrupts : int64 list;
+}
+
+(* Re-extract the per-VM structure from generated Listing-6 C text. *)
+let config_summary_of_string src =
+  let v = parse_toplevel src in
+  let vms =
+    positional (field_exn ".vmlist" v)
+    |> List.map (fun vm ->
+           let platform = field_exn ".platform" vm in
+           {
+             entry = as_int (field_exn ".entry" vm);
+             cpu_affinity = as_int (field_exn ".cpu_affinity" vm);
+             cpu_num = Int64.to_int (as_int (field_exn ".cpu_num" platform));
+             region_count = List.length (positional (field_exn ".regions" platform));
+             dev_count =
+               (match field ".devs" platform with
+                | Some d -> List.length (positional d)
+                | None -> 0);
+             ipc_count =
+               (match field ".ipcs" vm with Some i -> List.length (positional i) | None -> 0);
+             interrupts =
+               (match field ".interrupts" platform with
+                | Some i -> List.map as_int (positional i)
+                | None -> []);
+           })
+  in
+  let shmem_count =
+    match field ".shmemlist" v with
+    | Some (Struct fields) -> List.length fields
+    | _ -> 0
+  in
+  (vms, shmem_count)

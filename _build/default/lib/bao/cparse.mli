@@ -1,0 +1,37 @@
+(** Parser for the C struct-literal subset the generators emit, so the test
+    suite can round-trip Listing 3/Listing 6 files: parse the generated C
+    back and compare it with the structures that produced it. *)
+
+type cvalue =
+  | Int of int64
+  | Atom of string (** macros, identifiers and string literals *)
+  | Struct of (string option * cvalue) list
+      (** field designator (".x"/"[i]") or positional *)
+
+exception Error of string
+
+(** Initializer of the single top-level definition in the text. *)
+val parse_toplevel : string -> cvalue
+
+val field : string -> cvalue -> cvalue option
+val field_exn : string -> cvalue -> cvalue
+val as_int : cvalue -> int64
+
+(** Positional (undesignated) elements of a struct/array initializer. *)
+val positional : cvalue -> cvalue list
+
+(** Re-extract the platform description from Listing-3 C text. *)
+val platform_of_string : string -> Platform.t
+
+type vm_summary = {
+  entry : int64;
+  cpu_affinity : int64;
+  cpu_num : int;
+  region_count : int;
+  dev_count : int;
+  ipc_count : int;
+  interrupts : int64 list;
+}
+
+(** Per-VM summaries and the shmem count from Listing-6 C text. *)
+val config_summary_of_string : string -> vm_summary list * int

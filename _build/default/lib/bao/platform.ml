@@ -1,0 +1,120 @@
+(* Bao platform description (Listing 3): the `struct platform_desc` C file
+   generated from the *platform* DTS — the union product of all VMs.
+
+   Extraction rules:
+   - cpu_num / clusters: the /cpus node; each child cluster (or the cpus
+     node itself when cpus are direct children) contributes its core count;
+   - regions: the reg banks of every device_type = "memory" node;
+   - console: the first UART-compatible node's base address. *)
+
+module T = Devicetree.Tree
+module Addr = Devicetree.Addresses
+
+type mem_region = {
+  base : int64;
+  size : int64;
+}
+
+type t = {
+  cpu_num : int;
+  core_nums : int list; (* cores per cluster *)
+  regions : mem_region list;
+  console_base : int64 option;
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let uart_compatibles = [ "ns16550a"; "ns16550"; "arm,pl011"; "snps,dw-apb-uart" ]
+
+let is_memory_node node =
+  match T.get_prop node "device_type" with
+  | Some p -> T.prop_string p = Some "memory"
+  | None -> false
+
+let is_uart_node node =
+  match T.get_prop node "compatible" with
+  | Some p -> List.exists (fun c -> List.mem c uart_compatibles) (T.prop_strings p)
+  | None -> false
+
+let is_cpu_node node =
+  match T.get_prop node "device_type" with
+  | Some p -> T.prop_string p = Some "cpu"
+  | None -> Devicetree.Ast.base_name node.T.name = "cpu"
+
+(* Memory-mapped regions of nodes satisfying [select], in root space. *)
+let regions_of tree ~select =
+  List.concat_map
+    (fun (nr : Addr.node_regions) ->
+      match T.find tree nr.Addr.path with
+      | Some node when select node ->
+        List.map (fun (r : Addr.region) -> { base = r.Addr.base; size = r.Addr.size }) nr.Addr.regions
+      | Some _ | None -> [])
+    (Addr.regions_in_root_space tree)
+
+let of_tree tree =
+  let cpus =
+    match T.find tree "/cpus" with
+    | Some c -> c
+    | None -> error "platform DTS has no /cpus node"
+  in
+  (* Clusters: children that are themselves containers of cpu nodes; when
+     cpu nodes hang directly off /cpus, that is a single cluster. *)
+  let direct_cpus = List.filter is_cpu_node cpus.T.children in
+  let cluster_nodes =
+    List.filter
+      (fun c -> (not (is_cpu_node c)) && List.exists is_cpu_node c.T.children)
+      cpus.T.children
+  in
+  let core_nums =
+    match (direct_cpus, cluster_nodes) with
+    | [], [] -> error "no cpu nodes under /cpus"
+    | [], clusters -> List.map (fun c -> List.length (List.filter is_cpu_node c.T.children)) clusters
+    | cpus, [] -> [ List.length cpus ]
+    | cpus, clusters ->
+      List.length cpus :: List.map (fun c -> List.length (List.filter is_cpu_node c.T.children)) clusters
+  in
+  let regions = regions_of tree ~select:is_memory_node in
+  if regions = [] then error "platform DTS has no memory regions";
+  let console_base =
+    match regions_of tree ~select:is_uart_node with
+    | { base; _ } :: _ -> Some base
+    | [] -> None
+  in
+  { cpu_num = List.fold_left ( + ) 0 core_nums; core_nums; regions; console_base }
+
+(* Render the platform_desc C file in the shape of Listing 3. *)
+let to_c t =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "#include <platform.h>\n\n";
+  add "struct platform_desc platform = {\n";
+  add "    .cpu_num = %d,\n" t.cpu_num;
+  add "    .region_num = %d,\n" (List.length t.regions);
+  add "    .regions = (struct mem_region[]) {\n";
+  List.iter
+    (fun r -> add "        { .base = 0x%Lx, .size = 0x%Lx },\n" r.base r.size)
+    t.regions;
+  add "    },\n";
+  (match t.console_base with
+   | Some base ->
+     add "\n";
+     add "    .console = { .base = 0x%Lx },\n" base
+   | None -> ());
+  add "\n";
+  add "    .arch = {\n";
+  add "        .clusters = {\n";
+  add "            .num = %d,\n" (List.length t.core_nums);
+  add "            .core_num = (uint8_t[]) {%s}\n"
+    (String.concat ", " (List.map string_of_int t.core_nums));
+  add "        },\n";
+  add "    }\n";
+  add "};\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Fmt.pf ppf "platform: %d cpu(s) in %d cluster(s), %d memory region(s)%a" t.cpu_num
+    (List.length t.core_nums) (List.length t.regions)
+    Fmt.(option (fun ppf b -> pf ppf ", console at 0x%Lx" b))
+    t.console_base

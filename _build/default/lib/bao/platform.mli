@@ -1,0 +1,31 @@
+(** Bao platform description: the [struct platform_desc] C file (Listing 3)
+    generated from the platform DTS (the union product of all VMs). *)
+
+type mem_region = {
+  base : int64;
+  size : int64;
+}
+
+type t = {
+  cpu_num : int;
+  core_nums : int list; (** cores per cluster *)
+  regions : mem_region list;
+  console_base : int64 option;
+}
+
+exception Error of string
+
+(** Node classifiers shared with {!Config}. *)
+val is_memory_node : Devicetree.Tree.t -> bool
+
+val is_uart_node : Devicetree.Tree.t -> bool
+val is_cpu_node : Devicetree.Tree.t -> bool
+
+(** Extract the platform description; requires a /cpus node with cpu
+    children and at least one memory region. *)
+val of_tree : Devicetree.Tree.t -> t
+
+(** Render the C file in the shape of Listing 3. *)
+val to_c : t -> string
+
+val pp : Format.formatter -> t -> unit

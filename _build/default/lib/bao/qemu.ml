@@ -1,0 +1,66 @@
+(* QEMU rendering of a checked DTS product: the "other virtualization
+   solutions such as QEMU" path of §V.  The product's devices map onto a
+   qemu-system command line (aarch64 or riscv64), and the DTB produced by
+   [Devicetree.Fdt] can be passed through -dtb. *)
+
+module T = Devicetree.Tree
+module Addr = Devicetree.Addresses
+
+type arch = Aarch64 | Rv64
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let arch_of_string = function
+  | "aarch64" -> Aarch64
+  | "rv64" | "riscv64" -> Rv64
+  | s -> error "unsupported architecture %s (use aarch64 or rv64)" s
+
+let arch_name = function Aarch64 -> "aarch64" | Rv64 -> "riscv64"
+let machine = function Aarch64 -> "virt" | Rv64 -> "virt"
+let cpu_model = function Aarch64 -> "cortex-a53" | Rv64 -> "rv64"
+
+(* Total memory in MiB across the tree's memory nodes. *)
+let memory_mib tree =
+  let bytes =
+    List.fold_left
+      (fun acc (nr : Addr.node_regions) ->
+        match T.find tree nr.Addr.path with
+        | Some node when Platform.is_memory_node node ->
+          List.fold_left (fun acc (r : Addr.region) -> Int64.add acc r.Addr.size) acc nr.Addr.regions
+        | Some _ | None -> acc)
+      0L
+      (Addr.regions_in_root_space tree)
+  in
+  Int64.to_int (Int64.div bytes 0x100000L)
+
+let smp tree =
+  match T.find tree "/cpus" with
+  | None -> 1
+  | Some cpus -> max 1 (List.length (List.filter Platform.is_cpu_node cpus.T.children))
+
+(* Command-line arguments for booting the product under QEMU. *)
+let command ?(dtb_path = "product.dtb") ~arch tree =
+  let mem = memory_mib tree in
+  if mem = 0 then error "product has no memory; cannot boot";
+  let base =
+    [ Printf.sprintf "qemu-system-%s" (arch_name arch);
+      "-machine"; machine arch;
+      "-cpu"; cpu_model arch;
+      "-smp"; string_of_int (smp tree);
+      "-m"; string_of_int mem;
+      "-nographic";
+      "-dtb"; dtb_path
+    ]
+  in
+  let uarts =
+    T.fold
+      (fun _path node acc -> if Platform.is_uart_node node then acc + 1 else acc)
+      tree 0
+  in
+  let serials = List.concat (List.init uarts (fun _ -> [ "-serial"; "mon:stdio" ])) in
+  base @ serials
+
+let command_line ?dtb_path ~arch tree =
+  String.concat " " (command ?dtb_path ~arch tree)

@@ -1,0 +1,22 @@
+(** QEMU rendering of a checked DTS product — the "other virtualization
+    solutions such as QEMU" path of §V, for aarch64 and RV64. *)
+
+type arch = Aarch64 | Rv64
+
+exception Error of string
+
+val arch_of_string : string -> arch
+val arch_name : arch -> string
+
+(** Total memory (MiB) across the tree's memory nodes. *)
+val memory_mib : Devicetree.Tree.t -> int
+
+(** CPU count under /cpus (at least 1). *)
+val smp : Devicetree.Tree.t -> int
+
+(** Command-line argv for booting the product (the DTB from
+    [Devicetree.Fdt.encode] goes to [dtb_path]).  Raises {!Error} when the
+    product has no memory. *)
+val command : ?dtb_path:string -> arch:arch -> Devicetree.Tree.t -> string list
+
+val command_line : ?dtb_path:string -> arch:arch -> Devicetree.Tree.t -> string

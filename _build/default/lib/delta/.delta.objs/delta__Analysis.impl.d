@@ -1,0 +1,1 @@
+lib/delta/analysis.ml: Devicetree Featuremodel Fmt Lang List Printf Sat String

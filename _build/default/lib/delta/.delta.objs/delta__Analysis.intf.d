@@ -1,0 +1,1 @@
+lib/delta/analysis.mli: Featuremodel Format Lang

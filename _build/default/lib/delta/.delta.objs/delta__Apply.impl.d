@@ -1,0 +1,1 @@
+lib/delta/apply.ml: Devicetree Featuremodel Fmt Lang List String

@@ -1,0 +1,1 @@
+lib/delta/apply.mli: Devicetree Format Lang

@@ -1,0 +1,1 @@
+lib/delta/lang.ml: Devicetree Featuremodel Fmt String

@@ -1,0 +1,1 @@
+lib/delta/lang.mli: Devicetree Featuremodel Format

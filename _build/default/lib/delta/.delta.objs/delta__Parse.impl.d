@@ -1,0 +1,1 @@
+lib/delta/parse.ml: Array Devicetree Featuremodel Fmt Lang List String

@@ -1,0 +1,1 @@
+lib/delta/parse.mli: Devicetree Lang

@@ -1,0 +1,157 @@
+(* Static analysis of a delta set against a feature model — product-line
+   level well-formedness beyond single-product application:
+
+   - *dead* deltas: the activation condition is satisfiable in no valid
+     product (the delta can never fire);
+   - *always-on* deltas: active in every product (should arguably be part
+     of the core module);
+   - *conflicts*: two deltas that some product activates together, whose
+     application order is not fixed by [after], and that write the same
+     property of the same target (or one removes a node the other writes).
+     The product's DTS then depends on the linearizer's tie-breaking — the
+     classic DOP conflict the [after] clauses exist to prevent.
+
+   All "is there a product such that ..." questions are SAT queries on the
+   feature model. *)
+
+type conflict = {
+  delta_a : string;
+  delta_b : string;
+  target : string; (* node the two deltas both write *)
+  detail : string; (* which property/child, or removal *)
+}
+
+type result = {
+  dead : string list;
+  always_on : string list;
+  conflicts : conflict list;
+}
+
+(* Feature-model satisfiability of [cond] (plus the model itself). *)
+let activatable env cond =
+  match cond with
+  | None -> true
+  | Some cond ->
+    let names = Featuremodel.Bexpr.vars cond in
+    ignore names;
+    (* Encode: FM ∧ cond.  Reuse the Analysis solver via an assumption on a
+       fresh guarded definition is not exposed; simplest is a fresh encode
+       per query on small models, but we can piggyback on
+       is_consistent_selection only for conjunctions of literals.  General
+       conditions get a dedicated solver. *)
+    let model = env in
+    let solver = Sat.Solver.create () in
+    let vars =
+      List.map
+        (fun name -> (name, Sat.Solver.new_var solver))
+        (Featuremodel.Model.feature_names model)
+    in
+    let lookup n = List.assoc n vars in
+    ignore
+      (Sat.Formula.assert_in solver (Featuremodel.Analysis.formula model lookup) : bool);
+    ignore
+      (Sat.Formula.assert_in solver (Featuremodel.Bexpr.to_formula lookup cond) : bool);
+    Sat.Solver.solve solver = Sat.Solver.Sat
+
+let co_activatable model a b =
+  let conj =
+    match (a.Lang.condition, b.Lang.condition) with
+    | None, None -> None
+    | Some c, None | None, Some c -> Some c
+    | Some ca, Some cb -> Some (Featuremodel.Bexpr.And (ca, cb))
+  in
+  activatable model conj
+
+let never_inactive model (d : Lang.t) =
+  match d.Lang.condition with
+  | None -> true
+  | Some cond -> not (activatable model (Some (Featuremodel.Bexpr.Not cond)))
+
+(* The (target, item) pairs a delta writes; items are property names, child
+   node names, or `Remove for whole-node removal. *)
+let writes (d : Lang.t) =
+  List.concat_map
+    (fun op ->
+      match op with
+      | Lang.Removes { target } -> [ (target, `Remove) ]
+      | Lang.Adds { target; body } | Lang.Modifies { target; body } ->
+        List.filter_map
+          (function
+            | Devicetree.Ast.Prop { prop_name; _ } -> Some (target, `Prop prop_name)
+            | Devicetree.Ast.Child c -> Some (target, `Child c.Devicetree.Ast.node_name)
+            | Devicetree.Ast.Delete_node (n, _) -> Some (target, `Child n)
+            | Devicetree.Ast.Delete_prop (p, _) -> Some (target, `Prop p))
+          body.Devicetree.Ast.node_entries)
+    d.Lang.ops
+
+(* Is the order of a and b fixed by the transitive [after] relation? *)
+let ordered deltas a_name b_name =
+  let after_of n =
+    match List.find_opt (fun d -> d.Lang.name = n) deltas with
+    | Some d -> d.Lang.after
+    | None -> []
+  in
+  let rec reaches src dst visited =
+    if List.mem src visited then false
+    else
+      let preds = after_of src in
+      List.mem dst preds || List.exists (fun p -> reaches p dst (src :: visited)) preds
+  in
+  reaches a_name b_name [] || reaches b_name a_name []
+
+let item_conflicts wa wb =
+  List.concat_map
+    (fun (ta, ia) ->
+      List.filter_map
+        (fun (tb, ib) ->
+          if ta <> tb then None
+          else
+            match (ia, ib) with
+            | `Prop p, `Prop q when p = q -> Some (ta, Printf.sprintf "property %s" p)
+            | `Child c, `Child c' when c = c' -> Some (ta, Printf.sprintf "child node %s" c)
+            | `Remove, `Remove -> Some (ta, "node removal")
+            | `Remove, (`Prop _ | `Child _) | (`Prop _ | `Child _), `Remove ->
+              Some (ta, "removal vs. modification")
+            | _ -> None)
+        wb)
+    wa
+
+let rec pairs = function [] -> [] | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let analyze ~model deltas =
+  let dead =
+    List.filter_map
+      (fun d -> if activatable model d.Lang.condition then None else Some d.Lang.name)
+      deltas
+  in
+  let always_on =
+    List.filter_map (fun d -> if never_inactive model d then Some d.Lang.name else None) deltas
+  in
+  let conflicts =
+    List.concat_map
+      (fun (a, b) ->
+        if ordered deltas a.Lang.name b.Lang.name then []
+        else if not (co_activatable model a b) then []
+        else
+          List.map
+            (fun (target, detail) ->
+              { delta_a = a.Lang.name; delta_b = b.Lang.name; target; detail })
+            (item_conflicts (writes a) (writes b)))
+      (pairs deltas)
+  in
+  { dead; always_on; conflicts }
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "deltas %s and %s both write %s of %s without an 'after' order" c.delta_a
+    c.delta_b c.detail c.target
+
+let pp ppf r =
+  (match r.dead with
+   | [] -> Fmt.pf ppf "no dead deltas@."
+   | ds -> Fmt.pf ppf "dead deltas: %s@." (String.concat ", " ds));
+  (match r.always_on with
+   | [] -> ()
+   | ds -> Fmt.pf ppf "always-on deltas (core-module candidates): %s@." (String.concat ", " ds));
+  match r.conflicts with
+  | [] -> Fmt.pf ppf "no unordered write conflicts@."
+  | cs -> List.iter (fun c -> Fmt.pf ppf "conflict: %a@." pp_conflict c) cs

@@ -1,0 +1,23 @@
+(** Static analysis of a delta set against its feature model: dead deltas
+    (never activatable in a valid product), always-on deltas (core-module
+    candidates), and DOP write conflicts — pairs of deltas some product
+    activates together, unordered by [after], writing the same property or
+    child of the same target, so the product depends on linearizer
+    tie-breaking. *)
+
+type conflict = {
+  delta_a : string;
+  delta_b : string;
+  target : string;
+  detail : string;
+}
+
+type result = {
+  dead : string list;
+  always_on : string list;
+  conflicts : conflict list;
+}
+
+val analyze : model:Featuremodel.Model.t -> Lang.t list -> result
+val pp_conflict : Format.formatter -> conflict -> unit
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,155 @@
+(* Application of delta modules to a core DTS (DOP semantics, §III-B):
+
+   1. activate deltas whose [when] condition holds under the feature
+      selection;
+   2. linearise the active deltas along the strict partial order induced by
+      [after] (stable: declaration order breaks ties); a cycle is an error;
+   3. apply each delta's operations in order; any failure is reported with
+      the *name of the offending delta*, the trace-back property the paper
+      derives from encoding delta dependencies as constraints. *)
+
+module T = Devicetree.Tree
+
+type error = {
+  delta : string option; (* None = ordering-level error *)
+  message : string;
+  loc : Devicetree.Loc.t;
+}
+
+exception Error of error
+
+let fail ?delta ~loc fmt =
+  Fmt.kstr (fun message -> raise (Error { delta; message; loc })) fmt
+
+let pp_error ppf e =
+  match e.delta with
+  | Some d -> Fmt.pf ppf "delta %s: %s (%a)" d e.message Devicetree.Loc.pp e.loc
+  | None -> Fmt.pf ppf "%s (%a)" e.message Devicetree.Loc.pp e.loc
+
+(* --- activation ----------------------------------------------------------------- *)
+
+let is_active ~selected (d : Lang.t) =
+  match d.condition with
+  | None -> true
+  | Some cond -> Featuremodel.Bexpr.eval (fun f -> List.mem f selected) cond
+
+let active_deltas ~selected deltas = List.filter (is_active ~selected) deltas
+
+(* --- linearisation ---------------------------------------------------------------- *)
+
+(* Topological sort by Kahn's algorithm over the [after] edges ([after]
+   edges to inactive deltas impose no order).  Where the partial order
+   leaves a choice, *structural* deltas (modifies/removes only) are applied
+   before *additive* deltas, with declaration order as the final
+   tie-breaker.  This deterministic rule reproduces the application orders
+   of §III-B (d3 < d4 < d_add): modifications that establish nodes and
+   address semantics land before the additions that rely on them. *)
+let linearize (deltas : Lang.t list) =
+  let names = List.map (fun d -> d.Lang.name) deltas in
+  let preds d = List.filter (fun a -> List.mem a names) d.Lang.after in
+  let additive d =
+    List.exists (function Lang.Adds _ -> true | Lang.Modifies _ | Lang.Removes _ -> false) d.Lang.ops
+  in
+  let rec go remaining done_names acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let ready, blocked =
+        List.partition
+          (fun d -> List.for_all (fun p -> List.mem p done_names) (preds d))
+          remaining
+      in
+      (match ready with
+       | [] ->
+         let cycle = String.concat ", " (List.map (fun d -> d.Lang.name) blocked) in
+         fail ~loc:(List.hd blocked).Lang.loc "cyclic 'after' dependencies among: %s" cycle
+       | _ ->
+         let first =
+           match List.filter (fun d -> not (additive d)) ready with
+           | d :: _ -> d
+           | [] -> List.hd ready
+         in
+         go
+           (List.filter (fun d -> d.Lang.name <> first.Lang.name) remaining)
+           (first.Lang.name :: done_names)
+           (first :: acc))
+  in
+  go deltas [] []
+
+(* The application order for a given selection, by name ("d3 < d4 < d2"). *)
+let order ~selected deltas =
+  List.map (fun d -> d.Lang.name) (linearize (active_deltas ~selected deltas))
+
+(* --- target resolution --------------------------------------------------------------- *)
+
+(* A target is "/" (the root), an absolute path, or a node name that must
+   occur exactly once in the tree. *)
+let resolve_target ~delta ~loc tree target =
+  if String.equal target "/" then "/"
+  else if String.length target > 0 && target.[0] = '/' then begin
+    match T.find tree target with
+    | Some _ -> target
+    | None -> fail ~delta ~loc "target node %s not found" target
+  end
+  else begin
+    let matches =
+      T.fold
+        (fun path node acc -> if String.equal node.T.name target then path :: acc else acc)
+        tree []
+    in
+    match matches with
+    | [ path ] -> path
+    | [] -> fail ~delta ~loc "target node %s not found" target
+    | _ :: _ :: _ -> fail ~delta ~loc "target node %s is ambiguous (%d matches)" target (List.length matches)
+  end
+
+(* --- operations ------------------------------------------------------------------------ *)
+
+let apply_adds ~delta ~loc tree path (body : Devicetree.Ast.node) =
+  let node = T.find_exn tree path in
+  (* "adds" must introduce only new content. *)
+  List.iter
+    (function
+      | Devicetree.Ast.Prop { prop_name; prop_loc; _ } ->
+        if T.has_prop node prop_name then
+          fail ~delta ~loc:prop_loc "adds: property %s already exists in %s" prop_name path
+      | Devicetree.Ast.Child child ->
+        if List.exists (fun c -> String.equal c.T.name child.Devicetree.Ast.node_name) node.T.children
+        then
+          fail ~delta ~loc:child.Devicetree.Ast.node_loc "adds: node %s already exists in %s"
+            child.Devicetree.Ast.node_name path
+      | Devicetree.Ast.Delete_node (_, dloc) | Devicetree.Ast.Delete_prop (_, dloc) ->
+        fail ~delta ~loc:dloc "adds: delete directives are not allowed; use 'removes'")
+    body.Devicetree.Ast.node_entries;
+  ignore loc;
+  T.merge_at tree ~path body
+
+let apply_modifies ~delta ~loc tree path (body : Devicetree.Ast.node) =
+  ignore delta;
+  ignore loc;
+  T.merge_at tree ~path body
+
+let apply_removes ~delta ~loc tree path =
+  if String.equal path "/" then fail ~delta ~loc "removes: cannot remove the root node";
+  T.remove_node tree ~path
+
+let apply_operation ~delta ~loc tree op =
+  let target = Lang.operation_target op in
+  let path = resolve_target ~delta ~loc tree target in
+  match op with
+  | Lang.Adds { body; _ } -> apply_adds ~delta ~loc tree path body
+  | Lang.Modifies { body; _ } -> apply_modifies ~delta ~loc tree path body
+  | Lang.Removes _ -> apply_removes ~delta ~loc tree path
+
+let apply_delta tree (d : Lang.t) =
+  List.fold_left
+    (fun tree op ->
+      try apply_operation ~delta:d.Lang.name ~loc:d.Lang.loc tree op with
+      | T.Error (msg, loc) -> fail ~delta:d.Lang.name ~loc "%s" msg)
+    tree d.Lang.ops
+
+(* Generate the product for a feature selection: activate, order, apply. *)
+let generate ~core ~deltas ~selected =
+  let active = active_deltas ~selected deltas in
+  let ordered = linearize active in
+  List.fold_left apply_delta core ordered

@@ -1,0 +1,37 @@
+(** Application of delta modules to a core DTS (DOP semantics, §III-B):
+    activation by feature selection, linearisation of the [after] partial
+    order, application of operations, and error trace-back to the offending
+    delta. *)
+
+type error = {
+  delta : string option; (** [None] = ordering-level error *)
+  message : string;
+  loc : Devicetree.Loc.t;
+}
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Is a delta activated by the selected feature set? *)
+val is_active : selected:string list -> Lang.t -> bool
+
+val active_deltas : selected:string list -> Lang.t list -> Lang.t list
+
+(** Linearise deltas along [after] (edges to absent deltas are ignored).
+    Where the partial order leaves a choice, structural deltas
+    (modifies/removes only) apply before additive ones, then declaration
+    order — the deterministic rule that reproduces §III-B's sequences.
+    Raises {!Error} on cycles. *)
+val linearize : Lang.t list -> Lang.t list
+
+(** Application order (delta names) for a selection, e.g.
+    ["d3"; "d4"; "d1"]. *)
+val order : selected:string list -> Lang.t list -> string list
+
+(** Apply one delta; raises {!Error} naming the delta on any failure. *)
+val apply_delta : Devicetree.Tree.t -> Lang.t -> Devicetree.Tree.t
+
+(** Generate the product for a feature selection: activate, order, apply. *)
+val generate :
+  core:Devicetree.Tree.t -> deltas:Lang.t list -> selected:string list -> Devicetree.Tree.t

@@ -1,0 +1,48 @@
+(* The delta-module language for DTS product lines (Listing 4):
+
+     delta d1 after d3 when veth0 {
+         adds binding vEthernet {
+             veth0@80000000 {
+                 compatible = "veth";
+                 reg = <0x80000000 0x10000000>;
+                 id = <0>;
+             };
+         };
+     }
+
+   A delta is activated by the [when] formula over feature names; [after]
+   induces a strict partial order among *active* deltas that the applier
+   linearises.  Operation targets are node names (resolved uniquely in the
+   tree) or absolute paths. *)
+
+type operation =
+  | Adds of { target : string; body : Devicetree.Ast.node }
+      (** add the body's properties and child nodes to [target]; adding
+          something that already exists is an error *)
+  | Modifies of { target : string; body : Devicetree.Ast.node }
+      (** merge the body into [target] with dtc overlay semantics *)
+  | Removes of { target : string }  (** delete the [target] node *)
+
+type t = {
+  name : string;
+  after : string list;
+  condition : Featuremodel.Bexpr.t option; (* [when] clause; None = always active *)
+  ops : operation list;
+  loc : Devicetree.Loc.t;
+}
+
+let operation_target = function
+  | Adds { target; _ } | Modifies { target; _ } | Removes { target } -> target
+
+let pp_operation ppf = function
+  | Adds { target; _ } -> Fmt.pf ppf "adds binding %s" target
+  | Modifies { target; _ } -> Fmt.pf ppf "modifies %s" target
+  | Removes { target } -> Fmt.pf ppf "removes %s" target
+
+let pp ppf d =
+  Fmt.pf ppf "delta %s%s%a { %a }" d.name
+    (match d.after with [] -> "" | a -> " after " ^ String.concat ", " a)
+    Fmt.(option (fun ppf c -> pf ppf " when %a" Featuremodel.Bexpr.pp c))
+    d.condition
+    Fmt.(list ~sep:(any "; ") pp_operation)
+    d.ops

@@ -1,0 +1,23 @@
+(** The delta-module language for DTS product lines (Listing 4 of the
+    paper): named deltas with [after] ordering hints and [when] activation
+    conditions, whose operations add, modify or remove DTS fragments. *)
+
+type operation =
+  | Adds of { target : string; body : Devicetree.Ast.node }
+      (** add the body's properties/children to [target]; adding something
+          that already exists is an error *)
+  | Modifies of { target : string; body : Devicetree.Ast.node }
+      (** merge the body into [target] (dtc overlay semantics) *)
+  | Removes of { target : string }  (** delete the target node *)
+
+type t = {
+  name : string;
+  after : string list;
+  condition : Featuremodel.Bexpr.t option; (** [when]; [None] = always active *)
+  ops : operation list;
+  loc : Devicetree.Loc.t;
+}
+
+val operation_target : operation -> string
+val pp_operation : Format.formatter -> operation -> unit
+val pp : Format.formatter -> t -> unit

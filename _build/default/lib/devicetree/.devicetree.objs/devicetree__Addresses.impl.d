@@ -1,0 +1,1 @@
+lib/devicetree/addresses.ml: Fmt Int64 List Loc String Tree

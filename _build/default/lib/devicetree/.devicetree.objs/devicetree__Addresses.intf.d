@@ -1,0 +1,1 @@
+lib/devicetree/addresses.mli: Format Loc Tree

@@ -1,0 +1,1 @@
+lib/devicetree/ast.ml: List Loc String

@@ -1,0 +1,1 @@
+lib/devicetree/ast.mli: Loc

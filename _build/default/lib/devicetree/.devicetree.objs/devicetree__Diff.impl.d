@@ -1,0 +1,1 @@
+lib/devicetree/diff.ml: Fdt Fmt List String Tree

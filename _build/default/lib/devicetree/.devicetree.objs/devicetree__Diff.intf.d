@@ -1,0 +1,1 @@
+lib/devicetree/diff.mli: Format Tree

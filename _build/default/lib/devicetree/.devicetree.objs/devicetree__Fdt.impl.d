@@ -1,0 +1,1 @@
+lib/devicetree/fdt.ml: Ast Buffer Char Fmt Hashtbl Int32 Int64 List Loc String Tree

@@ -1,0 +1,1 @@
+lib/devicetree/fdt.mli: Tree

@@ -1,0 +1,1 @@
+lib/devicetree/interrupts.mli: Format Loc Tree

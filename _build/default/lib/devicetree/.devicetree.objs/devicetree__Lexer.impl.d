@@ -1,0 +1,1 @@
+lib/devicetree/lexer.ml: Array Buffer Char Fmt Int64 List Loc Option String

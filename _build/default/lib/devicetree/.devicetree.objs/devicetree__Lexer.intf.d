@@ -1,0 +1,1 @@
+lib/devicetree/lexer.mli: Format Loc

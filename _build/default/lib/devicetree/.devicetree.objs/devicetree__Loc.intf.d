@@ -1,0 +1,1 @@
+lib/devicetree/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/devicetree/overlay.ml: Ast Fmt List Loc String Tree

@@ -1,0 +1,1 @@
+lib/devicetree/overlay.mli: Loc Tree

@@ -1,0 +1,1 @@
+lib/devicetree/parser.ml: Array Ast Fmt Int64 Lexer List Loc

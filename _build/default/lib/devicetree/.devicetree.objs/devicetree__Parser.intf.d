@@ -1,0 +1,1 @@
+lib/devicetree/parser.mli: Ast Lexer Loc

@@ -1,0 +1,1 @@
+lib/devicetree/printer.ml: Ast Buffer Char Fmt Int64 List Printf String Tree

@@ -1,0 +1,1 @@
+lib/devicetree/printer.mli: Format Tree

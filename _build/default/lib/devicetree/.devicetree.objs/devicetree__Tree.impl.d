@@ -1,0 +1,1 @@
+lib/devicetree/tree.ml: Ast Char Fmt Int64 List Loc Parser String

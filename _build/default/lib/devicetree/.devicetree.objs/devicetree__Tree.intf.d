@@ -1,0 +1,1 @@
+lib/devicetree/tree.mli: Ast Loc

@@ -1,0 +1,188 @@
+(* Interpretation of [reg] and [ranges] under #address-cells/#size-cells
+   context — the "dynamic semantics" of Section II-A that motivates the
+   semantic checker: the same property text means different things depending
+   on the values of these properties in the parent node. *)
+
+type region = {
+  base : int64;
+  size : int64;
+}
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+(* Defaults mandated by the DeviceTree specification for the root node. *)
+let default_address_cells = 2
+let default_size_cells = 1
+
+let cells_prop node name ~default =
+  match Tree.get_prop node name with
+  | None -> default
+  | Some p ->
+    (match Tree.prop_u32s p with
+     | [ v ] ->
+       let n = Int64.to_int v in
+       if n < 0 || n > 4 then error p.Tree.p_loc "%s value %d out of range" name n;
+       n
+     | _ -> error p.Tree.p_loc "%s must be a single cell" name)
+
+let address_cells node = cells_prop node "#address-cells" ~default:default_address_cells
+let size_cells node = cells_prop node "#size-cells" ~default:default_size_cells
+
+(* Combine [n] 32-bit cells (most significant first) into one int64. *)
+let combine_cells ~loc ~what n cells =
+  let rec take acc k cells =
+    if k = 0 then (acc, cells)
+    else
+      match cells with
+      | [] -> error loc "%s: ran out of cells" what
+      | c :: rest ->
+        if k > 2 && Int64.compare c 0L <> 0 then
+          error loc "%s: value does not fit in 64 bits" what;
+        let acc =
+          if k > 2 then acc else Int64.logor (Int64.shift_left acc 32) (Int64.logand c 0xFFFFFFFFL)
+        in
+        take acc (k - 1) rest
+  in
+  take 0L n cells
+
+(* Decode a [reg] property given the parent's cell counts. *)
+let decode_reg ~address_cells ~size_cells prop =
+  let cells = Tree.prop_u32s prop in
+  let stride = address_cells + size_cells in
+  let loc = prop.Tree.p_loc in
+  if stride = 0 then []
+  else begin
+    if List.length cells mod stride <> 0 then
+      error loc "reg has %d cells, not a multiple of #address-cells + #size-cells = %d"
+        (List.length cells) stride;
+    let rec go cells acc =
+      match cells with
+      | [] -> List.rev acc
+      | _ ->
+        let base, cells = combine_cells ~loc ~what:"reg address" address_cells cells in
+        let size, cells = combine_cells ~loc ~what:"reg size" size_cells cells in
+        go cells ({ base; size } :: acc)
+    in
+    go cells []
+  end
+
+(* One entry of a [ranges] property: child-bus address, parent-bus address,
+   length. *)
+type range_entry = {
+  child_base : int64;
+  parent_base : int64;
+  length : int64;
+}
+
+let decode_ranges ~child_address_cells ~parent_address_cells ~child_size_cells prop =
+  let cells = Tree.prop_u32s prop in
+  let loc = prop.Tree.p_loc in
+  let stride = child_address_cells + parent_address_cells + child_size_cells in
+  if cells = [] then `Identity
+  else begin
+    if stride = 0 || List.length cells mod stride <> 0 then
+      error loc "ranges has %d cells, not a multiple of %d" (List.length cells) stride;
+    let rec go cells acc =
+      match cells with
+      | [] -> `Map (List.rev acc)
+      | _ ->
+        let child_base, cells =
+          combine_cells ~loc ~what:"ranges child address" child_address_cells cells
+        in
+        let parent_base, cells =
+          combine_cells ~loc ~what:"ranges parent address" parent_address_cells cells
+        in
+        let length, cells = combine_cells ~loc ~what:"ranges length" child_size_cells cells in
+        go cells ({ child_base; parent_base; length } :: acc)
+    in
+    go cells []
+  end
+
+(* Translate a child-bus address to the parent bus through a ranges map. *)
+let translate_address ranges addr =
+  match ranges with
+  | `Identity -> Some addr
+  | `Map entries ->
+    List.find_map
+      (fun { child_base; parent_base; length } ->
+        let off = Int64.sub addr child_base in
+        if Int64.unsigned_compare addr child_base >= 0
+           && Int64.unsigned_compare off length < 0
+        then Some (Int64.add parent_base off)
+        else None)
+      entries
+
+(* All memory-mapped regions of the tree, translated into the root address
+   space.  Returns (path, region list, source location) per node with [reg].
+   Nodes behind a non-translatable bus (no usable ranges entry) keep their
+   local addresses and are flagged [translated = false]. *)
+type node_regions = {
+  path : string;
+  regions : region list;
+  translated : bool;
+  reg_loc : Loc.t;
+}
+
+let regions_in_root_space tree =
+  let rec go node path ~parent_ac ~parent_sc ~(to_root : int64 -> int64 option)
+      ~translatable acc =
+    let acc =
+      match Tree.get_prop node "reg" with
+      | None -> acc
+      | Some prop when String.equal path "/" ->
+        ignore prop;
+        acc
+      | Some prop ->
+        let regions = decode_reg ~address_cells:parent_ac ~size_cells:parent_sc prop in
+        let translated_regions, all_ok =
+          List.fold_left
+            (fun (rs, ok) r ->
+              match to_root r.base with
+              | Some base when translatable -> (rs @ [ { r with base } ], ok)
+              | _ -> (rs @ [ r ], false))
+            ([], translatable) regions
+        in
+        acc
+        @ [ { path; regions = translated_regions; translated = all_ok; reg_loc = prop.Tree.p_loc } ]
+    in
+    let ac = address_cells node and sc = size_cells node in
+    let child_ranges =
+      match Tree.get_prop node "ranges" with
+      | None -> if String.equal path "/" then Some `Identity else None
+      | Some prop ->
+        Some
+          (decode_ranges ~child_address_cells:ac ~parent_address_cells:parent_ac
+             ~child_size_cells:sc prop)
+    in
+    let child_to_root, child_translatable =
+      match child_ranges with
+      | None ->
+        (* No ranges: child addresses are not mapped onto the parent bus. *)
+        ((fun a -> Some a), false)
+      | Some ranges ->
+        ( (fun a ->
+            match translate_address ranges a with
+            | None -> None
+            | Some parent_addr -> to_root parent_addr),
+          translatable )
+    in
+    List.fold_left
+      (fun acc child ->
+        go child (Tree.join_path path child.Tree.name) ~parent_ac:ac ~parent_sc:sc
+          ~to_root:child_to_root ~translatable:child_translatable acc)
+      acc node.Tree.children
+  in
+  go tree "/" ~parent_ac:default_address_cells ~parent_sc:default_size_cells
+    ~to_root:(fun a -> Some a)
+    ~translatable:true []
+
+(* End address of a region with overflow check. *)
+let region_end ~loc { base; size } =
+  let e = Int64.add base size in
+  if Int64.unsigned_compare e base < 0 then
+    error loc "region 0x%Lx + 0x%Lx overflows the 64-bit address space" base size;
+  e
+
+let pp_region ppf { base; size } = Fmt.pf ppf "[0x%Lx, 0x%Lx)" base (Int64.add base size)

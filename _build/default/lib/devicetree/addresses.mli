@@ -1,0 +1,65 @@
+(** Interpretation of [reg] and [ranges] under #address-cells/#size-cells
+    context — the "dynamic semantics" of property values that motivates the
+    semantic checker (§II-A of the paper). *)
+
+type region = {
+  base : int64;
+  size : int64;
+}
+
+exception Error of string * Loc.t
+
+(** 2, per the DeviceTree specification. *)
+val default_address_cells : int
+
+(** 1, per the DeviceTree specification. *)
+val default_size_cells : int
+
+(** #address-cells of a node (the value its {e children}'s reg addresses are
+    parsed with), or the spec default. *)
+val address_cells : Tree.t -> int
+
+val size_cells : Tree.t -> int
+
+(** Decode a [reg] property into (base, size) regions given the parent's
+    cell counts.  Raises {!Error} when the cell count is not a multiple of
+    the stride or a value exceeds 64 bits. *)
+val decode_reg : address_cells:int -> size_cells:int -> Tree.prop -> region list
+
+type range_entry = {
+  child_base : int64;
+  parent_base : int64;
+  length : int64;
+}
+
+(** Decode a [ranges] property; an empty value means identity mapping. *)
+val decode_ranges :
+  child_address_cells:int ->
+  parent_address_cells:int ->
+  child_size_cells:int ->
+  Tree.prop ->
+  [ `Identity | `Map of range_entry list ]
+
+(** Translate a child-bus address to the parent bus; [None] if no range
+    entry covers it. *)
+val translate_address : [ `Identity | `Map of range_entry list ] -> int64 -> int64 option
+
+(** The regions of one node, translated towards the root address space.
+    [translated = false] marks nodes behind a bus without usable [ranges]
+    (their reg values are bus-private — e.g. cpu ids — and must not be
+    compared against root-space addresses). *)
+type node_regions = {
+  path : string;
+  regions : region list;
+  translated : bool;
+  reg_loc : Loc.t;
+}
+
+(** All nodes with a [reg], walking the tree with the correct cell context
+    at every level and applying [ranges] translations. *)
+val regions_in_root_space : Tree.t -> node_regions list
+
+(** End address (base + size) with an overflow check. *)
+val region_end : loc:Loc.t -> region -> int64
+
+val pp_region : Format.formatter -> region -> unit

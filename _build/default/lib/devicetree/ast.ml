@@ -1,0 +1,65 @@
+(* Parse-level abstract syntax of DeviceTree source (DTS).
+
+   This mirrors the concrete syntax closely: a file is a sequence of
+   directives and root-node definitions; node bodies interleave properties,
+   children and delete directives.  Semantic concerns (merging repeated
+   nodes, resolving label references, computing phandles) live in [Tree]. *)
+
+(* One 32/16/8/64-bit cell inside < ... >. *)
+type cell =
+  | Cell_int of int64
+  | Cell_ref of string (* &label, becomes the labelled node's phandle *)
+
+(* One "piece" of a property value; a value is a comma-separated sequence. *)
+type piece =
+  | Cells of { bits : int; cells : cell list } (* < ... >, default 32-bit *)
+  | Str of string                              (* "..." *)
+  | Bytes of string                            (* [ aa bb ... ] *)
+  | Ref_path of string                         (* &label at value position *)
+
+type prop = {
+  prop_name : string;
+  prop_value : piece list; (* empty list = boolean/empty property *)
+  prop_loc : Loc.t;
+}
+
+type node = {
+  node_labels : string list;
+  node_name : string; (* includes the unit address, e.g. "memory@40000000" *)
+  node_entries : entry list;
+  node_loc : Loc.t;
+}
+
+and entry =
+  | Prop of prop
+  | Child of node
+  | Delete_node of string * Loc.t
+  | Delete_prop of string * Loc.t
+
+type toplevel =
+  | Version_tag                  (* /dts-v1/; *)
+  | Include of string * Loc.t    (* /include/ "file" *)
+  | Memreserve of int64 * int64  (* /memreserve/ addr size; *)
+  | Root of node                 (* / { ... }; *)
+  | Ref_node of string * node    (* &label { ... }; overlays a labelled node *)
+  | Delete_node_top of string * Loc.t
+
+type file = toplevel list
+
+let rec iter_nodes f node =
+  f node;
+  List.iter
+    (function Child c -> iter_nodes f c | Prop _ | Delete_node _ | Delete_prop _ -> ())
+    node.node_entries
+
+(* Name of a node without its unit address. *)
+let base_name name =
+  match String.index_opt name '@' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
+(* Unit address of a node name, if any. *)
+let unit_address name =
+  match String.index_opt name '@' with
+  | None -> None
+  | Some i -> Some (String.sub name (i + 1) (String.length name - i - 1))

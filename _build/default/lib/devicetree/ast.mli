@@ -1,0 +1,55 @@
+(** Parse-level abstract syntax of DeviceTree source (DTS).
+
+    Mirrors the concrete syntax; semantic concerns (merging repeated nodes,
+    resolving label references, phandles) live in {!Tree}. *)
+
+(** One integer cell inside [< ... >]. *)
+type cell =
+  | Cell_int of int64
+  | Cell_ref of string  (** [&label]; becomes the labelled node's phandle *)
+
+(** One piece of a property value; a value is a comma-separated sequence. *)
+type piece =
+  | Cells of { bits : int; cells : cell list }
+      (** [< ... >]; [bits] is 32 unless [/bits/] was used *)
+  | Str of string      (** ["..."] *)
+  | Bytes of string    (** [[ aa bb ... ]] *)
+  | Ref_path of string (** [&label] at value position (the node's path) *)
+
+type prop = {
+  prop_name : string;
+  prop_value : piece list; (** empty = boolean/empty property *)
+  prop_loc : Loc.t;
+}
+
+type node = {
+  node_labels : string list;
+  node_name : string; (** includes the unit address, e.g. ["memory@40000000"] *)
+  node_entries : entry list;
+  node_loc : Loc.t;
+}
+
+and entry =
+  | Prop of prop
+  | Child of node
+  | Delete_node of string * Loc.t
+  | Delete_prop of string * Loc.t
+
+type toplevel =
+  | Version_tag                   (** [/dts-v1/;] *)
+  | Include of string * Loc.t     (** [/include/ "file"] *)
+  | Memreserve of int64 * int64   (** [/memreserve/ addr size;] *)
+  | Root of node                  (** [/ { ... };] *)
+  | Ref_node of string * node     (** [&label { ... };] overlay *)
+  | Delete_node_top of string * Loc.t
+
+type file = toplevel list
+
+(** Preorder iteration over a node and its descendants. *)
+val iter_nodes : (node -> unit) -> node -> unit
+
+(** Node name without its unit address ("memory\@0" -> "memory"). *)
+val base_name : string -> string
+
+(** Unit address of a node name, if any ("memory\@0" -> ["Some "0""]). *)
+val unit_address : string -> string option

@@ -1,0 +1,75 @@
+(* Structural diff between two trees: added/removed nodes, added/removed/
+   changed properties.  Used by the CLI to explain what a delta set or an
+   overlay actually did to a DTS, and by tests to pin down regressions. *)
+
+type change =
+  | Node_added of string            (* path *)
+  | Node_removed of string
+  | Prop_added of string * string   (* path, property *)
+  | Prop_removed of string * string
+  | Prop_changed of string * string (* path, property *)
+
+let path_of = function
+  | Node_added p | Node_removed p | Prop_added (p, _) | Prop_removed (p, _)
+  | Prop_changed (p, _) ->
+    p
+
+let pp_change ppf = function
+  | Node_added p -> Fmt.pf ppf "+ node %s" p
+  | Node_removed p -> Fmt.pf ppf "- node %s" p
+  | Prop_added (p, name) -> Fmt.pf ppf "+ %s : %s" p name
+  | Prop_removed (p, name) -> Fmt.pf ppf "- %s : %s" p name
+  | Prop_changed (p, name) -> Fmt.pf ppf "~ %s : %s" p name
+
+(* Serialised form used for property comparison (type-insensitive: a value
+   and its DTB-decoded byte form compare equal). *)
+let prop_repr (p : Tree.prop) =
+  match Fdt.prop_raw_bytes p with
+  | raw -> `Raw raw
+  | exception Fdt.Error _ -> `Pieces p.Tree.p_value
+
+let rec diff_nodes path (a : Tree.t) (b : Tree.t) acc =
+  (* Properties. *)
+  let acc =
+    List.fold_left
+      (fun acc (pa : Tree.prop) ->
+        match Tree.get_prop b pa.Tree.p_name with
+        | None -> Prop_removed (path, pa.Tree.p_name) :: acc
+        | Some pb ->
+          if prop_repr pa = prop_repr pb then acc
+          else Prop_changed (path, pa.Tree.p_name) :: acc)
+      acc a.Tree.props
+  in
+  let acc =
+    List.fold_left
+      (fun acc (pb : Tree.prop) ->
+        if Tree.has_prop a pb.Tree.p_name then acc
+        else Prop_added (path, pb.Tree.p_name) :: acc)
+      acc b.Tree.props
+  in
+  (* Children. *)
+  let acc =
+    List.fold_left
+      (fun acc (ca : Tree.t) ->
+        let child_path = Tree.join_path path ca.Tree.name in
+        match List.find_opt (fun c -> String.equal c.Tree.name ca.Tree.name) b.Tree.children with
+        | None -> Node_removed child_path :: acc
+        | Some cb -> diff_nodes child_path ca cb acc)
+      acc a.Tree.children
+  in
+  List.fold_left
+    (fun acc (cb : Tree.t) ->
+      if List.exists (fun c -> String.equal c.Tree.name cb.Tree.name) a.Tree.children then acc
+      else Node_added (Tree.join_path path cb.Tree.name) :: acc)
+    acc b.Tree.children
+
+(* All changes from [a] to [b], in path order. *)
+let diff a b =
+  List.sort
+    (fun c1 c2 -> String.compare (path_of c1) (path_of c2))
+    (diff_nodes "/" a b [])
+
+let pp ppf changes =
+  match changes with
+  | [] -> Fmt.string ppf "(no differences)"
+  | _ -> Fmt.(list ~sep:cut pp_change) ppf changes

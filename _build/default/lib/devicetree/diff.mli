@@ -1,0 +1,18 @@
+(** Structural diff between two trees: node additions/removals and property
+    additions/removals/changes.  Property comparison is type-insensitive
+    (a typed value equals its DTB-decoded byte form). *)
+
+type change =
+  | Node_added of string             (** path *)
+  | Node_removed of string
+  | Prop_added of string * string    (** path, property name *)
+  | Prop_removed of string * string
+  | Prop_changed of string * string
+
+val path_of : change -> string
+val pp_change : Format.formatter -> change -> unit
+
+(** All changes from the first tree to the second, sorted by path. *)
+val diff : Tree.t -> Tree.t -> change list
+
+val pp : Format.formatter -> change list -> unit

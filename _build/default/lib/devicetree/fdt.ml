@@ -1,0 +1,252 @@
+(* Flattened DeviceTree (DTB) encoding and decoding, FDT format version 17.
+
+   Layout: header, memory reservation block, structure block
+   (BEGIN_NODE/PROP/END_NODE/END tokens, 4-byte aligned), strings block
+   (property names).  Encoding serialises typed property pieces to their
+   binary form; decoding necessarily returns untyped byte values (the blob
+   does not record types), exposed as a single [Ast.Bytes] piece. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let magic = 0xd00dfeedl
+let version = 17l
+let last_comp_version = 16l
+
+let tok_begin_node = 0x1l
+let tok_end_node = 0x2l
+let tok_prop = 0x3l
+let tok_nop = 0x4l
+let tok_end = 0x9l
+
+(* --- byte-level helpers -------------------------------------------------------- *)
+
+let add_be32 buf v =
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int v land 0xff))
+
+let add_be64 buf v =
+  add_be32 buf (Int64.to_int32 (Int64.shift_right_logical v 32));
+  add_be32 buf (Int64.to_int32 v)
+
+let align4 buf =
+  while Buffer.length buf mod 4 <> 0 do
+    Buffer.add_char buf '\000'
+  done
+
+let get_be32 s off =
+  if off + 4 > String.length s then error "truncated blob";
+  let b i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+let get_be64 s off =
+  let hi = Int64.of_int32 (get_be32 s off) in
+  let lo = Int64.of_int32 (get_be32 s (off + 4)) in
+  Int64.logor
+    (Int64.shift_left (Int64.logand hi 0xFFFFFFFFL) 32)
+    (Int64.logand lo 0xFFFFFFFFL)
+
+(* --- property serialisation ------------------------------------------------------ *)
+
+let serialize_piece ~resolve_label buf = function
+  | Ast.Cells { bits; cells } ->
+    List.iter
+      (fun cell ->
+        let v =
+          match cell with
+          | Ast.Cell_int v -> v
+          | Ast.Cell_ref label -> resolve_label label
+        in
+        match bits with
+        | 8 -> Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+        | 16 ->
+          Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical v 8) land 0xff));
+          Buffer.add_char buf (Char.chr (Int64.to_int v land 0xff))
+        | 32 -> add_be32 buf (Int64.to_int32 v)
+        | 64 -> add_be64 buf v
+        | n -> error "unsupported cell width %d" n)
+      cells
+  | Ast.Str s ->
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\000'
+  | Ast.Bytes b -> Buffer.add_string buf b
+  | Ast.Ref_path path ->
+    Buffer.add_string buf path;
+    Buffer.add_char buf '\000'
+
+let serialize_value ~resolve_label pieces =
+  let buf = Buffer.create 16 in
+  List.iter (serialize_piece ~resolve_label buf) pieces;
+  Buffer.contents buf
+
+(* --- encoding ---------------------------------------------------------------------- *)
+
+let encode ?(memreserves = []) (tree : Tree.t) =
+  let tree = Tree.resolve_phandles tree in
+  let phandle_of label =
+    match Tree.find_label tree label with
+    | Some (_, node) -> begin
+      match Tree.get_prop node "phandle" with
+      | Some p -> (match Tree.prop_u32s p with [ v ] -> v | _ -> error "bad phandle on &%s" label)
+      | None -> error "no phandle for &%s" label
+    end
+    | None -> error "undefined label &%s" label
+  in
+  let path_of label =
+    match Tree.find_label tree label with
+    | Some (path, _) -> path
+    | None -> error "undefined label &%s" label
+  in
+  (* Strings block with de-duplication. *)
+  let strings = Buffer.create 64 in
+  let string_offsets = Hashtbl.create 16 in
+  let intern s =
+    match Hashtbl.find_opt string_offsets s with
+    | Some off -> off
+    | None ->
+      let off = Buffer.length strings in
+      Buffer.add_string strings s;
+      Buffer.add_char strings '\000';
+      Hashtbl.add string_offsets s off;
+      off
+  in
+  let struct_buf = Buffer.create 256 in
+  let emit_prop (p : Tree.prop) =
+    (* &label at value position serialises as the referenced node's path. *)
+    let pieces =
+      List.map
+        (function Ast.Ref_path label -> Ast.Str (path_of label) | piece -> piece)
+        p.p_value
+    in
+    let value = serialize_value ~resolve_label:phandle_of pieces in
+    add_be32 struct_buf tok_prop;
+    add_be32 struct_buf (Int32.of_int (String.length value));
+    add_be32 struct_buf (Int32.of_int (intern p.p_name));
+    Buffer.add_string struct_buf value;
+    align4 struct_buf
+  in
+  let rec emit_node (node : Tree.t) ~name =
+    add_be32 struct_buf tok_begin_node;
+    Buffer.add_string struct_buf name;
+    Buffer.add_char struct_buf '\000';
+    align4 struct_buf;
+    List.iter emit_prop node.props;
+    List.iter (fun c -> emit_node c ~name:c.Tree.name) node.children;
+    add_be32 struct_buf tok_end_node
+  in
+  emit_node tree ~name:"";
+  add_be32 struct_buf tok_end;
+  (* Memory reservation block, terminated by a zero entry. *)
+  let rsv = Buffer.create 32 in
+  List.iter
+    (fun (addr, size) ->
+      add_be64 rsv addr;
+      add_be64 rsv size)
+    memreserves;
+  add_be64 rsv 0L;
+  add_be64 rsv 0L;
+  (* Assemble. *)
+  let header_size = 40 in
+  let off_rsv = header_size in
+  let off_struct = off_rsv + Buffer.length rsv in
+  let off_strings = off_struct + Buffer.length struct_buf in
+  let total = off_strings + Buffer.length strings in
+  let out = Buffer.create total in
+  add_be32 out magic;
+  add_be32 out (Int32.of_int total);
+  add_be32 out (Int32.of_int off_struct);
+  add_be32 out (Int32.of_int off_strings);
+  add_be32 out (Int32.of_int off_rsv);
+  add_be32 out version;
+  add_be32 out last_comp_version;
+  add_be32 out 0l; (* boot_cpuid_phys *)
+  add_be32 out (Int32.of_int (Buffer.length strings));
+  add_be32 out (Int32.of_int (Buffer.length struct_buf));
+  Buffer.add_buffer out rsv;
+  Buffer.add_buffer out struct_buf;
+  Buffer.add_buffer out strings;
+  Buffer.contents out
+
+(* --- decoding ----------------------------------------------------------------------- *)
+
+let read_cstring s off =
+  match String.index_from_opt s off '\000' with
+  | None -> error "unterminated string in blob"
+  | Some nul -> (String.sub s off (nul - off), nul + 1)
+
+let decode blob =
+  if get_be32 blob 0 <> magic then error "bad FDT magic";
+  let off_struct = Int32.to_int (get_be32 blob 8) in
+  let off_strings = Int32.to_int (get_be32 blob 12) in
+  let off_rsv = Int32.to_int (get_be32 blob 16) in
+  (* Memory reservations. *)
+  let rec read_rsv off acc =
+    let addr = get_be64 blob off and size = get_be64 blob (off + 8) in
+    if Int64.equal addr 0L && Int64.equal size 0L then List.rev acc
+    else read_rsv (off + 16) ((addr, size) :: acc)
+  in
+  let memreserves = read_rsv off_rsv [] in
+  let string_at off =
+    let s, _ = read_cstring blob (off_strings + off) in
+    s
+  in
+  let pos = ref off_struct in
+  let read_token () =
+    let t = get_be32 blob !pos in
+    pos := !pos + 4;
+    t
+  in
+  let align () = pos := (!pos + 3) land lnot 3 in
+  let rec parse_node name : Tree.t =
+    let props = ref [] in
+    let children = ref [] in
+    let continue = ref true in
+    while !continue do
+      let tok = read_token () in
+      if Int32.equal tok tok_prop then begin
+        let len = Int32.to_int (get_be32 blob !pos) in
+        let name_off = Int32.to_int (get_be32 blob (!pos + 4)) in
+        pos := !pos + 8;
+        let value = String.sub blob !pos len in
+        pos := !pos + len;
+        align ();
+        let pieces = if len = 0 then [] else [ Ast.Bytes value ] in
+        props :=
+          { Tree.p_name = string_at name_off; p_value = pieces; p_loc = Loc.dummy } :: !props
+      end
+      else if Int32.equal tok tok_begin_node then begin
+        let child_name, after = read_cstring blob !pos in
+        pos := after;
+        align ();
+        children := parse_node child_name :: !children
+      end
+      else if Int32.equal tok tok_end_node then continue := false
+      else if Int32.equal tok tok_nop then ()
+      else error "unexpected token 0x%lx in structure block" tok
+    done;
+    {
+      Tree.name = (if name = "" then "/" else name);
+      labels = [];
+      props = List.rev !props;
+      children = List.rev !children;
+      loc = Loc.dummy;
+    }
+  in
+  let tok = read_token () in
+  if not (Int32.equal tok tok_begin_node) then error "structure block must start with BEGIN_NODE";
+  let root_name, after = read_cstring blob !pos in
+  pos := after;
+  align ();
+  let tree = parse_node root_name in
+  (tree, memreserves)
+
+(* Raw bytes of a property as decoded from a blob (or serialised form of a
+   typed property) — the canonical form for comparing trees across a
+   DTS -> DTB -> tree round trip. *)
+let prop_raw_bytes (p : Tree.prop) =
+  serialize_value ~resolve_label:(fun l -> error "unresolved label &%s" l) p.p_value

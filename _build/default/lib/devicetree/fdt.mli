@@ -1,0 +1,18 @@
+(** Flattened DeviceTree (DTB) encoding and decoding, FDT format v17 — the
+    binary blob consumed by kernels and hypervisors. *)
+
+exception Error of string
+
+(** [encode ?memreserves tree] serialises a tree (labels are resolved to
+    phandles first; [&label] value references become path strings). *)
+val encode : ?memreserves:(int64 * int64) list -> Tree.t -> string
+
+(** [decode blob] parses a DTB.  Property values come back untyped, as a
+    single [Ast.Bytes] piece each (the format does not record types).
+    Returns the tree and the memory reservation block. *)
+val decode : string -> Tree.t * (int64 * int64) list
+
+(** Serialise one property's value to its binary form; the canonical shape
+    for comparing trees across a DTS -> DTB -> tree round trip.  Raises
+    {!Error} on unresolved label references. *)
+val prop_raw_bytes : Tree.prop -> string

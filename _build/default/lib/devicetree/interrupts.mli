@@ -1,0 +1,32 @@
+(** Interrupt topology resolution per the DeviceTree interrupt-mapping
+    conventions: [interrupt-parent] phandles with ancestor inheritance,
+    fallback to the nearest ancestor [interrupt-controller],
+    [#interrupt-cells]-sized specifiers, [interrupts-extended], and
+    [interrupt-map] nexus routing (masked matching, chained nexus levels,
+    #address-cells = 0 form).
+
+    Phandles must be resolved ({!Tree.resolve_phandles}) first. *)
+
+type spec = {
+  device : string;     (** path of the node raising the interrupt *)
+  controller : string; (** path of the resolved interrupt parent *)
+  cells : int64 list;  (** one specifier, #interrupt-cells long *)
+  loc : Loc.t;
+}
+
+exception Error of string * Loc.t
+
+(** Is this node an interrupt controller? *)
+val is_controller : Tree.t -> bool
+
+(** [#interrupt-cells] of a controller (default 1). *)
+val interrupt_cells : Tree.t -> int
+
+(** All interrupt specifiers of the tree, resolved to their controllers.
+    Raises {!Error} on dangling parents or malformed specifier lists. *)
+val specs : Tree.t -> spec list
+
+(** Pack a specifier's first two cells into one 64-bit comparison key. *)
+val spec_key : spec -> int64
+
+val pp_spec : Format.formatter -> spec -> unit

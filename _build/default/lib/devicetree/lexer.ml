@@ -1,0 +1,351 @@
+(* Hand-written lexer for DeviceTree source.
+
+   Notes on the trickier bits of DTS lexing:
+   - names are liberal: node and property names may contain [a-zA-Z0-9,._+?#-]
+     and node names additionally '@' for the unit address;
+   - directives look like /word/ ("/dts-v1/", "/include/", "/delete-node/",
+     "/bits/", ...); a bare '/' is the root node or, inside parenthesised
+     expressions, division;
+   - '<' and '>' delimit cell lists but also occur in expressions; we emit
+     single-character tokens and let the parser pair "<<"/">>" inside
+     expressions;
+   - byte strings "[ aa bb ]" are lexed wholesale into BYTES. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int64
+  | STRING of string
+  | BYTES of string
+  | LABEL of string   (* name: *)
+  | REF of string     (* &label *)
+  | DIRECTIVE of string (* word of /word/ *)
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | EQUALS
+  | LT
+  | GT
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SLASH
+  | OP of char        (* + - * % & | ^ ~ ! ? : = (in ==) handled via pairs *)
+  | EOF
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | ',' | '.' | '_' | '+' | '?' | '#' | '-' | '@'
+    -> true
+  | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then begin
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   end);
+  st.pos <- st.pos + 1
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = loc st in
+    advance st;
+    advance st;
+    let rec find () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        find ()
+      | None, _ -> error start "unterminated comment"
+    in
+    find ();
+    skip_ws_and_comments st
+  | Some _ | None -> ()
+
+let lex_string st =
+  let start = loc st in
+  advance st; (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error start "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> begin
+      advance st;
+      (match peek st with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some 'r' -> Buffer.add_char buf '\r'
+       | Some '0' -> Buffer.add_char buf '\000'
+       | Some '\\' -> Buffer.add_char buf '\\'
+       | Some '"' -> Buffer.add_char buf '"'
+       | Some 'x' ->
+         advance st;
+         let hex_val c =
+           if is_digit c then Char.code c - Char.code '0'
+           else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+           else if c >= 'A' && c <= 'F' then Char.code c - Char.code 'A' + 10
+           else error (loc st) "bad hex escape"
+         in
+         let h =
+           match peek st with
+           | Some c when is_hex_digit c -> hex_val c
+           | _ -> error (loc st) "bad hex escape"
+         in
+         (match peek2 st with
+          | Some c when is_hex_digit c ->
+            advance st;
+            Buffer.add_char buf (Char.chr ((h * 16) + hex_val c))
+          | _ -> Buffer.add_char buf (Char.chr h))
+       | Some c -> error (loc st) "unknown escape \\%c" c
+       | None -> error start "unterminated string");
+      advance st;
+      go ()
+    end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let lex_bytes st =
+  let start = loc st in
+  advance st; (* '[' *)
+  let buf = Buffer.create 16 in
+  let digits = Buffer.create 2 in
+  let flush () =
+    if Buffer.length digits = 2 then begin
+      Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ Buffer.contents digits)));
+      Buffer.clear digits
+    end
+    else if Buffer.length digits <> 0 then error start "odd number of hex digits in byte string"
+  in
+  let rec go () =
+    match peek st with
+    | None -> error start "unterminated byte string"
+    | Some ']' ->
+      flush ();
+      advance st
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      flush ();
+      advance st;
+      go ()
+    | Some c when is_hex_digit c ->
+      Buffer.add_char digits c;
+      if Buffer.length digits = 2 then flush ();
+      advance st;
+      go ()
+    | Some c -> error (loc st) "invalid character %C in byte string" c
+  in
+  go ();
+  BYTES (Buffer.contents buf)
+
+let lex_name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st name lc =
+  let parse s =
+    match Int64.of_string_opt s with
+    | Some v -> v
+    | None -> error lc "invalid number %S" s
+  in
+  (* Strip C-style U/L suffixes accepted by dtc. *)
+  let name =
+    let n = String.length name in
+    let rec strip i =
+      if i > 0 && (match name.[i - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false)
+      then strip (i - 1)
+      else i
+    in
+    String.sub name 0 (strip n)
+  in
+  ignore st;
+  NUMBER (parse name)
+
+let lex_char_literal st =
+  let start = loc st in
+  advance st; (* opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some 'n' -> '\n'
+       | Some 't' -> '\t'
+       | Some 'r' -> '\r'
+       | Some '0' -> '\000'
+       | Some '\\' -> '\\'
+       | Some '\'' -> '\''
+       | _ -> error start "bad escape in char literal")
+    | Some c -> c
+    | None -> error start "unterminated char literal"
+  in
+  advance st;
+  (match peek st with
+   | Some '\'' -> advance st
+   | _ -> error start "unterminated char literal");
+  NUMBER (Int64.of_int (Char.code c))
+
+let next_token st =
+  skip_ws_and_comments st;
+  let lc = loc st in
+  match peek st with
+  | None -> (EOF, lc)
+  | Some '"' -> (lex_string st, lc)
+  | Some '[' -> (lex_bytes st, lc)
+  | Some '\'' -> (lex_char_literal st, lc)
+  | Some '{' -> advance st; (LBRACE, lc)
+  | Some '}' -> advance st; (RBRACE, lc)
+  | Some ';' -> advance st; (SEMI, lc)
+  | Some '=' when peek2 st = Some '=' -> advance st; advance st; (OP 'E', lc) (* == *)
+  | Some '=' -> advance st; (EQUALS, lc)
+  | Some '<' when peek2 st = Some '=' -> advance st; advance st; (OP 'l', lc) (* <= *)
+  | Some '<' -> advance st; (LT, lc)
+  | Some '>' when peek2 st = Some '=' -> advance st; advance st; (OP 'g', lc) (* >= *)
+  | Some '>' -> advance st; (GT, lc)
+  | Some '(' -> advance st; (LPAREN, lc)
+  | Some ')' -> advance st; (RPAREN, lc)
+  | Some ',' -> advance st; (COMMA, lc)
+  | Some '!' when peek2 st = Some '=' -> advance st; advance st; (OP 'N', lc) (* != *)
+  | Some '!' -> advance st; (OP '!', lc)
+  | Some '&' when peek2 st = Some '&' -> advance st; advance st; (OP 'A', lc) (* && *)
+  | Some '|' when peek2 st = Some '|' -> advance st; advance st; (OP 'O', lc) (* || *)
+  | Some '&' -> begin
+    advance st;
+    match peek st with
+    | Some c when is_name_char c && not (is_digit c) ->
+      let name = lex_name st in
+      (REF name, lc)
+    | Some '{' ->
+      (* &{/full/path} reference-by-path *)
+      advance st;
+      let start = st.pos in
+      while peek st <> None && peek st <> Some '}' do
+        advance st
+      done;
+      (match peek st with
+       | Some '}' ->
+         let path = String.sub st.src start (st.pos - start) in
+         advance st;
+         (REF path, lc)
+       | _ -> error lc "unterminated &{...} reference")
+    | _ -> (OP '&', lc)
+  end
+  | Some ('+' | '-' | '*' | '%' | '|' | '^' | '~' | '?' | ':') ->
+    let c = Option.get (peek st) in
+    advance st;
+    (OP c, lc)
+  | Some '/' -> begin
+    (* Directive /word/, or a lone '/'. *)
+    let save = st.pos in
+    advance st;
+    match peek st with
+    | Some c when is_name_char c ->
+      let name = lex_name st in
+      (match peek st with
+       | Some '/' ->
+         advance st;
+         (DIRECTIVE name, lc)
+       | _ ->
+         (* Not a directive: rewind and emit '/'.  This happens for paths in
+            /delete-node/ arguments, which we lex as '/' + names. *)
+         st.pos <- save;
+         advance st;
+         (SLASH, lc))
+    | _ -> (SLASH, lc)
+  end
+  | Some c when is_name_char c ->
+    let name = lex_name st in
+    let is_number =
+      name <> ""
+      && is_digit name.[0]
+      && (match Int64.of_string_opt name with
+          | Some _ -> true
+          | None ->
+            (* allow U/L suffixes *)
+            let rec strip i =
+              if
+                i > 0
+                && match name.[i - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false
+              then strip (i - 1)
+              else i
+            in
+            let stripped = String.sub name 0 (strip (String.length name)) in
+            Int64.of_string_opt stripped <> None)
+    in
+    if is_number then (lex_number st name lc, lc)
+    else if peek st = Some ':' then begin
+      advance st;
+      (LABEL name, lc)
+    end
+    else (IDENT name, lc)
+  | Some c -> error lc "unexpected character %C" c
+
+let tokenize ~file src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let (tok, lc) = next_token st in
+    if tok = EOF then List.rev ((tok, lc) :: acc) else go ((tok, lc) :: acc)
+  in
+  Array.of_list (go [])
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NUMBER n -> Fmt.pf ppf "number %Ld" n
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | BYTES _ -> Fmt.string ppf "byte string"
+  | LABEL s -> Fmt.pf ppf "label %S" s
+  | REF s -> Fmt.pf ppf "reference &%s" s
+  | DIRECTIVE s -> Fmt.pf ppf "directive /%s/" s
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | SEMI -> Fmt.string ppf "';'"
+  | EQUALS -> Fmt.string ppf "'='"
+  | LT -> Fmt.string ppf "'<'"
+  | GT -> Fmt.string ppf "'>'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COMMA -> Fmt.string ppf "','"
+  | SLASH -> Fmt.string ppf "'/'"
+  | OP c -> Fmt.pf ppf "operator %C" c
+  | EOF -> Fmt.string ppf "end of input"

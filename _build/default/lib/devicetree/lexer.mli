@@ -1,0 +1,32 @@
+(** Hand-written lexer for DeviceTree source. *)
+
+type token =
+  | IDENT of string      (** node/property names (liberal character set) *)
+  | NUMBER of int64
+  | STRING of string
+  | BYTES of string      (** contents of a [[ aa bb ]] byte string *)
+  | LABEL of string      (** [name:] *)
+  | REF of string        (** [&label] or [&{/path}] *)
+  | DIRECTIVE of string  (** the word of [/word/], e.g. "dts-v1", "include" *)
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | EQUALS
+  | LT
+  | GT
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SLASH
+  | OP of char
+      (** expression operators; two-character operators are packed:
+          'E' [==], 'N' [!=], 'l' [<=], 'g' [>=], 'A' [&&], 'O' [||] *)
+  | EOF
+
+exception Error of string * Loc.t
+
+(** Tokenize a whole source text; the result always ends with [EOF].
+    Raises {!Error} on invalid input. *)
+val tokenize : file:string -> string -> (token * Loc.t) array
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,13 @@
+(* Source positions for diagnostics; every parse error and checker finding
+   points back into the DTS text it came from. *)
+
+type t = {
+  file : string;
+  line : int; (* 1-based *)
+  col : int;  (* 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,14 @@
+(** Source positions for diagnostics. *)
+
+type t = {
+  file : string;
+  line : int; (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+(** Placeholder for synthesized nodes with no source text. *)
+val dummy : t
+
+val make : file:string -> line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

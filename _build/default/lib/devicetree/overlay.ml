@@ -1,0 +1,115 @@
+(* DeviceTree overlays (dtbo conventions): an overlay source consists of
+   fragments, each naming a target in the base tree and carrying an
+   __overlay__ body to merge there:
+
+     /dts-v1/;
+     / {
+         fragment@0 {
+             target = <&uart0>;            // or target-path = "/uart@...";
+             __overlay__ {
+                 status = "okay";
+                 current-speed = <115200>;
+             };
+         };
+     };
+
+   Merging follows dtc semantics: properties overwrite, children merge
+   recursively.  Labels in [target = <&lbl>] resolve against the *base*
+   tree, so the overlay parser leaves them as unresolved references. *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+(* Tree-to-tree merge with dtc overlay semantics. *)
+let rec merge_trees (base : Tree.t) (over : Tree.t) : Tree.t =
+  let props =
+    List.fold_left
+      (fun props (p : Tree.prop) ->
+        let replaced = ref false in
+        let props =
+          List.map
+            (fun (q : Tree.prop) ->
+              if String.equal q.Tree.p_name p.Tree.p_name then begin
+                replaced := true;
+                p
+              end
+              else q)
+            props
+        in
+        if !replaced then props else props @ [ p ])
+      base.Tree.props over.Tree.props
+  in
+  let children =
+    List.fold_left
+      (fun children (c : Tree.t) ->
+        let merged = ref false in
+        let children =
+          List.map
+            (fun (b : Tree.t) ->
+              if String.equal b.Tree.name c.Tree.name then begin
+                merged := true;
+                merge_trees b c
+              end
+              else b)
+            children
+        in
+        if !merged then children else children @ [ c ])
+      base.Tree.children over.Tree.children
+  in
+  { base with props; children }
+
+(* The target path of a fragment, resolved against the base tree. *)
+let fragment_target ~base (fragment : Tree.t) =
+  let loc = fragment.Tree.loc in
+  match Tree.get_prop fragment "target" with
+  | Some p -> begin
+    (* target = <&label>: the reference must still be symbolic. *)
+    match p.Tree.p_value with
+    | [ Ast.Cells { cells = [ Ast.Cell_ref label ]; _ } ] -> begin
+      match Tree.find_label base label with
+      | Some (path, _) -> path
+      | None -> error p.Tree.p_loc "overlay target &%s not found in the base tree" label
+    end
+    | _ -> error p.Tree.p_loc "overlay target must be a single &label reference"
+  end
+  | None -> begin
+    match Tree.get_prop fragment "target-path" with
+    | Some p -> begin
+      match Tree.prop_string p with
+      | Some path ->
+        if Tree.find base path = None then
+          error p.Tree.p_loc "overlay target path %s not found in the base tree" path;
+        path
+      | None -> error p.Tree.p_loc "target-path must be a string"
+    end
+    | None -> error loc "fragment %s has neither target nor target-path" fragment.Tree.name
+  end
+
+let is_fragment (node : Tree.t) =
+  List.exists (fun c -> String.equal c.Tree.name "__overlay__") node.Tree.children
+
+(* Apply an overlay tree to a base tree. *)
+let apply ~base ~overlay =
+  let fragments = List.filter is_fragment overlay.Tree.children in
+  if fragments = [] then error overlay.Tree.loc "overlay contains no fragments";
+  List.fold_left
+    (fun base fragment ->
+      let path = fragment_target ~base fragment in
+      let body =
+        List.find (fun c -> String.equal c.Tree.name "__overlay__") fragment.Tree.children
+      in
+      let rec replace node segments =
+        match segments with
+        | [] -> merge_trees node { body with Tree.name = node.Tree.name }
+        | seg :: rest ->
+          {
+            node with
+            Tree.children =
+              List.map
+                (fun c -> if String.equal c.Tree.name seg then replace c rest else c)
+                node.Tree.children;
+          }
+      in
+      replace base (Tree.split_path path))
+    base fragments

@@ -1,0 +1,15 @@
+(** DeviceTree overlays (dtbo conventions): fragments with
+    [target = <&label>] or [target-path = "/path"] and an [__overlay__]
+    body merged into the base tree with dtc semantics. *)
+
+exception Error of string * Loc.t
+
+(** Tree-to-tree merge: properties overwrite, children merge recursively. *)
+val merge_trees : Tree.t -> Tree.t -> Tree.t
+
+(** Is this node an overlay fragment (has an [__overlay__] child)? *)
+val is_fragment : Tree.t -> bool
+
+(** Apply every fragment of [overlay] to [base].  Raises {!Error} on
+    missing targets or an overlay without fragments. *)
+val apply : base:Tree.t -> overlay:Tree.t -> Tree.t

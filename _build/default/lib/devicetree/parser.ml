@@ -1,0 +1,425 @@
+(* Recursive-descent parser for DeviceTree source, producing [Ast.file].
+
+   Grammar (after dtc):
+     file      ::= ("/dts-v1/;" | "/include/" string | "/memreserve/" int int ";"
+                   | "/" node ";" | "&"label node ";" | "/delete-node/" ref ";")*
+     node      ::= "{" entry* "}"
+     entry     ::= prop | label* name node ";" | "/delete-node/" name ";"
+                 | "/delete-property/" name ";"
+     prop      ::= name ";" | name "=" value ("," value)* ";"
+     value     ::= cells | string | bytes | "&"label
+     cells     ::= ["/bits/" int] "<" (int | "("expr")" | "&"label)* ">"
+
+   Arithmetic expressions follow C precedence and are constant-folded here;
+   only integer operands are allowed inside parentheses. *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+type state = {
+  toks : (Lexer.token * Loc.t) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let peek_loc st = snd st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Lexer.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else error (peek_loc st) "expected %s, found %a" what Lexer.pp_token (peek st)
+
+(* --- constant expressions -------------------------------------------------- *)
+
+(* C-like precedence climbing over the token stream.  '<<' and '>>' arrive as
+   two consecutive LT/GT tokens (see lexer). *)
+let rec parse_ternary st =
+  let c = parse_logical_or st in
+  match peek st with
+  | Lexer.OP '?' ->
+    advance st;
+    let a = parse_ternary st in
+    expect st (Lexer.OP ':') "':'";
+    let b = parse_ternary st in
+    if c <> 0L then a else b
+  | _ -> c
+
+and parse_logical_or st =
+  let a = ref (parse_logical_and st) in
+  while peek st = Lexer.OP 'O' do
+    advance st;
+    let b = parse_logical_and st in
+    a := if !a <> 0L || b <> 0L then 1L else 0L
+  done;
+  !a
+
+and parse_logical_and st =
+  let a = ref (parse_bitor st) in
+  while peek st = Lexer.OP 'A' do
+    advance st;
+    let b = parse_bitor st in
+    a := if !a <> 0L && b <> 0L then 1L else 0L
+  done;
+  !a
+
+and parse_bitor st =
+  let a = ref (parse_bitxor st) in
+  while peek st = Lexer.OP '|' do
+    advance st;
+    a := Int64.logor !a (parse_bitxor st)
+  done;
+  !a
+
+and parse_bitxor st =
+  let a = ref (parse_bitand st) in
+  while peek st = Lexer.OP '^' do
+    advance st;
+    a := Int64.logxor !a (parse_bitand st)
+  done;
+  !a
+
+and parse_bitand st =
+  let a = ref (parse_equality st) in
+  while peek st = Lexer.OP '&' do
+    advance st;
+    a := Int64.logand !a (parse_equality st)
+  done;
+  !a
+
+and parse_equality st =
+  let a = ref (parse_relational st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.OP 'E' ->
+      advance st;
+      let b = parse_relational st in
+      a := if Int64.equal !a b then 1L else 0L
+    | Lexer.OP 'N' ->
+      advance st;
+      let b = parse_relational st in
+      a := if Int64.equal !a b then 0L else 1L
+    | _ -> continue := false
+  done;
+  !a
+
+and parse_relational st =
+  let a = ref (parse_shift st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st, peek2 st) with
+    | Lexer.LT, Lexer.LT | Lexer.GT, Lexer.GT -> continue := false (* shift, below *)
+    | Lexer.LT, _ ->
+      advance st;
+      let b = parse_shift st in
+      a := if Int64.compare !a b < 0 then 1L else 0L
+    | Lexer.GT, _ ->
+      advance st;
+      let b = parse_shift st in
+      a := if Int64.compare !a b > 0 then 1L else 0L
+    | Lexer.OP 'l', _ ->
+      advance st;
+      let b = parse_shift st in
+      a := if Int64.compare !a b <= 0 then 1L else 0L
+    | Lexer.OP 'g', _ ->
+      advance st;
+      let b = parse_shift st in
+      a := if Int64.compare !a b >= 0 then 1L else 0L
+    | _ -> continue := false
+  done;
+  !a
+
+and parse_shift st =
+  let a = ref (parse_additive st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st, peek2 st) with
+    | Lexer.LT, Lexer.LT ->
+      advance st;
+      advance st;
+      let b = parse_additive st in
+      a := Int64.shift_left !a (Int64.to_int b)
+    | Lexer.GT, Lexer.GT ->
+      advance st;
+      advance st;
+      let b = parse_additive st in
+      a := Int64.shift_right_logical !a (Int64.to_int b)
+    | _ -> continue := false
+  done;
+  !a
+
+and parse_additive st =
+  let a = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.OP '+' ->
+      advance st;
+      a := Int64.add !a (parse_multiplicative st)
+    | Lexer.OP '-' ->
+      advance st;
+      a := Int64.sub !a (parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !a
+
+and parse_multiplicative st =
+  let a = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.OP '*' ->
+      advance st;
+      a := Int64.mul !a (parse_unary st)
+    | Lexer.SLASH ->
+      advance st;
+      let b = parse_unary st in
+      if Int64.equal b 0L then error (peek_loc st) "division by zero in expression";
+      a := Int64.div !a b
+    | Lexer.OP '%' ->
+      advance st;
+      let b = parse_unary st in
+      if Int64.equal b 0L then error (peek_loc st) "modulo by zero in expression";
+      a := Int64.rem !a b
+    | _ -> continue := false
+  done;
+  !a
+
+and parse_unary st =
+  match peek st with
+  | Lexer.OP '-' ->
+    advance st;
+    Int64.neg (parse_unary st)
+  | Lexer.OP '~' ->
+    advance st;
+    Int64.lognot (parse_unary st)
+  | Lexer.OP '!' ->
+    advance st;
+    if Int64.equal (parse_unary st) 0L then 1L else 0L
+  | Lexer.NUMBER n ->
+    advance st;
+    n
+  | Lexer.LPAREN ->
+    advance st;
+    let v = parse_ternary st in
+    expect st Lexer.RPAREN "')'";
+    v
+  | tok -> error (peek_loc st) "expected expression, found %a" Lexer.pp_token tok
+
+let parse_paren_expr st =
+  expect st Lexer.LPAREN "'('";
+  let v = parse_ternary st in
+  expect st Lexer.RPAREN "')'";
+  v
+
+(* --- values ------------------------------------------------------------------ *)
+
+let parse_cells st ~bits =
+  expect st Lexer.LT "'<'";
+  let cells = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.GT ->
+      advance st;
+      continue := false
+    | Lexer.NUMBER n ->
+      advance st;
+      cells := Ast.Cell_int n :: !cells
+    | Lexer.REF label ->
+      advance st;
+      cells := Ast.Cell_ref label :: !cells
+    | Lexer.LPAREN -> cells := Ast.Cell_int (parse_paren_expr st) :: !cells
+    | tok -> error (peek_loc st) "expected cell value, found %a" Lexer.pp_token tok
+  done;
+  Ast.Cells { bits; cells = List.rev !cells }
+
+let parse_value st =
+  match peek st with
+  | Lexer.DIRECTIVE "bits" ->
+    advance st;
+    let bits =
+      match peek st with
+      | Lexer.NUMBER n when List.mem n [ 8L; 16L; 32L; 64L ] ->
+        advance st;
+        Int64.to_int n
+      | _ -> error (peek_loc st) "expected 8, 16, 32 or 64 after /bits/"
+    in
+    parse_cells st ~bits
+  | Lexer.LT -> parse_cells st ~bits:32
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Str s
+  | Lexer.BYTES b ->
+    advance st;
+    Ast.Bytes b
+  | Lexer.REF label ->
+    advance st;
+    Ast.Ref_path label
+  | tok -> error (peek_loc st) "expected property value, found %a" Lexer.pp_token tok
+
+let parse_prop_value st =
+  let first = parse_value st in
+  let rec more acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      more (parse_value st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+(* --- nodes -------------------------------------------------------------------- *)
+
+let parse_name st what =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | Lexer.NUMBER _ ->
+    (* Names that look numeric (e.g. a node named "0") come back as numbers;
+       recover the original text via the lexeme. *)
+    error (peek_loc st) "unexpected number where %s expected" what
+  | tok -> error (peek_loc st) "expected %s, found %a" what Lexer.pp_token tok
+
+let rec parse_node_body st ~labels ~name ~loc =
+  expect st Lexer.LBRACE "'{'";
+  let entries = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.RBRACE ->
+      advance st;
+      continue := false
+    | Lexer.DIRECTIVE "delete-node" ->
+      let dloc = peek_loc st in
+      advance st;
+      let target =
+        match peek st with
+        | Lexer.IDENT n ->
+          advance st;
+          n
+        | Lexer.REF label ->
+          advance st;
+          "&" ^ label
+        | tok -> error (peek_loc st) "expected node name, found %a" Lexer.pp_token tok
+      in
+      expect st Lexer.SEMI "';'";
+      entries := Ast.Delete_node (target, dloc) :: !entries
+    | Lexer.DIRECTIVE "delete-property" ->
+      let dloc = peek_loc st in
+      advance st;
+      let target = parse_name st "property name" in
+      expect st Lexer.SEMI "';'";
+      entries := Ast.Delete_prop (target, dloc) :: !entries
+    | Lexer.LABEL _ | Lexer.IDENT _ -> begin
+      (* Collect labels, then decide property vs child by lookahead. *)
+      let labels = ref [] in
+      while (match peek st with Lexer.LABEL _ -> true | _ -> false) do
+        (match peek st with
+         | Lexer.LABEL l -> labels := l :: !labels
+         | _ -> assert false);
+        advance st
+      done;
+      let eloc = peek_loc st in
+      let name = parse_name st "node or property name" in
+      match peek st with
+      | Lexer.LBRACE ->
+        let child = parse_node_body st ~labels:(List.rev !labels) ~name ~loc:eloc in
+        expect st Lexer.SEMI "';'";
+        entries := Ast.Child child :: !entries
+      | Lexer.EQUALS ->
+        if !labels <> [] then error eloc "labels are not allowed on properties";
+        advance st;
+        let value = parse_prop_value st in
+        expect st Lexer.SEMI "';'";
+        entries := Ast.Prop { prop_name = name; prop_value = value; prop_loc = eloc } :: !entries
+      | Lexer.SEMI ->
+        if !labels <> [] then error eloc "labels are not allowed on properties";
+        advance st;
+        entries := Ast.Prop { prop_name = name; prop_value = []; prop_loc = eloc } :: !entries
+      | tok ->
+        error (peek_loc st) "expected '{', '=' or ';' after %S, found %a" name
+          Lexer.pp_token tok
+    end
+    | tok -> error (peek_loc st) "expected node entry, found %a" Lexer.pp_token tok
+  done;
+  {
+    Ast.node_labels = labels;
+    node_name = name;
+    node_entries = List.rev !entries;
+    node_loc = loc;
+  }
+
+let parse_toplevel st =
+  match peek st with
+  | Lexer.DIRECTIVE "dts-v1" ->
+    advance st;
+    expect st Lexer.SEMI "';'";
+    Some Ast.Version_tag
+  | Lexer.DIRECTIVE "include" -> begin
+    let loc = peek_loc st in
+    advance st;
+    match peek st with
+    | Lexer.STRING file ->
+      advance st;
+      Some (Ast.Include (file, loc))
+    | tok -> error (peek_loc st) "expected file name after /include/, found %a" Lexer.pp_token tok
+  end
+  | Lexer.DIRECTIVE "memreserve" -> begin
+    advance st;
+    let addr =
+      match peek st with
+      | Lexer.NUMBER n ->
+        advance st;
+        n
+      | _ -> error (peek_loc st) "expected address after /memreserve/"
+    in
+    let size =
+      match peek st with
+      | Lexer.NUMBER n ->
+        advance st;
+        n
+      | _ -> error (peek_loc st) "expected size after /memreserve/"
+    in
+    expect st Lexer.SEMI "';'";
+    Some (Ast.Memreserve (addr, size))
+  end
+  | Lexer.DIRECTIVE "delete-node" -> begin
+    let loc = peek_loc st in
+    advance st;
+    match peek st with
+    | Lexer.REF label ->
+      advance st;
+      expect st Lexer.SEMI "';'";
+      Some (Ast.Delete_node_top (label, loc))
+    | tok -> error (peek_loc st) "expected &label after /delete-node/, found %a" Lexer.pp_token tok
+  end
+  | Lexer.SLASH ->
+    let loc = peek_loc st in
+    advance st;
+    let node = parse_node_body st ~labels:[] ~name:"/" ~loc in
+    expect st Lexer.SEMI "';'";
+    Some (Ast.Root node)
+  | Lexer.REF label ->
+    let loc = peek_loc st in
+    advance st;
+    let node = parse_node_body st ~labels:[] ~name:("&" ^ label) ~loc in
+    expect st Lexer.SEMI "';'";
+    Some (Ast.Ref_node (label, node))
+  | Lexer.EOF -> None
+  | tok -> error (peek_loc st) "expected top-level construct, found %a" Lexer.pp_token tok
+
+let parse ~file src =
+  let toks = Lexer.tokenize ~file src in
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    match parse_toplevel st with
+    | Some t -> go (t :: acc)
+    | None -> List.rev acc
+  in
+  go []

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for DeviceTree source.
+
+    The token-stream state and [parse_node_body] are exposed so that other
+    front ends (notably the delta-module language, which embeds DTS node
+    bodies) can reuse the grammar. *)
+
+exception Error of string * Loc.t
+
+type state = {
+  toks : (Lexer.token * Loc.t) array;
+  mutable pos : int;
+}
+
+(** Parse a whole DTS file. *)
+val parse : file:string -> string -> Ast.file
+
+(** Parse a brace-delimited node body at the current position; consumes the
+    closing brace but not a trailing semicolon. *)
+val parse_node_body : state -> labels:string list -> name:string -> loc:Loc.t -> Ast.node
+
+(** Parse and constant-fold a parenthesised C-like integer expression. *)
+val parse_paren_expr : state -> int64

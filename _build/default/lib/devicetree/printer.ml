@@ -1,0 +1,72 @@
+(* Pretty-printing of trees back to DeviceTree source.  The output parses
+   back to an equal tree (round-trip property exercised by the tests). *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_cell ppf = function
+  | Ast.Cell_int v ->
+    if Int64.unsigned_compare v 10L < 0 then Fmt.pf ppf "%Ld" v else Fmt.pf ppf "0x%Lx" v
+  | Ast.Cell_ref label -> Fmt.pf ppf "&%s" label
+
+let pp_piece ppf = function
+  | Ast.Cells { bits; cells } ->
+    if bits <> 32 then Fmt.pf ppf "/bits/ %d " bits;
+    Fmt.pf ppf "<%a>" Fmt.(list ~sep:(any " ") pp_cell) cells
+  | Ast.Str s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | Ast.Bytes b ->
+    Fmt.pf ppf "[";
+    String.iteri
+      (fun i c ->
+        if i > 0 then Fmt.string ppf " ";
+        Fmt.pf ppf "%02x" (Char.code c))
+      b;
+    Fmt.pf ppf "]"
+  | Ast.Ref_path label -> Fmt.pf ppf "&%s" label
+
+let pp_prop ~indent ppf (p : Tree.prop) =
+  match p.p_value with
+  | [] -> Fmt.pf ppf "%s%s;@." indent p.p_name
+  | pieces ->
+    Fmt.pf ppf "%s%s = %a;@." indent p.p_name
+      Fmt.(list ~sep:(any ", ") pp_piece)
+      pieces
+
+let rec pp_node ~indent ppf (node : Tree.t) =
+  let labels = String.concat "" (List.map (fun l -> l ^ ": ") node.labels) in
+  Fmt.pf ppf "%s%s%s {@." indent labels node.name;
+  let inner = indent ^ "    " in
+  List.iter (pp_prop ~indent:inner ppf) node.props;
+  List.iter
+    (fun child ->
+      Fmt.pf ppf "@.";
+      pp_node ~indent:inner ppf child)
+    node.children;
+  Fmt.pf ppf "%s};@." indent
+
+let pp ppf (tree : Tree.t) =
+  Fmt.pf ppf "/dts-v1/;@.@.";
+  Fmt.pf ppf "/ {@.";
+  let inner = "    " in
+  List.iter (pp_prop ~indent:inner ppf) tree.props;
+  List.iter
+    (fun child ->
+      Fmt.pf ppf "@.";
+      pp_node ~indent:inner ppf child)
+    tree.children;
+  Fmt.pf ppf "};@."
+
+let to_string tree = Fmt.str "%a" pp tree

@@ -1,0 +1,8 @@
+(** Pretty-printing of semantic trees back to DeviceTree source.  The output
+    parses back to an equal tree (round-trip property in the test suite). *)
+
+val pp : Format.formatter -> Tree.t -> unit
+val to_string : Tree.t -> string
+
+(** Escape a string for inclusion in DTS double quotes. *)
+val escape_string : string -> string

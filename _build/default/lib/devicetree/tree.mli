@@ -1,0 +1,110 @@
+(** Semantic DeviceTree: the result of parsing DTS input and applying dtc's
+    merge semantics (repeated definitions of a node merge, later properties
+    win, [/delete-node/] and [/delete-property/] apply in order).
+
+    Trees are immutable; all update operations return a new tree.  Paths are
+    slash-separated full node names including unit addresses, e.g.
+    ["/cpus/cpu@0"]; the root is ["/"]. *)
+
+type prop = {
+  p_name : string;
+  p_value : Ast.piece list; (* empty = boolean/empty property *)
+  p_loc : Loc.t;
+}
+
+type t = {
+  name : string; (* full node name with unit address; "/" for the root *)
+  labels : string list;
+  props : prop list;     (* in definition order *)
+  children : t list;     (* in definition order *)
+  loc : Loc.t;
+}
+
+exception Error of string * Loc.t
+
+(** An empty root node. *)
+val empty : t
+
+(** [of_source ?loader ~file src] parses DTS text and builds the tree.
+    [loader] resolves [/include/ "name"] directives to their content;
+    unresolved includes raise {!Error}.  Raises {!Error}, [Lexer.Error] or
+    [Parser.Error] on bad input. *)
+val of_source : ?loader:(string -> string option) -> file:string -> string -> t
+
+(** Build from an already-parsed file. *)
+val of_ast : ?loader:(string -> string option) -> Ast.file -> t
+
+(** Memory reservations ([/memreserve/]) collected from the source. *)
+val memreserves_of_ast : Ast.file -> (int64 * int64) list
+
+(** {1 Queries} *)
+
+val find : t -> string -> t option
+val find_exn : t -> string -> t
+val get_prop : t -> string -> prop option
+val has_prop : t -> string -> bool
+
+(** Locate a node carrying the given label; returns its path and the node. *)
+val find_label : t -> string -> (string * t) option
+
+(** All node paths in preorder, root first. *)
+val paths : t -> string list
+
+(** [join_path parent child] appends a path segment ("/" parent is special). *)
+val join_path : string -> string -> string
+
+(** Split a path into segments; the root is []. *)
+val split_path : string -> string list
+
+(** Fold over nodes in preorder with their full path. *)
+val fold : (string -> t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Property decoding} *)
+
+(** Concatenated integer cells of the property (all [Cells] pieces, in
+    order).  Each element is one cell as an unsigned value, paired with the
+    cell width in bits (32 unless [/bits/] was used).  [Bytes] pieces whose
+    length is a non-zero multiple of 4 — the untyped form DTB decoding
+    produces, and dtc's byte-string alternative for cell arrays — are
+    reinterpreted as big-endian 32-bit cells. *)
+val prop_cells : prop -> (int * int64) list
+
+(** Cells assuming the default 32-bit width; raises {!Error} when the
+    property mixes widths. *)
+val prop_u32s : prop -> int64 list
+
+(** First string piece, if any. *)
+val prop_string : prop -> string option
+
+(** All string pieces. *)
+val prop_strings : prop -> string list
+
+(** {1 Updates} *)
+
+(** [set_prop t ~path name value] creates or replaces a property.  Raises
+    {!Error} if [path] does not exist. *)
+val set_prop : t -> path:string -> string -> Ast.piece list -> t
+
+(** [remove_prop t ~path name] removes a property if present. *)
+val remove_prop : t -> path:string -> string -> t
+
+(** [merge_at t ~path node_body] merges an AST node body into the node at
+    [path] (dtc overlay semantics). *)
+val merge_at : t -> path:string -> Ast.node -> t
+
+(** [add_node t ~parent name] creates an empty child (no-op if it exists). *)
+val add_node : t -> parent:string -> string -> t
+
+(** [remove_node t ~path] deletes the node at [path]; removing the root or a
+    missing node raises {!Error}. *)
+val remove_node : t -> path:string -> t
+
+(** {1 Phandles} *)
+
+(** Resolve all [&label] cell references to numeric phandles, inserting
+    [phandle] properties into referenced nodes.  Raises {!Error} on a
+    dangling reference. *)
+val resolve_phandles : t -> t
+
+(** Structural equality ignoring source locations. *)
+val equal : t -> t -> bool

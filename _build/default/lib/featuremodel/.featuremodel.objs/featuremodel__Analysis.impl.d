@@ -1,0 +1,1 @@
+lib/featuremodel/analysis.ml: Bexpr Fmt List Model Option Sat String

@@ -1,0 +1,1 @@
+lib/featuremodel/analysis.mli: Bexpr Model Sat

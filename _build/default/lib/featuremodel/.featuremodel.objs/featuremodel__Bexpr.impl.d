@@ -1,0 +1,1 @@
+lib/featuremodel/bexpr.ml: Fmt Sat

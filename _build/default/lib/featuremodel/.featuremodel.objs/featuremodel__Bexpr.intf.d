@@ -1,0 +1,1 @@
+lib/featuremodel/bexpr.mli: Format Sat

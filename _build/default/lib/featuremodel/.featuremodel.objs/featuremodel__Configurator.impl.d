@@ -1,0 +1,1 @@
+lib/featuremodel/configurator.ml: Analysis Fmt List Model

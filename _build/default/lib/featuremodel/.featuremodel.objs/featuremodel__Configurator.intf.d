@@ -1,0 +1,1 @@
+lib/featuremodel/configurator.mli: Format Model

@@ -1,0 +1,1 @@
+lib/featuremodel/model.ml: Bexpr Fmt List String

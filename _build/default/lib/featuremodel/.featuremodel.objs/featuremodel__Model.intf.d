@@ -1,0 +1,1 @@
+lib/featuremodel/model.mli: Bexpr Format

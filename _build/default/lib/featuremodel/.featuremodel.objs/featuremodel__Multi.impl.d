@@ -1,0 +1,1 @@
+lib/featuremodel/multi.ml: Analysis Fmt List Model Sat String

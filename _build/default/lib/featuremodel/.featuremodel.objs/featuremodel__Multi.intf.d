@@ -1,0 +1,1 @@
+lib/featuremodel/multi.mli: Model

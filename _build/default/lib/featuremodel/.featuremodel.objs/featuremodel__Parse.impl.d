@@ -1,0 +1,1 @@
+lib/featuremodel/parse.ml: Array Bexpr Fmt List Model String

@@ -1,0 +1,1 @@
+lib/featuremodel/parse.mli: Model

@@ -1,0 +1,175 @@
+(* Automated analysis of feature models via the SAT solver (Section II-B):
+   translation to propositional logic, void detection, product validity,
+   product enumeration/counting, and dead/core feature detection.
+
+   Products are identified by their *concrete* feature sets (abstract
+   features do not distinguish products, after Thüm et al.). *)
+
+type t = {
+  solver : Sat.Solver.t;
+  vars : (string * int) list; (* feature name -> solver variable *)
+  model : Model.t;
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let var t name =
+  match List.assoc_opt name t.vars with
+  | Some v -> v
+  | None -> error "unknown feature %s" name
+
+let lit t name = Sat.Lit.of_var (var t name)
+
+(* Propositional semantics of the model given an atom lookup. *)
+let formula (model : Model.t) lookup =
+  let open Sat.Formula in
+  let rec feature_constraints (f : Model.feature) =
+    let fv = atom (lookup f.Model.name) in
+    let child_constraints =
+      List.concat_map
+        (fun (c : Model.feature) ->
+          let cv = atom (lookup c.Model.name) in
+          (* A selected child implies its parent. *)
+          let up = implies cv fv in
+          (* A mandatory child is forced by its parent. *)
+          let down = if c.Model.mandatory then [ implies fv cv ] else [] in
+          (up :: down) @ feature_constraints c)
+        f.Model.children
+    in
+    let group_constraint =
+      match (f.Model.group, f.Model.children) with
+      | _, [] -> []
+      | Model.And_group, _ -> []
+      | Model.Or_group, children ->
+        [ implies fv (disj (List.map (fun c -> atom (lookup c.Model.name)) children)) ]
+      | Model.Xor_group, children ->
+        let atoms = List.map (fun c -> atom (lookup c.Model.name)) children in
+        [ implies fv (disj atoms); at_most_one atoms ]
+    in
+    child_constraints @ group_constraint
+  in
+  conj
+    (atom (lookup model.root.Model.name)
+    :: feature_constraints model.root
+    @ List.map (Bexpr.to_formula lookup) model.constraints)
+
+let encode (model : Model.t) =
+  let solver = Sat.Solver.create () in
+  let vars =
+    List.map (fun name -> (name, Sat.Solver.new_var solver)) (Model.feature_names model)
+  in
+  let lookup name =
+    match List.assoc_opt name vars with
+    | Some v -> v
+    | None -> error "unknown feature %s" name
+  in
+  ignore (Sat.Formula.assert_in solver (formula model lookup) : bool);
+  { solver; vars; model }
+
+let is_void t = Sat.Solver.solve t.solver = Sat.Solver.Unsat
+
+(* A product is a set of concrete features; valid iff some total
+   configuration of the model projects onto exactly that set. *)
+let is_valid_product t selected =
+  List.iter (fun n -> if not (Model.mem t.model n) then error "unknown feature %s" n) selected;
+  let assumptions =
+    List.map
+      (fun name ->
+        let l = lit t name in
+        if List.mem name selected then l else Sat.Lit.neg l)
+      (Model.concrete_names t.model)
+  in
+  Sat.Solver.solve ~assumptions t.solver = Sat.Solver.Sat
+
+(* Enumerate all products (concrete feature sets).  Temporary blocking
+   clauses are guarded by an activation literal so enumeration does not
+   poison the solver for later queries. *)
+let enumerate_products ?(limit = max_int) t =
+  let concrete = Model.concrete_names t.model in
+  let guard = Sat.Lit.of_var (Sat.Solver.new_var t.solver) in
+  let products = ref [] in
+  let continue = ref true in
+  while !continue && List.length !products < limit do
+    match Sat.Solver.solve ~assumptions:[ guard ] t.solver with
+    | Sat.Solver.Unsat -> continue := false
+    | Sat.Solver.Sat ->
+      let product = List.filter (fun n -> Sat.Solver.value t.solver (var t n)) concrete in
+      products := product :: !products;
+      (* Block this concrete assignment (under the guard). *)
+      let blocking =
+        Sat.Lit.neg guard
+        :: List.map
+             (fun n ->
+               let l = lit t n in
+               if List.mem n product then Sat.Lit.neg l else l)
+             concrete
+      in
+      if not (Sat.Solver.add_clause t.solver blocking) then continue := false
+  done;
+  (* Retire the guard so the blocking clauses can never fire again. *)
+  ignore (Sat.Solver.add_clause t.solver [ Sat.Lit.neg guard ] : bool);
+  List.rev_map (List.sort String.compare) !products
+
+let count_products ?limit t = List.length (enumerate_products ?limit t)
+
+(* Features that can never be selected in any valid configuration. *)
+let dead_features t =
+  List.filter
+    (fun name -> Sat.Solver.solve ~assumptions:[ lit t name ] t.solver = Sat.Solver.Unsat)
+    (Model.feature_names t.model)
+
+(* Features present in every valid configuration. *)
+let core_features t =
+  List.filter
+    (fun name ->
+      Sat.Solver.solve ~assumptions:[ Sat.Lit.neg (lit t name) ] t.solver = Sat.Solver.Unsat)
+    (Model.feature_names t.model)
+
+(* Is a partial selection consistent (extensible to a full product)? *)
+let is_consistent_selection t ~selected ~deselected =
+  let assumptions =
+    List.map (lit t) selected
+    @ List.map (fun n -> Sat.Lit.neg (lit t n)) deselected
+  in
+  Sat.Solver.solve ~assumptions t.solver = Sat.Solver.Sat
+
+(* Optional features that nevertheless occur in every product ("false
+   optional": the modeller marked them optional, but constraints force
+   them whenever their parent is selected). *)
+let false_optional_features t =
+  let rec optionals parent_name (f : Model.feature) =
+    let own =
+      if f.Model.mandatory || parent_name = None then []
+      else [ (Option.get parent_name, f.Model.name) ]
+    in
+    own @ List.concat_map (optionals (Some f.Model.name)) f.Model.children
+  in
+  optionals None t.model.Model.root
+  |> List.filter_map (fun (parent, name) ->
+         (* False optional iff parent selected forces the feature:
+            FM & parent & ~feature is unsat. *)
+         let assumptions = [ lit t parent; Sat.Lit.neg (lit t name) ] in
+         if Sat.Solver.solve ~assumptions t.solver = Sat.Solver.Unsat then Some name
+         else None)
+
+(* Cross-tree constraints already implied by the rest of the model
+   (redundant).  Checked semantically: FM-without-c & ~c unsat. *)
+let redundant_constraints t =
+  let lookup name = var t name in
+  List.filteri
+    (fun i _ -> 
+      let others =
+        List.filteri (fun j _ -> j <> i) t.model.Model.constraints
+      in
+      let reduced = { t.model with Model.constraints = others } in
+      let solver = Sat.Solver.create () in
+      (* Fresh solver with identical variable numbering. *)
+      List.iter (fun _ -> ignore (Sat.Solver.new_var solver : int)) t.vars;
+      ignore (Sat.Formula.assert_in solver (formula reduced lookup) : bool);
+      let c = List.nth t.model.Model.constraints i in
+      ignore
+        (Sat.Formula.assert_in solver (Sat.Formula.neg (Bexpr.to_formula lookup c)) : bool);
+      Sat.Solver.solve solver = Sat.Solver.Unsat)
+    t.model.Model.constraints

@@ -1,0 +1,45 @@
+(** Automated analysis of feature models via the SAT solver (§II-B):
+    translation to propositional logic, void detection, product validity,
+    enumeration/counting, dead/core features.
+
+    Products are identified by their {e concrete} feature sets. *)
+
+type t
+
+exception Error of string
+
+(** Propositional semantics of a model, given an atom lookup (used directly
+    by {!Multi} for per-VM instantiation). *)
+val formula : Model.t -> (string -> int) -> Sat.Formula.t
+
+(** Encode a model into a fresh solver; the returned environment supports
+    any number of subsequent queries. *)
+val encode : Model.t -> t
+
+(** No valid configuration at all? *)
+val is_void : t -> bool
+
+(** [is_valid_product t selected] — is there a configuration whose concrete
+    features are exactly [selected]?  Raises {!Error} on unknown names. *)
+val is_valid_product : t -> string list -> bool
+
+(** All products (sorted concrete feature sets).  Enumeration does not
+    perturb later queries on the same environment. *)
+val enumerate_products : ?limit:int -> t -> string list list
+
+val count_products : ?limit:int -> t -> int
+
+(** Features not selectable in any valid configuration. *)
+val dead_features : t -> string list
+
+(** Features present in every valid configuration. *)
+val core_features : t -> string list
+
+(** Is a partial selection extensible to a full valid configuration? *)
+val is_consistent_selection : t -> selected:string list -> deselected:string list -> bool
+
+(** Optional features forced by their parent anyway ("false optional"). *)
+val false_optional_features : t -> string list
+
+(** Cross-tree constraints implied by the rest of the model. *)
+val redundant_constraints : t -> Bexpr.t list

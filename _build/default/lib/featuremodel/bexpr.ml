@@ -1,0 +1,44 @@
+(* Boolean expressions over feature names: the language of cross-tree
+   constraints ("composition rules" in FODA terms). *)
+
+type t =
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+let rec vars = function
+  | Var v -> [ v ]
+  | Not e -> vars e
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> vars a @ vars b
+
+let rec eval env = function
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Implies (a, b) -> (not (eval env a)) || eval env b
+  | Iff (a, b) -> eval env a = eval env b
+
+(* Lower onto SAT formulas given a variable mapping. *)
+let rec to_formula lookup = function
+  | Var v -> Sat.Formula.atom (lookup v)
+  | Not e -> Sat.Formula.neg (to_formula lookup e)
+  | And (a, b) -> Sat.Formula.conj [ to_formula lookup a; to_formula lookup b ]
+  | Or (a, b) -> Sat.Formula.disj [ to_formula lookup a; to_formula lookup b ]
+  | Implies (a, b) -> Sat.Formula.implies (to_formula lookup a) (to_formula lookup b)
+  | Iff (a, b) -> Sat.Formula.iff (to_formula lookup a) (to_formula lookup b)
+
+let rec pp ppf = function
+  | Var v -> Fmt.string ppf v
+  | Not e -> Fmt.pf ppf "!%a" pp_atom e
+  | And (a, b) -> Fmt.pf ppf "%a & %a" pp_atom a pp_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a | %a" pp_atom a pp_atom b
+  | Implies (a, b) -> Fmt.pf ppf "%a => %a" pp_atom a pp_atom b
+  | Iff (a, b) -> Fmt.pf ppf "%a <=> %a" pp_atom a pp_atom b
+
+and pp_atom ppf = function
+  | Var v -> Fmt.string ppf v
+  | e -> Fmt.pf ppf "(%a)" pp e

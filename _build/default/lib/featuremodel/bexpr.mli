@@ -1,0 +1,21 @@
+(** Boolean expressions over feature names: the language of cross-tree
+    constraints (composition rules). *)
+
+type t =
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+(** Feature names occurring in the expression (with duplicates). *)
+val vars : t -> string list
+
+(** Evaluate under a truth assignment of features. *)
+val eval : (string -> bool) -> t -> bool
+
+(** Lower onto SAT formulas given a feature-to-variable mapping. *)
+val to_formula : (string -> int) -> t -> Sat.Formula.t
+
+val pp : Format.formatter -> t -> unit

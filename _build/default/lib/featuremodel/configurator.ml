@@ -1,0 +1,106 @@
+(* Stepwise, propagation-complete configuration (the behaviour behind the
+   paper's greyed-out features in Fig. 1 and the guarantee of §IV-A that "a
+   set of features that violates the constraints is never selected by the
+   user").
+
+   After every user decision the configurator computes, for each undecided
+   feature, whether it is *forced* (selected in every remaining valid
+   configuration) or *forbidden* (selected in none) — both by SAT queries
+   under the current decisions — so the UI can grey it out.  Decisions that
+   would make the configuration invalid are rejected. *)
+
+type status =
+  | Selected   (* decided by the user *)
+  | Deselected (* decided by the user *)
+  | Forced     (* implied by the decisions: must be selected *)
+  | Forbidden  (* implied by the decisions: cannot be selected *)
+  | Free       (* still open *)
+
+type t = {
+  env : Analysis.t;
+  model : Model.t;
+  mutable decisions : (string * bool) list; (* newest first *)
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let create model =
+  let env = Analysis.encode model in
+  if Analysis.is_void env then error "feature model is void";
+  { env; model; decisions = [] }
+
+let decided t name = List.assoc_opt name t.decisions
+
+let selected_of t = List.filter_map (fun (n, v) -> if v then Some n else None) t.decisions
+let deselected_of t = List.filter_map (fun (n, v) -> if v then None else Some n) t.decisions
+
+let consistent_with t ~extra_selected ~extra_deselected =
+  Analysis.is_consistent_selection t.env
+    ~selected:(extra_selected @ selected_of t)
+    ~deselected:(extra_deselected @ deselected_of t)
+
+let status t name =
+  if not (Model.mem t.model name) then error "unknown feature %s" name;
+  match decided t name with
+  | Some true -> Selected
+  | Some false -> Deselected
+  | None ->
+    let can_select = consistent_with t ~extra_selected:[ name ] ~extra_deselected:[] in
+    let can_deselect = consistent_with t ~extra_selected:[] ~extra_deselected:[ name ] in
+    (match (can_select, can_deselect) with
+     | true, true -> Free
+     | true, false -> Forced
+     | false, true -> Forbidden
+     | false, false ->
+       (* Cannot happen while the decision set is consistent. *)
+       assert false)
+
+(* Decide a feature; rejected (with an [Error]) when it contradicts the
+   model under the current decisions. *)
+let decide t name value =
+  if not (Model.mem t.model name) then error "unknown feature %s" name;
+  (match decided t name with
+   | Some v when v = value -> ()
+   | Some _ -> error "feature %s already decided; undo first" name
+   | None ->
+     let ok =
+       if value then consistent_with t ~extra_selected:[ name ] ~extra_deselected:[]
+       else consistent_with t ~extra_selected:[] ~extra_deselected:[ name ]
+     in
+     if not ok then
+       error "%s %s would violate the feature model" (if value then "selecting" else "deselecting")
+         name;
+     t.decisions <- (name, value) :: t.decisions)
+
+let undo t =
+  match t.decisions with
+  | [] -> error "nothing to undo"
+  | (name, _) :: rest ->
+    t.decisions <- rest;
+    name
+
+(* Current state of every feature, in model order. *)
+let state t = List.map (fun f -> (f.Model.name, status t f.Model.name)) (Model.all_features t.model)
+
+(* The configuration is complete when every concrete feature is decided or
+   implied; the resulting product is then unique. *)
+let is_complete t =
+  List.for_all
+    (fun name -> match status t name with Free -> false | _ -> true)
+    (Model.concrete_names t.model)
+
+(* The product implied by a complete configuration. *)
+let product t =
+  if not (is_complete t) then error "configuration is not complete";
+  List.filter
+    (fun name -> match status t name with Selected | Forced -> true | _ -> false)
+    (Model.concrete_names t.model)
+
+let pp_status ppf = function
+  | Selected -> Fmt.string ppf "selected"
+  | Deselected -> Fmt.string ppf "deselected"
+  | Forced -> Fmt.string ppf "forced"
+  | Forbidden -> Fmt.string ppf "forbidden"
+  | Free -> Fmt.string ppf "free"

@@ -1,0 +1,39 @@
+(** Stepwise, propagation-complete configuration — the mechanism behind the
+    paper's greyed-out features (Fig. 1) and the §IV-A guarantee that an
+    invalid feature set can never be selected.
+
+    After each decision, every undecided feature is classified as [Free],
+    [Forced] (in every remaining valid configuration) or [Forbidden] (in
+    none); invalid decisions are rejected outright. *)
+
+type status = Selected | Deselected | Forced | Forbidden | Free
+
+type t
+
+exception Error of string
+
+(** Raises {!Error} on a void model. *)
+val create : Model.t -> t
+
+(** Classify one feature under the current decisions. *)
+val status : t -> string -> status
+
+(** [decide t name value] — select ([true]) or deselect a feature.  Raises
+    {!Error} if the feature is already decided or the decision would
+    violate the model. *)
+val decide : t -> string -> bool -> unit
+
+(** Revert the most recent decision; returns the feature name. *)
+val undo : t -> string
+
+(** Status of every feature, in model (preorder) order. *)
+val state : t -> (string * status) list
+
+(** Every concrete feature decided or implied? *)
+val is_complete : t -> bool
+
+(** The unique product of a complete configuration.  Raises {!Error}
+    otherwise. *)
+val product : t -> string list
+
+val pp_status : Format.formatter -> status -> unit

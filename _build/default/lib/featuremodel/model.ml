@@ -1,0 +1,80 @@
+(* Feature models: a tree of features with AND/OR/XOR group decomposition,
+   mandatory/optional/abstract markers, and cross-tree constraints
+   (Section II-B of the paper). *)
+
+type group = And_group | Or_group | Xor_group
+
+type feature = {
+  name : string;
+  abstract : bool;
+  mandatory : bool; (* relative to the parent; ignored for the root *)
+  group : group;    (* decomposition semantics of this feature's children *)
+  children : feature list;
+}
+
+type t = {
+  root : feature;
+  constraints : Bexpr.t list;
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let feature ?(abstract = false) ?(mandatory = false) ?(group = And_group) ?(children = [])
+    name =
+  { name; abstract; mandatory; group; children }
+
+let make ?(constraints = []) root =
+  (* Check feature-name uniqueness up front. *)
+  let rec collect f acc = List.fold_left (fun acc c -> collect c acc) (f.name :: acc) f.children in
+  let names = collect root [] in
+  let dupes =
+    List.filter (fun n -> List.length (List.filter (String.equal n) names) > 1) names
+  in
+  (match dupes with
+   | [] -> ()
+   | d :: _ -> error "duplicate feature name %s" d);
+  (* Constraints must refer to existing features. *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v -> if not (List.mem v names) then error "constraint mentions unknown feature %s" v)
+        (Bexpr.vars c))
+    constraints;
+  { root; constraints }
+
+let rec find_feature f name =
+  if String.equal f.name name then Some f
+  else List.find_map (fun c -> find_feature c name) f.children
+
+let mem t name = find_feature t.root name <> None
+
+(* All features in preorder. *)
+let all_features t =
+  let rec go f acc = List.fold_left (fun acc c -> go c acc) (acc @ [ f ]) f.children in
+  go t.root []
+
+let feature_names t = List.map (fun f -> f.name) (all_features t)
+
+(* Concrete (non-abstract) features define product identity. *)
+let concrete_names t =
+  List.filter_map (fun f -> if f.abstract then None else Some f.name) (all_features t)
+
+let pp_group ppf = function
+  | And_group -> Fmt.string ppf "and"
+  | Or_group -> Fmt.string ppf "or"
+  | Xor_group -> Fmt.string ppf "xor"
+
+let rec pp_feature ppf f =
+  Fmt.pf ppf "@[<v 2>%s%s%s%s {%a@]@,}"
+    (if f.abstract then "abstract " else "")
+    f.name
+    (if f.mandatory then " (mandatory)" else "")
+    (match f.group with And_group -> "" | Or_group -> " or" | Xor_group -> " xor")
+    Fmt.(list ~sep:nop (fun ppf c -> Fmt.pf ppf "@,%a" pp_feature c))
+    f.children
+
+let pp ppf t =
+  pp_feature ppf t.root;
+  List.iter (fun c -> Fmt.pf ppf "@,constraint %a;" Bexpr.pp c) t.constraints

@@ -1,0 +1,49 @@
+(** Feature models: a tree of features with AND/OR/XOR group decomposition,
+    mandatory/optional/abstract markers, and cross-tree constraints
+    (§II-B of the paper). *)
+
+type group = And_group | Or_group | Xor_group
+
+type feature = {
+  name : string;
+  abstract : bool;  (** abstract features do not distinguish products *)
+  mandatory : bool; (** relative to the parent; ignored for the root *)
+  group : group;    (** decomposition semantics of this feature's children *)
+  children : feature list;
+}
+
+type t = {
+  root : feature;
+  constraints : Bexpr.t list;
+}
+
+exception Error of string
+
+(** Construct a single feature (defaults: concrete, optional, AND, no
+    children). *)
+val feature :
+  ?abstract:bool ->
+  ?mandatory:bool ->
+  ?group:group ->
+  ?children:feature list ->
+  string ->
+  feature
+
+(** Build a model, checking name uniqueness and that constraints refer to
+    declared features.  Raises {!Error} otherwise. *)
+val make : ?constraints:Bexpr.t list -> feature -> t
+
+val find_feature : feature -> string -> feature option
+val mem : t -> string -> bool
+
+(** All features in preorder. *)
+val all_features : t -> feature list
+
+val feature_names : t -> string list
+
+(** Concrete (non-abstract) feature names; these define product identity. *)
+val concrete_names : t -> string list
+
+val pp_group : Format.formatter -> group -> unit
+val pp_feature : Format.formatter -> feature -> unit
+val pp : Format.formatter -> t -> unit

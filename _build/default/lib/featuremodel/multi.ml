@@ -1,0 +1,115 @@
+(* Multi-product feature models for static partitioning (Section IV-A).
+
+   A hypervisor configuration with m VMs instantiates the same base feature
+   model once per VM; designated resource groups (e.g. the children of
+   "cpus") are *exclusive*: within one VM at most one member may be selected
+   (per the base model's XOR), and across VMs the same member may not be
+   selected twice.  This is the paper's Boolean formula
+
+     (f_1^1 \/ ... \/ f_n^m <-> f) /\
+     /\_{i<j,k} ~(f_i^k /\ f_j^k) /\ /\_{k<l} ~(f_i^k /\ f_i^l)
+
+   The platform configuration is the union of the per-VM products. *)
+
+type t = {
+  solver : Sat.Solver.t;
+  base : Model.t;
+  num_vms : int;
+  exclusive : string list;
+  vars : ((int * string) * int) list; (* (vm index 1..m, feature) -> variable *)
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+let var t ~vm name =
+  match List.assoc_opt (vm, name) t.vars with
+  | Some v -> v
+  | None -> error "unknown feature %s (vm %d)" name vm
+
+let lit t ~vm name = Sat.Lit.of_var (var t ~vm name)
+
+let encode ?(exclusive = []) (base : Model.t) ~vms =
+  if vms < 1 then error "need at least one VM";
+  List.iter
+    (fun name ->
+      match Model.find_feature base.Model.root name with
+      | None -> error "exclusive feature %s not in the model" name
+      | Some f ->
+        if f.Model.children = [] then
+          error "exclusive feature %s has no sub-features to partition" name)
+    exclusive;
+  let solver = Sat.Solver.create () in
+  let names = Model.feature_names base in
+  let vars =
+    List.concat_map
+      (fun vm -> List.map (fun name -> ((vm, name), Sat.Solver.new_var solver)) names)
+      (List.init vms (fun i -> i + 1))
+  in
+  let lookup vm name =
+    match List.assoc_opt (vm, name) vars with
+    | Some v -> v
+    | None -> error "unknown feature %s" name
+  in
+  (* Each VM is a valid product of the base model. *)
+  for vm = 1 to vms do
+    ignore (Sat.Formula.assert_in solver (Analysis.formula base (lookup vm)) : bool)
+  done;
+  (* Exclusivity across VMs for each designated resource group. *)
+  List.iter
+    (fun parent ->
+      let children =
+        match Model.find_feature base.Model.root parent with
+        | Some f -> List.map (fun c -> c.Model.name) f.Model.children
+        | None -> []
+      in
+      List.iter
+        (fun child ->
+          for k = 1 to vms do
+            for l = k + 1 to vms do
+              ignore
+                (Sat.Solver.add_clause solver
+                   [ Sat.Lit.neg (Sat.Lit.of_var (lookup k child));
+                     Sat.Lit.neg (Sat.Lit.of_var (lookup l child))
+                   ]
+                  : bool)
+            done
+          done)
+        children)
+    exclusive;
+  { solver; base; num_vms = vms; exclusive; vars }
+
+(* Satisfiability under per-VM feature decisions.  [selected]/[deselected]
+   pin (vm, feature) pairs; the answer is the full per-VM products. *)
+let solve ?(selected = []) ?(deselected = []) t =
+  let assumptions =
+    List.map (fun (vm, name) -> lit t ~vm name) selected
+    @ List.map (fun (vm, name) -> Sat.Lit.neg (lit t ~vm name)) deselected
+  in
+  match Sat.Solver.solve ~assumptions t.solver with
+  | Sat.Solver.Unsat -> `Unsat
+  | Sat.Solver.Sat ->
+    let concrete = Model.concrete_names t.base in
+    `Sat
+      (List.init t.num_vms (fun i ->
+           let vm = i + 1 in
+           ( vm,
+             List.filter (fun name -> Sat.Solver.value t.solver (var t ~vm name)) concrete )))
+
+let is_allocatable t = solve t <> `Unsat
+
+(* The platform product: union of the per-VM products. *)
+let platform_features products =
+  List.sort_uniq String.compare (List.concat_map snd products)
+
+(* Largest number of VMs for which the multi-product model with exclusivity
+   remains satisfiable (the paper notes m = 2 for the 2-CPU example). *)
+let max_vms ?(bound = 16) ?(exclusive = []) base =
+  let rec go best vms =
+    if vms > bound then best
+    else
+      let t = encode ~exclusive base ~vms in
+      if is_allocatable t then go vms (vms + 1) else best
+  in
+  go 0 1

@@ -1,0 +1,30 @@
+(** Multi-product feature models for static partitioning (§IV-A): the base
+    model instantiated once per VM, with designated resource groups
+    {e exclusive} — at most one member per VM (the base model's XOR) and
+    each member in at most one VM. *)
+
+type t
+
+exception Error of string
+
+(** [encode ?exclusive base ~vms] builds the k-VM model.  Each name in
+    [exclusive] must be a feature of [base] with children (the resources
+    being partitioned).  Raises {!Error} otherwise or when [vms < 1]. *)
+val encode : ?exclusive:string list -> Model.t -> vms:int -> t
+
+(** Satisfiability under per-VM pins; on success returns each VM's complete
+    concrete product. *)
+val solve :
+  ?selected:(int * string) list ->
+  ?deselected:(int * string) list ->
+  t ->
+  [ `Sat of (int * string list) list | `Unsat ]
+
+val is_allocatable : t -> bool
+
+(** Union of the per-VM products — the platform product (§III-A). *)
+val platform_features : (int * string list) list -> string list
+
+(** Largest VM count for which the model stays satisfiable (0 if even one
+    VM does not fit); the paper notes m = 2 for the 2-CPU example. *)
+val max_vms : ?bound:int -> ?exclusive:string list -> Model.t -> int

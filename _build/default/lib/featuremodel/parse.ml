@@ -1,0 +1,222 @@
+(* Textual syntax for feature models, used by the CLI and tests:
+
+     feature CustomSBC {
+         mandatory memory;
+         mandatory abstract cpus xor {
+             cpu@0;
+             cpu@1;
+         }
+         abstract uarts or {
+             uart@20000000;
+             uart@30000000;
+         }
+     }
+     constraint veth0 => cpu@0;
+     constraint veth1 => cpu@1;
+
+   Children default to optional; groups default to AND.  Feature names may
+   contain the same liberal character set as DT node names. *)
+
+exception Error of string * int (* message, line *)
+
+let error line fmt = Fmt.kstr (fun msg -> raise (Error (msg, line))) fmt
+
+type token =
+  | WORD of string
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | LPAREN
+  | RPAREN
+  | NOT
+  | AND
+  | OR_OP
+  | IMPLIES
+  | IFF
+  | EOF
+
+let is_word_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '@' | '_' | '-' | '.' | ',' | '+' | '#' -> true
+  | _ -> false
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    (match src.[!i] with
+     | '\n' ->
+       incr line;
+       incr i
+     | ' ' | '\t' | '\r' -> incr i
+     | '/' when !i + 1 < n && src.[!i + 1] = '/' ->
+       while !i < n && src.[!i] <> '\n' do
+         incr i
+       done
+     | '{' -> push LBRACE; incr i
+     | '}' -> push RBRACE; incr i
+     | ';' -> push SEMI; incr i
+     | '(' -> push LPAREN; incr i
+     | ')' -> push RPAREN; incr i
+     | '!' -> push NOT; incr i
+     | '&' -> push AND; incr i; if !i < n && src.[!i] = '&' then incr i
+     | '|' -> push OR_OP; incr i; if !i < n && src.[!i] = '|' then incr i
+     | '=' when !i + 1 < n && src.[!i + 1] = '>' ->
+       push IMPLIES;
+       i := !i + 2
+     | '<' when !i + 2 < n && src.[!i + 1] = '=' && src.[!i + 2] = '>' ->
+       push IFF;
+       i := !i + 3
+     | c when is_word_char c ->
+       let start = !i in
+       while !i < n && is_word_char src.[!i] do
+         incr i
+       done;
+       push (WORD (String.sub src start (!i - start)))
+     | c -> error !line "unexpected character %C" c)
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)
+
+type state = {
+  toks : (token * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let peek_line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st else error (peek_line st) "expected %s" what
+
+let word st what =
+  match peek st with
+  | WORD w ->
+    advance st;
+    w
+  | _ -> error (peek_line st) "expected %s" what
+
+(* --- constraint expressions (precedence: <=> lowest, then =>, |, &, !) ---- *)
+
+let rec parse_iff st =
+  let a = parse_implies st in
+  if peek st = IFF then begin
+    advance st;
+    Bexpr.Iff (a, parse_iff st)
+  end
+  else a
+
+and parse_implies st =
+  let a = parse_or st in
+  if peek st = IMPLIES then begin
+    advance st;
+    Bexpr.Implies (a, parse_implies st)
+  end
+  else a
+
+and parse_or st =
+  let a = ref (parse_and st) in
+  while peek st = OR_OP do
+    advance st;
+    a := Bexpr.Or (!a, parse_and st)
+  done;
+  !a
+
+and parse_and st =
+  let a = ref (parse_not st) in
+  while peek st = AND do
+    advance st;
+    a := Bexpr.And (!a, parse_not st)
+  done;
+  !a
+
+and parse_not st =
+  match peek st with
+  | NOT ->
+    advance st;
+    Bexpr.Not (parse_not st)
+  | LPAREN ->
+    advance st;
+    let e = parse_iff st in
+    expect st RPAREN "')'";
+    e
+  | WORD w ->
+    advance st;
+    Bexpr.Var w
+  | _ -> error (peek_line st) "expected constraint expression"
+
+(* --- features ---------------------------------------------------------------- *)
+
+let rec parse_feature st ~mandatory ~abstract =
+  let mandatory = ref mandatory and abstract = ref abstract in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | WORD "mandatory" ->
+      advance st;
+      mandatory := true
+    | WORD "optional" ->
+      advance st;
+      mandatory := false
+    | WORD "abstract" ->
+      advance st;
+      abstract := true
+    | _ -> continue := false
+  done;
+  let name = word st "feature name" in
+  let group =
+    match peek st with
+    | WORD "or" ->
+      advance st;
+      Model.Or_group
+    | WORD "xor" ->
+      advance st;
+      Model.Xor_group
+    | WORD "and" ->
+      advance st;
+      Model.And_group
+    | _ -> Model.And_group
+  in
+  let children =
+    if peek st = LBRACE then begin
+      advance st;
+      let kids = ref [] in
+      while peek st <> RBRACE do
+        let kid = parse_feature st ~mandatory:false ~abstract:false in
+        (* Child declarations end with ';' unless they have a block. *)
+        if peek st = SEMI then advance st;
+        kids := kid :: !kids
+      done;
+      expect st RBRACE "'}'";
+      List.rev !kids
+    end
+    else []
+  in
+  {
+    Model.name;
+    abstract = !abstract;
+    mandatory = !mandatory;
+    group;
+    children;
+  }
+
+let parse src =
+  let st = { toks = tokenize src; pos = 0 } in
+  expect st (WORD "feature") "'feature'";
+  let root = parse_feature st ~mandatory:true ~abstract:false in
+  let constraints = ref [] in
+  while peek st <> EOF do
+    match peek st with
+    | WORD "constraint" ->
+      advance st;
+      let e = parse_iff st in
+      expect st SEMI "';'";
+      constraints := e :: !constraints
+    | SEMI -> advance st
+    | _ -> error (peek_line st) "expected 'constraint' or end of input"
+  done;
+  Model.make ~constraints:(List.rev !constraints) root

@@ -1,0 +1,18 @@
+(** Textual syntax for feature models:
+
+    {v
+    feature abstract CustomSBC {
+        mandatory memory;
+        mandatory abstract cpus xor { cpu@0; cpu@1; }
+    }
+    constraint veth0 => cpu@0;
+    v}
+
+    Children default to optional, groups to AND.  Constraint expressions use
+    [!], [&], [|], [=>], [<=>] with C-like precedence. *)
+
+exception Error of string * int (** message, 1-based line *)
+
+(** Parse a feature model.  Raises {!Error} on syntax errors and
+    [Model.Error] on semantic ones (duplicate names, unknown features). *)
+val parse : string -> Model.t

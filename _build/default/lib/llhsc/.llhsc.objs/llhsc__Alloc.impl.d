@@ -1,0 +1,1 @@
+lib/llhsc/alloc.ml: Featuremodel List Printf Report String

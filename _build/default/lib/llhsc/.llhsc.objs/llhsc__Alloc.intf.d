@@ -1,0 +1,1 @@
+lib/llhsc/alloc.mli: Featuremodel Report

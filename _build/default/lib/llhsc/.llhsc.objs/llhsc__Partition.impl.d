@@ -1,0 +1,1 @@
+lib/llhsc/partition.ml: Devicetree List Report Semantic Smt

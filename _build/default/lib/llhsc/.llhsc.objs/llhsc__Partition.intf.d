@@ -1,0 +1,1 @@
+lib/llhsc/partition.mli: Devicetree Report Smt

@@ -1,0 +1,1 @@
+lib/llhsc/pipeline.ml: Alloc Delta Devicetree Fmt List Option Partition Printf Report Semantic Smt String Syntactic

@@ -1,0 +1,1 @@
+lib/llhsc/pipeline.mli: Delta Devicetree Featuremodel Format Report Schema

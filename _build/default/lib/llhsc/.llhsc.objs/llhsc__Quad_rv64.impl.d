@@ -1,0 +1,1 @@
+lib/llhsc/quad_rv64.ml: Delta Devicetree Featuremodel List Pipeline Schema

@@ -1,0 +1,1 @@
+lib/llhsc/quad_rv64.mli: Delta Devicetree Featuremodel Pipeline Schema

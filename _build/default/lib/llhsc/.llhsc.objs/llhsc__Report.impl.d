@@ -1,0 +1,1 @@
+lib/llhsc/report.ml: Devicetree Fmt List String

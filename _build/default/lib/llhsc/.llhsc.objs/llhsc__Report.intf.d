@@ -1,0 +1,1 @@
+lib/llhsc/report.mli: Devicetree Format

@@ -1,0 +1,1 @@
+lib/llhsc/running_example.ml: Delta Devicetree Featuremodel List Printf Schema

@@ -1,0 +1,1 @@
+lib/llhsc/running_example.mli: Delta Devicetree Featuremodel Schema

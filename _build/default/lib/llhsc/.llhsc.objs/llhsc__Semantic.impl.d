@@ -1,0 +1,1 @@
+lib/llhsc/semantic.ml: Array Devicetree Fmt Int64 List Option Printf Report Smt String

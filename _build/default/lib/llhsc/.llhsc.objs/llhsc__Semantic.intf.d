@@ -1,0 +1,1 @@
+lib/llhsc/semantic.mli: Devicetree Report Smt

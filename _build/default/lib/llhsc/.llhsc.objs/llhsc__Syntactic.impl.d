@@ -1,0 +1,1 @@
+lib/llhsc/syntactic.ml: Devicetree List Report Schema Smt String Util

@@ -1,0 +1,1 @@
+lib/llhsc/syntactic.mli: Devicetree Report Schema Smt

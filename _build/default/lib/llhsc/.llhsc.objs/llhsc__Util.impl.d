@@ -1,0 +1,1 @@
+lib/llhsc/util.ml: String

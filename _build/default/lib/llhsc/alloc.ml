@@ -1,0 +1,66 @@
+(* The resource allocation checker (§IV-A): hardware configurations are
+   correct by construction with respect to the feature model.  For a
+   hypervisor configuration with k VMs there are k+1 feature models: one per
+   VM (all sharing the base model) plus the multi-product platform model
+   where exclusive resources are partitioned across VMs.
+
+   Given the user's per-VM feature requests, the checker either completes
+   them into full per-VM products (automatic assignment of greyed-out
+   features, e.g. CPUs) or reports why the allocation is impossible. *)
+
+type request = {
+  vm : int; (* 1-based VM index *)
+  selected : string list;
+  deselected : string list;
+}
+
+type allocation = {
+  vms : (int * string list) list; (* completed per-VM products *)
+  platform : string list;         (* union of the per-VM products *)
+}
+
+type result =
+  | Allocated of allocation
+  | Rejected of Report.finding list
+
+let request ?(deselected = []) vm selected = { vm; selected; deselected }
+
+let allocate ?(exclusive = []) model ~vms ~requests =
+  (* Per-VM validity first, to attribute failures to a single VM. *)
+  let env = Featuremodel.Analysis.encode model in
+  let per_vm_findings =
+    List.filter_map
+      (fun r ->
+        if r.vm < 1 || r.vm > vms then
+          Some
+            (Report.finding ~checker:"alloc" ~node_path:(Printf.sprintf "vm%d" r.vm)
+               "request targets VM %d, but the configuration has %d VM(s)" r.vm vms)
+        else if
+          not
+            (Featuremodel.Analysis.is_consistent_selection env ~selected:r.selected
+               ~deselected:r.deselected)
+        then
+          Some
+            (Report.finding ~checker:"alloc" ~node_path:(Printf.sprintf "vm%d" r.vm)
+               "feature selection {%s} is invalid for the feature model"
+               (String.concat ", " r.selected))
+        else None)
+      requests
+  in
+  if per_vm_findings <> [] then Rejected per_vm_findings
+  else begin
+    let multi = Featuremodel.Multi.encode ~exclusive model ~vms in
+    let selected = List.concat_map (fun r -> List.map (fun f -> (r.vm, f)) r.selected) requests in
+    let deselected =
+      List.concat_map (fun r -> List.map (fun f -> (r.vm, f)) r.deselected) requests
+    in
+    match Featuremodel.Multi.solve ~selected ~deselected multi with
+    | `Sat products ->
+      Allocated { vms = products; platform = Featuremodel.Multi.platform_features products }
+    | `Unsat ->
+      Rejected
+        [ Report.finding ~checker:"alloc" ~node_path:"platform"
+            "no allocation of exclusive resources {%s} satisfies all %d VM requests"
+            (String.concat ", " exclusive) vms
+        ]
+  end

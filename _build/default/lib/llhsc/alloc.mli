@@ -1,0 +1,27 @@
+(** The resource allocation checker (§IV-A): per-VM feature requests are
+    validated against the feature model and completed into full products,
+    with exclusive resources (e.g. CPUs) partitioned across VMs
+    automatically. *)
+
+type request = {
+  vm : int; (** 1-based VM index *)
+  selected : string list;
+  deselected : string list;
+}
+
+type allocation = {
+  vms : (int * string list) list; (** completed per-VM products *)
+  platform : string list;         (** union of the per-VM products *)
+}
+
+type result =
+  | Allocated of allocation
+  | Rejected of Report.finding list
+
+val request : ?deselected:string list -> int -> string list -> request
+
+(** [allocate ?exclusive model ~vms ~requests] — per-VM validity failures
+    are attributed to the VM; cross-VM exclusivity failures to the
+    platform. *)
+val allocate :
+  ?exclusive:string list -> Featuremodel.Model.t -> vms:int -> requests:request list -> result

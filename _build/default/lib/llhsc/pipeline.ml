@@ -1,0 +1,110 @@
+(* The end-to-end llhsc workflow (Fig. 2):
+
+      feature model + per-VM requests
+        └─ alloc checker (§IV-A) ─ completed products, platform product
+      core DTS + delta modules
+        └─ delta application per product (§III-B)
+      generated DTSs
+        └─ syntactic checker (§IV-B) + semantic checker (§IV-C)
+      artifacts: checked VM DTSs + platform DTS (+ hypervisor configs,
+      rendered by lib/bao from these trees)
+
+   All SMT-based checks share one incremental solver instance per run
+   (push/pop scoped), as the paper advocates (§VI). *)
+
+module T = Devicetree.Tree
+
+type product = {
+  name : string;            (* "vm1", "vm2", ..., "platform" *)
+  features : string list;   (* the product's concrete features *)
+  tree : T.t;
+  findings : Report.finding list;
+}
+
+type outcome = {
+  products : product list;
+  alloc_findings : Report.finding list;
+  partition_findings : Report.finding list; (* cross-VM checks *)
+  delta_orders : (string * string list) list; (* product -> application order *)
+}
+
+let ok outcome =
+  Report.is_clean outcome.alloc_findings
+  && Report.is_clean outcome.partition_findings
+  && List.for_all (fun p -> Report.is_clean p.findings) outcome.products
+
+(* Generate and check a single product. *)
+let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
+  match Delta.Apply.generate ~core ~deltas ~selected:features with
+  | exception Delta.Apply.Error e ->
+    let finding =
+      Report.finding ~checker:"delta" ~node_path:(Option.value ~default:"?" e.Delta.Apply.delta)
+        ~loc:e.Delta.Apply.loc "product %s: %s" name e.Delta.Apply.message
+    in
+    { name; features; tree = core; findings = [ finding ] }
+  | tree ->
+    let schemas = schemas_for tree in
+    let syntactic = Syntactic.check ~solver ~schemas ~product:name tree in
+    let semantic = Semantic.check ~solver tree in
+    { name; features; tree; findings = syntactic @ semantic }
+
+(* Run the full workflow.
+
+   [vm_requests]: per-VM feature selections (possibly partial; the alloc
+   checker completes them).  The platform product is the union of the
+   completed VM products, matching §III-A: "the platform DTS is the union of
+   selected features in both products". *)
+let run ?(exclusive = []) ~model ~core ~deltas ~schemas_for ~vm_requests () =
+  let solver = Smt.Solver.create () in
+  let vms = List.length vm_requests in
+  let requests =
+    List.mapi (fun i selected -> Alloc.request (i + 1) selected) vm_requests
+  in
+  match Alloc.allocate ~exclusive model ~vms ~requests with
+  | Alloc.Rejected findings ->
+    { products = []; alloc_findings = findings; partition_findings = []; delta_orders = [] }
+  | Alloc.Allocated { vms = completed; platform } ->
+    let vm_products =
+      List.map
+        (fun (vm, features) ->
+          let name = Printf.sprintf "vm%d" vm in
+          build_product ~solver ~core ~deltas ~schemas_for ~name ~features)
+        completed
+    in
+    let platform_product =
+      build_product ~solver ~core ~deltas ~schemas_for ~name:"platform" ~features:platform
+    in
+    let delta_orders =
+      List.map
+        (fun p -> (p.name, Delta.Apply.order ~selected:p.features deltas))
+        (vm_products @ [ platform_product ])
+    in
+    let partition_findings =
+      Partition.check ~solver ~platform:platform_product.tree
+        (List.map (fun p -> (p.name, p.tree)) vm_products)
+    in
+    {
+      products = vm_products @ [ platform_product ];
+      alloc_findings = [];
+      partition_findings;
+      delta_orders;
+    }
+
+let pp_outcome ppf outcome =
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "product %s: features {%s}@." p.name (String.concat ", " p.features);
+      (match List.assoc_opt p.name outcome.delta_orders with
+       | Some order when order <> [] ->
+         Fmt.pf ppf "  delta order: %s@." (String.concat " < " order)
+       | _ -> ());
+      match p.findings with
+      | [] -> Fmt.pf ppf "  all checks passed@."
+      | fs -> List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs)
+    outcome.products;
+  List.iter (fun f -> Fmt.pf ppf "%a@." Report.pp f) outcome.alloc_findings;
+  (match outcome.partition_findings with
+   | [] -> ()
+   | fs ->
+     Fmt.pf ppf "cross-VM partitioning:@.";
+     List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs)

@@ -1,0 +1,38 @@
+(** The end-to-end llhsc workflow (Fig. 2): allocation, delta application
+    per product, syntactic + semantic checking — all SMT work on one
+    incremental solver instance per run. *)
+
+type product = {
+  name : string;           (** "vm1", ..., "platform" *)
+  features : string list;
+  tree : Devicetree.Tree.t;
+  findings : Report.finding list;
+}
+
+type outcome = {
+  products : product list;
+  alloc_findings : Report.finding list;
+  partition_findings : Report.finding list; (** cross-VM checks *)
+  delta_orders : (string * string list) list; (** product -> application order *)
+}
+
+(** All checks clean (warnings allowed)? *)
+val ok : outcome -> bool
+
+(** [run ?exclusive ~model ~core ~deltas ~schemas_for ~vm_requests ()].
+    [vm_requests] lists each VM's (possibly partial) feature selection; the
+    alloc checker completes them, and the platform product is the union of
+    the completed VM products.  [schemas_for] supplies the binding schemas
+    for a generated tree (letting stride-dependent rules follow the tree's
+    cell context). *)
+val run :
+  ?exclusive:string list ->
+  model:Featuremodel.Model.t ->
+  core:Devicetree.Tree.t ->
+  deltas:Delta.Lang.t list ->
+  schemas_for:(Devicetree.Tree.t -> Schema.Binding.t list) ->
+  vm_requests:string list list ->
+  unit ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

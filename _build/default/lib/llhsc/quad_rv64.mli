@@ -1,0 +1,25 @@
+(** A second, larger case study: a quad-core RV64 SBC (two CPU clusters,
+    four memory banks, two UARTs, virtio devices, GPIO, virtual network
+    channels) partitioned into three VMs.  Exercises cluster extraction,
+    PLIC interrupt topology, per-bank RAM partitioning and three-way
+    exclusive allocation. *)
+
+val core_dts : string
+val core_tree : unit -> Devicetree.Tree.t
+val feature_model_src : string
+val feature_model : unit -> Featuremodel.Model.t
+val deltas_src : string
+val deltas : unit -> Delta.Lang.t list
+val schemas_for : Devicetree.Tree.t -> Schema.Binding.t list
+
+(** Three fully partitioned VM feature selections. *)
+val vm1_features : string list
+
+val vm2_features : string list
+val vm3_features : string list
+
+(** Exclusive resource groups: memory banks, CPUs, UARTs, virtio. *)
+val exclusive : string list
+
+(** The full Fig.-2 pipeline on this case study. *)
+val run_pipeline : unit -> Pipeline.outcome

@@ -1,0 +1,30 @@
+(* Unified findings produced by the llhsc checkers.  Every finding carries
+   enough context to trace it back to the DTS node (and, through the
+   pipeline, to the delta module) that caused it. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  severity : severity;
+  checker : string; (* "alloc" | "syntactic" | "semantic" *)
+  node_path : string;
+  message : string;
+  loc : Devicetree.Loc.t;
+  core : string list; (* unsat-core rule names, when the checker is SMT-based *)
+}
+
+let finding ?(severity = Error) ?(core = []) ?(loc = Devicetree.Loc.dummy) ~checker ~node_path
+    fmt =
+  Fmt.kstr (fun message -> { severity; checker; node_path; message; loc; core }) fmt
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Info -> Fmt.string ppf "info"
+
+let pp ppf f =
+  Fmt.pf ppf "[%a] %s: %s: %s" pp_severity f.severity f.checker f.node_path f.message;
+  if f.core <> [] then Fmt.pf ppf " (core: %s)" (String.concat "; " f.core)
+
+let errors findings = List.filter (fun f -> f.severity = Error) findings
+let is_clean findings = errors findings = []

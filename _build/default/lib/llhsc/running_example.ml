@@ -1,0 +1,318 @@
+(* The paper's running example, packaged as a reusable fixture: the core DTS
+   (Listing 1) with the processor cluster include (Listing 2), the feature
+   model (Fig. 1a), the delta modules (Listing 4), and the binding schemas
+   (Listing 5 plus the uart/cpu/root schemas the checkers exercise).
+
+   Completions relative to the paper's listings, documented in
+   EXPERIMENTS.md:
+   - Listing 4's d2 adds a node named "veth0@70000000" with id = <1>; the
+     evident intent is a second veth for the second VM.  Moreover the paper
+     places it at 0x70000000, *inside* the second memory bank
+     [0x60000000, 0x80000000) -- our semantic checker flags exactly that as
+     a collision (see the test suite), so the green product line relocates
+     it to 0x90000000.
+   - d3 gives the vEthernet container #address-cells/#size-cells and an
+     identity [ranges]; without them the children's reg cells cannot be
+     decoded (spec defaults are 2/1) nor mapped into the root address
+     space.
+   - The paper's delta set leaves the uarts' reg in 64-bit form after d3
+     switches the tree to 32-bit cells; deltas d5/d6 rewrite them (our
+     semantic checker flags the products as colliding at 0x0 otherwise —
+     the very class of error the tool exists to catch).
+   - Removal deltas (rm-cpu0 etc.) drop the device nodes of unselected features, so
+     a VM's DTS contains exactly its product's devices. *)
+
+module T = Devicetree.Tree
+
+let cpus_dtsi =
+  {|
+/ {
+    cpus {
+        #address-cells = <0x1>;
+        #size-cells = <0x0>;
+
+        cpu@0 {
+            compatible = "arm,cortex-a53";
+            device_type = "cpu";
+            enable-method = "psci";
+            reg = <0x0>;
+        };
+
+        cpu@1 {
+            compatible = "arm,cortex-a53";
+            device_type = "cpu";
+            enable-method = "psci";
+            reg = <0x1>;
+        };
+    };
+};
+|}
+
+let core_dts =
+  {|
+/dts-v1/;
+
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000
+               0x0 0x60000000 0x0 0x20000000>;
+    };
+
+    uart0: uart@20000000 {
+        compatible = "ns16550a";
+        reg = <0x0 0x20000000 0x0 0x1000>;
+    };
+
+    uart1: uart@30000000 {
+        compatible = "ns16550a";
+        reg = <0x0 0x30000000 0x0 0x1000>;
+    };
+};
+
+/include/ "cpus.dtsi"
+|}
+
+let loader = function "cpus.dtsi" -> Some cpus_dtsi | _ -> None
+
+let core_tree () = T.of_source ~loader ~file:"custom-sbc.dts" core_dts
+
+(* Fig. 1a.  Modelling choices reproducing the paper's 12 valid products:
+   cpus mandatory XOR (x2), uarts mandatory OR (x3), vEthernet optional XOR
+   tied to the CPUs by the cross constraints (x2). *)
+let feature_model_src =
+  {|
+feature abstract CustomSBC {
+    mandatory memory;
+    mandatory abstract cpus xor {
+        cpu@0;
+        cpu@1;
+    }
+    mandatory abstract uarts or {
+        uart@20000000;
+        uart@30000000;
+    }
+    optional abstract vEthernet xor {
+        veth0;
+        veth1;
+    }
+}
+constraint veth0 => cpu@0;
+constraint veth1 => cpu@1;
+|}
+
+let feature_model () = Featuremodel.Parse.parse feature_model_src
+
+(* Listing 4, with the completions described above. *)
+let deltas_src =
+  {|
+delta d1 after d3 when veth0 {
+    adds binding vEthernet {
+        veth0@80000000 {
+            compatible = "veth";
+            reg = <0x80000000 0x10000000>;
+            id = <0>;
+        };
+    };
+}
+
+delta d2 after d3 when veth1 {
+    adds binding vEthernet {
+        veth1@90000000 {
+            compatible = "veth";
+            reg = <0x90000000 0x10000000>;
+            id = <1>;
+        };
+    };
+}
+
+delta d3 when (veth0 || veth1) {
+    modifies / {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        vEthernet {
+            #address-cells = <1>;
+            #size-cells = <1>;
+            ranges;
+        };
+    };
+}
+
+delta d4 after d3 when (memory && (veth0 || veth1)) {
+    modifies memory@40000000 {
+        reg = <0x40000000 0x20000000
+               0x60000000 0x20000000>;
+    };
+}
+
+delta d5 after d3 when (uart@20000000 && (veth0 || veth1)) {
+    modifies uart@20000000 {
+        reg = <0x20000000 0x1000>;
+    };
+}
+
+delta d6 after d3 when (uart@30000000 && (veth0 || veth1)) {
+    modifies uart@30000000 {
+        reg = <0x30000000 0x1000>;
+    };
+}
+
+delta rm-cpu0 when !cpu@0 { removes cpu@0; }
+delta rm-cpu1 when !cpu@1 { removes cpu@1; }
+delta rm-uart0 when !uart@20000000 { removes uart@20000000; }
+delta rm-uart1 when !uart@30000000 { removes uart@30000000; }
+delta rm-memory when !memory { removes memory@40000000; }
+|}
+
+let deltas () = Delta.Parse.parse ~file:"custom-sbc.deltas" deltas_src
+
+(* Additional deltas that *actually* partition the hardware per VM — the
+   safety requirement of §I-A ("one processor is exclusively assigned to a
+   single VM, while the main memory is partitioned between the two VMs"),
+   which the paper's Listing-4 delta set leaves unrealised (both VMs keep
+   both banks, cf. Listing 6).  With these, the cross-VM partition checker
+   reports zero findings. *)
+let partitioning_deltas_src =
+  {|
+delta d7 after d4 when (memory && veth0 && !veth1) {
+    modifies memory@40000000 {
+        reg = <0x40000000 0x20000000>;
+    };
+}
+
+delta d8 after d4 when (memory && veth1 && !veth0) {
+    modifies memory@40000000 {
+        reg = <0x60000000 0x20000000>;
+    };
+}
+|}
+
+let partitioned_deltas () =
+  let combined =
+    deltas ()
+    @ Delta.Parse.parse ~validate_refs:false ~file:"custom-sbc-partitioned.deltas"
+        partitioning_deltas_src
+  in
+  Delta.Parse.validate combined;
+  combined
+
+(* The binding schemas.  The memory schema's reg stride follows the tree's
+   root #address-cells/#size-cells, the dynamic assertion dt-schema builds
+   (Section I-A); [schemas_for] instantiates it for a concrete tree. *)
+let memory_schema_src ~stride =
+  Printf.sprintf
+    {|
+$id: memory
+description: Fragment of the dt-schema for the memory DT node (Listing 5)
+select:
+  node-name: memory
+properties:
+  device_type:
+    const: memory
+  reg:
+    minItems: 1
+    maxItems: 1024
+    multipleOf: %d
+required:
+  - device_type
+  - reg
+|}
+    stride
+
+let uart_schema_src ~stride =
+  Printf.sprintf
+    {|
+$id: uart
+select:
+  compatible: [ns16550a]
+properties:
+  compatible:
+    const: ns16550a
+  reg:
+    minItems: 1
+    maxItems: 1
+    multipleOf: %d
+required:
+  - compatible
+  - reg
+|}
+    stride
+
+let veth_schema_src =
+  {|
+$id: veth
+select:
+  compatible: [veth]
+properties:
+  compatible:
+    const: veth
+  reg:
+    minItems: 1
+    maxItems: 1
+    multipleOf: 2
+  id:
+    type: cells
+required:
+  - compatible
+  - reg
+  - id
+|}
+
+let cpu_schema_src =
+  {|
+$id: cpu
+select:
+  node-name: cpu
+properties:
+  device_type:
+    const: cpu
+  compatible:
+    enum:
+      - arm,cortex-a53
+      - arm,cortex-a72
+      - riscv
+  enable-method:
+    enum: [psci, spin-table]
+  reg:
+    minItems: 1
+    maxItems: 1
+required:
+  - device_type
+  - compatible
+  - reg
+|}
+
+let root_schema_src =
+  {|
+$id: custom-sbc-root
+description: A processing unit is a mandatory definition inside the DT
+select:
+  node-name: /
+requiredNodes:
+  - cpus
+|}
+
+let schemas_for tree =
+  let stride = Devicetree.Addresses.(address_cells tree + size_cells tree) in
+  List.map Schema.Binding.of_string
+    [ memory_schema_src ~stride;
+      uart_schema_src ~stride;
+      veth_schema_src;
+      cpu_schema_src;
+      root_schema_src
+    ]
+
+(* Fig. 1b / Fig. 1c products. *)
+let vm1_features = [ "memory"; "cpu@0"; "uart@20000000"; "uart@30000000"; "veth0" ]
+let vm2_features = [ "memory"; "cpu@1"; "uart@20000000"; "uart@30000000"; "veth1" ]
+
+(* Fully partitioned variant: each VM gets its own UART (and, through
+   d7/d8, its own memory bank). *)
+let vm1_partitioned_features = [ "memory"; "cpu@0"; "uart@20000000"; "veth0" ]
+let vm2_partitioned_features = [ "memory"; "cpu@1"; "uart@30000000"; "veth1" ]
+
+(* The exclusive resource group for static partitioning. *)
+let exclusive = [ "cpus" ]

@@ -1,0 +1,44 @@
+(** The paper's running example as a reusable fixture: the core DTS
+    (Listing 1) with the processor-cluster include (Listing 2), the feature
+    model (Fig. 1a), the delta modules (Listing 4, with the completions
+    documented in EXPERIMENTS.md), and the binding schemas (Listing 5 plus
+    uart/veth/cpu/root schemas). *)
+
+val cpus_dtsi : string
+val core_dts : string
+
+(** Include loader resolving "cpus.dtsi". *)
+val loader : string -> string option
+
+(** Parse the core DTS (Listing 1 + Listing 2). *)
+val core_tree : unit -> Devicetree.Tree.t
+
+val feature_model_src : string
+val feature_model : unit -> Featuremodel.Model.t
+
+val deltas_src : string
+val deltas : unit -> Delta.Lang.t list
+
+(** Extra deltas (d7/d8) that split the memory banks per VM, realising the
+    partitioning requirement of §I-A that Listing 4 leaves open. *)
+val partitioning_deltas_src : string
+
+val partitioned_deltas : unit -> Delta.Lang.t list
+
+(** Binding schemas instantiated for a tree's root cell context (the reg
+    stride follows #address-cells + #size-cells, as dt-schema's dynamic
+    assertion does). *)
+val schemas_for : Devicetree.Tree.t -> Schema.Binding.t list
+
+(** Fig. 1b / Fig. 1c products. *)
+val vm1_features : string list
+
+val vm2_features : string list
+
+(** Fully partitioned variant (per-VM UART; d7/d8 give per-VM banks). *)
+val vm1_partitioned_features : string list
+
+val vm2_partitioned_features : string list
+
+(** The exclusive resource group for static partitioning. *)
+val exclusive : string list

@@ -1,0 +1,22 @@
+(** The syntactic checker (§IV-B): dt-schema-style constraints discharged on
+    the SMT solver ({!check}), and the procedural dt-schema baseline
+    ({!check_direct}).  Both agree on pass/fail per node; the SMT route
+    additionally yields unsat cores naming the conflicting rules. *)
+
+(** Keep the actionable (schema-rule) entries of a core, dropping the
+    obligations stating facts about the binding. *)
+val summarize_core : string list -> string list
+
+(** [check ?solver ~schemas ?product tree] checks every applicable
+    node/schema pair.  [product] prefixes solver symbols so several products
+    can share one incremental solver. *)
+val check :
+  ?solver:Smt.Solver.t ->
+  schemas:Schema.Binding.t list ->
+  ?product:string ->
+  Devicetree.Tree.t ->
+  Report.finding list
+
+(** The dt-schema baseline: same judgements, no solver, no cores. *)
+val check_direct :
+  schemas:Schema.Binding.t list -> Devicetree.Tree.t -> Report.finding list

@@ -1,0 +1,6 @@
+(** Small string helpers shared by the llhsc modules. *)
+
+(** Substring search. *)
+val contains : string -> string -> bool
+
+val starts_with : prefix:string -> string -> bool

@@ -1,0 +1,1 @@
+lib/sat/formula.ml: Fmt Int List Lit Solver

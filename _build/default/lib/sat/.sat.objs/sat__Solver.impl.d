@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Float Fmt Heap Int Lazy List Lit Vec

@@ -1,0 +1,66 @@
+type cnf = {
+  num_vars : int;
+  clauses : Lit.t list list;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref 0 in
+  let declared_clauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "dimacs: bad token %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some d ->
+      if abs d > !num_vars then
+        failwith (Printf.sprintf "dimacs: literal %d out of declared range" d);
+      current := Lit.of_dimacs d :: !current
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "p"; "cnf"; nv; nc ] ->
+        num_vars := int_of_string nv;
+        declared_clauses := int_of_string nc
+      | _ -> failwith "dimacs: malformed problem line"
+    end
+    else
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.iter handle_token
+  in
+  List.iter handle_line lines;
+  if !current <> [] then failwith "dimacs: clause not terminated by 0";
+  let clauses = List.rev !clauses in
+  if !declared_clauses >= 0 && List.length clauses <> !declared_clauses then
+    failwith "dimacs: clause count mismatch";
+  { num_vars = !num_vars; clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let buf = really_input_string ic n in
+  close_in ic;
+  parse buf
+
+let print ppf { num_vars; clauses } =
+  Fmt.pf ppf "p cnf %d %d@." num_vars (List.length clauses);
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Fmt.pf ppf "%d " (Lit.to_dimacs l)) clause;
+      Fmt.pf ppf "0@.")
+    clauses
+
+let load { num_vars; clauses } =
+  let solver = Solver.create () in
+  for _ = 1 to num_vars do
+    ignore (Solver.new_var solver : int)
+  done;
+  let ok = List.for_all (fun c -> Solver.add_clause solver c) clauses in
+  (solver, ok)

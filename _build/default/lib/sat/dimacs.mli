@@ -1,0 +1,20 @@
+(** DIMACS CNF reading and writing.
+
+    Interoperability with standard SAT tooling; also used by the test suite
+    to replay fixed instances against the solver. *)
+
+type cnf = {
+  num_vars : int;
+  clauses : Lit.t list list;
+}
+
+(** Parse DIMACS CNF text.  Raises [Failure] with a message on bad input. *)
+val parse : string -> cnf
+
+val parse_file : string -> cnf
+
+val print : Format.formatter -> cnf -> unit
+
+(** Load a CNF into a fresh solver; returns the solver and [false] if the
+    instance is already trivially unsatisfiable. *)
+val load : cnf -> Solver.t * bool

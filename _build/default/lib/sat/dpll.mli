@@ -1,0 +1,25 @@
+(** A deliberately plain DPLL solver: unit propagation by full clause scans,
+    no watched literals, no learning, no heuristics.  The ablation baseline
+    for the CDCL solver and a differential-testing oracle. *)
+
+type result = Sat of bool array | Unsat
+
+(** Clauses in DIMACS-like form: variable [v] is [v+1], its negation
+    [-(v+1)]. *)
+type problem = {
+  num_vars : int;
+  clauses : int list list;
+}
+
+(** Build a problem from {!Lit}-encoded clauses. *)
+val of_lits : num_vars:int -> Lit.t list list -> problem
+
+(** Tseitin conversion of a propositional formula (atoms 0..num_vars-1);
+    definition variables are appended after [num_vars]. *)
+val of_formula : num_vars:int -> Formula.t -> problem
+
+val solve : problem -> result
+
+(** Count models projected onto the given variables (0-based), by
+    exhaustive branching. *)
+val count_models : problem -> over:int list -> int

@@ -1,0 +1,187 @@
+type t =
+  | True
+  | False
+  | Atom of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Xor of t * t
+
+let tt = True
+let ff = False
+let atom v = Atom v
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let conj fs =
+  let fs = List.filter (fun f -> f <> True) fs in
+  if List.exists (fun f -> f = False) fs then False
+  else match fs with [] -> True | [ f ] -> f | _ -> And fs
+
+let disj fs =
+  let fs = List.filter (fun f -> f <> False) fs in
+  if List.exists (fun f -> f = True) fs then True
+  else match fs with [] -> False | [ f ] -> f | _ -> Or fs
+
+let implies a b =
+  match (a, b) with
+  | True, b -> b
+  | False, _ -> True
+  | _, True -> True
+  | a, False -> neg a
+  | _ -> Implies (a, b)
+
+let iff a b =
+  match (a, b) with
+  | True, b -> b
+  | b, True -> b
+  | False, b -> neg b
+  | b, False -> neg b
+  | _ -> Iff (a, b)
+
+let xor a b =
+  match (a, b) with
+  | False, b -> b
+  | b, False -> b
+  | True, b -> neg b
+  | b, True -> neg b
+  | _ -> Xor (a, b)
+
+let at_most_one fs =
+  let rec pairs = function
+    | [] -> []
+    | f :: rest -> List.map (fun g -> disj [ neg f; neg g ]) rest @ pairs rest
+  in
+  conj (pairs fs)
+
+let exactly_one fs = conj [ disj fs; at_most_one fs ]
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+  | Implies (a, b) | Iff (a, b) | Xor (a, b) -> 1 + size a + size b
+
+let rec eval assign = function
+  | True -> true
+  | False -> false
+  | Atom v -> assign v
+  | Not f -> not (eval assign f)
+  | And fs -> List.for_all (eval assign) fs
+  | Or fs -> List.exists (eval assign) fs
+  | Implies (a, b) -> (not (eval assign a)) || eval assign b
+  | Iff (a, b) -> eval assign a = eval assign b
+  | Xor (a, b) -> eval assign a <> eval assign b
+
+let atoms f =
+  let rec collect acc = function
+    | True | False -> acc
+    | Atom v -> v :: acc
+    | Not f -> collect acc f
+    | And fs | Or fs -> List.fold_left collect acc fs
+    | Implies (a, b) | Iff (a, b) | Xor (a, b) -> collect (collect acc a) b
+  in
+  List.sort_uniq Int.compare (collect [] f)
+
+(* --- Tseitin ------------------------------------------------------------- *)
+
+(* [define solver f] returns a literal [p] with clauses enforcing p <-> f.
+   The encoding is the full (both-direction) Tseitin transform so defined
+   literals can be used under either polarity (needed by [define_in]). *)
+let rec define solver f : Lit.t =
+  let fresh () = Lit.of_var (Solver.new_var solver) in
+  let add lits = ignore (Solver.add_clause solver lits : bool) in
+  match f with
+  | True ->
+    let p = fresh () in
+    add [ p ];
+    p
+  | False ->
+    let p = fresh () in
+    add [ Lit.neg p ];
+    p
+  | Atom v -> Lit.of_var v
+  | Not f -> Lit.neg (define solver f)
+  | And fs ->
+    let ps = List.map (define solver) fs in
+    let q = fresh () in
+    List.iter (fun p -> add [ Lit.neg q; p ]) ps;
+    add (q :: List.map Lit.neg ps);
+    q
+  | Or fs ->
+    let ps = List.map (define solver) fs in
+    let q = fresh () in
+    List.iter (fun p -> add [ q; Lit.neg p ]) ps;
+    add (Lit.neg q :: ps);
+    q
+  | Implies (a, b) -> define solver (Or [ Not a; b ])
+  | Iff (a, b) ->
+    let pa = define solver a and pb = define solver b in
+    let q = fresh () in
+    add [ Lit.neg q; Lit.neg pa; pb ];
+    add [ Lit.neg q; pa; Lit.neg pb ];
+    add [ q; pa; pb ];
+    add [ q; Lit.neg pa; Lit.neg pb ];
+    q
+  | Xor (a, b) ->
+    let pa = define solver a and pb = define solver b in
+    let q = fresh () in
+    add [ Lit.neg q; pa; pb ];
+    add [ Lit.neg q; Lit.neg pa; Lit.neg pb ];
+    add [ q; Lit.neg pa; pb ];
+    add [ q; pa; Lit.neg pb ];
+    q
+
+let define_in solver f = define solver f
+
+(* Assert [f] directly, clausifying top-level conjunction/disjunction
+   structure without a definition variable where possible. *)
+let assert_in solver f =
+  let ok = ref true in
+  let add lits = if not (Solver.add_clause solver lits) then ok := false in
+  let rec assert_true = function
+    | True -> ()
+    | False -> add []
+    | And fs -> List.iter assert_true fs
+    | Or fs ->
+      let lits = List.map (define solver) fs in
+      add lits
+    | Not f -> assert_false f
+    | Atom v -> add [ Lit.of_var v ]
+    | Implies (a, b) -> assert_true (Or [ Not a; b ])
+    | (Iff _ | Xor _) as f -> add [ define solver f ]
+  and assert_false = function
+    | True -> add []
+    | False -> ()
+    | Not f -> assert_true f
+    | Atom v -> add [ Lit.neg (Lit.of_var v) ]
+    | Or fs -> List.iter assert_false fs
+    | And fs ->
+      let lits = List.map (fun f -> Lit.neg (define solver f)) fs in
+      add lits
+    | Implies (a, b) ->
+      assert_true a;
+      assert_false b
+    | (Iff _ | Xor _) as f -> add [ Lit.neg (define solver f) ]
+  in
+  assert_true f;
+  !ok
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom v -> Fmt.pf ppf "x%d" v
+  | Not f -> Fmt.pf ppf "!%a" pp_atomic f
+  | And fs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " & ") pp_atomic) fs
+  | Or fs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " | ") pp_atomic) fs
+  | Implies (a, b) -> Fmt.pf ppf "(%a -> %a)" pp_atomic a pp_atomic b
+  | Iff (a, b) -> Fmt.pf ppf "(%a <-> %a)" pp_atomic a pp_atomic b
+  | Xor (a, b) -> Fmt.pf ppf "(%a ^ %a)" pp_atomic a pp_atomic b
+
+and pp_atomic ppf f = pp ppf f

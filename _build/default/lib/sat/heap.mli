@@ -1,0 +1,20 @@
+(** Binary max-heap over variable indices ordered by an external activity
+    score, with position tracking for in-place reordering — the order
+    structure behind the VSIDS decision heuristic. *)
+
+type t
+
+(** [create score] builds an empty heap; [score] is consulted on every
+    comparison, so externally bumping a variable's activity must be followed
+    by {!decrease}. *)
+val create : (int -> float) -> t
+
+val in_heap : t -> int -> bool
+val is_empty : t -> bool
+val size : t -> int
+val insert : t -> int -> unit
+
+(** Re-establish heap order after the variable's activity increased. *)
+val decrease : t -> int -> unit
+
+val remove_max : t -> int

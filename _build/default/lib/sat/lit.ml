@@ -1,0 +1,26 @@
+(* Literals are integers: variable [v] (0-based) yields the positive literal
+   [2*v] and the negative literal [2*v+1], MiniSat-style.  This lets watch
+   lists and assignments be indexed by literal directly. *)
+
+type t = int
+
+let make ~var ~negated = (var lsl 1) lor (if negated then 1 else 0)
+let of_var v = v lsl 1
+let neg l = l lxor 1
+let var l = l lsr 1
+let is_neg l = l land 1 = 1
+let is_pos l = l land 1 = 0
+
+(* Sign as used in DIMACS: positive literal of var v is v+1, negative -(v+1). *)
+let to_dimacs l =
+  let v = var l + 1 in
+  if is_neg l then -v else v
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs";
+  let v = abs d - 1 in
+  make ~var:v ~negated:(d < 0)
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf l = Fmt.pf ppf "%d" (to_dimacs l)

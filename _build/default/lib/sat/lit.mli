@@ -1,0 +1,21 @@
+(** Literals encoded as integers, MiniSat-style: variable [v] (0-based)
+    yields positive literal [2v] and negative literal [2v+1], so watch lists
+    and assignments can be indexed by literal. *)
+
+type t = int
+
+val make : var:int -> negated:bool -> t
+val of_var : int -> t (** the positive literal *)
+
+val neg : t -> t
+val var : t -> int
+val is_neg : t -> bool
+val is_pos : t -> bool
+
+(** DIMACS form: positive literal of var v is [v+1], negative [-(v+1)]. *)
+val to_dimacs : t -> int
+
+val of_dimacs : int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,593 @@
+(* CDCL SAT solver (MiniSat lineage).
+
+   Invariants worth keeping in mind while reading:
+   - [assigns.(v)] is 0 while v is unassigned, +1/-1 once assigned; the value
+     of a literal combines this with its sign.
+   - every non-unit clause is watched by its first two literals; propagation
+     maintains "if a watched literal is false, the other watch is true or the
+     clause is unit/conflicting".
+   - [trail] records assignments in order; [trail_lim.(d)] is the trail height
+     at the moment decision level d+1 was opened.
+   - learnt clauses are asserting: after [analyze], the learnt clause's first
+     literal is the 1-UIP and becomes true upon backjumping. *)
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable dead : bool;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.; lbd = 0; dead = false }
+
+type result = Sat | Unsat
+
+type t = {
+  mutable ok : bool;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* literal -> watching clauses *)
+  mutable assigns : int array;          (* var -> 0 | +1 | -1 *)
+  mutable level : int array;            (* var -> decision level *)
+  mutable reason : clause array;        (* var -> implying clause or dummy *)
+  mutable activity : float array;       (* var -> VSIDS activity *)
+  mutable polarity : bool array;        (* var -> saved phase *)
+  mutable seen : bool array;            (* var -> scratch mark for analyze *)
+  order : Heap.t;
+  trail : int Vec.t;                    (* literals, in assignment order *)
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable nvars : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable model : bool array;
+  mutable core : int list;
+  mutable assumptions : int array;
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable max_learnts : float;
+}
+
+let var_decay = 1. /. 0.95
+let clause_decay = 1. /. 0.999
+
+let create () =
+  let rec t =
+    lazy
+      {
+        ok = true;
+        clauses = Vec.create dummy_clause;
+        learnts = Vec.create dummy_clause;
+        watches = [||];
+        assigns = [||];
+        level = [||];
+        reason = [||];
+        activity = [||];
+        polarity = [||];
+        seen = [||];
+        order = Heap.create (fun v -> (Lazy.force t).activity.(v));
+        trail = Vec.create 0;
+        trail_lim = Vec.create 0;
+        qhead = 0;
+        nvars = 0;
+        var_inc = 1.0;
+        cla_inc = 1.0;
+        model = [||];
+        core = [];
+        assumptions = [||];
+        n_decisions = 0;
+        n_conflicts = 0;
+        n_propagations = 0;
+        n_restarts = 0;
+        max_learnts = 0.;
+      }
+  in
+  Lazy.force t
+
+let grow_array a n dummy =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let a' = Array.make (max n (max 16 (2 * old))) dummy in
+    Array.blit a 0 a' 0 old;
+    a'
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  let n = v + 1 in
+  t.assigns <- grow_array t.assigns n 0;
+  t.level <- grow_array t.level n 0;
+  t.reason <- grow_array t.reason n dummy_clause;
+  t.activity <- grow_array t.activity n 0.;
+  t.polarity <- grow_array t.polarity n false;
+  t.seen <- grow_array t.seen n false;
+  let nlits = 2 * n in
+  if nlits > Array.length t.watches then begin
+    let old = Array.length t.watches in
+    let w = Array.make (max nlits (max 32 (2 * old))) (Vec.create dummy_clause) in
+    Array.blit t.watches 0 w 0 old;
+    for i = old to Array.length w - 1 do
+      w.(i) <- Vec.create dummy_clause
+    done;
+    t.watches <- w
+  end;
+  Heap.insert t.order v;
+  v
+
+let num_vars t = t.nvars
+let num_clauses t = Vec.size t.clauses
+let num_conflicts t = t.n_conflicts
+
+(* +1 literal true, -1 false, 0 unassigned *)
+let value_lit t l =
+  let a = t.assigns.(Lit.var l) in
+  if Lit.is_neg l then -a else a
+
+let decision_level t = Vec.size t.trail_lim
+
+let set_polarity t v b = t.polarity.(v) <- b
+
+(* --- VSIDS -------------------------------------------------------------- *)
+
+let var_rescale t =
+  for v = 0 to t.nvars - 1 do
+    t.activity.(v) <- t.activity.(v) *. 1e-100
+  done;
+  t.var_inc <- t.var_inc *. 1e-100
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then var_rescale t;
+  Heap.decrease t.order v
+
+let var_decay_activity t = t.var_inc <- t.var_inc *. var_decay
+
+let cla_bump t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity t = t.cla_inc <- t.cla_inc *. clause_decay
+
+(* --- assignment --------------------------------------------------------- *)
+
+let watch_list t l = t.watches.(l)
+
+let attach t c =
+  (* clause is watched by the negations of its first two literals *)
+  Vec.push (watch_list t (Lit.neg c.lits.(0))) c;
+  Vec.push (watch_list t (Lit.neg c.lits.(1))) c
+
+let unchecked_enqueue t l reason =
+  let v = Lit.var l in
+  assert (t.assigns.(v) = 0);
+  t.assigns.(v) <- (if Lit.is_neg l then -1 else 1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.polarity.(v) <- Lit.is_pos l;
+  Vec.push t.trail l
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- 0;
+      t.reason.(v) <- dummy_clause;
+      if not (Heap.in_heap t.order v) then Heap.insert t.order v
+    done;
+    t.qhead <- bound;
+    Vec.shrink_to t.trail bound;
+    Vec.shrink_to t.trail_lim lvl
+  end
+
+(* --- propagation -------------------------------------------------------- *)
+
+exception Conflict of clause
+
+let propagate t =
+  try
+    while t.qhead < Vec.size t.trail do
+      let p = Vec.get t.trail t.qhead in
+      t.qhead <- t.qhead + 1;
+      t.n_propagations <- t.n_propagations + 1;
+      let ws = watch_list t p in
+      (* Rebuild the watch list in place while visiting it. *)
+      let i = ref 0 and j = ref 0 in
+      let n = Vec.size ws in
+      (try
+         while !i < n do
+           let c = Vec.unsafe_get ws !i in
+           incr i;
+           if c.dead then () (* dropped lazily *)
+           else begin
+             let false_lit = Lit.neg p in
+             (* Ensure the false literal is at position 1. *)
+             if c.lits.(0) = false_lit then begin
+               c.lits.(0) <- c.lits.(1);
+               c.lits.(1) <- false_lit
+             end;
+             if value_lit t c.lits.(0) = 1 then begin
+               (* Clause already satisfied: keep watching. *)
+               Vec.unsafe_set ws !j c;
+               incr j
+             end
+             else begin
+               (* Look for a new literal to watch. *)
+               let len = Array.length c.lits in
+               let k = ref 2 in
+               while !k < len && value_lit t c.lits.(!k) = -1 do
+                 incr k
+               done;
+               if !k < len then begin
+                 c.lits.(1) <- c.lits.(!k);
+                 c.lits.(!k) <- false_lit;
+                 Vec.push (watch_list t (Lit.neg c.lits.(1))) c
+               end
+               else begin
+                 (* Unit or conflicting. *)
+                 Vec.unsafe_set ws !j c;
+                 incr j;
+                 if value_lit t c.lits.(0) = -1 then begin
+                   (* Conflict: copy the remaining watchers and abort. *)
+                   while !i < n do
+                     Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                     incr i;
+                     incr j
+                   done;
+                   Vec.shrink_to ws !j;
+                   t.qhead <- Vec.size t.trail;
+                   raise (Conflict c)
+                 end
+                 else unchecked_enqueue t c.lits.(0) c
+               end
+             end
+           end
+         done;
+         Vec.shrink_to ws !j
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict c -> Some c
+
+(* --- clause addition ---------------------------------------------------- *)
+
+let add_clause t lits =
+  if not t.ok then false
+  else begin
+    assert (decision_level t = 0);
+    (* Simplify: drop duplicate and false literals, detect tautologies. *)
+    let lits = List.sort_uniq Lit.compare lits in
+    let tautology =
+      List.exists (fun l -> List.exists (fun l' -> l' = Lit.neg l) lits) lits
+      || List.exists (fun l -> value_lit t l = 1) lits
+    in
+    if tautology then true
+    else begin
+      let lits = List.filter (fun l -> value_lit t l <> -1) lits in
+      match lits with
+      | [] ->
+        t.ok <- false;
+        false
+      | [ l ] ->
+        unchecked_enqueue t l dummy_clause;
+        (match propagate t with
+         | None -> true
+         | Some _ ->
+           t.ok <- false;
+           false)
+      | _ ->
+        let c =
+          { lits = Array.of_list lits; learnt = false; activity = 0.; lbd = 0; dead = false }
+        in
+        Vec.push t.clauses c;
+        attach t c;
+        true
+    end
+  end
+
+(* --- conflict analysis (first UIP) -------------------------------------- *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) (* literal, -1 = none yet *) in
+  let index = ref (Vec.size t.trail - 1) in
+  let btlevel = ref 0 in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = !confl in
+    if c.learnt then cla_bump t c;
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        var_bump t v;
+        t.seen.(v) <- true;
+        if t.level.(v) >= decision_level t then incr path_count
+        else begin
+          learnt := q :: !learnt;
+          if t.level.(v) > !btlevel then btlevel := t.level.(v)
+        end
+      end
+    done;
+    (* Select next literal on the trail to expand. *)
+    let rec next () =
+      let l = Vec.get t.trail !index in
+      decr index;
+      if t.seen.(Lit.var l) then l else next ()
+    in
+    let l = next () in
+    p := l;
+    t.seen.(Lit.var l) <- false;
+    confl := t.reason.(Lit.var l);
+    decr path_count;
+    if !path_count <= 0 then continue := false
+  done;
+  let uip = Lit.neg !p in
+  (* Conflict-clause minimisation: drop literals implied by the rest. *)
+  let learnt_arr = Array.of_list (uip :: !learnt) in
+  let is_redundant l =
+    let c = t.reason.(Lit.var l) in
+    c != dummy_clause
+    && Array.for_all
+         (fun q ->
+           Lit.var q = Lit.var l || t.seen.(Lit.var q) || t.level.(Lit.var q) = 0)
+         c.lits
+  in
+  let kept =
+    Array.to_list learnt_arr
+    |> List.filteri (fun i l -> i = 0 || not (is_redundant l))
+  in
+  (* Clear seen marks. *)
+  List.iter (fun l -> t.seen.(Lit.var l) <- false) !learnt;
+  t.seen.(Lit.var uip) <- false;
+  (* LBD: number of distinct decision levels in the clause. *)
+  let lbd =
+    let levels = List.sort_uniq Int.compare (List.map (fun l -> t.level.(Lit.var l)) kept) in
+    List.length levels
+  in
+  (* Recompute backtrack level on the kept clause. *)
+  let btlevel =
+    match kept with
+    | [] | [ _ ] -> 0
+    | _ :: rest ->
+      List.fold_left (fun acc l -> max acc t.level.(Lit.var l)) 0 rest
+  in
+  (kept, btlevel, lbd)
+
+(* Put the literal with the highest level at position 1 (second watch). *)
+let order_second_watch t lits =
+  let n = Array.length lits in
+  if n > 1 then begin
+    let best = ref 1 in
+    for k = 2 to n - 1 do
+      if t.level.(Lit.var lits.(k)) > t.level.(Lit.var lits.(!best)) then best := k
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp
+  end
+
+let record_learnt t lits lbd =
+  match lits with
+  | [] -> t.ok <- false
+  | [ l ] -> unchecked_enqueue t l dummy_clause
+  | first :: _ ->
+    let arr = Array.of_list lits in
+    order_second_watch t arr;
+    let c = { lits = arr; learnt = true; activity = 0.; lbd; dead = false } in
+    Vec.push t.learnts c;
+    attach t c;
+    cla_bump t c;
+    unchecked_enqueue t first c
+
+(* --- final conflict over assumptions (unsat core) ----------------------- *)
+
+(* Core when the next assumption literal is already false: walk the
+   implication graph from that literal back to assumption decisions. *)
+let analyze_final_lit t p =
+  (* [p] is the trail literal contradicting the failed assumption [neg p];
+     the core collects assumption literals as given by the caller. *)
+  let core = ref [ Lit.neg p ] in
+  let v = Lit.var p in
+  if t.level.(v) > 0 then begin
+    t.seen.(v) <- true;
+    let bottom = Vec.get t.trail_lim 0 in
+    for i = Vec.size t.trail - 1 downto bottom do
+      let l = Vec.get t.trail i in
+      let w = Lit.var l in
+      if t.seen.(w) then begin
+        t.seen.(w) <- false;
+        let r = t.reason.(w) in
+        if r == dummy_clause then begin
+          if w <> v then core := l :: !core
+        end
+        else
+          Array.iter
+            (fun q ->
+              let u = Lit.var q in
+              if u <> w && t.level.(u) > 0 then t.seen.(u) <- true)
+            r.lits
+      end
+    done;
+    t.seen.(v) <- false
+  end;
+  !core
+
+(* --- learnt clause DB reduction ----------------------------------------- *)
+
+let reduce_db t =
+  (* Keep clauses with low LBD or high activity; drop the worst half. *)
+  Vec.sort
+    (fun a b ->
+      match Int.compare a.lbd b.lbd with
+      | 0 -> Float.compare b.activity a.activity
+      | c -> c)
+    t.learnts;
+  let n = Vec.size t.learnts in
+  let keep = n / 2 in
+  let locked c =
+    (* A clause that is the reason of a current assignment must stay. *)
+    let l = c.lits.(0) in
+    value_lit t l = 1 && t.reason.(Lit.var l) == c
+  in
+  for i = keep to n - 1 do
+    let c = Vec.get t.learnts i in
+    if (not (locked c)) && c.lbd > 2 then c.dead <- true
+  done;
+  Vec.filter_in_place (fun c -> not c.dead) t.learnts
+(* dead clauses are skipped (and dropped) lazily by [propagate]'s rebuild;
+   we additionally purge them from watch lists here to bound memory. *)
+
+let purge_watches t =
+  Array.iter (fun ws -> Vec.filter_in_place (fun c -> not c.dead) ws) t.watches
+
+(* --- search -------------------------------------------------------------- *)
+
+let luby y x =
+  (* Finite subsequences of the Luby sequence: 1 1 2 1 1 2 4 ... *)
+  let rec find sz seq =
+    if sz >= x + 1 then (sz, seq) else find ((2 * sz) + 1) (seq + 1)
+  in
+  let rec loop (sz, seq) x =
+    if sz - 1 = x then (seq, x)
+    else
+      let sz = (sz - 1) / 2 in
+      loop (sz, seq - 1) (x mod sz)
+  in
+  let sz, seq = find 1 0 in
+  let seq, _ = loop (sz, seq) x in
+  y ** float_of_int seq
+
+let pick_branch_var t =
+  let rec loop () =
+    if Heap.is_empty t.order then None
+    else
+      let v = Heap.remove_max t.order in
+      if t.assigns.(v) = 0 then Some v else loop ()
+  in
+  loop ()
+
+exception Found_result of result
+
+let search t ~nof_conflicts =
+  let conflicts = ref 0 in
+  try
+    while true do
+      match propagate t with
+      | Some confl ->
+        t.n_conflicts <- t.n_conflicts + 1;
+        incr conflicts;
+        if decision_level t = 0 then begin
+          t.ok <- false;
+          t.core <- [];
+          raise (Found_result Unsat)
+        end;
+        let learnt, btlevel, lbd = analyze t confl in
+        (* Never backjump past the assumption levels we still rely on:
+           literals below remain enqueued; the asserting literal's level is
+           recomputed against the surviving trail. *)
+        cancel_until t btlevel;
+        record_learnt t learnt lbd;
+        var_decay_activity t;
+        cla_decay_activity t
+      | None ->
+        if nof_conflicts >= 0 && !conflicts >= nof_conflicts then begin
+          (* Restart. *)
+          t.n_restarts <- t.n_restarts + 1;
+          cancel_until t (Array.length t.assumptions);
+          raise Exit
+        end;
+        if
+          float_of_int (Vec.size t.learnts) -. float_of_int (Vec.size t.trail)
+          >= t.max_learnts
+        then begin
+          reduce_db t;
+          purge_watches t
+        end;
+        (* Assumption decisions first. *)
+        let dl = decision_level t in
+        if dl < Array.length t.assumptions then begin
+          let p = t.assumptions.(dl) in
+          match value_lit t p with
+          | 1 ->
+            (* Already true: open a dummy level so indices stay aligned. *)
+            Vec.push t.trail_lim (Vec.size t.trail)
+          | -1 ->
+            t.core <- analyze_final_lit t (Lit.neg p);
+            raise (Found_result Unsat)
+          | _ ->
+            Vec.push t.trail_lim (Vec.size t.trail);
+            unchecked_enqueue t p dummy_clause
+        end
+        else begin
+          match pick_branch_var t with
+          | None ->
+            (* Complete assignment: SAT. *)
+            t.model <- Array.init t.nvars (fun v -> t.assigns.(v) = 1);
+            raise (Found_result Sat)
+          | Some v ->
+            t.n_decisions <- t.n_decisions + 1;
+            let l = Lit.make ~var:v ~negated:(not t.polarity.(v)) in
+            Vec.push t.trail_lim (Vec.size t.trail);
+            unchecked_enqueue t l dummy_clause
+        end
+    done;
+    assert false
+  with
+  | Exit -> None
+  | Found_result r -> Some r
+
+let solve ?(assumptions = []) t =
+  if not t.ok then begin
+    t.core <- [];
+    Unsat
+  end
+  else begin
+    t.assumptions <- Array.of_list assumptions;
+    t.max_learnts <- max 1000. (float_of_int (Vec.size t.clauses) *. 0.3);
+    let rec loop restarts =
+      let nof_conflicts = int_of_float (luby 2. restarts *. 100.) in
+      match search t ~nof_conflicts with
+      | Some r -> r
+      | None -> loop (restarts + 1)
+    in
+    let r = loop 0 in
+    cancel_until t 0;
+    t.assumptions <- [||];
+    r
+  end
+
+(* A conflict during assumption propagation inside [search] reaches
+   [analyze] normally because assumption levels are ordinary decision
+   levels; [analyze_final] is used only via [analyze_final_lit] and the
+   level-0 case.  For conflicts whose learnt clause would be empty under
+   assumptions, [record_learnt] enqueues at level [btlevel] which is >= the
+   number of satisfied assumptions, so the standard machinery suffices. *)
+
+let value t v =
+  if v >= Array.length t.model then false else t.model.(v)
+
+let lit_value t l =
+  let b = value t (Lit.var l) in
+  if Lit.is_neg l then not b else b
+
+let model t = Array.copy t.model
+let unsat_core t = t.core
+
+let pp_stats ppf t =
+  Fmt.pf ppf "vars=%d clauses=%d learnts=%d decisions=%d conflicts=%d props=%d restarts=%d"
+    t.nvars (Vec.size t.clauses) (Vec.size t.learnts) t.n_decisions t.n_conflicts
+    t.n_propagations t.n_restarts

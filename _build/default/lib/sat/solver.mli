@@ -1,0 +1,57 @@
+(** Conflict-driven clause-learning (CDCL) SAT solver.
+
+    A from-scratch MiniSat-style solver: two-watched-literal propagation,
+    first-UIP clause learning, EVSIDS decision heuristic with phase saving,
+    Luby restarts, and activity/LBD-driven deletion of learnt clauses.  It
+    supports incremental solving under assumptions and extraction of an
+    unsatisfiable core over those assumptions, which is what the SMT layer
+    builds its push/pop discipline and explanations on. *)
+
+type t
+
+(** Result of a [solve] call. *)
+type result =
+  | Sat   (** a model is available via {!value} / {!model} *)
+  | Unsat (** an assumption core is available via {!unsat_core} *)
+
+val create : unit -> t
+
+(** [new_var t] allocates a fresh variable and returns it (0-based). *)
+val new_var : t -> int
+
+(** Number of variables allocated so far. *)
+val num_vars : t -> int
+
+(** Number of problem (non-learnt) clauses currently held. *)
+val num_clauses : t -> int
+
+(** Number of conflicts encountered since creation (a work measure). *)
+val num_conflicts : t -> int
+
+(** [add_clause t lits] adds a clause over literals built with {!Lit}.
+    Returns [false] iff the clause system became trivially unsatisfiable
+    (at decision level 0).  Variables must have been allocated. *)
+val add_clause : t -> Lit.t list -> bool
+
+(** [solve ?assumptions t] decides satisfiability of the current clause set
+    under the given assumption literals. *)
+val solve : ?assumptions:Lit.t list -> t -> result
+
+(** Value of a variable in the most recent [Sat] model. *)
+val value : t -> int -> bool
+
+(** Value of a literal in the most recent [Sat] model. *)
+val lit_value : t -> Lit.t -> bool
+
+(** The most recent model as an array indexed by variable. *)
+val model : t -> bool array
+
+(** Subset of the assumptions sufficient for the last [Unsat] answer,
+    in no particular order. *)
+val unsat_core : t -> Lit.t list
+
+(** [set_polarity t v b] sets the initial phase of variable [v]. *)
+val set_polarity : t -> int -> bool -> unit
+
+(** Pretty-print solver statistics (decisions, conflicts, propagations). *)
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+(* Growable array with amortized O(1) push, used pervasively by the solver.
+   A [dummy] element fills unused capacity; it is never observed. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; size = 0; dummy }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get";
+  Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.size then invalid_arg "Vec.set";
+  Array.unsafe_set t.data i x
+
+let unsafe_get t i = Array.unsafe_get t.data i
+let unsafe_set t i x = Array.unsafe_set t.data i x
+
+let grow_to t capacity =
+  if capacity > Array.length t.data then begin
+    let capacity' = max capacity (2 * Array.length t.data) in
+    let data = Array.make capacity' t.dummy in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t x =
+  grow_to t (t.size + 1);
+  Array.unsafe_set t.data t.size x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then invalid_arg "Vec.pop";
+  t.size <- t.size - 1;
+  let x = Array.unsafe_get t.data t.size in
+  Array.unsafe_set t.data t.size t.dummy;
+  x
+
+let last t =
+  if t.size = 0 then invalid_arg "Vec.last";
+  Array.unsafe_get t.data (t.size - 1)
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    Array.unsafe_set t.data i t.dummy
+  done;
+  t.size <- 0
+
+(* Truncate to [n] elements; [n] must not exceed the current size. *)
+let shrink_to t n =
+  if n < 0 || n > t.size then invalid_arg "Vec.shrink_to";
+  for i = n to t.size - 1 do
+    Array.unsafe_set t.data i t.dummy
+  done;
+  t.size <- n
+
+(* Remove element at [i] by swapping in the last element (order not kept). *)
+let swap_remove t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.swap_remove";
+  t.size <- t.size - 1;
+  Array.unsafe_set t.data i (Array.unsafe_get t.data t.size);
+  Array.unsafe_set t.data t.size t.dummy
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let exists p t =
+  let rec loop i = i < t.size && (p (Array.unsafe_get t.data i) || loop (i + 1)) in
+  loop 0
+
+let for_all p t = not (exists (fun x -> not (p x)) t)
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let of_list dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) dummy in
+  List.iter (push t) xs;
+  t
+
+let to_array t = Array.sub t.data 0 t.size
+
+let copy t = { data = Array.copy t.data; size = t.size; dummy = t.dummy }
+
+(* In-place filter keeping elements satisfying [p]; preserves order. *)
+let filter_in_place p t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let x = Array.unsafe_get t.data i in
+    if p x then begin
+      Array.unsafe_set t.data !j x;
+      incr j
+    end
+  done;
+  shrink_to t !j
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.size

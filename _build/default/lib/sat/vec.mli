@@ -1,0 +1,37 @@
+(** Growable array with amortized O(1) push; the workhorse container of the
+    solver.  A [dummy] element fills unused capacity and is never observed. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val unsafe_get : 'a t -> int -> 'a
+val unsafe_set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+val last : 'a t -> 'a
+val clear : 'a t -> unit
+
+(** Truncate to [n] elements ([n <= size]). *)
+val shrink_to : 'a t -> int -> unit
+
+(** Remove element [i] by swapping in the last element (order not kept). *)
+val swap_remove : 'a t -> int -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val of_list : 'a -> 'a list -> 'a t
+val to_array : 'a t -> 'a array
+val copy : 'a t -> 'a t
+
+(** In-place filter preserving order. *)
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

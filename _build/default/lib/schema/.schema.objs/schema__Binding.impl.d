@@ -1,0 +1,1 @@
+lib/schema/binding.ml: Devicetree Fmt Int64 List Option Printf String Yaml_lite

@@ -1,0 +1,1 @@
+lib/schema/binding.mli: Devicetree Yaml_lite

@@ -1,0 +1,1 @@
+lib/schema/compile.ml: Binding Devicetree List Option Printf Smt String

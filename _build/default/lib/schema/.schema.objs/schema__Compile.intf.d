@@ -1,0 +1,1 @@
+lib/schema/compile.mli: Binding Devicetree Smt

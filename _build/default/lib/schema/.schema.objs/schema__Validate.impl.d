@@ -1,0 +1,1 @@
+lib/schema/validate.ml: Binding Devicetree Fmt Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/schema/validate.mli: Binding Devicetree Format

@@ -1,0 +1,1 @@
+lib/schema/yaml_lite.ml: Buffer Fmt Int64 List String

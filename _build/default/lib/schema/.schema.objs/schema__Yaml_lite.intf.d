@@ -1,0 +1,1 @@
+lib/schema/yaml_lite.mli: Format

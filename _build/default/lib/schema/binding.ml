@@ -1,0 +1,234 @@
+(* dt-schema-style binding schemas: the model, and conversion from the
+   YAML-subset documents ([Yaml_lite]) that mirror dt-schema's file format
+   (cf. Listing 5 of the paper).
+
+   The supported fragment covers what the paper's constraints use: const and
+   enum values, item-count bounds (minItems/maxItems), the array-stride check
+   (multipleOf — dt-schema expresses it through nested items; we keep the
+   flattened form), type tags, required properties, and — the paper's
+   extension — required child nodes. *)
+
+type item_type = Ty_string | Ty_cells | Ty_bytes | Ty_flag
+
+type prop_schema = {
+  const_string : string option;
+  const_cells : int64 list option;
+  enum_values : string list; (* [] = unconstrained *)
+  min_items : int option;
+  max_items : int option;
+  multiple_of : int option;  (* cell-count divisibility, e.g. #addr+#size cells *)
+  item_type : item_type option;
+  minimum : int64 option;    (* bounds on the first cell value, e.g. a *)
+  maximum : int64 option;    (* manufacturer-given clock-frequency range *)
+}
+
+let empty_prop_schema =
+  {
+    const_string = None;
+    const_cells = None;
+    enum_values = [];
+    min_items = None;
+    max_items = None;
+    multiple_of = None;
+    item_type = None;
+    minimum = None;
+    maximum = None;
+  }
+
+type t = {
+  id : string;
+  description : string option;
+  select_compatible : string list; (* applies when node's compatible intersects *)
+  select_node_name : string option; (* or the node's base name matches *)
+  properties : (string * prop_schema) list;
+  required : string list;
+  required_nodes : string list;
+  additional_properties : bool; (* false = strict: unknown properties rejected *)
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+(* --- YAML conversion ---------------------------------------------------------- *)
+
+let string_list ~what = function
+  | Yaml_lite.List items ->
+    List.map
+      (fun item ->
+        match Yaml_lite.as_string item with
+        | Some s -> s
+        | None -> error "%s: expected a list of strings" what)
+      items
+  | Yaml_lite.Str s -> [ s ]
+  | _ -> error "%s: expected a list" what
+
+let int_opt ~what = function
+  | None -> None
+  | Some y ->
+    (match Yaml_lite.as_int y with
+     | Some v -> Some (Int64.to_int v)
+     | None -> error "%s: expected an integer" what)
+
+let prop_schema_of_yaml name yaml =
+  match yaml with
+  | Yaml_lite.Null -> empty_prop_schema (* "reg: {}" or bare key: any value *)
+  | Yaml_lite.Map _ ->
+    let find k = Yaml_lite.find k yaml in
+    let const_string, const_cells =
+      match find "const" with
+      | None -> (None, None)
+      | Some (Yaml_lite.Str s) -> (Some s, None)
+      | Some (Yaml_lite.Int v) -> (None, Some [ v ])
+      | Some (Yaml_lite.List items) ->
+        ( None,
+          Some
+            (List.map
+               (fun i ->
+                 match Yaml_lite.as_int i with
+                 | Some v -> v
+                 | None -> error "property %s: const list must be integers" name)
+               items) )
+      | Some _ -> error "property %s: unsupported const form" name
+    in
+    let enum_values =
+      match find "enum" with
+      | None -> []
+      | Some y -> string_list ~what:(Printf.sprintf "property %s enum" name) y
+    in
+    let item_type =
+      match find "type" with
+      | None -> None
+      | Some (Yaml_lite.Str "string") -> Some Ty_string
+      | Some (Yaml_lite.Str ("cells" | "uint32-array" | "uint32")) -> Some Ty_cells
+      | Some (Yaml_lite.Str ("bytes" | "uint8-array")) -> Some Ty_bytes
+      | Some (Yaml_lite.Str ("flag" | "boolean")) -> Some Ty_flag
+      | Some y -> error "property %s: unsupported type %a" name Yaml_lite.pp y
+    in
+    let int64_opt ~what = function
+      | None -> None
+      | Some y ->
+        (match Yaml_lite.as_int y with
+         | Some v -> Some v
+         | None -> error "%s: expected an integer" what)
+    in
+    {
+      const_string;
+      const_cells;
+      enum_values;
+      min_items = int_opt ~what:(name ^ " minItems") (find "minItems");
+      max_items = int_opt ~what:(name ^ " maxItems") (find "maxItems");
+      multiple_of = int_opt ~what:(name ^ " multipleOf") (find "multipleOf");
+      item_type;
+      minimum = int64_opt ~what:(name ^ " minimum") (find "minimum");
+      maximum = int64_opt ~what:(name ^ " maximum") (find "maximum");
+    }
+  | _ -> error "property %s: expected a map of constraints" name
+
+let of_yaml yaml =
+  let find k = Yaml_lite.find k yaml in
+  let id =
+    match Option.bind (find "$id") Yaml_lite.as_string with
+    | Some s -> s
+    | None -> error "schema is missing $id"
+  in
+  let description = Option.bind (find "description") Yaml_lite.as_string in
+  let select_compatible, select_node_name =
+    match find "select" with
+    | None -> ([], None)
+    | Some sel ->
+      let compat =
+        match Yaml_lite.find "compatible" sel with
+        | None -> []
+        | Some y -> string_list ~what:"select compatible" y
+      in
+      let node_name = Option.bind (Yaml_lite.find "node-name" sel) Yaml_lite.as_string in
+      (compat, node_name)
+  in
+  let properties =
+    match find "properties" with
+    | None -> []
+    | Some (Yaml_lite.Map entries) ->
+      List.map (fun (name, y) -> (name, prop_schema_of_yaml name y)) entries
+    | Some _ -> error "properties: expected a map"
+  in
+  let required =
+    match find "required" with
+    | None -> []
+    | Some y -> string_list ~what:"required" y
+  in
+  let required_nodes =
+    match find "requiredNodes" with
+    | None -> []
+    | Some y -> string_list ~what:"requiredNodes" y
+  in
+  let additional_properties =
+    match find "additionalProperties" with
+    | Some (Yaml_lite.Bool b) -> b
+    | Some _ -> error "additionalProperties: expected a boolean"
+    | None -> true
+  in
+  { id; description; select_compatible; select_node_name; properties; required;
+    required_nodes; additional_properties }
+
+let of_string src = of_yaml (Yaml_lite.parse src)
+
+(* Property names a strict schema tolerates: its own declarations plus the
+   standard DT bookkeeping properties every node may carry. *)
+let standard_properties =
+  [ "#address-cells"; "#size-cells"; "#interrupt-cells"; "phandle"; "status"; "ranges";
+    "compatible"; "interrupt-parent"; "device_type" ]
+
+let known_properties t =
+  List.map fst t.properties @ t.required @ standard_properties
+
+(* --- selection ------------------------------------------------------------------ *)
+
+(* Does this schema apply to the given tree node? *)
+let selects t (node : Devicetree.Tree.t) =
+  let by_compatible =
+    t.select_compatible <> []
+    &&
+    match Devicetree.Tree.get_prop node "compatible" with
+    | None -> false
+    | Some p ->
+      let compats = Devicetree.Tree.prop_strings p in
+      List.exists (fun c -> List.mem c t.select_compatible) compats
+  in
+  let by_name =
+    match t.select_node_name with
+    | None -> false
+    | Some n -> String.equal n (Devicetree.Ast.base_name node.Devicetree.Tree.name)
+  in
+  by_compatible || by_name
+
+(* Schemas applicable to each node of a tree: (path, node, schemas). *)
+let applicable schemas tree =
+  Devicetree.Tree.fold
+    (fun path node acc ->
+      match List.filter (fun s -> selects s node) schemas with
+      | [] -> acc
+      | applicable -> (path, node, applicable) :: acc)
+    tree []
+  |> List.rev
+
+(* --- item counting ---------------------------------------------------------------- *)
+
+(* Number of "items" in a property value: strings and byte blocks count one
+   each; cell groups count as one item per group, except when the schema
+   gives [multiple_of], in which case items are sub-arrays of that many
+   cells (the dt-schema reading used in the paper: reg with 8 cells and
+   sub-array size 4 has 2 items). *)
+let item_count prop_schema (p : Devicetree.Tree.prop) =
+  let cells = List.length (Devicetree.Tree.prop_cells p) in
+  let groups =
+    List.length
+      (List.filter (function Devicetree.Ast.Cells _ -> true | _ -> false) p.p_value)
+  in
+  let non_cell_pieces =
+    List.length
+      (List.filter (function Devicetree.Ast.Cells _ -> false | _ -> true) p.p_value)
+  in
+  match prop_schema.multiple_of with
+  | Some m when m > 0 && cells mod m = 0 -> (cells / m) + non_cell_pieces
+  | Some _ | None -> groups + non_cell_pieces

@@ -1,0 +1,58 @@
+(** dt-schema-style binding schemas (the model and YAML conversion).
+
+    The supported fragment covers what the paper's constraints use (Listing
+    5 and §IV-B): const/enum values, item-count bounds, array stride
+    (multipleOf), type tags, value ranges (minimum/maximum), required
+    properties, and — the paper's extension — required child nodes. *)
+
+type item_type = Ty_string | Ty_cells | Ty_bytes | Ty_flag
+
+type prop_schema = {
+  const_string : string option;
+  const_cells : int64 list option;
+  enum_values : string list;  (** [] = unconstrained *)
+  min_items : int option;
+  max_items : int option;
+  multiple_of : int option;   (** cell-count divisibility, e.g. #addr+#size *)
+  item_type : item_type option;
+  minimum : int64 option;     (** lower bound on the first cell value *)
+  maximum : int64 option;     (** upper bound on the first cell value *)
+}
+
+val empty_prop_schema : prop_schema
+
+type t = {
+  id : string;
+  description : string option;
+  select_compatible : string list; (** applies when compatible intersects *)
+  select_node_name : string option; (** or the node's base name matches *)
+  properties : (string * prop_schema) list;
+  required : string list;
+  required_nodes : string list;
+  additional_properties : bool; (** false = strict: unknown properties rejected *)
+}
+
+exception Error of string
+
+(** Convert a parsed YAML document; raises {!Error} on malformed schemas. *)
+val of_yaml : Yaml_lite.t -> t
+
+(** Parse a YAML schema from text. *)
+val of_string : string -> t
+
+(** Property names a strict schema tolerates: its declarations plus the
+    standard DT bookkeeping properties. *)
+val known_properties : t -> string list
+
+(** Does this schema apply to the given node? *)
+val selects : t -> Devicetree.Tree.t -> bool
+
+(** Schemas applicable to each node of a tree, in preorder:
+    (path, node, applicable schemas); nodes with none are omitted. *)
+val applicable :
+  t list -> Devicetree.Tree.t -> (string * Devicetree.Tree.t * t list) list
+
+(** Number of "items" in a property value under this schema's reading:
+    strings/bytes count one each; cell groups count per [multiple_of]-sized
+    sub-array when given, else per [< >] group. *)
+val item_count : prop_schema -> Devicetree.Tree.prop -> int

@@ -1,0 +1,291 @@
+(* Compilation of binding schemas and DT bindings into SMT constraints —
+   the paper's syntactic checker (§IV-B).
+
+   For a node at [path] checked against schema [s], we build:
+
+   - an enum sort of property names (the "hybrid theory" string encoding),
+     whose universe is every name the schema or the node mentions;
+   - a Boolean variable [node|path] denoting validity of the node;
+   - presence predicate R over property names;
+   - schema constraints:
+       (1)  R(p) -> value_p = const          for each const-constrained p
+       (2,3) node -> R(p)                    for each required p
+            plus item-count bounds as bit-vector constraints;
+   - proof obligations extracted from the binding instance:
+       (4)  value_p = actual                 for each present p
+       (5)  forall x. C(x) <-> (x = p1 \/ ... \/ x = pn)   (present props)
+       (6)  forall x. (C(x) -> R(x)) /\ (~C(x) -> ~R(x))   (closure)
+
+   Every assertion is named; an unsatisfiable core maps back to the schema
+   rules and obligations that conflict, which is how violations are
+   reported.  All constraints go into one incremental solver instance
+   (scoped by push/pop), matching the paper's use of Z3 (§VI). *)
+
+module T = Devicetree.Tree
+module Term = Smt.Term
+module Solver = Smt.Solver
+
+(* All symbols are scoped by schema id and node path so that checking the
+   same node against several schemas (or re-checking in a later scope) never
+   collides on sorts or variables. *)
+let prop_sort ~sid ~path = Printf.sprintf "props|%s|%s" sid path
+let value_sort ~sid ~path prop = Printf.sprintf "val|%s|%s|%s" sid path prop
+let node_var ~path = Term.bool_var ("node|" ^ path)
+let r_pred ~sid ~path x = Term.pred (Printf.sprintf "R|%s|%s" sid path) [ x ]
+let c_pred ~sid ~path x = Term.pred (Printf.sprintf "C|%s|%s" sid path) [ x ]
+let count_var ~sid ~path prop = Term.bv_var (Printf.sprintf "cnt|%s|%s|%s" sid path prop) ~width:16
+let cell_var ~sid ~path prop i =
+  Term.bv_var (Printf.sprintf "cell|%s|%s|%s|%d" sid path prop i) ~width:32
+let value_var ~sid ~path prop sort = Term.enum_var (Printf.sprintf "valv|%s|%s|%s" sid path prop) ~sort
+
+(* Stable assertion names; these double as violation rule ids. *)
+let rule ~schema_id ~path kind prop = Printf.sprintf "%s:%s:%s@%s" schema_id kind prop path
+
+let dedup xs = List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+(* Universe of property names relevant to this node+schema. *)
+let prop_universe (schema : Binding.t) (node : T.t) =
+  dedup
+    (List.map fst schema.properties
+    @ schema.required
+    @ List.map (fun p -> p.T.p_name) node.T.props)
+
+let compile_node solver ~(schema : Binding.t) ~path (node : T.t) =
+  let schema_id = schema.id in
+  let sid = schema_id in
+  let psort = prop_sort ~sid ~path in
+  let universe = prop_universe schema node in
+  (* A schema with no property constraints on a bare node has no name
+     universe; the quantified axioms (5)/(6) are vacuous then. *)
+  let has_props = universe <> [] in
+  if has_props then Solver.declare_enum solver psort universe;
+  let pname name = Term.enum ~sort:psort name in
+  let node_v = node_var ~path in
+  let assert_rule kind prop term = Solver.assert_named solver (rule ~schema_id ~path kind prop) term in
+
+  (* --- schema constraints -------------------------------------------------- *)
+  List.iter
+    (fun (prop, (ps : Binding.prop_schema)) ->
+      (* The string-value sort for this property: schema constants, schema
+         enum members, and the actual value found in the binding.  Declared
+         once so the const and enum branches agree on the universe. *)
+      let vsort = value_sort ~sid ~path prop in
+      let declare_vsort () =
+        let actual = Option.bind (T.get_prop node prop) T.prop_string in
+        let universe =
+          dedup (Option.to_list ps.const_string @ ps.enum_values @ Option.to_list actual)
+        in
+        Solver.declare_enum solver vsort universe
+      in
+      (* (1) const value constraints, guarded by presence. *)
+      (match ps.const_string with
+       | Some const ->
+         declare_vsort ();
+         let v = value_var ~sid ~path prop vsort in
+         assert_rule "const" prop
+           (Term.implies (r_pred ~sid ~path (pname prop)) (Term.eq v (Term.enum ~sort:vsort const)))
+       | None -> ());
+      (if ps.enum_values <> [] then begin
+         declare_vsort ();
+         let v = value_var ~sid ~path prop vsort in
+         assert_rule "enum" prop
+           (Term.implies (r_pred ~sid ~path (pname prop))
+              (Term.or_ (List.map (fun e -> Term.eq v (Term.enum ~sort:vsort e)) ps.enum_values)))
+       end);
+      (match ps.const_cells with
+       | Some cells ->
+         List.iteri
+           (fun i c ->
+             assert_rule "const-cell" prop
+               (Term.implies (r_pred ~sid ~path (pname prop))
+                  (Term.eq (cell_var ~sid ~path prop i) (Term.bv ~width:32 c))))
+           cells
+       | None -> ());
+      (* Value-range bounds on the first cell, as 64-bit vector constraints
+         (manufacturer-given ranges, e.g. clock-frequency). *)
+      let first_cell_var =
+        Term.bv_var (Printf.sprintf "cell0|%s|%s|%s" sid path prop) ~width:64
+      in
+      (match ps.minimum with
+       | Some min ->
+         assert_rule "minimum" prop
+           (Term.implies (r_pred ~sid ~path (pname prop))
+              (Term.uge first_cell_var (Term.bv ~width:64 min)))
+       | None -> ());
+      (match ps.maximum with
+       | Some max ->
+         assert_rule "maximum" prop
+           (Term.implies (r_pred ~sid ~path (pname prop))
+              (Term.ule first_cell_var (Term.bv ~width:64 max)))
+       | None -> ());
+      (* Item-count bounds as bit-vector constraints. *)
+      let cnt = count_var ~sid ~path prop in
+      (match ps.min_items with
+       | Some n ->
+         assert_rule "minItems" prop
+           (Term.implies (r_pred ~sid ~path (pname prop))
+              (Term.ule (Term.bv_of_int ~width:16 n) cnt))
+       | None -> ());
+      (match ps.max_items with
+       | Some n ->
+         assert_rule "maxItems" prop
+           (Term.implies (r_pred ~sid ~path (pname prop))
+              (Term.ule cnt (Term.bv_of_int ~width:16 n)))
+       | None -> ());
+      (match ps.multiple_of with
+       | Some m when m > 0 ->
+         (* count = m * q for some q; computed at double width so the
+            product cannot wrap and fabricate divisibility. *)
+         let q = Term.bv_var (Printf.sprintf "q|%s|%s|%s" sid path prop) ~width:16 in
+         let wide t = Term.zero_extend ~by:16 t in
+         let cells_cnt =
+           Term.bv_var (Printf.sprintf "cells|%s|%s|%s" sid path prop) ~width:16
+         in
+         assert_rule "multipleOf" prop
+           (Term.implies (r_pred ~sid ~path (pname prop))
+              (Term.eq (wide cells_cnt) (Term.mul (wide (Term.bv_of_int ~width:16 m)) (wide q))))
+       | Some _ | None -> ()))
+    schema.properties;
+
+  (* (2,3) required properties. *)
+  List.iter
+    (fun prop ->
+      assert_rule "required" prop (Term.implies node_v (r_pred ~sid ~path (pname prop))))
+    schema.required;
+
+  (* Strict mode (additionalProperties: false): the schema forbids presence
+     of any property it does not mention; with the closure axiom (6) forcing
+     R for every present property, an unknown property yields UNSAT with
+     this rule in the core. *)
+  (if (not schema.Binding.additional_properties) && has_props then begin
+     let known = Binding.known_properties schema in
+     List.iter
+       (fun (p : T.prop) ->
+         if not (List.mem p.T.p_name known) then
+           assert_rule "additionalProperties" p.T.p_name
+             (Term.implies node_v (Term.not_ (r_pred ~sid ~path (pname p.T.p_name)))))
+       node.T.props
+   end);
+
+  (* Required child nodes (the paper's extension beyond dt-schema). *)
+  List.iter
+    (fun child ->
+      let child_path = T.join_path path child in
+      assert_rule "requiredNode" child (Term.implies node_v (node_var ~path:child_path));
+      let present =
+        List.exists
+          (fun c -> String.equal (Devicetree.Ast.base_name c.T.name) child)
+          node.T.children
+      in
+      assert_rule "node-presence" child
+        (Term.iff (node_var ~path:child_path) (if present then Term.tt else Term.ff)))
+    schema.required_nodes;
+
+  (* --- proof obligations from the binding instance -------------------------- *)
+  (* (4) actual values. *)
+  List.iter
+    (fun (p : T.prop) ->
+      let prop = p.T.p_name in
+      let ps = List.assoc_opt prop schema.properties in
+      let needs_value =
+        match ps with
+        | Some ps -> ps.Binding.const_string <> None || ps.Binding.enum_values <> []
+        | None -> false
+      in
+      (if needs_value then
+         match T.prop_string p with
+         | Some actual ->
+           let vsort = value_sort ~sid ~path prop in
+           let v = value_var ~sid ~path prop vsort in
+           assert_rule "value" prop (Term.eq v (Term.enum ~sort:vsort actual))
+         | None ->
+           (* The schema constrains a string value but the binding supplies
+              none: the obligation is unsatisfiable by construction. *)
+           assert_rule "value" prop Term.ff);
+      (match ps with
+       | Some { Binding.const_cells = Some _; _ } ->
+         List.iteri
+           (fun i (_bits, c) ->
+             assert_rule "value-cell" prop (Term.eq (cell_var ~sid ~path prop i) (Term.bv ~width:32 c)))
+           (T.prop_cells p)
+       | _ -> ());
+      (* First-cell value, for range-bounded properties. *)
+      (match ps with
+       | Some { Binding.minimum = Some _; _ } | Some { Binding.maximum = Some _; _ } ->
+         let first_cell_var =
+           Term.bv_var (Printf.sprintf "cell0|%s|%s|%s" sid path prop) ~width:64
+         in
+         (match T.prop_cells p with
+          | (_, v) :: _ ->
+            assert_rule "value-cell0" prop (Term.eq first_cell_var (Term.bv ~width:64 v))
+          | [] -> assert_rule "value-cell0" prop Term.ff)
+       | _ -> ());
+      (* Item and cell counts. *)
+      (match ps with
+       | Some ps ->
+         let items = Binding.item_count ps p in
+         assert_rule "count" prop
+           (Term.eq (count_var ~sid ~path prop) (Term.bv_of_int ~width:16 items));
+         if ps.Binding.multiple_of <> None then
+           assert_rule "cell-count" prop
+             (Term.eq
+                (Term.bv_var (Printf.sprintf "cells|%s|%s|%s" sid path prop) ~width:16)
+                (Term.bv_of_int ~width:16 (List.length (T.prop_cells p))))
+       | None -> ()))
+    node.T.props;
+
+  if has_props then begin
+    (* (5) C(x) characterises exactly the present properties. *)
+    let present = List.map (fun p -> p.T.p_name) node.T.props in
+    Solver.assert_named solver (rule ~schema_id ~path "covered" "*")
+      (Solver.forall_enum solver ~sort:psort (fun x ->
+           Term.iff (c_pred ~sid ~path x) (Term.or_ (List.map (fun p -> Term.eq x (pname p)) present))));
+
+    (* (6) closure: R coincides with C. *)
+    Solver.assert_named solver (rule ~schema_id ~path "closure" "*")
+      (Solver.forall_enum solver ~sort:psort (fun x ->
+           Term.and_
+             [ Term.implies (c_pred ~sid ~path x) (r_pred ~sid ~path x);
+               Term.implies (Term.not_ (c_pred ~sid ~path x)) (Term.not_ (r_pred ~sid ~path x))
+             ]))
+  end;
+
+  (* The node under check is asserted valid; unsatisfiability then yields
+     the conflicting rules as the core. *)
+  Solver.assert_named solver (rule ~schema_id ~path "node" "*") node_v
+
+(* Check one node against one schema in a fresh scope; returns the core rule
+   names on failure. *)
+let check_node solver ~schema ~path node =
+  Solver.push solver;
+  compile_node solver ~schema ~path node;
+  let result =
+    match Solver.check solver with
+    | Solver.Sat -> []
+    | Solver.Unsat core -> (match core with [] -> [ "unsat:no-core" ] | _ -> core)
+  in
+  Solver.pop solver;
+  result
+
+(* Compile every applicable (node, schema) pair into the solver at the
+   current scope, without checking — used to inspect or export the full
+   constraint problem (e.g. as SMT-LIB). *)
+let compile_tree solver ~schemas tree =
+  List.iter
+    (fun (path, node, applicable) ->
+      List.iter (fun schema -> compile_node solver ~schema ~path node) applicable)
+    (Binding.applicable schemas tree)
+
+(* SMT-based syntactic check of a whole tree: every applicable (node, schema)
+   pair, incrementally on one solver instance.  Returns (path, core) pairs
+   for failing nodes. *)
+let check_tree solver ~schemas tree =
+  List.filter_map
+    (fun (path, node, applicable) ->
+      let failures =
+        List.concat_map
+          (fun schema -> check_node solver ~schema ~path node)
+          applicable
+      in
+      match failures with [] -> None | _ -> Some (path, failures))
+    (Binding.applicable schemas tree)

@@ -1,0 +1,31 @@
+(** Compilation of binding schemas and DT bindings into SMT constraints —
+    the paper's syntactic checker (§IV-B, constraints (1)–(6)).
+
+    Schema rules become implications guarded by the presence predicate R;
+    the binding instance contributes proof obligations (actual values,
+    coverage predicate C, and the closure axiom identifying R with C).
+    Every assertion is named so unsatisfiable cores map back to the
+    conflicting rules. *)
+
+(** Stable assertion/rule name, e.g. ["memory:const:device_type@/memory@0"]. *)
+val rule : schema_id:string -> path:string -> string -> string -> string
+
+(** Assert all constraints and obligations for one node/schema pair into the
+    solver at the current scope. *)
+val compile_node :
+  Smt.Solver.t -> schema:Binding.t -> path:string -> Devicetree.Tree.t -> unit
+
+(** Check one node in a fresh scope; returns the core rule names on failure
+    (empty list = the node satisfies the schema). *)
+val check_node :
+  Smt.Solver.t -> schema:Binding.t -> path:string -> Devicetree.Tree.t -> string list
+
+(** Compile every applicable node/schema pair into the solver at the
+    current scope without checking — for exporting the constraint problem
+    (e.g. via [Smt.Solver.pp_smtlib]). *)
+val compile_tree : Smt.Solver.t -> schemas:Binding.t list -> Devicetree.Tree.t -> unit
+
+(** Check a whole tree against a schema set, incrementally on one solver
+    instance; returns (path, core) for each failing node. *)
+val check_tree :
+  Smt.Solver.t -> schemas:Binding.t list -> Devicetree.Tree.t -> (string * string list) list

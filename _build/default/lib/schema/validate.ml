@@ -1,0 +1,191 @@
+(* Direct (non-SMT) schema validation — the dt-schema baseline the paper
+   compares against.  Walks the tree, finds applicable schemas, and checks
+   each constraint procedurally.  This checker is intentionally limited to
+   what dt-schema can express: per-property structural constraints.  It
+   cannot see relations *between* values (address overlaps etc.); that is
+   the semantic checker's job (lib/llhsc). *)
+
+module T = Devicetree.Tree
+
+type violation = {
+  node_path : string;
+  rule : string;    (* stable rule id, e.g. "memory:required:reg" *)
+  message : string;
+  loc : Devicetree.Loc.t;
+}
+
+let violation ~node_path ~rule ~loc fmt =
+  Fmt.kstr (fun message -> { node_path; rule; message; loc }) fmt
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s: [%s] %s (%a)" v.node_path v.rule v.message Devicetree.Loc.pp v.loc
+
+(* --- per-property checks ----------------------------------------------------------- *)
+
+let check_prop ~node_path ~schema_id (name, (ps : Binding.prop_schema)) (node : T.t) =
+  match T.get_prop node name with
+  | None -> [] (* absence is handled by [required] *)
+  | Some p ->
+    let loc = p.T.p_loc in
+    let errs = ref [] in
+    let push v = errs := v :: !errs in
+    (match ps.const_string with
+     | Some expected -> begin
+       match T.prop_string p with
+       | Some actual when String.equal actual expected -> ()
+       | Some actual ->
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:const:%s" schema_id name) ~loc
+              "property %s is %S, schema requires %S" name actual expected)
+       | None ->
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:const:%s" schema_id name) ~loc
+              "property %s must be the string %S" name expected)
+     end
+     | None -> ());
+    (match ps.const_cells with
+     | Some expected ->
+       let actual = List.map snd (T.prop_cells p) in
+       if actual <> expected then
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:const:%s" schema_id name) ~loc
+              "property %s cells do not match the schema constant" name)
+     | None -> ());
+    (if ps.enum_values <> [] then
+       match T.prop_string p with
+       | Some actual when List.mem actual ps.enum_values -> ()
+       | Some actual ->
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:enum:%s" schema_id name) ~loc
+              "property %s is %S, not one of {%s}" name actual
+              (String.concat ", " ps.enum_values))
+       | None ->
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:enum:%s" schema_id name) ~loc
+              "property %s must be one of {%s}" name (String.concat ", " ps.enum_values)));
+    (match ps.item_type with
+     | Some Binding.Ty_string ->
+       if T.prop_strings p = [] then
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:type:%s" schema_id name) ~loc
+              "property %s must be a string" name)
+     | Some Binding.Ty_cells ->
+       if T.prop_cells p = [] then
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:type:%s" schema_id name) ~loc
+              "property %s must be a cell array" name)
+     | Some Binding.Ty_bytes ->
+       if not (List.exists (function Devicetree.Ast.Bytes _ -> true | _ -> false) p.p_value)
+       then
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:type:%s" schema_id name) ~loc
+              "property %s must be a byte array" name)
+     | Some Binding.Ty_flag ->
+       if p.p_value <> [] then
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:type:%s" schema_id name) ~loc
+              "property %s must be an empty (flag) property" name)
+     | None -> ());
+    (match ps.multiple_of with
+     | Some m when m > 0 ->
+       let cells = List.length (T.prop_cells p) in
+       if cells mod m <> 0 then
+         push
+           (violation ~node_path ~rule:(Printf.sprintf "%s:multipleOf:%s" schema_id name) ~loc
+              "property %s has %d cells, not a multiple of %d" name cells m)
+     | Some _ | None -> ());
+    (* Value-range bounds on the first cell (manufacturer-given ranges,
+       e.g. clock-frequency). *)
+    let first_cell = match T.prop_cells p with (_, v) :: _ -> Some v | [] -> None in
+    (match (ps.minimum, first_cell) with
+     | Some min, Some v when Int64.unsigned_compare v min < 0 ->
+       push
+         (violation ~node_path ~rule:(Printf.sprintf "%s:minimum:%s" schema_id name) ~loc
+            "property %s is %Lu, below the minimum %Lu" name v min)
+     | Some min, None ->
+       push
+         (violation ~node_path ~rule:(Printf.sprintf "%s:minimum:%s" schema_id name) ~loc
+            "property %s must carry a cell value (minimum %Lu)" name min)
+     | _ -> ());
+    (match (ps.maximum, first_cell) with
+     | Some max, Some v when Int64.unsigned_compare v max > 0 ->
+       push
+         (violation ~node_path ~rule:(Printf.sprintf "%s:maximum:%s" schema_id name) ~loc
+            "property %s is %Lu, above the maximum %Lu" name v max)
+     | Some max, None ->
+       push
+         (violation ~node_path ~rule:(Printf.sprintf "%s:maximum:%s" schema_id name) ~loc
+            "property %s must carry a cell value (maximum %Lu)" name max)
+     | _ -> ());
+    let items = Binding.item_count ps p in
+    (match ps.min_items with
+     | Some n when items < n ->
+       push
+         (violation ~node_path ~rule:(Printf.sprintf "%s:minItems:%s" schema_id name) ~loc
+            "property %s has %d items, schema requires at least %d" name items n)
+     | Some _ | None -> ());
+    (match ps.max_items with
+     | Some n when items > n ->
+       push
+         (violation ~node_path ~rule:(Printf.sprintf "%s:maxItems:%s" schema_id name) ~loc
+            "property %s has %d items, schema allows at most %d" name items n)
+     | Some _ | None -> ());
+    List.rev !errs
+
+(* --- per-node checks ----------------------------------------------------------------- *)
+
+let check_node ~node_path (schema : Binding.t) (node : T.t) =
+  let prop_violations =
+    List.concat_map
+      (fun entry -> check_prop ~node_path ~schema_id:schema.id entry node)
+      schema.properties
+  in
+  let required_violations =
+    List.filter_map
+      (fun name ->
+        if T.has_prop node name then None
+        else
+          Some
+            (violation ~node_path
+               ~rule:(Printf.sprintf "%s:required:%s" schema.id name)
+               ~loc:node.T.loc "required property %s is missing" name))
+      schema.required
+  in
+  let required_node_violations =
+    List.filter_map
+      (fun child_name ->
+        let present =
+          List.exists
+            (fun c -> String.equal (Devicetree.Ast.base_name c.T.name) child_name)
+            node.T.children
+        in
+        if present then None
+        else
+          Some
+            (violation ~node_path
+               ~rule:(Printf.sprintf "%s:requiredNode:%s" schema.id child_name)
+               ~loc:node.T.loc "required child node %s is missing" child_name))
+      schema.required_nodes
+  in
+  let additional_violations =
+    if schema.additional_properties then []
+    else
+      let known = Binding.known_properties schema in
+      List.filter_map
+        (fun (p : T.prop) ->
+          if List.mem p.T.p_name known then None
+          else
+            Some
+              (violation ~node_path
+                 ~rule:(Printf.sprintf "%s:additionalProperties:%s" schema.id p.T.p_name)
+                 ~loc:p.T.p_loc "property %s is not allowed by the (strict) schema" p.T.p_name))
+        node.T.props
+  in
+  prop_violations @ required_violations @ required_node_violations @ additional_violations
+
+(* Validate a whole tree against a schema set. *)
+let check schemas tree =
+  List.concat_map
+    (fun (path, node, applicable) ->
+      List.concat_map (fun schema -> check_node ~node_path:path schema node) applicable)
+    (Binding.applicable schemas tree)

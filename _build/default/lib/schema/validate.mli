@@ -1,0 +1,19 @@
+(** Direct (non-SMT) schema validation — the dt-schema baseline the paper
+    compares against.  Intentionally limited to per-property structural
+    constraints; relations between values (address overlaps, ...) are the
+    semantic checker's job. *)
+
+type violation = {
+  node_path : string;
+  rule : string;    (** stable id, e.g. "memory:required:reg" *)
+  message : string;
+  loc : Devicetree.Loc.t;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Check one node against one schema. *)
+val check_node : node_path:string -> Binding.t -> Devicetree.Tree.t -> violation list
+
+(** Validate a whole tree against a schema set. *)
+val check : Binding.t list -> Devicetree.Tree.t -> violation list

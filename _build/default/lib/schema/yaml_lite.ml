@@ -1,0 +1,233 @@
+(* A small YAML-subset parser, enough for dt-schema-style binding schemas:
+   block maps, block lists, flow lists, quoted/plain scalars, integers
+   (including 0x...), booleans, comments.  No anchors, no multi-line
+   scalars, no multi-document streams. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Str of string
+  | List of t list
+  | Map of (string * t) list
+
+exception Error of string * int (* message, line *)
+
+let error line fmt = Fmt.kstr (fun msg -> raise (Error (msg, line))) fmt
+
+(* --- scalars -------------------------------------------------------------- *)
+
+let parse_scalar line s =
+  let s = String.trim s in
+  if s = "" || s = "~" || s = "null" then Null
+  else if s = "true" then Bool true
+  else if s = "false" then Bool false
+  else if String.length s >= 2 && s.[0] = '"' then begin
+    if s.[String.length s - 1] <> '"' then error line "unterminated quoted string";
+    Str (String.sub s 1 (String.length s - 2))
+  end
+  else if String.length s >= 2 && s.[0] = '\'' then begin
+    if s.[String.length s - 1] <> '\'' then error line "unterminated quoted string";
+    Str (String.sub s 1 (String.length s - 2))
+  end
+  else
+    match Int64.of_string_opt s with
+    | Some v -> Int v
+    | None -> Str s
+
+let parse_flow_list line s =
+  (* [a, b, c] with scalar items; commas inside quotes do not split. *)
+  let inner = String.sub s 1 (String.length s - 2) in
+  let items = ref [] in
+  let buf = Buffer.create 16 in
+  let in_quote = ref false and quote_char = ref ' ' in
+  let flush () =
+    let item = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if item <> "" then items := item :: !items
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ('"' | '\'') when not !in_quote ->
+        in_quote := true;
+        quote_char := c;
+        Buffer.add_char buf c
+      | c when !in_quote && c = !quote_char ->
+        in_quote := false;
+        Buffer.add_char buf c
+      | ',' when not !in_quote -> flush ()
+      | c -> Buffer.add_char buf c)
+    inner;
+  flush ();
+  List (List.rev_map (parse_scalar line) !items)
+
+let parse_value line s =
+  let s = String.trim s in
+  if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']' then
+    parse_flow_list line s
+  else parse_scalar line s
+
+(* --- lines ----------------------------------------------------------------- *)
+
+type line = {
+  num : int;
+  indent : int;
+  content : string; (* stripped of indentation and comments *)
+}
+
+let strip_comment s =
+  (* '#' starts a comment unless inside quotes *)
+  let len = String.length s in
+  let rec go i in_quote quote_char =
+    if i >= len then s
+    else
+      match s.[i] with
+      | ('"' | '\'') as c when not in_quote -> go (i + 1) true c
+      | c when in_quote && c = quote_char -> go (i + 1) false ' '
+      | '#' when not in_quote -> String.sub s 0 i
+      | _ -> go (i + 1) in_quote quote_char
+  in
+  go 0 false ' '
+
+let split_lines src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i raw ->
+         let raw = strip_comment raw in
+         let indent =
+           let rec count i = if i < String.length raw && raw.[i] = ' ' then count (i + 1) else i in
+           count 0
+         in
+         { num = i + 1; indent; content = String.trim raw })
+  |> List.filter (fun l -> l.content <> "" && l.content <> "---")
+
+(* --- block structure ---------------------------------------------------------- *)
+
+(* Split "key: value" handling quoted keys and URLs (no space after colon is
+   not a mapping separator in real YAML; we require ": " or line-final ":"). *)
+let split_key_value line content =
+  let len = String.length content in
+  let rec find i in_quote quote_char =
+    if i >= len then None
+    else
+      match content.[i] with
+      | ('"' | '\'') as c when not in_quote -> find (i + 1) true c
+      | c when in_quote && c = quote_char -> find (i + 1) false ' '
+      | ':' when (not in_quote) && (i = len - 1 || content.[i + 1] = ' ') -> Some i
+      | _ -> find (i + 1) in_quote quote_char
+  in
+  match find 0 false ' ' with
+  | None -> None
+  | Some i ->
+    let key = String.trim (String.sub content 0 i) in
+    let key =
+      match parse_scalar line key with
+      | Str s -> s
+      | Int v -> Int64.to_string v
+      | Bool b -> string_of_bool b
+      | Null -> ""
+      | List _ | Map _ -> key
+    in
+    let value = if i = len - 1 then "" else String.sub content (i + 1) (len - i - 1) in
+    Some (key, String.trim value)
+
+let rec parse_block lines indent =
+  match lines with
+  | [] -> (Null, [])
+  | first :: _ when first.indent < indent -> (Null, lines)
+  | first :: _ ->
+    if String.length first.content >= 1 && first.content.[0] = '-'
+       && (String.length first.content = 1 || first.content.[1] = ' ')
+    then parse_list lines first.indent
+    else parse_map lines first.indent
+
+and parse_list lines indent =
+  let rec go lines acc =
+    match lines with
+    | { indent = i; content; num } :: rest
+      when i = indent
+           && String.length content >= 1
+           && content.[0] = '-'
+           && (String.length content = 1 || content.[1] = ' ') ->
+      let item_text = if String.length content = 1 then "" else String.trim (String.sub content 1 (String.length content - 1)) in
+      if item_text = "" then begin
+        (* Nested block as list item. *)
+        let value, rest = parse_block rest (indent + 1) in
+        go rest (value :: acc)
+      end
+      else begin
+        match split_key_value num item_text with
+        | Some (key, v) ->
+          (* "- key: value" starts an inline map item; its continuation lines
+             are indented past the dash. *)
+          let first_entry =
+            if v = "" then begin
+              fun rest ->
+                let value, rest = parse_block rest (indent + 3) in
+                ((key, value), rest)
+            end
+            else fun rest -> ((key, parse_value num v), rest)
+          in
+          let (entry, rest) = first_entry rest in
+          let more, rest = parse_map_entries rest (indent + 2) in
+          go rest (Map (entry :: more) :: acc)
+        | None -> go rest (parse_value num item_text :: acc)
+      end
+    | _ -> (List (List.rev acc), lines)
+  in
+  go lines []
+
+and parse_map lines indent =
+  let entries, rest = parse_map_entries lines indent in
+  (Map entries, rest)
+
+and parse_map_entries lines indent =
+  let rec go lines acc =
+    match lines with
+    | { indent = i; content; num } :: rest when i = indent -> begin
+      match split_key_value num content with
+      | None -> error num "expected 'key: value', got %S" content
+      | Some (key, v) ->
+        if v = "" then begin
+          let value, rest = parse_block rest (indent + 1) in
+          go rest ((key, value) :: acc)
+        end
+        else go rest ((key, parse_value num v) :: acc)
+    end
+    | _ -> (List.rev acc, lines)
+  in
+  go lines []
+
+let parse src =
+  let lines = split_lines src in
+  match lines with
+  | [] -> Null
+  | first :: _ ->
+    let value, rest = parse_block lines first.indent in
+    (match rest with
+     | [] -> value
+     | { num; content; _ } :: _ -> error num "unexpected content %S (bad indentation?)" content)
+
+(* --- accessors ------------------------------------------------------------------ *)
+
+let find key = function Map entries -> List.assoc_opt key entries | _ -> None
+
+let as_list = function List l -> Some l | _ -> None
+
+let as_string = function
+  | Str s -> Some s
+  | Int v -> Some (Int64.to_string v)
+  | _ -> None
+
+let as_int = function Int v -> Some v | _ -> None
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int v -> Fmt.pf ppf "%Ld" v
+  | Str s -> Fmt.pf ppf "%S" s
+  | List l -> Fmt.pf ppf "[@[%a@]]" Fmt.(list ~sep:comma pp) l
+  | Map m ->
+    Fmt.pf ppf "{@[%a@]}"
+      Fmt.(list ~sep:comma (pair ~sep:(any ": ") string pp))
+      m

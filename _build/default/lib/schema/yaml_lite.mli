@@ -1,0 +1,27 @@
+(** A small YAML-subset parser, sufficient for dt-schema-style binding
+    schemas: block maps, block lists, flow lists, quoted/plain scalars,
+    integers (incl. 0x...), booleans and comments.  No anchors, multi-line
+    scalars, or multi-document streams. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Str of string
+  | List of t list
+  | Map of (string * t) list
+
+exception Error of string * int (** message, 1-based line *)
+
+val parse : string -> t
+
+(** {1 Accessors} *)
+
+val find : string -> t -> t option
+val as_list : t -> t list option
+
+(** [as_string] also stringifies [Int]s. *)
+val as_string : t -> string option
+
+val as_int : t -> int64 option
+val pp : Format.formatter -> t -> unit

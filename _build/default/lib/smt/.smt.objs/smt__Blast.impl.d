@@ -1,0 +1,1 @@
+lib/smt/blast.ml: Array Fmt Hashtbl Int64 List Sat String Term

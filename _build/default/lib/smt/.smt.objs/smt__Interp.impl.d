@@ -1,0 +1,1 @@
+lib/smt/interp.ml: Fmt Int64 List String Term

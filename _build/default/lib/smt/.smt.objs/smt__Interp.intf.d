@@ -1,0 +1,1 @@
+lib/smt/interp.mli: Format Term

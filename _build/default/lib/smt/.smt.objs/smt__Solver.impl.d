@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Blast Fmt Hashtbl Int64 Interp Lazy List Option Sat String Term

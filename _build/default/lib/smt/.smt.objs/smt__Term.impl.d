@@ -1,0 +1,1 @@
+lib/smt/term.ml: Fmt Int64 List String

@@ -1,0 +1,382 @@
+(* Bit-blasting of terms onto the CDCL solver, the route the paper ascribes
+   to Z3 for its address constraints ("the technique of bit-blasting is used
+   ... to encode memory addresses inside bit-vectors which are then
+   translated into a SAT problem", §IV-C).
+
+   Booleans become literals; a bit-vector of width w becomes an array of w
+   literals, least-significant bit first.  Enum values are bit-vectors of
+   ceil(log2 n) bits constrained below the universe size.  All gates use the
+   definitional (both-polarity) encoding so blasted literals can be used as
+   assumptions under either sign. *)
+
+module S = Sat.Solver
+module L = Sat.Lit
+
+type ctx = {
+  sat : S.t;
+  true_lit : L.t;
+  bool_memo : (Term.t, L.t) Hashtbl.t;
+  bv_memo : (Term.t, L.t array) Hashtbl.t;
+  bool_vars : (string, L.t) Hashtbl.t;
+  bv_vars : (string, L.t array) Hashtbl.t;
+  enum_vars : (string, string * L.t array) Hashtbl.t; (* name -> sort, bits *)
+  pred_vars : (string, L.t) Hashtbl.t;
+  enum_universe : string -> string array; (* resolved by the Solver layer *)
+  sort_of : Term.t -> Term.sort;
+}
+
+let create ~sat ~enum_universe ~sort_of =
+  let v = S.new_var sat in
+  let true_lit = L.of_var v in
+  ignore (S.add_clause sat [ true_lit ] : bool);
+  {
+    sat;
+    true_lit;
+    bool_memo = Hashtbl.create 256;
+    bv_memo = Hashtbl.create 256;
+    bool_vars = Hashtbl.create 64;
+    bv_vars = Hashtbl.create 64;
+    enum_vars = Hashtbl.create 64;
+    pred_vars = Hashtbl.create 64;
+    enum_universe;
+    sort_of;
+  }
+
+let false_lit ctx = L.neg ctx.true_lit
+let fresh ctx = L.of_var (S.new_var ctx.sat)
+let add ctx lits = ignore (S.add_clause ctx.sat lits : bool)
+
+(* --- gates ---------------------------------------------------------------- *)
+
+let mk_not l = L.neg l
+
+let mk_and ctx ls =
+  let ls = List.filter (fun l -> not (L.equal l ctx.true_lit)) ls in
+  if List.exists (fun l -> L.equal l (false_lit ctx)) ls then false_lit ctx
+  else
+    match ls with
+    | [] -> ctx.true_lit
+    | [ l ] -> l
+    | _ ->
+      let r = fresh ctx in
+      List.iter (fun l -> add ctx [ L.neg r; l ]) ls;
+      add ctx (r :: List.map L.neg ls);
+      r
+
+let mk_or ctx ls =
+  let ls = List.filter (fun l -> not (L.equal l (false_lit ctx))) ls in
+  if List.exists (fun l -> L.equal l ctx.true_lit) ls then ctx.true_lit
+  else
+    match ls with
+    | [] -> false_lit ctx
+    | [ l ] -> l
+    | _ ->
+      let r = fresh ctx in
+      List.iter (fun l -> add ctx [ r; L.neg l ]) ls;
+      add ctx (L.neg r :: ls);
+      r
+
+let mk_xor ctx a b =
+  if L.equal a (false_lit ctx) then b
+  else if L.equal b (false_lit ctx) then a
+  else if L.equal a ctx.true_lit then mk_not b
+  else if L.equal b ctx.true_lit then mk_not a
+  else begin
+    let r = fresh ctx in
+    add ctx [ L.neg r; a; b ];
+    add ctx [ L.neg r; L.neg a; L.neg b ];
+    add ctx [ r; L.neg a; b ];
+    add ctx [ r; a; L.neg b ];
+    r
+  end
+
+let mk_iff ctx a b = mk_not (mk_xor ctx a b)
+
+(* mux: if c then a else b *)
+let mk_mux ctx c a b =
+  if L.equal a b then a
+  else if L.equal c ctx.true_lit then a
+  else if L.equal c (false_lit ctx) then b
+  else begin
+    let r = fresh ctx in
+    add ctx [ L.neg c; L.neg r; a ];
+    add ctx [ L.neg c; r; L.neg a ];
+    add ctx [ c; L.neg r; b ];
+    add ctx [ c; r; L.neg b ];
+    r
+  end
+
+(* full adder: returns (sum, carry_out) *)
+let full_adder ctx a b cin =
+  let sum = mk_xor ctx (mk_xor ctx a b) cin in
+  let carry = mk_or ctx [ mk_and ctx [ a; b ]; mk_and ctx [ a; cin ]; mk_and ctx [ b; cin ] ] in
+  (sum, carry)
+
+(* --- bit-vector circuits --------------------------------------------------- *)
+
+let bv_const ctx ~width value =
+  Array.init width (fun i ->
+      if Int64.logand (Int64.shift_right_logical value i) 1L = 1L then ctx.true_lit
+      else false_lit ctx)
+
+let ripple_add ctx a b cin =
+  let w = Array.length a in
+  let out = Array.make w cin in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder ctx a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out
+
+let bv_add ctx a b = ripple_add ctx a b (false_lit ctx)
+let bv_not a = Array.map mk_not a
+let bv_sub ctx a b = ripple_add ctx a (bv_not b) ctx.true_lit
+let bv_neg ctx a = bv_sub ctx (bv_const ctx ~width:(Array.length a) 0L) a
+
+let bv_bitwise ctx f a b = Array.init (Array.length a) (fun i -> f ctx a.(i) b.(i))
+
+let bv_mul ctx a b =
+  let w = Array.length a in
+  let acc = ref (bv_const ctx ~width:w 0L) in
+  for i = 0 to w - 1 do
+    let partial =
+      Array.init w (fun j ->
+          if j < i then false_lit ctx else mk_and ctx [ a.(j - i); b.(i) ])
+    in
+    acc := bv_add ctx !acc partial
+  done;
+  !acc
+
+(* Equality of a bit-vector with a small integer constant. *)
+let bv_eq_const ctx a k =
+  let w = Array.length a in
+  let bits =
+    List.init w (fun i ->
+        if k land (1 lsl i) <> 0 then a.(i) else mk_not a.(i))
+  in
+  mk_and ctx bits
+
+(* Shift by a (possibly symbolic) amount: mux over all in-range constant
+   amounts; out-of-range amounts yield zero, matching SMT-LIB semantics for
+   widths <= 64. *)
+let bv_shift ctx ~left a b =
+  let w = Array.length a in
+  let conds = Array.init w (fun s -> bv_eq_const ctx b s) in
+  Array.init w (fun i ->
+      let picks = ref [] in
+      for s = 0 to w - 1 do
+        let src = if left then i - s else i + s in
+        if src >= 0 && src < w then picks := mk_and ctx [ conds.(s); a.(src) ] :: !picks
+      done;
+      mk_or ctx !picks)
+
+let bv_eq ctx a b =
+  mk_and ctx (List.init (Array.length a) (fun i -> mk_iff ctx a.(i) b.(i)))
+
+let bv_ult ctx a b =
+  let w = Array.length a in
+  let res = ref (false_lit ctx) in
+  for i = 0 to w - 1 do
+    let lt_here = mk_and ctx [ mk_not a.(i); b.(i) ] in
+    let eq_here = mk_iff ctx a.(i) b.(i) in
+    res := mk_or ctx [ lt_here; mk_and ctx [ eq_here; !res ] ]
+  done;
+  !res
+
+let bv_ule ctx a b = mk_not (bv_ult ctx b a)
+
+let flip_msb a =
+  let w = Array.length a in
+  Array.init w (fun i -> if i = w - 1 then mk_not a.(i) else a.(i))
+
+let bv_slt ctx a b = bv_ult ctx (flip_msb a) (flip_msb b)
+let bv_sle ctx a b = bv_ule ctx (flip_msb a) (flip_msb b)
+
+let bv_mux ctx c a b = Array.init (Array.length a) (fun i -> mk_mux ctx c a.(i) b.(i))
+
+(* --- enum encoding --------------------------------------------------------- *)
+
+let enum_width n =
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  max 1 (go 0)
+
+(* index of a value in its universe *)
+let enum_index ctx sort value =
+  let universe = ctx.enum_universe sort in
+  let rec find i =
+    if i >= Array.length universe then
+      Fmt.invalid_arg "enum value %S not in sort %s" value sort
+    else if String.equal universe.(i) value then i
+    else find (i + 1)
+  in
+  find 0
+
+(* --- main blaster ----------------------------------------------------------- *)
+
+let rec blast_bool ctx (t : Term.t) : L.t =
+  match Hashtbl.find_opt ctx.bool_memo t with
+  | Some l -> l
+  | None ->
+    let l =
+      match t with
+      | True -> ctx.true_lit
+      | False -> false_lit ctx
+      | Bool_var name ->
+        (match Hashtbl.find_opt ctx.bool_vars name with
+         | Some l -> l
+         | None ->
+           let l = fresh ctx in
+           Hashtbl.add ctx.bool_vars name l;
+           l)
+      | Not t -> mk_not (blast_bool ctx t)
+      | And ts -> mk_and ctx (List.map (blast_bool ctx) ts)
+      | Or ts -> mk_or ctx (List.map (blast_bool ctx) ts)
+      | Implies (a, b) -> mk_or ctx [ mk_not (blast_bool ctx a); blast_bool ctx b ]
+      | Iff (a, b) -> mk_iff ctx (blast_bool ctx a) (blast_bool ctx b)
+      | Xor (a, b) -> mk_xor ctx (blast_bool ctx a) (blast_bool ctx b)
+      | Ite (c, a, b) ->
+        (match ctx.sort_of a with
+         | Bool -> mk_mux ctx (blast_bool ctx c) (blast_bool ctx a) (blast_bool ctx b)
+         | Bitvec _ | Enum _ ->
+           Fmt.invalid_arg "blast_bool: ite of non-boolean sort")
+      | Eq (a, b) ->
+        (match ctx.sort_of a with
+         | Bool -> mk_iff ctx (blast_bool ctx a) (blast_bool ctx b)
+         | Bitvec _ | Enum _ -> bv_eq ctx (blast_bv ctx a) (blast_bv ctx b))
+      | Distinct ts ->
+        let rec pairs = function
+          | [] -> []
+          | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+        in
+        let distinct_pair (a, b) =
+          match ctx.sort_of a with
+          | Bool -> mk_xor ctx (blast_bool ctx a) (blast_bool ctx b)
+          | Bitvec _ | Enum _ -> mk_not (bv_eq ctx (blast_bv ctx a) (blast_bv ctx b))
+        in
+        mk_and ctx (List.map distinct_pair (pairs ts))
+      | Bv_cmp (op, a, b) ->
+        let ba = blast_bv ctx a and bb = blast_bv ctx b in
+        (match op with
+         | Ult -> bv_ult ctx ba bb
+         | Ule -> bv_ule ctx ba bb
+         | Slt -> bv_slt ctx ba bb
+         | Sle -> bv_sle ctx ba bb)
+      | Pred (name, args) ->
+        (* Ground over the finite universes of the argument sorts. *)
+        let arg_sorts =
+          List.map
+            (fun a ->
+              match ctx.sort_of a with
+              | Enum s -> s
+              | Bool | Bitvec _ -> Fmt.invalid_arg "predicate %s on non-enum" name)
+            args
+        in
+        let arg_bits = List.map (blast_bv ctx) args in
+        let rec tuples = function
+          | [] -> [ [] ]
+          | s :: rest ->
+            let universe = Array.to_list (ctx.enum_universe s) in
+            List.concat_map
+              (fun v -> List.map (fun tl -> v :: tl) (tuples rest))
+              universe
+        in
+        let instance_lit values =
+          let key = name ^ "(" ^ String.concat "," values ^ ")" in
+          match Hashtbl.find_opt ctx.pred_vars key with
+          | Some l -> l
+          | None ->
+            let l = fresh ctx in
+            Hashtbl.add ctx.pred_vars key l;
+            l
+        in
+        let cases =
+          List.map
+            (fun values ->
+              let matches =
+                List.map2
+                  (fun bits (sort, v) ->
+                    bv_eq ctx bits
+                      (bv_const ctx ~width:(Array.length bits)
+                         (Int64.of_int (enum_index ctx sort v))))
+                  arg_bits
+                  (List.combine arg_sorts values)
+              in
+              mk_and ctx (instance_lit values :: matches))
+            (tuples arg_sorts)
+        in
+        mk_or ctx cases
+      | Bv_const _ | Bv_var _ | Bv_unop _ | Bv_binop _ | Bv_extract _ | Bv_concat _
+      | Bv_extend _ | Enum_const _ | Enum_var _ ->
+        Fmt.invalid_arg "blast_bool: term %a is not boolean" Term.pp t
+    in
+    Hashtbl.add ctx.bool_memo t l;
+    l
+
+and blast_bv ctx (t : Term.t) : L.t array =
+  match Hashtbl.find_opt ctx.bv_memo t with
+  | Some bits -> bits
+  | None ->
+    let bits =
+      match t with
+      | Bv_const { width; value } -> bv_const ctx ~width value
+      | Bv_var (name, width) ->
+        (match Hashtbl.find_opt ctx.bv_vars name with
+         | Some bits -> bits
+         | None ->
+           let bits = Array.init width (fun _ -> fresh ctx) in
+           Hashtbl.add ctx.bv_vars name bits;
+           bits)
+      | Bv_unop (Bv_neg, a) -> bv_neg ctx (blast_bv ctx a)
+      | Bv_unop (Bv_not, a) -> bv_not (blast_bv ctx a)
+      | Bv_binop (op, a, b) ->
+        let ba = blast_bv ctx a and bb = blast_bv ctx b in
+        (match op with
+         | Bv_add -> bv_add ctx ba bb
+         | Bv_sub -> bv_sub ctx ba bb
+         | Bv_mul -> bv_mul ctx ba bb
+         | Bv_and -> bv_bitwise ctx (fun ctx x y -> mk_and ctx [ x; y ]) ba bb
+         | Bv_or -> bv_bitwise ctx (fun ctx x y -> mk_or ctx [ x; y ]) ba bb
+         | Bv_xor -> bv_bitwise ctx mk_xor ba bb
+         | Bv_shl -> bv_shift ctx ~left:true ba bb
+         | Bv_lshr -> bv_shift ctx ~left:false ba bb)
+      | Bv_extract { hi; lo; arg } ->
+        let bits = blast_bv ctx arg in
+        Array.sub bits lo (hi - lo + 1)
+      | Bv_concat (a, b) ->
+        (* SMT-LIB concat: a is the high part. *)
+        let ba = blast_bv ctx a and bb = blast_bv ctx b in
+        Array.append bb ba
+      | Bv_extend { signed; by; arg } ->
+        let bits = blast_bv ctx arg in
+        let w = Array.length bits in
+        let top = if signed then bits.(w - 1) else false_lit ctx in
+        Array.init (w + by) (fun i -> if i < w then bits.(i) else top)
+      | Enum_const { sort; value } ->
+        let universe = ctx.enum_universe sort in
+        let width = enum_width (Array.length universe) in
+        bv_const ctx ~width (Int64.of_int (enum_index ctx sort value))
+      | Enum_var (name, sort) ->
+        (match Hashtbl.find_opt ctx.enum_vars name with
+         | Some (_, bits) -> bits
+         | None ->
+           let universe = ctx.enum_universe sort in
+           let n = Array.length universe in
+           let width = enum_width n in
+           let bits = Array.init width (fun _ -> fresh ctx) in
+           Hashtbl.add ctx.enum_vars name (sort, bits);
+           (* Constrain the encoding below the universe size (no-op when the
+              universe exactly fills the width). *)
+           if n < 1 lsl width then begin
+             let bound = bv_const ctx ~width (Int64.of_int n) in
+             add ctx [ bv_ult ctx bits bound ]
+           end;
+           bits)
+      | Ite (c, a, b) -> bv_mux ctx (blast_bool ctx c) (blast_bv ctx a) (blast_bv ctx b)
+      | True | False | Bool_var _ | Not _ | And _ | Or _ | Implies _ | Iff _ | Xor _
+      | Eq _ | Distinct _ | Bv_cmp _ | Pred _ ->
+        Fmt.invalid_arg "blast_bv: term %a is not a bit-vector" Term.pp t
+    in
+    Hashtbl.add ctx.bv_memo t bits;
+    bits

@@ -1,0 +1,130 @@
+(* Reference interpreter for terms under a total assignment of variables.
+   Serves two purposes: evaluating terms in a model returned by the solver,
+   and differential testing of the bit-blaster (the interpreter and the
+   blasted circuit must agree on every term). *)
+
+type value =
+  | V_bool of bool
+  | V_bv of { width : int; value : int64 }
+  | V_enum of { sort : string; value : string }
+
+type env = {
+  bool_var : string -> bool;
+  bv_var : string -> int64;
+  enum_var : string -> string;
+  pred : string -> string list -> bool;
+}
+
+exception Eval_error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Eval_error msg)) fmt
+
+let mask width v =
+  if width = 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+(* sign-extend a w-bit value into a full int64 *)
+let sext width v =
+  if width = 64 then v
+  else if Int64.logand v (Int64.shift_left 1L (width - 1)) <> 0L then
+    Int64.logor v (Int64.shift_left (-1L) width)
+  else v
+
+let pp_value ppf = function
+  | V_bool b -> Fmt.bool ppf b
+  | V_bv { width; value } -> Fmt.pf ppf "#x%Lx[%d]" value width
+  | V_enum { value; _ } -> Fmt.pf ppf "%S" value
+
+let as_bool = function V_bool b -> b | v -> error "expected bool, got %a" pp_value v
+
+let as_bv = function
+  | V_bv { width; value } -> (width, value)
+  | v -> error "expected bit-vector, got %a" pp_value v
+
+let rec eval env (t : Term.t) : value =
+  match t with
+  | True -> V_bool true
+  | False -> V_bool false
+  | Bool_var name -> V_bool (env.bool_var name)
+  | Not t -> V_bool (not (as_bool (eval env t)))
+  | And ts -> V_bool (List.for_all (fun t -> as_bool (eval env t)) ts)
+  | Or ts -> V_bool (List.exists (fun t -> as_bool (eval env t)) ts)
+  | Implies (a, b) -> V_bool ((not (as_bool (eval env a))) || as_bool (eval env b))
+  | Iff (a, b) -> V_bool (as_bool (eval env a) = as_bool (eval env b))
+  | Xor (a, b) -> V_bool (as_bool (eval env a) <> as_bool (eval env b))
+  | Ite (c, a, b) -> if as_bool (eval env c) then eval env a else eval env b
+  | Eq (a, b) -> V_bool (value_equal (eval env a) (eval env b))
+  | Distinct ts ->
+    let vs = List.map (eval env) ts in
+    let rec all_distinct = function
+      | [] -> true
+      | v :: rest -> (not (List.exists (value_equal v) rest)) && all_distinct rest
+    in
+    V_bool (all_distinct vs)
+  | Bv_const { width; value } -> V_bv { width; value = mask width value }
+  | Bv_var (name, width) -> V_bv { width; value = mask width (env.bv_var name) }
+  | Bv_unop (op, a) ->
+    let w, v = as_bv (eval env a) in
+    let r = match op with Term.Bv_neg -> Int64.neg v | Term.Bv_not -> Int64.lognot v in
+    V_bv { width = w; value = mask w r }
+  | Bv_binop (op, a, b) ->
+    let w, va = as_bv (eval env a) in
+    let _, vb = as_bv (eval env b) in
+    let r =
+      match op with
+      | Term.Bv_add -> Int64.add va vb
+      | Term.Bv_sub -> Int64.sub va vb
+      | Term.Bv_mul -> Int64.mul va vb
+      | Term.Bv_and -> Int64.logand va vb
+      | Term.Bv_or -> Int64.logor va vb
+      | Term.Bv_xor -> Int64.logxor va vb
+      | Term.Bv_shl ->
+        if Int64.unsigned_compare vb (Int64.of_int w) >= 0 then 0L
+        else Int64.shift_left va (Int64.to_int vb)
+      | Term.Bv_lshr ->
+        if Int64.unsigned_compare vb (Int64.of_int w) >= 0 then 0L
+        else Int64.shift_right_logical (mask w va) (Int64.to_int vb)
+    in
+    V_bv { width = w; value = mask w r }
+  | Bv_cmp (op, a, b) ->
+    let w, va = as_bv (eval env a) in
+    let _, vb = as_bv (eval env b) in
+    let r =
+      match op with
+      | Term.Ult -> Int64.unsigned_compare va vb < 0
+      | Term.Ule -> Int64.unsigned_compare va vb <= 0
+      | Term.Slt -> Int64.compare (sext w va) (sext w vb) < 0
+      | Term.Sle -> Int64.compare (sext w va) (sext w vb) <= 0
+    in
+    V_bool r
+  | Bv_extract { hi; lo; arg } ->
+    let _, v = as_bv (eval env arg) in
+    let width = hi - lo + 1 in
+    V_bv { width; value = mask width (Int64.shift_right_logical v lo) }
+  | Bv_concat (a, b) ->
+    let wa, va = as_bv (eval env a) in
+    let wb, vb = as_bv (eval env b) in
+    V_bv { width = wa + wb; value = Int64.logor (Int64.shift_left va wb) vb }
+  | Bv_extend { signed; by; arg } ->
+    let w, v = as_bv (eval env arg) in
+    let v' = if signed then sext w v else v in
+    V_bv { width = w + by; value = mask (w + by) v' }
+  | Enum_const { sort; value } -> V_enum { sort; value }
+  | Enum_var (name, sort) -> V_enum { sort; value = env.enum_var name }
+  | Pred (name, args) ->
+    let values =
+      List.map
+        (fun a ->
+          match eval env a with
+          | V_enum { value; _ } -> value
+          | v -> error "predicate %s argument evaluated to %a" name pp_value v)
+        args
+    in
+    V_bool (env.pred name values)
+
+and value_equal a b =
+  match (a, b) with
+  | V_bool x, V_bool y -> x = y
+  | V_bv { width = w; value = x }, V_bv { width = w'; value = y } -> w = w' && Int64.equal x y
+  | V_enum { sort = s; value = x }, V_enum { sort = s'; value = y } ->
+    String.equal s s' && String.equal x y
+  | (V_bool _ | V_bv _ | V_enum _), _ -> error "comparing values of different sorts"

@@ -1,0 +1,23 @@
+(** Reference interpreter for terms under a total variable assignment.
+    Used for evaluating terms in solver models and for differential testing
+    of the bit-blaster. *)
+
+type value =
+  | V_bool of bool
+  | V_bv of { width : int; value : int64 }
+  | V_enum of { sort : string; value : string }
+
+type env = {
+  bool_var : string -> bool;
+  bv_var : string -> int64;     (** masked to the variable's width *)
+  enum_var : string -> string;
+  pred : string -> string list -> bool;
+}
+
+exception Eval_error of string
+
+val pp_value : Format.formatter -> value -> unit
+val eval : env -> Term.t -> value
+
+(** Structural equality of values; raises {!Eval_error} across sorts. *)
+val value_equal : value -> value -> bool

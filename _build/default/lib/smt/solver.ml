@@ -1,0 +1,302 @@
+module L = Sat.Lit
+
+type answer =
+  | Sat
+  | Unsat of string list
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+type scope = {
+  act : L.t; (* activation literal guarding assertions of this scope *)
+  saved_named : (string * L.t) list;
+  saved_assertions : (string option * Term.t) list;
+}
+
+type t = {
+  sat : Sat.Solver.t;
+  ctx : Blast.ctx;
+  enums : (string, string array) Hashtbl.t;
+  mutable scopes : scope list;
+  mutable named : (string * L.t) list; (* live named assertions *)
+  mutable assertions : (string option * Term.t) list; (* newest first *)
+  mutable last_sat : bool;
+}
+
+let enum_sorts t name =
+  Hashtbl.find_opt t.enums name |> Option.map Array.to_list
+
+let create () =
+  let sat = Sat.Solver.create () in
+  let enums = Hashtbl.create 16 in
+  let enum_universe name =
+    match Hashtbl.find_opt enums name with
+    | Some u -> u
+    | None -> error "undeclared enum sort %s" name
+  in
+  let rec t =
+    lazy
+      (let sort_of term =
+         try
+           Term.sort_of ~enum_sorts:(fun n -> enum_sorts (Lazy.force t) n) term
+         with Term.Sort_error msg -> error "%s" msg
+       in
+       {
+         sat;
+         ctx = Blast.create ~sat ~enum_universe ~sort_of;
+         enums;
+         scopes = [];
+         named = [];
+         assertions = [];
+         last_sat = false;
+       })
+  in
+  Lazy.force t
+
+let declare_enum t name universe =
+  if universe = [] then error "enum sort %s must have a non-empty universe" name;
+  let sorted = List.sort_uniq String.compare universe in
+  if List.length sorted <> List.length universe then
+    error "enum sort %s has duplicate members" name;
+  match Hashtbl.find_opt t.enums name with
+  | Some existing ->
+    if Array.to_list existing <> universe then
+      error "enum sort %s redeclared with a different universe" name
+  | None -> Hashtbl.add t.enums name (Array.of_list universe)
+
+let enum_universe t name =
+  match Hashtbl.find_opt t.enums name with
+  | Some u -> Array.to_list u
+  | None -> error "undeclared enum sort %s" name
+
+let check_bool_sort t term =
+  let sort =
+    try Term.sort_of ~enum_sorts:(enum_sorts t) term
+    with Term.Sort_error msg -> error "%s" msg
+  in
+  match sort with
+  | Term.Bool -> ()
+  | s -> error "assertion has sort %a, expected Bool" Term.pp_sort s
+
+let blast_checked t term =
+  check_bool_sort t term;
+  try Blast.blast_bool t.ctx term
+  with Invalid_argument msg -> error "%s" msg
+
+let assert_ t term =
+  t.last_sat <- false;
+  let l = blast_checked t term in
+  t.assertions <- (None, term) :: t.assertions;
+  match t.scopes with
+  | [] -> ignore (Sat.Solver.add_clause t.sat [ l ] : bool)
+  | { act; _ } :: _ -> ignore (Sat.Solver.add_clause t.sat [ L.neg act; l ] : bool)
+
+let assert_named t name term =
+  t.last_sat <- false;
+  if List.mem_assoc name t.named then error "assertion name %S already in use" name;
+  let l = blast_checked t term in
+  let guard = L.of_var (Sat.Solver.new_var t.sat) in
+  ignore (Sat.Solver.add_clause t.sat [ L.neg guard; l ] : bool);
+  t.assertions <- (Some name, term) :: t.assertions;
+  t.named <- (name, guard) :: t.named
+
+let push t =
+  let act = L.of_var (Sat.Solver.new_var t.sat) in
+  t.scopes <- { act; saved_named = t.named; saved_assertions = t.assertions } :: t.scopes
+
+let pop t =
+  match t.scopes with
+  | [] -> error "pop without matching push"
+  | { act; saved_named; saved_assertions } :: rest ->
+    t.last_sat <- false;
+    t.scopes <- rest;
+    t.named <- saved_named;
+    t.assertions <- saved_assertions;
+    (* Permanently disable the scope's assertions. *)
+    ignore (Sat.Solver.add_clause t.sat [ L.neg act ] : bool)
+
+let num_scopes t = List.length t.scopes
+
+let check ?(assumptions = []) t =
+  let extra = List.map (fun term -> (term, blast_checked t term)) assumptions in
+  let lits =
+    List.map (fun s -> s.act) t.scopes
+    @ List.map snd t.named
+    @ List.map snd extra
+  in
+  match Sat.Solver.solve ~assumptions:lits t.sat with
+  | Sat.Solver.Sat ->
+    t.last_sat <- true;
+    Sat
+  | Sat.Solver.Unsat ->
+    t.last_sat <- false;
+    let core = Sat.Solver.unsat_core t.sat in
+    let names =
+      List.filter_map
+        (fun (name, guard) -> if List.mem guard core then Some name else None)
+        t.named
+    in
+    Unsat names
+
+let forall_enum t ~sort f =
+  Term.and_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
+
+let exists_enum t ~sort f =
+  Term.or_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
+
+(* --- models ----------------------------------------------------------------- *)
+
+let bits_value t bits =
+  let v = ref 0L in
+  Array.iteri
+    (fun i l -> if Sat.Solver.lit_value t.sat l then v := Int64.logor !v (Int64.shift_left 1L i))
+    bits;
+  !v
+
+let model_env t : Interp.env =
+  {
+    bool_var =
+      (fun name ->
+        match Hashtbl.find_opt t.ctx.bool_vars name with
+        | Some l -> Sat.Solver.lit_value t.sat l
+        | None -> false);
+    bv_var =
+      (fun name ->
+        match Hashtbl.find_opt t.ctx.bv_vars name with
+        | Some bits -> bits_value t bits
+        | None -> 0L);
+    enum_var =
+      (fun name ->
+        match Hashtbl.find_opt t.ctx.enum_vars name with
+        | Some (sort, bits) ->
+          let universe = Hashtbl.find t.enums sort in
+          let i = Int64.to_int (bits_value t bits) in
+          if i < Array.length universe then universe.(i)
+          else universe.(0)
+        | None ->
+          (* Variable never blasted: any member is a valid default, but we
+             cannot know the sort here; fail loudly instead. *)
+          error "enum variable %s has no value in the current model" name);
+    pred =
+      (fun name values ->
+        let key = name ^ "(" ^ String.concat "," values ^ ")" in
+        match Hashtbl.find_opt t.ctx.pred_vars key with
+        | Some l -> Sat.Solver.lit_value t.sat l
+        | None -> false);
+  }
+
+let model_eval t term =
+  if not t.last_sat then error "no model available (last answer was not Sat)";
+  (* Sort-check first so evaluation errors are reported as such. *)
+  (try ignore (Term.sort_of ~enum_sorts:(enum_sorts t) term : Term.sort)
+   with Term.Sort_error msg -> error "%s" msg);
+  try Interp.eval (model_env t) term
+  with Interp.Eval_error msg -> error "%s" msg
+
+let get_bool t term =
+  match model_eval t term with
+  | Interp.V_bool b -> b
+  | v -> error "expected a boolean value, got %a" Interp.pp_value v
+
+let get_bv t term =
+  match model_eval t term with
+  | Interp.V_bv { value; _ } -> value
+  | v -> error "expected a bit-vector value, got %a" Interp.pp_value v
+
+let get_enum t term =
+  match model_eval t term with
+  | Interp.V_enum { value; _ } -> value
+  | v -> error "expected an enum value, got %a" Interp.pp_value v
+
+(* Smallest value of a bit-vector term consistent with the live assertions,
+   by binary search over check-sat calls (each probe in its own scope) —
+   the incremental-solving pattern an optimizing solver runs internally. *)
+let minimize ?(assumptions = []) t term =
+  let width =
+    match Term.sort_of ~enum_sorts:(enum_sorts t) term with
+    | Term.Bitvec w -> w
+    | s -> error "minimize: expected a bit-vector term, got %a" Term.pp_sort s
+    | exception Term.Sort_error msg -> error "%s" msg
+  in
+  match check ~assumptions t with
+  | Unsat _ -> None
+  | Sat ->
+    (* Unsigned binary search: [lo] is a proven lower bound, [hi] is
+       achievable; every probe either tightens [hi] to a model value or
+       raises [lo] past the midpoint. *)
+    let lo = ref 0L and hi = ref (get_bv t term) in
+    while Int64.unsigned_compare !lo !hi < 0 do
+      let mid = Int64.add !lo (Int64.shift_right_logical (Int64.sub !hi !lo) 1) in
+      push t;
+      assert_ t (Term.ule term (Term.bv ~width mid));
+      (match check ~assumptions t with
+       | Sat -> hi := get_bv t term
+       | Unsat _ -> lo := Int64.add mid 1L);
+      pop t
+    done;
+    Some !hi
+
+let assertions t = List.rev t.assertions
+
+(* SMT-LIB2-flavoured dump of the live assertion set: sort and function
+   declarations synthesised from the terms, then one (assert ...) per live
+   assertion (named ones with :named attributes). *)
+let pp_smtlib ppf t =
+  let live = assertions t in
+  (* Collect declarations from the terms. *)
+  let bools = Hashtbl.create 16
+  and bvs = Hashtbl.create 16
+  and enums = Hashtbl.create 16
+  and preds = Hashtbl.create 16 in
+  let rec collect (term : Term.t) =
+    match term with
+    | Term.Bool_var v -> Hashtbl.replace bools v ()
+    | Term.Bv_var (v, w) -> Hashtbl.replace bvs v w
+    | Term.Enum_var (v, sort) -> Hashtbl.replace enums v sort
+    | Term.Pred (name, args) ->
+      Hashtbl.replace preds name (List.length args);
+      List.iter collect args
+    | Term.Not a | Term.Bv_unop (_, a) | Term.Bv_extract { arg = a; _ }
+    | Term.Bv_extend { arg = a; _ } ->
+      collect a
+    | Term.And ts | Term.Or ts | Term.Distinct ts -> List.iter collect ts
+    | Term.Implies (a, b) | Term.Iff (a, b) | Term.Xor (a, b) | Term.Eq (a, b)
+    | Term.Bv_binop (_, a, b) | Term.Bv_cmp (_, a, b) | Term.Bv_concat (a, b) ->
+      collect a;
+      collect b
+    | Term.Ite (c, a, b) ->
+      collect c;
+      collect a;
+      collect b
+    | Term.True | Term.False | Term.Bv_const _ | Term.Enum_const _ -> ()
+  in
+  List.iter (fun (_, term) -> collect term) live;
+  let used_sorts = Hashtbl.create 8 in
+  Hashtbl.iter (fun _ sort -> Hashtbl.replace used_sorts sort ()) enums;
+  Fmt.pf ppf "(set-logic QF_BV) ; enums/predicates grounded over finite sorts@.";
+  Hashtbl.iter
+    (fun sort () ->
+      match Hashtbl.find_opt t.enums sort with
+      | Some universe ->
+        Fmt.pf ppf "; sort %s = { %s }@." sort
+          (String.concat " " (Array.to_list universe))
+      | None -> ())
+    used_sorts;
+  Hashtbl.iter (fun v () -> Fmt.pf ppf "(declare-const %s Bool)@." v) bools;
+  Hashtbl.iter (fun v w -> Fmt.pf ppf "(declare-const %s (_ BitVec %d))@." v w) bvs;
+  Hashtbl.iter (fun v sort -> Fmt.pf ppf "(declare-const %s %s)@." v sort) enums;
+  Hashtbl.iter
+    (fun name arity ->
+      Fmt.pf ppf "(declare-fun %s (%s) Bool)@." name
+        (String.concat " " (List.init arity (fun _ -> "String"))))
+    preds;
+  List.iter
+    (fun (name, term) ->
+      match name with
+      | Some n -> Fmt.pf ppf "(assert (! %a :named %S))@." Term.pp term n
+      | None -> Fmt.pf ppf "(assert %a)@." Term.pp term)
+    live;
+  Fmt.pf ppf "(check-sat)@."
+
+let pp_stats ppf t = Sat.Solver.pp_stats ppf t.sat

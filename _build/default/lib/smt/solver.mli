@@ -1,0 +1,87 @@
+(** Incremental SMT solver over the {!Term} language — the drop-in stand-in
+    for the Z3 instance the paper drives through its Python API.
+
+    Supports the features llhsc relies on (§IV, §VI): incremental addition of
+    constraints to the same solver instance, named assertions with unsat-core
+    extraction, push/pop scopes, model extraction, and finite expansion of
+    universal quantifiers over enumeration sorts. *)
+
+type t
+
+(** Answer of {!check}.  On [Unsat], the core lists the names of the named
+    assertions (see {!assert_named}) that participate in the conflict. *)
+type answer =
+  | Sat
+  | Unsat of string list
+
+exception Error of string
+
+val create : unit -> t
+
+(** [declare_enum t name universe] declares a finite sort.  Redeclaring with
+    a different universe raises {!Error}; redeclaring identically is a
+    no-op.  The universe must be non-empty and duplicate-free. *)
+val declare_enum : t -> string -> string list -> unit
+
+(** Universe of a declared enum sort. *)
+val enum_universe : t -> string -> string list
+
+(** Assert a boolean term at the current scope.  Sort errors raise {!Error}. *)
+val assert_ : t -> Term.t -> unit
+
+(** Assert a boolean term under a name; named assertions can appear in unsat
+    cores.  Names must be unique among live assertions. *)
+val assert_named : t -> string -> Term.t -> unit
+
+(** Open a scope: assertions added after [push] are retracted by {!pop}. *)
+val push : t -> unit
+
+(** Close the innermost scope.  Raises {!Error} if no scope is open. *)
+val pop : t -> unit
+
+(** Current scope depth. *)
+val num_scopes : t -> int
+
+(** Decide satisfiability of all live assertions, plus optional extra
+    assumptions for this call only. *)
+val check : ?assumptions:Term.t list -> t -> answer
+
+(** {1 Quantifier expansion over finite sorts} *)
+
+(** [forall_enum t ~sort f] is the conjunction of [f c] for every constant
+    [c] of the declared enum [sort]. *)
+val forall_enum : t -> sort:string -> (Term.t -> Term.t) -> Term.t
+
+(** [exists_enum t ~sort f] is the disjunction over the sort's constants. *)
+val exists_enum : t -> sort:string -> (Term.t -> Term.t) -> Term.t
+
+(** {1 Models}
+
+    Valid after a [Sat] answer, until the next [check]/[assert_]. *)
+
+(** Evaluate any term under the current model.  Raises {!Error} if the last
+    answer was not [Sat] or the term is ill-sorted. *)
+val model_eval : t -> Term.t -> Interp.value
+
+val get_bool : t -> Term.t -> bool
+val get_bv : t -> Term.t -> int64
+val get_enum : t -> Term.t -> string
+
+(** {1 Optimization} *)
+
+(** Smallest value of a bit-vector term consistent with the live assertions
+    (and the optional extra assumptions); [None] when unsatisfiable.
+    Implemented by descent over incremental check-sat probes. *)
+val minimize : ?assumptions:Term.t list -> t -> Term.t -> int64 option
+
+(** {1 Introspection} *)
+
+(** The live assertions, oldest first; named ones carry their name. *)
+val assertions : t -> (string option * Term.t) list
+
+(** SMT-LIB2-flavoured dump of the live assertion set (declarations
+    synthesised from the terms; enum sorts listed as comments). *)
+val pp_smtlib : Format.formatter -> t -> unit
+
+(** Statistics of the underlying SAT solver. *)
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bao.ml: Alcotest Bao Delta Devicetree Int64 List Llhsc String Test_util

@@ -1,0 +1,1 @@
+test/test_delta.ml: Alcotest Delta Devicetree Featuremodel List Llhsc Option String Test_util

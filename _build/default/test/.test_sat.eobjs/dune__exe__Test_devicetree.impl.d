@@ -1,0 +1,1 @@
+test/test_devicetree.ml: Alcotest Char Delta Devicetree Gen Int64 List Llhsc Option Printf QCheck QCheck_alcotest Schema String Test_util

@@ -1,0 +1,1 @@
+test/test_featuremodel.ml: Alcotest Featuremodel List Option Printf QCheck QCheck_alcotest String Test_util

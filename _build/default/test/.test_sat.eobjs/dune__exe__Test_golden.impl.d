@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Bao Devicetree Filename Lazy List Llhsc

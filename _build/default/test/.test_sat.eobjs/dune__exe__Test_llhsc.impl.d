@@ -1,0 +1,1 @@
+test/test_llhsc.ml: Alcotest Bao Buffer Delta Devicetree Featuremodel Fmt List Llhsc Option Printf QCheck QCheck_alcotest Smt String Test_util

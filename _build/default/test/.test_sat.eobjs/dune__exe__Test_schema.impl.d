@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Devicetree Int64 List Option Printf QCheck QCheck_alcotest Schema Smt String Test_util

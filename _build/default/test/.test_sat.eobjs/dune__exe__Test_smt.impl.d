@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Fmt Gen Int64 List Printf QCheck QCheck_alcotest Smt Test_util

@@ -1,0 +1,140 @@
+#!/bin/sh
+# CLI integration tests: exercises every llhsc subcommand against the
+# file-based fixtures in examples/files.  Invoked by the dune runtest alias
+# with $1 = path to the llhsc binary and $2 = path to the fixtures.
+set -e
+
+LLHSC=$1
+FIXTURES=$2
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+echo "# check: clean DTS passes"
+"$LLHSC" check "$FIXTURES/custom-sbc.dts" --schemas "$FIXTURES/schemas" \
+  > "$TMP/check.out" || fail "check should pass"
+grep -q "all checks passed" "$TMP/check.out" || fail "expected 'all checks passed'"
+
+echo "# check: clash is detected and exits non-zero"
+sed 's/0x0 0x20000000 0x0 0x1000/0x0 0x60000000 0x0 0x1000/' \
+  "$FIXTURES/custom-sbc.dts" > "$TMP/clash.dts"
+cp "$FIXTURES/cpus.dtsi" "$TMP/"
+if "$LLHSC" check "$TMP/clash.dts" > "$TMP/clash.out"; then
+  fail "clash check should fail"
+fi
+grep -q "collide" "$TMP/clash.out" || fail "expected collision report"
+grep -q "0x60000000" "$TMP/clash.out" || fail "expected witness address"
+
+echo "# products: 12 products, none dead"
+"$LLHSC" products "$FIXTURES/custom-sbc.fm" --dead > "$TMP/products.out"
+grep -q "12 valid product(s)" "$TMP/products.out" || fail "expected 12 products"
+grep -q "no dead features" "$TMP/products.out" || fail "expected no dead features"
+
+echo "# generate: VM1 product"
+"$LLHSC" generate --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+  -f "memory,cpu@0,uart@20000000,uart@30000000,veth0" --check -o "$TMP/vm1.dts" \
+  > "$TMP/generate.out" || fail "generate should pass"
+grep -q "applied deltas: d3 < d4" "$TMP/generate.out" || fail "expected delta order"
+grep -q "veth0@80000000" "$TMP/vm1.dts" || fail "expected veth0 node in output"
+
+echo "# generated DTS re-parses and re-checks clean"
+"$LLHSC" check "$TMP/vm1.dts" > /dev/null || fail "generated DTS should check clean"
+
+echo "# pipeline: artifacts written"
+"$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+  --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \
+  --vm "memory,cpu@0,uart@20000000,uart@30000000,veth0" \
+  --vm "memory,cpu@1,uart@20000000,uart@30000000,veth1" \
+  --exclusive cpus --out-dir "$TMP/out" > "$TMP/pipeline.out" || fail "pipeline should pass"
+for f in vm1.dts vm2.dts platform.dts platform.c config.c; do
+  [ -f "$TMP/out/$f" ] || fail "missing artifact $f"
+done
+grep -q "cpu_num = 2" "$TMP/out/platform.c" || fail "platform.c content"
+grep -q "vmlist_size = 2" "$TMP/out/config.c" || fail "config.c content"
+
+echo "# pipeline: invalid allocation rejected"
+if "$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+  --model "$FIXTURES/custom-sbc.fm" \
+  --vm "memory,cpu@0" --vm "memory,cpu@0" --exclusive cpus > "$TMP/bad.out"; then
+  fail "double-cpu pipeline should fail"
+fi
+grep -q "no allocation" "$TMP/bad.out" || fail "expected allocation error"
+
+echo "# dtb: round trip"
+"$LLHSC" dtb "$FIXTURES/custom-sbc.dts" -o "$TMP/board.dtb" > /dev/null
+[ -s "$TMP/board.dtb" ] || fail "dtb not written"
+"$LLHSC" dtb -d "$TMP/board.dtb" -o "$TMP/board-roundtrip.dts" > /dev/null
+grep -q "memory@40000000" "$TMP/board-roundtrip.dts" || fail "decompiled DTS content"
+
+echo "# overlay: merge and check"
+cat > "$TMP/base.dts" <<'EOF'
+/dts-v1/;
+/ {
+    #address-cells = <1>; #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x10000000>; };
+    u0: uart@10000000 { compatible = "ns16550a"; reg = <0x10000000 0x100>; status = "disabled"; };
+};
+EOF
+cat > "$TMP/enable-uart.dts" <<'EOF'
+/dts-v1/;
+/ {
+    fragment@0 {
+        target = <&u0>;
+        __overlay__ { status = "okay"; };
+    };
+};
+EOF
+"$LLHSC" overlay "$TMP/base.dts" "$TMP/enable-uart.dts" --check -o "$TMP/merged.dts"   > /dev/null || fail "overlay should pass"
+grep -q 'status = "okay"' "$TMP/merged.dts" || fail "overlay not applied"
+
+echo "# smt2 export"
+"$LLHSC" smt2 "$FIXTURES/custom-sbc.dts" --schemas "$FIXTURES/schemas" -o "$TMP/problem.smt2" > /dev/null
+grep -q "(set-logic" "$TMP/problem.smt2" || fail "smt2 header"
+grep -q "(check-sat)" "$TMP/problem.smt2" || fail "smt2 footer"
+
+echo "# products anomalies"
+"$LLHSC" products "$FIXTURES/custom-sbc.fm" --anomalies > "$TMP/anom.out"
+grep -q "no false-optional features" "$TMP/anom.out" || fail "expected no false optionals"
+
+echo "# diff"
+"$LLHSC" diff "$FIXTURES/custom-sbc.dts" "$FIXTURES/custom-sbc.dts" > "$TMP/diff0.out" \
+  || fail "identical files should diff clean"
+grep -q "no differences" "$TMP/diff0.out" || fail "expected no differences"
+if "$LLHSC" diff "$FIXTURES/custom-sbc.dts" "$TMP/vm1.dts" > "$TMP/diff1.out"; then
+  fail "different files should exit 1"
+fi
+grep -q "+ node /vEthernet" "$TMP/diff1.out" || fail "expected vEthernet addition"
+
+echo "# build from project file"
+"$LLHSC" build "$FIXTURES/custom-sbc.proj.yaml" > "$TMP/build.out" || fail "build should pass"
+grep -q "product platform" "$TMP/build.out" || fail "expected platform product"
+
+echo "# configure with propagation"
+"$LLHSC" configure "$FIXTURES/custom-sbc.fm" -d veth0 > "$TMP/conf.out" || fail "configure should pass"
+grep -Eq "cpu@0 +forced" "$TMP/conf.out" || fail "cpu@0 should be forced"
+grep -Eq "cpu@1 +forbidden" "$TMP/conf.out" || fail "cpu@1 should be forbidden"
+if "$LLHSC" configure "$FIXTURES/custom-sbc.fm" -d veth0 -d "cpu@1" 2> "$TMP/confbad.out"; then
+  fail "invalid decision should be rejected"
+fi
+grep -q "rejected" "$TMP/confbad.out" || fail "expected rejection message"
+
+echo "# delta-set analysis"
+"$LLHSC" analyze --deltas "$FIXTURES/custom-sbc.deltas" --model "$FIXTURES/custom-sbc.fm" \
+  > "$TMP/analyze.out" || fail "analyze should exit 0 (no conflicts)"
+grep -q "dead deltas: rm-memory" "$TMP/analyze.out" || fail "expected rm-memory dead"
+grep -q "no unordered write conflicts" "$TMP/analyze.out" || fail "expected no conflicts"
+
+echo "# demo runs green"
+"$LLHSC" demo > "$TMP/demo.out" || fail "demo should pass"
+grep -q "12 valid products" "$TMP/demo.out" || fail "demo product count"
+grep -q "all checks passed" "$TMP/demo.out" || fail "demo checks"
+
+echo "# parse error reporting"
+echo "/ { broken" > "$TMP/broken.dts"
+if "$LLHSC" check "$TMP/broken.dts" 2> "$TMP/err.out"; then
+  fail "broken DTS should fail"
+fi
+grep -q "error:" "$TMP/err.out" || fail "expected error message"
+
+echo "all CLI tests passed"

@@ -1,0 +1,232 @@
+(* Tests for the Bao configuration generator: platform_desc extraction and
+   rendering (Listing 3, E8), per-VM struct config (Listing 6, E9), and the
+   QEMU rendering path (§V). *)
+
+module T = Devicetree.Tree
+module RE = Llhsc.Running_example
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_int64 = Alcotest.(check int64)
+let contains = Test_util.contains
+
+let platform_tree () =
+  (* The platform product: union of both VM feature sets (32-bit form). *)
+  let union = List.sort_uniq String.compare (RE.vm1_features @ RE.vm2_features) in
+  Delta.Apply.generate ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~selected:union
+
+let vm_tree features =
+  Delta.Apply.generate ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~selected:features
+
+(* --- platform (Listing 3, E8) ---------------------------------------------------- *)
+
+let test_platform_extraction () =
+  let p = Bao.Platform.of_tree (platform_tree ()) in
+  check_int "cpu_num = 2" 2 p.Bao.Platform.cpu_num;
+  Alcotest.(check (list int)) "one cluster of 2" [ 2 ] p.Bao.Platform.core_nums;
+  check_int "two memory regions" 2 (List.length p.Bao.Platform.regions);
+  let r1 = List.nth p.Bao.Platform.regions 0 in
+  check_int64 "bank 1 base" 0x40000000L r1.Bao.Platform.base;
+  check_int64 "bank 1 size" 0x20000000L r1.Bao.Platform.size;
+  check_bool "console found" true (p.Bao.Platform.console_base = Some 0x20000000L)
+
+let test_platform_c_rendering () =
+  (* E8: the generated C matches Listing 3 field-for-field. *)
+  let c = Bao.Platform.to_c (Bao.Platform.of_tree (platform_tree ())) in
+  List.iter
+    (fun needle -> check_bool ("contains " ^ needle) true (contains c needle))
+    [ "#include <platform.h>";
+      "struct platform_desc platform";
+      ".cpu_num = 2";
+      ".region_num = 2";
+      "{ .base = 0x40000000, .size = 0x20000000 }";
+      "{ .base = 0x60000000, .size = 0x20000000 }";
+      ".console = { .base = 0x20000000 }";
+      ".num = 1,";
+      ".core_num = (uint8_t[]) {2}"
+    ]
+
+let test_platform_errors () =
+  let no_cpus = T.of_source ~file:"x.dts" "/dts-v1/;\n/ { memory@0 { device_type = \"memory\"; reg = <0 0 0 0x1000>; }; };" in
+  (try
+     ignore (Bao.Platform.of_tree no_cpus : Bao.Platform.t);
+     Alcotest.fail "expected error"
+   with Bao.Platform.Error e -> check_bool "mentions cpus" true (contains e "cpus"));
+  let no_mem =
+    T.of_source ~loader:RE.loader ~file:"y.dts" "/dts-v1/;\n/ { };\n/include/ \"cpus.dtsi\""
+  in
+  try
+    ignore (Bao.Platform.of_tree no_mem : Bao.Platform.t);
+    Alcotest.fail "expected error"
+  with Bao.Platform.Error e -> check_bool "mentions memory" true (contains e "memory")
+
+(* --- VM config (Listing 6, E9) ------------------------------------------------------ *)
+
+let test_vm_extraction () =
+  let vm = Bao.Config.vm_of_tree ~name:"vm1" (vm_tree RE.vm1_features) in
+  check_int "one cpu" 1 vm.Bao.Config.cpu_num;
+  check_int "affinity 0b01" 0b01 vm.Bao.Config.cpu_affinity;
+  check_int "two memory regions" 2 (List.length vm.Bao.Config.regions);
+  check_int64 "entry at first bank" 0x40000000L vm.Bao.Config.entry;
+  (* Two uarts as pass-through devices. *)
+  check_int "two devs" 2 (List.length vm.Bao.Config.devs);
+  let d = List.hd vm.Bao.Config.devs in
+  check_int64 "pa = va" d.Bao.Config.pa d.Bao.Config.va;
+  (* One veth IPC. *)
+  check_int "one ipc" 1 (List.length vm.Bao.Config.ipcs);
+  let i = List.hd vm.Bao.Config.ipcs in
+  check_int64 "ipc base" 0x80000000L i.Bao.Config.ipc_base;
+  check_int "shmem id 0" 0 i.Bao.Config.shmem_id
+
+let test_vm2_affinity () =
+  let vm = Bao.Config.vm_of_tree ~name:"vm2" (vm_tree RE.vm2_features) in
+  check_int "affinity 0b10" 0b10 vm.Bao.Config.cpu_affinity
+
+let test_config_c_rendering () =
+  (* E9: a config in the shape of Listing 6. *)
+  let cfg =
+    Bao.Config.of_vm_trees
+      [ ("vm1", vm_tree RE.vm1_features); ("vm2", vm_tree RE.vm2_features) ]
+  in
+  let c = Bao.Config.to_c cfg in
+  List.iter
+    (fun needle -> check_bool ("contains " ^ needle) true (contains c needle))
+    [ "#include <config.h>";
+      "VM_IMAGE(vm1, vm1.bin);";
+      "VM_IMAGE(vm2, vm2.bin);";
+      "CONFIG_HEADER";
+      ".vmlist_size = 2";
+      ".load_addr = VM_IMAGE_OFFSET(vm1)";
+      ".entry = 0x40000000";
+      ".cpu_affinity = 0b1,";
+      ".cpu_affinity = 0b10,";
+      "{ .base = 0x40000000, .size = 0x20000000 }";
+      "{ .pa = 0x20000000, .va = 0x20000000, .size = 0x1000 }";
+      ".ipc_num = 1";
+      "{ .base = 0x80000000, .size = 0x10000000, .shmem_id = 0 }";
+      ".shmemlist_size = 2";
+      "[0] = { .size = 0x10000 }"
+    ]
+
+let test_listing6_unpartitioned () =
+  (* Listing 6 proper: one VM using all resources, no partitioning. *)
+  let all = List.sort_uniq String.compare (RE.vm1_features @ [ "cpu@1" ]) in
+  (* cpu@0 and cpu@1 together violate the XOR for a *product*, but Listing 6
+     describes exactly this unpartitioned VM; build the tree directly. *)
+  ignore all;
+  let t = vm_tree [ "memory"; "uart@20000000"; "uart@30000000"; "cpu@0"; "cpu@1" ] in
+  let vm = Bao.Config.vm_of_tree ~name:"vm" t in
+  check_int "cpu_num = 2" 2 vm.Bao.Config.cpu_num;
+  check_int "affinity 0b11" 0b11 vm.Bao.Config.cpu_affinity;
+  check_int "dev_num = 2" 2 (List.length vm.Bao.Config.devs);
+  check_int "region_num = 2" 2 (List.length vm.Bao.Config.regions)
+
+let test_vm_without_memory_rejected () =
+  let t = T.of_source ~loader:RE.loader ~file:"z.dts" "/dts-v1/;\n/ { };\n/include/ \"cpus.dtsi\"" in
+  try
+    ignore (Bao.Config.vm_of_tree ~name:"bad" t : Bao.Config.vm);
+    Alcotest.fail "expected error"
+  with Bao.Config.Error e -> check_bool "mentions memory" true (contains e "memory")
+
+(* --- QEMU (§V) ------------------------------------------------------------------------ *)
+
+let test_qemu_command () =
+  let t = vm_tree RE.vm1_features in
+  let cmd = Bao.Qemu.command_line ~arch:Bao.Qemu.Aarch64 t in
+  check_bool "aarch64 binary" true (contains cmd "qemu-system-aarch64");
+  check_bool "machine virt" true (contains cmd "-machine virt");
+  check_bool "1 cpu" true (contains cmd "-smp 1");
+  (* 2 banks x 512 MiB = 1024 MiB *)
+  check_bool "memory size" true (contains cmd "-m 1024");
+  check_bool "dtb passed" true (contains cmd "-dtb");
+  let rv = Bao.Qemu.command_line ~arch:Bao.Qemu.Rv64 t in
+  check_bool "riscv64 binary" true (contains rv "qemu-system-riscv64")
+
+let test_qemu_arch_parsing () =
+  check_bool "aarch64" true (Bao.Qemu.arch_of_string "aarch64" = Bao.Qemu.Aarch64);
+  check_bool "rv64" true (Bao.Qemu.arch_of_string "rv64" = Bao.Qemu.Rv64);
+  try
+    ignore (Bao.Qemu.arch_of_string "x86" : Bao.Qemu.arch);
+    Alcotest.fail "expected error"
+  with Bao.Qemu.Error _ -> ()
+
+
+(* --- C round trip (generate -> parse -> compare) ------------------------------ *)
+
+let test_platform_c_roundtrip () =
+  let p = Bao.Platform.of_tree (platform_tree ()) in
+  let reparsed = Bao.Cparse.platform_of_string (Bao.Platform.to_c p) in
+  check_bool "platform survives the C round trip" true (p = reparsed)
+
+let test_config_c_roundtrip () =
+  let trees = [ ("vm1", vm_tree RE.vm1_features); ("vm2", vm_tree RE.vm2_features) ] in
+  let cfg = Bao.Config.of_vm_trees trees in
+  let vms, shmem_count = Bao.Cparse.config_summary_of_string (Bao.Config.to_c cfg) in
+  check_int "two VMs" 2 (List.length vms);
+  check_int "shmem entries" (List.length cfg.Bao.Config.shmem_sizes) shmem_count;
+  List.iter2
+    (fun (expected : Bao.Config.vm) (got : Bao.Cparse.vm_summary) ->
+      check_int64 "entry" expected.Bao.Config.entry got.Bao.Cparse.entry;
+      check_int64 "affinity" (Int64.of_int expected.Bao.Config.cpu_affinity)
+        got.Bao.Cparse.cpu_affinity;
+      check_int "cpu_num" expected.Bao.Config.cpu_num got.Bao.Cparse.cpu_num;
+      check_int "regions" (List.length expected.Bao.Config.regions) got.Bao.Cparse.region_count;
+      check_int "devs" (List.length expected.Bao.Config.devs) got.Bao.Cparse.dev_count;
+      check_int "ipcs" (List.length expected.Bao.Config.ipcs) got.Bao.Cparse.ipc_count;
+      Alcotest.(check (list int64)) "interrupts" expected.Bao.Config.interrupts
+        got.Bao.Cparse.interrupts)
+    cfg.Bao.Config.vms vms
+
+let test_quad_config_c_roundtrip () =
+  (* The three-VM quad RV64 config also survives the round trip. *)
+  let outcome = Llhsc.Quad_rv64.run_pipeline () in
+  let vms =
+    List.filter (fun p -> p.Llhsc.Pipeline.name <> "platform") outcome.Llhsc.Pipeline.products
+    |> List.map (fun p -> (p.Llhsc.Pipeline.name, p.Llhsc.Pipeline.tree))
+  in
+  let cfg = Bao.Config.of_vm_trees vms in
+  let summaries, _ = Bao.Cparse.config_summary_of_string (Bao.Config.to_c cfg) in
+  check_int "three VMs" 3 (List.length summaries);
+  let affinities = List.map (fun (s : Bao.Cparse.vm_summary) -> s.Bao.Cparse.cpu_affinity) summaries in
+  Alcotest.(check (list int64)) "affinities 0b11, 0b100, 0b1000" [ 3L; 4L; 8L ] affinities
+
+let test_cparse_errors () =
+  (try
+     ignore (Bao.Cparse.parse_toplevel "no definition here" : Bao.Cparse.cvalue);
+     Alcotest.fail "expected error"
+   with Bao.Cparse.Error _ -> ());
+  try
+    ignore (Bao.Cparse.parse_toplevel "x = { .a = }" : Bao.Cparse.cvalue);
+    Alcotest.fail "expected error"
+  with Bao.Cparse.Error _ -> ()
+
+let () =
+  Alcotest.run "bao"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "extraction" `Quick test_platform_extraction;
+          Alcotest.test_case "C rendering (E8)" `Quick test_platform_c_rendering;
+          Alcotest.test_case "errors" `Quick test_platform_errors;
+        ] );
+      ( "vm-config",
+        [
+          Alcotest.test_case "extraction" `Quick test_vm_extraction;
+          Alcotest.test_case "vm2 affinity" `Quick test_vm2_affinity;
+          Alcotest.test_case "C rendering (E9)" `Quick test_config_c_rendering;
+          Alcotest.test_case "unpartitioned VM (Listing 6)" `Quick test_listing6_unpartitioned;
+          Alcotest.test_case "no memory rejected" `Quick test_vm_without_memory_rejected;
+        ] );
+      ( "c-roundtrip",
+        [
+          Alcotest.test_case "platform" `Quick test_platform_c_roundtrip;
+          Alcotest.test_case "config" `Quick test_config_c_roundtrip;
+          Alcotest.test_case "quad config" `Quick test_quad_config_c_roundtrip;
+          Alcotest.test_case "errors" `Quick test_cparse_errors;
+        ] );
+      ( "qemu",
+        [
+          Alcotest.test_case "command" `Quick test_qemu_command;
+          Alcotest.test_case "arch parsing" `Quick test_qemu_arch_parsing;
+        ] );
+    ]

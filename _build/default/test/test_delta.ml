@@ -1,0 +1,347 @@
+(* Tests for the delta-oriented programming layer: the delta language parser
+   (Listing 4), activation by feature selection, the 'after' partial order
+   and its linearisation (E4), application semantics, and error trace-back
+   to the offending delta. *)
+
+module T = Devicetree.Tree
+module D = Delta.Lang
+module RE = Llhsc.Running_example
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let deltas () = RE.deltas ()
+let core () = RE.core_tree ()
+
+(* --- parsing ---------------------------------------------------------------------- *)
+
+let test_parse_listing4 () =
+  let ds = deltas () in
+  check_int "eleven deltas" 11 (List.length ds);
+  let d1 = List.find (fun d -> d.D.name = "d1") ds in
+  Alcotest.(check (list string)) "d1 after d3" [ "d3" ] d1.D.after;
+  check_bool "d1 when veth0" true (d1.D.condition = Some (Featuremodel.Bexpr.Var "veth0"));
+  (match d1.D.ops with
+   | [ D.Adds { target; body } ] ->
+     Alcotest.(check string) "target" "vEthernet" target;
+     check_int "one child" 1
+       (List.length
+          (List.filter
+             (function Devicetree.Ast.Child _ -> true | _ -> false)
+             body.Devicetree.Ast.node_entries))
+   | _ -> Alcotest.fail "d1 should have one adds op");
+  let d3 = List.find (fun d -> d.D.name = "d3") ds in
+  check_bool "d3 when (veth0 || veth1)" true
+    (d3.D.condition
+    = Some (Featuremodel.Bexpr.Or (Featuremodel.Bexpr.Var "veth0", Featuremodel.Bexpr.Var "veth1")))
+
+let test_parse_errors () =
+  let expect_err src =
+    try
+      ignore (Delta.Parse.parse ~file:"t.delta" src : D.t list);
+      Alcotest.fail "expected parse error"
+    with Delta.Parse.Error _ -> ()
+  in
+  expect_err "delta d1 { adds }";
+  expect_err "delta d1 after nosuch { }";
+  expect_err "delta d1 { } delta d1 { }";
+  expect_err "delta d1 { removes x }" (* missing ';' *)
+
+(* --- activation and ordering (E4) ---------------------------------------------------- *)
+
+let test_activation () =
+  let ds = deltas () in
+  let active = Delta.Apply.active_deltas ~selected:RE.vm1_features ds in
+  let names = List.map (fun d -> d.D.name) active in
+  check_bool "d1 active (veth0)" true (List.mem "d1" names);
+  check_bool "d2 inactive (veth1 not selected)" false (List.mem "d2" names);
+  check_bool "d3 active" true (List.mem "d3" names);
+  check_bool "d4 active (memory)" true (List.mem "d4" names);
+  check_bool "rm-cpu1 active (!cpu@1)" true (List.mem "rm-cpu1" names);
+  check_bool "rm-cpu0 inactive" false (List.mem "rm-cpu0" names)
+
+let index_of x xs =
+  let rec go i = function
+    | [] -> Alcotest.failf "%s not in order" x
+    | y :: _ when String.equal x y -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 xs
+
+let test_order_vm1 () =
+  (* E4: the paper's order for the veth0 VM is d3 < d4 < d_add. *)
+  let order = Delta.Apply.order ~selected:RE.vm1_features (deltas ()) in
+  check_bool "d3 before d4" true (index_of "d3" order < index_of "d4" order);
+  check_bool "d4 before d1" true (index_of "d4" order < index_of "d1" order);
+  check_bool "d3 first" true (List.hd order = "d3");
+  check_bool "d2 not applied" false (List.mem "d2" order)
+
+let test_order_vm2 () =
+  let order = Delta.Apply.order ~selected:RE.vm2_features (deltas ()) in
+  check_bool "d3 before d4" true (index_of "d3" order < index_of "d4" order);
+  check_bool "d4 before d2" true (index_of "d4" order < index_of "d2" order);
+  check_bool "d1 not applied" false (List.mem "d1" order)
+
+let test_order_cycle () =
+  let ds =
+    Delta.Parse.parse ~file:"cyc.delta"
+      "delta a after b { modifies / { x = <1>; }; } delta b after a { modifies / { y = <1>; }; }"
+  in
+  try
+    ignore (Delta.Apply.order ~selected:[] ds : string list);
+    Alcotest.fail "expected cycle error"
+  with Delta.Apply.Error e -> check_bool "mentions cycle" true (Test_util.contains e.Delta.Apply.message "cyclic")
+
+let test_order_ignores_inactive_after () =
+  (* 'after' an inactive delta imposes no order and must not block. *)
+  let ds =
+    Delta.Parse.parse ~file:"ia.delta"
+      "delta a when nope { modifies / { x = <1>; }; } delta b after a { modifies / { y = <1>; }; }"
+  in
+  Alcotest.(check (list string)) "only b" [ "b" ] (Delta.Apply.order ~selected:[] ds)
+
+(* --- application ----------------------------------------------------------------------- *)
+
+let generate selected =
+  Delta.Apply.generate ~core:(core ()) ~deltas:(deltas ()) ~selected
+
+let test_generate_vm1 () =
+  let t = generate RE.vm1_features in
+  (* d3: 32-bit cells and the vEthernet node. *)
+  Alcotest.(check int) "address-cells" 1 (Devicetree.Addresses.address_cells t);
+  Alcotest.(check int) "size-cells" 1 (Devicetree.Addresses.size_cells t);
+  check_bool "vEthernet node" true (T.find t "/vEthernet" <> None);
+  (* d1: veth0 under vEthernet. *)
+  check_bool "veth0 added" true (T.find t "/vEthernet/veth0@80000000" <> None);
+  check_bool "veth1 absent" true (T.find t "/vEthernet/veth1@90000000" = None);
+  (* d4: memory rewritten to two 32-bit banks. *)
+  let memory = T.find_exn t "/memory@40000000" in
+  Alcotest.(check int) "4 cells" 4 (List.length (T.prop_u32s (Option.get (T.get_prop memory "reg"))));
+  (* rm-cpu1: cpu@1 removed, cpu@0 kept. *)
+  check_bool "cpu@0 kept" true (T.find t "/cpus/cpu@0" <> None);
+  check_bool "cpu@1 removed" true (T.find t "/cpus/cpu@1" = None)
+
+let test_generate_vm2 () =
+  let t = generate RE.vm2_features in
+  check_bool "veth1 added" true (T.find t "/vEthernet/veth1@90000000" <> None);
+  check_bool "veth0 absent" true (T.find t "/vEthernet/veth0@80000000" = None);
+  check_bool "cpu@0 removed" true (T.find t "/cpus/cpu@0" = None)
+
+let test_generate_no_veth () =
+  (* Without veth features, d3 does not fire: the tree stays 64-bit. *)
+  let t = generate [ "memory"; "cpu@0"; "uart@20000000" ] in
+  Alcotest.(check int) "address-cells still 2" 2 (Devicetree.Addresses.address_cells t);
+  check_bool "no vEthernet" true (T.find t "/vEthernet" = None);
+  check_bool "uart1 removed" true (T.find t "/uart@30000000" = None)
+
+let test_generate_platform () =
+  (* Platform = union of both VM products: both veths, both cpus. *)
+  let union =
+    List.sort_uniq String.compare (RE.vm1_features @ RE.vm2_features)
+  in
+  let t = generate union in
+  check_bool "both veths" true
+    (T.find t "/vEthernet/veth0@80000000" <> None && T.find t "/vEthernet/veth1@90000000" <> None);
+  check_bool "both cpus" true
+    (T.find t "/cpus/cpu@0" <> None && T.find t "/cpus/cpu@1" <> None)
+
+(* --- error trace-back --------------------------------------------------------------------- *)
+
+let test_adds_existing_is_error () =
+  let ds =
+    Delta.Parse.parse ~file:"dup.delta"
+      "delta bad { adds binding / { memory@40000000 { x = <1>; }; }; }"
+  in
+  try
+    ignore (Delta.Apply.generate ~core:(core ()) ~deltas:ds ~selected:[] : T.t);
+    Alcotest.fail "expected error"
+  with Delta.Apply.Error e ->
+    Alcotest.(check (option string)) "blamed delta" (Some "bad") e.Delta.Apply.delta;
+    check_bool "mentions existing" true (Test_util.contains e.Delta.Apply.message "already exists")
+
+let test_modifies_missing_target () =
+  let ds =
+    Delta.Parse.parse ~file:"missing.delta" "delta ghost { modifies nosuch@0 { x = <1>; }; }"
+  in
+  try
+    ignore (Delta.Apply.generate ~core:(core ()) ~deltas:ds ~selected:[] : T.t);
+    Alcotest.fail "expected error"
+  with Delta.Apply.Error e ->
+    Alcotest.(check (option string)) "blamed delta" (Some "ghost") e.Delta.Apply.delta
+
+let test_ambiguous_target () =
+  let core =
+    T.of_source ~file:"amb.dts" "/dts-v1/;\n/ { a { dup { }; }; b { dup { }; }; };"
+  in
+  let ds = Delta.Parse.parse ~file:"amb.delta" "delta amb { modifies dup { x = <1>; }; }" in
+  try
+    ignore (Delta.Apply.generate ~core ~deltas:ds ~selected:[] : T.t);
+    Alcotest.fail "expected error"
+  with Delta.Apply.Error e ->
+    check_bool "mentions ambiguity" true (Test_util.contains e.Delta.Apply.message "ambiguous")
+
+let test_removes_root_is_error () =
+  let ds = Delta.Parse.parse ~file:"rmroot.delta" "delta r { removes /; }" in
+  try
+    ignore (Delta.Apply.generate ~core:(core ()) ~deltas:ds ~selected:[] : T.t);
+    Alcotest.fail "expected error"
+  with Delta.Apply.Error _ -> ()
+
+let test_absolute_path_target () =
+  let ds =
+    Delta.Parse.parse ~file:"abs.delta"
+      "delta abs { modifies /cpus/cpu@0 { status = \"okay\"; }; }"
+  in
+  let t = Delta.Apply.generate ~core:(core ()) ~deltas:ds ~selected:[] in
+  check_bool "status set" true (T.has_prop (T.find_exn t "/cpus/cpu@0") "status")
+
+
+(* --- static analysis of the delta set ------------------------------------------ *)
+
+let test_analysis_running_example () =
+  let r = Delta.Analysis.analyze ~model:(RE.feature_model ()) (deltas ()) in
+  (* rm-memory fires on !memory, but memory is mandatory: a genuinely dead
+     delta in the fixture (kept as defensive symmetry with the other rm
+     deltas) that the analysis rightly exposes. *)
+  Alcotest.(check (list string)) "rm-memory is dead" [ "rm-memory" ] r.Delta.Analysis.dead;
+  check_bool "no conflicts" true (r.Delta.Analysis.conflicts = []);
+  check_bool "no always-on" true (r.Delta.Analysis.always_on = [])
+
+let test_analysis_dead_delta () =
+  let ds =
+    deltas ()
+    @ Delta.Parse.parse ~validate_refs:false ~file:"dead.delta"
+        "delta ghost when (veth0 && veth1) { modifies / { x = <1>; }; }"
+  in
+  let r = Delta.Analysis.analyze ~model:(RE.feature_model ()) ds in
+  Alcotest.(check (list string)) "ghost is dead (veths are XOR)" [ "rm-memory"; "ghost" ]
+    r.Delta.Analysis.dead
+
+let test_analysis_always_on () =
+  let ds =
+    Delta.Parse.parse ~file:"aon.delta"
+      "delta base when memory { modifies / { model = \"sbc\"; }; }"
+  in
+  let r = Delta.Analysis.analyze ~model:(RE.feature_model ()) ds in
+  (* memory is mandatory: the delta fires in every product. *)
+  Alcotest.(check (list string)) "always on" [ "base" ] r.Delta.Analysis.always_on
+
+let test_analysis_conflict () =
+  let ds =
+    Delta.Parse.parse ~file:"conf.delta"
+      "delta a when memory { modifies memory@40000000 { reg = <1>; }; }\n\
+       delta b when cpu@0 { modifies memory@40000000 { reg = <2>; }; }"
+  in
+  let r = Delta.Analysis.analyze ~model:(RE.feature_model ()) ds in
+  (match r.Delta.Analysis.conflicts with
+   | [ c ] ->
+     check_bool "names both deltas" true
+       ((c.Delta.Analysis.delta_a, c.Delta.Analysis.delta_b) = ("a", "b"));
+     check_bool "names the property" true (Test_util.contains c.Delta.Analysis.detail "reg")
+   | cs -> Alcotest.failf "expected one conflict, got %d" (List.length cs));
+  (* Adding an 'after' edge resolves it. *)
+  let ds_ordered =
+    Delta.Parse.parse ~file:"conf2.delta"
+      "delta a when memory { modifies memory@40000000 { reg = <1>; }; }\n\
+       delta b after a when cpu@0 { modifies memory@40000000 { reg = <2>; }; }"
+  in
+  let r2 = Delta.Analysis.analyze ~model:(RE.feature_model ()) ds_ordered in
+  check_bool "ordered pair not a conflict" true (r2.Delta.Analysis.conflicts = [])
+
+let test_analysis_disjoint_conditions_not_conflicting () =
+  (* Same writes, but never co-active (veth0 XOR veth1): no conflict. *)
+  let ds =
+    Delta.Parse.parse ~file:"disj.delta"
+      "delta a when veth0 { modifies memory@40000000 { reg = <1>; }; }\n\
+       delta b when veth1 { modifies memory@40000000 { reg = <2>; }; }"
+  in
+  let r = Delta.Analysis.analyze ~model:(RE.feature_model ()) ds in
+  check_bool "no conflict" true (r.Delta.Analysis.conflicts = [])
+
+
+(* --- order independence: with no write conflicts, any valid linearization
+   of the 'after' order produces the same tree -------------------------------- *)
+
+(* An alternative linearization: Kahn with *reversed* preference (additive
+   deltas first where allowed, later declarations first). *)
+let linearize_reversed (ds : D.t list) =
+  let names = List.map (fun d -> d.D.name) ds in
+  let preds d = List.filter (fun a -> List.mem a names) d.D.after in
+  let rec go remaining done_names acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let ready =
+        List.filter (fun d -> List.for_all (fun p -> List.mem p done_names) (preds d)) remaining
+      in
+      (match List.rev ready with
+       | [] -> Alcotest.fail "cycle in test linearization"
+       | first :: _ ->
+         go
+           (List.filter (fun d -> d.D.name <> first.D.name) remaining)
+           (first.D.name :: done_names)
+           (first :: acc))
+  in
+  go ds [] []
+
+let test_order_independence () =
+  (* The running-example delta set has no unordered write conflicts
+     (asserted by the analysis tests), so every product must come out
+     identical under a completely different tie-breaking rule. *)
+  let fm_env = Featuremodel.Analysis.encode (RE.feature_model ()) in
+  let products = Featuremodel.Analysis.enumerate_products fm_env in
+  List.iter
+    (fun selected ->
+      let active = Delta.Apply.active_deltas ~selected (deltas ()) in
+      let default_tree =
+        List.fold_left Delta.Apply.apply_delta (core ()) (Delta.Apply.linearize active)
+      in
+      let reversed_tree =
+        List.fold_left Delta.Apply.apply_delta (core ()) (linearize_reversed active)
+      in
+      if not (T.equal default_tree reversed_tree) then
+        Alcotest.failf "product {%s} depends on delta order" (String.concat ", " selected))
+    products
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "listing 4" `Quick test_parse_listing4;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "activation" `Quick test_activation;
+          Alcotest.test_case "vm1 order (E4)" `Quick test_order_vm1;
+          Alcotest.test_case "vm2 order (E4)" `Quick test_order_vm2;
+          Alcotest.test_case "cycle detection" `Quick test_order_cycle;
+          Alcotest.test_case "inactive after ignored" `Quick test_order_ignores_inactive_after;
+        ] );
+      ( "application",
+        [
+          Alcotest.test_case "vm1 product" `Quick test_generate_vm1;
+          Alcotest.test_case "vm2 product" `Quick test_generate_vm2;
+          Alcotest.test_case "no-veth product stays 64-bit" `Quick test_generate_no_veth;
+          Alcotest.test_case "platform product" `Quick test_generate_platform;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "running example clean" `Quick test_analysis_running_example;
+          Alcotest.test_case "dead delta" `Quick test_analysis_dead_delta;
+          Alcotest.test_case "always-on delta" `Quick test_analysis_always_on;
+          Alcotest.test_case "write conflict" `Quick test_analysis_conflict;
+          Alcotest.test_case "disjoint conditions" `Quick test_analysis_disjoint_conditions_not_conflicting;
+        ] );
+      ( "order-independence",
+        [ Alcotest.test_case "all products order-independent" `Quick test_order_independence ] );
+      ( "trace-back",
+        [
+          Alcotest.test_case "adds existing" `Quick test_adds_existing_is_error;
+          Alcotest.test_case "missing target" `Quick test_modifies_missing_target;
+          Alcotest.test_case "ambiguous target" `Quick test_ambiguous_target;
+          Alcotest.test_case "removes root" `Quick test_removes_root_is_error;
+          Alcotest.test_case "absolute path target" `Quick test_absolute_path_target;
+        ] );
+    ]

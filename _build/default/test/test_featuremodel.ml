@@ -1,0 +1,407 @@
+(* Tests for feature models: the propositional semantics, the textual
+   parser, the standard analyses (void, products, dead/core), the paper's
+   running-example model with its 12 valid products (Fig. 1a), and the
+   multi-product model with exclusive resources (§IV-A). *)
+
+module M = Featuremodel.Model
+module A = Featuremodel.Analysis
+module Multi = Featuremodel.Multi
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The running example feature model (Fig. 1a).  The modelling choices that
+   reproduce the paper's "12 valid products":
+   - cpus: mandatory, abstract, XOR over cpu@0/cpu@1            -> factor 2
+   - uarts: mandatory, abstract, OR over the two uarts          -> factor 3
+   - vEthernet: optional, abstract, XOR over veth0/veth1, with
+     veth_i => cpu@i cross constraints                          -> factor 2
+   - memory: mandatory                                          -> factor 1
+   2 * 3 * 2 = 12. *)
+let running_example_src =
+  {|
+feature abstract CustomSBC {
+    mandatory memory;
+    mandatory abstract cpus xor {
+        cpu@0;
+        cpu@1;
+    }
+    mandatory abstract uarts or {
+        uart@20000000;
+        uart@30000000;
+    }
+    optional abstract vEthernet xor {
+        veth0;
+        veth1;
+    }
+}
+constraint veth0 => cpu@0;
+constraint veth1 => cpu@1;
+|}
+
+let running_example () = Featuremodel.Parse.parse running_example_src
+
+(* --- parser -------------------------------------------------------------------- *)
+
+let test_parse () =
+  let fm = running_example () in
+  check_bool "root" true (fm.M.root.M.name = "CustomSBC");
+  check_int "constraints" 2 (List.length fm.M.constraints);
+  let cpus = Option.get (M.find_feature fm.M.root "cpus") in
+  check_bool "cpus mandatory" true cpus.M.mandatory;
+  check_bool "cpus abstract" true cpus.M.abstract;
+  check_bool "cpus xor" true (cpus.M.group = M.Xor_group);
+  check_int "cpus children" 2 (List.length cpus.M.children);
+  let ve = Option.get (M.find_feature fm.M.root "vEthernet") in
+  check_bool "vEthernet optional" false ve.M.mandatory
+
+let test_parse_errors () =
+  (try
+     ignore (Featuremodel.Parse.parse "feature A { b; b; }" : M.t);
+     Alcotest.fail "expected duplicate error"
+   with M.Error _ -> ());
+  (try
+     ignore (Featuremodel.Parse.parse "feature A { }\nconstraint nosuch => A;" : M.t);
+     Alcotest.fail "expected unknown-feature error"
+   with M.Error _ -> ());
+  try
+    ignore (Featuremodel.Parse.parse "nope A { }" : M.t);
+    Alcotest.fail "expected syntax error"
+  with Featuremodel.Parse.Error _ -> ()
+
+(* --- semantics ----------------------------------------------------------------- *)
+
+let test_mandatory_semantics () =
+  let fm = Featuremodel.Parse.parse "feature R { mandatory a; optional b; }" in
+  let env = A.encode fm in
+  check_bool "not void" false (A.is_void env);
+  check_bool "a in every product" true (List.mem "a" (A.core_features env));
+  check_bool "b not core" false (List.mem "b" (A.core_features env));
+  check_int "two products" 2 (A.count_products env)
+
+let test_xor_semantics () =
+  let fm = Featuremodel.Parse.parse "feature R xor { a; b; c; }" in
+  let env = A.encode fm in
+  (* R is the root (always selected); XOR forces exactly one child. *)
+  check_int "three products" 3 (A.count_products env);
+  check_bool "a+b invalid" false (A.is_valid_product env [ "R"; "a"; "b" ]);
+  check_bool "a alone valid" true (A.is_valid_product env [ "R"; "a" ])
+
+let test_or_semantics () =
+  let fm = Featuremodel.Parse.parse "feature R or { a; b; }" in
+  let env = A.encode fm in
+  (* Nonempty subsets of {a,b}. *)
+  check_int "three products" 3 (A.count_products env);
+  check_bool "empty invalid" false (A.is_valid_product env [ "R" ])
+
+let test_and_optional_semantics () =
+  let fm = Featuremodel.Parse.parse "feature R { a; b; }" in
+  let env = A.encode fm in
+  check_int "four products" 4 (A.count_products env)
+
+let test_cross_constraints () =
+  let fm =
+    Featuremodel.Parse.parse "feature R { a; b; }\nconstraint a => b;\nconstraint b => !a | b;"
+  in
+  let env = A.encode fm in
+  check_bool "a without b invalid" false (A.is_valid_product env [ "R"; "a" ]);
+  check_bool "a with b valid" true (A.is_valid_product env [ "R"; "a"; "b" ])
+
+let test_void_and_dead () =
+  let void = Featuremodel.Parse.parse "feature R { mandatory a; }\nconstraint !a;" in
+  check_bool "void" true (A.is_void (A.encode void));
+  let dead =
+    Featuremodel.Parse.parse "feature R { a; b; }\nconstraint a => b;\nconstraint a => !b;"
+  in
+  let env = A.encode dead in
+  check_bool "not void" false (A.is_void env);
+  check_bool "a is dead" true (List.mem "a" (A.dead_features env))
+
+(* --- running example (Fig. 1a) --------------------------------------------------- *)
+
+let test_running_example_products () =
+  let env = A.encode (running_example ()) in
+  check_bool "not void" false (A.is_void env);
+  (* E1: the paper states the feature model has 12 valid products. *)
+  check_int "12 valid products" 12 (A.count_products env);
+  check_bool "no dead features" true (A.dead_features env = []);
+  check_bool "memory core" true (List.mem "memory" (A.core_features env))
+
+let test_running_example_fig1b () =
+  (* Fig. 1b: cpu@0, both uarts, veth0. *)
+  let env = A.encode (running_example ()) in
+  check_bool "fig1b valid" true
+    (A.is_valid_product env
+       [ "memory"; "cpu@0"; "uart@20000000"; "uart@30000000"; "veth0" ]);
+  (* Selecting both CPUs violates XOR. *)
+  check_bool "both cpus invalid" false
+    (A.is_valid_product env
+       [ "memory"; "cpu@0"; "cpu@1"; "uart@20000000"; "uart@30000000" ]);
+  (* veth0 with cpu@1 violates the cross constraint. *)
+  check_bool "veth0 with cpu@1 invalid" false
+    (A.is_valid_product env [ "memory"; "cpu@1"; "uart@20000000"; "veth0" ])
+
+let test_running_example_fig1c () =
+  (* Fig. 1c: cpu@1, both uarts, veth1. *)
+  let env = A.encode (running_example ()) in
+  check_bool "fig1c valid" true
+    (A.is_valid_product env
+       [ "memory"; "cpu@1"; "uart@20000000"; "uart@30000000"; "veth1" ])
+
+let test_enumerate_is_stable () =
+  (* Enumeration must not poison the solver for later queries. *)
+  let env = A.encode (running_example ()) in
+  check_int "first count" 12 (A.count_products env);
+  check_int "second count" 12 (A.count_products env);
+  check_bool "queries still work" true
+    (A.is_valid_product env
+       [ "memory"; "cpu@0"; "uart@20000000" ])
+
+let test_enumerate_limit () =
+  let env = A.encode (running_example ()) in
+  check_int "limited" 5 (List.length (A.enumerate_products ~limit:5 env))
+
+(* --- multi-product (§IV-A) -------------------------------------------------------- *)
+
+let test_multi_two_vms () =
+  let fm = running_example () in
+  let m = Multi.encode ~exclusive:[ "cpus" ] fm ~vms:2 in
+  check_bool "2 VMs allocatable" true (Multi.is_allocatable m);
+  (* Pin VM1 to cpu@0 and veth0; VM2 must get cpu@1. *)
+  (match Multi.solve ~selected:[ (1, "cpu@0"); (1, "veth0"); (2, "veth1") ] m with
+   | `Unsat -> Alcotest.fail "expected sat"
+   | `Sat products ->
+     let vm2 = List.assoc 2 products in
+     check_bool "vm2 has cpu@1" true (List.mem "cpu@1" vm2);
+     check_bool "vm2 lacks cpu@0" false (List.mem "cpu@0" vm2);
+     let platform = Multi.platform_features products in
+     check_bool "platform has both cpus" true
+       (List.mem "cpu@0" platform && List.mem "cpu@1" platform));
+  (* The same CPU in both VMs is rejected. *)
+  check_bool "same cpu twice unsat" true
+    (Multi.solve ~selected:[ (1, "cpu@0"); (2, "cpu@0") ] m = `Unsat)
+
+let test_multi_max_vms () =
+  (* E2: with 2 CPUs, exclusive and mandatory, at most 2 VMs fit. *)
+  let fm = running_example () in
+  check_int "max VMs is 2" 2 (Multi.max_vms ~exclusive:[ "cpus" ] fm);
+  (* 3 VMs must be unallocatable. *)
+  let m3 = Multi.encode ~exclusive:[ "cpus" ] fm ~vms:3 in
+  check_bool "3 VMs unsat" false (Multi.is_allocatable m3)
+
+let test_multi_no_exclusive () =
+  (* Without exclusivity, any number of VMs works. *)
+  let fm = running_example () in
+  let m3 = Multi.encode fm ~vms:3 in
+  check_bool "3 VMs fine without exclusivity" true (Multi.is_allocatable m3)
+
+let test_multi_errors () =
+  let fm = running_example () in
+  (try
+     ignore (Multi.encode ~exclusive:[ "nosuch" ] fm ~vms:2 : Multi.t);
+     Alcotest.fail "expected error"
+   with Multi.Error _ -> ());
+  try
+    ignore (Multi.encode ~exclusive:[ "memory" ] fm ~vms:2 : Multi.t);
+    Alcotest.fail "expected error (no children)"
+  with Multi.Error _ -> ()
+
+(* --- property: product enumeration matches brute force ----------------------------- *)
+
+let prop_products_match_bruteforce =
+  QCheck.Test.make ~count:60 ~name:"enumeration matches brute force"
+    (QCheck.make
+       QCheck.Gen.(
+         (* Random small feature model: depth-2 tree over <= 6 features. *)
+         let gen_group = oneofl [ M.And_group; M.Or_group; M.Xor_group ] in
+         int_range 1 3 >>= fun ngroups ->
+         list_repeat ngroups
+           (pair gen_group (pair (int_range 1 3) bool))
+         >>= fun groups -> return groups))
+    (fun groups ->
+      let counter = ref 0 in
+      let fresh () =
+        incr counter;
+        Printf.sprintf "f%d" !counter
+      in
+      let children =
+        List.map
+          (fun (group, (nkids, mandatory)) ->
+            {
+              M.name = fresh ();
+              abstract = false;
+              mandatory;
+              group;
+              children =
+                List.init nkids (fun _ ->
+                    { M.name = fresh (); abstract = false; mandatory = false;
+                      group = M.And_group; children = [] });
+            })
+          groups
+      in
+      let root =
+        { M.name = "root"; abstract = false; mandatory = true; group = M.And_group; children }
+      in
+      let fm = M.make root in
+      let env = A.encode fm in
+      let products = A.enumerate_products env in
+      (* Brute force over all subsets of features. *)
+      let names = M.feature_names fm in
+      let n = List.length names in
+      let valid = ref 0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        let sel i = mask land (1 lsl i) <> 0 in
+        let env_fun name =
+          let rec idx i = function
+            | [] -> assert false
+            | x :: _ when String.equal x name -> i
+            | _ :: rest -> idx (i + 1) rest
+          in
+          sel (idx 0 names)
+        in
+        let lookup_eval (f : M.feature) = env_fun f.M.name in
+        (* Evaluate the FM semantics directly. *)
+        let rec feature_ok (f : M.feature) =
+          let fv = lookup_eval f in
+          List.for_all
+            (fun (c : M.feature) ->
+              ((not (lookup_eval c)) || fv)
+              && ((not (fv && c.M.mandatory)) || lookup_eval c)
+              && feature_ok c)
+            f.M.children
+          &&
+          match (f.M.group, f.M.children) with
+          | _, [] | M.And_group, _ -> true
+          | M.Or_group, kids -> (not fv) || List.exists lookup_eval kids
+          | M.Xor_group, kids ->
+            (not fv) || List.length (List.filter lookup_eval kids) = 1
+        in
+        if env_fun "root" && feature_ok root then incr valid
+      done;
+      List.length products = !valid)
+
+
+(* --- further analyses --------------------------------------------------------- *)
+
+let test_false_optional () =
+  let fm =
+    Featuremodel.Parse.parse
+      "feature R { mandatory a; optional b; optional c; }\nconstraint a => b;"
+  in
+  let env = A.encode fm in
+  Alcotest.(check (list string)) "b is false optional" [ "b" ]
+    (A.false_optional_features env)
+
+let test_redundant_constraints () =
+  let fm =
+    Featuremodel.Parse.parse
+      "feature R { mandatory a; optional b; }\nconstraint a => b;\nconstraint a => b | a;"
+  in
+  let env = A.encode fm in
+  (* The second constraint is a tautology given a mandatory: redundant. *)
+  let redundant = A.redundant_constraints env in
+  check_bool "at least the tautology" true (List.length redundant >= 1);
+  let fm2 = Featuremodel.Parse.parse "feature R { a; b; }\nconstraint a => b;" in
+  Alcotest.(check int) "non-redundant kept" 0
+    (List.length (A.redundant_constraints (A.encode fm2)))
+
+
+(* --- configurator (greyed-out features, §IV-A) -------------------------------- *)
+
+module C = Featuremodel.Configurator
+
+let test_configurator_propagation () =
+  let c = C.create (running_example ()) in
+  (* Initially: memory is forced (mandatory), cpus are free. *)
+  check_bool "memory forced" true (C.status c "memory" = C.Forced);
+  check_bool "cpu@0 free" true (C.status c "cpu@0" = C.Free);
+  (* Selecting veth0 forces cpu@0 (cross constraint) and forbids cpu@1
+     (XOR) and veth1. *)
+  C.decide c "veth0" true;
+  check_bool "cpu@0 forced" true (C.status c "cpu@0" = C.Forced);
+  check_bool "cpu@1 forbidden" true (C.status c "cpu@1" = C.Forbidden);
+  check_bool "veth1 forbidden" true (C.status c "veth1" = C.Forbidden);
+  check_bool "uart still free" true (C.status c "uart@20000000" = C.Free)
+
+let test_configurator_rejects_invalid () =
+  let c = C.create (running_example ()) in
+  C.decide c "veth0" true;
+  (try
+     C.decide c "cpu@1" true;
+     Alcotest.fail "expected rejection"
+   with C.Error msg -> check_bool "mentions violation" true (Test_util.contains msg "violate"));
+  (* The failed decision left no trace. *)
+  check_bool "cpu@1 still forbidden" true (C.status c "cpu@1" = C.Forbidden)
+
+let test_configurator_complete_product () =
+  let c = C.create (running_example ()) in
+  C.decide c "veth0" true;
+  check_bool "not complete yet" false (C.is_complete c);
+  C.decide c "uart@20000000" true;
+  C.decide c "uart@30000000" false;
+  check_bool "complete" true (C.is_complete c);
+  let product = List.sort String.compare (C.product c) in
+  Alcotest.(check (list string)) "product"
+    [ "cpu@0"; "memory"; "uart@20000000"; "veth0" ] product;
+  (* And it is a valid product of the model. *)
+  let env = A.encode (running_example ()) in
+  check_bool "valid" true (A.is_valid_product env product)
+
+let test_configurator_undo () =
+  let c = C.create (running_example ()) in
+  C.decide c "veth0" true;
+  check_bool "forbidden before undo" true (C.status c "cpu@1" = C.Forbidden);
+  Alcotest.(check string) "undo returns name" "veth0" (C.undo c);
+  check_bool "free after undo" true (C.status c "cpu@1" = C.Free);
+  try
+    ignore (C.undo c : string);
+    Alcotest.fail "expected error"
+  with C.Error _ -> ()
+
+let () =
+  Alcotest.run "featuremodel"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "running example" `Quick test_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "mandatory" `Quick test_mandatory_semantics;
+          Alcotest.test_case "xor" `Quick test_xor_semantics;
+          Alcotest.test_case "or" `Quick test_or_semantics;
+          Alcotest.test_case "and/optional" `Quick test_and_optional_semantics;
+          Alcotest.test_case "cross constraints" `Quick test_cross_constraints;
+          Alcotest.test_case "void and dead" `Quick test_void_and_dead;
+        ] );
+      ( "running example",
+        [
+          Alcotest.test_case "12 products (E1)" `Quick test_running_example_products;
+          Alcotest.test_case "fig 1b product" `Quick test_running_example_fig1b;
+          Alcotest.test_case "fig 1c product" `Quick test_running_example_fig1c;
+          Alcotest.test_case "enumeration stability" `Quick test_enumerate_is_stable;
+          Alcotest.test_case "enumeration limit" `Quick test_enumerate_limit;
+        ] );
+      ( "multi-product",
+        [
+          Alcotest.test_case "two VMs (E2)" `Quick test_multi_two_vms;
+          Alcotest.test_case "max VMs (E2)" `Quick test_multi_max_vms;
+          Alcotest.test_case "no exclusivity" `Quick test_multi_no_exclusive;
+          Alcotest.test_case "errors" `Quick test_multi_errors;
+        ] );
+      ( "configurator",
+        [
+          Alcotest.test_case "propagation" `Quick test_configurator_propagation;
+          Alcotest.test_case "rejects invalid" `Quick test_configurator_rejects_invalid;
+          Alcotest.test_case "complete product" `Quick test_configurator_complete_product;
+          Alcotest.test_case "undo" `Quick test_configurator_undo;
+        ] );
+      ( "analyses",
+        [
+          Alcotest.test_case "false optional" `Quick test_false_optional;
+          Alcotest.test_case "redundant constraints" `Quick test_redundant_constraints;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_products_match_bruteforce ] );
+    ]

@@ -1,0 +1,52 @@
+(* Golden-file snapshot tests: the generated artifacts of the running
+   example must match the checked-in expectations byte for byte.  These pin
+   the DTS printer and the Bao C generators against incidental formatting
+   regressions.
+
+   To regenerate after an intentional change, run the snippet in
+   test/golden/README (or see the git history of this file). *)
+
+module RE = Llhsc.Running_example
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let outcome =
+  lazy
+    (Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+       ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+       ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ())
+
+let product name =
+  List.find
+    (fun p -> p.Llhsc.Pipeline.name = name)
+    (Lazy.force outcome).Llhsc.Pipeline.products
+
+let check_golden ~expected actual () =
+  let want = read_file (Filename.concat "golden" expected) in
+  Alcotest.(check string) expected want (actual ())
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "artifacts",
+        [
+          Alcotest.test_case "vm1.dts" `Quick
+            (check_golden ~expected:"vm1.dts.expected" (fun () ->
+                 Devicetree.Printer.to_string (product "vm1").Llhsc.Pipeline.tree));
+          Alcotest.test_case "platform.c" `Quick
+            (check_golden ~expected:"platform.c.expected" (fun () ->
+                 Bao.Platform.to_c (Bao.Platform.of_tree (product "platform").Llhsc.Pipeline.tree)));
+          Alcotest.test_case "config.c" `Quick
+            (check_golden ~expected:"config.c.expected" (fun () ->
+                 Bao.Config.to_c
+                   (Bao.Config.of_vm_trees
+                      [ ("vm1", (product "vm1").Llhsc.Pipeline.tree);
+                        ("vm2", (product "vm2").Llhsc.Pipeline.tree)
+                      ])));
+        ] );
+    ]

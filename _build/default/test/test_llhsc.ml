@@ -1,0 +1,584 @@
+(* Tests for the llhsc core: the semantic checker (memory overlap formula
+   (7), E5/E6; interrupts; truncation lint), the resource allocation checker
+   (§IV-A), the syntactic checker wrapper, and the end-to-end pipeline of
+   Fig. 2 (E3). *)
+
+module T = Devicetree.Tree
+module RE = Llhsc.Running_example
+module Sem = Llhsc.Semantic
+module Rep = Llhsc.Report
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let errors findings = Rep.errors findings
+
+(* --- semantic: memory overlap (E5) -------------------------------------------------- *)
+
+let test_clean_core_has_no_overlap () =
+  let findings = Sem.check_memory (RE.core_tree ()) in
+  check_int "no collisions" 0 (List.length findings)
+
+let test_uart_memory_clash () =
+  (* E5 (§I-A): the serial port's base address clashes with the second
+     memory bank.  Syntactically valid; dtc and dt-schema accept it. *)
+  let t = RE.core_tree () in
+  let clashing =
+    [ Devicetree.Ast.Cells
+        { bits = 32;
+          cells =
+            List.map (fun v -> Devicetree.Ast.Cell_int v) [ 0x0L; 0x60000000L; 0x0L; 0x1000L ]
+        }
+    ]
+  in
+  let t = T.set_prop t ~path:"/uart@20000000" "reg" clashing in
+  (* dt-schema (direct validation) still passes: the reg is structurally fine. *)
+  let direct = Llhsc.Syntactic.check_direct ~schemas:(RE.schemas_for t) t in
+  check_int "dt-schema baseline is blind to the clash" 0 (List.length (errors direct));
+  (* The semantic checker finds it, with the clash address as witness. *)
+  let findings = Sem.check_memory t in
+  check_int "one collision" 1 (List.length findings);
+  let f = List.hd findings in
+  check_bool "names both nodes" true
+    (Test_util.contains f.Rep.message "/memory@40000000"
+    && Test_util.contains f.Rep.message "/uart@20000000");
+  check_bool "witness is 0x60000000" true (Test_util.contains f.Rep.message "0x60000000")
+
+let test_adjacent_regions_do_not_collide () =
+  (* [0x40000000, 0x60000000) and [0x60000000, 0x80000000) touch but do not
+     overlap — the strict bounds of formula (7). *)
+  let t = RE.core_tree () in
+  let findings = Sem.check_memory t in
+  check_int "banks are adjacent, not colliding" 0 (List.length findings)
+
+let test_cpu_ids_not_treated_as_addresses () =
+  (* /cpus children have reg = <0>, <1>: CPU ids, not addresses.  They must
+     not be reported as colliding with anything (e.g. a device at 0x0). *)
+  let t = RE.core_tree () in
+  let t = T.set_prop t ~path:"/cpus/cpu@0" "reg"
+      [ Devicetree.Ast.Cells { bits = 32; cells = [ Devicetree.Ast.Cell_int 0L ] } ] in
+  let findings = Sem.check_memory t in
+  check_int "no findings" 0 (List.length findings)
+
+(* --- semantic: truncation (E6) -------------------------------------------------------- *)
+
+let generate_vm1 ~with_d4 =
+  let deltas = RE.deltas () in
+  let deltas =
+    if with_d4 then deltas
+    else List.filter (fun d -> d.Delta.Lang.name <> "d4") deltas
+  in
+  Delta.Apply.generate ~core:(RE.core_tree ()) ~deltas ~selected:RE.vm1_features
+
+let test_omitting_d4_collides_at_zero () =
+  (* E6 (§IV-C): without d4, the 64-bit reg is reinterpreted under the
+     32-bit cells installed by d3 — four banks appear instead of two, and
+     the checker reports a collision at address 0x0. *)
+  let t = generate_vm1 ~with_d4:false in
+  let memory = T.find_exn t "/memory@40000000" in
+  let regions =
+    Devicetree.Addresses.decode_reg ~address_cells:1 ~size_cells:1
+      (Option.get (T.get_prop memory "reg"))
+  in
+  check_int "four banks found instead of two" 4 (List.length regions);
+  let findings = Sem.check_memory t in
+  check_bool "collisions reported" true (findings <> []);
+  check_bool "collision at address 0x0" true
+    (List.exists (fun f -> Test_util.contains f.Rep.message "at address 0x0") findings);
+  (* dt-schema accepts the truncated reg: 8 cells is a multiple of 2. *)
+  let direct = Llhsc.Syntactic.check_direct ~schemas:(RE.schemas_for t) t in
+  check_bool "dt-schema baseline accepts the truncation" true
+    (not
+       (List.exists
+          (fun f -> Test_util.contains f.Rep.message "multiple")
+          (errors direct)))
+
+let test_with_d4_is_clean () =
+  let t = generate_vm1 ~with_d4:true in
+  check_int "no collisions" 0 (List.length (Sem.check_memory t))
+
+let test_truncation_lint () =
+  let t = generate_vm1 ~with_d4:false in
+  let warnings = Sem.check_truncation t in
+  check_bool "zero-sized banks flagged" true
+    (List.exists
+       (fun f -> f.Rep.severity = Rep.Warning && f.Rep.node_path = "/memory@40000000")
+       warnings)
+
+(* --- semantic: interrupts --------------------------------------------------------------- *)
+
+let test_interrupt_conflict () =
+  let src =
+    {|
+/dts-v1/;
+/ {
+    #address-cells = <1>; #size-cells = <1>;
+    a@1000 { reg = <0x1000 0x10>; interrupts = <7>; };
+    b@2000 { reg = <0x2000 0x10>; interrupts = <7>; };
+    c@3000 { reg = <0x3000 0x10>; interrupts = <9>; };
+};
+|}
+  in
+  let t = T.of_source ~file:"irq.dts" src in
+  let findings = Sem.check_interrupts t in
+  check_int "one conflict" 1 (List.length findings);
+  let f = List.hd findings in
+  check_bool "line 7 reported" true (Test_util.contains f.Rep.message "7");
+  check_bool "both nodes mentioned" true
+    (Test_util.contains f.Rep.message "/a@1000" && Test_util.contains f.Rep.message "/b@2000")
+
+let test_interrupts_distinct_parents_ok () =
+  let src =
+    {|
+/dts-v1/;
+/ {
+    #address-cells = <1>; #size-cells = <1>;
+    gic0: intc@1000 { reg = <0x1000 0x10>; };
+    gic1: intc@2000 { reg = <0x2000 0x10>; };
+    a@3000 { reg = <0x3000 0x10>; interrupt-parent = <&gic0>; interrupts = <7>; };
+    b@4000 { reg = <0x4000 0x10>; interrupt-parent = <&gic1>; interrupts = <7>; };
+};
+|}
+  in
+  let t = T.resolve_phandles (T.of_source ~file:"irq2.dts" src) in
+  check_int "no conflict across parents" 0 (List.length (Sem.check_interrupts t))
+
+(* --- alloc ------------------------------------------------------------------------------- *)
+
+let test_alloc_auto_assignment () =
+  (* CPUs are greyed out in Fig. 1: the checker assigns them automatically. *)
+  let fm = RE.feature_model () in
+  match
+    Llhsc.Alloc.allocate ~exclusive:RE.exclusive fm ~vms:2
+      ~requests:
+        [ Llhsc.Alloc.request 1 [ "veth0"; "uart@20000000" ];
+          Llhsc.Alloc.request 2 [ "veth1"; "uart@30000000" ]
+        ]
+  with
+  | Llhsc.Alloc.Rejected fs ->
+    Alcotest.failf "unexpected rejection: %a" Fmt.(list Rep.pp) fs
+  | Llhsc.Alloc.Allocated { vms; platform } ->
+    let vm1 = List.assoc 1 vms and vm2 = List.assoc 2 vms in
+    check_bool "vm1 got cpu@0 (via veth0 => cpu@0)" true (List.mem "cpu@0" vm1);
+    check_bool "vm2 got cpu@1" true (List.mem "cpu@1" vm2);
+    check_bool "platform union has both" true
+      (List.mem "cpu@0" platform && List.mem "cpu@1" platform)
+
+let test_alloc_rejects_double_cpu () =
+  let fm = RE.feature_model () in
+  match
+    Llhsc.Alloc.allocate ~exclusive:RE.exclusive fm ~vms:2
+      ~requests:[ Llhsc.Alloc.request 1 [ "cpu@0" ]; Llhsc.Alloc.request 2 [ "cpu@0" ] ]
+  with
+  | Llhsc.Alloc.Rejected fs ->
+    check_bool "platform-level rejection" true
+      (List.exists (fun f -> f.Rep.node_path = "platform") fs)
+  | Llhsc.Alloc.Allocated _ -> Alcotest.fail "expected rejection"
+
+let test_alloc_rejects_invalid_selection () =
+  let fm = RE.feature_model () in
+  match
+    Llhsc.Alloc.allocate ~exclusive:RE.exclusive fm ~vms:1
+      ~requests:[ Llhsc.Alloc.request 1 [ "veth0"; "cpu@1" ] (* violates veth0 => cpu@0 *) ]
+  with
+  | Llhsc.Alloc.Rejected fs ->
+    check_bool "vm1 blamed" true (List.exists (fun f -> f.Rep.node_path = "vm1") fs)
+  | Llhsc.Alloc.Allocated _ -> Alcotest.fail "expected rejection"
+
+let test_alloc_bad_vm_index () =
+  let fm = RE.feature_model () in
+  match
+    Llhsc.Alloc.allocate fm ~vms:1 ~requests:[ Llhsc.Alloc.request 5 [ "memory" ] ]
+  with
+  | Llhsc.Alloc.Rejected _ -> ()
+  | Llhsc.Alloc.Allocated _ -> Alcotest.fail "expected rejection"
+
+(* --- pipeline (E3) ------------------------------------------------------------------------ *)
+
+let run_pipeline () =
+  Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+    ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+    ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ()
+
+let test_pipeline_end_to_end () =
+  let outcome = run_pipeline () in
+  check_bool "all checks green" true (Llhsc.Pipeline.ok outcome);
+  check_int "three products (2 VMs + platform)" 3 (List.length outcome.Llhsc.Pipeline.products);
+  let names = List.map (fun p -> p.Llhsc.Pipeline.name) outcome.Llhsc.Pipeline.products in
+  Alcotest.(check (list string)) "product names" [ "vm1"; "vm2"; "platform" ] names;
+  (* Delta orders recorded per product (E4). *)
+  let vm1_order = List.assoc "vm1" outcome.Llhsc.Pipeline.delta_orders in
+  check_bool "vm1 order starts with d3" true (List.hd vm1_order = "d3");
+  (* The platform tree carries the union of devices. *)
+  let platform =
+    List.find (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+  in
+  check_bool "platform has both veths" true
+    (T.find platform.Llhsc.Pipeline.tree "/vEthernet/veth0@80000000" <> None
+    && T.find platform.Llhsc.Pipeline.tree "/vEthernet/veth1@90000000" <> None)
+
+let test_pipeline_catches_broken_delta_set () =
+  (* Drop d4 from the product line: every product with memory collides. *)
+  let deltas = List.filter (fun d -> d.Delta.Lang.name <> "d4") (RE.deltas ()) in
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas ~schemas_for:RE.schemas_for
+      ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ()
+  in
+  check_bool "pipeline not ok" false (Llhsc.Pipeline.ok outcome);
+  let vm1 = List.find (fun p -> p.Llhsc.Pipeline.name = "vm1") outcome.Llhsc.Pipeline.products in
+  check_bool "vm1 has semantic errors" true
+    (List.exists (fun f -> f.Rep.checker = "semantic") (errors vm1.Llhsc.Pipeline.findings))
+
+let test_pipeline_rejects_bad_allocation () =
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+      ~vm_requests:[ [ "cpu@0"; "veth0" ]; [ "cpu@0" ] ] ()
+  in
+  check_bool "rejected" false (Llhsc.Pipeline.ok outcome);
+  check_bool "no products built" true (outcome.Llhsc.Pipeline.products = [])
+
+let test_pipeline_syntactic_failure_reported () =
+  (* Corrupt the core so the memory schema const fails in every product. *)
+  let core =
+    T.set_prop (RE.core_tree ()) ~path:"/memory@40000000" "device_type"
+      [ Devicetree.Ast.Str "ram" ]
+  in
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+      ~core ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+      ~vm_requests:[ RE.vm1_features ] ()
+  in
+  check_bool "not ok" false (Llhsc.Pipeline.ok outcome);
+  let vm1 = List.find (fun p -> p.Llhsc.Pipeline.name = "vm1") outcome.Llhsc.Pipeline.products in
+  check_bool "syntactic finding with core" true
+    (List.exists
+       (fun f ->
+         f.Rep.checker = "syntactic"
+         && List.exists (fun r -> Test_util.contains r "const:device_type") f.Rep.core)
+       vm1.Llhsc.Pipeline.findings)
+
+
+(* --- product-line soundness: every product of the feature model generates
+   and checks clean (the "correct by construction" claim). ------------------- *)
+
+let test_all_products_check_clean () =
+  let model = RE.feature_model () in
+  let env = Featuremodel.Analysis.encode model in
+  let products = Featuremodel.Analysis.enumerate_products env in
+  check_int "12 products" 12 (List.length products);
+  let solver = Smt.Solver.create () in
+  List.iteri
+    (fun i features ->
+      let tree =
+        Delta.Apply.generate ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~selected:features
+      in
+      let name = Printf.sprintf "p%d" i in
+      let syntactic =
+        Llhsc.Syntactic.check ~solver ~schemas:(RE.schemas_for tree) ~product:name tree
+      in
+      let semantic = Llhsc.Semantic.check ~solver tree in
+      let errs = errors (syntactic @ semantic) in
+      if errs <> [] then
+        Alcotest.failf "product {%s} has findings: %a" (String.concat ", " features)
+          Fmt.(list Rep.pp) errs)
+    products
+
+
+(* --- checking decoded DTBs (binary round trip into the checker) ------------- *)
+
+let test_check_decoded_dtb () =
+  (* Encode the clean core to a DTB, decode, and run the semantic checker on
+     the untyped result: raw byte values must decode as 32-bit cells. *)
+  let blob = Devicetree.Fdt.encode (RE.core_tree ()) in
+  let decoded, _ = Devicetree.Fdt.decode blob in
+  check_int "clean through DTB" 0 (List.length (errors (Sem.check_memory decoded)));
+  (* And a clashing tree keeps its collision through the binary form. *)
+  let t = RE.core_tree () in
+  let t =
+    T.set_prop t ~path:"/uart@20000000" "reg"
+      [ Devicetree.Ast.Cells
+          { bits = 32;
+            cells = List.map (fun v -> Devicetree.Ast.Cell_int v) [ 0x0L; 0x60000000L; 0x0L; 0x1000L ]
+          }
+      ]
+  in
+  let decoded_clash, _ = Devicetree.Fdt.decode (Devicetree.Fdt.encode t) in
+  check_int "clash survives DTB round trip" 1
+    (List.length (errors (Sem.check_memory decoded_clash)))
+
+
+(* --- cross-VM partitioning ---------------------------------------------------- *)
+
+let run_with ~deltas ~vm_requests =
+  Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+    ~core:(RE.core_tree ()) ~deltas ~schemas_for:RE.schemas_for ~vm_requests ()
+
+let test_partition_warnings_on_shared_ram () =
+  (* The paper-faithful delta set gives both VMs both banks and both uarts:
+     4 warnings (2 RAM overlaps + 2 shared devices), no errors. *)
+  let outcome = run_with ~deltas:(RE.deltas ()) ~vm_requests:[ RE.vm1_features; RE.vm2_features ] in
+  check_bool "still ok (warnings only)" true (Llhsc.Pipeline.ok outcome);
+  let fs = outcome.Llhsc.Pipeline.partition_findings in
+  check_int "four warnings" 4 (List.length fs);
+  check_bool "all warnings" true (List.for_all (fun f -> f.Rep.severity = Rep.Warning) fs);
+  check_bool "RAM not partitioned reported" true
+    (List.exists (fun f -> Test_util.contains f.Rep.message "not partitioned") fs)
+
+let test_partitioned_variant_is_clean () =
+  (* d7/d8 + per-VM uarts: zero cross-VM findings. *)
+  let outcome =
+    run_with ~deltas:(RE.partitioned_deltas ())
+      ~vm_requests:[ RE.vm1_partitioned_features; RE.vm2_partitioned_features ]
+  in
+  check_bool "ok" true (Llhsc.Pipeline.ok outcome);
+  check_int "no cross-VM findings" 0 (List.length outcome.Llhsc.Pipeline.partition_findings);
+  (* Each VM really has one bank. *)
+  let vm1 = List.find (fun p -> p.Llhsc.Pipeline.name = "vm1") outcome.Llhsc.Pipeline.products in
+  let vm2 = List.find (fun p -> p.Llhsc.Pipeline.name = "vm2") outcome.Llhsc.Pipeline.products in
+  let bank p =
+    Devicetree.Addresses.decode_reg ~address_cells:1 ~size_cells:1
+      (Option.get (T.get_prop (T.find_exn p.Llhsc.Pipeline.tree "/memory@40000000") "reg"))
+  in
+  (match (bank vm1, bank vm2) with
+   | [ b1 ], [ b2 ] ->
+     Alcotest.(check int64) "vm1 bank" 0x40000000L b1.Devicetree.Addresses.base;
+     Alcotest.(check int64) "vm2 bank" 0x60000000L b2.Devicetree.Addresses.base
+   | _ -> Alcotest.fail "expected one bank per VM");
+  (* The platform still carries both banks. *)
+  let platform =
+    List.find (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+  in
+  check_int "platform keeps two banks" 2 (List.length (bank platform))
+
+let test_partition_cpu_sharing_is_error () =
+  (* Hand two trees with the same cpu to the checker directly. *)
+  let t = RE.core_tree () in
+  let findings = Llhsc.Partition.check ~platform:t [ ("vm1", t); ("vm2", t) ] in
+  check_bool "cpu error present" true
+    (List.exists
+       (fun f -> f.Rep.severity = Rep.Error && Test_util.contains f.Rep.message "CPU")
+       findings)
+
+let test_partition_containment () =
+  (* A VM with a device at an address the platform does not have. *)
+  let platform = RE.core_tree () in
+  let vm =
+    T.set_prop (RE.core_tree ()) ~path:"/uart@20000000" "reg"
+      [ Devicetree.Ast.Cells
+          { bits = 32;
+            cells = List.map (fun v -> Devicetree.Ast.Cell_int v) [ 0x0L; 0x90000000L; 0x0L; 0x1000L ]
+          }
+      ]
+  in
+  let vm = T.remove_node vm ~path:"/cpus/cpu@1" in
+  let findings = Llhsc.Partition.check ~platform [ ("vm1", vm) ] in
+  check_bool "containment error" true
+    (List.exists
+       (fun f -> f.Rep.severity = Rep.Error && Test_util.contains f.Rep.message "not backed")
+       findings);
+  check_bool "witness address reported" true
+    (List.exists (fun f -> Test_util.contains f.Rep.message "0x90000000") findings)
+
+
+(* --- property: sweep prefilter agrees with the pairwise formulation --------- *)
+
+let prop_sweep_equals_pairwise =
+  QCheck.Test.make ~count:100 ~name:"sweep strategy = pairwise strategy"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 10)
+           (pair (int_bound 0xFFFF) (int_range 1 0x200))))
+    (fun raw ->
+      (* Build a synthetic tree from the random (base, size) pairs. *)
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "/dts-v1/;\n/ { #address-cells = <1>; #size-cells = <1>;\n";
+      List.iteri
+        (fun i (base, size) ->
+          Buffer.add_string buf
+            (Printf.sprintf "dev%d@%x { reg = <0x%x 0x%x>; };\n" i base base size))
+        raw;
+      Buffer.add_string buf "};\n";
+      let tree = T.of_source ~file:"rand.dts" (Buffer.contents buf) in
+      let summarize findings =
+        List.sort_uniq compare (List.map (fun f -> f.Rep.message) findings)
+      in
+      summarize (Sem.check_memory ~strategy:`Sweep tree)
+      = summarize (Sem.check_memory ~strategy:`Pairwise tree))
+
+
+(* --- unit-address lints ------------------------------------------------------ *)
+
+let test_unit_address_mismatch () =
+  let t =
+    T.of_source ~file:"ua.dts"
+      "/dts-v1/;\n/ { #address-cells = <1>; #size-cells = <1>; dev@1000 { reg = <0x2000 0x10>; }; };"
+  in
+  let warnings = Sem.check_unit_addresses t in
+  check_int "one warning" 1 (List.length warnings);
+  check_bool "mentions mismatch" true
+    (Test_util.contains (List.hd warnings).Rep.message "does not match")
+
+let test_unit_address_duplicate () =
+  let t =
+    T.of_source ~file:"ud.dts"
+      "/dts-v1/;\n/ { #address-cells = <1>; #size-cells = <1>; a@1000 { reg = <0x1000 0x10>; }; b@1000 { reg = <0x1000 0x10>; }; };"
+  in
+  let warnings = Sem.check_unit_addresses t in
+  check_bool "duplicate reported" true
+    (List.exists (fun f -> Test_util.contains f.Rep.message "duplicated") warnings)
+
+let test_unit_address_clean () =
+  check_int "running example clean" 0
+    (List.length (Sem.check_unit_addresses (RE.core_tree ())))
+
+
+(* --- quad-core RV64 case study (three VMs, full partitioning) ---------------- *)
+
+module Q = Llhsc.Quad_rv64
+
+let test_quad_pipeline_green () =
+  let outcome = Q.run_pipeline () in
+  check_bool "ok" true (Llhsc.Pipeline.ok outcome);
+  check_int "four products" 4 (List.length outcome.Llhsc.Pipeline.products);
+  (* Fully partitioned: no cross-VM findings at all (the shared PLIC is
+     hypervisor-virtualised and excluded by design). *)
+  check_int "no cross-VM findings" 0 (List.length outcome.Llhsc.Pipeline.partition_findings);
+  (* Every product individually clean. *)
+  List.iter
+    (fun p -> check_bool (p.Llhsc.Pipeline.name ^ " clean") true (p.Llhsc.Pipeline.findings = []))
+    outcome.Llhsc.Pipeline.products
+
+let test_quad_products () =
+  let outcome = Q.run_pipeline () in
+  let product name =
+    List.find (fun p -> p.Llhsc.Pipeline.name = name) outcome.Llhsc.Pipeline.products
+  in
+  let vm1 = (product "vm1").Llhsc.Pipeline.tree in
+  check_bool "vm1 has cluster0 cpus" true
+    (T.find vm1 "/cpus/cluster0/cpu@0" <> None && T.find vm1 "/cpus/cluster0/cpu@1" <> None);
+  check_bool "vm1 lacks cluster1 cpus" true
+    (T.find vm1 "/cpus/cluster1/cpu@2" = None && T.find vm1 "/cpus/cluster1/cpu@3" = None);
+  check_bool "vm1 vnet0" true (T.find vm1 "/vEthernet/vnet0@c0000000" <> None);
+  let vm3 = (product "vm3").Llhsc.Pipeline.tree in
+  check_bool "vm3 headless" true (T.find vm3 "/soc/uart@10000000" = None);
+  check_bool "vm3 virtio1" true (T.find vm3 "/soc/virtio@10003000" <> None);
+  check_bool "vm3 no vEthernet" true (T.find vm3 "/vEthernet" = None)
+
+let test_quad_bao_clusters () =
+  let outcome = Q.run_pipeline () in
+  let platform =
+    (List.find (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products)
+      .Llhsc.Pipeline.tree
+  in
+  let p = Bao.Platform.of_tree platform in
+  check_int "4 cpus" 4 p.Bao.Platform.cpu_num;
+  Alcotest.(check (list int)) "two clusters of 2" [ 2; 2 ] p.Bao.Platform.core_nums;
+  check_int "4 memory regions" 4 (List.length p.Bao.Platform.regions);
+  (* Per-VM configs carry the pass-through interrupts. *)
+  let vm1 =
+    Bao.Config.vm_of_tree ~name:"vm1"
+      (List.find (fun p -> p.Llhsc.Pipeline.name = "vm1") outcome.Llhsc.Pipeline.products)
+        .Llhsc.Pipeline.tree
+  in
+  check_int "vm1 cpus" 2 vm1.Bao.Config.cpu_num;
+  check_bool "vm1 irqs include uart 10 and gpio 3" true
+    (List.mem 10L vm1.Bao.Config.interrupts && List.mem 3L vm1.Bao.Config.interrupts)
+
+let test_quad_feature_model_size () =
+  let env = Featuremodel.Analysis.encode (Q.feature_model ()) in
+  (* (2^4-1 banks) x (2^4-1 cpus) x (uarts: 1+3) x (virtio: 1+3) x vnet(3)
+     minus the gpio => uart cross constraint carve-outs; just pin the
+     exact number as a regression anchor. *)
+  check_int "product count" 16200 (Featuremodel.Analysis.count_products env)
+
+
+(* --- disabled devices claim no resources --------------------------------------- *)
+
+let test_disabled_devices_claim_nothing () =
+  (* Two muxed peripherals share a register window and an IRQ; only one is
+     enabled at a time — a perfectly legal DTS that must check clean. *)
+  let src = {|
+/dts-v1/;
+/ {
+    #address-cells = <1>; #size-cells = <1>;
+    spi@10000000 { compatible = "acme,spi"; reg = <0x10000000 0x1000>; interrupts = <5>; status = "okay"; };
+    i2c@10000000 { compatible = "acme,i2c"; reg = <0x10000000 0x1000>; interrupts = <5>; status = "disabled"; };
+};
+|} in
+  let t = T.of_source ~file:"mux.dts" src in
+  check_int "no collisions" 0 (List.length (errors (Sem.check_memory t)));
+  check_int "no irq conflicts" 0 (List.length (errors (Sem.check_interrupts t)));
+  (* Enabling both brings the conflicts back. *)
+  let t2 = T.set_prop t ~path:"/i2c@10000000" "status" [ Devicetree.Ast.Str "okay" ] in
+  check_bool "overlap when both enabled" true (errors (Sem.check_memory t2) <> []);
+  check_bool "irq conflict when both enabled" true (errors (Sem.check_interrupts t2) <> [])
+
+let () =
+  Alcotest.run "llhsc"
+    [
+      ( "semantic-memory",
+        [
+          Alcotest.test_case "clean core" `Quick test_clean_core_has_no_overlap;
+          Alcotest.test_case "uart/memory clash (E5)" `Quick test_uart_memory_clash;
+          Alcotest.test_case "adjacent regions ok" `Quick test_adjacent_regions_do_not_collide;
+          Alcotest.test_case "cpu ids excluded" `Quick test_cpu_ids_not_treated_as_addresses;
+        ] );
+      ( "semantic-truncation",
+        [
+          Alcotest.test_case "omitting d4 collides at 0x0 (E6)" `Quick
+            test_omitting_d4_collides_at_zero;
+          Alcotest.test_case "with d4 clean" `Quick test_with_d4_is_clean;
+          Alcotest.test_case "truncation lint" `Quick test_truncation_lint;
+        ] );
+      ( "semantic-interrupts",
+        [
+          Alcotest.test_case "conflict" `Quick test_interrupt_conflict;
+          Alcotest.test_case "distinct parents" `Quick test_interrupts_distinct_parents_ok;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "auto assignment" `Quick test_alloc_auto_assignment;
+          Alcotest.test_case "double cpu rejected" `Quick test_alloc_rejects_double_cpu;
+          Alcotest.test_case "invalid selection rejected" `Quick test_alloc_rejects_invalid_selection;
+          Alcotest.test_case "bad vm index" `Quick test_alloc_bad_vm_index;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "end to end (E3)" `Quick test_pipeline_end_to_end;
+          Alcotest.test_case "broken delta set" `Quick test_pipeline_catches_broken_delta_set;
+          Alcotest.test_case "bad allocation" `Quick test_pipeline_rejects_bad_allocation;
+          Alcotest.test_case "syntactic failure" `Quick test_pipeline_syntactic_failure_reported;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "shared RAM warned" `Quick test_partition_warnings_on_shared_ram;
+          Alcotest.test_case "partitioned variant clean" `Quick test_partitioned_variant_is_clean;
+          Alcotest.test_case "cpu sharing error" `Quick test_partition_cpu_sharing_is_error;
+          Alcotest.test_case "containment" `Quick test_partition_containment;
+        ] );
+      ( "dtb",
+        [ Alcotest.test_case "check decoded DTB" `Quick test_check_decoded_dtb ] );
+      ( "quad-rv64",
+        [
+          Alcotest.test_case "pipeline green" `Quick test_quad_pipeline_green;
+          Alcotest.test_case "products" `Quick test_quad_products;
+          Alcotest.test_case "bao clusters" `Quick test_quad_bao_clusters;
+          Alcotest.test_case "feature model size" `Quick test_quad_feature_model_size;
+        ] );
+      ( "disabled-devices",
+        [ Alcotest.test_case "muxed peripherals" `Quick test_disabled_devices_claim_nothing ] );
+      ( "unit-addresses",
+        [
+          Alcotest.test_case "mismatch" `Quick test_unit_address_mismatch;
+          Alcotest.test_case "duplicate" `Quick test_unit_address_duplicate;
+          Alcotest.test_case "clean" `Quick test_unit_address_clean;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_sweep_equals_pairwise ] );
+      ( "product-line",
+        [
+          Alcotest.test_case "all 12 products check clean" `Quick test_all_products_check_clean;
+        ] );
+    ]

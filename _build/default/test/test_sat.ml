@@ -1,0 +1,397 @@
+(* Tests for the CDCL SAT solver substrate: unit behaviour, classic hard
+   instances, assumptions/cores, and a qcheck comparison against a
+   brute-force model enumerator on random small CNFs. *)
+
+let lit v = Sat.Lit.of_var v
+let nlit v = Sat.Lit.neg (Sat.Lit.of_var v)
+
+let fresh_solver n =
+  let s = Sat.Solver.create () in
+  let vars = Array.init n (fun _ -> Sat.Solver.new_var s) in
+  (s, vars)
+
+let check_sat = Alcotest.(check bool)
+
+(* --- basic behaviour ----------------------------------------------------- *)
+
+let test_empty () =
+  let s = Sat.Solver.create () in
+  check_sat "empty problem is sat" true (Sat.Solver.solve s = Sat.Solver.Sat)
+
+let test_unit_clause () =
+  let s, v = fresh_solver 1 in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  check_sat "sat" true (Sat.Solver.solve s = Sat);
+  check_sat "forced true" true (Sat.Solver.value s v.(0))
+
+let test_contradiction () =
+  let s, v = fresh_solver 1 in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  let ok = Sat.Solver.add_clause s [ nlit v.(0) ] in
+  check_sat "becomes trivially unsat" false ok;
+  check_sat "unsat" true (Sat.Solver.solve s = Unsat)
+
+let test_propagation_chain () =
+  (* x0 and a chain x_i -> x_{i+1} forces everything true. *)
+  let n = 50 in
+  let s, v = fresh_solver n in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  for i = 0 to n - 2 do
+    ignore (Sat.Solver.add_clause s [ nlit v.(i); lit v.(i + 1) ] : bool)
+  done;
+  check_sat "sat" true (Sat.Solver.solve s = Sat);
+  for i = 0 to n - 1 do
+    check_sat (Printf.sprintf "x%d true" i) true (Sat.Solver.value s v.(i))
+  done
+
+let test_three_coloring_triangle () =
+  (* A triangle is 3-colorable but not 2-colorable. *)
+  let solve_coloring colors =
+    let nodes = 3 in
+    let s = Sat.Solver.create () in
+    let var = Array.init nodes (fun _ -> Array.init colors (fun _ -> Sat.Solver.new_var s)) in
+    for n = 0 to nodes - 1 do
+      ignore
+        (Sat.Solver.add_clause s (List.init colors (fun c -> lit var.(n).(c))) : bool);
+      for c = 0 to colors - 1 do
+        for c' = c + 1 to colors - 1 do
+          ignore (Sat.Solver.add_clause s [ nlit var.(n).(c); nlit var.(n).(c') ] : bool)
+        done
+      done
+    done;
+    let edge a b =
+      for c = 0 to colors - 1 do
+        ignore (Sat.Solver.add_clause s [ nlit var.(a).(c); nlit var.(b).(c) ] : bool)
+      done
+    in
+    edge 0 1;
+    edge 1 2;
+    edge 0 2;
+    Sat.Solver.solve s
+  in
+  check_sat "2 colors unsat" true (solve_coloring 2 = Unsat);
+  check_sat "3 colors sat" true (solve_coloring 3 = Sat)
+
+let test_pigeonhole () =
+  (* PHP(n+1, n): n+1 pigeons in n holes is unsat; classic hard family. *)
+  let php pigeons holes =
+    let s = Sat.Solver.create () in
+    let var =
+      Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.Solver.new_var s))
+    in
+    for p = 0 to pigeons - 1 do
+      ignore
+        (Sat.Solver.add_clause s (List.init holes (fun h -> lit var.(p).(h))) : bool)
+    done;
+    for h = 0 to holes - 1 do
+      for p = 0 to pigeons - 1 do
+        for p' = p + 1 to pigeons - 1 do
+          ignore (Sat.Solver.add_clause s [ nlit var.(p).(h); nlit var.(p').(h) ] : bool)
+        done
+      done
+    done;
+    Sat.Solver.solve s
+  in
+  check_sat "php(6,5) unsat" true (php 6 5 = Unsat);
+  check_sat "php(5,5) sat" true (php 5 5 = Sat)
+
+(* --- assumptions and cores ----------------------------------------------- *)
+
+let test_assumptions_sat_unsat () =
+  let s, v = fresh_solver 2 in
+  ignore (Sat.Solver.add_clause s [ nlit v.(0); lit v.(1) ] : bool);
+  check_sat "assume x0 sat" true (Sat.Solver.solve ~assumptions:[ lit v.(0) ] s = Sat);
+  check_sat "x1 forced" true (Sat.Solver.value s v.(1));
+  check_sat "conflicting assumptions unsat" true
+    (Sat.Solver.solve ~assumptions:[ lit v.(0); nlit v.(1) ] s = Unsat);
+  (* Solver must remain usable afterwards. *)
+  check_sat "still sat without assumptions" true (Sat.Solver.solve s = Sat)
+
+let test_unsat_core () =
+  let s, v = fresh_solver 4 in
+  (* x0 -> x1, x1 -> x2; assuming x0 and !x2 is unsat, x3 irrelevant. *)
+  ignore (Sat.Solver.add_clause s [ nlit v.(0); lit v.(1) ] : bool);
+  ignore (Sat.Solver.add_clause s [ nlit v.(1); lit v.(2) ] : bool);
+  let r = Sat.Solver.solve ~assumptions:[ lit v.(3); lit v.(0); nlit v.(2) ] s in
+  check_sat "unsat" true (r = Unsat);
+  let core = Sat.Solver.unsat_core s in
+  check_sat "core nonempty" true (core <> []);
+  check_sat "core excludes irrelevant x3" true
+    (not (List.mem (lit v.(3)) core));
+  (* The core itself must be unsat. *)
+  check_sat "core is unsat" true (Sat.Solver.solve ~assumptions:core s = Unsat)
+
+(* --- formulas / Tseitin --------------------------------------------------- *)
+
+let test_formula_assert () =
+  let open Sat.Formula in
+  let s, v = fresh_solver 3 in
+  let f =
+    conj
+      [ iff (atom v.(0)) (atom v.(1));
+        xor (atom v.(1)) (atom v.(2));
+        atom v.(0)
+      ]
+  in
+  check_sat "asserted ok" true (Sat.Formula.assert_in s f);
+  check_sat "sat" true (Sat.Solver.solve s = Sat);
+  check_sat "x0" true (Sat.Solver.value s v.(0));
+  check_sat "x1" true (Sat.Solver.value s v.(1));
+  check_sat "x2 false" false (Sat.Solver.value s v.(2))
+
+let test_formula_exactly_one () =
+  let open Sat.Formula in
+  let s, v = fresh_solver 4 in
+  let f = exactly_one (List.init 4 (fun i -> atom v.(i))) in
+  check_sat "ok" true (assert_in s f);
+  check_sat "sat" true (Sat.Solver.solve s = Sat);
+  let count = ref 0 in
+  for i = 0 to 3 do
+    if Sat.Solver.value s v.(i) then incr count
+  done;
+  Alcotest.(check int) "exactly one true" 1 !count
+
+let test_define_guard () =
+  (* define_in gives an activation literal: guarded formula only bites when
+     the guard is assumed. *)
+  let open Sat.Formula in
+  let s, v = fresh_solver 2 in
+  let guard = Sat.Formula.define_in s (conj [ atom v.(0); atom v.(1) ]) in
+  check_sat "unguarded sat" true (Sat.Solver.solve ~assumptions:[] s = Sat);
+  check_sat "guarded sat" true (Sat.Solver.solve ~assumptions:[ guard ] s = Sat);
+  check_sat "x0 under guard" true (Sat.Solver.value s v.(0));
+  check_sat "x1 under guard" true (Sat.Solver.value s v.(1));
+  ignore (Sat.Solver.add_clause s [ Sat.Lit.neg (lit v.(0)) ] : bool);
+  check_sat "guard now unsat" true (Sat.Solver.solve ~assumptions:[ guard ] s = Unsat);
+  check_sat "negated guard sat" true
+    (Sat.Solver.solve ~assumptions:[ Sat.Lit.neg guard ] s = Sat)
+
+(* --- dimacs --------------------------------------------------------------- *)
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Sat.Dimacs.parse text in
+  Alcotest.(check int) "vars" 3 cnf.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.clauses);
+  let printed = Fmt.str "%a" Sat.Dimacs.print cnf in
+  let cnf' = Sat.Dimacs.parse printed in
+  Alcotest.(check int) "roundtrip clauses" 2 (List.length cnf'.clauses);
+  let solver, ok = Sat.Dimacs.load cnf in
+  check_sat "load ok" true ok;
+  check_sat "sat" true (Sat.Solver.solve solver = Sat)
+
+let test_dimacs_errors () =
+  Alcotest.check_raises "unterminated clause" (Failure "dimacs: clause not terminated by 0")
+    (fun () -> ignore (Sat.Dimacs.parse "p cnf 2 1\n1 2" : Sat.Dimacs.cnf));
+  Alcotest.check_raises "count mismatch" (Failure "dimacs: clause count mismatch")
+    (fun () -> ignore (Sat.Dimacs.parse "p cnf 2 2\n1 0\n" : Sat.Dimacs.cnf))
+
+(* --- property: agreement with brute force -------------------------------- *)
+
+let brute_force_sat num_vars clauses =
+  (* Enumerate all assignments; clauses are (var, negated) lists. *)
+  let rec loop assign =
+    if assign >= 1 lsl num_vars then false
+    else
+      let value v = assign land (1 lsl v) <> 0 in
+      let clause_sat c =
+        List.exists (fun (v, negd) -> if negd then not (value v) else value v) c
+      in
+      if List.for_all clause_sat clauses then true else loop (assign + 1)
+  in
+  loop 0
+
+let gen_cnf =
+  let open QCheck.Gen in
+  let num_vars = int_range 1 8 in
+  num_vars >>= fun nv ->
+  let gen_lit = pair (int_range 0 (nv - 1)) bool in
+  let gen_clause = list_size (int_range 1 4) gen_lit in
+  list_size (int_range 1 30) gen_clause >>= fun clauses -> return (nv, clauses)
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~count:500 ~name:"solver agrees with brute force"
+    (QCheck.make gen_cnf)
+    (fun (nv, clauses) ->
+      let s = Sat.Solver.create () in
+      let vars = Array.init nv (fun _ -> Sat.Solver.new_var s) in
+      let ok =
+        List.for_all
+          (fun c ->
+            Sat.Solver.add_clause s
+              (List.map (fun (v, negd) -> Sat.Lit.make ~var:vars.(v) ~negated:negd) c))
+          clauses
+      in
+      let solver_sat = ok && Sat.Solver.solve s = Sat in
+      let expected = brute_force_sat nv clauses in
+      if solver_sat <> expected then false
+      else if solver_sat then
+        (* The produced model must actually satisfy every clause. *)
+        List.for_all
+          (fun c ->
+            List.exists
+              (fun (v, negd) ->
+                let b = Sat.Solver.value s vars.(v) in
+                if negd then not b else b)
+              c)
+          clauses
+      else true)
+
+let prop_assumptions_consistent =
+  QCheck.Test.make ~count:200 ~name:"unsat core is itself unsat"
+    (QCheck.make gen_cnf)
+    (fun (nv, clauses) ->
+      let s = Sat.Solver.create () in
+      let vars = Array.init nv (fun _ -> Sat.Solver.new_var s) in
+      let ok =
+        List.for_all
+          (fun c ->
+            Sat.Solver.add_clause s
+              (List.map (fun (v, negd) -> Sat.Lit.make ~var:vars.(v) ~negated:negd) c))
+          clauses
+      in
+      if not ok then true
+      else begin
+        (* Assume all variables positive; if unsat, the core must be unsat. *)
+        let assumptions = Array.to_list (Array.map Sat.Lit.of_var vars) in
+        match Sat.Solver.solve ~assumptions s with
+        | Sat -> true
+        | Unsat ->
+          let core = Sat.Solver.unsat_core s in
+          List.for_all (fun l -> List.mem l assumptions) core
+          && Sat.Solver.solve ~assumptions:core s = Unsat
+      end)
+
+
+(* --- DPLL baseline (differential) ----------------------------------------- *)
+
+let prop_dpll_agrees_with_cdcl =
+  QCheck.Test.make ~count:300 ~name:"DPLL agrees with CDCL"
+    (QCheck.make gen_cnf)
+    (fun (nv, clauses) ->
+      let s = Sat.Solver.create () in
+      let vars = Array.init nv (fun _ -> Sat.Solver.new_var s) in
+      let lits =
+        List.map
+          (List.map (fun (v, negd) -> Sat.Lit.make ~var:vars.(v) ~negated:negd))
+          clauses
+      in
+      let cdcl_ok = List.for_all (fun c -> Sat.Solver.add_clause s c) lits in
+      let cdcl_sat = cdcl_ok && Sat.Solver.solve s = Sat in
+      let problem = Sat.Dpll.of_lits ~num_vars:nv lits in
+      let dpll_sat = match Sat.Dpll.solve problem with Sat.Dpll.Sat _ -> true | Sat.Dpll.Unsat -> false in
+      cdcl_sat = dpll_sat)
+
+let test_dpll_of_formula () =
+  (* Tseitin into DPLL: (x0 <-> x1) & (x0 xor x2) & x0 forces x1, !x2. *)
+  let open Sat.Formula in
+  let f = conj [ iff (atom 0) (atom 1); xor (atom 1) (atom 2); atom 0 ] in
+  let problem = Sat.Dpll.of_formula ~num_vars:3 f in
+  (match Sat.Dpll.solve problem with
+   | Sat.Dpll.Sat model ->
+     check_sat "x0" true model.(0);
+     check_sat "x1" true model.(1);
+     check_sat "x2 false" false model.(2)
+   | Sat.Dpll.Unsat -> Alcotest.fail "expected sat");
+  let contradiction = Sat.Dpll.of_formula ~num_vars:1 (conj [ atom 0; neg (atom 0) ]) in
+  check_sat "contradiction unsat" true (Sat.Dpll.solve contradiction = Sat.Dpll.Unsat)
+
+let test_dpll_count_models () =
+  (* x0 | x1 over 2 vars has 3 models. *)
+  let problem = { Sat.Dpll.num_vars = 2; clauses = [ [ 1; 2 ] ] } in
+  Alcotest.(check int) "3 models" 3 (Sat.Dpll.count_models problem ~over:[ 0; 1 ])
+
+
+(* --- container substrate ------------------------------------------------------ *)
+
+let test_vec_operations () =
+  let v = Sat.Vec.create 0 in
+  for i = 1 to 10 do
+    Sat.Vec.push v i
+  done;
+  Alcotest.(check int) "size" 10 (Sat.Vec.size v);
+  Alcotest.(check int) "last" 10 (Sat.Vec.last v);
+  Alcotest.(check int) "pop" 10 (Sat.Vec.pop v);
+  Sat.Vec.swap_remove v 0;
+  (* 1 replaced by the last element (9). *)
+  Alcotest.(check int) "swap_remove" 9 (Sat.Vec.get v 0);
+  Sat.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  check_sat "only evens" true (Sat.Vec.for_all (fun x -> x mod 2 = 0) v);
+  Sat.Vec.sort compare v;
+  let sorted = Sat.Vec.to_list v in
+  check_sat "sorted" true (List.sort compare sorted = sorted);
+  Sat.Vec.shrink_to v 1;
+  Alcotest.(check int) "shrunk" 1 (Sat.Vec.size v);
+  Sat.Vec.clear v;
+  check_sat "cleared" true (Sat.Vec.is_empty v);
+  (try
+     ignore (Sat.Vec.get v 0 : int);
+     Alcotest.fail "expected bounds error"
+   with Invalid_argument _ -> ())
+
+let test_heap_ordering () =
+  let scores = Array.make 16 0.0 in
+  let h = Sat.Heap.create (fun v -> scores.(v)) in
+  List.iter
+    (fun (v, s) ->
+      scores.(v) <- s;
+      Sat.Heap.insert h v)
+    [ (0, 1.0); (1, 5.0); (2, 3.0); (3, 4.0) ];
+  Alcotest.(check int) "max first" 1 (Sat.Heap.remove_max h);
+  (* Bump 0's activity and re-order. *)
+  scores.(0) <- 10.0;
+  Sat.Heap.decrease h 0;
+  Alcotest.(check int) "bumped to top" 0 (Sat.Heap.remove_max h);
+  Alcotest.(check int) "then 3" 3 (Sat.Heap.remove_max h);
+  Alcotest.(check int) "then 2" 2 (Sat.Heap.remove_max h);
+  check_sat "empty" true (Sat.Heap.is_empty h);
+  (* Duplicate insert is a no-op. *)
+  Sat.Heap.insert h 5;
+  Sat.Heap.insert h 5;
+  Alcotest.(check int) "no duplicate" 1 (Sat.Heap.size h)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "unit clause" `Quick test_unit_clause;
+          Alcotest.test_case "contradiction" `Quick test_contradiction;
+          Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+          Alcotest.test_case "triangle coloring" `Quick test_three_coloring_triangle;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+        ] );
+      ( "assumptions",
+        [
+          Alcotest.test_case "sat/unsat under assumptions" `Quick test_assumptions_sat_unsat;
+          Alcotest.test_case "unsat core" `Quick test_unsat_core;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "assert" `Quick test_formula_assert;
+          Alcotest.test_case "exactly_one" `Quick test_formula_exactly_one;
+          Alcotest.test_case "define guard" `Quick test_define_guard;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+      ( "containers",
+        [
+          Alcotest.test_case "vec" `Quick test_vec_operations;
+          Alcotest.test_case "heap" `Quick test_heap_ordering;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "of_formula" `Quick test_dpll_of_formula;
+          Alcotest.test_case "count_models" `Quick test_dpll_count_models;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_agrees_with_brute_force;
+          QCheck_alcotest.to_alcotest prop_assumptions_consistent;
+          QCheck_alcotest.to_alcotest prop_dpll_agrees_with_cdcl;
+        ] );
+    ]

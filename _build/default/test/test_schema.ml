@@ -1,0 +1,567 @@
+(* Tests for the dt-schema fragment: the YAML-subset parser, schema model
+   and selection, the direct (dt-schema-baseline) validator, and the SMT
+   compilation of constraints (1)-(6) with unsat-core-based violation
+   reporting. *)
+
+module Y = Schema.Yaml_lite
+module B = Schema.Binding
+module V = Schema.Validate
+module T = Devicetree.Tree
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- yaml ----------------------------------------------------------------------- *)
+
+let test_yaml_scalars () =
+  check_bool "int" true (Y.parse "x: 42" = Y.Map [ ("x", Y.Int 42L) ]);
+  check_bool "hex" true (Y.parse "x: 0x10" = Y.Map [ ("x", Y.Int 16L) ]);
+  check_bool "bool" true (Y.parse "x: true" = Y.Map [ ("x", Y.Bool true) ]);
+  check_bool "string" true (Y.parse "x: hello" = Y.Map [ ("x", Y.Str "hello") ]);
+  check_bool "quoted" true (Y.parse {|x: "a: b"|} = Y.Map [ ("x", Y.Str "a: b") ]);
+  check_bool "null" true (Y.parse "x:" = Y.Map [ ("x", Y.Null) ])
+
+let test_yaml_nesting () =
+  let src = {|
+properties:
+  device_type:
+    const: memory
+  reg:
+    minItems: 1
+    maxItems: 1024
+required:
+  - device_type
+  - reg
+|} in
+  let y = Y.parse src in
+  let props = Option.get (Y.find "properties" y) in
+  let dt = Option.get (Y.find "device_type" props) in
+  check_bool "const" true (Y.find "const" dt = Some (Y.Str "memory"));
+  let reg = Option.get (Y.find "reg" props) in
+  check_bool "minItems" true (Y.find "minItems" reg = Some (Y.Int 1L));
+  check_bool "required list" true
+    (Y.find "required" y = Some (Y.List [ Y.Str "device_type"; Y.Str "reg" ]))
+
+let test_yaml_flow_list () =
+  check_bool "flow" true
+    (Y.parse "xs: [a, b, 3]" = Y.Map [ ("xs", Y.List [ Y.Str "a"; Y.Str "b"; Y.Int 3L ]) ])
+
+let test_yaml_comments () =
+  let y = Y.parse "# header\nx: 1 # trailing\ny: \"#notcomment\"" in
+  check_bool "values" true
+    (y = Y.Map [ ("x", Y.Int 1L); ("y", Y.Str "#notcomment") ])
+
+let test_yaml_list_of_maps () =
+  let src = {|
+items:
+  - name: a
+    size: 1
+  - name: b
+    size: 2
+|} in
+  match Y.parse src with
+  | Y.Map [ ("items", Y.List [ Y.Map a; Y.Map b ]) ] ->
+    check_bool "a" true (List.assoc "name" a = Y.Str "a" && List.assoc "size" a = Y.Int 1L);
+    check_bool "b" true (List.assoc "name" b = Y.Str "b" && List.assoc "size" b = Y.Int 2L)
+  | other -> Alcotest.failf "unexpected parse: %a" Y.pp other
+
+let test_yaml_errors () =
+  (try
+     ignore (Y.parse "x: 1\n  bad indent: 2" : Y.t);
+     Alcotest.fail "expected error"
+   with Y.Error _ -> ())
+
+(* --- schema model ----------------------------------------------------------------- *)
+
+(* The paper's Listing 5 schema for the memory node, with the array-stride
+   extension discussed in §I-A (sub-arrays of #address+#size cells). *)
+let memory_schema_src =
+  {|
+$id: memory
+description: Fragment of the dt-schema for the memory DT node
+select:
+  node-name: memory
+properties:
+  device_type:
+    const: memory
+  reg:
+    minItems: 1
+    maxItems: 1024
+    multipleOf: 4
+required:
+  - device_type
+  - reg
+|}
+
+let memory_schema = B.of_string memory_schema_src
+
+let uart_schema =
+  B.of_string
+    {|
+$id: uart
+select:
+  compatible: [ns16550a, arm,pl011]
+properties:
+  compatible:
+    enum: [ns16550a, arm,pl011]
+  reg:
+    minItems: 1
+    maxItems: 1
+    multipleOf: 4
+required:
+  - compatible
+  - reg
+|}
+
+let memory_node_dts =
+  {|
+/dts-v1/;
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000
+               0x0 0x60000000 0x0 0x20000000>;
+    };
+    uart@20000000 {
+        compatible = "ns16550a";
+        reg = <0x0 0x20000000 0x0 0x1000>;
+    };
+};
+|}
+
+let parse_tree src = T.of_source ~file:"test.dts" src
+
+let test_schema_parse () =
+  check_str "id" "memory" memory_schema.B.id;
+  check_bool "select by name" true (memory_schema.B.select_node_name = Some "memory");
+  let reg = List.assoc "reg" memory_schema.B.properties in
+  check_bool "minItems" true (reg.B.min_items = Some 1);
+  check_bool "maxItems" true (reg.B.max_items = Some 1024);
+  check_bool "multipleOf" true (reg.B.multiple_of = Some 4);
+  Alcotest.(check (list string)) "required" [ "device_type"; "reg" ] memory_schema.B.required
+
+let test_schema_missing_id () =
+  try
+    ignore (B.of_string "properties:\n  x:\n    const: 1" : B.t);
+    Alcotest.fail "expected error"
+  with B.Error _ -> ()
+
+let test_selection () =
+  let t = parse_tree memory_node_dts in
+  let app = B.applicable [ memory_schema; uart_schema ] t in
+  let paths = List.map (fun (p, _, _) -> p) app in
+  Alcotest.(check (list string)) "applicable nodes"
+    [ "/memory@40000000"; "/uart@20000000" ] paths;
+  let _, _, schemas_for_mem = List.hd app in
+  Alcotest.(check (list string)) "memory schema selected" [ "memory" ]
+    (List.map (fun s -> s.B.id) schemas_for_mem)
+
+(* --- direct validation (dt-schema baseline) ----------------------------------------- *)
+
+let test_validate_ok () =
+  let t = parse_tree memory_node_dts in
+  Alcotest.(check int) "no violations" 0
+    (List.length (V.check [ memory_schema; uart_schema ] t))
+
+let test_validate_wrong_const () =
+  let t = parse_tree memory_node_dts in
+  let t = T.set_prop t ~path:"/memory@40000000" "device_type" [ Devicetree.Ast.Str "ram" ] in
+  let violations = V.check [ memory_schema ] t in
+  check_int "one violation" 1 (List.length violations);
+  let v = List.hd violations in
+  check_str "rule" "memory:const:device_type" v.V.rule;
+  check_str "node" "/memory@40000000" v.V.node_path
+
+let test_validate_missing_required () =
+  let t = parse_tree memory_node_dts in
+  let t = T.remove_prop t ~path:"/memory@40000000" "reg" in
+  let violations = V.check [ memory_schema ] t in
+  check_bool "missing reg reported" true
+    (List.exists (fun v -> v.V.rule = "memory:required:reg") violations)
+
+let test_validate_multiple_of () =
+  (* dt-schema's structural reg check from §I-A: with 2+2 cells, the cell
+     count must be a multiple of 4.  Drop one cell to break it. *)
+  let t = parse_tree memory_node_dts in
+  let cells = List.init 7 (fun i -> Devicetree.Ast.Cell_int (Int64.of_int i)) in
+  let t =
+    T.set_prop t ~path:"/memory@40000000" "reg"
+      [ Devicetree.Ast.Cells { bits = 32; cells } ]
+  in
+  let violations = V.check [ memory_schema ] t in
+  check_bool "multipleOf violated" true
+    (List.exists (fun v -> v.V.rule = "memory:multipleOf:reg") violations)
+
+let test_validate_max_items () =
+  let schema =
+    B.of_string
+      {|
+$id: limited
+select:
+  node-name: memory
+properties:
+  reg:
+    maxItems: 1
+    multipleOf: 4
+required: [reg]
+|}
+  in
+  let t = parse_tree memory_node_dts in
+  (* memory has 2 banks = 2 items of 4 cells; maxItems 1 must fire. *)
+  let violations = V.check [ schema ] t in
+  check_bool "maxItems violated" true
+    (List.exists (fun v -> v.V.rule = "limited:maxItems:reg") violations)
+
+let test_validate_required_node () =
+  let schema =
+    B.of_string
+      {|
+$id: root
+select:
+  node-name: testroot
+requiredNodes: [cpus]
+|}
+  in
+  let t = parse_tree "/dts-v1/;\n/ { testroot { }; };" in
+  let violations = V.check [ schema ] t in
+  check_bool "required node reported" true
+    (List.exists (fun v -> v.V.rule = "root:requiredNode:cpus") violations)
+
+let test_validate_types () =
+  let schema =
+    B.of_string
+      {|
+$id: typed
+select:
+  node-name: typed
+properties:
+  s:
+    type: string
+  c:
+    type: cells
+  f:
+    type: flag
+required: []
+|}
+  in
+  let good = parse_tree "/dts-v1/;\n/ { typed { s = \"x\"; c = <1>; f; }; };" in
+  check_int "well-typed" 0 (List.length (V.check [ schema ] good));
+  let bad = parse_tree "/dts-v1/;\n/ { typed { s = <1>; c = \"x\"; f = <1>; }; };" in
+  check_int "three type violations" 3 (List.length (V.check [ schema ] bad))
+
+(* --- SMT compilation ------------------------------------------------------------------ *)
+
+let smt_check schemas tree =
+  let solver = Smt.Solver.create () in
+  Schema.Compile.check_tree solver ~schemas tree
+
+let test_smt_ok () =
+  let t = parse_tree memory_node_dts in
+  Alcotest.(check int) "no failures" 0
+    (List.length (smt_check [ memory_schema; uart_schema ] t))
+
+let test_smt_wrong_const_core () =
+  let t = parse_tree memory_node_dts in
+  let t = T.set_prop t ~path:"/memory@40000000" "device_type" [ Devicetree.Ast.Str "ram" ] in
+  match smt_check [ memory_schema ] t with
+  | [ (path, core) ] ->
+    check_str "failing node" "/memory@40000000" path;
+    (* The core must contain the const rule and the value obligation. *)
+    check_bool "const rule in core" true
+      (List.exists (fun r -> Test_util.contains r "const:device_type") core);
+    check_bool "value obligation in core" true
+      (List.exists (fun r -> Test_util.contains r "value:device_type") core)
+  | other -> Alcotest.failf "expected one failure, got %d" (List.length other)
+
+let test_smt_missing_required_core () =
+  let t = parse_tree memory_node_dts in
+  let t = T.remove_prop t ~path:"/memory@40000000" "reg" in
+  match smt_check [ memory_schema ] t with
+  | [ (_, core) ] ->
+    check_bool "required rule in core" true
+      (List.exists (fun r -> Test_util.contains r "required:reg") core);
+    check_bool "closure in core" true
+      (List.exists (fun r -> Test_util.contains r "closure") core)
+  | other -> Alcotest.failf "expected one failure, got %d" (List.length other)
+
+let test_smt_multiple_of () =
+  let t = parse_tree memory_node_dts in
+  let cells = List.init 7 (fun i -> Devicetree.Ast.Cell_int (Int64.of_int i)) in
+  let t =
+    T.set_prop t ~path:"/memory@40000000" "reg"
+      [ Devicetree.Ast.Cells { bits = 32; cells } ]
+  in
+  match smt_check [ memory_schema ] t with
+  | [ (_, core) ] ->
+    check_bool "multipleOf in core" true
+      (List.exists (fun r -> Test_util.contains r "multipleOf:reg") core)
+  | other -> Alcotest.failf "expected one failure, got %d" (List.length other)
+
+let test_smt_required_node () =
+  let schema =
+    B.of_string
+      {|
+$id: root
+select:
+  node-name: testroot
+requiredNodes: [cpus]
+|}
+  in
+  let missing = parse_tree "/dts-v1/;\n/ { testroot { }; };" in
+  (match smt_check [ schema ] missing with
+   | [ (_, core) ] ->
+     check_bool "requiredNode in core" true
+       (List.exists (fun r -> Test_util.contains r "requiredNode:cpus") core)
+   | other -> Alcotest.failf "expected one failure, got %d" (List.length other));
+  let present = parse_tree "/dts-v1/;\n/ { testroot { cpus { }; }; };" in
+  Alcotest.(check int) "present is fine" 0 (List.length (smt_check [ schema ] present))
+
+let test_smt_agrees_with_direct () =
+  (* On a collection of mutations, the SMT checker and the direct validator
+     must agree on pass/fail per node. *)
+  let base = parse_tree memory_node_dts in
+  let mutations =
+    [ ("intact", base);
+      ("wrong const", T.set_prop base ~path:"/memory@40000000" "device_type" [ Devicetree.Ast.Str "ram" ]);
+      ("missing reg", T.remove_prop base ~path:"/memory@40000000" "reg");
+      ("missing device_type", T.remove_prop base ~path:"/memory@40000000" "device_type");
+      ( "bad stride",
+        T.set_prop base ~path:"/memory@40000000" "reg"
+          [ Devicetree.Ast.Cells { bits = 32; cells = [ Devicetree.Ast.Cell_int 1L ] } ] );
+      ( "wrong uart compatible",
+        T.set_prop base ~path:"/uart@20000000" "compatible" [ Devicetree.Ast.Str "bogus" ] );
+    ]
+  in
+  List.iter
+    (fun (name, t) ->
+      let direct_fails =
+        V.check [ memory_schema; uart_schema ] t
+        |> List.map (fun v -> v.V.node_path)
+        |> List.sort_uniq String.compare
+      in
+      let smt_fails =
+        smt_check [ memory_schema; uart_schema ] t |> List.map fst |> List.sort_uniq String.compare
+      in
+      Alcotest.(check (list string)) (name ^ ": same failing nodes") direct_fails smt_fails)
+    mutations
+
+
+(* --- value ranges (manufacturer constraints, e.g. clock-frequency) --------------- *)
+
+let clock_schema =
+  B.of_string
+    {|
+$id: clock
+select:
+  node-name: osc
+properties:
+  clock-frequency:
+    minimum: 1000000
+    maximum: 100000000
+required: [clock-frequency]
+|}
+
+let osc_tree freq =
+  parse_tree
+    (Printf.sprintf "/dts-v1/;\n/ { osc { clock-frequency = <%Ld>; }; };" freq)
+
+let test_validate_ranges () =
+  check_int "in range" 0 (List.length (V.check [ clock_schema ] (osc_tree 24_000_000L)));
+  let low = V.check [ clock_schema ] (osc_tree 1000L) in
+  check_bool "below minimum" true
+    (List.exists (fun v -> v.V.rule = "clock:minimum:clock-frequency") low);
+  let high = V.check [ clock_schema ] (osc_tree 200_000_000L) in
+  check_bool "above maximum" true
+    (List.exists (fun v -> v.V.rule = "clock:maximum:clock-frequency") high)
+
+let test_smt_ranges () =
+  check_int "in range" 0 (List.length (smt_check [ clock_schema ] (osc_tree 24_000_000L)));
+  (match smt_check [ clock_schema ] (osc_tree 1000L) with
+   | [ (_, core) ] ->
+     check_bool "minimum rule in core" true
+       (List.exists (fun r -> Test_util.contains r "minimum:clock-frequency") core)
+   | other -> Alcotest.failf "expected one failure, got %d" (List.length other));
+  match smt_check [ clock_schema ] (osc_tree 200_000_000L) with
+  | [ (_, core) ] ->
+    check_bool "maximum rule in core" true
+      (List.exists (fun r -> Test_util.contains r "maximum:clock-frequency") core)
+  | other -> Alcotest.failf "expected one failure, got %d" (List.length other)
+
+let test_range_requires_cell_value () =
+  (* A string where a bounded cell is expected violates the obligation. *)
+  let t = parse_tree "/dts-v1/;\n/ { osc { clock-frequency = \"fast\"; }; };" in
+  check_bool "direct rejects" true (V.check [ clock_schema ] t <> []);
+  check_bool "smt rejects" true (smt_check [ clock_schema ] t <> [])
+
+
+(* --- property: SMT checker and direct validator agree on random inputs ------ *)
+
+(* Random prop schemas over a small name/value universe, and random nodes;
+   the two checkers must produce the same pass/fail verdict. *)
+let gen_schema_and_node =
+  let open QCheck.Gen in
+  let prop_names = [ "pa"; "pb"; "pc" ] in
+  let values = [ "va"; "vb"; "vc" ] in
+  let gen_prop_schema =
+    let* const = opt (oneofl values) in
+    let* enum = oneofl [ []; [ "va" ]; [ "va"; "vb" ] ] in
+    let* min_items = opt (int_range 1 3) in
+    let* max_items = opt (int_range 1 3) in
+    let* multiple_of = opt (int_range 1 3) in
+    let* minimum = opt (map Int64.of_int (int_range 0 50)) in
+    let* maximum = opt (map Int64.of_int (int_range 0 50)) in
+    return
+      { B.empty_prop_schema with
+        B.const_string = const;
+        enum_values = enum;
+        min_items;
+        max_items;
+        multiple_of;
+        minimum;
+        maximum
+      }
+  in
+  let* schema_props =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* present = bool in
+        if present then
+          let* ps = gen_prop_schema in
+          return ((name, ps) :: acc)
+        else return acc)
+      (return []) prop_names
+  in
+  let* required =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* req = bool in
+        return (if req then name :: acc else acc))
+      (return []) prop_names
+  in
+  let schema =
+    { B.id = "rand";
+      description = None;
+      select_compatible = [];
+      select_node_name = Some "node";
+      properties = schema_props;
+      required;
+      required_nodes = [];
+      additional_properties = true
+    }
+  in
+  (* Random node: subset of props, each either a string or cells. *)
+  let* props =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* present = bool in
+        if not present then return acc
+        else
+          let* use_string = bool in
+          if use_string then
+            let* v = oneofl values in
+            return ((name, [ Devicetree.Ast.Str v ]) :: acc)
+          else
+            let* ncells = int_range 1 4 in
+            let* cells = list_repeat ncells (map Int64.of_int (int_range 0 60)) in
+            return
+              ((name, [ Devicetree.Ast.Cells { bits = 32; cells = List.map (fun c -> Devicetree.Ast.Cell_int c) cells } ])
+              :: acc))
+      (return []) prop_names
+  in
+  return (schema, props)
+
+let prop_smt_agrees_with_direct_random =
+  QCheck.Test.make ~count:150 ~name:"SMT checker = direct validator (random schemas)"
+    (QCheck.make gen_schema_and_node)
+    (fun (schema, props) ->
+      let tree =
+        List.fold_left
+          (fun t (name, value) -> T.set_prop t ~path:"/node" name value)
+          (parse_tree "/dts-v1/;\n/ { node { }; };")
+          props
+      in
+      let direct_ok = V.check [ schema ] tree = [] in
+      let solver = Smt.Solver.create () in
+      let smt_ok = Schema.Compile.check_tree solver ~schemas:[ schema ] tree = [] in
+      direct_ok = smt_ok)
+
+
+(* --- strict mode (additionalProperties: false) ------------------------------- *)
+
+let strict_schema =
+  B.of_string
+    {|
+$id: strict
+select:
+  node-name: strictnode
+properties:
+  allowed:
+    type: cells
+required: [allowed]
+additionalProperties: false
+|}
+
+let test_strict_mode () =
+  let good = parse_tree "/dts-v1/;\n/ { strictnode { allowed = <1>; status = \"okay\"; }; };" in
+  check_int "declared + standard props pass" 0 (List.length (V.check [ strict_schema ] good));
+  check_int "smt agrees" 0 (List.length (smt_check [ strict_schema ] good));
+  let bad = parse_tree "/dts-v1/;\n/ { strictnode { allowed = <1>; rogue = <2>; }; };" in
+  let direct = V.check [ strict_schema ] bad in
+  check_bool "direct rejects rogue" true
+    (List.exists (fun v -> v.V.rule = "strict:additionalProperties:rogue") direct);
+  (match smt_check [ strict_schema ] bad with
+   | [ (_, core) ] ->
+     check_bool "smt core names the rule" true
+       (List.exists (fun r -> Test_util.contains r "additionalProperties:rogue") core)
+   | other -> Alcotest.failf "expected one failure, got %d" (List.length other))
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "yaml",
+        [
+          Alcotest.test_case "scalars" `Quick test_yaml_scalars;
+          Alcotest.test_case "nesting" `Quick test_yaml_nesting;
+          Alcotest.test_case "flow list" `Quick test_yaml_flow_list;
+          Alcotest.test_case "comments" `Quick test_yaml_comments;
+          Alcotest.test_case "list of maps" `Quick test_yaml_list_of_maps;
+          Alcotest.test_case "errors" `Quick test_yaml_errors;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "parse schema" `Quick test_schema_parse;
+          Alcotest.test_case "missing $id" `Quick test_schema_missing_id;
+          Alcotest.test_case "selection" `Quick test_selection;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "ok" `Quick test_validate_ok;
+          Alcotest.test_case "wrong const" `Quick test_validate_wrong_const;
+          Alcotest.test_case "missing required" `Quick test_validate_missing_required;
+          Alcotest.test_case "multipleOf" `Quick test_validate_multiple_of;
+          Alcotest.test_case "maxItems" `Quick test_validate_max_items;
+          Alcotest.test_case "required node" `Quick test_validate_required_node;
+          Alcotest.test_case "types" `Quick test_validate_types;
+          Alcotest.test_case "value ranges" `Quick test_validate_ranges;
+        ] );
+      ( "smt",
+        [
+          Alcotest.test_case "ok" `Quick test_smt_ok;
+          Alcotest.test_case "wrong const core" `Quick test_smt_wrong_const_core;
+          Alcotest.test_case "missing required core" `Quick test_smt_missing_required_core;
+          Alcotest.test_case "multipleOf" `Quick test_smt_multiple_of;
+          Alcotest.test_case "required node" `Quick test_smt_required_node;
+          Alcotest.test_case "agrees with direct validator" `Quick test_smt_agrees_with_direct;
+          Alcotest.test_case "value ranges" `Quick test_smt_ranges;
+          Alcotest.test_case "range needs cell value" `Quick test_range_requires_cell_value;
+          Alcotest.test_case "strict mode" `Quick test_strict_mode;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_smt_agrees_with_direct_random ] );
+    ]

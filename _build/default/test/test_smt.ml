@@ -1,0 +1,544 @@
+(* Tests for the SMT layer: bit-vector semantics (differentially against the
+   reference interpreter), enum sorts, predicates and finite quantifiers,
+   incremental push/pop, named assertions and unsat cores, and models. *)
+
+module T = Smt.Term
+module S = Smt.Solver
+
+let check_bool = Alcotest.(check bool)
+let check_int64 = Alcotest.(check int64)
+
+let is_sat = function S.Sat -> true | S.Unsat _ -> false
+
+(* --- bit-vector basics ----------------------------------------------------- *)
+
+let test_bv_arith_model () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 and y = T.bv_var "y" ~width:8 in
+  S.assert_ s (T.eq (T.add x y) (T.bv_of_int ~width:8 10));
+  S.assert_ s (T.eq (T.sub x y) (T.bv_of_int ~width:8 4));
+  check_bool "sat" true (is_sat (S.check s));
+  check_int64 "x" 7L (S.get_bv s x);
+  check_int64 "y" 3L (S.get_bv s y)
+
+let test_bv_overflow_wraps () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:4 in
+  S.assert_ s (T.eq (T.add x (T.bv_of_int ~width:4 1)) (T.bv_of_int ~width:4 0));
+  check_bool "sat" true (is_sat (S.check s));
+  check_int64 "x = 15 wraps" 15L (S.get_bv s x)
+
+let test_bv_mul () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.eq (T.mul x (T.bv_of_int ~width:8 3)) (T.bv_of_int ~width:8 21));
+  S.assert_ s (T.ult x (T.bv_of_int ~width:8 10));
+  check_bool "sat" true (is_sat (S.check s));
+  check_int64 "x" 7L (S.get_bv s x)
+
+let test_bv_unsigned_vs_signed () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:4 in
+  (* x > 7 unsigned but x < 0 signed: any of 8..15. *)
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:4 7));
+  S.assert_ s (T.slt x (T.bv_of_int ~width:4 0));
+  check_bool "sat" true (is_sat (S.check s));
+  let v = S.get_bv s x in
+  check_bool "in 8..15" true (v >= 8L && v <= 15L)
+
+let test_bv_shift () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.eq (T.shl (T.bv_of_int ~width:8 1) x) (T.bv_of_int ~width:8 16));
+  check_bool "sat" true (is_sat (S.check s));
+  check_int64 "x=4" 4L (S.get_bv s x);
+  (* shift beyond width yields zero *)
+  let s2 = S.create () in
+  S.assert_ s2
+    (T.eq
+       (T.shl (T.bv_of_int ~width:8 255) (T.bv_of_int ~width:8 9))
+       (T.bv_of_int ~width:8 0));
+  check_bool "oversized shift is zero" true (is_sat (S.check s2))
+
+let test_bv_extract_concat () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:16 in
+  S.assert_ s (T.eq (T.extract ~hi:15 ~lo:8 x) (T.bv_of_int ~width:8 0xAB));
+  S.assert_ s (T.eq (T.extract ~hi:7 ~lo:0 x) (T.bv_of_int ~width:8 0xCD));
+  check_bool "sat" true (is_sat (S.check s));
+  check_int64 "x" 0xABCDL (S.get_bv s x);
+  let s2 = S.create () in
+  let y = T.bv_var "y" ~width:16 in
+  S.assert_ s2
+    (T.eq y (T.concat (T.bv_of_int ~width:8 0x12) (T.bv_of_int ~width:8 0x34)));
+  check_bool "sat" true (is_sat (S.check s2));
+  check_int64 "concat" 0x1234L (S.get_bv s2 y)
+
+let test_bv_extend () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:4 in
+  S.assert_ s (T.eq x (T.bv_of_int ~width:4 0xF));
+  S.assert_ s
+    (T.eq (T.zero_extend ~by:4 x) (T.bv_of_int ~width:8 0x0F));
+  S.assert_ s
+    (T.eq (T.sign_extend ~by:4 x) (T.bv_of_int ~width:8 0xFF));
+  check_bool "extends agree" true (is_sat (S.check s))
+
+let test_wide_64bit () =
+  (* 64-bit address arithmetic as used for DT memory regions. *)
+  let s = S.create () in
+  let base = T.bv_var "base" ~width:64 in
+  S.assert_ s
+    (T.eq (T.add base (T.bv ~width:64 0x20000000L)) (T.bv ~width:64 0x60000000L));
+  check_bool "sat" true (is_sat (S.check s));
+  check_int64 "base" 0x40000000L (S.get_bv s base)
+
+(* --- overlap formula (paper formula (7) shape) ------------------------------ *)
+
+let regions_overlap s (b1, s1) (b2, s2) =
+  let bv v = T.bv ~width:64 v in
+  (* exists x in [b1, b1+s1) and [b2, b2+s2): standard interval intersection
+     b1 < b2+s2 && b2 < b1+s1 *)
+  S.assert_ s
+    (T.and_
+       [ T.ult (bv b1) (T.add (bv b2) (bv s2)); T.ult (bv b2) (T.add (bv b1) (bv s1)) ]);
+  is_sat (S.check s)
+
+let test_overlap_disjoint () =
+  check_bool "disjoint regions" false
+    (regions_overlap (S.create ()) (0x40000000L, 0x20000000L) (0x60000000L, 0x20000000L))
+
+let test_overlap_clash () =
+  check_bool "overlapping regions" true
+    (regions_overlap (S.create ()) (0x40000000L, 0x40000000L) (0x60000000L, 0x20000000L))
+
+(* --- enum sorts and predicates ---------------------------------------------- *)
+
+let test_enum_basic () =
+  let s = S.create () in
+  S.declare_enum s "prop" [ "reg"; "device_type"; "compatible" ];
+  let x = T.enum_var "x" ~sort:"prop" in
+  S.assert_ s (T.not_ (T.eq x (T.enum ~sort:"prop" "reg")));
+  S.assert_ s (T.not_ (T.eq x (T.enum ~sort:"prop" "compatible")));
+  check_bool "sat" true (is_sat (S.check s));
+  Alcotest.(check string) "only device_type remains" "device_type" (S.get_enum s x)
+
+let test_enum_exhausted () =
+  let s = S.create () in
+  S.declare_enum s "ab" [ "a"; "b" ];
+  let x = T.enum_var "x" ~sort:"ab" in
+  S.assert_ s (T.not_ (T.eq x (T.enum ~sort:"ab" "a")));
+  S.assert_ s (T.not_ (T.eq x (T.enum ~sort:"ab" "b")));
+  check_bool "unsat when universe exhausted" false (is_sat (S.check s))
+
+let test_enum_redeclare () =
+  let s = S.create () in
+  S.declare_enum s "e" [ "x"; "y" ];
+  S.declare_enum s "e" [ "x"; "y" ];
+  Alcotest.check_raises "different universe rejected"
+    (S.Error "enum sort e redeclared with a different universe") (fun () ->
+      S.declare_enum s "e" [ "x"; "z" ])
+
+let test_pred_and_forall () =
+  (* The paper's closure axiom (6): forall x. (C(x) -> R(x)) & (!C(x) -> !R(x)),
+     with C defined by (5) as x = reg or x = device_type. *)
+  let s = S.create () in
+  S.declare_enum s "prop" [ "reg"; "device_type"; "compatible" ];
+  let c x = T.pred "C" [ x ] and r x = T.pred "R" [ x ] in
+  S.assert_ s
+    (S.forall_enum s ~sort:"prop" (fun x ->
+         T.iff (c x)
+           (T.or_
+              [ T.eq x (T.enum ~sort:"prop" "reg");
+                T.eq x (T.enum ~sort:"prop" "device_type")
+              ])));
+  S.assert_ s
+    (S.forall_enum s ~sort:"prop" (fun x ->
+         T.and_ [ T.implies (c x) (r x); T.implies (T.not_ (c x)) (T.not_ (r x)) ]));
+  check_bool "sat" true (is_sat (S.check s));
+  check_bool "R(reg)" true (S.get_bool s (r (T.enum ~sort:"prop" "reg")));
+  check_bool "R(device_type)" true (S.get_bool s (r (T.enum ~sort:"prop" "device_type")));
+  check_bool "!R(compatible)" false (S.get_bool s (r (T.enum ~sort:"prop" "compatible")));
+  (* Requiring R(compatible) now contradicts the closure. *)
+  S.assert_ s (r (T.enum ~sort:"prop" "compatible"));
+  check_bool "unsat" false (is_sat (S.check s))
+
+let test_exists_enum () =
+  let s = S.create () in
+  S.declare_enum s "e" [ "a"; "b"; "c" ];
+  let p x = T.pred "P" [ x ] in
+  S.assert_ s (S.exists_enum s ~sort:"e" p);
+  S.assert_ s (T.not_ (p (T.enum ~sort:"e" "a")));
+  S.assert_ s (T.not_ (p (T.enum ~sort:"e" "b")));
+  check_bool "sat" true (is_sat (S.check s));
+  check_bool "P(c) forced" true (S.get_bool s (p (T.enum ~sort:"e" "c")))
+
+(* --- incremental interface --------------------------------------------------- *)
+
+let test_push_pop () =
+  let s = S.create () in
+  let x = T.bool_var "x" in
+  S.assert_ s (T.or_ [ x; T.not_ x ]);
+  check_bool "sat" true (is_sat (S.check s));
+  S.push s;
+  S.assert_ s x;
+  S.assert_ s (T.not_ x);
+  check_bool "unsat inside scope" false (is_sat (S.check s));
+  S.pop s;
+  check_bool "sat after pop" true (is_sat (S.check s));
+  Alcotest.(check int) "no scopes" 0 (S.num_scopes s)
+
+let test_nested_scopes () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:4 in
+  S.push s;
+  S.assert_ s (T.ult x (T.bv_of_int ~width:4 5));
+  S.push s;
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:4 10));
+  check_bool "unsat nested" false (is_sat (S.check s));
+  S.pop s;
+  check_bool "sat after inner pop" true (is_sat (S.check s));
+  check_bool "outer constraint still active" true (S.get_bv s x < 5L);
+  S.pop s;
+  Alcotest.check_raises "pop on empty" (S.Error "pop without matching push") (fun () ->
+      S.pop s)
+
+let test_named_core () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_named s "lower" (T.ugt x (T.bv_of_int ~width:8 10));
+  S.assert_named s "upper" (T.ult x (T.bv_of_int ~width:8 5));
+  S.assert_named s "irrelevant" (T.ult x (T.bv_of_int ~width:8 200));
+  match S.check s with
+  | S.Sat -> Alcotest.fail "expected unsat"
+  | S.Unsat core ->
+    check_bool "lower in core" true (List.mem "lower" core);
+    check_bool "upper in core" true (List.mem "upper" core);
+    check_bool "irrelevant not in core" false (List.mem "irrelevant" core)
+
+let test_check_assumptions () =
+  let s = S.create () in
+  let x = T.bool_var "x" and y = T.bool_var "y" in
+  S.assert_ s (T.implies x y);
+  check_bool "sat assuming x" true (is_sat (S.check ~assumptions:[ x ] s));
+  check_bool "y forced" true (S.get_bool s y);
+  check_bool "unsat assuming x & !y" false
+    (is_sat (S.check ~assumptions:[ x; T.not_ y ] s));
+  check_bool "recovers" true (is_sat (S.check s))
+
+(* --- error handling ----------------------------------------------------------- *)
+
+let test_sort_errors () =
+  let s = S.create () in
+  Alcotest.check_raises "bv as assertion"
+    (S.Error "assertion has sort (_ BitVec 8), expected Bool") (fun () ->
+      S.assert_ s (T.bv_of_int ~width:8 3));
+  (try
+     S.assert_ s (T.eq (T.bv_of_int ~width:8 1) (T.bv_of_int ~width:4 1));
+     Alcotest.fail "expected width mismatch error"
+   with S.Error _ -> ());
+  try
+    S.assert_ s (T.eq (T.enum_var "e" ~sort:"nope") (T.enum_var "f" ~sort:"nope"));
+    Alcotest.fail "expected unknown sort error"
+  with S.Error _ -> ()
+
+let test_model_unavailable () =
+  let s = S.create () in
+  S.assert_ s T.ff;
+  check_bool "unsat" false (is_sat (S.check s));
+  try
+    ignore (S.get_bool s (T.bool_var "x") : bool);
+    Alcotest.fail "expected model error"
+  with S.Error _ -> ()
+
+(* --- differential property tests --------------------------------------------- *)
+
+(* Random bit-vector term generator over variables a b of a given width. *)
+let gen_term width =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return (T.bv_var "a" ~width);
+        return (T.bv_var "b" ~width);
+        map (fun v -> T.bv ~width (Int64.of_int v)) (int_bound 1000);
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ leaf;
+            map2 T.add sub sub;
+            map2 T.sub sub sub;
+            map2 T.mul sub sub;
+            map2 T.band sub sub;
+            map2 T.bor sub sub;
+            map2 T.bxor sub sub;
+            map T.bnot sub;
+            map T.neg sub;
+            map2 T.shl sub sub;
+            map2 T.lshr sub sub;
+          ])
+    3
+
+let interp_env ~a ~b : Smt.Interp.env =
+  {
+    bool_var = (fun _ -> false);
+    bv_var = (fun name -> if name = "a" then a else b);
+    enum_var = (fun _ -> "");
+    pred = (fun _ _ -> false);
+  }
+
+let prop_blaster_matches_interp width =
+  QCheck.Test.make ~count:120
+    ~name:(Printf.sprintf "blaster = interpreter (width %d)" width)
+    QCheck.(
+      make
+        Gen.(triple (gen_term width) (int_bound 0xFFFF) (int_bound 0xFFFF)))
+    (fun (term, a, b) ->
+      let a = Int64.of_int a and b = Int64.of_int b in
+      let expected =
+        match Smt.Interp.eval (interp_env ~a ~b) term with
+        | Smt.Interp.V_bv { value; _ } -> value
+        | _ -> QCheck.assume_fail ()
+      in
+      let s = S.create () in
+      S.assert_ s (T.eq (T.bv_var "a" ~width) (T.bv ~width a));
+      S.assert_ s (T.eq (T.bv_var "b" ~width) (T.bv ~width b));
+      S.assert_ s (T.eq term (T.bv ~width expected));
+      is_sat (S.check s))
+
+let prop_comparisons_match width =
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "comparison blasting (width %d)" width)
+    QCheck.(make Gen.(pair (int_bound 0xFFFF) (int_bound 0xFFFF)))
+    (fun (a, b) ->
+      let a64 = Int64.of_int a and b64 = Int64.of_int b in
+      let s = S.create () in
+      let ta = T.bv ~width a64 and tb = T.bv ~width b64 in
+      let mask v =
+        if width = 64 then v
+        else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+      in
+      let sext v =
+        let m = mask v in
+        if width < 64 && Int64.logand m (Int64.shift_left 1L (width - 1)) <> 0L then
+          Int64.logor m (Int64.shift_left (-1L) width)
+        else m
+      in
+      let cases =
+        [ (T.ult ta tb, Int64.unsigned_compare (mask a64) (mask b64) < 0);
+          (T.ule ta tb, Int64.unsigned_compare (mask a64) (mask b64) <= 0);
+          (T.slt ta tb, Int64.compare (sext a64) (sext b64) < 0);
+          (T.sle ta tb, Int64.compare (sext a64) (sext b64) <= 0);
+        ]
+      in
+      List.for_all
+        (fun (term, expected) ->
+          let s' = s in
+          S.push s';
+          S.assert_ s' (if expected then term else T.not_ term);
+          let r = is_sat (S.check s') in
+          S.pop s';
+          r)
+        cases)
+
+
+(* --- introspection ----------------------------------------------------------- *)
+
+let test_assertions_tracking () =
+  let s = S.create () in
+  S.assert_ s (T.bool_var "a");
+  S.assert_named s "n1" (T.bool_var "b");
+  Alcotest.(check int) "two live" 2 (List.length (S.assertions s));
+  S.push s;
+  S.assert_ s (T.bool_var "c");
+  Alcotest.(check int) "three live" 3 (List.length (S.assertions s));
+  S.pop s;
+  Alcotest.(check int) "two after pop" 2 (List.length (S.assertions s));
+  match S.assertions s with
+  | [ (None, _); (Some "n1", _) ] -> ()
+  | _ -> Alcotest.fail "unexpected assertion list shape"
+
+let test_smtlib_dump () =
+  let s = S.create () in
+  S.declare_enum s "prop" [ "reg"; "device_type" ];
+  S.assert_ s (T.ult (T.bv_var "x" ~width:8) (T.bv_of_int ~width:8 5));
+  S.assert_named s "presence" (T.pred "R" [ T.enum_var "p" ~sort:"prop" ]);
+  let dump = Fmt.str "%a" S.pp_smtlib s in
+  let has n = Test_util.contains dump n in
+  check_bool "logic line" true (has "(set-logic");
+  check_bool "bv decl" true (has "(declare-const x (_ BitVec 8))");
+  check_bool "pred decl" true (has "(declare-fun R");
+  check_bool "named assert" true (has ":named \"presence\"");
+  check_bool "bvult" true (has "(bvult x (_ bv5 8))");
+  check_bool "sort comment" true (has "; sort prop = { reg device_type }");
+  check_bool "check-sat" true (has "(check-sat)")
+
+
+(* --- optimization ------------------------------------------------------------ *)
+
+let test_minimize_basic () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:8 41));
+  S.assert_ s (T.not_ (T.eq x (T.bv_of_int ~width:8 42)));
+  Alcotest.(check (option int64)) "min is 43" (Some 43L) (S.minimize s x);
+  (* The solver remains usable and unpoisoned. *)
+  check_bool "still sat" true (is_sat (S.check s));
+  Alcotest.(check (option int64)) "repeatable" (Some 43L) (S.minimize s x)
+
+let test_minimize_unsat () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:4 in
+  S.assert_ s (T.ult x (T.bv_of_int ~width:4 3));
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:4 10));
+  Alcotest.(check (option int64)) "none" None (S.minimize s x)
+
+let test_minimize_with_assumptions () =
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 and flag = T.bool_var "flag" in
+  S.assert_ s (T.implies flag (T.uge x (T.bv_of_int ~width:8 100)));
+  Alcotest.(check (option int64)) "free minimum" (Some 0L) (S.minimize s x);
+  Alcotest.(check (option int64)) "under assumption" (Some 100L)
+    (S.minimize ~assumptions:[ flag ] s x);
+  (* Minimizing an expression, not just a variable. *)
+  let y = T.add x (T.bv_of_int ~width:8 5) in
+  Alcotest.(check (option int64)) "expression minimum" (Some 0L) (S.minimize s y)
+
+let test_minimize_64bit () =
+  let s = S.create () in
+  let x = T.bv_var "addr" ~width:64 in
+  S.assert_ s (T.uge x (T.bv ~width:64 0x40000000L));
+  Alcotest.(check (option int64)) "64-bit bound" (Some 0x40000000L) (S.minimize s x)
+
+let test_minimize_sort_error () =
+  let s = S.create () in
+  try
+    ignore (S.minimize s (T.bool_var "b") : int64 option);
+    Alcotest.fail "expected sort error"
+  with S.Error _ -> ()
+
+
+(* --- additional term coverage -------------------------------------------------- *)
+
+let test_distinct_three () =
+  let s = S.create () in
+  let xs = List.init 3 (fun i -> T.bv_var (Printf.sprintf "d%d" i) ~width:2) in
+  S.assert_ s (T.distinct xs);
+  (* 3 distinct values fit in 2 bits... *)
+  check_bool "3 in 2 bits sat" true (is_sat (S.check s));
+  (* ...but 5 distinct values cannot. *)
+  let s2 = S.create () in
+  let ys = List.init 5 (fun i -> T.bv_var (Printf.sprintf "e%d" i) ~width:2) in
+  S.assert_ s2 (T.distinct ys);
+  check_bool "5 in 2 bits unsat" false (is_sat (S.check s2))
+
+let test_ite_on_bitvectors () =
+  let s = S.create () in
+  let c = T.bool_var "c" in
+  let x = T.ite c (T.bv_of_int ~width:8 10) (T.bv_of_int ~width:8 20) in
+  S.assert_ s (T.eq x (T.bv_of_int ~width:8 20));
+  check_bool "sat" true (is_sat (S.check s));
+  check_bool "condition false" false (S.get_bool s c)
+
+let test_ite_on_enums () =
+  let s = S.create () in
+  S.declare_enum s "e" [ "a"; "b"; "c" ];
+  let c = T.bool_var "c" in
+  let x = T.ite c (T.enum ~sort:"e" "a") (T.enum ~sort:"e" "b") in
+  S.assert_ s c;
+  S.assert_ s (T.eq (T.enum_var "y" ~sort:"e") x);
+  check_bool "sat" true (is_sat (S.check s));
+  Alcotest.(check string) "y = a" "a" (S.get_enum s (T.enum_var "y" ~sort:"e"))
+
+let test_binary_predicate () =
+  (* A binary "requires" relation over a finite sort. *)
+  let s = S.create () in
+  S.declare_enum s "f" [ "cpu"; "mem"; "net" ];
+  let req a b = T.pred "Req" [ T.enum ~sort:"f" a; T.enum ~sort:"f" b ] in
+  S.assert_ s (req "net" "cpu");
+  S.assert_ s (req "cpu" "mem");
+  (* Transitivity axiom, grounded. *)
+  S.assert_ s
+    (S.forall_enum s ~sort:"f" (fun x ->
+         S.forall_enum s ~sort:"f" (fun y ->
+             S.forall_enum s ~sort:"f" (fun z ->
+                 T.implies
+                   (T.and_ [ T.pred "Req" [ x; y ]; T.pred "Req" [ y; z ] ])
+                   (T.pred "Req" [ x; z ])))));
+  check_bool "sat" true (is_sat (S.check s));
+  check_bool "transitive consequence" true (S.get_bool s (req "net" "mem"));
+  S.assert_ s (T.not_ (req "net" "mem"));
+  check_bool "contradiction unsat" false (is_sat (S.check s))
+
+let () =
+  Alcotest.run "smt"
+    [
+      ( "bitvectors",
+        [
+          Alcotest.test_case "arith model" `Quick test_bv_arith_model;
+          Alcotest.test_case "overflow wraps" `Quick test_bv_overflow_wraps;
+          Alcotest.test_case "mul" `Quick test_bv_mul;
+          Alcotest.test_case "signed vs unsigned" `Quick test_bv_unsigned_vs_signed;
+          Alcotest.test_case "shift" `Quick test_bv_shift;
+          Alcotest.test_case "extract/concat" `Quick test_bv_extract_concat;
+          Alcotest.test_case "extend" `Quick test_bv_extend;
+          Alcotest.test_case "64-bit addresses" `Quick test_wide_64bit;
+        ] );
+      ( "overlap",
+        [
+          Alcotest.test_case "disjoint" `Quick test_overlap_disjoint;
+          Alcotest.test_case "clash" `Quick test_overlap_clash;
+        ] );
+      ( "enums",
+        [
+          Alcotest.test_case "basic" `Quick test_enum_basic;
+          Alcotest.test_case "exhausted universe" `Quick test_enum_exhausted;
+          Alcotest.test_case "redeclare" `Quick test_enum_redeclare;
+          Alcotest.test_case "pred + forall (closure axiom)" `Quick test_pred_and_forall;
+          Alcotest.test_case "exists" `Quick test_exists_enum;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "push/pop" `Quick test_push_pop;
+          Alcotest.test_case "nested scopes" `Quick test_nested_scopes;
+          Alcotest.test_case "named core" `Quick test_named_core;
+          Alcotest.test_case "assumptions" `Quick test_check_assumptions;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "distinct (3+)" `Quick test_distinct_three;
+          Alcotest.test_case "ite on bitvectors" `Quick test_ite_on_bitvectors;
+          Alcotest.test_case "ite on enums" `Quick test_ite_on_enums;
+          Alcotest.test_case "binary predicate + grounded transitivity" `Quick test_binary_predicate;
+        ] );
+      ( "optimization",
+        [
+          Alcotest.test_case "basic" `Quick test_minimize_basic;
+          Alcotest.test_case "unsat" `Quick test_minimize_unsat;
+          Alcotest.test_case "assumptions + expressions" `Quick test_minimize_with_assumptions;
+          Alcotest.test_case "64-bit" `Quick test_minimize_64bit;
+          Alcotest.test_case "sort error" `Quick test_minimize_sort_error;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "assertions tracking" `Quick test_assertions_tracking;
+          Alcotest.test_case "smtlib dump" `Quick test_smtlib_dump;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "sort errors" `Quick test_sort_errors;
+          Alcotest.test_case "model unavailable" `Quick test_model_unavailable;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest (prop_blaster_matches_interp 8);
+          QCheck_alcotest.to_alcotest (prop_blaster_matches_interp 16);
+          QCheck_alcotest.to_alcotest (prop_blaster_matches_interp 32);
+          QCheck_alcotest.to_alcotest (prop_comparisons_match 8);
+          QCheck_alcotest.to_alcotest (prop_comparisons_match 16);
+        ] );
+    ]
