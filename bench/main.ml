@@ -326,7 +326,7 @@ let e12_incremental =
     (stage @@ fun () ->
     let solver = Smt.Solver.create () in
     List.iter
-      (fun (a, b) -> ignore (Llhsc.Semantic.pair_overlap solver a b : int64 option))
+      (fun (a, b) -> ignore (Llhsc.Semantic.pair_overlap solver a b : [ `Overlap of int64 | `Disjoint | `Inconclusive ]))
       all_pairs)
 
 let e12_scratch =
@@ -335,7 +335,7 @@ let e12_scratch =
     List.iter
       (fun (a, b) ->
         let solver = Smt.Solver.create () in
-        ignore (Llhsc.Semantic.pair_overlap solver a b : int64 option))
+        ignore (Llhsc.Semantic.pair_overlap solver a b : [ `Overlap of int64 | `Disjoint | `Inconclusive ]))
       all_pairs)
 
 (* Ablation: CDCL vs plain DPLL on the same Tseitin encoding of a

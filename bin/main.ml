@@ -26,8 +26,18 @@ let loader_for path file =
   let candidate = Filename.concat dir file in
   if Sys.file_exists candidate then Some (read_file candidate) else None
 
+(* All collected input diagnostics for one bad file; printed (every one of
+   them) by [handle_errors]. *)
+exception Input_errors of Diag.t list
+
+(* Multi-error loading: report every syntax/merge error in the file, not
+   just the first. *)
 let load_tree path =
-  Devicetree.Tree.of_source ~loader:(loader_for path) ~file:path (read_file path)
+  match
+    Devicetree.Tree.of_source_diags ~loader:(loader_for path) ~file:path (read_file path)
+  with
+  | Ok tree -> tree
+  | Error errs -> raise (Input_errors (List.map Diag.parse_error errs))
 
 let load_schemas = function
   | None -> []
@@ -41,37 +51,21 @@ let print_findings findings =
 
 let exit_of_findings findings = if Llhsc.Report.is_clean findings then 0 else 1
 
+(* Every known library error is mapped to a structured diagnostic by
+   [Diag.of_exn], so this list cannot drift as checkers are added; anything
+   unknown escapes (and cmdliner turns it into exit 125, which the fault
+   harness treats as a bug). *)
 let handle_errors f =
   try f () with
-  | Devicetree.Lexer.Error (msg, loc) | Devicetree.Parser.Error (msg, loc)
-  | Devicetree.Tree.Error (msg, loc) | Devicetree.Addresses.Error (msg, loc) ->
-    Fmt.epr "error: %s (%a)@." msg Devicetree.Loc.pp loc;
+  | Input_errors ds ->
+    List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) ds;
     2
-  | Delta.Parse.Error (msg, loc) ->
-    Fmt.epr "error: %s (%a)@." msg Devicetree.Loc.pp loc;
-    2
-  | Delta.Apply.Error e ->
-    Fmt.epr "error: %a@." Delta.Apply.pp_error e;
-    2
-  | Schema.Binding.Error msg | Bao.Platform.Error msg | Bao.Config.Error msg
-  | Bao.Qemu.Error msg ->
-    Fmt.epr "error: %s@." msg;
-    2
-  | Schema.Yaml_lite.Error (msg, line) ->
-    Fmt.epr "error: %s (line %d)@." msg line;
-    2
-  | Featuremodel.Model.Error msg | Featuremodel.Analysis.Error msg ->
-    Fmt.epr "error: %s@." msg;
-    2
-  | Featuremodel.Parse.Error (msg, line) ->
-    Fmt.epr "error: %s (line %d)@." msg line;
-    2
-  | Smt.Solver.Error msg ->
-    Fmt.epr "solver error: %s@." msg;
-    2
-  | Sys_error msg | Failure msg ->
-    Fmt.epr "error: %s@." msg;
-    2
+  | e -> (
+    match Diag.of_exn e with
+    | Some d ->
+      Fmt.epr "%a@." Diag.pp d;
+      2
+    | None -> raise e)
 
 (* --- check ----------------------------------------------------------------------- *)
 
@@ -201,7 +195,20 @@ let cmd_generate core_path deltas_path features out check =
 
 (* --- pipeline -------------------------------------------------------------------- *)
 
-let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir =
+(* Exit codes: 0 clean, 1 findings, 2 a phase died on bad input (its
+   diagnostics are in [outcome.errors] and were already printed). *)
+let exit_of_outcome outcome =
+  if outcome.Llhsc.Pipeline.errors <> [] then 2
+  else if Llhsc.Pipeline.ok outcome then 0
+  else 1
+
+let budget_of max_conflicts timeout =
+  match (max_conflicts, timeout) with
+  | None, None -> None
+  | _ -> Some (Sat.Solver.budget ?max_conflicts ?time_limit:timeout ())
+
+let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
+    max_conflicts timeout =
   handle_errors @@ fun () ->
   let core = load_tree core_path in
   let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
@@ -209,7 +216,8 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
   let schemas = load_schemas schema_dir in
   let schemas_for _tree = schemas in
   let outcome =
-    Llhsc.Pipeline.run ~exclusive ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
+    Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~model ~core
+      ~deltas ~schemas_for ~vm_requests:vm_features ()
   in
   Fmt.pr "%a" Llhsc.Pipeline.pp_outcome outcome;
   (match out_dir with
@@ -241,7 +249,7 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
      Fmt.pr "wrote %s@." (Filename.concat dir "config.c")
    | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
    | None -> ());
-  if Llhsc.Pipeline.ok outcome then 0 else 1
+  exit_of_outcome outcome
 
 (* --- dtb -------------------------------------------------------------------------- *)
 
@@ -372,7 +380,7 @@ let cmd_build project_path =
      Fmt.pr "artifacts written to %s@." out
    | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
    | None -> ());
-  if Llhsc.Pipeline.ok outcome then 0 else 1
+  exit_of_outcome outcome
 
 (* --- overlay ---------------------------------------------------------------------- *)
 
@@ -453,10 +461,10 @@ let cmd_demo () =
 
 open Cmdliner
 
-let dts_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.dts")
+let dts_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.dts")
 
 let schema_dir_arg =
-  Arg.(value & opt (some dir) None & info [ "schemas" ] ~docv:"DIR" ~doc:"Directory of .yaml binding schemas.")
+  Arg.(value & opt (some string) None & info [ "schemas" ] ~docv:"DIR" ~doc:"Directory of .yaml binding schemas.")
 
 let check_cmd =
   let semantic_only =
@@ -470,7 +478,7 @@ let check_cmd =
     Term.(const cmd_check $ dts_arg $ schema_dir_arg $ semantic_only $ syntactic_only)
 
 let products_cmd =
-  let fm = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.fm") in
+  let fm = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.fm") in
   let count = Arg.(value & flag & info [ "count" ] ~doc:"Print only the product count.") in
   let dead = Arg.(value & flag & info [ "dead" ] ~doc:"Also report dead features.") in
   let anomalies =
@@ -484,14 +492,14 @@ let features_arg =
   Arg.(value & opt (list string) [] & info [ "features"; "f" ] ~docv:"F1,F2" ~doc:"Selected features.")
 
 let analyze_cmd =
-  let deltas = Arg.(non_empty & opt_all file [] & info [ "deltas" ] ~docv:"FILE.deltas") in
-  let fm = Arg.(required & opt (some file) None & info [ "model" ] ~docv:"FILE.fm") in
+  let deltas = Arg.(non_empty & opt_all string [] & info [ "deltas" ] ~docv:"FILE.deltas") in
+  let fm = Arg.(required & opt (some string) None & info [ "model" ] ~docv:"FILE.fm") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Static analysis of a delta set against its feature model")
     Term.(const cmd_analyze $ deltas $ fm)
 
 let configure_cmd =
-  let fm = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.fm") in
+  let fm = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.fm") in
   let decisions =
     Arg.(value & opt_all string [] & info [ "decide"; "d" ] ~docv:"FEATURE[=on|off]"
            ~doc:"Apply a decision (repeatable, in order).")
@@ -501,8 +509,8 @@ let configure_cmd =
     Term.(const cmd_configure $ fm $ decisions)
 
 let generate_cmd =
-  let core = Arg.(required & opt (some file) None & info [ "core" ] ~docv:"CORE.dts") in
-  let deltas = Arg.(required & opt (some file) None & info [ "deltas" ] ~docv:"FILE.deltas") in
+  let core = Arg.(required & opt (some string) None & info [ "core" ] ~docv:"CORE.dts") in
+  let deltas = Arg.(required & opt (some string) None & info [ "deltas" ] ~docv:"FILE.deltas") in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.dts") in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"Run the semantic checker on the product.") in
   Cmd.v
@@ -510,9 +518,9 @@ let generate_cmd =
     Term.(const cmd_generate $ core $ deltas $ features_arg $ out $ check)
 
 let pipeline_cmd =
-  let core = Arg.(required & opt (some file) None & info [ "core" ] ~docv:"CORE.dts") in
-  let deltas = Arg.(required & opt (some file) None & info [ "deltas" ] ~docv:"FILE.deltas") in
-  let fm = Arg.(required & opt (some file) None & info [ "model" ] ~docv:"FILE.fm") in
+  let core = Arg.(required & opt (some string) None & info [ "core" ] ~docv:"CORE.dts") in
+  let deltas = Arg.(required & opt (some string) None & info [ "deltas" ] ~docv:"FILE.deltas") in
+  let fm = Arg.(required & opt (some string) None & info [ "model" ] ~docv:"FILE.fm") in
   let vms =
     Arg.(value & opt_all (list string) [] & info [ "vm" ] ~docv:"F1,F2" ~doc:"Feature selection of one VM (repeatable).")
   in
@@ -520,12 +528,21 @@ let pipeline_cmd =
     Arg.(value & opt (list string) [] & info [ "exclusive" ] ~docv:"FEATS" ~doc:"Features whose children are exclusive across VMs.")
   in
   let out = Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR") in
+  let max_conflicts =
+    Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N"
+           ~doc:"Solver budget: cap conflicts per query; exhausted queries report inconclusive.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "solver-timeout" ] ~docv:"SECONDS"
+           ~doc:"Solver budget: wall-clock deadline per query.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
-    Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out)
+    Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out
+          $ max_conflicts $ timeout)
 
 let dtb_cmd =
-  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUTPUT") in
   let decompile = Arg.(value & flag & info [ "d"; "decompile" ] ~doc:"DTB to DTS.") in
   Cmd.v
@@ -533,21 +550,21 @@ let dtb_cmd =
     Term.(const cmd_dtb $ input $ output $ decompile)
 
 let diff_cmd =
-  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.dts") in
-  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.dts") in
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A.dts") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B.dts") in
   Cmd.v
     (Cmd.info "diff" ~doc:"Structural diff between two DTS files")
     Term.(const cmd_diff $ a $ b)
 
 let build_cmd =
-  let project = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROJECT.yaml") in
+  let project = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROJECT.yaml") in
   Cmd.v
     (Cmd.info "build" ~doc:"Run the pipeline described by a project file")
     Term.(const cmd_build $ project)
 
 let overlay_cmd =
-  let base = Arg.(required & pos 0 (some file) None & info [] ~docv:"BASE.dts") in
-  let overlays = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"OVERLAY.dts...") in
+  let base = Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE.dts") in
+  let overlays = Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"OVERLAY.dts...") in
   let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.dts") in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"Run the semantic checker on the result.") in
   Cmd.v

@@ -179,7 +179,7 @@ let validate deltas =
 
 let parse ?(validate_refs = true) ~file src =
   let toks = L.tokenize ~file src in
-  let st = { P.toks; pos = 0 } in
+  let st = { P.toks; pos = 0; errors = []; recover = false } in
   let deltas = ref [] in
   while peek st <> L.EOF do
     deltas := parse_delta st :: !deltas

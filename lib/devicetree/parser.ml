@@ -20,7 +20,11 @@ let error loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
 type state = {
   toks : (Lexer.token * Loc.t) array;
   mutable pos : int;
+  mutable errors : (string * Loc.t) list; (* newest first *)
+  recover : bool;
 }
+
+let record_error st msg loc = st.errors <- (msg, loc) :: st.errors
 
 let peek st = fst st.toks.(st.pos)
 let peek_loc st = snd st.toks.(st.pos)
@@ -32,6 +36,52 @@ let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
 let expect st tok what =
   if peek st = tok then advance st
   else error (peek_loc st) "expected %s, found %a" what Lexer.pp_token (peek st)
+
+(* --- panic-mode recovery ---------------------------------------------------- *)
+
+(* Skip a balanced '{' ... '}' block (assumes the current token is '{');
+   stops early at EOF. *)
+let skip_block st =
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.LBRACE ->
+      incr depth;
+      advance st
+    | Lexer.RBRACE ->
+      decr depth;
+      advance st;
+      if !depth <= 0 then continue := false
+    | Lexer.EOF -> continue := false
+    | _ -> advance st
+  done
+
+(* Synchronize after a syntax error inside a node body: skip to the next
+   ';' (consumed) or stop just before '}' / EOF, stepping over nested
+   blocks wholesale so their semicolons don't cut the resync short. *)
+let rec sync_entry st =
+  match peek st with
+  | Lexer.SEMI -> advance st
+  | Lexer.RBRACE | Lexer.EOF -> ()
+  | Lexer.LBRACE ->
+    skip_block st;
+    sync_entry st
+  | _ ->
+    advance st;
+    sync_entry st
+
+(* Synchronize at the top level: skip past the next ';' or stop at EOF. *)
+let rec sync_toplevel st =
+  match peek st with
+  | Lexer.SEMI -> advance st
+  | Lexer.EOF -> ()
+  | Lexer.LBRACE ->
+    skip_block st;
+    sync_toplevel st
+  | _ ->
+    advance st;
+    sync_toplevel st
 
 (* --- constant expressions -------------------------------------------------- *)
 
@@ -291,11 +341,14 @@ let rec parse_node_body st ~labels ~name ~loc =
   let entries = ref [] in
   let continue = ref true in
   while !continue do
-    match peek st with
-    | Lexer.RBRACE ->
-      advance st;
-      continue := false
-    | Lexer.DIRECTIVE "delete-node" ->
+    try
+      match peek st with
+      | Lexer.RBRACE ->
+        advance st;
+        continue := false
+      | Lexer.EOF ->
+        error (peek_loc st) "unexpected end of file: missing '}' closing node %s" name
+      | Lexer.DIRECTIVE "delete-node" ->
       let dloc = peek_loc st in
       advance st;
       let target =
@@ -347,6 +400,11 @@ let rec parse_node_body st ~labels ~name ~loc =
           Lexer.pp_token tok
     end
     | tok -> error (peek_loc st) "expected node entry, found %a" Lexer.pp_token tok
+    with Error (msg, eloc) when st.recover ->
+      (* Panic-mode: record and resynchronize on ';' / '}', then keep
+         collecting entries so one bad entry costs only itself. *)
+      record_error st msg eloc;
+      if peek st = Lexer.EOF then continue := false else sync_entry st
   done;
   {
     Ast.node_labels = labels;
@@ -414,12 +472,33 @@ let parse_toplevel st =
   | Lexer.EOF -> None
   | tok -> error (peek_loc st) "expected top-level construct, found %a" Lexer.pp_token tok
 
-let parse ~file src =
-  let toks = Lexer.tokenize ~file src in
-  let st = { toks; pos = 0 } in
+let parse_file st =
   let rec go acc =
-    match parse_toplevel st with
-    | Some t -> go (t :: acc)
-    | None -> List.rev acc
+    let pos0 = st.pos in
+    match
+      try `Top (parse_toplevel st)
+      with Error (msg, eloc) when st.recover ->
+        record_error st msg eloc;
+        sync_toplevel st;
+        (* Guarantee progress even if resync lands back where we started. *)
+        if st.pos = pos0 && peek st <> Lexer.EOF then advance st;
+        `Retry
+    with
+    | `Top (Some t) -> go (t :: acc)
+    | `Top None -> List.rev acc
+    | `Retry -> go acc
   in
   go []
+
+let parse ~file src =
+  let toks = Lexer.tokenize ~file src in
+  let st = { toks; pos = 0; errors = []; recover = false } in
+  parse_file st
+
+let parse_partial ~file src =
+  match Lexer.tokenize ~file src with
+  | exception Lexer.Error (msg, loc) -> ([], [ (msg, loc) ])
+  | toks ->
+    let st = { toks; pos = 0; errors = []; recover = true } in
+    let ast = parse_file st in
+    (ast, List.rev st.errors)

@@ -9,10 +9,23 @@ exception Error of string * Loc.t
 type state = {
   toks : (Lexer.token * Loc.t) array;
   mutable pos : int;
+  mutable errors : (string * Loc.t) list;
+      (** Syntax errors recorded (newest first) when [recover] is set. *)
+  recover : bool;
+      (** When set, syntax errors are recorded and the parser resynchronizes
+          on [';'] / ['}'] instead of raising {!Error}. *)
 }
 
-(** Parse a whole DTS file. *)
+(** Parse a whole DTS file.  Raises {!Error} on the first syntax error. *)
 val parse : file:string -> string -> Ast.file
+
+(** Parse with panic-mode error recovery: on a syntax error, record it,
+    skip to the next [';'] (or the enclosing ['}']), and keep going, so one
+    run reports every syntax error in the file.  Returns the partial AST
+    (bad entries dropped) and all recorded errors in source order.  Lexer
+    errors are not recoverable: the result is then an empty AST with the
+    single lexer diagnostic. *)
+val parse_partial : file:string -> string -> Ast.file * (string * Loc.t) list
 
 (** Parse a brace-delimited node body at the current position; consumes the
     closing brace but not a trailing semicolon. *)

@@ -261,6 +261,40 @@ let of_ast ?(loader = fun _ -> None) ast = process_toplevels ~loader empty ast
 
 let of_source ?loader ~file src = of_ast ?loader (Parser.parse ~file src)
 
+(* Multi-error loading: parse with recovery, then process each top-level
+   item in isolation, so every syntax error and every semantic merge error
+   in the file (and its includes) is reported in one run. *)
+let of_source_diags ?(loader = fun _ -> None) ~file src =
+  let errs = ref [] in
+  let note msg loc = errs := !errs @ [ (msg, loc) ] in
+  let parse_one ~file src =
+    let ast, es = Parser.parse_partial ~file src in
+    List.iter (fun (msg, loc) -> note msg loc) es;
+    ast
+  in
+  let rec go root = function
+    | [] -> root
+    | item :: rest ->
+      let root =
+        try
+          match item with
+          | Ast.Include (file, loc) -> begin
+            match loader file with
+            | None ->
+              note (Fmt.str "cannot resolve /include/ %S" file) loc;
+              root
+            | Some src -> go root (parse_one ~file src)
+          end
+          | item -> process_toplevels ~loader root [ item ]
+        with Error (msg, loc) ->
+          note msg loc;
+          root
+      in
+      go root rest
+  in
+  let root = go empty (parse_one ~file src) in
+  match !errs with [] -> Ok root | errs -> Result.Error errs
+
 let memreserves_of_ast ast =
   List.filter_map (function Ast.Memreserve (a, s) -> Some (a, s) | _ -> None) ast
 

@@ -31,6 +31,16 @@ val empty : t
     [Parser.Error] on bad input. *)
 val of_source : ?loader:(string -> string option) -> file:string -> string -> t
 
+(** Like {!of_source}, but never raises on bad input: parses with error
+    recovery (see [Parser.parse_partial]) and processes each top-level item
+    in isolation, collecting {e all} syntax and merge errors in source
+    order.  [Ok tree] iff the input was clean. *)
+val of_source_diags :
+  ?loader:(string -> string option) ->
+  file:string ->
+  string ->
+  (t, (string * Loc.t) list) result
+
 (** Build from an already-parsed file. *)
 val of_ast : ?loader:(string -> string option) -> Ast.file -> t
 

@@ -1,0 +1,75 @@
+(** Structured diagnostics: the single error currency of the llhsc
+    pipeline.
+
+    Every layer of the checker historically defined its own [exception
+    Error of ...]; a missed branch in the CLI's handler crashed the whole
+    run with a raw backtrace.  This module gives each failure a severity, a
+    stable machine-readable code, an optional source location and a
+    human-readable message — and, crucially, one place ({!of_exn}) where
+    the whole zoo of per-module exceptions is converted, so the conversion
+    list cannot drift out of sync with the modules again. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable, e.g. ["DT-PARSE"], ["SMT-SORT"], ["IO"] *)
+  message : string;
+  loc : Devicetree.Loc.t option;
+}
+
+(** Build a diagnostic with a formatted message (default severity
+    [Error]). *)
+val make :
+  ?severity:severity ->
+  ?loc:Devicetree.Loc.t ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+(** A DTS parse error as reported by the recovering parser. *)
+val parse_error : string * Devicetree.Loc.t -> t
+
+(** [error[CODE]: file:line:col: message] (location omitted when absent). *)
+val pp : Format.formatter -> t -> unit
+
+val is_error : t -> bool
+
+(** CLI exit code for a diagnostic set: [0] when no [Error]-severity
+    diagnostics are present, [2] otherwise (the "input error" code). *)
+val exit_code : t list -> int
+
+(** Convert any known llhsc exception into a diagnostic; [None] for
+    exceptions the pipeline does not own (e.g. [Out_of_memory]), which
+    should keep propagating.  This is the exhaustive catalogue of every
+    [exception Error] in the libraries plus the runtime escape hatches
+    ([Sys_error], [Failure], [Invalid_argument], [Not_found],
+    [Stack_overflow]) that would otherwise crash the CLI. *)
+val of_exn : exn -> t option
+
+(** Run a thunk, converting known exceptions into a diagnostic. Unknown
+    exceptions propagate. *)
+val catch : (unit -> 'a) -> ('a, t) result
+
+(** Mutable accumulator for diagnostics, for pipelines that keep going
+    after the first problem. *)
+module Collector : sig
+  type diag = t
+  type t
+
+  val create : unit -> t
+  val add : t -> diag -> unit
+
+  (** Record a formatted [Error]-severity diagnostic. *)
+  val error :
+    t ->
+    ?loc:Devicetree.Loc.t ->
+    code:string ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a
+
+  val has_errors : t -> bool
+
+  (** Collected diagnostics, oldest first. *)
+  val to_list : t -> diag list
+end

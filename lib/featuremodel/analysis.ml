@@ -93,7 +93,9 @@ let enumerate_products ?(limit = max_int) t =
   let continue = ref true in
   while !continue && List.length !products < limit do
     match Sat.Solver.solve ~assumptions:[ guard ] t.solver with
-    | Sat.Solver.Unsat -> continue := false
+    (* [Unknown] cannot happen (no budget is passed), but stopping the
+       enumeration is the conservative reading if it ever does. *)
+    | Sat.Solver.Unsat | Sat.Solver.Unknown -> continue := false
     | Sat.Solver.Sat ->
       let product = List.filter (fun n -> Sat.Solver.value t.solver (var t n)) concrete in
       products := product :: !products;

@@ -89,6 +89,9 @@ let solve ?(selected = []) ?(deselected = []) t =
   in
   match Sat.Solver.solve ~assumptions t.solver with
   | Sat.Solver.Unsat -> `Unsat
+  | Sat.Solver.Unknown ->
+    (* unreachable: allocation runs without a budget *)
+    raise (Error "allocation solver returned unknown (budget exhausted)")
   | Sat.Solver.Sat ->
     let concrete = Model.concrete_names t.base in
     `Sat

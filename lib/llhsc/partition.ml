@@ -89,8 +89,9 @@ let contained_in solver (r : Semantic.region_at) banks =
     banks;
   let result =
     match Solver.check solver with
-    | Solver.Sat -> Some (Solver.get_bv solver x) (* witness outside all banks *)
-    | Solver.Unsat _ -> None
+    | Solver.Sat -> `Witness (Solver.get_bv solver x) (* witness outside all banks *)
+    | Solver.Unsat _ -> `Contained
+    | Solver.Unknown -> `Inconclusive
   in
   Solver.pop solver;
   result
@@ -125,14 +126,21 @@ let check ?solver ?(memory_overlap_severity = Report.Warning) ~platform vms =
           List.iter
             (fun (rb : Semantic.region_at) ->
               match Semantic.pair_overlap solver ra rb with
-              | None -> ()
-              | Some witness ->
+              | `Disjoint -> ()
+              | `Overlap witness ->
                 push
                   (Report.finding ~severity:memory_overlap_severity ~checker:"partition"
                      ~node_path:ra.Semantic.owner ~loc:ra.Semantic.loc
                      "memory of %s %a overlaps memory of %s %a (at 0x%Lx); RAM is not partitioned"
                      a.vm Addr.pp_region ra.Semantic.region b.vm Addr.pp_region
-                     rb.Semantic.region witness))
+                     rb.Semantic.region witness)
+              | `Inconclusive ->
+                push
+                  (Report.finding ~severity:Report.Warning ~checker:"partition"
+                     ~node_path:ra.Semantic.owner ~loc:ra.Semantic.loc
+                     "inconclusive: solver budget exhausted while checking memory of %s %a against %s %a"
+                     a.vm Addr.pp_region ra.Semantic.region b.vm Addr.pp_region
+                     rb.Semantic.region))
             b.memory)
         a.memory)
     (pairs vm_rs);
@@ -167,13 +175,19 @@ let check ?solver ?(memory_overlap_severity = Report.Warning) ~platform vms =
                    kind Addr.pp_region r.Semantic.region)
             else
               match contained_in solver r banks with
-              | None -> ()
-              | Some witness ->
+              | `Contained -> ()
+              | `Witness witness ->
                 push
                   (Report.finding ~checker:"partition" ~node_path:r.Semantic.owner
                      ~loc:r.Semantic.loc
                      "%s: %s region %a is not backed by the platform (address 0x%Lx is outside every platform region)"
-                     vm_r.vm kind Addr.pp_region r.Semantic.region witness))
+                     vm_r.vm kind Addr.pp_region r.Semantic.region witness)
+              | `Inconclusive ->
+                push
+                  (Report.finding ~severity:Report.Warning ~checker:"partition"
+                     ~node_path:r.Semantic.owner ~loc:r.Semantic.loc
+                     "inconclusive: solver budget exhausted while checking %s: %s region %a containment"
+                     vm_r.vm kind Addr.pp_region r.Semantic.region))
           regions
       in
       check_contained "memory" vm_r.memory platform_r.memory;

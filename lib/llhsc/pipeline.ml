@@ -10,7 +10,10 @@
       rendered by lib/bao from these trees)
 
    All SMT-based checks share one incremental solver instance per run
-   (push/pop scoped), as the paper advocates (§VI). *)
+   (push/pop scoped), as the paper advocates (§VI).  Each phase runs under
+   an isolation guard: an error while building or checking one product is
+   converted to a diagnostic (and the solver's scope stack rebalanced) so
+   the remaining products are still checked. *)
 
 module T = Devicetree.Tree
 
@@ -26,12 +29,31 @@ type outcome = {
   alloc_findings : Report.finding list;
   partition_findings : Report.finding list; (* cross-VM checks *)
   delta_orders : (string * string list) list; (* product -> application order *)
+  errors : Diag.t list; (* per-phase failures that did not abort the run *)
 }
 
 let ok outcome =
-  Report.is_clean outcome.alloc_findings
+  outcome.errors = []
+  && Report.is_clean outcome.alloc_findings
   && Report.is_clean outcome.partition_findings
   && List.for_all (fun p -> Report.is_clean p.findings) outcome.products
+
+(* Run [f] with per-phase isolation: a known error becomes a diagnostic
+   prefixed with [what], the solver scope stack is rebalanced (a failing
+   phase may die between push and pop), and [fallback] stands in for the
+   result.  Unknown exceptions still propagate. *)
+let guarded ~solver ~errors ~what ~fallback f =
+  let depth = Smt.Solver.num_scopes solver in
+  try f ()
+  with e -> (
+    match Diag.of_exn e with
+    | None -> raise e
+    | Some d ->
+      while Smt.Solver.num_scopes solver > depth do
+        Smt.Solver.pop solver
+      done;
+      errors := { d with Diag.message = what ^ ": " ^ d.Diag.message } :: !errors;
+      fallback)
 
 (* Generate and check a single product. *)
 let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
@@ -53,42 +75,56 @@ let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
    [vm_requests]: per-VM feature selections (possibly partial; the alloc
    checker completes them).  The platform product is the union of the
    completed VM products, matching §III-A: "the platform DTS is the union of
-   selected features in both products". *)
-let run ?(exclusive = []) ~model ~core ~deltas ~schemas_for ~vm_requests () =
+   selected features in both products".
+
+   [budget] installs a solver resource budget for every check in the run;
+   exhausted queries degrade to "inconclusive" warnings instead of
+   hanging. *)
+let run ?(exclusive = []) ?budget ~model ~core ~deltas ~schemas_for ~vm_requests () =
   let solver = Smt.Solver.create () in
+  Smt.Solver.set_budget solver budget;
+  let errors = ref [] in
+  let finish ~products ~alloc_findings ~partition_findings ~delta_orders =
+    { products; alloc_findings; partition_findings; delta_orders;
+      errors = List.rev !errors }
+  in
   let vms = List.length vm_requests in
   let requests =
     List.mapi (fun i selected -> Alloc.request (i + 1) selected) vm_requests
   in
-  match Alloc.allocate ~exclusive model ~vms ~requests with
+  match
+    guarded ~solver ~errors ~what:"allocation" ~fallback:(Alloc.Rejected []) (fun () ->
+        Alloc.allocate ~exclusive model ~vms ~requests)
+  with
   | Alloc.Rejected findings ->
-    { products = []; alloc_findings = findings; partition_findings = []; delta_orders = [] }
+    finish ~products:[] ~alloc_findings:findings ~partition_findings:[] ~delta_orders:[]
   | Alloc.Allocated { vms = completed; platform } ->
+    let build ~name ~features =
+      guarded ~solver ~errors ~what:("product " ^ name)
+        ~fallback:{ name; features; tree = core; findings = [] }
+        (fun () -> build_product ~solver ~core ~deltas ~schemas_for ~name ~features)
+    in
     let vm_products =
       List.map
         (fun (vm, features) ->
           let name = Printf.sprintf "vm%d" vm in
-          build_product ~solver ~core ~deltas ~schemas_for ~name ~features)
+          build ~name ~features)
         completed
     in
-    let platform_product =
-      build_product ~solver ~core ~deltas ~schemas_for ~name:"platform" ~features:platform
-    in
+    let platform_product = build ~name:"platform" ~features:platform in
     let delta_orders =
       List.map
         (fun p -> (p.name, Delta.Apply.order ~selected:p.features deltas))
         (vm_products @ [ platform_product ])
     in
     let partition_findings =
-      Partition.check ~solver ~platform:platform_product.tree
-        (List.map (fun p -> (p.name, p.tree)) vm_products)
+      guarded ~solver ~errors ~what:"partition check" ~fallback:[] (fun () ->
+          Partition.check ~solver ~platform:platform_product.tree
+            (List.map (fun p -> (p.name, p.tree)) vm_products))
     in
-    {
-      products = vm_products @ [ platform_product ];
-      alloc_findings = [];
-      partition_findings;
-      delta_orders;
-    }
+    finish
+      ~products:(vm_products @ [ platform_product ])
+      ~alloc_findings:[] ~partition_findings ~delta_orders
 
 let pp_outcome ppf outcome =
   List.iter
@@ -107,4 +143,5 @@ let pp_outcome ppf outcome =
    | [] -> ()
    | fs ->
      Fmt.pf ppf "cross-VM partitioning:@.";
-     List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs)
+     List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs);
+  List.iter (fun d -> Fmt.pf ppf "%a@." Diag.pp d) outcome.errors

@@ -14,19 +14,30 @@ type outcome = {
   alloc_findings : Report.finding list;
   partition_findings : Report.finding list; (** cross-VM checks *)
   delta_orders : (string * string list) list; (** product -> application order *)
+  errors : Diag.t list;
+      (** Per-phase failures (bad product, broken schema, ...) that were
+          isolated so the rest of the run could proceed; empty on a fully
+          healthy run. *)
 }
 
-(** All checks clean (warnings allowed)? *)
+(** All checks clean (warnings allowed) and no isolated phase errors? *)
 val ok : outcome -> bool
 
-(** [run ?exclusive ~model ~core ~deltas ~schemas_for ~vm_requests ()].
+(** [run ?exclusive ?budget ~model ~core ~deltas ~schemas_for ~vm_requests ()].
     [vm_requests] lists each VM's (possibly partial) feature selection; the
     alloc checker completes them, and the platform product is the union of
     the completed VM products.  [schemas_for] supplies the binding schemas
     for a generated tree (letting stride-dependent rules follow the tree's
-    cell context). *)
+    cell context).
+
+    [budget] bounds every solver query of the run (see
+    [Sat.Solver.budget]); exhausted queries surface as "inconclusive"
+    warnings rather than hanging.  An error in one phase (e.g. one corrupt
+    product) is converted to a diagnostic in [outcome.errors] and the
+    remaining products are still checked. *)
 val run :
   ?exclusive:string list ->
+  ?budget:Sat.Solver.budget ->
   model:Featuremodel.Model.t ->
   core:Devicetree.Tree.t ->
   deltas:Delta.Lang.t list ->

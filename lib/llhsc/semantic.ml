@@ -81,8 +81,9 @@ let pair_overlap solver a b =
   Solver.assert_ solver (Term.eq x (Term.bv ~width:64 pin));
   let result =
     match Solver.check solver with
-    | Solver.Sat -> Some (Solver.get_bv solver x)
-    | Solver.Unsat _ -> None
+    | Solver.Sat -> `Overlap (Solver.get_bv solver x)
+    | Solver.Unsat _ -> `Disjoint
+    | Solver.Unknown -> `Inconclusive
   in
   Solver.pop solver;
   result
@@ -153,12 +154,18 @@ let check_memory ?solver ?(strategy = `Sweep) tree =
         else (b, a)
       in
       match pair_overlap solver a b with
-      | None -> None
-      | Some witness ->
+      | `Disjoint -> None
+      | `Overlap witness ->
         Some
           (Report.finding ~checker:"semantic" ~node_path:a.owner ~loc:a.loc
              "memory regions collide: %s %a overlaps %s %a at address 0x%Lx" a.owner
-             Addr.pp_region a.region b.owner Addr.pp_region b.region witness))
+             Addr.pp_region a.region b.owner Addr.pp_region b.region witness)
+      | `Inconclusive ->
+        Some
+          (Report.finding ~severity:Report.Warning ~checker:"semantic"
+             ~node_path:a.owner ~loc:a.loc
+             "inconclusive: solver budget exhausted while checking %s %a against %s %a"
+             a.owner Addr.pp_region a.region b.owner Addr.pp_region b.region))
     pairs
 
 (* --- interrupts ----------------------------------------------------------------- *)
@@ -214,6 +221,15 @@ let check_interrupts ?solver tree =
           let findings =
             match Solver.check solver with
             | Solver.Sat -> []
+            | Solver.Unknown ->
+              let s = snd (List.hd keyed) in
+              [ Report.finding ~severity:Report.Warning ~checker:"semantic"
+                  ~node_path:s.Devicetree.Interrupts.device
+                  ~loc:s.Devicetree.Interrupts.loc
+                  "inconclusive: solver budget exhausted while checking interrupt \
+                   uniqueness on controller %s"
+                  controller
+              ]
             | Solver.Unsat core ->
               let offenders =
                 List.filter_map

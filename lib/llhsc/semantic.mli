@@ -25,10 +25,15 @@ val collect_regions : Devicetree.Tree.t -> region_at list
     Region ends are computed on constants with explicit wrap handling. *)
 val contains : x:Smt.Term.t -> Devicetree.Addresses.region -> Smt.Term.t
 
-(** Does this pair of regions intersect?  Returns the witness address
-    (pinned to [max base_a base_b]) when they do.  Runs in its own solver
-    scope, so one incremental solver serves many queries. *)
-val pair_overlap : Smt.Solver.t -> region_at -> region_at -> int64 option
+(** Does this pair of regions intersect?  [`Overlap w] carries the witness
+    address (pinned to [max base_a base_b]); [`Inconclusive] means the
+    solver's resource budget ran out before a verdict.  Runs in its own
+    solver scope, so one incremental solver serves many queries. *)
+val pair_overlap :
+  Smt.Solver.t ->
+  region_at ->
+  region_at ->
+  [ `Overlap of int64 | `Disjoint | `Inconclusive ]
 
 (** Memory consistency of a whole tree (formula (7)); one finding per
     colliding pair.  [solver] defaults to a fresh instance.  [strategy]

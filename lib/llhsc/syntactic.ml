@@ -34,11 +34,17 @@ let check ?solver ~schemas ?(product = "") tree =
       List.concat_map
         (fun schema ->
           match Schema.Compile.check_node solver ~schema ~path:(prefix path) node with
-          | [] -> []
-          | core ->
+          | `Valid -> []
+          | `Invalid core ->
             [ Report.finding ~checker:"syntactic" ~node_path:path ~loc:node.T.loc ~core
                 "node violates schema %s: %s" schema.Schema.Binding.id
                 (String.concat "; " (summarize_core core))
+            ]
+          | `Inconclusive ->
+            [ Report.finding ~severity:Report.Warning ~checker:"syntactic"
+                ~node_path:path ~loc:node.T.loc
+                "inconclusive: solver budget exhausted while checking schema %s"
+                schema.Schema.Binding.id
             ])
         applicable)
     (Schema.Binding.applicable schemas tree)

@@ -21,7 +21,17 @@ type clause = {
 
 let dummy_clause = { lits = [||]; learnt = false; activity = 0.; lbd = 0; dead = false }
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
+
+type budget = {
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_propagations : int option;
+  time_limit : float option; (* wall-clock seconds for this call *)
+}
+
+let budget ?max_conflicts ?max_decisions ?max_propagations ?time_limit () =
+  { max_conflicts; max_decisions; max_propagations; time_limit }
 
 type t = {
   mutable ok : bool;
@@ -50,6 +60,12 @@ type t = {
   mutable n_propagations : int;
   mutable n_restarts : int;
   mutable max_learnts : float;
+  (* resource limits for the current [solve] call (absolute, against the
+     cumulative counters above); [max_int] / [infinity] = unlimited *)
+  mutable lim_conflicts : int;
+  mutable lim_decisions : int;
+  mutable lim_propagations : int;
+  mutable lim_deadline : float;
 }
 
 let var_decay = 1. /. 0.95
@@ -84,6 +100,10 @@ let create () =
         n_propagations = 0;
         n_restarts = 0;
         max_learnts = 0.;
+        lim_conflicts = max_int;
+        lim_decisions = max_int;
+        lim_propagations = max_int;
+        lim_deadline = infinity;
       }
   in
   Lazy.force t
@@ -482,10 +502,20 @@ let pick_branch_var t =
 
 exception Found_result of result
 
+(* The deadline is only consulted when one was set: [Unix.gettimeofday] per
+   loop iteration is cheap (vDSO) but not free, and most calls run
+   unbudgeted. *)
+let budget_exhausted t =
+  t.n_conflicts >= t.lim_conflicts
+  || t.n_decisions >= t.lim_decisions
+  || t.n_propagations >= t.lim_propagations
+  || (t.lim_deadline < infinity && Unix.gettimeofday () > t.lim_deadline)
+
 let search t ~nof_conflicts =
   let conflicts = ref 0 in
   try
     while true do
+      if budget_exhausted t then raise (Found_result Unknown);
       match propagate t with
       | Some confl ->
         t.n_conflicts <- t.n_conflicts + 1;
@@ -550,12 +580,32 @@ let search t ~nof_conflicts =
   | Exit -> None
   | Found_result r -> Some r
 
-let solve ?(assumptions = []) t =
+let set_budget_limits t = function
+  | None ->
+    t.lim_conflicts <- max_int;
+    t.lim_decisions <- max_int;
+    t.lim_propagations <- max_int;
+    t.lim_deadline <- infinity
+  | Some b ->
+    let abs base = function Some n -> base + max 0 n | None -> max_int in
+    t.lim_conflicts <- abs t.n_conflicts b.max_conflicts;
+    t.lim_decisions <- abs t.n_decisions b.max_decisions;
+    t.lim_propagations <- abs t.n_propagations b.max_propagations;
+    t.lim_deadline <-
+      (match b.time_limit with
+       (* A non-positive limit is already expired; [neg_infinity] makes that
+          deterministic rather than racing the clock's resolution. *)
+       | Some s when s <= 0. -> neg_infinity
+       | Some s -> Unix.gettimeofday () +. s
+       | None -> infinity)
+
+let solve ?(assumptions = []) ?budget t =
   if not t.ok then begin
     t.core <- [];
     Unsat
   end
   else begin
+    set_budget_limits t budget;
     t.assumptions <- Array.of_list assumptions;
     t.max_learnts <- max 1000. (float_of_int (Vec.size t.clauses) *. 0.3);
     let rec loop restarts =
@@ -567,6 +617,14 @@ let solve ?(assumptions = []) t =
     let r = loop 0 in
     cancel_until t 0;
     t.assumptions <- [||];
+    set_budget_limits t None;
+    (* An [Unknown] answer proves nothing: scrub the model and core so a
+       caller cannot accidentally read state left over from an earlier
+       [Sat]/[Unsat] call. *)
+    if r = Unknown then begin
+      t.model <- [||];
+      t.core <- []
+    end;
     r
   end
 

@@ -11,8 +11,31 @@ type t
 
 (** Result of a [solve] call. *)
 type result =
-  | Sat   (** a model is available via {!value} / {!model} *)
-  | Unsat (** an assumption core is available via {!unsat_core} *)
+  | Sat     (** a model is available via {!value} / {!model} *)
+  | Unsat   (** an assumption core is available via {!unsat_core} *)
+  | Unknown
+      (** the resource {!budget} was exhausted before a verdict; no model
+          and no core are available (both are scrubbed — see {!model} and
+          {!unsat_core}) *)
+
+(** Resource limits for a single [solve] call.  Counters are relative to
+    the call (not the solver's lifetime totals); [time_limit] is a
+    wall-clock deadline in seconds.  A field left [None] is unlimited. *)
+type budget = {
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_propagations : int option;
+  time_limit : float option;
+}
+
+(** Budget constructor; omitted fields are unlimited. *)
+val budget :
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  ?max_propagations:int ->
+  ?time_limit:float ->
+  unit ->
+  budget
 
 val create : unit -> t
 
@@ -33,11 +56,15 @@ val num_conflicts : t -> int
     (at decision level 0).  Variables must have been allocated. *)
 val add_clause : t -> Lit.t list -> bool
 
-(** [solve ?assumptions t] decides satisfiability of the current clause set
-    under the given assumption literals. *)
-val solve : ?assumptions:Lit.t list -> t -> result
+(** [solve ?assumptions ?budget t] decides satisfiability of the current
+    clause set under the given assumption literals.  With a [budget], the
+    search is abandoned once any cap is hit and [Unknown] is returned; the
+    solver remains usable (all learnt clauses are kept, and a later
+    unbudgeted call can complete the search). *)
+val solve : ?assumptions:Lit.t list -> ?budget:budget -> t -> result
 
-(** Value of a variable in the most recent [Sat] model. *)
+(** Value of a variable in the most recent [Sat] model.  After an
+    [Unknown] answer there is no model and this returns [false]. *)
 val value : t -> int -> bool
 
 (** Value of a literal in the most recent [Sat] model. *)
@@ -47,7 +74,9 @@ val lit_value : t -> Lit.t -> bool
 val model : t -> bool array
 
 (** Subset of the assumptions sufficient for the last [Unsat] answer,
-    in no particular order. *)
+    in no particular order.  After an [Unknown] answer the core is empty:
+    a budget-exhausted call never exposes a stale core from a previous
+    [solve]. *)
 val unsat_core : t -> Lit.t list
 
 (** [set_polarity t v b] sets the initial phase of variable [v]. *)

@@ -261,8 +261,10 @@ let check_node solver ~schema ~path node =
   compile_node solver ~schema ~path node;
   let result =
     match Solver.check solver with
-    | Solver.Sat -> []
-    | Solver.Unsat core -> (match core with [] -> [ "unsat:no-core" ] | _ -> core)
+    | Solver.Sat -> `Valid
+    | Solver.Unsat core ->
+      `Invalid (match core with [] -> [ "unsat:no-core" ] | _ -> core)
+    | Solver.Unknown -> `Inconclusive
   in
   Solver.pop solver;
   result
@@ -284,7 +286,11 @@ let check_tree solver ~schemas tree =
     (fun (path, node, applicable) ->
       let failures =
         List.concat_map
-          (fun schema -> check_node solver ~schema ~path node)
+          (fun schema ->
+            match check_node solver ~schema ~path node with
+            | `Valid -> []
+            | `Invalid core -> core
+            | `Inconclusive -> [ "inconclusive:budget-exhausted" ])
           applicable
       in
       match failures with [] -> None | _ -> Some (path, failures))

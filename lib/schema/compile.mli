@@ -15,10 +15,16 @@ val rule : schema_id:string -> path:string -> string -> string -> string
 val compile_node :
   Smt.Solver.t -> schema:Binding.t -> path:string -> Devicetree.Tree.t -> unit
 
-(** Check one node in a fresh scope; returns the core rule names on failure
-    (empty list = the node satisfies the schema). *)
+(** Check one node in a fresh scope.  [`Invalid core] carries the core rule
+    names of the violation; [`Inconclusive] means the solver's resource
+    budget ran out before a verdict (only possible when a budget is
+    installed on the solver). *)
 val check_node :
-  Smt.Solver.t -> schema:Binding.t -> path:string -> Devicetree.Tree.t -> string list
+  Smt.Solver.t ->
+  schema:Binding.t ->
+  path:string ->
+  Devicetree.Tree.t ->
+  [ `Valid | `Invalid of string list | `Inconclusive ]
 
 (** Compile every applicable node/schema pair into the solver at the
     current scope without checking — for exporting the constraint problem
@@ -26,6 +32,8 @@ val check_node :
 val compile_tree : Smt.Solver.t -> schemas:Binding.t list -> Devicetree.Tree.t -> unit
 
 (** Check a whole tree against a schema set, incrementally on one solver
-    instance; returns (path, core) for each failing node. *)
+    instance; returns (path, core) for each failing node.  Inconclusive
+    (budget-exhausted) nodes report the pseudo-core
+    ["inconclusive:budget-exhausted"]. *)
 val check_tree :
   Smt.Solver.t -> schemas:Binding.t list -> Devicetree.Tree.t -> (string * string list) list

@@ -3,6 +3,7 @@ module L = Sat.Lit
 type answer =
   | Sat
   | Unsat of string list
+  | Unknown
 
 exception Error of string
 
@@ -22,6 +23,7 @@ type t = {
   mutable named : (string * L.t) list; (* live named assertions *)
   mutable assertions : (string option * Term.t) list; (* newest first *)
   mutable last_sat : bool;
+  mutable budget : Sat.Solver.budget option; (* default for every [check] *)
 }
 
 let enum_sorts t name =
@@ -50,6 +52,7 @@ let create () =
          named = [];
          assertions = [];
          last_sat = false;
+         budget = None;
        })
   in
   Lazy.force t
@@ -118,14 +121,17 @@ let pop t =
 
 let num_scopes t = List.length t.scopes
 
-let check ?(assumptions = []) t =
+let set_budget t budget = t.budget <- budget
+
+let check ?(assumptions = []) ?budget t =
+  let budget = match budget with Some _ as b -> b | None -> t.budget in
   let extra = List.map (fun term -> (term, blast_checked t term)) assumptions in
   let lits =
     List.map (fun s -> s.act) t.scopes
     @ List.map snd t.named
     @ List.map snd extra
   in
-  match Sat.Solver.solve ~assumptions:lits t.sat with
+  match Sat.Solver.solve ~assumptions:lits ?budget t.sat with
   | Sat.Solver.Sat ->
     t.last_sat <- true;
     Sat
@@ -138,6 +144,9 @@ let check ?(assumptions = []) t =
         t.named
     in
     Unsat names
+  | Sat.Solver.Unknown ->
+    t.last_sat <- false;
+    Unknown
 
 let forall_enum t ~sort f =
   Term.and_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
@@ -220,7 +229,7 @@ let minimize ?(assumptions = []) t term =
     | exception Term.Sort_error msg -> error "%s" msg
   in
   match check ~assumptions t with
-  | Unsat _ -> None
+  | Unsat _ | Unknown -> None
   | Sat ->
     (* Unsigned binary search: [lo] is a proven lower bound, [hi] is
        achievable; every probe either tightens [hi] to a model value or
@@ -232,7 +241,9 @@ let minimize ?(assumptions = []) t term =
       assert_ t (Term.ule term (Term.bv ~width mid));
       (match check ~assumptions t with
        | Sat -> hi := get_bv t term
-       | Unsat _ -> lo := Int64.add mid 1L);
+       | Unsat _ -> lo := Int64.add mid 1L
+       (* budget exhausted: stop the descent, keep the best model value *)
+       | Unknown -> lo := !hi);
       pop t
     done;
     Some !hi

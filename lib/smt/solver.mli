@@ -9,10 +9,14 @@
 type t
 
 (** Answer of {!check}.  On [Unsat], the core lists the names of the named
-    assertions (see {!assert_named}) that participate in the conflict. *)
+    assertions (see {!assert_named}) that participate in the conflict.
+    [Unknown] means the solver's resource budget (see {!set_budget} and the
+    [?budget] argument of {!check}) ran out before a verdict: the query is
+    inconclusive, and no model or core is available. *)
 type answer =
   | Sat
   | Unsat of string list
+  | Unknown
 
 exception Error of string
 
@@ -43,8 +47,15 @@ val pop : t -> unit
 val num_scopes : t -> int
 
 (** Decide satisfiability of all live assertions, plus optional extra
-    assumptions for this call only. *)
-val check : ?assumptions:Term.t list -> t -> answer
+    assumptions for this call only.  [?budget] overrides the solver-level
+    default budget (see {!set_budget}) for this call. *)
+val check : ?assumptions:Term.t list -> ?budget:Sat.Solver.budget -> t -> answer
+
+(** Install a default resource budget applied to every subsequent {!check}
+    (and the checks done by {!minimize}); [None] removes it.  With a budget
+    in place, long-running queries degrade to [Unknown] instead of
+    hanging. *)
+val set_budget : t -> Sat.Solver.budget option -> unit
 
 (** {1 Quantifier expansion over finite sorts} *)
 
@@ -70,8 +81,11 @@ val get_enum : t -> Term.t -> string
 (** {1 Optimization} *)
 
 (** Smallest value of a bit-vector term consistent with the live assertions
-    (and the optional extra assumptions); [None] when unsatisfiable.
-    Implemented by descent over incremental check-sat probes. *)
+    (and the optional extra assumptions); [None] when unsatisfiable or when
+    the very first budgeted probe is inconclusive.  Under a budget the
+    result is best-effort: an [Unknown] probe mid-descent stops early and
+    the smallest model value seen so far is returned.  Implemented by
+    descent over incremental check-sat probes. *)
 val minimize : ?assumptions:Term.t list -> t -> Term.t -> int64 option
 
 (** {1 Introspection} *)

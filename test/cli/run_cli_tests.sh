@@ -135,6 +135,42 @@ echo "/ { broken" > "$TMP/broken.dts"
 if "$LLHSC" check "$TMP/broken.dts" 2> "$TMP/err.out"; then
   fail "broken DTS should fail"
 fi
-grep -q "error:" "$TMP/err.out" || fail "expected error message"
+grep -q "error\[DT-" "$TMP/err.out" || fail "expected structured error message"
+
+echo "# parse error recovery reports every error in one run"
+cat > "$TMP/multi.dts" <<'EOF'
+/dts-v1/;
+/ {
+    compatible = "acme,board"
+    #address-cells = <1>;
+    #size-cells = ;
+    memory@0 { device_type = "memory"; reg = <0x0 0x10000>; };
+    chosen { bootargs = 42; };
+};
+EOF
+set +e
+"$LLHSC" check "$TMP/multi.dts" 2> "$TMP/multi.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "multi-error check should exit 2 (got $rc)"
+[ "$(grep -c 'error\[DT-PARSE\]' "$TMP/multi.err")" -eq 3 ] \
+  || fail "expected exactly 3 parse errors, got: $(cat "$TMP/multi.err")"
+
+echo "# missing input file is a structured IO error, exit 2"
+set +e
+"$LLHSC" check "$TMP/does-not-exist.dts" 2> "$TMP/missing.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "missing file should exit 2 (got $rc)"
+grep -q "error\[IO\]" "$TMP/missing.err" || fail "expected error[IO] diagnostic"
+
+echo "# solver budget: pipeline stays green with a generous budget"
+"$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+  --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \
+  --vm "memory,cpu@0,uart@20000000,uart@30000000,veth0" \
+  --vm "memory,cpu@1,uart@20000000,uart@30000000,veth1" \
+  --exclusive cpus --max-conflicts 100000 --solver-timeout 60 \
+  > "$TMP/budget.out" || fail "budgeted pipeline should pass"
+grep -q "all checks passed" "$TMP/budget.out" || fail "budgeted pipeline checks"
 
 echo "all CLI tests passed"

@@ -1,0 +1,206 @@
+(* Fault-injection harness: mutate every kind of input file llhsc consumes
+   (DTS, includes, deltas, feature models, project YAML, binding schemas)
+   and assert the CLI's crash contract on each mutant:
+
+     - exit code is 0 (clean), 1 (findings) or 2 (input error) — never
+       cmdliner's 124/125, never a signal;
+     - stderr carries structured diagnostics, not an OCaml backtrace.
+
+   Runs ~200 mutants from a fixed seed, so failures reproduce exactly.
+   Usage: fault_inject.exe LLHSC_BINARY FIXTURES_DIR *)
+
+(* --- deterministic PRNG (xorshift64*, fixed seed) --------------------------- *)
+
+let rng = ref 0x9E3779B97F4A7C15L
+
+let rand_bits () =
+  let x = !rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  rng := x;
+  Int64.to_int (Int64.shift_right_logical x 2)
+
+let rand_int n = if n <= 0 then 0 else rand_bits () mod n
+
+(* --- small file helpers ------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let rec copy_dir src dst =
+  if not (Sys.file_exists dst) then Unix.mkdir dst 0o755;
+  Array.iter
+    (fun name ->
+      let s = Filename.concat src name and d = Filename.concat dst name in
+      if Sys.is_directory s then copy_dir s d else write_file d (read_file s))
+    (Sys.readdir src)
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> remove_tree (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* --- mutators ---------------------------------------------------------------- *)
+
+let structural = "{};=<>&,\"[]:-"
+
+let mutate_truncate s =
+  if s = "" then s else String.sub s 0 (rand_int (String.length s))
+
+let mutate_flip_byte s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = rand_int (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl rand_int 8)));
+    Bytes.to_string b
+  end
+
+let mutate_insert_structural s =
+  let i = rand_int (String.length s + 1) in
+  let c = structural.[rand_int (String.length structural)] in
+  String.sub s 0 i ^ String.make 1 c ^ String.sub s i (String.length s - i)
+
+let mutate_delete_structural s =
+  let idxs = ref [] in
+  String.iteri (fun i c -> if String.contains structural c then idxs := i :: !idxs) s;
+  match !idxs with
+  | [] -> mutate_truncate s
+  | idxs ->
+    let idxs = Array.of_list idxs in
+    let i = idxs.(rand_int (Array.length idxs)) in
+    String.sub s 0 i ^ String.sub s (i + 1) (String.length s - i - 1)
+
+let on_lines f s =
+  let lines = String.split_on_char '\n' s in
+  String.concat "\n" (f (Array.of_list lines))
+
+let mutate_delete_line s =
+  on_lines
+    (fun lines ->
+      if Array.length lines <= 1 then Array.to_list lines
+      else
+        let k = rand_int (Array.length lines) in
+        List.filteri (fun i _ -> i <> k) (Array.to_list lines))
+    s
+
+let mutate_duplicate_line s =
+  on_lines
+    (fun lines ->
+      if Array.length lines = 0 then []
+      else
+        let k = rand_int (Array.length lines) in
+        List.concat_map
+          (fun (i, l) -> if i = k then [ l; l ] else [ l ])
+          (List.mapi (fun i l -> (i, l)) (Array.to_list lines)))
+    s
+
+let mutate_garbage s =
+  let junk = [ "\x00\x01\xff"; "}}}}"; "/*"; "= <0x"; "\"";
+               "/include/ \"missing.dtsi\";"; "4294967296999999999" ] in
+  let g = List.nth junk (rand_int (List.length junk)) in
+  let i = rand_int (String.length s + 1) in
+  String.sub s 0 i ^ g ^ String.sub s i (String.length s - i)
+
+let mutate_empty _ = ""
+
+let mutators =
+  [| mutate_truncate; mutate_flip_byte; mutate_insert_structural;
+     mutate_delete_structural; mutate_delete_line; mutate_duplicate_line;
+     mutate_garbage; mutate_empty
+  |]
+
+let mutate s = mutators.(rand_int (Array.length mutators)) s
+
+(* --- running the CLI ---------------------------------------------------------- *)
+
+(* Run [argv], devnull stdin/stdout, stderr to a file; return (status, stderr). *)
+let run_cli binary args ~stderr_file =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let err = Unix.openfile stderr_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process binary (Array.of_list (binary :: args)) devnull devnull err
+  in
+  Unix.close devnull;
+  Unix.close err;
+  let _, status = Unix.waitpid [] pid in
+  (status, read_file stderr_file)
+
+(* --- targets ------------------------------------------------------------------- *)
+
+(* (file to mutate, CLI invocation given the sandbox dir) *)
+let targets dir =
+  let p f = Filename.concat dir f in
+  [
+    ("custom-sbc.dts", [ "check"; p "custom-sbc.dts"; "--schemas"; p "schemas" ]);
+    ("cpus.dtsi", [ "check"; p "custom-sbc.dts"; "--schemas"; p "schemas" ]);
+    ("custom-sbc.deltas",
+     [ "analyze"; "--deltas"; p "custom-sbc.deltas"; "--model"; p "custom-sbc.fm" ]);
+    ("custom-sbc.fm", [ "products"; p "custom-sbc.fm" ]);
+    ("custom-sbc.proj.yaml", [ "build"; p "custom-sbc.proj.yaml" ]);
+    ("schemas/memory.yaml", [ "check"; p "custom-sbc.dts"; "--schemas"; p "schemas" ]);
+    ("schemas/cpu.yaml", [ "check"; p "custom-sbc.dts"; "--schemas"; p "schemas" ]);
+    ("custom-sbc.dts", [ "dtb"; p "custom-sbc.dts"; "-o"; p "out.dtb" ]);
+    ("custom-sbc.dts",
+     [ "generate"; "--core"; p "custom-sbc.dts"; "--deltas"; p "custom-sbc.deltas";
+       "-f"; "memory,cpu@0"; "-o"; p "gen.dts" ]);
+    ("custom-sbc.fm", [ "configure"; p "custom-sbc.fm"; "-d"; "veth0" ]);
+  ]
+
+let () =
+  let binary, fixtures =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+      prerr_endline "usage: fault_inject.exe LLHSC_BINARY FIXTURES_DIR";
+      exit 2
+  in
+  let rounds = 20 in (* x 10 targets = 200 mutants *)
+  let failures = ref 0 in
+  let total = ref 0 in
+  let sandbox = Filename.concat (Filename.get_temp_dir_name ()) "llhsc-fault" in
+  for round = 1 to rounds do
+    List.iter
+      (fun (victim, args) ->
+        incr total;
+        if Sys.file_exists sandbox then remove_tree sandbox;
+        copy_dir fixtures sandbox;
+        let victim_path = Filename.concat sandbox victim in
+        write_file victim_path (mutate (read_file victim_path));
+        let stderr_file = Filename.concat sandbox "stderr.txt" in
+        let status, err = run_cli binary args ~stderr_file in
+        let bad reason =
+          incr failures;
+          Printf.printf "FAIL (round %d, %s): %s\n  argv: %s\n  stderr: %s\n" round
+            victim reason (String.concat " " args)
+            (if err = "" then "(empty)" else String.trim err)
+        in
+        (match status with
+         | Unix.WEXITED (0 | 1 | 2) -> ()
+         | Unix.WEXITED n -> bad (Printf.sprintf "exit code %d" n)
+         | Unix.WSIGNALED s -> bad (Printf.sprintf "killed by signal %d" s)
+         | Unix.WSTOPPED s -> bad (Printf.sprintf "stopped by signal %d" s));
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          nn > 0 && go 0
+        in
+        if contains err "Fatal error" || contains err "Raised at" || contains err "Raised by"
+        then bad "uncaught OCaml exception on stderr")
+      (targets sandbox)
+  done;
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  Printf.printf "fault injection: %d mutants, %d contract violations\n" !total !failures;
+  if !failures > 0 then exit 1

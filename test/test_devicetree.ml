@@ -205,6 +205,57 @@ let test_parse_errors () =
   expect_error "/ { \"unterminated };";
   expect_error "&nolabel { x = <1>; };"
 
+(* --- parser error recovery -------------------------------------------------------- *)
+
+let test_parse_partial_collects_all_errors () =
+  (* Three independent entry-level errors: recovery must report each one
+     and still parse the healthy entries around them. *)
+  let src =
+    "/dts-v1/;\n\
+     / {\n\
+     \tcompatible = \"acme,board\"\n\
+     \t#address-cells = <1>;\n\
+     \t#size-cells = ;\n\
+     \tmemory@0 { device_type = \"memory\"; reg = <0x0 0x10000>; };\n\
+     \tchosen { bootargs = 42; };\n\
+     };\n"
+  in
+  let ast, errs = Devicetree.Parser.parse_partial ~file:"multi.dts" src in
+  Alcotest.(check int) "three errors" 3 (List.length errs);
+  let lines = List.map (fun (_, l) -> l.Devicetree.Loc.line) errs in
+  Alcotest.(check (list int)) "error lines in source order" [ 4; 5; 7 ] lines;
+  (* The healthy memory node survives in the partial AST. *)
+  let t = T.of_ast ast in
+  check_bool "memory node parsed" true (T.find t "/memory@0" <> None)
+
+let test_parse_partial_clean_and_fatal () =
+  (* Clean input: same AST as the fail-fast parser, no errors. *)
+  let src = "/dts-v1/;\n/ { x = <1>; };\n" in
+  let ast, errs = Devicetree.Parser.parse_partial ~file:"ok.dts" src in
+  check_bool "no errors" true (errs = []);
+  check_bool "same ast" true (ast = Devicetree.Parser.parse ~file:"ok.dts" src);
+  (* A lexer error is not recoverable: empty AST, one diagnostic. *)
+  let ast, errs = Devicetree.Parser.parse_partial ~file:"lex.dts" "/ { \"unterminated };" in
+  check_bool "empty ast on lexer error" true (ast = []);
+  Alcotest.(check int) "one lexer error" 1 (List.length errs)
+
+let test_parse_partial_missing_brace () =
+  let _, errs = Devicetree.Parser.parse_partial ~file:"trunc.dts" "/ { x = <1>;" in
+  check_bool "truncated file reports errors" true (errs <> []);
+  (* Recovery must terminate on pathological inputs (progress guarantee). *)
+  let _, errs = Devicetree.Parser.parse_partial ~file:"junk.dts" "}}}; ;; <>& {" in
+  check_bool "junk reports errors" true (errs <> [])
+
+let test_of_source_diags () =
+  (* One syntax error and one semantic (merge) error, reported together. *)
+  let src = "/dts-v1/;\n/ { p = ; };\n&missing { q = <1>; };\n" in
+  (match T.of_source_diags ~file:"both.dts" src with
+   | Ok _ -> Alcotest.fail "expected errors"
+   | Error errs -> Alcotest.(check int) "syntax + merge errors" 2 (List.length errs));
+  match T.of_source_diags ~file:"ok.dts" "/dts-v1/;\n/ { x = <1>; };\n" with
+  | Ok t -> check_bool "clean parses" true (T.find t "/" <> None)
+  | Error _ -> Alcotest.fail "clean input must be Ok"
+
 (* --- updates --------------------------------------------------------------------- *)
 
 let test_tree_updates () =
@@ -832,6 +883,11 @@ let () =
           Alcotest.test_case "strings and bytes" `Quick test_strings_and_bytes;
           Alcotest.test_case "/bits/ widths" `Quick test_bits_directive;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "recovery collects all errors" `Quick
+            test_parse_partial_collects_all_errors;
+          Alcotest.test_case "recovery clean/fatal" `Quick test_parse_partial_clean_and_fatal;
+          Alcotest.test_case "recovery missing brace" `Quick test_parse_partial_missing_brace;
+          Alcotest.test_case "of_source_diags" `Quick test_of_source_diags;
           Alcotest.test_case "char literals and suffixes" `Quick test_char_literals_and_suffixes;
         ] );
       ( "merge",

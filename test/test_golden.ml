@@ -30,6 +30,25 @@ let check_golden ~expected actual () =
   let want = read_file (Filename.concat "golden" expected) in
   Alcotest.(check string) expected want (actual ())
 
+(* A DTS with three distinct syntax errors; parser recovery must surface
+   all of them, formatted as the CLI would print them. *)
+let multi_error_src =
+  "/dts-v1/;\n\
+   / {\n\
+   \tcompatible = \"acme,board\"\n\
+   \t#address-cells = <1>;\n\
+   \t#size-cells = ;\n\
+   \tmemory@0 { device_type = \"memory\"; reg = <0x0 0x10000>; };\n\
+   \tchosen { bootargs = 42; };\n\
+   };\n"
+
+let multi_error_report () =
+  match Devicetree.Tree.of_source_diags ~file:"broken.dts" multi_error_src with
+  | Ok _ -> "unexpected: parsed clean"
+  | Error errs ->
+    String.concat ""
+      (List.map (fun e -> Fmt.str "%a\n" Diag.pp (Diag.parse_error e)) errs)
+
 let () =
   Alcotest.run "golden"
     [
@@ -48,5 +67,7 @@ let () =
                       [ ("vm1", (product "vm1").Llhsc.Pipeline.tree);
                         ("vm2", (product "vm2").Llhsc.Pipeline.tree)
                       ])));
+          Alcotest.test_case "multi-error diagnostics" `Quick
+            (check_golden ~expected:"multi_error.expected" multi_error_report);
         ] );
     ]

@@ -260,6 +260,61 @@ let test_pipeline_syntactic_failure_reported () =
        vm1.Llhsc.Pipeline.findings)
 
 
+(* --- pipeline resilience ------------------------------------------------------------ *)
+
+let test_pipeline_isolates_corrupt_product () =
+  (* The schema supplier blows up for vm1's tree only (it is the product
+     with veth0 but not veth1); the other products must still be checked. *)
+  let schemas_for tree =
+    let has p = T.find tree p <> None in
+    if has "/vEthernet/veth0@80000000" && not (has "/vEthernet/veth1@90000000") then
+      raise (Schema.Binding.Error "simulated corrupt schema")
+    else RE.schemas_for tree
+  in
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for
+      ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ()
+  in
+  check_int "still three products" 3 (List.length outcome.Llhsc.Pipeline.products);
+  check_int "one isolated error" 1 (List.length outcome.Llhsc.Pipeline.errors);
+  let d = List.hd outcome.Llhsc.Pipeline.errors in
+  check_bool "error names product vm1" true (Test_util.contains d.Diag.message "product vm1");
+  Alcotest.(check string) "schema error code" "SCHEMA-BINDING" d.Diag.code;
+  check_bool "outcome not ok" false (Llhsc.Pipeline.ok outcome);
+  (* vm2 and the platform were still fully checked and are clean. *)
+  let vm2 = List.find (fun p -> p.Llhsc.Pipeline.name = "vm2") outcome.Llhsc.Pipeline.products in
+  let platform =
+    List.find (fun p -> p.Llhsc.Pipeline.name = "platform") outcome.Llhsc.Pipeline.products
+  in
+  check_bool "vm2 checked clean" true (vm2.Llhsc.Pipeline.findings = []);
+  check_bool "platform checked clean" true (Rep.is_clean platform.Llhsc.Pipeline.findings)
+
+let test_pipeline_budget_inconclusive () =
+  (* A zero budget makes every solver query give up; the pipeline must
+     terminate and degrade to "inconclusive" warnings, not hang or throw. *)
+  let budget =
+    Sat.Solver.budget ~max_conflicts:0 ~max_decisions:0 ~max_propagations:0 ()
+  in
+  let outcome =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~budget ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+      ~vm_requests:[ RE.vm1_features; RE.vm2_features ] ()
+  in
+  check_bool "no isolated errors" true (outcome.Llhsc.Pipeline.errors = []);
+  check_int "three products" 3 (List.length outcome.Llhsc.Pipeline.products);
+  let all_findings =
+    outcome.Llhsc.Pipeline.partition_findings
+    @ List.concat_map (fun p -> p.Llhsc.Pipeline.findings) outcome.Llhsc.Pipeline.products
+  in
+  check_bool "inconclusive warnings present" true
+    (List.exists
+       (fun f ->
+         f.Rep.severity = Rep.Warning && Test_util.contains f.Rep.message "inconclusive")
+       all_findings);
+  (* Inconclusive is a warning, not a proof: no false "collision" errors. *)
+  check_bool "no error findings under budget" true (errors all_findings = [])
+
 (* --- product-line soundness: every product of the feature model generates
    and checks clean (the "correct by construction" claim). ------------------- *)
 
@@ -550,6 +605,9 @@ let () =
           Alcotest.test_case "broken delta set" `Quick test_pipeline_catches_broken_delta_set;
           Alcotest.test_case "bad allocation" `Quick test_pipeline_rejects_bad_allocation;
           Alcotest.test_case "syntactic failure" `Quick test_pipeline_syntactic_failure_reported;
+          Alcotest.test_case "corrupt product isolated" `Quick
+            test_pipeline_isolates_corrupt_product;
+          Alcotest.test_case "budget inconclusive" `Quick test_pipeline_budget_inconclusive;
         ] );
       ( "partition",
         [

@@ -95,6 +95,61 @@ let test_pigeonhole () =
   check_sat "php(6,5) unsat" true (php 6 5 = Unsat);
   check_sat "php(5,5) sat" true (php 5 5 = Sat)
 
+(* --- resource budgets ------------------------------------------------------ *)
+
+let test_budget_unknown_on_hard_instance () =
+  (* PHP(9,8) needs far more than 100 conflicts; the budget must make the
+     solver give up with Unknown instead of running to completion. *)
+  let pigeons = 9 and holes = 8 in
+  let s = Sat.Solver.create () in
+  let var =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.Solver.new_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    ignore (Sat.Solver.add_clause s (List.init holes (fun h -> lit var.(p).(h))) : bool)
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for p' = p + 1 to pigeons - 1 do
+        ignore (Sat.Solver.add_clause s [ nlit var.(p).(h); nlit var.(p').(h) ] : bool)
+      done
+    done
+  done;
+  let budget = Sat.Solver.budget ~max_conflicts:100 () in
+  check_sat "unknown under tight budget" true (Sat.Solver.solve ~budget s = Unknown);
+  (* The same solver must remain usable: a follow-up budgetless solve on a
+     trivial extra query still terminates with a definite answer. *)
+  let x = Sat.Solver.new_var s in
+  check_sat "usable after unknown" true
+    (Sat.Solver.solve ~assumptions:[ lit x ] s <> Unknown)
+
+let test_budget_scrubs_stale_model_and_core () =
+  (* Populate a model and a core, then force Unknown: the stale artifacts
+     of earlier solves must not leak through the accessors. *)
+  let s, v = fresh_solver 3 in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  check_sat "sat populates model" true (Sat.Solver.solve s = Sat);
+  check_sat "model nonempty" true (Sat.Solver.model s <> [||]);
+  ignore (Sat.Solver.add_clause s [ nlit v.(1); nlit v.(2) ] : bool);
+  check_sat "unsat populates core" true
+    (Sat.Solver.solve ~assumptions:[ lit v.(1); lit v.(2) ] s = Unsat);
+  check_sat "core nonempty" true (Sat.Solver.unsat_core s <> []);
+  let budget = Sat.Solver.budget ~max_decisions:0 ~max_conflicts:0 () in
+  check_sat "zero budget gives unknown" true (Sat.Solver.solve ~budget s = Unknown);
+  check_sat "model scrubbed" true (Sat.Solver.model s = [||]);
+  check_sat "core scrubbed" true (Sat.Solver.unsat_core s = []);
+  (* And the budget does not stick to the solver. *)
+  check_sat "budget is per-call" true (Sat.Solver.solve s = Sat)
+
+let test_budget_time_limit () =
+  let s, v = fresh_solver 2 in
+  ignore (Sat.Solver.add_clause s [ lit v.(0); lit v.(1) ] : bool);
+  (* An already-expired deadline must yield Unknown even on an easy query. *)
+  let expired = Sat.Solver.budget ~time_limit:(-1.0) () in
+  check_sat "expired deadline" true (Sat.Solver.solve ~budget:expired s = Unknown);
+  let generous = Sat.Solver.budget ~time_limit:60.0 () in
+  check_sat "generous deadline" true (Sat.Solver.solve ~budget:generous s = Sat)
+
 (* --- assumptions and cores ----------------------------------------------- *)
 
 let test_assumptions_sat_unsat () =
@@ -256,6 +311,7 @@ let prop_assumptions_consistent =
         let assumptions = Array.to_list (Array.map Sat.Lit.of_var vars) in
         match Sat.Solver.solve ~assumptions s with
         | Sat -> true
+        | Unknown -> false (* no budget installed: Unknown is a bug *)
         | Unsat ->
           let core = Sat.Solver.unsat_core s in
           List.for_all (fun l -> List.mem l assumptions) core
@@ -361,6 +417,14 @@ let () =
           Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
           Alcotest.test_case "triangle coloring" `Quick test_three_coloring_triangle;
           Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "unknown on hard instance" `Quick
+            test_budget_unknown_on_hard_instance;
+          Alcotest.test_case "stale model/core scrubbed" `Quick
+            test_budget_scrubs_stale_model_and_core;
+          Alcotest.test_case "time limit" `Quick test_budget_time_limit;
         ] );
       ( "assumptions",
         [

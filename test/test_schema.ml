@@ -72,6 +72,37 @@ let test_yaml_errors () =
      Alcotest.fail "expected error"
    with Y.Error _ -> ())
 
+(* Malformed inputs must fail with [Error (msg, line)] carrying the right
+   1-based source line — the CLI prints it, so it has to point at the
+   offending line, not at line 0 or the line count. *)
+let yaml_error src =
+  match Y.parse src with
+  | exception Y.Error (msg, line) -> (msg, line)
+  | _ -> Alcotest.fail "expected Y.Error"
+
+let test_yaml_malformed_line_numbers () =
+  let msg, line = yaml_error "key: \"unterminated" in
+  check_bool "unterminated msg" true (msg = "unterminated quoted string");
+  check_int "unterminated line" 1 line;
+  (* Error below leading clean lines: the line number must follow. *)
+  let msg, line = yaml_error "a: 1\nb: 2\nc: 'open" in
+  check_bool "unterminated' msg" true (msg = "unterminated quoted string");
+  check_int "unterminated' line" 3 line;
+  let _, line = yaml_error "x: 1\n  bad indent: 2" in
+  check_int "bad indent line" 2 line;
+  (* Top-level content that is neither a map entry nor a list item. *)
+  let msg, line = yaml_error "a: 1\n}{ garbage" in
+  check_bool "garbage msg" true
+    (String.length msg >= 8 && String.sub msg 0 8 = "expected");
+  check_int "garbage line" 2 line
+
+let test_yaml_empty_inputs () =
+  (* Empty and comment/separator-only files parse to Null, not an error. *)
+  check_bool "empty" true (Y.parse "" = Y.Null);
+  check_bool "blank lines" true (Y.parse "\n\n" = Y.Null);
+  check_bool "comment only" true (Y.parse "# nothing here\n" = Y.Null);
+  check_bool "document separator" true (Y.parse "---\n" = Y.Null)
+
 (* --- schema model ----------------------------------------------------------------- *)
 
 (* The paper's Listing 5 schema for the memory node, with the array-stride
@@ -532,6 +563,8 @@ let () =
           Alcotest.test_case "comments" `Quick test_yaml_comments;
           Alcotest.test_case "list of maps" `Quick test_yaml_list_of_maps;
           Alcotest.test_case "errors" `Quick test_yaml_errors;
+          Alcotest.test_case "malformed line numbers" `Quick test_yaml_malformed_line_numbers;
+          Alcotest.test_case "empty inputs" `Quick test_yaml_empty_inputs;
         ] );
       ( "model",
         [
