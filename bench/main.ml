@@ -370,7 +370,15 @@ let ablation_dpll =
     Sat.Dpll.solve problem)
 
 let e14_bench =
-  Test.make ~name:"E14-quad-rv64-pipeline" (stage Llhsc.Quad_rv64.run_pipeline)
+  Test.make ~name:"E14-quad-rv64-pipeline"
+    (stage @@ fun () -> Llhsc.Quad_rv64.run_pipeline ())
+
+(* Certification column: the same workload with proof logging + independent
+   checking of every verdict.  The delta vs E14 is the certification
+   overhead reported in BENCH_certify.json. *)
+let e14_certify_bench =
+  Test.make ~name:"E14-quad-rv64-certify"
+    (stage @@ fun () -> Llhsc.Quad_rv64.run_pipeline ~certify:true ())
 
 let e13_bench =
   Test.make ~name:"E13-partition-check"
@@ -384,7 +392,8 @@ let all_tests =
   [ e1_bench; e2_bench; e3_bench; e4_bench; e5_bench; e6_bench; e7_bench;
     e7_baseline_bench; e8_bench; e9_bench ]
   @ e10_benches @ e11_benches
-  @ [ e12_incremental; e12_scratch; e13_bench; e14_bench; ablation_cdcl; ablation_dpll ]
+  @ [ e12_incremental; e12_scratch; e13_bench; e14_bench; e14_certify_bench;
+      ablation_cdcl; ablation_dpll ]
 
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -409,7 +418,63 @@ let run_benchmarks () =
         (Test.elements test))
     all_tests
 
+(* ------------------------------------------------------------------ *)
+(* Certification overhead measurement (BENCH_certify.json)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Median wall-clock of [runs] executions of [f]. *)
+let median_ms ~runs f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  match List.sort compare samples with
+  | s -> List.nth s (runs / 2)
+
+let write_certify_json path =
+  let runs = 11 in
+  let plain_ms = median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ()) in
+  let certify_ms =
+    median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ~certify:true ())
+  in
+  let outcome = Llhsc.Quad_rv64.run_pipeline ~certify:true () in
+  let queries, steps, check_ms, failures =
+    match outcome.Llhsc.Pipeline.cert with
+    | None -> (0, 0, 0., 0)
+    | Some r ->
+      ( List.length r.Smt.Solver.certs,
+        List.fold_left (fun a c -> a + c.Smt.Solver.steps) 0 r.Smt.Solver.certs,
+        1000. *. List.fold_left (fun a c -> a +. c.Smt.Solver.time) 0. r.Smt.Solver.certs,
+        List.length r.Smt.Solver.failures )
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "workload": "quad_rv64 pipeline (3 VMs + platform)",
+  "runs": %d,
+  "plain_ms": %.3f,
+  "certify_ms": %.3f,
+  "overhead_pct": %.1f,
+  "certified_queries": %d,
+  "trace_steps_total": %d,
+  "checker_ms": %.3f,
+  "failures": %d
+}
+|}
+    runs plain_ms certify_ms
+    (100. *. ((certify_ms /. plain_ms) -. 1.))
+    queries steps check_ms failures;
+  close_out oc;
+  Fmt.pr "wrote %s (plain %.2f ms, certify %.2f ms, %d queries, %d steps)@." path
+    plain_ms certify_ms queries steps
+
 let () =
-  let report_only = Array.length Sys.argv > 1 && Sys.argv.(1) = "report" in
-  report ();
-  if not report_only then run_benchmarks ()
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  match arg with
+  | "certify" -> write_certify_json "BENCH_certify.json"
+  | "report" -> report ()
+  | _ ->
+    report ();
+    run_benchmarks ()

@@ -69,19 +69,35 @@ let handle_errors f =
 
 (* --- check ----------------------------------------------------------------------- *)
 
-let cmd_check dts_path schema_dir semantic_only syntactic_only =
+(* Print certification failures as error[CERT] diagnostics.  They count as
+   findings (exit 1), not input errors (exit 2): the inputs were fine, but a
+   solver verdict could not be independently validated, so the run must not
+   look clean. *)
+let print_cert_failures (r : Smt.Solver.cert_report) =
+  List.iter
+    (fun msg -> Fmt.epr "%a@." Diag.pp (Diag.make ~code:"CERT" "%s" msg))
+    r.Smt.Solver.failures
+
+let cmd_check dts_path schema_dir semantic_only syntactic_only certify =
   handle_errors @@ fun () ->
   let tree = load_tree dts_path in
   let schemas = load_schemas schema_dir in
+  let solver = Smt.Solver.create ~certify () in
   let syntactic =
     if semantic_only || schemas = [] then []
-    else Llhsc.Syntactic.check ~schemas tree
+    else Llhsc.Syntactic.check ~solver ~schemas tree
   in
-  let semantic = if syntactic_only then [] else Llhsc.Semantic.check tree in
+  let semantic = if syntactic_only then [] else Llhsc.Semantic.check ~solver tree in
   let findings = syntactic @ semantic in
   if findings = [] then Fmt.pr "%s: all checks passed@." dts_path
   else print_findings findings;
-  exit_of_findings findings
+  if certify then begin
+    let r = Smt.Solver.cert_report solver in
+    Fmt.pr "%a@." Llhsc.Report.pp_cert r;
+    print_cert_failures r;
+    if r.Smt.Solver.failures <> [] then 1 else exit_of_findings findings
+  end
+  else exit_of_findings findings
 
 (* --- products -------------------------------------------------------------------- *)
 
@@ -208,7 +224,7 @@ let budget_of max_conflicts timeout =
   | _ -> Some (Sat.Solver.budget ?max_conflicts ?time_limit:timeout ())
 
 let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
-    max_conflicts timeout =
+    max_conflicts timeout certify =
   handle_errors @@ fun () ->
   let core = load_tree core_path in
   let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
@@ -216,8 +232,8 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
   let schemas = load_schemas schema_dir in
   let schemas_for _tree = schemas in
   let outcome =
-    Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~model ~core
-      ~deltas ~schemas_for ~vm_requests:vm_features ()
+    Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~certify
+      ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
   in
   Fmt.pr "%a" Llhsc.Pipeline.pp_outcome outcome;
   (match out_dir with
@@ -425,6 +441,64 @@ let cmd_smt2 dts_path schema_dir output =
    | None -> print_string dump);
   0
 
+(* --- sat -------------------------------------------------------------------------- *)
+
+(* "drop-lit:3" -> Drop_learnt_literal 3, etc.  A bad spec is an input error
+   (failwith -> Diag FAIL -> exit 2). *)
+let parse_unsound spec =
+  match String.index_opt spec ':' with
+  | Some i -> (
+    let kind = String.sub spec 0 i in
+    let n =
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some n when n > 0 -> n
+      | _ -> failwith (Printf.sprintf "bad --unsound period in %S (want a positive int)" spec)
+    in
+    match kind with
+    | "drop-lit" -> Sat.Solver.Drop_learnt_literal n
+    | "flip-model" -> Sat.Solver.Flip_model_bit n
+    | "mute-proof" -> Sat.Solver.Mute_proof_step n
+    | k -> failwith (Printf.sprintf "unknown --unsound kind %S (drop-lit|flip-model|mute-proof)" k))
+  | None ->
+    failwith (Printf.sprintf "bad --unsound spec %S (want KIND:N)" spec)
+
+let cmd_sat cnf_path certify unsound =
+  handle_errors @@ fun () ->
+  let cnf = Sat.Dimacs.parse_file cnf_path in
+  let solver, preok = Sat.Dimacs.load ~proof:certify cnf in
+  Option.iter (fun spec -> Sat.Solver.inject_unsoundness solver (parse_unsound spec)) unsound;
+  let result = if preok then Sat.Solver.solve solver else Sat.Solver.Unsat in
+  (match result with
+   | Sat.Solver.Sat -> Fmt.pr "s SATISFIABLE@."
+   | Sat.Solver.Unsat -> Fmt.pr "s UNSATISFIABLE@."
+   | Sat.Solver.Unknown -> Fmt.pr "s UNKNOWN@.");
+  if not certify then 0
+  else begin
+    match result with
+    | Sat.Solver.Unknown -> 0 (* no verdict to certify *)
+    | Sat.Solver.Sat | Sat.Solver.Unsat -> (
+      let proof =
+        match Sat.Solver.proof solver with
+        | Some p -> p
+        | None -> assert false (* enabled via ~proof:certify above *)
+      in
+      let t0 = Unix.gettimeofday () in
+      let checked =
+        match result with
+        | Sat.Solver.Sat ->
+          Sat.Checker.check_sat_model proof (fun l -> Sat.Solver.lit_value solver l)
+        | _ -> Sat.Checker.check_proof proof
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      match checked with
+      | Ok steps ->
+        Fmt.pr "c certificate: %d steps verified in %.2f ms@." steps ms;
+        0
+      | Error msg ->
+        Fmt.epr "%a@." Diag.pp (Diag.make ~code:"CERT" "uncertified verdict: %s" msg);
+        1)
+  end
+
 (* --- demo ------------------------------------------------------------------------- *)
 
 let cmd_demo () =
@@ -466,6 +540,13 @@ let dts_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.dts
 let schema_dir_arg =
   Arg.(value & opt (some string) None & info [ "schemas" ] ~docv:"DIR" ~doc:"Directory of .yaml binding schemas.")
 
+let certify_arg =
+  Arg.(value & flag
+       & info [ "certify" ]
+           ~doc:"Certify every solver verdict against an independent proof/model \
+                 checker; any verdict that fails certification is reported as an \
+                 error[CERT] diagnostic and the command exits non-zero.")
+
 let check_cmd =
   let semantic_only =
     Arg.(value & flag & info [ "semantic-only" ] ~doc:"Skip the schema-based syntactic checks.")
@@ -475,7 +556,8 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a DTS file syntactically and semantically")
-    Term.(const cmd_check $ dts_arg $ schema_dir_arg $ semantic_only $ syntactic_only)
+    Term.(const cmd_check $ dts_arg $ schema_dir_arg $ semantic_only $ syntactic_only
+          $ certify_arg)
 
 let products_cmd =
   let fm = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.fm") in
@@ -539,7 +621,7 @@ let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
     Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out
-          $ max_conflicts $ timeout)
+          $ max_conflicts $ timeout $ certify_arg)
 
 let dtb_cmd =
   let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
@@ -577,6 +659,19 @@ let smt2_cmd =
     (Cmd.info "smt2" ~doc:"Export the syntactic constraint problem as SMT-LIB2")
     Term.(const cmd_smt2 $ dts_arg $ schema_dir_arg $ output)
 
+let sat_cmd =
+  let cnf = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.cnf") in
+  let unsound =
+    Arg.(value & opt (some string) None
+         & info [ "unsound" ] ~docv:"KIND:N"
+             ~doc:"Testing only: inject a deliberate solver unsoundness \
+                   (drop-lit:N, flip-model:N or mute-proof:N) so the \
+                   certification checker can be shown to catch it.")
+  in
+  Cmd.v
+    (Cmd.info "sat" ~doc:"Solve a DIMACS CNF file (optionally certifying the verdict)")
+    Term.(const cmd_sat $ cnf $ certify_arg $ unsound)
+
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's running example end to end")
@@ -587,6 +682,6 @@ let main_cmd =
     (Cmd.info "llhsc" ~version:"1.0.0"
        ~doc:"DeviceTree syntax and semantic checker for static-partitioning hypervisors")
     [ check_cmd; products_cmd; configure_cmd; analyze_cmd; generate_cmd; pipeline_cmd;
-      build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd; demo_cmd ]
+      build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd; sat_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -30,6 +30,7 @@ type outcome = {
   partition_findings : Report.finding list; (* cross-VM checks *)
   delta_orders : (string * string list) list; (* product -> application order *)
   errors : Diag.t list; (* per-phase failures that did not abort the run *)
+  cert : Smt.Solver.cert_report option; (* Some iff the run certified *)
 }
 
 let ok outcome =
@@ -37,6 +38,9 @@ let ok outcome =
   && Report.is_clean outcome.alloc_findings
   && Report.is_clean outcome.partition_findings
   && List.for_all (fun p -> Report.is_clean p.findings) outcome.products
+  && (match outcome.cert with
+     | Some r -> r.Smt.Solver.failures = []
+     | None -> true)
 
 (* Run [f] with per-phase isolation: a known error becomes a diagnostic
    prefixed with [what], the solver scope stack is rebalanced (a failing
@@ -80,13 +84,15 @@ let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
    [budget] installs a solver resource budget for every check in the run;
    exhausted queries degrade to "inconclusive" warnings instead of
    hanging. *)
-let run ?(exclusive = []) ?budget ~model ~core ~deltas ~schemas_for ~vm_requests () =
-  let solver = Smt.Solver.create () in
+let run ?(exclusive = []) ?budget ?(certify = false) ~model ~core ~deltas
+    ~schemas_for ~vm_requests () =
+  let solver = Smt.Solver.create ~certify () in
   Smt.Solver.set_budget solver budget;
   let errors = ref [] in
   let finish ~products ~alloc_findings ~partition_findings ~delta_orders =
     { products; alloc_findings; partition_findings; delta_orders;
-      errors = List.rev !errors }
+      errors = List.rev !errors;
+      cert = (if certify then Some (Smt.Solver.cert_report solver) else None) }
   in
   let vms = List.length vm_requests in
   let requests =
@@ -144,4 +150,13 @@ let pp_outcome ppf outcome =
    | fs ->
      Fmt.pf ppf "cross-VM partitioning:@.";
      List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs);
-  List.iter (fun d -> Fmt.pf ppf "%a@." Diag.pp d) outcome.errors
+  List.iter (fun d -> Fmt.pf ppf "%a@." Diag.pp d) outcome.errors;
+  match outcome.cert with
+  | None -> ()
+  | Some r ->
+    Fmt.pf ppf "%a@." Report.pp_cert r;
+    (* An uncertified verdict is never a silent pass: each failure is a
+       structured CERT diagnostic. *)
+    List.iter
+      (fun msg -> Fmt.pf ppf "%a@." Diag.pp (Diag.make ~code:"CERT" "%s" msg))
+      r.Smt.Solver.failures

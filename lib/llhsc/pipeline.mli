@@ -18,9 +18,15 @@ type outcome = {
       (** Per-phase failures (bad product, broken schema, ...) that were
           isolated so the rest of the run could proceed; empty on a fully
           healthy run. *)
+  cert : Smt.Solver.cert_report option;
+      (** [Some] iff the run was certified ([~certify:true]): per-query
+          certificate stats plus any certification failures.  A failure
+          means a solver verdict could not be independently validated and
+          the run is not [ok]. *)
 }
 
-(** All checks clean (warnings allowed) and no isolated phase errors? *)
+(** All checks clean (warnings allowed), no isolated phase errors, and —
+    when certifying — every verdict certified? *)
 val ok : outcome -> bool
 
 (** [run ?exclusive ?budget ~model ~core ~deltas ~schemas_for ~vm_requests ()].
@@ -34,10 +40,16 @@ val ok : outcome -> bool
     [Sat.Solver.budget]); exhausted queries surface as "inconclusive"
     warnings rather than hanging.  An error in one phase (e.g. one corrupt
     product) is converted to a diagnostic in [outcome.errors] and the
-    remaining products are still checked. *)
+    remaining products are still checked.
+
+    [certify] certifies every solver verdict of the run against the
+    independent proof/model checker (see [Smt.Solver.create]); results land
+    in [outcome.cert], and any failure makes the outcome not [ok]
+    ([Unknown] verdicts are exempt). *)
 val run :
   ?exclusive:string list ->
   ?budget:Sat.Solver.budget ->
+  ?certify:bool ->
   model:Featuremodel.Model.t ->
   core:Devicetree.Tree.t ->
   deltas:Delta.Lang.t list ->

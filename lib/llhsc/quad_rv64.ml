@@ -270,8 +270,8 @@ let vm3_features = [ "bank@b0000000"; "cpu@3"; "virtio@10003000" ]
 
 let exclusive = [ "memory"; "cpus"; "uarts"; "virtio" ]
 
-let run_pipeline () =
-  Pipeline.run ~exclusive ~model:(feature_model ()) ~core:(core_tree ()) ~deltas:(deltas ())
-    ~schemas_for
+let run_pipeline ?(certify = false) () =
+  Pipeline.run ~exclusive ~certify ~model:(feature_model ()) ~core:(core_tree ())
+    ~deltas:(deltas ()) ~schemas_for
     ~vm_requests:[ vm1_features; vm2_features; vm3_features ]
     ()

@@ -21,5 +21,6 @@ val vm3_features : string list
 (** Exclusive resource groups: memory banks, CPUs, UARTs, virtio. *)
 val exclusive : string list
 
-(** The full Fig.-2 pipeline on this case study. *)
-val run_pipeline : unit -> Pipeline.outcome
+(** The full Fig.-2 pipeline on this case study; [~certify:true] certifies
+    every solver verdict of the run. *)
+val run_pipeline : ?certify:bool -> unit -> Pipeline.outcome

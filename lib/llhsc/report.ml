@@ -28,3 +28,29 @@ let pp ppf f =
 
 let errors findings = List.filter (fun f -> f.severity = Error) findings
 let is_clean findings = errors findings = []
+
+(* --- certification ------------------------------------------------------- *)
+
+(* A verdict the independent checker would not certify is itself an error
+   finding: the check in question may have silently passed on a wrong
+   answer, so the run must not be reported clean. *)
+let cert_findings (r : Smt.Solver.cert_report) =
+  List.map
+    (fun msg ->
+      finding ~checker:"certify" ~node_path:"/" "uncertified verdict: %s" msg)
+    r.Smt.Solver.failures
+
+let pp_cert ppf (r : Smt.Solver.cert_report) =
+  let certs = r.Smt.Solver.certs in
+  let failures = List.length r.Smt.Solver.failures in
+  let time = List.fold_left (fun acc c -> acc +. c.Smt.Solver.time) 0. certs in
+  Fmt.pf ppf "certification: %d queries certified, %d failures (%.1f ms checking)"
+    (List.length certs) failures (1000. *. time);
+  List.iter
+    (fun (c : Smt.Solver.cert) ->
+      Fmt.pf ppf "@.  query %d: %s, trace %d steps, %.2f ms%s" c.Smt.Solver.query
+        (match c.Smt.Solver.verdict with `Sat -> "sat" | `Unsat -> "unsat")
+        c.Smt.Solver.steps
+        (1000. *. c.Smt.Solver.time)
+        (if c.Smt.Solver.ok then "" else " [FAILED]"))
+    certs

@@ -24,12 +24,20 @@ let summarize_core core =
   in
   match interesting with [] -> core | _ -> interesting
 
-let check ?solver ~schemas ?(product = "") tree =
-  let solver = match solver with Some s -> s | None -> Smt.Solver.create () in
+let check ?solver ?(certify = false) ~schemas ?(product = "") tree =
+  (* When we own the solver, [certify] turns on verdict certification and
+     surfaces any uncertified query as an error finding; a caller-supplied
+     solver keeps ownership of its certification report (the pipeline
+     collects it once per run). *)
+  let owned = solver = None in
+  let solver =
+    match solver with Some s -> s | None -> Smt.Solver.create ~certify ()
+  in
   (* Scope all symbols by the product name so several products can share one
      incremental solver instance. *)
   let prefix path = if product = "" then path else product ^ ":" ^ path in
-  List.concat_map
+  let findings =
+    List.concat_map
     (fun (path, node, applicable) ->
       List.concat_map
         (fun schema ->
@@ -47,7 +55,11 @@ let check ?solver ~schemas ?(product = "") tree =
                 schema.Schema.Binding.id
             ])
         applicable)
-    (Schema.Binding.applicable schemas tree)
+      (Schema.Binding.applicable schemas tree)
+  in
+  if owned && certify then
+    findings @ Report.cert_findings (Smt.Solver.cert_report solver)
+  else findings
 
 (* The dt-schema baseline: same judgements, no solver, no cores. *)
 let check_direct ~schemas tree =

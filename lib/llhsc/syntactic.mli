@@ -9,9 +9,14 @@ val summarize_core : string list -> string list
 
 (** [check ?solver ~schemas ?product tree] checks every applicable
     node/schema pair.  [product] prefixes solver symbols so several products
-    can share one incremental solver. *)
+    can share one incremental solver.  Without a caller-supplied [solver],
+    [~certify:true] certifies every solver verdict (see
+    {!Smt.Solver.create}) and appends an error finding per uncertified
+    query; with a supplied solver the caller collects certification results
+    itself. *)
 val check :
   ?solver:Smt.Solver.t ->
+  ?certify:bool ->
   schemas:Schema.Binding.t list ->
   ?product:string ->
   Devicetree.Tree.t ->

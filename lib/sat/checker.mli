@@ -1,0 +1,42 @@
+(** Independent certificate checker: unit propagation only.
+
+    Replays a {!Proof} trace against the original ([Input]) clauses.  Each
+    learnt-clause [Add] must be RUP — assuming its negation and propagating
+    over the earlier live clauses must conflict — or the step is rejected
+    and the clause withheld from the database, so a corrupted trace cannot
+    bootstrap later steps.  [Delete] retires a learnt clause (matched up to
+    literal order, since the solver permutes clause literals in place).
+
+    Verdicts are then validated against the replayed database:
+    {!check_conflict} for Unsat (propagating the assumption literals must
+    conflict; a level-0 refutation is carried by the trace's final empty
+    clause) and {!check_model} for Sat (every input clause satisfied).
+
+    The incremental interface ({!create}/{!replay}/...) lets a long-lived
+    solver certify many queries without re-replaying the whole trace; the
+    one-shot {!check_proof}/{!check_sat_model} wrap it for single solves. *)
+
+type t
+
+val create : unit -> t
+
+val replay : t -> Proof.step -> (unit, string) result
+(** Process one trace step.  [Error] means the certificate is invalid at
+    this step; the checker remains usable (the offending clause is simply
+    not admitted). *)
+
+val check_conflict : t -> Lit.t list -> (unit, string) result
+(** [check_conflict t assumptions] validates an Unsat verdict obtained
+    under [assumptions] (empty for a top-level refutation).  The checker's
+    state is restored afterwards, so further queries may follow. *)
+
+val check_model : t -> (Lit.t -> bool) -> (unit, string) result
+(** [check_model t valuation] validates a Sat verdict: every input clause
+    replayed so far must contain a literal the valuation makes true. *)
+
+val steps_replayed : t -> int
+
+(** One-shot wrappers; on success both return the trace length. *)
+
+val check_proof : ?assumptions:Lit.t list -> Proof.t -> (int, string) result
+val check_sat_model : Proof.t -> (Lit.t -> bool) -> (int, string) result

@@ -57,8 +57,9 @@ let print ppf { num_vars; clauses } =
       Fmt.pf ppf "0@.")
     clauses
 
-let load { num_vars; clauses } =
+let load ?(proof = false) { num_vars; clauses } =
   let solver = Solver.create () in
+  if proof then Solver.enable_proof solver;
   for _ = 1 to num_vars do
     ignore (Solver.new_var solver : int)
   done;

@@ -16,5 +16,7 @@ val parse_file : string -> cnf
 val print : Format.formatter -> cnf -> unit
 
 (** Load a CNF into a fresh solver; returns the solver and [false] if the
-    instance is already trivially unsatisfiable. *)
-val load : cnf -> Solver.t * bool
+    instance is already trivially unsatisfiable.  With [~proof:true] the
+    solver records a certificate trace ({!Solver.enable_proof}) covering
+    every loaded clause. *)
+val load : ?proof:bool -> cnf -> Solver.t * bool

@@ -1,0 +1,79 @@
+(* Certificate trace for solver verdicts, in the spirit of DRUP
+   (Heule et al., "Trimming while Checking Clausal Proofs").
+
+   The solver appends three kinds of steps:
+
+     - [Input c]   — a clause handed to [Solver.add_clause], recorded
+                     verbatim *before* any simplification, so unit clauses
+                     (which the solver enqueues rather than stores) and
+                     tautologies are still part of the certified formula;
+     - [Add c]     — a learnt clause, which must be RUP (reverse unit
+                     propagation) with respect to all earlier live clauses;
+                     an Unsat verdict at decision level 0 finalizes the
+                     trace with [Add [||]];
+     - [Delete c]  — a learnt clause retired by database reduction, from
+                     which point the checker must stop using it.
+
+   Literal arrays are copied at logging time: the solver reorders clause
+   literals in place while maintaining watches, and the trace must pin the
+   clause as it was derived. *)
+
+type step =
+  | Input of Lit.t array
+  | Add of Lit.t array
+  | Delete of Lit.t array
+
+type t = {
+  mutable steps : step array;
+  mutable len : int;
+}
+
+let dummy = Input [||]
+let create () = { steps = Array.make 64 dummy; len = 0 }
+
+let push t step =
+  if t.len = Array.length t.steps then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.steps 0 bigger 0 t.len;
+    t.steps <- bigger
+  end;
+  t.steps.(t.len) <- step;
+  t.len <- t.len + 1
+
+let log_input t lits = push t (Input (Array.copy lits))
+let log_add t lits = push t (Add (Array.copy lits))
+let log_delete t lits = push t (Delete (Array.copy lits))
+let length t = t.len
+
+let step t i =
+  if i < 0 || i >= t.len then invalid_arg "Proof.step: index out of bounds";
+  t.steps.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.steps.(i)
+  done
+
+let n_inputs t =
+  let n = ref 0 in
+  iter (function Input _ -> incr n | Add _ | Delete _ -> ()) t;
+  !n
+
+(* DRUP-compatible text: inputs as comments (a DRUP file proper contains
+   only additions and deletions; the formula lives in the CNF file). *)
+let pp_drup ppf t =
+  let lits ls = Array.iter (fun l -> Fmt.pf ppf "%d " (Lit.to_dimacs l)) ls in
+  iter
+    (function
+      | Input c ->
+        Fmt.pf ppf "c i ";
+        lits c;
+        Fmt.pf ppf "0@."
+      | Add c ->
+        lits c;
+        Fmt.pf ppf "0@."
+      | Delete c ->
+        Fmt.pf ppf "d ";
+        lits c;
+        Fmt.pf ppf "0@.")
+    t

@@ -1,0 +1,39 @@
+(** Certificate traces (DRUP-style) recorded by the solver when proof
+    logging is enabled, and replayed by the independent {!Checker}.
+
+    A trace interleaves the original formula ([Input] steps, logged verbatim
+    before solver-side simplification) with learnt-clause additions ([Add],
+    each required to be RUP w.r.t. the earlier live clauses) and learnt
+    clause deletions ([Delete]).  A refutation at decision level 0 ends with
+    [Add [||]]; Unsat-under-assumptions verdicts carry no empty clause and
+    are instead checked by {!Checker.check_conflict} with the assumption
+    literals. *)
+
+type step =
+  | Input of Lit.t array
+  | Add of Lit.t array
+  | Delete of Lit.t array
+
+type t
+
+val create : unit -> t
+
+val log_input : t -> Lit.t array -> unit
+(** Record an original clause.  The array is copied. *)
+
+val log_add : t -> Lit.t array -> unit
+(** Record a learnt clause (RUP addition).  The array is copied. *)
+
+val log_delete : t -> Lit.t array -> unit
+(** Record the deletion of a learnt clause.  The array is copied. *)
+
+val length : t -> int
+val step : t -> int -> step
+val iter : (step -> unit) -> t -> unit
+
+val n_inputs : t -> int
+(** Number of [Input] steps in the trace. *)
+
+val pp_drup : Format.formatter -> t -> unit
+(** Print the trace in DRUP-flavoured text: additions bare, deletions with
+    a [d] prefix, inputs as [c i] comment lines. *)

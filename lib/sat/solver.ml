@@ -33,6 +33,13 @@ type budget = {
 let budget ?max_conflicts ?max_decisions ?max_propagations ?time_limit () =
   { max_conflicts; max_decisions; max_propagations; time_limit }
 
+(* Test-only corruptions; see [inject_unsoundness].  Each fires on every
+   [n]th opportunity, so a period doubles as a deterministic seed. *)
+type unsound_mutation =
+  | Drop_learnt_literal of int
+  | Flip_model_bit of int
+  | Mute_proof_step of int
+
 type t = {
   mutable ok : bool;
   clauses : clause Vec.t;
@@ -66,6 +73,11 @@ type t = {
   mutable lim_decisions : int;
   mutable lim_propagations : int;
   mutable lim_deadline : float;
+  (* certificate trace (None = proof logging off) *)
+  mutable proof : Proof.t option;
+  (* deliberate corruption for certification tests *)
+  mutable unsound : unsound_mutation option;
+  mutable unsound_tick : int;
 }
 
 let var_decay = 1. /. 0.95
@@ -104,6 +116,9 @@ let create () =
         lim_decisions = max_int;
         lim_propagations = max_int;
         lim_deadline = infinity;
+        proof = None;
+        unsound = None;
+        unsound_tick = 0;
       }
   in
   Lazy.force t
@@ -143,6 +158,23 @@ let new_var t =
 let num_vars t = t.nvars
 let num_clauses t = Vec.size t.clauses
 let num_conflicts t = t.n_conflicts
+
+(* --- certification hooks ------------------------------------------------- *)
+
+let enable_proof t =
+  if
+    Vec.size t.clauses > 0 || Vec.size t.learnts > 0 || Vec.size t.trail > 0
+    || not t.ok
+  then invalid_arg "Solver.enable_proof: clauses already added";
+  t.proof <- Some (Proof.create ())
+
+let proof t = t.proof
+let inject_unsoundness t m = t.unsound <- Some m
+
+(* Fires every [n]th opportunity for the given mutation kind. *)
+let unsound_fires t n =
+  t.unsound_tick <- t.unsound_tick + 1;
+  t.unsound_tick mod max 1 n = 0
 
 (* +1 literal true, -1 false, 0 unassigned *)
 let value_lit t l =
@@ -282,6 +314,12 @@ let propagate t =
 (* --- clause addition ---------------------------------------------------- *)
 
 let add_clause t lits =
+  (* Log the clause verbatim, before simplification: unit clauses are
+     enqueued rather than stored, yet the checker must still see them as
+     part of the certified formula. *)
+  (match t.proof with
+   | Some p -> Proof.log_input p (Array.of_list lits)
+   | None -> ());
   if not t.ok then false
   else begin
     assert (decision_level t = 0);
@@ -401,6 +439,26 @@ let order_second_watch t lits =
   end
 
 let record_learnt t lits lbd =
+  let lits =
+    (* Test-only corruption: dropping a literal yields a stronger clause
+       that is typically no longer RUP.  Positions 0 and 1 carry the
+       asserting/watch invariants, so only a trailing literal of a clause
+       with >= 3 literals is removed. *)
+    match t.unsound with
+    | Some (Drop_learnt_literal n) when List.length lits >= 3 && unsound_fires t n
+      ->
+      List.filteri (fun i _ -> i < List.length lits - 1) lits
+    | _ -> lits
+  in
+  (match t.proof with
+   | Some p ->
+     let mute =
+       match t.unsound with
+       | Some (Mute_proof_step n) -> unsound_fires t n
+       | _ -> false
+     in
+     if not mute then Proof.log_add p (Array.of_list lits)
+   | None -> ());
   match lits with
   | [] -> t.ok <- false
   | [ l ] -> unchecked_enqueue t l dummy_clause
@@ -465,7 +523,12 @@ let reduce_db t =
   in
   for i = keep to n - 1 do
     let c = Vec.get t.learnts i in
-    if (not (locked c)) && c.lbd > 2 then c.dead <- true
+    if (not (locked c)) && c.lbd > 2 then begin
+      c.dead <- true;
+      match t.proof with
+      | Some p -> Proof.log_delete p c.lits
+      | None -> ()
+    end
   done;
   Vec.filter_in_place (fun c -> not c.dead) t.learnts
 (* dead clauses are skipped (and dropped) lazily by [propagate]'s rebuild;
@@ -523,6 +586,11 @@ let search t ~nof_conflicts =
         if decision_level t = 0 then begin
           t.ok <- false;
           t.core <- [];
+          (* A level-0 conflict refutes the clause set outright: finalize
+             the certificate with the empty clause. *)
+          (match t.proof with
+           | Some p -> Proof.log_add p [||]
+           | None -> ());
           raise (Found_result Unsat)
         end;
         let learnt, btlevel, lbd = analyze t confl in
@@ -567,6 +635,11 @@ let search t ~nof_conflicts =
           | None ->
             (* Complete assignment: SAT. *)
             t.model <- Array.init t.nvars (fun v -> t.assigns.(v) = 1);
+            (match t.unsound with
+             | Some (Flip_model_bit k) when t.nvars > 0 ->
+               let v = abs k mod t.nvars in
+               t.model.(v) <- not t.model.(v)
+             | _ -> ());
             raise (Found_result Sat)
           | Some v ->
             t.n_decisions <- t.n_decisions + 1;

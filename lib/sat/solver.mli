@@ -82,5 +82,37 @@ val unsat_core : t -> Lit.t list
 (** [set_polarity t v b] sets the initial phase of variable [v]. *)
 val set_polarity : t -> int -> bool -> unit
 
+(** {2 Certification}
+
+    With proof logging enabled, the solver records a {!Proof} trace —
+    original clauses, learnt clauses (each RUP w.r.t. the clauses before
+    it) and learnt-clause deletions; a decision-level-0 refutation ends
+    the trace with the empty clause.  The trace can be replayed by the
+    independent {!Checker} to certify verdicts. *)
+
+(** Start recording a certificate trace.  Must be called on a fresh
+    solver; raises [Invalid_argument] if any clause was already added. *)
+val enable_proof : t -> unit
+
+(** The trace recorded so far, or [None] if logging is not enabled.  The
+    trace accumulates across [solve] calls (clauses are never retracted),
+    so incremental use replays a single growing certificate. *)
+val proof : t -> Proof.t option
+
+(** Test-only corruption of the solver, used by the certification tests
+    and the fault harness to demonstrate that a wrong verdict or a wrong
+    trace is caught by the checker rather than reported as clean.  Each
+    mutation fires on every [n]th opportunity. *)
+type unsound_mutation =
+  | Drop_learnt_literal of int
+      (** strengthen every [n]th learnt clause (>= 3 literals) by dropping
+          a literal, corrupting both the clause database and the trace *)
+  | Flip_model_bit of int
+      (** flip variable [n mod num_vars] in every reported model *)
+  | Mute_proof_step of int
+      (** omit every [n]th learnt clause from the trace *)
+
+val inject_unsoundness : t -> unsound_mutation -> unit
+
 (** Pretty-print solver statistics (decisions, conflicts, propagations). *)
 val pp_stats : Format.formatter -> t -> unit

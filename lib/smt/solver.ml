@@ -15,6 +15,20 @@ type scope = {
   saved_assertions : (string option * Term.t) list;
 }
 
+type cert = {
+  query : int;
+  verdict : [ `Sat | `Unsat ];
+  steps : int; (* certificate trace length when this query was certified *)
+  time : float; (* seconds spent checking this query's certificate *)
+  ok : bool;
+}
+
+type cert_report = {
+  enabled : bool;
+  certs : cert list; (* oldest first *)
+  failures : string list; (* oldest first *)
+}
+
 type t = {
   sat : Sat.Solver.t;
   ctx : Blast.ctx;
@@ -24,13 +38,22 @@ type t = {
   mutable assertions : (string option * Term.t) list; (* newest first *)
   mutable last_sat : bool;
   mutable budget : Sat.Solver.budget option; (* default for every [check] *)
+  (* certification state ([checker] is [Some] iff created with ~certify) *)
+  checker : Sat.Checker.t option;
+  mutable replay_cursor : int; (* trace steps already fed to the checker *)
+  mutable n_checks : int;
+  mutable certs : cert list; (* newest first *)
+  mutable cert_failures : string list; (* newest first *)
 }
 
 let enum_sorts t name =
   Hashtbl.find_opt t.enums name |> Option.map Array.to_list
 
-let create () =
+let create ?(certify = false) () =
   let sat = Sat.Solver.create () in
+  (* Proof logging must precede every clause, including the true-literal
+     unit [Blast.create] adds below. *)
+  if certify then Sat.Solver.enable_proof sat;
   let enums = Hashtbl.create 16 in
   let enum_universe name =
     match Hashtbl.find_opt enums name with
@@ -53,9 +76,24 @@ let create () =
          assertions = [];
          last_sat = false;
          budget = None;
+         checker = (if certify then Some (Sat.Checker.create ()) else None);
+         replay_cursor = 0;
+         n_checks = 0;
+         certs = [];
+         cert_failures = [];
        })
   in
   Lazy.force t
+
+let certifying t = t.checker <> None
+let inject_unsoundness t m = Sat.Solver.inject_unsoundness t.sat m
+
+let cert_report t =
+  {
+    enabled = t.checker <> None;
+    certs = List.rev t.certs;
+    failures = List.rev t.cert_failures;
+  }
 
 let declare_enum t name universe =
   if universe = [] then error "enum sort %s must have a non-empty universe" name;
@@ -123,38 +161,7 @@ let num_scopes t = List.length t.scopes
 
 let set_budget t budget = t.budget <- budget
 
-let check ?(assumptions = []) ?budget t =
-  let budget = match budget with Some _ as b -> b | None -> t.budget in
-  let extra = List.map (fun term -> (term, blast_checked t term)) assumptions in
-  let lits =
-    List.map (fun s -> s.act) t.scopes
-    @ List.map snd t.named
-    @ List.map snd extra
-  in
-  match Sat.Solver.solve ~assumptions:lits ?budget t.sat with
-  | Sat.Solver.Sat ->
-    t.last_sat <- true;
-    Sat
-  | Sat.Solver.Unsat ->
-    t.last_sat <- false;
-    let core = Sat.Solver.unsat_core t.sat in
-    let names =
-      List.filter_map
-        (fun (name, guard) -> if List.mem guard core then Some name else None)
-        t.named
-    in
-    Unsat names
-  | Sat.Solver.Unknown ->
-    t.last_sat <- false;
-    Unknown
-
-let forall_enum t ~sort f =
-  Term.and_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
-
-let exists_enum t ~sort f =
-  Term.or_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
-
-(* --- models ----------------------------------------------------------------- *)
+(* --- model extraction (needed below by certification) ----------------------- *)
 
 let bits_value t bits =
   let v = ref 0L in
@@ -194,6 +201,125 @@ let model_env t : Interp.env =
         | Some l -> Sat.Solver.lit_value t.sat l
         | None -> false);
   }
+
+(* --- certification ----------------------------------------------------------- *)
+
+(* Certify the answer just produced by [Sat.Solver.solve].  Sat answers are
+   model-checked twice: once at CNF level against every input clause of the
+   trace, and once at term level by re-evaluating every live assertion (and
+   this call's assumptions) under the extracted model via [Interp] — the
+   latter catches bit-blasting bugs the former cannot.  Unsat answers replay
+   the certificate trace through the independent checker and confirm the
+   conflict twice: under the full assumption set and again restricted to the
+   reported unsat core.  Unknown answers prove nothing and are exempt.
+   Failures are recorded (never raised): callers surface them as error[CERT]
+   diagnostics. *)
+let certify_answer t ck ~lits ~assumption_terms answer =
+  let q = t.n_checks in
+  let fail fmt =
+    Fmt.kstr
+      (fun m -> t.cert_failures <- Fmt.str "query %d: %s" q m :: t.cert_failures)
+      fmt
+  in
+  let t0 = Unix.gettimeofday () in
+  let proof =
+    match Sat.Solver.proof t.sat with
+    | Some p -> p
+    | None -> assert false (* enabled at creation whenever [ck] exists *)
+  in
+  let failures_before = List.length t.cert_failures in
+  (* Feed trace steps produced since the last certified query. *)
+  while t.replay_cursor < Sat.Proof.length proof do
+    (match Sat.Checker.replay ck (Sat.Proof.step proof t.replay_cursor) with
+     | Ok () -> ()
+     | Error m -> fail "proof step %d: %s" t.replay_cursor m);
+    t.replay_cursor <- t.replay_cursor + 1
+  done;
+  let record verdict =
+    t.certs <-
+      {
+        query = q;
+        verdict;
+        steps = Sat.Proof.length proof;
+        time = Unix.gettimeofday () -. t0;
+        ok = List.length t.cert_failures = failures_before;
+      }
+      :: t.certs
+  in
+  match answer with
+  | Unknown -> () (* inconclusive by construction: nothing to certify *)
+  | Sat ->
+    (match Sat.Checker.check_model ck (fun l -> Sat.Solver.lit_value t.sat l) with
+     | Ok () -> ()
+     | Error m -> fail "%s" m);
+    let env = model_env t in
+    let eval_true what name term =
+      match Interp.eval env term with
+      | Interp.V_bool true -> ()
+      | Interp.V_bool false -> fail "model falsifies %s %s" what name
+      | _ -> fail "%s %s is not boolean under the model" what name
+      | exception Interp.Eval_error m -> fail "evaluating %s %s: %s" what name m
+      | exception Error m -> fail "evaluating %s %s: %s" what name m
+    in
+    List.iter
+      (fun (name, term) ->
+        let name = match name with Some n -> Fmt.str "%S" n | None -> "(unnamed)" in
+        eval_true "assertion" name term)
+      t.assertions;
+    List.iteri
+      (fun i term -> eval_true "assumption" (string_of_int i) term)
+      assumption_terms;
+    record `Sat
+  | Unsat names ->
+    (match Sat.Checker.check_conflict ck lits with
+     | Ok () -> ()
+     | Error m -> fail "%s" m);
+    let core = Sat.Solver.unsat_core t.sat in
+    (match Sat.Checker.check_conflict ck core with
+     | Ok () -> ()
+     | Error m ->
+       fail "unsat core [%s] not confirmed: %s" (String.concat "; " names) m);
+    record `Unsat
+
+let check ?(assumptions = []) ?budget t =
+  let budget = match budget with Some _ as b -> b | None -> t.budget in
+  let extra = List.map (fun term -> (term, blast_checked t term)) assumptions in
+  let lits =
+    List.map (fun s -> s.act) t.scopes
+    @ List.map snd t.named
+    @ List.map snd extra
+  in
+  let answer =
+    match Sat.Solver.solve ~assumptions:lits ?budget t.sat with
+    | Sat.Solver.Sat ->
+      t.last_sat <- true;
+      Sat
+    | Sat.Solver.Unsat ->
+      t.last_sat <- false;
+      let core = Sat.Solver.unsat_core t.sat in
+      let names =
+        List.filter_map
+          (fun (name, guard) -> if List.mem guard core then Some name else None)
+          t.named
+      in
+      Unsat names
+    | Sat.Solver.Unknown ->
+      t.last_sat <- false;
+      Unknown
+  in
+  (match t.checker with
+   | Some ck -> certify_answer t ck ~lits ~assumption_terms:assumptions answer
+   | None -> ());
+  t.n_checks <- t.n_checks + 1;
+  answer
+
+let forall_enum t ~sort f =
+  Term.and_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
+
+let exists_enum t ~sort f =
+  Term.or_ (List.map (fun c -> f (Term.enum ~sort c)) (enum_universe t sort))
+
+(* --- models ----------------------------------------------------------------- *)
 
 let model_eval t term =
   if not t.last_sat then error "no model available (last answer was not Sat)";

@@ -20,7 +20,17 @@ type answer =
 
 exception Error of string
 
-val create : unit -> t
+(** With [~certify:true] the solver certifies every {!check} answer as it is
+    produced: the underlying SAT solver records a DRUP-style proof trace
+    (see {!Sat.Proof}), and an independent unit-propagation checker
+    ({!Sat.Checker}) validates each verdict — models at both CNF and term
+    level for [Sat], proof replay plus unsat-core confirmation for [Unsat];
+    [Unknown] answers are exempt.  Certification never changes an answer:
+    failures accumulate in {!cert_report} for the caller to surface (the
+    llhsc pipeline turns them into [error[CERT]] diagnostics). *)
+val create : ?certify:bool -> unit -> t
+
+val certifying : t -> bool
 
 (** [declare_enum t name universe] declares a finite sort.  Redeclaring with
     a different universe raises {!Error}; redeclaring identically is a
@@ -99,3 +109,29 @@ val pp_smtlib : Format.formatter -> t -> unit
 
 (** Statistics of the underlying SAT solver. *)
 val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Certification} *)
+
+(** Stats for one certified query. *)
+type cert = {
+  query : int; (** 0-based index of the {!check} call *)
+  verdict : [ `Sat | `Unsat ];
+  steps : int; (** certificate trace length when the query was certified *)
+  time : float; (** seconds spent checking this query's certificate *)
+  ok : bool;
+}
+
+type cert_report = {
+  enabled : bool;
+  certs : cert list; (** oldest first; [Unknown] answers never appear *)
+  failures : string list; (** oldest first; empty iff every verdict certified *)
+}
+
+(** Certification results accumulated so far.  [{enabled = false; _}] when
+    the solver was created without [~certify:true]. *)
+val cert_report : t -> cert_report
+
+(** Test-only: corrupt the underlying SAT solver (see
+    {!Sat.Solver.inject_unsoundness}) so certification tests can
+    demonstrate that wrong verdicts are caught. *)
+val inject_unsoundness : t -> Sat.Solver.unsound_mutation -> unit

@@ -159,6 +159,64 @@ let targets dir =
     ("custom-sbc.fm", [ "configure"; p "custom-sbc.fm"; "-d"; "veth0" ]);
   ]
 
+(* --- solver-mutation phase ------------------------------------------------------ *)
+
+(* The input mutants above attack the parsers; these attack the *solver*:
+   `sat --certify --unsound KIND:N` makes the solver deliberately unsound
+   (dropped learnt literals, flipped model bits, muted proof steps) and the
+   contract is that certification catches every one — exit 1 with an
+   error[CERT] diagnostic, never a clean exit 0. *)
+let solver_mutations dir =
+  let p f = Filename.concat dir f in
+  List.concat_map
+    (fun n ->
+      [ (p "unsat.cnf", Printf.sprintf "drop-lit:%d" n);
+        (p "unsat.cnf", Printf.sprintf "mute-proof:%d" n);
+        (p "sat.cnf", Printf.sprintf "flip-model:%d" n)
+      ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let run_solver_mutations binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "stderr.txt" in
+  let bad what reason err =
+    incr failures;
+    Printf.printf "FAIL (certify, %s): %s\n  stderr: %s\n" what reason
+      (if err = "" then "(empty)" else String.trim err)
+  in
+  (* Honest baseline first: certification of a sound solver must pass. *)
+  List.iter
+    (fun cnf ->
+      incr total;
+      let status, err =
+        run_cli binary [ "sat"; Filename.concat sandbox cnf; "--certify" ] ~stderr_file
+      in
+      match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n ->
+        bad (cnf ^ " honest") (Printf.sprintf "exit %d (want 0)" n) err
+      | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+        bad (cnf ^ " honest") (Printf.sprintf "signal %d" s) err)
+    [ "sat.cnf"; "unsat.cnf" ];
+  List.iter
+    (fun (cnf, spec) ->
+      incr total;
+      let status, err =
+        run_cli binary [ "sat"; cnf; "--certify"; "--unsound"; spec ] ~stderr_file
+      in
+      let what = Filename.basename cnf ^ " " ^ spec in
+      match status with
+      | Unix.WEXITED 1 when contains err "[CERT]" -> ()
+      | Unix.WEXITED 0 -> bad what "unsound verdict escaped certification (exit 0)" err
+      | Unix.WEXITED 1 -> bad what "exit 1 but no [CERT] diagnostic on stderr" err
+      | Unix.WEXITED n -> bad what (Printf.sprintf "exit %d (want 1)" n) err
+      | Unix.WSIGNALED s | Unix.WSTOPPED s -> bad what (Printf.sprintf "signal %d" s) err)
+    (solver_mutations sandbox)
+
 let () =
   let binary, fixtures =
     match Sys.argv with
@@ -192,15 +250,14 @@ let () =
          | Unix.WEXITED n -> bad (Printf.sprintf "exit code %d" n)
          | Unix.WSIGNALED s -> bad (Printf.sprintf "killed by signal %d" s)
          | Unix.WSTOPPED s -> bad (Printf.sprintf "stopped by signal %d" s));
-        let contains hay needle =
-          let nh = String.length hay and nn = String.length needle in
-          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-          nn > 0 && go 0
-        in
         if contains err "Fatal error" || contains err "Raised at" || contains err "Raised by"
         then bad "uncaught OCaml exception on stderr")
       (targets sandbox)
   done;
+  (* Solver-mutation phase: pristine fixtures, mutated *solver*. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_solver_mutations binary sandbox ~failures ~total;
   if Sys.file_exists sandbox then remove_tree sandbox;
   Printf.printf "fault injection: %d mutants, %d contract violations\n" !total !failures;
   if !failures > 0 then exit 1

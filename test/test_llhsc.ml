@@ -505,6 +505,20 @@ let test_quad_pipeline_green () =
     (fun p -> check_bool (p.Llhsc.Pipeline.name ^ " clean") true (p.Llhsc.Pipeline.findings = []))
     outcome.Llhsc.Pipeline.products
 
+let test_quad_pipeline_certified () =
+  (* The full case-study pipeline under --certify: every solver verdict of
+     the run must carry a validated certificate, and the outcome stays ok. *)
+  let outcome = Q.run_pipeline ~certify:true () in
+  check_bool "ok" true (Llhsc.Pipeline.ok outcome);
+  match outcome.Llhsc.Pipeline.cert with
+  | None -> Alcotest.fail "certified run must expose a cert report"
+  | Some r ->
+    check_bool "enabled" true r.Smt.Solver.enabled;
+    check_bool "certified queries" true (r.Smt.Solver.certs <> []);
+    check_bool "no failures" true (r.Smt.Solver.failures = []);
+    check_bool "every cert ok" true
+      (List.for_all (fun c -> c.Smt.Solver.ok) r.Smt.Solver.certs)
+
 let test_quad_products () =
   let outcome = Q.run_pipeline () in
   let product name =
@@ -621,6 +635,7 @@ let () =
       ( "quad-rv64",
         [
           Alcotest.test_case "pipeline green" `Quick test_quad_pipeline_green;
+          Alcotest.test_case "pipeline certified" `Quick test_quad_pipeline_certified;
           Alcotest.test_case "products" `Quick test_quad_products;
           Alcotest.test_case "bao clusters" `Quick test_quad_bao_clusters;
           Alcotest.test_case "feature model size" `Quick test_quad_feature_model_size;

@@ -241,6 +241,104 @@ let test_dimacs_errors () =
   Alcotest.check_raises "count mismatch" (Failure "dimacs: clause count mismatch")
     (fun () -> ignore (Sat.Dimacs.parse "p cnf 2 2\n1 0\n" : Sat.Dimacs.cnf))
 
+(* --- certification (proof logging + independent checker) ------------------ *)
+
+let check_result what = function
+  | Ok (_ : int) -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let expect_error what = function
+  | Ok (_ : int) -> Alcotest.failf "%s: expected certification failure" what
+  | Error (_ : string) -> ()
+
+let proof_of s =
+  match Sat.Solver.proof s with
+  | Some p -> p
+  | None -> Alcotest.fail "proof logging not enabled"
+
+(* PHP(pigeons, holes) on a proof-enabled solver; unsat for pigeons > holes. *)
+let php_solver pigeons holes =
+  let s = Sat.Solver.create () in
+  Sat.Solver.enable_proof s;
+  let var =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.Solver.new_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    ignore (Sat.Solver.add_clause s (List.init holes (fun h -> lit var.(p).(h))) : bool)
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for p' = p + 1 to pigeons - 1 do
+        ignore (Sat.Solver.add_clause s [ nlit var.(p).(h); nlit var.(p').(h) ] : bool)
+      done
+    done
+  done;
+  s
+
+let test_certify_unsat_proof () =
+  let s = php_solver 6 5 in
+  check_sat "php(6,5) unsat" true (Sat.Solver.solve s = Unsat);
+  check_result "refutation certificate" (Sat.Checker.check_proof (proof_of s))
+
+let test_certify_sat_model () =
+  let s = php_solver 5 5 in
+  check_sat "php(5,5) sat" true (Sat.Solver.solve s = Sat);
+  check_result "model certificate"
+    (Sat.Checker.check_sat_model (proof_of s) (fun l -> Sat.Solver.lit_value s l))
+
+let test_certify_empty_problem () =
+  (* Edge: no clauses at all.  Sat, and the (empty) trace certifies. *)
+  let s = Sat.Solver.create () in
+  Sat.Solver.enable_proof s;
+  check_sat "empty problem sat" true (Sat.Solver.solve s = Sat);
+  check_result "empty certificate"
+    (Sat.Checker.check_sat_model (proof_of s) (fun l -> Sat.Solver.lit_value s l))
+
+let test_certify_trivially_unsat_at_load () =
+  (* Edge: contradiction among the input units; the solver never searches
+     (load reports not-ok) yet the trace alone must refute. *)
+  let cnf = Sat.Dimacs.parse "p cnf 1 2\n1 0\n-1 0\n" in
+  let s, ok = Sat.Dimacs.load ~proof:true cnf in
+  check_sat "trivially unsat at load" false ok;
+  check_result "input-only refutation" (Sat.Checker.check_proof (proof_of s))
+
+let test_certify_enable_proof_late_rejected () =
+  let s, v = fresh_solver 1 in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  try
+    Sat.Solver.enable_proof s;
+    Alcotest.fail "enable_proof after add_clause must be rejected"
+  with Invalid_argument _ -> ()
+
+(* Injected unsoundness must be caught — this is the acceptance test for the
+   whole certification chain: a wrong verdict can never certify. *)
+let test_certify_catches_dropped_literal () =
+  let s = php_solver 6 5 in
+  Sat.Solver.inject_unsoundness s (Sat.Solver.Drop_learnt_literal 2);
+  check_sat "still reports unsat" true (Sat.Solver.solve s = Unsat);
+  expect_error "dropped learnt literal" (Sat.Checker.check_proof (proof_of s))
+
+let test_certify_catches_muted_proof_step () =
+  let s = php_solver 6 5 in
+  Sat.Solver.inject_unsoundness s (Sat.Solver.Mute_proof_step 3);
+  check_sat "still reports unsat" true (Sat.Solver.solve s = Unsat);
+  expect_error "muted proof step" (Sat.Checker.check_proof (proof_of s))
+
+let test_certify_catches_flipped_model_bit () =
+  (* Forced chain: the model is unique, so any flipped bit falsifies it. *)
+  let n = 30 in
+  let s = Sat.Solver.create () in
+  Sat.Solver.enable_proof s;
+  let v = Array.init n (fun _ -> Sat.Solver.new_var s) in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  for i = 0 to n - 2 do
+    ignore (Sat.Solver.add_clause s [ nlit v.(i); lit v.(i + 1) ] : bool)
+  done;
+  Sat.Solver.inject_unsoundness s (Sat.Solver.Flip_model_bit 7);
+  check_sat "still reports sat" true (Sat.Solver.solve s = Sat);
+  expect_error "flipped model bit"
+    (Sat.Checker.check_sat_model (proof_of s) (fun l -> Sat.Solver.lit_value s l))
+
 (* --- property: agreement with brute force -------------------------------- *)
 
 let brute_force_sat num_vars clauses =
@@ -337,6 +435,41 @@ let prop_dpll_agrees_with_cdcl =
       let problem = Sat.Dpll.of_lits ~num_vars:nv lits in
       let dpll_sat = match Sat.Dpll.solve problem with Sat.Dpll.Sat _ -> true | Sat.Dpll.Unsat -> false in
       cdcl_sat = dpll_sat)
+
+(* --- property: DIMACS print -> parse roundtrip ----------------------------- *)
+
+let cnf_of_gen (nv, clauses) =
+  { Sat.Dimacs.num_vars = nv;
+    clauses =
+      List.map (List.map (fun (v, negd) -> Sat.Lit.make ~var:v ~negated:negd)) clauses
+  }
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"DIMACS print/parse roundtrip"
+    (QCheck.make gen_cnf)
+    (fun g ->
+      let cnf = cnf_of_gen g in
+      let cnf' = Sat.Dimacs.parse (Fmt.str "%a" Sat.Dimacs.print cnf) in
+      cnf'.Sat.Dimacs.num_vars = cnf.Sat.Dimacs.num_vars
+      && cnf'.Sat.Dimacs.clauses = cnf.Sat.Dimacs.clauses)
+
+(* --- property: every verdict certifies ------------------------------------- *)
+
+let prop_verdicts_certify =
+  QCheck.Test.make ~count:300 ~name:"every verdict certifies"
+    (QCheck.make gen_cnf)
+    (fun g ->
+      let solver, ok = Sat.Dimacs.load ~proof:true (cnf_of_gen g) in
+      let proof =
+        match Sat.Solver.proof solver with Some p -> p | None -> assert false
+      in
+      let result = if ok then Sat.Solver.solve solver else Sat.Solver.Unsat in
+      match result with
+      | Sat.Solver.Sat ->
+        Sat.Checker.check_sat_model proof (fun l -> Sat.Solver.lit_value solver l)
+        |> Result.is_ok
+      | Sat.Solver.Unsat -> Result.is_ok (Sat.Checker.check_proof proof)
+      | Sat.Solver.Unknown -> false (* no budget installed: Unknown is a bug *))
 
 let test_dpll_of_formula () =
   (* Tseitin into DPLL: (x0 <-> x1) & (x0 xor x2) & x0 forces x1, !x2. *)
@@ -452,10 +585,28 @@ let () =
           Alcotest.test_case "of_formula" `Quick test_dpll_of_formula;
           Alcotest.test_case "count_models" `Quick test_dpll_count_models;
         ] );
+      ( "certification",
+        [
+          Alcotest.test_case "unsat proof" `Quick test_certify_unsat_proof;
+          Alcotest.test_case "sat model" `Quick test_certify_sat_model;
+          Alcotest.test_case "empty problem" `Quick test_certify_empty_problem;
+          Alcotest.test_case "trivially unsat at load" `Quick
+            test_certify_trivially_unsat_at_load;
+          Alcotest.test_case "late enable rejected" `Quick
+            test_certify_enable_proof_late_rejected;
+          Alcotest.test_case "catches dropped literal" `Quick
+            test_certify_catches_dropped_literal;
+          Alcotest.test_case "catches muted proof step" `Quick
+            test_certify_catches_muted_proof_step;
+          Alcotest.test_case "catches flipped model bit" `Quick
+            test_certify_catches_flipped_model_bit;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_agrees_with_brute_force;
           QCheck_alcotest.to_alcotest prop_assumptions_consistent;
           QCheck_alcotest.to_alcotest prop_dpll_agrees_with_cdcl;
+          QCheck_alcotest.to_alcotest prop_dimacs_roundtrip;
+          QCheck_alcotest.to_alcotest prop_verdicts_certify;
         ] );
     ]

@@ -251,6 +251,76 @@ let test_model_unavailable () =
     Alcotest.fail "expected model error"
   with S.Error _ -> ()
 
+(* --- certification ------------------------------------------------------------ *)
+
+let test_certify_mixed_queries () =
+  (* Sat and Unsat verdicts across push/pop scopes, all on one certified
+     incremental solver: every query certifies, none fails. *)
+  let s = S.create ~certify:true () in
+  check_bool "certifying" true (S.certifying s);
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:8 10));
+  check_bool "q0 sat" true (is_sat (S.check s));
+  S.push s;
+  S.assert_ s (T.ult x (T.bv_of_int ~width:8 5));
+  check_bool "q1 unsat in scope" false (is_sat (S.check s));
+  S.pop s;
+  check_bool "q2 sat after pop" true (is_sat (S.check s));
+  check_bool "q3 unsat under assumptions" false
+    (is_sat (S.check ~assumptions:[ T.ult x (T.bv_of_int ~width:8 3) ] s));
+  let r = S.cert_report s in
+  check_bool "enabled" true r.S.enabled;
+  Alcotest.(check int) "4 certs" 4 (List.length r.S.certs);
+  Alcotest.(check (list string)) "no failures" [] r.S.failures;
+  check_bool "all ok" true (List.for_all (fun c -> c.S.ok) r.S.certs);
+  check_bool "verdict mix" true
+    (List.map (fun c -> c.S.verdict) r.S.certs = [ `Sat; `Unsat; `Sat; `Unsat ])
+
+let test_certify_unknown_exempt () =
+  (* An Unknown verdict asserts nothing, so there is nothing to certify:
+     no cert entry and no failure. *)
+  let s = S.create ~certify:true () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:8 10));
+  S.set_budget s (Some (Sat.Solver.budget ~max_decisions:0 ~max_conflicts:0 ()));
+  (match S.check s with
+   | S.Unknown -> ()
+   | S.Sat | S.Unsat _ -> Alcotest.fail "expected Unknown under zero budget");
+  let r = S.cert_report s in
+  check_bool "enabled" true r.S.enabled;
+  Alcotest.(check int) "no certs" 0 (List.length r.S.certs);
+  Alcotest.(check (list string)) "no failures" [] r.S.failures;
+  (* The solver stays certifiable after the exempt query. *)
+  S.set_budget s None;
+  check_bool "sat after budget removed" true (is_sat (S.check s));
+  let r = S.cert_report s in
+  Alcotest.(check int) "one cert" 1 (List.length r.S.certs);
+  Alcotest.(check (list string)) "still no failures" [] r.S.failures
+
+let test_certify_catches_unsound_solver () =
+  (* Acceptance test for the ISSUE: a solver made deliberately unsound is
+     caught by certification and surfaces as a failure, never a silent ok. *)
+  let s = S.create ~certify:true () in
+  S.inject_unsoundness s (Sat.Solver.Flip_model_bit 5);
+  let x = T.bv_var "x" ~width:16 in
+  S.assert_ s (T.eq x (T.bv_of_int ~width:16 0xBEEF));
+  (match S.check s with
+   | S.Sat -> ()
+   | S.Unsat _ | S.Unknown -> Alcotest.fail "expected (unsound) Sat");
+  let r = S.cert_report s in
+  check_bool "failure recorded" true (r.S.failures <> []);
+  check_bool "cert flagged not ok" true
+    (List.exists (fun c -> not c.S.ok) r.S.certs)
+
+let test_certify_off_by_default () =
+  let s = S.create () in
+  check_bool "not certifying" false (S.certifying s);
+  S.assert_ s (T.bool_var "b");
+  check_bool "sat" true (is_sat (S.check s));
+  let r = S.cert_report s in
+  check_bool "disabled" false r.S.enabled;
+  Alcotest.(check int) "no certs" 0 (List.length r.S.certs)
+
 (* --- differential property tests --------------------------------------------- *)
 
 (* Random bit-vector term generator over variables a b of a given width. *)
@@ -532,6 +602,14 @@ let () =
         [
           Alcotest.test_case "sort errors" `Quick test_sort_errors;
           Alcotest.test_case "model unavailable" `Quick test_model_unavailable;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "mixed queries across scopes" `Quick test_certify_mixed_queries;
+          Alcotest.test_case "unknown exempt" `Quick test_certify_unknown_exempt;
+          Alcotest.test_case "catches unsound solver" `Quick
+            test_certify_catches_unsound_solver;
+          Alcotest.test_case "off by default" `Quick test_certify_off_by_default;
         ] );
       ( "properties",
         [
