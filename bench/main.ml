@@ -445,8 +445,9 @@ let write_certify_json path =
     | None -> (0, 0, 0., 0)
     | Some r ->
       ( List.length r.Smt.Solver.certs,
-        List.fold_left (fun a c -> a + c.Smt.Solver.steps) 0 r.Smt.Solver.certs,
-        1000. *. List.fold_left (fun a c -> a +. c.Smt.Solver.time) 0. r.Smt.Solver.certs,
+        List.fold_left (fun a (c : Smt.Solver.cert) -> a + c.steps) 0 r.Smt.Solver.certs,
+        1000.
+        *. List.fold_left (fun a (c : Smt.Solver.cert) -> a +. c.time) 0. r.Smt.Solver.certs,
         List.length r.Smt.Solver.failures )
   in
   let oc = open_out path in
@@ -470,10 +471,112 @@ let write_certify_json path =
   Fmt.pr "wrote %s (plain %.2f ms, certify %.2f ms, %d queries, %d steps)@." path
     plain_ms certify_ms queries steps
 
+(* ------------------------------------------------------------------ *)
+(* Resilience measurement (BENCH_resilience.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The fail-operational column: quad_rv64 under a deliberately tight solver
+   budget, with and without the retry-with-escalation ladder, plus the cost
+   of journaling the run and of resuming from that journal. *)
+
+let count_inconclusive (outcome : Llhsc.Pipeline.outcome) =
+  let contains_inconclusive msg =
+    let n = String.length msg and p = "inconclusive" in
+    let k = String.length p in
+    let rec scan i = i + k <= n && (String.sub msg i k = p || scan (i + 1)) in
+    scan 0
+  in
+  let count fs =
+    List.length
+      (List.filter (fun (f : Llhsc.Report.finding) -> contains_inconclusive f.message) fs)
+  in
+  List.fold_left
+    (fun acc (p : Llhsc.Pipeline.product) -> acc + count p.findings)
+    (count outcome.Llhsc.Pipeline.partition_findings)
+    outcome.Llhsc.Pipeline.products
+
+let write_resilience_json path =
+  let runs = 11 in
+  let budget () = Sat.Solver.budget ~max_propagations:2000 () in
+  let retry () = Smt.Escalation.ladder ~attempts:3 () in
+  let plain_ms = median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ~budget:(budget ()) ()) in
+  let retry_ms =
+    median_ms ~runs (fun () ->
+        Llhsc.Quad_rv64.run_pipeline ~budget:(budget ()) ~retry:(retry ()) ())
+  in
+  let plain = Llhsc.Quad_rv64.run_pipeline ~budget:(budget ()) () in
+  let escalated = Llhsc.Quad_rv64.run_pipeline ~budget:(budget ()) ~retry:(retry ()) () in
+  let total_queries, retried, recovered, attempts_total =
+    match escalated.Llhsc.Pipeline.retry with
+    | None -> (0, 0, 0, 0)
+    | Some r ->
+      ( r.Smt.Solver.total_queries,
+        List.length r.Smt.Solver.retried,
+        List.length
+          (List.filter (fun (e : Smt.Solver.retry_entry) -> e.recovered) r.Smt.Solver.retried),
+        List.fold_left
+          (fun a (e : Smt.Solver.retry_entry) -> a + List.length e.attempts)
+          0 r.Smt.Solver.retried )
+  in
+  (* Resume column: full-budget run journaled to a scratch file, then
+     replayed.  Journal overhead = fsync'd record per product; resume cost =
+     hash checks + delta re-application, no solver work. *)
+  let journal_path = Filename.temp_file "llhsc-bench" ".jsonl" in
+  let inputs_hash = Llhsc.Journal.inputs_hash ~parts:[ "bench-resilience" ] in
+  let base_ms = median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ()) in
+  let journal_ms =
+    median_ms ~runs (fun () ->
+        if Sys.file_exists journal_path then Sys.remove journal_path;
+        let sink = Llhsc.Journal.open_ ~path:journal_path ~inputs_hash in
+        let o = Llhsc.Quad_rv64.run_pipeline ~inputs_hash ~journal:sink () in
+        Llhsc.Journal.close sink;
+        o)
+  in
+  let entries = Llhsc.Journal.load ~path:journal_path ~inputs_hash in
+  let resume_ms =
+    median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ~inputs_hash ~resume:entries ())
+  in
+  Sys.remove journal_path;
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "workload": "quad_rv64 pipeline (3 VMs + platform), max_propagations=2000",
+  "runs": %d,
+  "plain_ms": %.3f,
+  "retry_ms": %.3f,
+  "inconclusive_without_retry": %d,
+  "inconclusive_with_retry": %d,
+  "total_queries": %d,
+  "queries_retried": %d,
+  "queries_recovered": %d,
+  "escalation_success_rate": %.3f,
+  "attempts_per_retried_query": %.2f,
+  "full_budget_ms": %.3f,
+  "journal_ms": %.3f,
+  "journal_overhead_pct": %.1f,
+  "resume_ms": %.3f,
+  "resume_vs_full_pct": %.1f
+}
+|}
+    runs plain_ms retry_ms (count_inconclusive plain) (count_inconclusive escalated)
+    total_queries retried recovered
+    (if retried = 0 then 1. else float_of_int recovered /. float_of_int retried)
+    (if retried = 0 then 1. else float_of_int attempts_total /. float_of_int retried)
+    base_ms journal_ms
+    (100. *. ((journal_ms /. base_ms) -. 1.))
+    resume_ms
+    (100. *. (resume_ms /. base_ms))
+  ;
+  close_out oc;
+  Fmt.pr
+    "wrote %s (plain %.2f ms, retry %.2f ms, %d/%d retried queries recovered; resume %.2f ms vs full %.2f ms)@."
+    path plain_ms retry_ms recovered retried resume_ms base_ms
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match arg with
   | "certify" -> write_certify_json "BENCH_certify.json"
+  | "resilience" -> write_resilience_json "BENCH_resilience.json"
   | "report" -> report ()
   | _ ->
     report ();

@@ -223,18 +223,93 @@ let budget_of max_conflicts timeout =
   | None, None -> None
   | _ -> Some (Sat.Solver.budget ?max_conflicts ?time_limit:timeout ())
 
+(* "drop-lit:3" -> Drop_learnt_literal 3, etc.  A bad spec is an input error
+   (failwith -> Diag FAIL -> exit 2). *)
+let parse_unsound spec =
+  match String.index_opt spec ':' with
+  | Some i -> (
+    let kind = String.sub spec 0 i in
+    let n =
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some n when n > 0 -> n
+      | _ -> failwith (Printf.sprintf "bad --unsound period in %S (want a positive int)" spec)
+    in
+    match kind with
+    | "drop-lit" -> Sat.Solver.Drop_learnt_literal n
+    | "flip-model" -> Sat.Solver.Flip_model_bit n
+    | "mute-proof" -> Sat.Solver.Mute_proof_step n
+    | "force-unknown" -> Sat.Solver.Force_unknown n
+    | k ->
+      failwith
+        (Printf.sprintf
+           "unknown --unsound kind %S (drop-lit|flip-model|mute-proof|force-unknown)" k))
+  | None ->
+    failwith (Printf.sprintf "bad --unsound spec %S (want KIND:N)" spec)
+
+let retry_of = function
+  | None -> None
+  | Some n when n >= 2 -> Some (Smt.Escalation.ladder ~attempts:n ())
+  | Some n ->
+    failwith (Printf.sprintf "--retry wants at least 2 attempts, got %d" n)
+
 let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
-    max_conflicts timeout certify =
+    max_conflicts timeout certify retry journal_path resume unsound =
   handle_errors @@ fun () ->
   let core = load_tree core_path in
   let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
   let model = Featuremodel.Parse.parse (read_file fm_path) in
   let schemas = load_schemas schema_dir in
   let schemas_for _tree = schemas in
+  (* Everything a verdict depends on: raw input bytes plus the
+     verdict-affecting flags.  Threaded into every journal record's content
+     hash, so --resume re-checks when any of it changed. *)
+  let inputs_hash =
+    let schema_bytes =
+      match schema_dir with
+      | None -> []
+      | Some dir ->
+        Sys.readdir dir |> Array.to_list |> List.sort String.compare
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".yaml" || Filename.check_suffix f ".yml")
+        |> List.map (fun f -> read_file (Filename.concat dir f))
+    in
+    Llhsc.Journal.inputs_hash
+      ~parts:
+        ([ read_file core_path; read_file deltas_path; read_file fm_path ]
+        @ schema_bytes
+        @ List.map (String.concat ",") vm_features
+        @ exclusive
+        @ [ Printf.sprintf "conflicts=%s timeout=%s certify=%b retry=%s unsound=%s"
+              (match max_conflicts with Some n -> string_of_int n | None -> "-")
+              (match timeout with Some t -> string_of_float t | None -> "-")
+              certify
+              (match retry with Some n -> string_of_int n | None -> "-")
+              (Option.value ~default:"-" unsound) ])
+  in
+  let resume_entries =
+    if not resume then []
+    else
+      match journal_path with
+      | Some path -> Llhsc.Journal.load ~path ~inputs_hash
+      | None -> failwith "--resume requires --journal FILE"
+  in
+  let sink =
+    Option.map (fun path -> Llhsc.Journal.open_ ~path ~inputs_hash) journal_path
+  in
   let outcome =
     Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~certify
+      ?retry:(retry_of retry) ?unsound:(Option.map parse_unsound unsound)
+      ~inputs_hash ?journal:sink ~resume:resume_entries
       ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
   in
+  Option.iter Llhsc.Journal.close sink;
+  (* Resume status goes to stderr only: a resumed run's stdout report stays
+     byte-identical to an uninterrupted run's. *)
+  if resume then begin
+    match outcome.Llhsc.Pipeline.replayed with
+    | [] -> Fmt.epr "resume: nothing replayable; all products re-checked@."
+    | rs -> Fmt.epr "resume: replayed from journal: %s@." (String.concat ", " rs)
+  end;
   Fmt.pr "%a" Llhsc.Pipeline.pp_outcome outcome;
   (match out_dir with
    | Some dir when Llhsc.Pipeline.ok outcome ->
@@ -443,25 +518,6 @@ let cmd_smt2 dts_path schema_dir output =
 
 (* --- sat -------------------------------------------------------------------------- *)
 
-(* "drop-lit:3" -> Drop_learnt_literal 3, etc.  A bad spec is an input error
-   (failwith -> Diag FAIL -> exit 2). *)
-let parse_unsound spec =
-  match String.index_opt spec ':' with
-  | Some i -> (
-    let kind = String.sub spec 0 i in
-    let n =
-      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
-      | Some n when n > 0 -> n
-      | _ -> failwith (Printf.sprintf "bad --unsound period in %S (want a positive int)" spec)
-    in
-    match kind with
-    | "drop-lit" -> Sat.Solver.Drop_learnt_literal n
-    | "flip-model" -> Sat.Solver.Flip_model_bit n
-    | "mute-proof" -> Sat.Solver.Mute_proof_step n
-    | k -> failwith (Printf.sprintf "unknown --unsound kind %S (drop-lit|flip-model|mute-proof)" k))
-  | None ->
-    failwith (Printf.sprintf "bad --unsound spec %S (want KIND:N)" spec)
-
 let cmd_sat cnf_path certify unsound =
   handle_errors @@ fun () ->
   let cnf = Sat.Dimacs.parse_file cnf_path in
@@ -618,10 +674,41 @@ let pipeline_cmd =
     Arg.(value & opt (some float) None & info [ "solver-timeout" ] ~docv:"SECONDS"
            ~doc:"Solver budget: wall-clock deadline per query.")
   in
+  let retry =
+    Arg.(value & opt (some int) None & info [ "retry" ] ~docv:"ATTEMPTS"
+           ~doc:"Retry inconclusive (budget-exhausted) solver queries up an \
+                 escalation ladder of at most $(docv) total attempts: budget \
+                 x4 per rung with diversified restarts (fresh seed, flipped \
+                 or randomized phases, alternate VSIDS decay).  Per-attempt \
+                 statistics are reported for every retried query.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Crash-safe journal: append one fsync'd JSONL record per \
+                 completed product to $(docv), keyed by a content hash of \
+                 the run's inputs.  A killed run loses at most the product \
+                 being checked.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Replay the --journal file: products whose recorded content \
+                   hash still matches are skipped (findings replayed \
+                   verbatim), stale or missing ones are re-checked.  The \
+                   stdout report is byte-identical to an uninterrupted run.")
+  in
+  let unsound =
+    Arg.(value & opt (some string) None
+         & info [ "unsound" ] ~docv:"KIND:N"
+             ~doc:"Testing only: inject a deliberate solver fault every N \
+                   queries (drop-lit:N, flip-model:N, mute-proof:N or \
+                   force-unknown:N) to exercise certification and \
+                   escalation paths.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
     Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out
-          $ max_conflicts $ timeout $ certify_arg)
+          $ max_conflicts $ timeout $ certify_arg $ retry $ journal $ resume $ unsound)
 
 let dtb_cmd =
   let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in

@@ -61,6 +61,7 @@ let of_exn exn =
   | Featuremodel.Multi.Error msg -> at "FM-ALLOC" "%s" msg
   | Featuremodel.Configurator.Error msg -> at "FM-CONFIG" "%s" msg
   (* solvers *)
+  | Sat.Dimacs.Error msg -> at "PARSE" "dimacs: %s" msg
   | Smt.Solver.Error msg -> at "SMT" "%s" msg
   | Smt.Interp.Eval_error msg -> at "SMT-EVAL" "%s" msg
   | Smt.Term.Sort_error msg -> at "SMT-SORT" "%s" msg

@@ -1,0 +1,232 @@
+(* Append-only JSONL journal for crash-safe pipeline runs.  See the .mli
+   for the format contract; the important invariants live in [record]:
+   one complete line per entry, fsync'd before control returns, so the
+   window a SIGKILL can lose is exactly one in-flight record. *)
+
+type kind = Product | Partition
+
+type entry = {
+  kind : kind;
+  name : string;
+  hash : string;
+  features : string list;
+  order : string list;
+  findings : Report.finding list;
+  certified : bool;
+  cert_failures : int;
+}
+
+let version = 1
+
+(* --- hashes ---------------------------------------------------------------- *)
+
+(* '\x00' cannot appear in names/features (they come from identifiers and
+   file bytes are hashed before joining), so the join is injective enough
+   for staleness detection. *)
+let digest_parts parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+let inputs_hash ~parts = digest_parts ("llhsc-inputs" :: parts)
+
+let product_hash ~inputs_hash ~name ~features =
+  digest_parts ("product" :: inputs_hash :: name :: features)
+
+let partition_hash ~inputs_hash ~products =
+  digest_parts
+    ("partition" :: inputs_hash
+    :: List.concat_map (fun (name, features) -> name :: features) products)
+
+(* --- entry <-> JSON -------------------------------------------------------- *)
+
+let severity_to_string : Report.severity -> string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Report.Error
+  | "warning" -> Some Report.Warning
+  | "info" -> Some Report.Info
+  | _ -> None
+
+let finding_to_json (f : Report.finding) =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_to_string f.severity));
+      ("checker", Json.Str f.checker);
+      ("node_path", Json.Str f.node_path);
+      ("message", Json.Str f.message);
+      ( "loc",
+        Json.Obj
+          [
+            ("file", Json.Str f.loc.Devicetree.Loc.file);
+            ("line", Json.Int f.loc.Devicetree.Loc.line);
+            ("col", Json.Int f.loc.Devicetree.Loc.col);
+          ] );
+      ("core", Json.List (List.map (fun s -> Json.Str s) f.core));
+    ]
+
+let ( let* ) = Option.bind
+
+let finding_of_json j =
+  let* severity = Option.bind Json.(member "severity" j) Json.to_str in
+  let* severity = severity_of_string severity in
+  let* checker = Option.bind Json.(member "checker" j) Json.to_str in
+  let* node_path = Option.bind Json.(member "node_path" j) Json.to_str in
+  let* message = Option.bind Json.(member "message" j) Json.to_str in
+  let* loc = Json.member "loc" j in
+  let* file = Option.bind (Json.member "file" loc) Json.to_str in
+  let* line = Option.bind (Json.member "line" loc) Json.to_int in
+  let* col = Option.bind (Json.member "col" loc) Json.to_int in
+  let* core = Option.bind Json.(member "core" j) Json.to_str_list in
+  Some
+    {
+      Report.severity;
+      checker;
+      node_path;
+      message;
+      loc = Devicetree.Loc.make ~file ~line ~col;
+      core;
+    }
+
+let kind_to_string = function Product -> "product" | Partition -> "partition"
+
+let kind_of_string = function
+  | "product" -> Some Product
+  | "partition" -> Some Partition
+  | _ -> None
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("kind", Json.Str (kind_to_string e.kind));
+      ("name", Json.Str e.name);
+      ("hash", Json.Str e.hash);
+      ("features", Json.List (List.map (fun s -> Json.Str s) e.features));
+      ("order", Json.List (List.map (fun s -> Json.Str s) e.order));
+      ("findings", Json.List (List.map finding_to_json e.findings));
+      ("certified", Json.Bool e.certified);
+      ("cert_failures", Json.Int e.cert_failures);
+    ]
+
+let entry_of_json j =
+  let* kind = Option.bind Json.(member "kind" j) Json.to_str in
+  let* kind = kind_of_string kind in
+  let* name = Option.bind Json.(member "name" j) Json.to_str in
+  let* hash = Option.bind Json.(member "hash" j) Json.to_str in
+  let* features = Option.bind Json.(member "features" j) Json.to_str_list in
+  let* order = Option.bind Json.(member "order" j) Json.to_str_list in
+  let* findings = Option.bind Json.(member "findings" j) Json.to_list in
+  let findings' = List.filter_map finding_of_json findings in
+  if List.length findings' <> List.length findings then None
+  else
+    let* certified = Option.bind Json.(member "certified" j) Json.to_bool in
+    let* cert_failures = Option.bind Json.(member "cert_failures" j) Json.to_int in
+    Some { kind; name; hash; features; order; findings = findings'; certified; cert_failures }
+
+let header_json ~inputs_hash =
+  Json.Obj [ ("llhsc-journal", Json.Int version); ("inputs", Json.Str inputs_hash) ]
+
+let header_of_json j =
+  match Option.bind Json.(member "llhsc-journal" j) Json.to_int with
+  | Some v when v = version -> Option.bind (Json.member "inputs" j) Json.to_str
+  | _ -> None
+
+(* --- fault-injection kill hooks -------------------------------------------- *)
+
+(* The fault harness simulates a crash at a seeded point by having the
+   journal SIGKILL its own process: either right after the n-th record
+   lands (clean cut between lines) or halfway through writing it (torn
+   final line, which [load] must skip). *)
+let kill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let env_int name =
+  match Sys.getenv_opt name with None -> None | Some v -> int_of_string_opt v
+
+(* --- sink ------------------------------------------------------------------ *)
+
+type sink = { oc : out_channel; mutable written : int }
+
+let sync oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let open_ ~path ~inputs_hash =
+  let exists = Sys.file_exists path in
+  let fresh =
+    (not exists)
+    || (try (Unix.stat path).Unix.st_size = 0 with Unix.Unix_error _ -> true)
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then begin
+    output_string oc (Json.to_string (header_json ~inputs_hash));
+    output_char oc '\n';
+    sync oc
+  end;
+  { oc; written = 0 }
+
+let record sink entry =
+  let line = Json.to_string (entry_to_json entry) in
+  sink.written <- sink.written + 1;
+  (match env_int "LLHSC_FAULT_KILL_MID_RECORD" with
+   | Some n when n = sink.written ->
+     (* Torn write: half the record, no newline, then die. *)
+     output_string sink.oc (String.sub line 0 (String.length line / 2));
+     sync sink.oc;
+     kill_self ()
+   | _ -> ());
+  output_string sink.oc line;
+  output_char sink.oc '\n';
+  sync sink.oc;
+  match env_int "LLHSC_FAULT_KILL_AFTER_RECORDS" with
+  | Some n when n = sink.written -> kill_self ()
+  | _ -> ()
+
+let close sink = close_out sink.oc
+
+(* --- load ------------------------------------------------------------------ *)
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        Some (List.rev acc)
+    in
+    go []
+
+let load ~path ~inputs_hash =
+  match read_lines path with
+  | None | Some [] -> []
+  | Some (header :: rest) ->
+    let header_ok =
+      match Json.parse header with
+      | Ok j -> header_of_json j = Some inputs_hash
+      | Error _ -> false
+    in
+    if not header_ok then []
+    else
+      let parse line =
+        match Json.parse line with
+        | Ok j -> entry_of_json j
+        | Error _ -> None (* torn final record, or garbage: skip *)
+      in
+      (* Last record wins per (kind, name): a resumed run appends fresher
+         verdicts rather than rewriting the file. *)
+      let tbl = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun line ->
+          match parse line with
+          | None -> ()
+          | Some e ->
+            let key = (e.kind, e.name) in
+            if not (Hashtbl.mem tbl key) then order := key :: !order;
+            Hashtbl.replace tbl key e)
+        rest;
+      List.rev_map (fun key -> Hashtbl.find tbl key) !order
+
+let find entries kind name =
+  List.find_opt (fun e -> e.kind = kind && e.name = name) entries

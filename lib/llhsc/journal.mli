@@ -1,0 +1,77 @@
+(** Crash-safe pipeline journal: an append-only JSONL file with one
+    fsync'd record per completed pipeline product, enabling [--resume] to
+    skip work that already concluded before a crash.
+
+    File layout: the first line is a header record carrying a format
+    version and a hash of the run's inputs; every following line is one
+    {!entry}.  Each record is written, flushed and [fsync]'d before the
+    pipeline moves on, so a SIGKILL at any point loses at most the record
+    being written.  {!load} tolerates a truncated final line and takes the
+    last record per (kind, name) when a product appears twice (a resumed
+    run appends, it never rewrites). *)
+
+type kind = Product | Partition
+
+type entry = {
+  kind : kind;
+  name : string; (** product name; ["partition"] for the partition record *)
+  hash : string;
+      (** content hash of everything this record's verdict depends on (see
+          {!product_hash} / {!partition_hash}); a mismatch on resume means
+          the entry is stale and the product is re-checked *)
+  features : string list;
+  order : string list; (** delta application order (products only) *)
+  findings : Report.finding list;
+  certified : bool; (** the run that wrote this record was certifying *)
+  cert_failures : int;
+      (** certification failures accumulated when the record was written;
+          resumed certifying runs re-check any entry with failures (or
+          written by a non-certifying run) rather than trusting it *)
+}
+
+(** {1 Content hashes}
+
+    MD5 (via stdlib [Digest]) over a canonical rendering of the inputs —
+    collision resistance against adversaries is not a goal; detecting
+    changed inputs across runs is. *)
+
+(** Hash of the raw run inputs plus verdict-affecting options; computed by
+    the caller from file bytes and flags, threaded through the header and
+    every per-product hash. *)
+val inputs_hash : parts:string list -> string
+
+(** [product_hash ~inputs_hash ~name ~features] — what a product verdict
+    depends on: the run inputs and the product's completed feature set. *)
+val product_hash : inputs_hash:string -> name:string -> features:string list -> string
+
+(** The partition verdict depends on every completed product. *)
+val partition_hash :
+  inputs_hash:string -> products:(string * string list) list -> string
+
+(** {1 Writing} *)
+
+type sink
+
+(** Open (append mode, creating if needed) and write the header record if
+    the file is new or empty.  Raises [Sys_error] on unwritable paths. *)
+val open_ : path:string -> inputs_hash:string -> sink
+
+(** Append one record: a single JSON line, flushed and fsync'd before
+    returning.  Honours the fault-injection kill hooks
+    [LLHSC_FAULT_KILL_AFTER_RECORDS]/[LLHSC_FAULT_KILL_MID_RECORD] (test
+    harness only: simulate SIGKILL at seeded points). *)
+val record : sink -> entry -> unit
+
+val close : sink -> unit
+
+(** {1 Loading} *)
+
+(** Parse a journal for resumption.  Returns [[]] when the file is
+    missing, unreadable, or its header's inputs hash differs from
+    [inputs_hash] (the whole journal is stale).  Unparsable lines — e.g. a
+    half-written final record — are skipped.  Later records win over
+    earlier ones with the same (kind, name). *)
+val load : path:string -> inputs_hash:string -> entry list
+
+(** Lookup in a loaded journal. *)
+val find : entry list -> kind -> string -> entry option

@@ -1,0 +1,33 @@
+(** Minimal JSON reader/writer for the pipeline journal (and other
+    machine-readable artifacts).  Covers exactly the JSON subset the
+    journal emits: null, booleans, 63-bit integers, strings, arrays and
+    objects — no floats, no duplicate-key policing.  Self-contained so the
+    journal adds no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with full string escaping — one call
+    per journal record guarantees records never contain a raw newline. *)
+val to_string : t -> string
+
+(** Parse a complete JSON value; [Error] carries a message with an offset.
+    Trailing garbage after the value is an error (journal records are one
+    value per line). *)
+val parse : string -> (t, string) result
+
+(** {1 Accessors} ([None] on shape mismatch) *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+(** All-or-nothing string list. *)
+val to_str_list : t -> string list option

@@ -31,6 +31,8 @@ type outcome = {
   delta_orders : (string * string list) list; (* product -> application order *)
   errors : Diag.t list; (* per-phase failures that did not abort the run *)
   cert : Smt.Solver.cert_report option; (* Some iff the run certified *)
+  retry : Smt.Solver.retry_report option; (* Some iff a retry policy ran *)
+  replayed : string list; (* products whose verdicts came from the journal *)
 }
 
 let ok outcome =
@@ -83,16 +85,56 @@ let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
 
    [budget] installs a solver resource budget for every check in the run;
    exhausted queries degrade to "inconclusive" warnings instead of
-   hanging. *)
-let run ?(exclusive = []) ?budget ?(certify = false) ~model ~core ~deltas
+   hanging.  [retry] installs an escalation ladder: inconclusive queries
+   are re-run with scaled budgets and diversified restarts.
+
+   Crash safety: with [journal] each completed product (and the partition
+   check) is appended to the journal as one fsync'd record keyed by a
+   content hash of its inputs.  [resume] is a previously loaded journal;
+   products whose hash matches a trusted journal entry are replayed —
+   trees regenerated (cheap and deterministic) but findings taken from the
+   journal, no solver work — and everything else is re-checked.  A
+   certifying run only trusts entries that were themselves written by a
+   certifying run with zero failures: resumption never fabricates a
+   certificate. *)
+let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
+    ?(inputs_hash = "") ?journal ?(resume = []) ~model ~core ~deltas
     ~schemas_for ~vm_requests () =
   let solver = Smt.Solver.create ~certify () in
   Smt.Solver.set_budget solver budget;
+  Smt.Solver.set_escalation solver retry;
+  Option.iter (Smt.Solver.inject_unsoundness solver) unsound;
   let errors = ref [] in
+  let replayed = ref [] in
+  let cert_failures () =
+    if certify then
+      List.length (Smt.Solver.cert_report solver).Smt.Solver.failures
+    else 0
+  in
+  let journal_entry ~kind ~name ~hash ~features ~order ~findings
+      ~failures_before =
+    match journal with
+    | None -> ()
+    | Some sink ->
+      Journal.record sink
+        { Journal.kind; name; hash; features; order; findings;
+          certified = certify;
+          cert_failures = cert_failures () - failures_before }
+  in
+  (* A journal entry is only worth replaying if the current run's
+     certification demands are no stricter than the run that wrote it. *)
+  let trusted (e : Journal.entry) =
+    (not certify) || (e.Journal.certified && e.Journal.cert_failures = 0)
+  in
   let finish ~products ~alloc_findings ~partition_findings ~delta_orders =
     { products; alloc_findings; partition_findings; delta_orders;
       errors = List.rev !errors;
-      cert = (if certify then Some (Smt.Solver.cert_report solver) else None) }
+      cert = (if certify then Some (Smt.Solver.cert_report solver) else None);
+      retry =
+        (match retry with
+         | None -> None
+         | Some _ -> Some (Smt.Solver.retry_report solver));
+      replayed = List.rev !replayed }
   in
   let vms = List.length vm_requests in
   let requests =
@@ -106,9 +148,38 @@ let run ?(exclusive = []) ?budget ?(certify = false) ~model ~core ~deltas
     finish ~products:[] ~alloc_findings:findings ~partition_findings:[] ~delta_orders:[]
   | Alloc.Allocated { vms = completed; platform } ->
     let build ~name ~features =
-      guarded ~solver ~errors ~what:("product " ^ name)
-        ~fallback:{ name; features; tree = core; findings = [] }
-        (fun () -> build_product ~solver ~core ~deltas ~schemas_for ~name ~features)
+      let hash = Journal.product_hash ~inputs_hash ~name ~features in
+      match Journal.find resume Journal.Product name with
+      | Some e when e.Journal.hash = hash && trusted e ->
+        (* Replay: regenerate the tree (needed downstream by the partition
+           check and artifact rendering) but skip all solver work and take
+           the recorded findings verbatim. *)
+        replayed := name :: !replayed;
+        let tree =
+          guarded ~solver ~errors ~what:("product " ^ name) ~fallback:core
+            (fun () ->
+              match Delta.Apply.generate ~core ~deltas ~selected:features with
+              | tree -> tree
+              | exception Delta.Apply.Error _ -> core)
+        in
+        { name; features; tree; findings = e.Journal.findings }
+      | _ ->
+        let errs_before = List.length !errors in
+        let failures_before = cert_failures () in
+        let p =
+          guarded ~solver ~errors ~what:("product " ^ name)
+            ~fallback:{ name; features; tree = core; findings = [] }
+            (fun () ->
+              build_product ~solver ~core ~deltas ~schemas_for ~name ~features)
+        in
+        (* Only journal products whose phase completed without an isolated
+           error: a guarded failure means the recorded findings would not
+           reflect a full check. *)
+        if List.length !errors = errs_before then
+          journal_entry ~kind:Journal.Product ~name ~hash ~features
+            ~order:(Delta.Apply.order ~selected:features deltas)
+            ~findings:p.findings ~failures_before;
+        p
     in
     let vm_products =
       List.map
@@ -118,19 +189,36 @@ let run ?(exclusive = []) ?budget ?(certify = false) ~model ~core ~deltas
         completed
     in
     let platform_product = build ~name:"platform" ~features:platform in
+    let all_products = vm_products @ [ platform_product ] in
     let delta_orders =
       List.map
         (fun p -> (p.name, Delta.Apply.order ~selected:p.features deltas))
-        (vm_products @ [ platform_product ])
+        all_products
     in
     let partition_findings =
-      guarded ~solver ~errors ~what:"partition check" ~fallback:[] (fun () ->
-          Partition.check ~solver ~platform:platform_product.tree
-            (List.map (fun p -> (p.name, p.tree)) vm_products))
+      let hash =
+        Journal.partition_hash ~inputs_hash
+          ~products:(List.map (fun p -> (p.name, p.features)) all_products)
+      in
+      match Journal.find resume Journal.Partition "partition" with
+      | Some e when e.Journal.hash = hash && trusted e ->
+        replayed := "partition" :: !replayed;
+        e.Journal.findings
+      | _ ->
+        let errs_before = List.length !errors in
+        let failures_before = cert_failures () in
+        let fs =
+          guarded ~solver ~errors ~what:"partition check" ~fallback:[] (fun () ->
+              Partition.check ~solver ~platform:platform_product.tree
+                (List.map (fun p -> (p.name, p.tree)) vm_products))
+        in
+        if List.length !errors = errs_before then
+          journal_entry ~kind:Journal.Partition ~name:"partition" ~hash
+            ~features:[] ~order:[] ~findings:fs ~failures_before;
+        fs
     in
-    finish
-      ~products:(vm_products @ [ platform_product ])
-      ~alloc_findings:[] ~partition_findings ~delta_orders
+    finish ~products:all_products ~alloc_findings:[] ~partition_findings
+      ~delta_orders
 
 let pp_outcome ppf outcome =
   List.iter
@@ -151,6 +239,13 @@ let pp_outcome ppf outcome =
      Fmt.pf ppf "cross-VM partitioning:@.";
      List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs);
   List.iter (fun d -> Fmt.pf ppf "%a@." Diag.pp d) outcome.errors;
+  (* Resume/replay status deliberately does NOT appear here: a resumed
+     run's report must be byte-identical to an uninterrupted one.  The CLI
+     reports replays on stderr. *)
+  (match outcome.retry with
+   | Some r when r.Smt.Solver.retried <> [] ->
+     Fmt.pf ppf "%a@." Report.pp_retry r
+   | _ -> ());
   match outcome.cert with
   | None -> ()
   | Some r ->

@@ -23,6 +23,14 @@ type outcome = {
           certificate stats plus any certification failures.  A failure
           means a solver verdict could not be independently validated and
           the run is not [ok]. *)
+  retry : Smt.Solver.retry_report option;
+      (** [Some] iff a retry policy was in force ([?retry]): per-query
+          escalation attempt logs for every query that needed more than
+          one attempt. *)
+  replayed : string list;
+      (** Product names (plus ["partition"]) whose verdicts were replayed
+          from the resume journal instead of re-checked; empty on a
+          non-resumed run. *)
 }
 
 (** All checks clean (warnings allowed), no isolated phase errors, and —
@@ -45,11 +53,36 @@ val ok : outcome -> bool
     [certify] certifies every solver verdict of the run against the
     independent proof/model checker (see [Smt.Solver.create]); results land
     in [outcome.cert], and any failure makes the outcome not [ok]
-    ([Unknown] verdicts are exempt). *)
+    ([Unknown] verdicts are exempt).
+
+    [retry] installs a retry-with-escalation ladder (see
+    [Smt.Escalation]): queries whose budget runs out are re-run with
+    scaled budgets and diversified restarts before degrading to an
+    "inconclusive" warning; every attempt is logged in [outcome.retry],
+    and certification applies to whichever attempt concludes.
+
+    [journal] makes the run crash-safe: one fsync'd JSONL record per
+    completed product (content hash + findings + certification status).
+    [resume] replays a previously loaded journal (see [Journal.load]):
+    products whose content hash matches a trusted entry are skipped —
+    findings replayed verbatim — and stale or untrusted entries are
+    re-checked.  [inputs_hash] is the caller-computed hash of the run's
+    raw inputs and verdict-affecting flags, threaded into every record's
+    content hash.
+
+    [unsound] is test-only fault injection forwarded to the underlying
+    SAT solver (see [Sat.Solver.inject_unsoundness]); the
+    [Force_unknown] mutation exercises escalation and degradation paths
+    without unsoundness. *)
 val run :
   ?exclusive:string list ->
   ?budget:Sat.Solver.budget ->
   ?certify:bool ->
+  ?retry:Smt.Escalation.t ->
+  ?unsound:Sat.Solver.unsound_mutation ->
+  ?inputs_hash:string ->
+  ?journal:Journal.sink ->
+  ?resume:Journal.entry list ->
   model:Featuremodel.Model.t ->
   core:Devicetree.Tree.t ->
   deltas:Delta.Lang.t list ->

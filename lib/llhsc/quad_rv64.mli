@@ -22,5 +22,15 @@ val vm3_features : string list
 val exclusive : string list
 
 (** The full Fig.-2 pipeline on this case study; [~certify:true] certifies
-    every solver verdict of the run. *)
-val run_pipeline : ?certify:bool -> unit -> Pipeline.outcome
+    every solver verdict of the run.  [?budget]/[?retry] bound and escalate
+    solver work, [?journal]/[?resume]/[?inputs_hash] thread crash-safe
+    journaling through (see {!Pipeline.run}). *)
+val run_pipeline :
+  ?budget:Sat.Solver.budget ->
+  ?certify:bool ->
+  ?retry:Smt.Escalation.t ->
+  ?inputs_hash:string ->
+  ?journal:Journal.sink ->
+  ?resume:Journal.entry list ->
+  unit ->
+  Pipeline.outcome

@@ -40,10 +40,40 @@ let cert_findings (r : Smt.Solver.cert_report) =
       finding ~checker:"certify" ~node_path:"/" "uncertified verdict: %s" msg)
     r.Smt.Solver.failures
 
+let pp_retry ppf (r : Smt.Solver.retry_report) =
+  let recovered =
+    List.filter (fun (e : Smt.Solver.retry_entry) -> e.recovered) r.retried
+  in
+  Fmt.pf ppf "escalation: %d/%d queries retried, %d recovered"
+    (List.length r.Smt.Solver.retried)
+    r.Smt.Solver.total_queries (List.length recovered);
+  List.iter
+    (fun (e : Smt.Solver.retry_entry) ->
+      Fmt.pf ppf "@.  query %d:%s" e.rquery
+        (if e.recovered then "" else " (exhausted ladder)");
+      List.iter
+        (fun (a : Smt.Solver.attempt) ->
+          Fmt.pf ppf "@.    attempt %d (x%d%s, polarity %a): %s, %d conflicts, %.2f ms"
+            a.attempt a.scale
+            (match a.seed with
+             | Some s -> Fmt.str ", seed %#x" s
+             | None -> "")
+            Smt.Escalation.pp_polarity a.polarity
+            (match a.result with
+             | `Sat -> "sat"
+             | `Unsat -> "unsat"
+             | `Unknown -> "unknown")
+            a.conflicts
+            (1000. *. a.time))
+        e.attempts)
+    r.Smt.Solver.retried
+
 let pp_cert ppf (r : Smt.Solver.cert_report) =
   let certs = r.Smt.Solver.certs in
   let failures = List.length r.Smt.Solver.failures in
-  let time = List.fold_left (fun acc c -> acc +. c.Smt.Solver.time) 0. certs in
+  let time =
+    List.fold_left (fun acc (c : Smt.Solver.cert) -> acc +. c.time) 0. certs
+  in
   Fmt.pf ppf "certification: %d queries certified, %d failures (%.1f ms checking)"
     (List.length certs) failures (1000. *. time);
   List.iter

@@ -40,3 +40,8 @@ val cert_findings : Smt.Solver.cert_report -> finding list
 (** Per-query certificate stats (verdict, trace length, check time) plus a
     one-line summary. *)
 val pp_cert : Format.formatter -> Smt.Solver.cert_report -> unit
+
+(** Escalation-ladder statistics: one summary line plus, per retried
+    query, its full attempt log (scale, seed, polarity, result,
+    conflicts, time). *)
+val pp_retry : Format.formatter -> Smt.Solver.retry_report -> unit

@@ -3,6 +3,10 @@ type cnf = {
   clauses : Lit.t list list;
 }
 
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let num_vars = ref 0 in
@@ -11,13 +15,12 @@ let parse text =
   let current = ref [] in
   let handle_token tok =
     match int_of_string_opt tok with
-    | None -> failwith (Printf.sprintf "dimacs: bad token %S" tok)
+    | None -> error "bad token %S" tok
     | Some 0 ->
       clauses := List.rev !current :: !clauses;
       current := []
     | Some d ->
-      if abs d > !num_vars then
-        failwith (Printf.sprintf "dimacs: literal %d out of declared range" d);
+      if abs d > !num_vars then error "literal %d out of declared range" d;
       current := Lit.of_dimacs d :: !current
   in
   let handle_line line =
@@ -25,10 +28,13 @@ let parse text =
     if line = "" || line.[0] = 'c' then ()
     else if line.[0] = 'p' then begin
       match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-      | [ "p"; "cnf"; nv; nc ] ->
-        num_vars := int_of_string nv;
-        declared_clauses := int_of_string nc
-      | _ -> failwith "dimacs: malformed problem line"
+      | [ "p"; "cnf"; nv; nc ] -> (
+        match (int_of_string_opt nv, int_of_string_opt nc) with
+        | Some v, Some c when v >= 0 && c >= 0 ->
+          num_vars := v;
+          declared_clauses := c
+        | _ -> error "malformed problem line %S" line)
+      | _ -> error "malformed problem line %S" line
     end
     else
       String.split_on_char ' ' line
@@ -36,10 +42,11 @@ let parse text =
       |> List.iter handle_token
   in
   List.iter handle_line lines;
-  if !current <> [] then failwith "dimacs: clause not terminated by 0";
+  if !current <> [] then error "truncated input: clause not terminated by 0";
   let clauses = List.rev !clauses in
   if !declared_clauses >= 0 && List.length clauses <> !declared_clauses then
-    failwith "dimacs: clause count mismatch";
+    error "clause count mismatch: header declares %d, file has %d"
+      !declared_clauses (List.length clauses);
   { num_vars = !num_vars; clauses }
 
 let parse_file path =

@@ -8,7 +8,14 @@ type cnf = {
   clauses : Lit.t list list;
 }
 
-(** Parse DIMACS CNF text.  Raises [Failure] with a message on bad input. *)
+(** Malformed or truncated DIMACS input.  Mapped to a structured
+    [error[PARSE]] diagnostic by [Diag.of_exn], so the CLI exits 2 with a
+    message — never an uncaught exception. *)
+exception Error of string
+
+(** Parse DIMACS CNF text.  Raises {!Error} on bad input (bad token,
+    out-of-range literal, malformed problem line, unterminated clause,
+    clause count mismatch). *)
 val parse : string -> cnf
 
 val parse_file : string -> cnf

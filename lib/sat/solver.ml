@@ -39,6 +39,15 @@ type unsound_mutation =
   | Drop_learnt_literal of int
   | Flip_model_bit of int
   | Mute_proof_step of int
+  | Force_unknown of int
+
+(* Restart diversification: initial phase policy for this [solve] call. *)
+type polarity_mode =
+  | Phase_saved
+  | Phase_false
+  | Phase_true
+  | Phase_inverted
+  | Phase_random
 
 type t = {
   mutable ok : bool;
@@ -78,9 +87,12 @@ type t = {
   (* deliberate corruption for certification tests *)
   mutable unsound : unsound_mutation option;
   mutable unsound_tick : int;
+  (* restart diversification (reset by every [solve] call) *)
+  mutable rng : int64;               (* xorshift64* state, seeded per call *)
+  mutable var_decay_inv : float;     (* 1 / VSIDS decay factor *)
 }
 
-let var_decay = 1. /. 0.95
+let default_var_decay = 0.95
 let clause_decay = 1. /. 0.999
 
 let create () =
@@ -119,6 +131,8 @@ let create () =
         proof = None;
         unsound = None;
         unsound_tick = 0;
+        rng = 0x9E3779B97F4A7C15L;
+        var_decay_inv = 1. /. default_var_decay;
       }
   in
   Lazy.force t
@@ -198,7 +212,7 @@ let var_bump t v =
   if t.activity.(v) > 1e100 then var_rescale t;
   Heap.decrease t.order v
 
-let var_decay_activity t = t.var_inc <- t.var_inc *. var_decay
+let var_decay_activity t = t.var_inc <- t.var_inc *. t.var_decay_inv
 
 let cla_bump t (c : clause) =
   c.activity <- c.activity +. t.cla_inc;
@@ -672,12 +686,75 @@ let set_budget_limits t = function
        | Some s -> Unix.gettimeofday () +. s
        | None -> infinity)
 
-let solve ?(assumptions = []) ?budget t =
+(* --- restart diversification --------------------------------------------- *)
+
+(* Deterministic per-call PRNG (xorshift64 star): the same seed always
+   yields the same search, so an escalation ladder's retries are
+   reproducible. *)
+let reseed t seed =
+  (* Never let the state collapse to 0 (a xorshift fixed point). *)
+  t.rng <- Int64.logor (Int64.mul (Int64.of_int seed) 0x2545F4914F6CDD1DL) 1L
+
+let rand_bits t =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.to_int (Int64.shift_right_logical x 2)
+
+let rand_int t n = if n <= 0 then 0 else rand_bits t mod n
+let rand_bool t = rand_bits t land 1 = 1
+
+(* Apply the per-call diversification knobs.  Phases steer which half of the
+   search tree is explored first; the seeded activity bumps reorder decision
+   ties; a different VSIDS decay changes how fast the heuristic forgets — all
+   deterministic given [seed], all sound (only heuristics are touched). *)
+let apply_diversification t ~seed ~polarity_mode ~var_decay =
+  t.var_decay_inv <-
+    (match var_decay with
+     | Some d when d > 0. && d < 1. -> 1. /. d
+     | Some d -> invalid_arg (Printf.sprintf "Solver.solve: var_decay %g not in (0,1)" d)
+     | None -> 1. /. default_var_decay);
+  (match seed with Some s -> reseed t s | None -> ());
+  (match polarity_mode with
+   | Phase_saved -> ()
+   | Phase_false -> Array.fill t.polarity 0 (Array.length t.polarity) false
+   | Phase_true -> Array.fill t.polarity 0 (Array.length t.polarity) true
+   | Phase_inverted ->
+     for v = 0 to t.nvars - 1 do
+       t.polarity.(v) <- not t.polarity.(v)
+     done
+   | Phase_random ->
+     for v = 0 to t.nvars - 1 do
+       t.polarity.(v) <- rand_bool t
+     done);
+  (* Perturb the decision order: bump a seeded sample of variables so equal
+     (or near-equal) activities break ties differently on this attempt. *)
+  if seed <> None && t.nvars > 0 then
+    for _ = 1 to 1 + (t.nvars / 8) do
+      var_bump t (rand_int t t.nvars)
+    done
+
+let solve ?(assumptions = []) ?budget ?seed ?(polarity_mode = Phase_saved)
+    ?var_decay t =
   if not t.ok then begin
     t.core <- [];
     Unsat
   end
+  else if
+    match t.unsound with
+    | Some (Force_unknown n) -> unsound_fires t n
+    | _ -> false
+  then begin
+    (* Test-only fault: report an inconclusive verdict even though the
+       search never ran.  Scrub like a genuine budget exhaustion. *)
+    t.model <- [||];
+    t.core <- [];
+    Unknown
+  end
   else begin
+    apply_diversification t ~seed ~polarity_mode ~var_decay;
     set_budget_limits t budget;
     t.assumptions <- Array.of_list assumptions;
     t.max_learnts <- max 1000. (float_of_int (Vec.size t.clauses) *. 0.3);

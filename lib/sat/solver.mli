@@ -56,12 +56,38 @@ val num_conflicts : t -> int
     (at decision level 0).  Variables must have been allocated. *)
 val add_clause : t -> Lit.t list -> bool
 
-(** [solve ?assumptions ?budget t] decides satisfiability of the current
-    clause set under the given assumption literals.  With a [budget], the
-    search is abandoned once any cap is hit and [Unknown] is returned; the
-    solver remains usable (all learnt clauses are kept, and a later
-    unbudgeted call can complete the search). *)
-val solve : ?assumptions:Lit.t list -> ?budget:budget -> t -> result
+(** Initial phase policy for one [solve] call — the polarity each variable
+    is first tried with.  [Phase_saved] (the default) keeps the phases saved
+    by earlier search; the other modes diversify a restarted attempt so it
+    explores a different part of the tree. *)
+type polarity_mode =
+  | Phase_saved     (** phase saving: keep polarities from earlier search *)
+  | Phase_false     (** reset every phase to [false] *)
+  | Phase_true      (** reset every phase to [true] *)
+  | Phase_inverted  (** flip every saved phase *)
+  | Phase_random    (** seeded random phase per variable *)
+
+(** [solve ?assumptions ?budget ?seed ?polarity_mode ?var_decay t] decides
+    satisfiability of the current clause set under the given assumption
+    literals.  With a [budget], the search is abandoned once any cap is hit
+    and [Unknown] is returned; the solver remains usable (all learnt clauses
+    are kept, and a later call — e.g. the next rung of an escalation ladder —
+    can complete the search).
+
+    The remaining parameters are deterministic restart diversification for
+    such retries: [seed] (re)seeds the solver's internal PRNG and perturbs
+    decision tie-breaking, [polarity_mode] sets the initial phases, and
+    [var_decay] overrides the EVSIDS decay factor (must be in (0,1); default
+    0.95, restored on every call).  None of them affect soundness — the same
+    certificate machinery observes every attempt. *)
+val solve :
+  ?assumptions:Lit.t list ->
+  ?budget:budget ->
+  ?seed:int ->
+  ?polarity_mode:polarity_mode ->
+  ?var_decay:float ->
+  t ->
+  result
 
 (** Value of a variable in the most recent [Sat] model.  After an
     [Unknown] answer there is no model and this returns [false]. *)
@@ -111,6 +137,11 @@ type unsound_mutation =
       (** flip variable [n mod num_vars] in every reported model *)
   | Mute_proof_step of int
       (** omit every [n]th learnt clause from the trace *)
+  | Force_unknown of int
+      (** report every [n]th [solve] call as [Unknown] without searching —
+          a spurious resource exhaustion, used to exercise retry ladders
+          and graceful degradation (not an unsoundness: [Unknown] claims
+          nothing) *)
 
 val inject_unsoundness : t -> unsound_mutation -> unit
 

@@ -170,6 +170,8 @@ and parse_list lines indent =
           in
           let (entry, rest) = first_entry rest in
           let more, rest = parse_map_entries rest (indent + 2) in
+          if List.mem_assoc (fst entry) more then
+            error num "duplicate mapping key %S" (fst entry);
           go rest (Map (entry :: more) :: acc)
         | None -> go rest (parse_value num item_text :: acc)
       end
@@ -188,6 +190,9 @@ and parse_map_entries lines indent =
       match split_key_value num content with
       | None -> error num "expected 'key: value', got %S" content
       | Some (key, v) ->
+        (* Real YAML forbids duplicate keys; silently keeping the first (or
+           last) would let a schema author shadow a constraint unnoticed. *)
+        if List.mem_assoc key acc then error num "duplicate mapping key %S" key;
         if v = "" then begin
           let value, rest = parse_block rest (indent + 1) in
           go rest ((key, value) :: acc)

@@ -29,6 +29,29 @@ type cert_report = {
   failures : string list; (* oldest first *)
 }
 
+(* One solve attempt of one query, as recorded in a retry ladder's log. *)
+type attempt = {
+  attempt : int; (* 1-based; attempt 1 is the original budgeted call *)
+  scale : int; (* budget multiplier this attempt ran under *)
+  seed : int option;
+  polarity : Sat.Solver.polarity_mode;
+  result : [ `Sat | `Unsat | `Unknown ];
+  conflicts : int; (* conflicts spent during this attempt *)
+  time : float; (* seconds spent in this attempt *)
+}
+
+type retry_entry = {
+  rquery : int; (* 0-based index of the [check] call *)
+  attempts : attempt list; (* oldest first; length >= 2 *)
+  recovered : bool; (* a retry turned [Unknown] into a verdict *)
+}
+
+type retry_report = {
+  retry_enabled : bool;
+  total_queries : int;
+  retried : retry_entry list; (* oldest first; single-attempt queries omitted *)
+}
+
 type t = {
   sat : Sat.Solver.t;
   ctx : Blast.ctx;
@@ -38,6 +61,9 @@ type t = {
   mutable assertions : (string option * Term.t) list; (* newest first *)
   mutable last_sat : bool;
   mutable budget : Sat.Solver.budget option; (* default for every [check] *)
+  mutable escalation : Escalation.t option; (* default retry policy *)
+  mutable any_retry_policy : bool; (* a policy was in force for some check *)
+  mutable retries : retry_entry list; (* newest first *)
   (* certification state ([checker] is [Some] iff created with ~certify) *)
   checker : Sat.Checker.t option;
   mutable replay_cursor : int; (* trace steps already fed to the checker *)
@@ -76,6 +102,9 @@ let create ?(certify = false) () =
          assertions = [];
          last_sat = false;
          budget = None;
+         escalation = None;
+         any_retry_policy = false;
+         retries = [];
          checker = (if certify then Some (Sat.Checker.create ()) else None);
          replay_cursor = 0;
          n_checks = 0;
@@ -160,6 +189,14 @@ let pop t =
 let num_scopes t = List.length t.scopes
 
 let set_budget t budget = t.budget <- budget
+let set_escalation t policy = t.escalation <- policy
+
+let retry_report t =
+  {
+    retry_enabled = t.any_retry_policy;
+    total_queries = t.n_checks;
+    retried = List.rev t.retries;
+  }
 
 (* --- model extraction (needed below by certification) ----------------------- *)
 
@@ -281,20 +318,77 @@ let certify_answer t ck ~lits ~assumption_terms answer =
        fail "unsat core [%s] not confirmed: %s" (String.concat "; " names) m);
     record `Unsat
 
-let check ?(assumptions = []) ?budget t =
+(* Decide satisfiability, escalating on [Unknown].  The original attempt
+   runs under the base budget with default heuristics; each rung of the
+   retry policy re-runs the same query with a scaled budget and diversified
+   restart parameters.  The SAT solver keeps its learnt clauses across
+   attempts, so every retry resumes from all the work done so far.
+   Certification (below) sees only the final answer — whichever attempt
+   concluded produced the model/proof being certified. *)
+let check ?(assumptions = []) ?budget ?retry t =
   let budget = match budget with Some _ as b -> b | None -> t.budget in
+  let policy = match retry with Some _ as r -> r | None -> t.escalation in
   let extra = List.map (fun term -> (term, blast_checked t term)) assumptions in
   let lits =
     List.map (fun s -> s.act) t.scopes
     @ List.map snd t.named
     @ List.map snd extra
   in
+  let solve_attempt ~attempt ~scale ?seed ?(polarity = Sat.Solver.Phase_saved)
+      ?var_decay budget =
+    let c0 = Sat.Solver.num_conflicts t.sat in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Sat.Solver.solve ~assumptions:lits ?budget ?seed ~polarity_mode:polarity
+        ?var_decay t.sat
+    in
+    {
+      attempt;
+      scale;
+      seed;
+      polarity;
+      result =
+        (match r with
+         | Sat.Solver.Sat -> `Sat
+         | Sat.Solver.Unsat -> `Unsat
+         | Sat.Solver.Unknown -> `Unknown);
+      conflicts = Sat.Solver.num_conflicts t.sat - c0;
+      time = Unix.gettimeofday () -. t0;
+    }
+  in
+  let first = solve_attempt ~attempt:1 ~scale:1 budget in
+  let attempts =
+    match (first.result, policy) with
+    | `Unknown, Some { Escalation.steps = _ :: _ as steps } ->
+      let rec escalate acc n = function
+        | [] -> acc
+        | (step : Escalation.step) :: rest ->
+          let a =
+            solve_attempt ~attempt:n ~scale:step.Escalation.scale
+              ~seed:step.Escalation.seed ~polarity:step.Escalation.polarity
+              ?var_decay:step.Escalation.var_decay
+              (Escalation.scale_budget budget step.Escalation.scale)
+          in
+          if a.result = `Unknown then escalate (a :: acc) (n + 1) rest
+          else a :: acc
+      in
+      List.rev (escalate [ first ] 2 steps)
+    | _ -> [ first ]
+  in
+  if policy <> None then t.any_retry_policy <- true;
+  (match attempts with
+   | _ :: _ :: _ ->
+     let last = List.nth attempts (List.length attempts - 1) in
+     t.retries <-
+       { rquery = t.n_checks; attempts; recovered = last.result <> `Unknown }
+       :: t.retries
+   | _ -> ());
   let answer =
-    match Sat.Solver.solve ~assumptions:lits ?budget t.sat with
-    | Sat.Solver.Sat ->
+    match (List.nth attempts (List.length attempts - 1)).result with
+    | `Sat ->
       t.last_sat <- true;
       Sat
-    | Sat.Solver.Unsat ->
+    | `Unsat ->
       t.last_sat <- false;
       let core = Sat.Solver.unsat_core t.sat in
       let names =
@@ -303,7 +397,7 @@ let check ?(assumptions = []) ?budget t =
           t.named
       in
       Unsat names
-    | Sat.Solver.Unknown ->
+    | `Unknown ->
       t.last_sat <- false;
       Unknown
   in

@@ -58,14 +58,30 @@ val num_scopes : t -> int
 
 (** Decide satisfiability of all live assertions, plus optional extra
     assumptions for this call only.  [?budget] overrides the solver-level
-    default budget (see {!set_budget}) for this call. *)
-val check : ?assumptions:Term.t list -> ?budget:Sat.Solver.budget -> t -> answer
+    default budget (see {!set_budget}) for this call; [?retry] overrides the
+    solver-level escalation policy (see {!set_escalation}).  With a retry
+    policy in force, an [Unknown] first attempt is re-run up the ladder —
+    scaled budget, diversified restart — until a rung concludes or the
+    ladder is exhausted; every attempt is recorded (see {!retry_report}),
+    and certification applies to whichever attempt produced the final
+    answer. *)
+val check :
+  ?assumptions:Term.t list ->
+  ?budget:Sat.Solver.budget ->
+  ?retry:Escalation.t ->
+  t ->
+  answer
 
 (** Install a default resource budget applied to every subsequent {!check}
     (and the checks done by {!minimize}); [None] removes it.  With a budget
     in place, long-running queries degrade to [Unknown] instead of
     hanging. *)
 val set_budget : t -> Sat.Solver.budget option -> unit
+
+(** Install a default retry-with-escalation policy applied to every
+    subsequent {!check} (including the probes of {!minimize}); [None]
+    removes it. *)
+val set_escalation : t -> Escalation.t option -> unit
 
 (** {1 Quantifier expansion over finite sorts} *)
 
@@ -130,6 +146,37 @@ type cert_report = {
 (** Certification results accumulated so far.  [{enabled = false; _}] when
     the solver was created without [~certify:true]. *)
 val cert_report : t -> cert_report
+
+(** {1 Retry ladder statistics} *)
+
+(** One solve attempt of one query, as recorded when a retry policy is in
+    force. *)
+type attempt = {
+  attempt : int; (** 1-based; attempt 1 is the original budgeted call *)
+  scale : int; (** budget multiplier this attempt ran under *)
+  seed : int option;
+  polarity : Sat.Solver.polarity_mode;
+  result : [ `Sat | `Unsat | `Unknown ];
+  conflicts : int; (** conflicts spent during this attempt *)
+  time : float; (** seconds spent in this attempt *)
+}
+
+type retry_entry = {
+  rquery : int; (** 0-based index of the {!check} call *)
+  attempts : attempt list; (** oldest first; length >= 2 *)
+  recovered : bool; (** a retry turned [Unknown] into a verdict *)
+}
+
+type retry_report = {
+  retry_enabled : bool; (** a retry policy was in force for some check *)
+  total_queries : int;
+  retried : retry_entry list;
+      (** oldest first; queries that concluded on attempt 1 are omitted *)
+}
+
+(** Escalation statistics accumulated so far: every query that needed more
+    than one attempt, with its full per-attempt log. *)
+val retry_report : t -> retry_report
 
 (** Test-only: corrupt the underlying SAT solver (see
     {!Sat.Solver.inject_unsoundness}) so certification tests can

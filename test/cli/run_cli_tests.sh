@@ -173,4 +173,63 @@ echo "# solver budget: pipeline stays green with a generous budget"
   > "$TMP/budget.out" || fail "budgeted pipeline should pass"
 grep -q "all checks passed" "$TMP/budget.out" || fail "budgeted pipeline checks"
 
+echo "# sat: malformed and truncated DIMACS exit 2 with a structured error"
+printf 'p cnf 2 2\n1 2 0\n-1' > "$TMP/truncated.cnf"     # clause not terminated by 0
+printf 'p cnf x y\n' > "$TMP/badheader.cnf"              # non-numeric problem line
+printf 'p cnf 1 1\n5 0\n' > "$TMP/outofrange.cnf"        # literal out of range
+for cnf in truncated badheader outofrange; do
+  set +e
+  "$LLHSC" sat "$TMP/$cnf.cnf" 2> "$TMP/$cnf.err"
+  rc=$?
+  set -e
+  [ "$rc" -eq 2 ] || fail "sat on $cnf.cnf should exit 2 (got $rc)"
+  grep -q "error\[PARSE\]" "$TMP/$cnf.err" || fail "expected error[PARSE] for $cnf.cnf"
+  grep -q "Fatal error" "$TMP/$cnf.err" && fail "uncaught exception for $cnf.cnf"
+done
+set +e
+"$LLHSC" sat "$TMP/no-such.cnf" 2> "$TMP/satmissing.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "sat on missing file should exit 2 (got $rc)"
+grep -q "error\[IO\]" "$TMP/satmissing.err" || fail "expected error[IO] for missing CNF"
+
+echo "# build: duplicate YAML mapping key is a structured error, exit 2"
+cat > "$TMP/dup.proj.yaml" <<EOF
+core: $FIXTURES/custom-sbc.dts
+core: $FIXTURES/custom-sbc.dts
+EOF
+set +e
+"$LLHSC" build "$TMP/dup.proj.yaml" 2> "$TMP/dup.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "duplicate-key build should exit 2 (got $rc)"
+grep -q 'error\[YAML\].*duplicate mapping key "core"' "$TMP/dup.err" \
+  || fail "expected error[YAML] duplicate-key diagnostic"
+
+echo "# journal + resume: resumed report is byte-identical"
+run_journaled_pipeline() {
+  "$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+    --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \
+    --vm "memory,cpu@0,uart@20000000,uart@30000000,veth0" \
+    --vm "memory,cpu@1,uart@20000000,uart@30000000,veth1" \
+    --exclusive cpus --journal "$TMP/run.journal" "$@"
+}
+run_journaled_pipeline > "$TMP/journal1.out" 2> /dev/null || fail "journaled pipeline should pass"
+[ -s "$TMP/run.journal" ] || fail "journal not written"
+run_journaled_pipeline --resume > "$TMP/journal2.out" 2> "$TMP/resume.err" \
+  || fail "resumed pipeline should pass"
+cmp -s "$TMP/journal1.out" "$TMP/journal2.out" || fail "resumed report differs from original"
+grep -q "resume: replayed from journal" "$TMP/resume.err" || fail "expected resume status on stderr"
+
+echo "# retry: escalation recovers injected Unknown verdicts"
+"$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+  --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \
+  --vm "memory,cpu@0,uart@20000000,uart@30000000,veth0" \
+  --vm "memory,cpu@1,uart@20000000,uart@30000000,veth1" \
+  --exclusive cpus --unsound force-unknown:3 --retry 3 > "$TMP/retry.out" \
+  || fail "retrying pipeline should pass"
+grep -q "all checks passed" "$TMP/retry.out" || fail "retry pipeline checks"
+grep -q "escalation: .* recovered" "$TMP/retry.out" || fail "expected escalation summary"
+grep -q "inconclusive" "$TMP/retry.out" && fail "escalation left inconclusive verdicts"
+
 echo "all CLI tests passed"

@@ -126,17 +126,36 @@ let mutate s = mutators.(rand_int (Array.length mutators)) s
 
 (* --- running the CLI ---------------------------------------------------------- *)
 
-(* Run [argv], devnull stdin/stdout, stderr to a file; return (status, stderr). *)
-let run_cli binary args ~stderr_file =
+(* Run [argv]; stdin from /dev/null, stdout devnulled unless [stdout_file]
+   is given, stderr to a file.  [env] appends NAME=VALUE bindings (the
+   journal's kill hooks).  Returns (status, stderr). *)
+let run_cli ?env ?stdout_file binary args ~stderr_file =
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let out =
+    match stdout_file with
+    | None -> devnull
+    | Some f -> Unix.openfile f [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
   let err = Unix.openfile stderr_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let argv = Array.of_list (binary :: args) in
   let pid =
-    Unix.create_process binary (Array.of_list (binary :: args)) devnull devnull err
+    match env with
+    | None -> Unix.create_process binary argv devnull out err
+    | Some bindings ->
+      Unix.create_process_env binary argv
+        (Array.append (Unix.environment ()) (Array.of_list bindings))
+        devnull out err
   in
   Unix.close devnull;
+  if out <> devnull then Unix.close out;
   Unix.close err;
   let _, status = Unix.waitpid [] pid in
   (status, read_file stderr_file)
+
+(* Every contract violation, one reproducible line each; dumped to the
+   artifact file (argv[3]) on failure so CI can upload it. *)
+let failure_log : string list ref = ref []
+let log_failure fmt = Printf.ksprintf (fun s -> failure_log := s :: !failure_log) fmt
 
 (* --- targets ------------------------------------------------------------------- *)
 
@@ -185,6 +204,7 @@ let run_solver_mutations binary sandbox ~failures ~total =
   let stderr_file = Filename.concat sandbox "stderr.txt" in
   let bad what reason err =
     incr failures;
+    log_failure "phase=certify what=%S reason=%S" what reason;
     Printf.printf "FAIL (certify, %s): %s\n  stderr: %s\n" what reason
       (if err = "" then "(empty)" else String.trim err)
   in
@@ -217,12 +237,152 @@ let run_solver_mutations binary sandbox ~failures ~total =
       | Unix.WSIGNALED s | Unix.WSTOPPED s -> bad what (Printf.sprintf "signal %d" s) err)
     (solver_mutations sandbox)
 
+(* --- kill-and-resume phase ------------------------------------------------------ *)
+
+(* Crash-safety contract of the --journal/--resume pipeline: SIGKILL the
+   run at a seeded point (after the n-th fsync'd record, or halfway through
+   writing it), then resume from the journal; the resumed run's stdout and
+   exit code must be byte-identical to an uninterrupted run.  Runs without
+   --certify/--retry, whose reports legitimately depend on how much solver
+   work the resumed run skipped. *)
+
+let pipeline_args dir ~vms ~journal ~resume =
+  let p f = Filename.concat dir f in
+  [ "pipeline"; "--core"; p "custom-sbc.dts"; "--deltas"; p "custom-sbc.deltas";
+    "--model"; p "custom-sbc.fm"; "--schemas"; p "schemas" ]
+  @ List.concat_map (fun vm -> [ "--vm"; vm ]) vms
+  @ [ "--exclusive"; "cpus" ]
+  @ (match journal with None -> [] | Some j -> [ "--journal"; j ])
+  @ (if resume then [ "--resume" ] else [])
+
+(* (label, VM feature selections, journal records the run writes:
+   one per product + one for the partition check). *)
+let kill_configs =
+  [ ("two-vm",
+     [ "memory,cpu@0,uart@20000000,uart@30000000,veth0";
+       "memory,cpu@1,uart@20000000,uart@30000000,veth1" ], 4);
+    ("two-vm-partial",
+     [ "memory,cpu@0,veth0"; "memory,cpu@1,veth1" ], 4);
+    ("one-vm", [ "memory,cpu@0,uart@20000000" ], 3) ]
+
+let run_kill_resume binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "stderr.txt" in
+  let journal = Filename.concat sandbox "journal.jsonl" in
+  let base_out = Filename.concat sandbox "base.out" in
+  let res_out = Filename.concat sandbox "resume.out" in
+  List.iter
+    (fun (label, vms, records) ->
+      (* Uninterrupted baseline, no journal: the byte-identity reference. *)
+      let base_status, _ =
+        run_cli binary ~stdout_file:base_out
+          (pipeline_args sandbox ~vms ~journal:None ~resume:false)
+          ~stderr_file
+      in
+      let baseline = read_file base_out in
+      List.iter
+        (fun (hook, mode) ->
+          for n = 1 to records do
+            incr total;
+            let what = Printf.sprintf "%s %s=%d" label mode n in
+            let bad reason err =
+              incr failures;
+              log_failure "phase=kill-resume what=%S reason=%S" what reason;
+              Printf.printf "FAIL (kill-resume, %s): %s\n  stderr: %s\n" what
+                reason
+                (if err = "" then "(empty)" else String.trim err)
+            in
+            if Sys.file_exists journal then Sys.remove journal;
+            let kill_status, kerr =
+              run_cli binary
+                ~env:[ Printf.sprintf "%s=%d" hook n ]
+                (pipeline_args sandbox ~vms ~journal:(Some journal)
+                   ~resume:false)
+                ~stderr_file
+            in
+            (match kill_status with
+             | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+             | Unix.WSIGNALED _ | Unix.WSTOPPED _ | Unix.WEXITED _ ->
+               bad "kill hook did not SIGKILL the run" kerr);
+            let res_status, rerr =
+              run_cli binary ~stdout_file:res_out
+                (pipeline_args sandbox ~vms ~journal:(Some journal)
+                   ~resume:true)
+                ~stderr_file
+            in
+            if res_status <> base_status then
+              bad
+                (Printf.sprintf "resumed exit differs from baseline (%s vs %s)"
+                   (match res_status with
+                    | Unix.WEXITED n -> string_of_int n
+                    | _ -> "signal")
+                   (match base_status with
+                    | Unix.WEXITED n -> string_of_int n
+                    | _ -> "signal"))
+                rerr
+            else if read_file res_out <> baseline then
+              bad "resumed report is not byte-identical to baseline" rerr
+          done)
+        [ ("LLHSC_FAULT_KILL_AFTER_RECORDS", "after");
+          ("LLHSC_FAULT_KILL_MID_RECORD", "mid") ])
+    kill_configs
+
+(* --- forced-Unknown phase ------------------------------------------------------- *)
+
+(* Inject Unknown verdicts (a budget-style degradation, not an
+   unsoundness) every n-th solver call, with and without the escalation
+   ladder.  The contract: the exit-code contract holds, nothing crashes,
+   and a saturating injection (n=1, every attempt Unknown) degrades to
+   "inconclusive" warnings — never a fake verdict, never a backtrace. *)
+let run_forced_unknown binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "stderr.txt" in
+  let out_file = Filename.concat sandbox "unknown.out" in
+  let vms =
+    [ "memory,cpu@0,uart@20000000,uart@30000000,veth0";
+      "memory,cpu@1,uart@20000000,uart@30000000,veth1" ]
+  in
+  List.iter
+    (fun (n, retry) ->
+      incr total;
+      let what =
+        Printf.sprintf "force-unknown:%d%s" n
+          (match retry with Some r -> " --retry " ^ r | None -> "")
+      in
+      let bad reason err =
+        incr failures;
+        log_failure "phase=force-unknown what=%S reason=%S" what reason;
+        Printf.printf "FAIL (force-unknown, %s): %s\n  stderr: %s\n" what reason
+          (if err = "" then "(empty)" else String.trim err)
+      in
+      let args =
+        pipeline_args sandbox ~vms ~journal:None ~resume:false
+        @ [ "--unsound"; Printf.sprintf "force-unknown:%d" n ]
+        @ (match retry with Some r -> [ "--retry"; r ] | None -> [])
+      in
+      let status, err = run_cli binary ~stdout_file:out_file args ~stderr_file in
+      let stdout = read_file out_file in
+      (match status with
+       | Unix.WEXITED (0 | 1 | 2) -> ()
+       | Unix.WEXITED c -> bad (Printf.sprintf "exit code %d" c) err
+       | Unix.WSIGNALED s -> bad (Printf.sprintf "killed by signal %d" s) err
+       | Unix.WSTOPPED s -> bad (Printf.sprintf "stopped by signal %d" s) err);
+      if contains err "Fatal error" || contains err "Raised at" then
+        bad "uncaught OCaml exception on stderr" err;
+      (* Saturating injection: every solve attempt (retries included)
+         returns Unknown, so the run must degrade to inconclusive
+         warnings rather than claim a verdict. *)
+      if n = 1 && not (contains stdout "inconclusive") then
+        bad "saturating Unknown produced no inconclusive warning" err)
+    (List.concat_map
+       (fun n -> [ (n, None); (n, Some "3") ])
+       [ 1; 2; 3; 5 ])
+
 let () =
-  let binary, fixtures =
+  let binary, fixtures, artifact =
     match Sys.argv with
-    | [| _; b; f |] -> (b, f)
+    | [| _; b; f |] -> (b, f, None)
+    | [| _; b; f; a |] -> (b, f, Some a)
     | _ ->
-      prerr_endline "usage: fault_inject.exe LLHSC_BINARY FIXTURES_DIR";
+      prerr_endline "usage: fault_inject.exe LLHSC_BINARY FIXTURES_DIR [ARTIFACT_FILE]";
       exit 2
   in
   let rounds = 20 in (* x 10 targets = 200 mutants *)
@@ -236,11 +396,16 @@ let () =
         if Sys.file_exists sandbox then remove_tree sandbox;
         copy_dir fixtures sandbox;
         let victim_path = Filename.concat sandbox victim in
+        (* Snapshot the PRNG state before mutating: the logged state plus
+           round/victim pins the surviving mutant exactly. *)
+        let rng_state = !rng in
         write_file victim_path (mutate (read_file victim_path));
         let stderr_file = Filename.concat sandbox "stderr.txt" in
         let status, err = run_cli binary args ~stderr_file in
         let bad reason =
           incr failures;
+          log_failure "phase=input round=%d victim=%s rng=0x%Lx reason=%S argv=%S"
+            round victim rng_state reason (String.concat " " args);
           Printf.printf "FAIL (round %d, %s): %s\n  argv: %s\n  stderr: %s\n" round
             victim reason (String.concat " " args)
             (if err = "" then "(empty)" else String.trim err)
@@ -258,6 +423,21 @@ let () =
   if Sys.file_exists sandbox then remove_tree sandbox;
   copy_dir fixtures sandbox;
   run_solver_mutations binary sandbox ~failures ~total;
+  (* Kill-and-resume phase: SIGKILL at every seeded journal record, resume,
+     demand a byte-identical report. *)
   if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_kill_resume binary sandbox ~failures ~total;
+  (* Forced-Unknown phase: saturate the solver with Unknown verdicts, with
+     and without the escalation ladder. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_forced_unknown binary sandbox ~failures ~total;
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  (match artifact with
+   | Some path when !failures > 0 ->
+     write_file path (String.concat "\n" (List.rev !failure_log) ^ "\n");
+     Printf.printf "surviving-mutant log written to %s\n" path
+   | _ -> ());
   Printf.printf "fault injection: %d mutants, %d contract violations\n" !total !failures;
   if !failures > 0 then exit 1

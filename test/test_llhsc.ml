@@ -563,6 +563,238 @@ let test_quad_feature_model_size () =
   check_int "product count" 16200 (Featuremodel.Analysis.count_products env)
 
 
+(* --- fail-operational: journal round-trips, resume, escalation ---------------- *)
+
+module J = Llhsc.Journal
+
+let outcome_string o = Fmt.str "%a" Llhsc.Pipeline.pp_outcome o
+
+let with_temp_journal f =
+  let path = Filename.temp_file "llhsc-journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let quad_inputs_hash = J.inputs_hash ~parts:[ "test-quad"; Llhsc.Quad_rv64.core_dts ]
+
+let sample_entries ~inputs_hash =
+  (* The first finding deliberately stresses the JSON layer: quotes,
+     backslashes, control characters and multi-byte UTF-8 in every string
+     field that reaches the journal. *)
+  let weird =
+    Rep.finding ~severity:Rep.Warning
+      ~core:[ "excl:uart"; "mem[0]" ]
+      ~loc:(Devicetree.Loc.make ~file:"odd \"name\"\\dir.dts" ~line:3 ~col:7)
+      ~checker:"semantic" ~node_path:"/soc/uart@10000000" "%s"
+      "quote \" backslash \\ newline \n tab \t e-acute \xc3\xa9 ctrl \x01 end"
+  in
+  let plain = Rep.finding ~checker:"alloc" ~node_path:"/memory@80000000" "%s" "plain error" in
+  [ { J.kind = J.Product;
+      name = "vm1";
+      hash = J.product_hash ~inputs_hash ~name:"vm1" ~features:[ "cpu@0"; "uart0" ];
+      features = [ "cpu@0"; "uart0" ];
+      order = [ "d1"; "d2" ];
+      findings = [ weird; plain ];
+      certified = true;
+      cert_failures = 0
+    };
+    { J.kind = J.Partition;
+      name = "partition";
+      hash = J.partition_hash ~inputs_hash ~products:[ ("vm1", [ "cpu@0" ]) ];
+      features = [];
+      order = [];
+      findings = [];
+      certified = false;
+      cert_failures = 2
+    }
+  ]
+
+let test_journal_roundtrip () =
+  with_temp_journal @@ fun path ->
+  let inputs_hash = quad_inputs_hash in
+  let entries = sample_entries ~inputs_hash in
+  let sink = J.open_ ~path ~inputs_hash in
+  List.iter (J.record sink) entries;
+  J.close sink;
+  let loaded = J.load ~path ~inputs_hash in
+  check_int "two entries" 2 (List.length loaded);
+  List.iter2
+    (fun (written : J.entry) (got : J.entry) ->
+      check_bool ("entry " ^ written.J.name ^ " round-trips") true (written = got))
+    entries loaded
+
+let test_journal_tolerates_torn_tail () =
+  with_temp_journal @@ fun path ->
+  let inputs_hash = quad_inputs_hash in
+  let sink = J.open_ ~path ~inputs_hash in
+  List.iter (J.record sink) (sample_entries ~inputs_hash);
+  J.close sink;
+  (* Simulate a crash mid-write: half a record, no trailing newline. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc {|{"kind":"product","name":"vm2","ha|};
+  close_out oc;
+  let loaded = J.load ~path ~inputs_hash in
+  check_int "torn tail skipped" 2 (List.length loaded);
+  check_bool "torn record absent" true (J.find loaded J.Product "vm2" = None)
+
+let test_journal_last_record_wins () =
+  with_temp_journal @@ fun path ->
+  let inputs_hash = quad_inputs_hash in
+  let entries = sample_entries ~inputs_hash in
+  let first = List.hd entries in
+  let updated = { first with J.findings = []; cert_failures = 7 } in
+  let sink = J.open_ ~path ~inputs_hash in
+  J.record sink first;
+  J.record sink (List.nth entries 1);
+  J.record sink updated;
+  J.close sink;
+  let loaded = J.load ~path ~inputs_hash in
+  check_int "still two entries" 2 (List.length loaded);
+  match J.find loaded J.Product "vm1" with
+  | Some e ->
+    check_int "latest record wins" 7 e.J.cert_failures;
+    check_bool "latest findings win" true (e.J.findings = [])
+  | None -> Alcotest.fail "vm1 entry missing"
+
+let test_journal_stale_inputs_hash () =
+  with_temp_journal @@ fun path ->
+  let inputs_hash = quad_inputs_hash in
+  let sink = J.open_ ~path ~inputs_hash in
+  List.iter (J.record sink) (sample_entries ~inputs_hash);
+  J.close sink;
+  (* Different run inputs: the whole journal is stale, nothing loads. *)
+  check_bool "whole journal stale" true
+    (J.load ~path ~inputs_hash:(J.inputs_hash ~parts:[ "different" ]) = []);
+  check_bool "matching hash still loads" true (J.load ~path ~inputs_hash <> [])
+
+let all_quad_record_names = [ "partition"; "platform"; "vm1"; "vm2"; "vm3" ]
+
+let quad_journal_entries path =
+  let inputs_hash = quad_inputs_hash in
+  let sink = J.open_ ~path ~inputs_hash in
+  let baseline = Q.run_pipeline ~inputs_hash ~journal:sink () in
+  J.close sink;
+  (baseline, J.load ~path ~inputs_hash)
+
+let test_resume_replays_byte_identical () =
+  with_temp_journal @@ fun path ->
+  let baseline, entries = quad_journal_entries path in
+  check_int "four products + partition journaled" 5 (List.length entries);
+  let resumed = Q.run_pipeline ~inputs_hash:quad_inputs_hash ~resume:entries () in
+  check_bool "everything replayed" true
+    (List.sort compare resumed.Llhsc.Pipeline.replayed = all_quad_record_names);
+  check_bool "ok" true (Llhsc.Pipeline.ok resumed);
+  Alcotest.(check string) "byte-identical report" (outcome_string baseline)
+    (outcome_string resumed)
+
+let test_resume_stale_entry_rechecked () =
+  with_temp_journal @@ fun path ->
+  let baseline, entries = quad_journal_entries path in
+  (* A hash mismatch marks vm2's entry stale: vm2 must be re-checked while
+     the rest still replays, and the report must not change. *)
+  let tampered =
+    List.map
+      (fun (e : J.entry) -> if e.J.name = "vm2" then { e with J.hash = "stale" } else e)
+      entries
+  in
+  let resumed = Q.run_pipeline ~inputs_hash:quad_inputs_hash ~resume:tampered () in
+  check_bool "vm2 re-checked" true
+    (not (List.mem "vm2" resumed.Llhsc.Pipeline.replayed));
+  check_bool "others replayed" true
+    (List.sort compare ("vm2" :: resumed.Llhsc.Pipeline.replayed) = all_quad_record_names);
+  Alcotest.(check string) "report unchanged" (outcome_string baseline)
+    (outcome_string resumed)
+
+let test_resume_never_fabricates_certificates () =
+  with_temp_journal @@ fun path ->
+  let _, entries = quad_journal_entries path in
+  (* The journal was written by a non-certifying run; a certifying resume
+     must not trust it — every verdict is re-derived and certified. *)
+  let certified =
+    Q.run_pipeline ~certify:true ~inputs_hash:quad_inputs_hash ~resume:entries ()
+  in
+  check_bool "uncertified entries not trusted" true
+    (certified.Llhsc.Pipeline.replayed = []);
+  check_bool "ok" true (Llhsc.Pipeline.ok certified);
+  match certified.Llhsc.Pipeline.cert with
+  | Some c -> check_bool "fresh certificates" true (c.Smt.Solver.certs <> [])
+  | None -> Alcotest.fail "certifying resume must expose a cert report"
+
+(* Satellite (c): --resume is idempotent, and corrupt/stale journal entries
+   are re-checked rather than replayed — under random per-entry staleness. *)
+let prop_resume_idempotent =
+  QCheck.Test.make ~count:6 ~name:"resume idempotent; stale entries re-checked"
+    QCheck.(list_of_size Gen.(int_range 0 5) bool)
+    (fun mask ->
+      with_temp_journal @@ fun path ->
+      let baseline, entries = quad_journal_entries path in
+      let stale i = List.nth_opt mask i = Some true in
+      let tampered =
+        List.mapi
+          (fun i (e : J.entry) -> if stale i then { e with J.hash = "stale" } else e)
+          entries
+      in
+      let stale_names =
+        List.filteri (fun i _ -> stale i) (List.map (fun (e : J.entry) -> e.J.name) entries)
+      in
+      let r1 = Q.run_pipeline ~inputs_hash:quad_inputs_hash ~resume:tampered () in
+      let r2 = Q.run_pipeline ~inputs_hash:quad_inputs_hash ~resume:tampered () in
+      outcome_string r1 = outcome_string baseline
+      && outcome_string r2 = outcome_string r1
+      && List.for_all
+           (fun n -> not (List.mem n r1.Llhsc.Pipeline.replayed))
+           stale_names)
+
+let tight_budget () = Sat.Solver.budget ~max_propagations:2000 ()
+
+let inconclusive_count (outcome : Llhsc.Pipeline.outcome) =
+  let count fs =
+    List.length
+      (List.filter
+         (fun (f : Rep.finding) -> Test_util.contains f.Rep.message "inconclusive")
+         fs)
+  in
+  List.fold_left
+    (fun acc (p : Llhsc.Pipeline.product) -> acc + count p.Llhsc.Pipeline.findings)
+    (count outcome.Llhsc.Pipeline.partition_findings)
+    outcome.Llhsc.Pipeline.products
+
+let test_quad_escalation_recovers_tight_budget () =
+  (* Acceptance criterion: a budget that leaves the plain pipeline with
+     inconclusive verdicts is fully recovered by the escalation ladder,
+     and the recovered verdicts certify. *)
+  let plain = Q.run_pipeline ~budget:(tight_budget ()) () in
+  check_bool "tight budget leaves inconclusive findings" true (inconclusive_count plain >= 1);
+  let escalated =
+    Q.run_pipeline ~budget:(tight_budget ())
+      ~retry:(Smt.Escalation.ladder ~attempts:3 ())
+      ~certify:true ()
+  in
+  check_int "escalation resolves every query" 0 (inconclusive_count escalated);
+  check_bool "ok" true (Llhsc.Pipeline.ok escalated);
+  (match escalated.Llhsc.Pipeline.retry with
+  | None -> Alcotest.fail "retry report expected"
+  | Some r ->
+    check_bool "some queries escalated" true (r.Smt.Solver.retried <> []);
+    check_bool "all recovered" true
+      (List.for_all
+         (fun (e : Smt.Solver.retry_entry) -> e.Smt.Solver.recovered)
+         r.Smt.Solver.retried);
+    List.iter
+      (fun (e : Smt.Solver.retry_entry) ->
+        match e.Smt.Solver.attempts with
+        | (a1 : Smt.Solver.attempt) :: rest ->
+          check_int "first attempt at base budget" 1 a1.Smt.Solver.scale;
+          check_bool "retries scale the budget" true
+            (rest <> []
+            && List.for_all (fun (a : Smt.Solver.attempt) -> a.Smt.Solver.scale > 1) rest)
+        | [] -> Alcotest.fail "retry entry without attempts")
+      r.Smt.Solver.retried);
+  match escalated.Llhsc.Pipeline.cert with
+  | Some c -> check_bool "no certification failures" true (c.Smt.Solver.failures = [])
+  | None -> Alcotest.fail "cert report expected"
+
+
 (* --- disabled devices claim no resources --------------------------------------- *)
 
 let test_disabled_devices_claim_nothing () =
@@ -640,6 +872,25 @@ let () =
           Alcotest.test_case "bao clusters" `Quick test_quad_bao_clusters;
           Alcotest.test_case "feature model size" `Quick test_quad_feature_model_size;
         ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick test_journal_tolerates_torn_tail;
+          Alcotest.test_case "last record wins" `Quick test_journal_last_record_wins;
+          Alcotest.test_case "stale inputs hash" `Quick test_journal_stale_inputs_hash;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "replays byte-identical" `Quick test_resume_replays_byte_identical;
+          Alcotest.test_case "stale entry re-checked" `Quick test_resume_stale_entry_rechecked;
+          Alcotest.test_case "never fabricates certificates" `Quick
+            test_resume_never_fabricates_certificates;
+        ] );
+      ( "escalation",
+        [
+          Alcotest.test_case "recovers tight budget" `Quick
+            test_quad_escalation_recovers_tight_budget;
+        ] );
       ( "disabled-devices",
         [ Alcotest.test_case "muxed peripherals" `Quick test_disabled_devices_claim_nothing ] );
       ( "unit-addresses",
@@ -649,7 +900,10 @@ let () =
           Alcotest.test_case "clean" `Quick test_unit_address_clean;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_sweep_equals_pairwise ] );
+        [
+          QCheck_alcotest.to_alcotest prop_sweep_equals_pairwise;
+          QCheck_alcotest.to_alcotest prop_resume_idempotent;
+        ] );
       ( "product-line",
         [
           Alcotest.test_case "all 12 products check clean" `Quick test_all_products_check_clean;

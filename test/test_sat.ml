@@ -236,10 +236,103 @@ let test_dimacs_roundtrip () =
   check_sat "sat" true (Sat.Solver.solve solver = Sat)
 
 let test_dimacs_errors () =
-  Alcotest.check_raises "unterminated clause" (Failure "dimacs: clause not terminated by 0")
-    (fun () -> ignore (Sat.Dimacs.parse "p cnf 2 1\n1 2" : Sat.Dimacs.cnf));
-  Alcotest.check_raises "count mismatch" (Failure "dimacs: clause count mismatch")
-    (fun () -> ignore (Sat.Dimacs.parse "p cnf 2 2\n1 0\n" : Sat.Dimacs.cnf))
+  let expect_error what input =
+    match Sat.Dimacs.parse input with
+    | (_ : Sat.Dimacs.cnf) -> Alcotest.failf "%s: expected Dimacs.Error" what
+    | exception Sat.Dimacs.Error _ -> ()
+  in
+  expect_error "unterminated clause" "p cnf 2 1\n1 2";
+  expect_error "count mismatch" "p cnf 2 2\n1 0\n";
+  expect_error "bad token" "p cnf 2 1\n1 x 0\n";
+  expect_error "literal out of range" "p cnf 2 1\n1 3 0\n";
+  expect_error "malformed problem line" "p cnf x y\n1 0\n";
+  expect_error "negative header" "p cnf -2 1\n1 0\n"
+
+(* --- restart diversification & forced Unknown ------------------------------ *)
+
+let php_instance pigeons holes =
+  let s = Sat.Solver.create () in
+  let var =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.Solver.new_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    ignore (Sat.Solver.add_clause s (List.init holes (fun h -> lit var.(p).(h))) : bool)
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for p' = p + 1 to pigeons - 1 do
+        ignore (Sat.Solver.add_clause s [ nlit var.(p).(h); nlit var.(p').(h) ] : bool)
+      done
+    done
+  done;
+  s
+
+let all_polarity_modes =
+  [ Sat.Solver.Phase_saved; Phase_false; Phase_true; Phase_inverted; Phase_random ]
+
+let test_diversification_sound () =
+  (* Every (seed, polarity, decay) combination is a different search order
+     over the same space: verdicts must never change. *)
+  List.iter
+    (fun polarity_mode ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun var_decay ->
+              let sat = php_instance 5 5 in
+              check_sat "php(5,5) sat under diversification" true
+                (Sat.Solver.solve ?seed ~polarity_mode ?var_decay sat = Sat);
+              let unsat = php_instance 6 5 in
+              check_sat "php(6,5) unsat under diversification" true
+                (Sat.Solver.solve ?seed ~polarity_mode ?var_decay unsat = Unsat))
+            [ None; Some 0.8; Some 0.99 ])
+        [ None; Some 1; Some 42; Some 0x9E3779B9 ])
+    all_polarity_modes
+
+let test_diversification_deterministic () =
+  (* Same seed, same mode -> byte-identical model: the PRNG is explicit
+     state, never wall-clock or global. *)
+  let run () =
+    let s = php_instance 5 5 in
+    check_sat "sat" true
+      (Sat.Solver.solve ~seed:1234 ~polarity_mode:Sat.Solver.Phase_random s = Sat);
+    Sat.Solver.model s
+  in
+  Alcotest.(check (array bool)) "same seed, same model" (run ()) (run ())
+
+let test_polarity_modes_differ () =
+  (* One clause (x0 or x1), nothing else: phase-false finds x0=false,
+     x1=true; phase-true finds all-true.  Diversification really does steer
+     the search. *)
+  let build () =
+    let s, v = fresh_solver 2 in
+    ignore (Sat.Solver.add_clause s [ lit v.(0); lit v.(1) ] : bool);
+    s
+  in
+  let s_false = build () and s_true = build () in
+  check_sat "sat (false phases)" true
+    (Sat.Solver.solve ~polarity_mode:Sat.Solver.Phase_false s_false = Sat);
+  check_sat "sat (true phases)" true
+    (Sat.Solver.solve ~polarity_mode:Sat.Solver.Phase_true s_true = Sat);
+  check_sat "phase-false model differs from phase-true model" false
+    (Sat.Solver.model s_false = Sat.Solver.model s_true)
+
+let test_bad_var_decay_rejected () =
+  let s, _ = fresh_solver 2 in
+  Alcotest.check_raises "decay must be in (0,1)"
+    (Invalid_argument "Solver.solve: var_decay 1.5 not in (0,1)")
+    (fun () -> ignore (Sat.Solver.solve ~var_decay:1.5 s : Sat.Solver.result))
+
+let test_force_unknown_scrubs () =
+  let s, v = fresh_solver 2 in
+  ignore (Sat.Solver.add_clause s [ lit v.(0) ] : bool);
+  Sat.Solver.inject_unsoundness s (Sat.Solver.Force_unknown 2);
+  check_sat "1st solve unaffected" true (Sat.Solver.solve s = Sat);
+  check_sat "2nd solve forced Unknown" true (Sat.Solver.solve s = Unknown);
+  Alcotest.(check (array bool)) "no model after forced Unknown" [||] (Sat.Solver.model s);
+  Alcotest.(check int) "no core after forced Unknown" 0
+    (List.length (Sat.Solver.unsat_core s));
+  check_sat "3rd solve recovers" true (Sat.Solver.solve s = Sat)
 
 (* --- certification (proof logging + independent checker) ------------------ *)
 
@@ -574,6 +667,17 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+      ( "diversification",
+        [
+          Alcotest.test_case "sound under all modes" `Quick test_diversification_sound;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_diversification_deterministic;
+          Alcotest.test_case "polarity modes steer search" `Quick
+            test_polarity_modes_differ;
+          Alcotest.test_case "bad var_decay rejected" `Quick test_bad_var_decay_rejected;
+          Alcotest.test_case "forced Unknown scrubs model/core" `Quick
+            test_force_unknown_scrubs;
         ] );
       ( "containers",
         [

@@ -96,6 +96,28 @@ let test_yaml_malformed_line_numbers () =
     (String.length msg >= 8 && String.sub msg 0 8 = "expected");
   check_int "garbage line" 2 line
 
+let test_yaml_duplicate_keys () =
+  (* Real YAML forbids duplicate mapping keys; silently taking either value
+     would make a schema lie about what it checks.  Regression: flat maps,
+     nested maps, and inline maps inside list items all reject dups, with
+     the message naming the key and the line pointing at the duplicate. *)
+  let msg, line = yaml_error "a: 1\nb: 2\na: 3" in
+  check_bool "flat dup names key" true (Test_util.contains msg "duplicate mapping key \"a\"");
+  check_int "flat dup line" 3 line;
+  let msg, line = yaml_error "top:\n  x: 1\n  x: 2" in
+  check_bool "nested dup names key" true (Test_util.contains msg "duplicate mapping key \"x\"");
+  check_int "nested dup line" 3 line;
+  let msg, _ = yaml_error "items:\n  - a: 1\n    a: 2" in
+  check_bool "list-item dup names key" true
+    (Test_util.contains msg "duplicate mapping key \"a\"");
+  (* Same key at different nesting levels, or in sibling maps, is fine. *)
+  check_bool "same key in sibling maps ok" true
+    (match Y.parse "a:\n  x: 1\nb:\n  x: 2" with Y.Map _ -> true | _ -> false);
+  check_bool "same key at different depths ok" true
+    (match Y.parse "a:\n  a: 1" with Y.Map _ -> true | _ -> false);
+  check_bool "list of maps reusing keys ok" true
+    (match Y.parse "items:\n  - name: a\n  - name: b" with Y.Map _ -> true | _ -> false)
+
 let test_yaml_empty_inputs () =
   (* Empty and comment/separator-only files parse to Null, not an error. *)
   check_bool "empty" true (Y.parse "" = Y.Null);
@@ -564,6 +586,7 @@ let () =
           Alcotest.test_case "list of maps" `Quick test_yaml_list_of_maps;
           Alcotest.test_case "errors" `Quick test_yaml_errors;
           Alcotest.test_case "malformed line numbers" `Quick test_yaml_malformed_line_numbers;
+          Alcotest.test_case "duplicate keys rejected" `Quick test_yaml_duplicate_keys;
           Alcotest.test_case "empty inputs" `Quick test_yaml_empty_inputs;
         ] );
       ( "model",

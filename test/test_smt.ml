@@ -297,6 +297,92 @@ let test_certify_unknown_exempt () =
   Alcotest.(check int) "one cert" 1 (List.length r.S.certs);
   Alcotest.(check (list string)) "still no failures" [] r.S.failures
 
+(* --- retry-with-escalation ladder ------------------------------------------- *)
+
+let test_escalation_recovers_forced_unknown () =
+  (* Force_unknown 2 hits every 2nd SAT-solve call.  Check #1 (call 1)
+     concludes on attempt 1; check #2's first attempt (call 2) is forced
+     Unknown, and the ladder's first retry (call 3) recovers. *)
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:8 10));
+  S.set_escalation s (Some Smt.Escalation.default);
+  S.inject_unsoundness s (Sat.Solver.Force_unknown 2);
+  check_bool "check #1 concludes on attempt 1" true (is_sat (S.check s));
+  check_bool "check #2 recovers via retry" true (is_sat (S.check s));
+  let r = S.retry_report s in
+  check_bool "retry policy was in force" true r.S.retry_enabled;
+  Alcotest.(check int) "both checks counted" 2 r.S.total_queries;
+  match r.S.retried with
+  | [ e ] ->
+    Alcotest.(check int) "the retried query is check #2" 1 e.S.rquery;
+    check_bool "recovered" true e.S.recovered;
+    (match e.S.attempts with
+     | [ a1; a2 ] ->
+       Alcotest.(check int) "attempt numbering" 1 a1.S.attempt;
+       check_bool "attempt 1 unknown" true (a1.S.result = `Unknown);
+       Alcotest.(check int) "attempt 1 at scale 1" 1 a1.S.scale;
+       check_bool "attempt 2 concluded" true (a2.S.result = `Sat);
+       Alcotest.(check int) "attempt 2 at scale 4" 4 a2.S.scale;
+       check_bool "retry attempt carries a seed" true (a2.S.seed <> None)
+     | l -> Alcotest.failf "expected 2 attempts, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 retried query, got %d" (List.length l)
+
+let test_escalation_exhausts_honestly () =
+  (* Force_unknown 1 fires on every attempt: the ladder runs out and the
+     answer degrades to Unknown — never a fabricated verdict. *)
+  let s = S.create () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:8 10));
+  S.inject_unsoundness s (Sat.Solver.Force_unknown 1);
+  (match S.check s ~retry:(Smt.Escalation.ladder ~attempts:3 ()) with
+   | S.Unknown -> ()
+   | S.Sat | S.Unsat _ -> Alcotest.fail "exhausted ladder must stay Unknown");
+  let r = S.retry_report s in
+  match r.S.retried with
+  | [ e ] ->
+    check_bool "not recovered" false e.S.recovered;
+    Alcotest.(check int) "all 3 attempts logged" 3 (List.length e.S.attempts);
+    check_bool "every attempt Unknown" true
+      (List.for_all (fun (a : S.attempt) -> a.S.result = `Unknown) e.S.attempts)
+  | l -> Alcotest.failf "expected 1 retried query, got %d" (List.length l)
+
+let test_escalation_certifies_final_attempt () =
+  (* PR 2's guarantee survives escalation: the verdict that concludes —
+     on whichever rung — is the one certified, and it passes. *)
+  let s = S.create ~certify:true () in
+  let x = T.bv_var "x" ~width:8 in
+  S.assert_ s (T.ugt x (T.bv_of_int ~width:8 10));
+  S.set_escalation s (Some Smt.Escalation.default);
+  S.inject_unsoundness s (Sat.Solver.Force_unknown 2);
+  check_bool "query 0 sat" true (is_sat (S.check s));
+  check_bool "query 1 recovers" true (is_sat (S.check s));
+  let cert = S.cert_report s in
+  Alcotest.(check (list string)) "escalated verdict certifies" [] cert.S.failures;
+  Alcotest.(check int) "both final verdicts certified" 2 (List.length cert.S.certs);
+  let r = S.retry_report s in
+  Alcotest.(check int) "one query escalated" 1 (List.length r.S.retried)
+
+let test_escalation_none_is_inert () =
+  let s = S.create () in
+  S.assert_ s (T.bool_var "p");
+  check_bool "sat" true (is_sat (S.check s ~retry:Smt.Escalation.none));
+  let r = S.retry_report s in
+  check_bool "policy with no steps never retries" true (r.S.retried = []);
+  check_bool "but counts as enabled" true r.S.retry_enabled
+
+let test_escalation_budget_scaling () =
+  let b = Sat.Solver.budget ~max_conflicts:10 ~max_propagations:max_int ~time_limit:0.5 () in
+  match Smt.Escalation.scale_budget (Some b) 4 with
+  | None -> Alcotest.fail "scaled budget must stay Some"
+  | Some b' ->
+    Alcotest.(check (option int)) "conflicts x4" (Some 40) b'.Sat.Solver.max_conflicts;
+    Alcotest.(check (option int)) "saturates at max_int" (Some max_int)
+      b'.Sat.Solver.max_propagations;
+    check_bool "time x4" true (b'.Sat.Solver.time_limit = Some 2.0);
+    check_bool "unbudgeted stays unbudgeted" true
+      (Smt.Escalation.scale_budget None 16 = None)
+
 let test_certify_catches_unsound_solver () =
   (* Acceptance test for the ISSUE: a solver made deliberately unsound is
      caught by certification and surfaces as a failure, never a silent ok. *)
@@ -610,6 +696,16 @@ let () =
           Alcotest.test_case "catches unsound solver" `Quick
             test_certify_catches_unsound_solver;
           Alcotest.test_case "off by default" `Quick test_certify_off_by_default;
+        ] );
+      ( "escalation",
+        [
+          Alcotest.test_case "recovers forced Unknown" `Quick
+            test_escalation_recovers_forced_unknown;
+          Alcotest.test_case "exhausts honestly" `Quick test_escalation_exhausts_honestly;
+          Alcotest.test_case "certifies final attempt" `Quick
+            test_escalation_certifies_final_attempt;
+          Alcotest.test_case "none is inert" `Quick test_escalation_none_is_inert;
+          Alcotest.test_case "budget scaling" `Quick test_escalation_budget_scaling;
         ] );
       ( "properties",
         [
