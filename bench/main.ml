@@ -572,11 +572,74 @@ let write_resilience_json path =
     "wrote %s (plain %.2f ms, retry %.2f ms, %d/%d retried queries recovered; resume %.2f ms vs full %.2f ms)@."
     path plain_ms retry_ms recovered retried resume_ms base_ms
 
+(* ------------------------------------------------------------------ *)
+(* Parallel check-phase measurement (BENCH_parallel.json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The --jobs column: quad_rv64 with the check phase sharded across forked
+   workers.  Wall-clock speedup needs real cores, so the detected online
+   CPU count is recorded next to the timings: on a single-core host the
+   workers serialise and the ratio degrades to fork + pipe overhead, which
+   is worth knowing but is not a scheduling regression. *)
+
+let online_cpus () =
+  try
+    let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+    let n = try int_of_string (String.trim (input_line ic)) with _ -> 1 in
+    ignore (Unix.close_process_in ic : Unix.process_status);
+    max 1 n
+  with _ -> 1
+
+let outcome_string o = Fmt.str "%a" Llhsc.Pipeline.pp_outcome o
+
+let write_parallel_json path =
+  let runs = 11 in
+  let time ?certify jobs =
+    median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ?certify ~jobs ())
+  in
+  let j1 = time 1 in
+  let j2 = time 2 in
+  let j4 = time 4 in
+  let c1 = time ~certify:true 1 in
+  let c4 = time ~certify:true 4 in
+  (* The determinism contract, asserted on the spot: the rendered report
+     must not depend on the job count, certifying or not. *)
+  let identical =
+    outcome_string (Llhsc.Quad_rv64.run_pipeline ~jobs:4 ())
+    = outcome_string (Llhsc.Quad_rv64.run_pipeline ~jobs:1 ())
+    && outcome_string (Llhsc.Quad_rv64.run_pipeline ~certify:true ~jobs:4 ())
+       = outcome_string (Llhsc.Quad_rv64.run_pipeline ~certify:true ~jobs:1 ())
+  in
+  let cpus = online_cpus () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "workload": "quad_rv64 pipeline (3 VMs + platform), check phase sharded",
+  "runs": %d,
+  "online_cpus": %d,
+  "jobs1_ms": %.3f,
+  "jobs2_ms": %.3f,
+  "jobs4_ms": %.3f,
+  "speedup_jobs2": %.2f,
+  "speedup_jobs4": %.2f,
+  "certify_jobs1_ms": %.3f,
+  "certify_jobs4_ms": %.3f,
+  "certify_speedup_jobs4": %.2f,
+  "reports_byte_identical": %b
+}
+|}
+    runs cpus j1 j2 j4 (j1 /. j2) (j1 /. j4) c1 c4 (c1 /. c4) identical;
+  close_out oc;
+  Fmt.pr
+    "wrote %s (%d cpus; j1 %.2f ms, j2 %.2f ms, j4 %.2f ms, speedup x%.2f; certify j1 %.2f ms, j4 %.2f ms, x%.2f; identical=%b)@."
+    path cpus j1 j2 j4 (j1 /. j4) c1 c4 (c1 /. c4) identical
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match arg with
   | "certify" -> write_certify_json "BENCH_certify.json"
   | "resilience" -> write_resilience_json "BENCH_resilience.json"
+  | "parallel" -> write_parallel_json "BENCH_parallel.json"
   | "report" -> report ()
   | _ ->
     report ();

@@ -253,8 +253,10 @@ let retry_of = function
     failwith (Printf.sprintf "--retry wants at least 2 attempts, got %d" n)
 
 let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
-    max_conflicts timeout certify retry journal_path resume unsound =
+    max_conflicts timeout certify retry journal_path resume unsound jobs =
   handle_errors @@ fun () ->
+  if jobs < 1 then
+    failwith (Printf.sprintf "--jobs wants a positive worker count, got %d" jobs);
   let core = load_tree core_path in
   let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
   let model = Featuremodel.Parse.parse (read_file fm_path) in
@@ -299,7 +301,7 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
   let outcome =
     Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~certify
       ?retry:(retry_of retry) ?unsound:(Option.map parse_unsound unsound)
-      ~inputs_hash ?journal:sink ~resume:resume_entries
+      ~inputs_hash ?journal:sink ~resume:resume_entries ~jobs
       ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
   in
   Option.iter Llhsc.Journal.close sink;
@@ -392,6 +394,7 @@ let cmd_diff a_path b_path =
        - name: vm1
          features: [memory, cpu@0]
      output: out               # optional artifact directory
+     jobs: 4                   # optional check-phase worker processes
    Paths are relative to the project file. *)
 let cmd_build project_path =
   handle_errors @@ fun () ->
@@ -439,8 +442,14 @@ let cmd_build project_path =
     | _ -> failwith "project file: missing vms"
   in
   let exclusive = str_list "exclusive" in
+  let jobs =
+    match Option.bind (Schema.Yaml_lite.find "jobs" y) Schema.Yaml_lite.as_int with
+    | Some n when Int64.compare n 1L >= 0 -> Int64.to_int n
+    | Some n -> failwith (Printf.sprintf "project file: jobs must be >= 1, got %Ld" n)
+    | None -> 1
+  in
   let outcome =
-    Llhsc.Pipeline.run ~exclusive ~model ~core ~deltas
+    Llhsc.Pipeline.run ~exclusive ~jobs ~model ~core ~deltas
       ~schemas_for:(fun _ -> schemas) ~vm_requests:vms ()
   in
   Fmt.pr "%a" Llhsc.Pipeline.pp_outcome outcome;
@@ -705,10 +714,20 @@ let pipeline_cmd =
                    force-unknown:N) to exercise certification and \
                    escalation paths.")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Shard the per-product check phase across $(docv) forked \
+                   worker processes.  The report is byte-identical to a \
+                   sequential run (the merge is deterministic), the parent \
+                   remains the sole journal writer, and a crashed worker \
+                   degrades to an isolated per-product diagnostic.")
+  in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
     Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out
-          $ max_conflicts $ timeout $ certify_arg $ retry $ journal $ resume $ unsound)
+          $ max_conflicts $ timeout $ certify_arg $ retry $ journal $ resume $ unsound
+          $ jobs)
 
 let dtb_cmd =
   let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in

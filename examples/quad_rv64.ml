@@ -3,11 +3,53 @@
    three VMs — the full llhsc workflow at a larger scale than the paper's
    CustomSBC.
 
-     dune exec examples/quad_rv64.exe *)
+     dune exec examples/quad_rv64.exe            # run the workflow
+     dune exec examples/quad_rv64.exe -- dump D  # materialise fixture in D
+
+   The dump mode writes the embedded fixture (DTS, feature model, deltas,
+   schemas, VM selections) as files, so the CLI — and CI's parallel smoke
+   job — can run `llhsc pipeline`/`llhsc build` against the same case
+   study the in-process tests use. *)
 
 module Q = Llhsc.Quad_rv64
 
-let () =
+let dump dir =
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  mkdir dir;
+  let p f = Filename.concat dir f in
+  write (p "quad-rv64.dts") Q.core_dts;
+  write (p "quad-rv64.fm") Q.feature_model_src;
+  write (p "quad-rv64.deltas") Q.deltas_src;
+  mkdir (p "schemas");
+  List.iteri
+    (fun i src -> write (p (Printf.sprintf "schemas/schema-%d.yaml" i)) src)
+    Q.schemas_src;
+  let vms = [ Q.vm1_features; Q.vm2_features; Q.vm3_features ] in
+  (* One comma-joined selection per line: shell-friendly input for
+     building repeated `--vm` flags. *)
+  write (p "vms.txt")
+    (String.concat "\n" (List.map (String.concat ",") vms) ^ "\n");
+  (* And the same run as a project file for `llhsc build`. *)
+  write (p "quad-rv64.proj.yaml")
+    (String.concat "\n"
+       ([ "core: quad-rv64.dts";
+          "deltas: [quad-rv64.deltas]";
+          "model: quad-rv64.fm";
+          "schemas: schemas";
+          "exclusive: [" ^ String.concat ", " Q.exclusive ^ "]";
+          "vms:" ]
+       @ List.map
+           (fun fs -> "  - features: [" ^ String.concat ", " fs ^ "]")
+           vms)
+    ^ "\n");
+  Fmt.pr "quad_rv64 fixture written to %s@." dir
+
+let run () =
   let env = Featuremodel.Analysis.encode (Q.feature_model ()) in
   Fmt.pr "QuadRV64 feature model: %d valid products@.@."
     (Featuremodel.Analysis.count_products env);
@@ -28,3 +70,8 @@ let () =
   Fmt.pr "== config.c (3 VMs) ==@.%s@." (Bao.Config.to_c (Bao.Config.of_vm_trees vms));
   Fmt.pr "== QEMU, vm1 ==@.%s@."
     (Bao.Qemu.command_line ~arch:Bao.Qemu.Rv64 (product "vm1").Llhsc.Pipeline.tree)
+
+let () =
+  match Sys.argv with
+  | [| _; "dump"; dir |] -> dump dir
+  | _ -> run ()

@@ -48,6 +48,16 @@ val product_hash : inputs_hash:string -> name:string -> features:string list -> 
 val partition_hash :
   inputs_hash:string -> products:(string * string list) list -> string
 
+(** {1 Finding serialisation}
+
+    The journal's JSON encoding of one finding, shared with the worker-pool
+    wire protocol (see {!Shard}). *)
+
+val finding_to_json : Report.finding -> Json.t
+
+(** [None] on a structurally invalid encoding. *)
+val finding_of_json : Json.t -> Report.finding option
+
 (** {1 Writing} *)
 
 type sink

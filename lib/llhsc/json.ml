@@ -91,16 +91,23 @@ let parse src =
     end
     else fail "bad literal"
   in
-  (* UTF-8 encode a \uXXXX code point (surrogate pairs not recombined: the
-     writer never emits them for the journal's data). *)
+  (* UTF-8 encode a code point.  Surrogate halves never reach here: the
+     string parser recombines pairs and rejects lone halves, so [cp] is a
+     scalar value in [0, 0x10FFFF]. *)
   let add_code_point buf cp =
     if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
@@ -127,13 +134,34 @@ let parse src =
          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
          | Some 'u' ->
            advance ();
-           if !pos + 4 > len then fail "truncated \\u escape";
-           let hex = String.sub src !pos 4 in
-           (match int_of_string_opt ("0x" ^ hex) with
-            | Some cp ->
-              pos := !pos + 4;
-              add_code_point buf cp
-            | None -> fail "bad \\u escape %S" hex)
+           let hex4 () =
+             if !pos + 4 > len then fail "truncated \\u escape";
+             let hex = String.sub src !pos 4 in
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some cp ->
+               pos := !pos + 4;
+               cp
+             | None -> fail "bad \\u escape %S" hex
+           in
+           let cp = hex4 () in
+           if cp >= 0xD800 && cp <= 0xDBFF then begin
+             (* High surrogate: only valid as the first half of a pair;
+                recombine rather than emit an invalid raw 3-byte
+                encoding. *)
+             if !pos + 2 <= len && src.[!pos] = '\\' && src.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo >= 0xDC00 && lo <= 0xDFFF then
+                 add_code_point buf
+                   (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+               else fail "lone high surrogate \\u%04X" cp
+             end
+             else fail "lone high surrogate \\u%04X" cp
+           end
+           else if cp >= 0xDC00 && cp <= 0xDFFF then
+             fail "lone low surrogate \\u%04X" cp
+           else add_code_point buf cp
          | Some c -> fail "bad escape \\%C" c
          | None -> fail "unterminated escape");
         go ()

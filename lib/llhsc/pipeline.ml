@@ -9,11 +9,19 @@
       artifacts: checked VM DTSs + platform DTS (+ hypervisor configs,
       rendered by lib/bao from these trees)
 
-   All SMT-based checks share one incremental solver instance per run
-   (push/pop scoped), as the paper advocates (§VI).  Each phase runs under
-   an isolation guard: an error while building or checking one product is
-   converted to a diagnostic (and the solver's scope stack rebalanced) so
-   the remaining products are still checked. *)
+   The check phase is sliced into independent tasks — fixed-size chunks of
+   a product's syntactic obligations plus one semantic task per product —
+   and every task runs on a fresh solver instance.  [?jobs] shards the
+   task list across forked workers (see {!Shard}); because the slicing,
+   the per-task solvers and the canonical merge order are all independent
+   of the job count, a [--jobs N] report is byte-identical to a sequential
+   one.  The parent keeps everything stateful: allocation, delta
+   application, the journal, and the cross-VM partition check (which needs
+   every product's tree and runs after the merge barrier).
+
+   Each phase runs under an isolation guard: an error while building or
+   checking one product is converted to a diagnostic so the remaining
+   products are still checked. *)
 
 module T = Devicetree.Tree
 
@@ -45,36 +53,58 @@ let ok outcome =
      | None -> true)
 
 (* Run [f] with per-phase isolation: a known error becomes a diagnostic
-   prefixed with [what], the solver scope stack is rebalanced (a failing
-   phase may die between push and pop), and [fallback] stands in for the
-   result.  Unknown exceptions still propagate. *)
-let guarded ~solver ~errors ~what ~fallback f =
-  let depth = Smt.Solver.num_scopes solver in
+   prefixed with [what], the solver's scope stack (when one is involved)
+   is rebalanced — a failing phase may die between push and pop — and
+   [fallback] stands in for the result.  Unknown exceptions still
+   propagate. *)
+let guarded ?solver ~errors ~what ~fallback f =
+  let depth =
+    match solver with Some s -> Smt.Solver.num_scopes s | None -> 0
+  in
   try f ()
   with e -> (
     match Diag.of_exn e with
     | None -> raise e
     | Some d ->
-      while Smt.Solver.num_scopes solver > depth do
-        Smt.Solver.pop solver
-      done;
+      (match solver with
+       | Some s ->
+         while Smt.Solver.num_scopes s > depth do
+           Smt.Solver.pop s
+         done
+       | None -> ());
       errors := { d with Diag.message = what ^ ": " ^ d.Diag.message } :: !errors;
       fallback)
 
-(* Generate and check a single product. *)
-let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
-  match Delta.Apply.generate ~core ~deltas ~selected:features with
-  | exception Delta.Apply.Error e ->
-    let finding =
-      Report.finding ~checker:"delta" ~node_path:(Option.value ~default:"?" e.Delta.Apply.delta)
-        ~loc:e.Delta.Apply.loc "product %s: %s" name e.Delta.Apply.message
-    in
-    { name; features; tree = core; findings = [ finding ] }
-  | tree ->
-    let schemas = schemas_for tree in
-    let syntactic = Syntactic.check ~solver ~schemas ~product:name tree in
-    let semantic = Semantic.check ~solver tree in
-    { name; features; tree; findings = syntactic @ semantic }
+(* Syntactic obligations per task.  Fixed — independent of the job count —
+   so the task list (and with it every solver-local query numbering) is
+   the same whether the run is sequential or sharded.  Small enough that
+   the dominant product's obligations spread across all workers; large
+   enough that per-task solver setup stays in the noise. *)
+let syn_chunk_size = 8
+
+let chunks size l =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 l
+
+(* What the parent decided about one product before the task phase. *)
+type plan =
+  | Done of { p : product; journal_hash : string option }
+      (* no solver work: replayed, degraded, or failed in delta
+         application ([journal_hash] set iff the record should still be
+         journaled) *)
+  | Sharded of {
+      name : string;
+      features : string list;
+      hash : string;
+      tree : T.t;
+      first : int; (* index of the product's first task *)
+      count : int; (* its number of tasks (syntactic chunks + semantic) *)
+    }
 
 (* Run the full workflow.
 
@@ -96,44 +126,69 @@ let build_product ~solver ~core ~deltas ~schemas_for ~name ~features =
    journal, no solver work — and everything else is re-checked.  A
    certifying run only trusts entries that were themselves written by a
    certifying run with zero failures: resumption never fabricates a
-   certificate. *)
+   certificate.  Replay is decided in the parent before any task is
+   sharded, and only the parent ever writes the journal. *)
 let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
-    ?(inputs_hash = "") ?journal ?(resume = []) ~model ~core ~deltas
-    ~schemas_for ~vm_requests () =
-  let solver = Smt.Solver.create ~certify () in
-  Smt.Solver.set_budget solver budget;
-  Smt.Solver.set_escalation solver retry;
-  Option.iter (Smt.Solver.inject_unsoundness solver) unsound;
+    ?(inputs_hash = "") ?journal ?(resume = []) ?(jobs = 1) ~model ~core
+    ~deltas ~schemas_for ~vm_requests () =
+  let jobs = max 1 jobs in
   let errors = ref [] in
   let replayed = ref [] in
-  let cert_failures () =
-    if certify then
-      List.length (Smt.Solver.cert_report solver).Smt.Solver.failures
-    else 0
+  let fresh_solver () =
+    let s = Smt.Solver.create ~certify () in
+    Smt.Solver.set_budget s budget;
+    Smt.Solver.set_escalation s retry;
+    Option.iter (Smt.Solver.inject_unsoundness s) unsound;
+    s
   in
   let journal_entry ~kind ~name ~hash ~features ~order ~findings
-      ~failures_before =
+      ~cert_failures =
     match journal with
     | None -> ()
     | Some sink ->
       Journal.record sink
         { Journal.kind; name; hash; features; order; findings;
-          certified = certify;
-          cert_failures = cert_failures () - failures_before }
+          certified = certify; cert_failures }
   in
   (* A journal entry is only worth replaying if the current run's
      certification demands are no stricter than the run that wrote it. *)
   let trusted (e : Journal.entry) =
     (not certify) || (e.Journal.certified && e.Journal.cert_failures = 0)
   in
+  (* Canonical-order accumulation of the per-task solver statistics.
+     Every task numbers its queries from 0; [absorb] renumbers them into
+     one run-wide sequence (products in order, each product's syntactic
+     chunks then its semantic task, the partition check last). *)
+  let offset = ref 0 in
+  let stat_certs = ref [] (* reversed *) in
+  let stat_failures = ref [] in
+  let stat_retried = ref [] in
+  let absorb (r : Shard.result) =
+    let r = Shard.renumber ~offset:!offset r in
+    offset := !offset + r.Shard.queries;
+    stat_certs := List.rev_append r.Shard.certs !stat_certs;
+    stat_failures := List.rev_append r.Shard.cert_failures !stat_failures;
+    stat_retried := List.rev_append r.Shard.retried !stat_retried;
+    r
+  in
   let finish ~products ~alloc_findings ~partition_findings ~delta_orders =
     { products; alloc_findings; partition_findings; delta_orders;
       errors = List.rev !errors;
-      cert = (if certify then Some (Smt.Solver.cert_report solver) else None);
+      cert =
+        (if certify then
+           Some
+             { Smt.Solver.enabled = true;
+               certs = List.rev !stat_certs;
+               failures = List.rev !stat_failures }
+         else None);
       retry =
         (match retry with
          | None -> None
-         | Some _ -> Some (Smt.Solver.retry_report solver));
+         | Some _ ->
+           Some
+             { Smt.Solver.retry_enabled = !offset > 0;
+               total_queries = !offset;
+               retried = List.rev !stat_retried });
       replayed = List.rev !replayed }
   in
   let vms = List.length vm_requests in
@@ -141,13 +196,50 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
     List.mapi (fun i selected -> Alloc.request (i + 1) selected) vm_requests
   in
   match
-    guarded ~solver ~errors ~what:"allocation" ~fallback:(Alloc.Rejected []) (fun () ->
+    guarded ~errors ~what:"allocation" ~fallback:(Alloc.Rejected []) (fun () ->
         Alloc.allocate ~exclusive model ~vms ~requests)
   with
   | Alloc.Rejected findings ->
     finish ~products:[] ~alloc_findings:findings ~partition_findings:[] ~delta_orders:[]
   | Alloc.Allocated { vms = completed; platform } ->
-    let build ~name ~features =
+    let specs =
+      List.map
+        (fun (vm, features) -> (Printf.sprintf "vm%d" vm, features))
+        completed
+      @ [ ("platform", platform) ]
+    in
+    let tasks = ref [] (* reversed *) in
+    let n_tasks = ref 0 in
+    let add_task f =
+      tasks := f :: !tasks;
+      incr n_tasks
+    in
+    (* Wrap a checking thunk as one task: fresh solver, local isolation,
+       result assembled from that solver's own reports. *)
+    let checking_task ~name f =
+      add_task (fun () ->
+          let solver = fresh_solver () in
+          let task_errors = ref [] in
+          let findings =
+            guarded ~solver ~errors:task_errors ~what:("product " ^ name)
+              ~fallback:[]
+              (fun () -> f solver)
+          in
+          let rr = Smt.Solver.retry_report solver in
+          let cr = Smt.Solver.cert_report solver in
+          { Shard.product = name;
+            findings;
+            errors = List.rev !task_errors;
+            queries = rr.Smt.Solver.total_queries;
+            certs = (if certify then cr.Smt.Solver.certs else []);
+            cert_failures = (if certify then cr.Smt.Solver.failures else []);
+            retried = rr.Smt.Solver.retried })
+    in
+    let degraded ~name ~features =
+      Done { p = { name; features; tree = core; findings = [] };
+             journal_hash = None }
+    in
+    let plan_product (name, features) =
       let hash = Journal.product_hash ~inputs_hash ~name ~features in
       match Journal.find resume Journal.Product name with
       | Some e when e.Journal.hash = hash && trusted e ->
@@ -156,45 +248,114 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
            the recorded findings verbatim. *)
         replayed := name :: !replayed;
         let tree =
-          guarded ~solver ~errors ~what:("product " ^ name) ~fallback:core
+          guarded ~errors ~what:("product " ^ name) ~fallback:core
             (fun () ->
               match Delta.Apply.generate ~core ~deltas ~selected:features with
               | tree -> tree
               | exception Delta.Apply.Error _ -> core)
         in
-        { name; features; tree; findings = e.Journal.findings }
-      | _ ->
-        let errs_before = List.length !errors in
-        let failures_before = cert_failures () in
-        let p =
-          guarded ~solver ~errors ~what:("product " ^ name)
-            ~fallback:{ name; features; tree = core; findings = [] }
-            (fun () ->
-              build_product ~solver ~core ~deltas ~schemas_for ~name ~features)
-        in
-        (* Only journal products whose phase completed without an isolated
-           error: a guarded failure means the recorded findings would not
-           reflect a full check. *)
-        if List.length !errors = errs_before then
-          journal_entry ~kind:Journal.Product ~name ~hash ~features
-            ~order:(Delta.Apply.order ~selected:features deltas)
-            ~findings:p.findings ~failures_before;
+        Done { p = { name; features; tree; findings = e.Journal.findings };
+               journal_hash = None }
+      | _ -> (
+        match Delta.Apply.generate ~core ~deltas ~selected:features with
+        | exception Delta.Apply.Error e ->
+          let finding =
+            Report.finding ~checker:"delta"
+              ~node_path:(Option.value ~default:"?" e.Delta.Apply.delta)
+              ~loc:e.Delta.Apply.loc "product %s: %s" name e.Delta.Apply.message
+          in
+          (* The delta failure IS the product's complete verdict: journal
+             it like any checked product. *)
+          Done { p = { name; features; tree = core; findings = [ finding ] };
+                 journal_hash = Some hash }
+        | exception e -> (
+          match Diag.of_exn e with
+          | None -> raise e
+          | Some d ->
+            errors :=
+              { d with Diag.message = "product " ^ name ^ ": " ^ d.Diag.message }
+              :: !errors;
+            degraded ~name ~features)
+        | tree -> (
+          match
+            guarded ~errors ~what:("product " ^ name) ~fallback:None (fun () ->
+                Some (Syntactic.obligations ~schemas:(schemas_for tree) tree))
+          with
+          | None -> degraded ~name ~features
+          | Some obls ->
+            let first = !n_tasks in
+            List.iter
+              (fun slice ->
+                checking_task ~name (fun solver ->
+                    Syntactic.check_obligations ~solver ~product:name slice))
+              (chunks syn_chunk_size obls);
+            checking_task ~name (fun solver -> Semantic.check ~solver tree);
+            Sharded { name; features; hash; tree; first;
+                      count = !n_tasks - first }))
+    in
+    let plans = List.map plan_product specs in
+    let results =
+      Shard.run_tasks ~jobs (Array.of_list (List.rev !tasks))
+    in
+    (* Canonical merge: task order == plan order, so absorbing the results
+       array front to back renumbers queries identically for every job
+       count.  Results of a degraded product's completed tasks still count
+       (their queries ran and their certificates are real). *)
+    let absorbed = Array.map (Option.map absorb) results in
+    let merge = function
+      | Done { p; journal_hash } ->
+        (match journal_hash with
+         | Some hash ->
+           journal_entry ~kind:Journal.Product ~name:p.name ~hash
+             ~features:p.features
+             ~order:(Delta.Apply.order ~selected:p.features deltas)
+             ~findings:p.findings ~cert_failures:0
+         | None -> ());
         p
+      | Sharded { name; features; hash; tree; first; count } ->
+        let rs = Array.to_list (Array.sub absorbed first count) in
+        if List.exists Option.is_none rs then begin
+          (* A worker died (crash, or the fault harness's SIGKILL) before
+             shipping this product's results: degrade to an isolated
+             diagnostic, exactly like an in-process phase failure. *)
+          errors :=
+            Diag.make ~code:"WORKER"
+              "product %s: worker exited before reporting; product not checked"
+              name
+            :: !errors;
+          { name; features; tree = core; findings = [] }
+        end
+        else begin
+          let rs = List.filter_map Fun.id rs in
+          let task_errors = List.concat_map (fun r -> r.Shard.errors) rs in
+          if task_errors <> [] then begin
+            List.iter (fun d -> errors := d :: !errors) task_errors;
+            { name; features; tree = core; findings = [] }
+          end
+          else begin
+            let findings = List.concat_map (fun r -> r.Shard.findings) rs in
+            (* Only journal products whose every task completed without an
+               isolated error: anything less and the recorded findings
+               would not reflect a full check. *)
+            journal_entry ~kind:Journal.Product ~name ~hash ~features
+              ~order:(Delta.Apply.order ~selected:features deltas)
+              ~findings
+              ~cert_failures:
+                (List.length
+                   (List.concat_map (fun r -> r.Shard.cert_failures) rs));
+            { name; features; tree; findings }
+          end
+        end
     in
-    let vm_products =
-      List.map
-        (fun (vm, features) ->
-          let name = Printf.sprintf "vm%d" vm in
-          build ~name ~features)
-        completed
-    in
-    let platform_product = build ~name:"platform" ~features:platform in
-    let all_products = vm_products @ [ platform_product ] in
+    let all_products = List.map merge plans in
     let delta_orders =
       List.map
         (fun p -> (p.name, Delta.Apply.order ~selected:p.features deltas))
         all_products
     in
+    (* The cross-VM partition check needs every product's tree, so it runs
+       in the parent after the merge barrier, on its own fresh solver —
+       its queries extend the same canonical numbering. *)
     let partition_findings =
       let hash =
         Journal.partition_hash ~inputs_hash
@@ -205,16 +366,39 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
         replayed := "partition" :: !replayed;
         e.Journal.findings
       | _ ->
-        let errs_before = List.length !errors in
-        let failures_before = cert_failures () in
+        let solver = fresh_solver () in
+        let task_errors = ref [] in
+        let vm_products =
+          List.filter (fun p -> p.name <> "platform") all_products
+        in
+        let platform_tree =
+          match List.find_opt (fun p -> p.name = "platform") all_products with
+          | Some p -> p.tree
+          | None -> core
+        in
         let fs =
-          guarded ~solver ~errors ~what:"partition check" ~fallback:[] (fun () ->
-              Partition.check ~solver ~platform:platform_product.tree
+          guarded ~solver ~errors:task_errors ~what:"partition check"
+            ~fallback:[] (fun () ->
+              Partition.check ~solver ~platform:platform_tree
                 (List.map (fun p -> (p.name, p.tree)) vm_products))
         in
-        if List.length !errors = errs_before then
+        let rr = Smt.Solver.retry_report solver in
+        let cr = Smt.Solver.cert_report solver in
+        let r =
+          absorb
+            { Shard.product = "partition";
+              findings = fs;
+              errors = List.rev !task_errors;
+              queries = rr.Smt.Solver.total_queries;
+              certs = (if certify then cr.Smt.Solver.certs else []);
+              cert_failures = (if certify then cr.Smt.Solver.failures else []);
+              retried = rr.Smt.Solver.retried }
+        in
+        if r.Shard.errors = [] then
           journal_entry ~kind:Journal.Partition ~name:"partition" ~hash
-            ~features:[] ~order:[] ~findings:fs ~failures_before;
+            ~features:[] ~order:[] ~findings:fs
+            ~cert_failures:(List.length r.Shard.cert_failures)
+        else List.iter (fun d -> errors := d :: !errors) r.Shard.errors;
         fs
     in
     finish ~products:all_products ~alloc_findings:[] ~partition_findings

@@ -1,6 +1,9 @@
 (** The end-to-end llhsc workflow (Fig. 2): allocation, delta application
-    per product, syntactic + semantic checking — all SMT work on one
-    incremental solver instance per run. *)
+    per product, then a check phase sliced into independent tasks (chunks
+    of syntactic obligations + one semantic task per product), each on a
+    fresh solver instance, optionally sharded across forked workers
+    ([?jobs]); the cross-VM partition check runs in the parent after the
+    merge barrier. *)
 
 type product = {
   name : string;           (** "vm1", ..., "platform" *)
@@ -73,7 +76,18 @@ val ok : outcome -> bool
     [unsound] is test-only fault injection forwarded to the underlying
     SAT solver (see [Sat.Solver.inject_unsoundness]); the
     [Force_unknown] mutation exercises escalation and degradation paths
-    without unsoundness. *)
+    without unsoundness.  With per-task solvers the injection period is
+    counted per task, identically at every job count.
+
+    [jobs] (default 1) shards the check-phase tasks across that many
+    forked worker processes (see {!Shard.run_tasks}).  The rendered
+    report is byte-identical for every job count — including certifying
+    and retrying runs — because task slicing, solver instantiation and
+    merge order never depend on [jobs].  Only the parent writes the
+    journal, and replay is decided before sharding, so [jobs] composes
+    with [journal]/[resume] (a journal written at one job count resumes
+    at any other).  A worker crash degrades each product it owed to an
+    isolated [WORKER] diagnostic in [outcome.errors]. *)
 val run :
   ?exclusive:string list ->
   ?budget:Sat.Solver.budget ->
@@ -83,6 +97,7 @@ val run :
   ?inputs_hash:string ->
   ?journal:Journal.sink ->
   ?resume:Journal.entry list ->
+  ?jobs:int ->
   model:Featuremodel.Model.t ->
   core:Devicetree.Tree.t ->
   deltas:Delta.Lang.t list ->

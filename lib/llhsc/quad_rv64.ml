@@ -271,9 +271,9 @@ let vm3_features = [ "bank@b0000000"; "cpu@3"; "virtio@10003000" ]
 let exclusive = [ "memory"; "cpus"; "uarts"; "virtio" ]
 
 let run_pipeline ?budget ?(certify = false) ?retry ?inputs_hash ?journal
-    ?resume () =
+    ?resume ?jobs () =
   Pipeline.run ~exclusive ?budget ~certify ?retry ?inputs_hash ?journal
-    ?resume ~model:(feature_model ()) ~core:(core_tree ())
+    ?resume ?jobs ~model:(feature_model ()) ~core:(core_tree ())
     ~deltas:(deltas ()) ~schemas_for
     ~vm_requests:[ vm1_features; vm2_features; vm3_features ]
     ()

@@ -10,6 +10,11 @@ val feature_model_src : string
 val feature_model : unit -> Featuremodel.Model.t
 val deltas_src : string
 val deltas : unit -> Delta.Lang.t list
+
+(** Raw YAML sources of the binding schemas (one string per schema), for
+    tooling that needs to materialise the fixture on disk. *)
+val schemas_src : string list
+
 val schemas_for : Devicetree.Tree.t -> Schema.Binding.t list
 
 (** Three fully partitioned VM feature selections. *)
@@ -24,7 +29,8 @@ val exclusive : string list
 (** The full Fig.-2 pipeline on this case study; [~certify:true] certifies
     every solver verdict of the run.  [?budget]/[?retry] bound and escalate
     solver work, [?journal]/[?resume]/[?inputs_hash] thread crash-safe
-    journaling through (see {!Pipeline.run}). *)
+    journaling through, [?jobs] shards the check phase across forked
+    workers (see {!Pipeline.run}). *)
 val run_pipeline :
   ?budget:Sat.Solver.budget ->
   ?certify:bool ->
@@ -32,5 +38,6 @@ val run_pipeline :
   ?inputs_hash:string ->
   ?journal:Journal.sink ->
   ?resume:Journal.entry list ->
+  ?jobs:int ->
   unit ->
   Pipeline.outcome

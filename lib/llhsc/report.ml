@@ -51,9 +51,12 @@ let pp_retry ppf (r : Smt.Solver.retry_report) =
     (fun (e : Smt.Solver.retry_entry) ->
       Fmt.pf ppf "@.  query %d:%s" e.rquery
         (if e.recovered then "" else " (exhausted ladder)");
+      (* Per-attempt wall-clock is deliberately not printed: the rendered
+         report must be byte-identical across runs (and across [--jobs]
+         counts); timings stay available in the data record. *)
       List.iter
         (fun (a : Smt.Solver.attempt) ->
-          Fmt.pf ppf "@.    attempt %d (x%d%s, polarity %a): %s, %d conflicts, %.2f ms"
+          Fmt.pf ppf "@.    attempt %d (x%d%s, polarity %a): %s, %d conflicts"
             a.attempt a.scale
             (match a.seed with
              | Some s -> Fmt.str ", seed %#x" s
@@ -63,24 +66,21 @@ let pp_retry ppf (r : Smt.Solver.retry_report) =
              | `Sat -> "sat"
              | `Unsat -> "unsat"
              | `Unknown -> "unknown")
-            a.conflicts
-            (1000. *. a.time))
+            a.conflicts)
         e.attempts)
     r.Smt.Solver.retried
 
+(* Like [pp_retry], wall-clock stays out of the rendered report so it is
+   byte-stable; [cert.time] remains in the record for tooling. *)
 let pp_cert ppf (r : Smt.Solver.cert_report) =
   let certs = r.Smt.Solver.certs in
   let failures = List.length r.Smt.Solver.failures in
-  let time =
-    List.fold_left (fun acc (c : Smt.Solver.cert) -> acc +. c.time) 0. certs
-  in
-  Fmt.pf ppf "certification: %d queries certified, %d failures (%.1f ms checking)"
-    (List.length certs) failures (1000. *. time);
+  Fmt.pf ppf "certification: %d queries certified, %d failures"
+    (List.length certs) failures;
   List.iter
     (fun (c : Smt.Solver.cert) ->
-      Fmt.pf ppf "@.  query %d: %s, trace %d steps, %.2f ms%s" c.Smt.Solver.query
+      Fmt.pf ppf "@.  query %d: %s, trace %d steps%s" c.Smt.Solver.query
         (match c.Smt.Solver.verdict with `Sat -> "sat" | `Unsat -> "unsat")
         c.Smt.Solver.steps
-        (1000. *. c.Smt.Solver.time)
         (if c.Smt.Solver.ok then "" else " [FAILED]"))
     certs

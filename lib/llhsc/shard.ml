@@ -1,0 +1,323 @@
+(* Worker pool for the sharded check phase.  See the .mli for the
+   contract; the key invariants live here:
+
+   - one pipe per worker, written only by that worker, drained fully by
+     the parent before the next pipe (no interleaving, no deadlock: the
+     parent is the only reader and children never read);
+   - one complete JSON line per task result, flushed as soon as the task
+     finishes, so a crashing worker loses only its in-flight task(s);
+   - children exit through [Unix._exit], never [exit]: the parent's
+     [at_exit] handlers and buffered channels must not run or flush a
+     second time in the child. *)
+
+type result = {
+  product : string;
+  findings : Report.finding list;
+  errors : Diag.t list;
+  queries : int;
+  certs : Smt.Solver.cert list;
+  cert_failures : string list;
+  retried : Smt.Solver.retry_entry list;
+}
+
+(* --- renumbering ----------------------------------------------------------- *)
+
+(* Certification failure messages are rendered by the solver as
+   "query %d: ...": rewrite the local index into the run-wide one. *)
+let renumber_failure ~offset s =
+  let prefix = "query " in
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    match String.index_from_opt s plen ':' with
+    | Some i -> (
+      match int_of_string_opt (String.sub s plen (i - plen)) with
+      | Some q ->
+        Printf.sprintf "query %d%s" (q + offset)
+          (String.sub s i (String.length s - i))
+      | None -> s)
+    | None -> s
+  else s
+
+let renumber ~offset r =
+  if offset = 0 then r
+  else
+    {
+      r with
+      certs =
+        List.map
+          (fun (c : Smt.Solver.cert) -> { c with query = c.query + offset })
+          r.certs;
+      cert_failures = List.map (renumber_failure ~offset) r.cert_failures;
+      retried =
+        List.map
+          (fun (e : Smt.Solver.retry_entry) ->
+            { e with rquery = e.rquery + offset })
+          r.retried;
+    }
+
+(* --- JSON wire format ------------------------------------------------------- *)
+
+(* [Json.t] has no float constructor; times cross the pipe as hexadecimal
+   float literals ("%h"), which round-trip exactly. *)
+let float_to_json t = Json.Str (Printf.sprintf "%h" t)
+let float_of_json j = Option.bind (Json.to_str j) float_of_string_opt
+
+let diag_severity_to_string : Diag.severity -> string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let diag_severity_of_string = function
+  | "error" -> Some Diag.Error
+  | "warning" -> Some Diag.Warning
+  | "info" -> Some Diag.Info
+  | _ -> None
+
+let diag_to_json (d : Diag.t) =
+  Json.Obj
+    [
+      ("severity", Json.Str (diag_severity_to_string d.severity));
+      ("code", Json.Str d.code);
+      ("message", Json.Str d.message);
+      ( "loc",
+        match d.loc with
+        | None -> Json.Null
+        | Some loc ->
+          Json.Obj
+            [
+              ("file", Json.Str loc.Devicetree.Loc.file);
+              ("line", Json.Int loc.Devicetree.Loc.line);
+              ("col", Json.Int loc.Devicetree.Loc.col);
+            ] );
+    ]
+
+let ( let* ) = Option.bind
+
+let diag_of_json j =
+  let* severity = Option.bind (Json.member "severity" j) Json.to_str in
+  let* severity = diag_severity_of_string severity in
+  let* code = Option.bind (Json.member "code" j) Json.to_str in
+  let* message = Option.bind (Json.member "message" j) Json.to_str in
+  let* loc =
+    match Json.member "loc" j with
+    | Some Json.Null | None -> Some None
+    | Some loc ->
+      let* file = Option.bind (Json.member "file" loc) Json.to_str in
+      let* line = Option.bind (Json.member "line" loc) Json.to_int in
+      let* col = Option.bind (Json.member "col" loc) Json.to_int in
+      Some (Some (Devicetree.Loc.make ~file ~line ~col))
+  in
+  Some { Diag.severity; code; message; loc }
+
+let verdict_to_string = function `Sat -> "sat" | `Unsat -> "unsat"
+
+let verdict_of_string = function
+  | "sat" -> Some `Sat
+  | "unsat" -> Some `Unsat
+  | _ -> None
+
+let cert_to_json (c : Smt.Solver.cert) =
+  Json.Obj
+    [
+      ("query", Json.Int c.query);
+      ("verdict", Json.Str (verdict_to_string c.verdict));
+      ("steps", Json.Int c.steps);
+      ("time", float_to_json c.time);
+      ("ok", Json.Bool c.ok);
+    ]
+
+let cert_of_json j =
+  let* query = Option.bind (Json.member "query" j) Json.to_int in
+  let* verdict = Option.bind (Json.member "verdict" j) Json.to_str in
+  let* verdict = verdict_of_string verdict in
+  let* steps = Option.bind (Json.member "steps" j) Json.to_int in
+  let* time = Option.bind (Json.member "time" j) float_of_json in
+  let* ok = Option.bind (Json.member "ok" j) Json.to_bool in
+  Some { Smt.Solver.query; verdict; steps; time; ok }
+
+let polarity_to_string : Sat.Solver.polarity_mode -> string = function
+  | Phase_saved -> "saved"
+  | Phase_false -> "false"
+  | Phase_true -> "true"
+  | Phase_inverted -> "inverted"
+  | Phase_random -> "random"
+
+let polarity_of_string = function
+  | "saved" -> Some Sat.Solver.Phase_saved
+  | "false" -> Some Sat.Solver.Phase_false
+  | "true" -> Some Sat.Solver.Phase_true
+  | "inverted" -> Some Sat.Solver.Phase_inverted
+  | "random" -> Some Sat.Solver.Phase_random
+  | _ -> None
+
+let attempt_to_json (a : Smt.Solver.attempt) =
+  Json.Obj
+    [
+      ("attempt", Json.Int a.attempt);
+      ("scale", Json.Int a.scale);
+      ("seed", match a.seed with None -> Json.Null | Some s -> Json.Int s);
+      ("polarity", Json.Str (polarity_to_string a.polarity));
+      ( "result",
+        Json.Str
+          (match a.result with
+           | `Sat -> "sat"
+           | `Unsat -> "unsat"
+           | `Unknown -> "unknown") );
+      ("conflicts", Json.Int a.conflicts);
+      ("time", float_to_json a.time);
+    ]
+
+let attempt_of_json j =
+  let* attempt = Option.bind (Json.member "attempt" j) Json.to_int in
+  let* scale = Option.bind (Json.member "scale" j) Json.to_int in
+  let* seed =
+    match Json.member "seed" j with
+    | Some Json.Null | None -> Some None
+    | Some (Json.Int s) -> Some (Some s)
+    | Some _ -> None
+  in
+  let* polarity = Option.bind (Json.member "polarity" j) Json.to_str in
+  let* polarity = polarity_of_string polarity in
+  let* result = Option.bind (Json.member "result" j) Json.to_str in
+  let* result =
+    match result with
+    | "sat" -> Some `Sat
+    | "unsat" -> Some `Unsat
+    | "unknown" -> Some `Unknown
+    | _ -> None
+  in
+  let* conflicts = Option.bind (Json.member "conflicts" j) Json.to_int in
+  let* time = Option.bind (Json.member "time" j) float_of_json in
+  Some { Smt.Solver.attempt; scale; seed; polarity; result; conflicts; time }
+
+let retry_entry_to_json (e : Smt.Solver.retry_entry) =
+  Json.Obj
+    [
+      ("rquery", Json.Int e.rquery);
+      ("attempts", Json.List (List.map attempt_to_json e.attempts));
+      ("recovered", Json.Bool e.recovered);
+    ]
+
+let retry_entry_of_json j =
+  let* rquery = Option.bind (Json.member "rquery" j) Json.to_int in
+  let* attempts = Option.bind (Json.member "attempts" j) Json.to_list in
+  let attempts' = List.filter_map attempt_of_json attempts in
+  if List.length attempts' <> List.length attempts then None
+  else
+    let* recovered = Option.bind (Json.member "recovered" j) Json.to_bool in
+    Some { Smt.Solver.rquery; attempts = attempts'; recovered }
+
+let all_or_none of_json items =
+  let parsed = List.filter_map of_json items in
+  if List.length parsed <> List.length items then None else Some parsed
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("product", Json.Str r.product);
+      ("findings", Json.List (List.map Journal.finding_to_json r.findings));
+      ("errors", Json.List (List.map diag_to_json r.errors));
+      ("queries", Json.Int r.queries);
+      ("certs", Json.List (List.map cert_to_json r.certs));
+      ( "cert_failures",
+        Json.List (List.map (fun s -> Json.Str s) r.cert_failures) );
+      ("retried", Json.List (List.map retry_entry_to_json r.retried));
+    ]
+
+let result_of_json j =
+  let* product = Option.bind (Json.member "product" j) Json.to_str in
+  let* findings = Option.bind (Json.member "findings" j) Json.to_list in
+  let* findings = all_or_none Journal.finding_of_json findings in
+  let* errors = Option.bind (Json.member "errors" j) Json.to_list in
+  let* errors = all_or_none diag_of_json errors in
+  let* queries = Option.bind (Json.member "queries" j) Json.to_int in
+  let* certs = Option.bind (Json.member "certs" j) Json.to_list in
+  let* certs = all_or_none cert_of_json certs in
+  let* cert_failures =
+    Option.bind (Json.member "cert_failures" j) Json.to_str_list
+  in
+  let* retried = Option.bind (Json.member "retried" j) Json.to_list in
+  let* retried = all_or_none retry_entry_of_json retried in
+  Some { product; findings; errors; queries; certs; cert_failures; retried }
+
+(* --- worker pool ------------------------------------------------------------ *)
+
+let kill_worker_at () =
+  match Sys.getenv_opt "LLHSC_FAULT_KILL_WORKER" with
+  | None -> None
+  | Some v -> int_of_string_opt v
+
+let run_tasks ~jobs (tasks : (unit -> result) array) =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let jobs = min jobs n in
+  if jobs <= 1 then begin
+    Array.iteri (fun i task -> results.(i) <- Some (task ())) tasks;
+    results
+  end
+  else begin
+    (* Anything buffered before the fork would be flushed once per child
+       on top of once in the parent. *)
+    flush stdout;
+    flush stderr;
+    Format.pp_print_flush Format.std_formatter ();
+    Format.pp_print_flush Format.err_formatter ();
+    let kill_at = kill_worker_at () in
+    let workers =
+      Array.init jobs (fun w ->
+          let rfd, wfd = Unix.pipe () in
+          match Unix.fork () with
+          | 0 ->
+            Unix.close rfd;
+            let oc = Unix.out_channel_of_descr wfd in
+            (try
+               for i = 0 to n - 1 do
+                 if i mod jobs = w then begin
+                   (match kill_at with
+                    | Some k when k = i ->
+                      Unix.kill (Unix.getpid ()) Sys.sigkill
+                    | _ -> ());
+                   let res = tasks.(i) () in
+                   output_string oc
+                     (Json.to_string
+                        (Json.Obj
+                           [
+                             ("task", Json.Int i);
+                             ("result", result_to_json res);
+                           ]));
+                   output_char oc '\n';
+                   flush oc
+                 end
+               done;
+               flush oc;
+               Unix._exit 0
+             with e ->
+               (* Don't unwind into a second copy of the parent: report and
+                  die; the parent degrades the missing results. *)
+               Printf.eprintf "llhsc worker %d: %s\n%!" w
+                 (Printexc.to_string e);
+               Unix._exit 125)
+          | pid ->
+            Unix.close wfd;
+            (pid, rfd))
+    in
+    Array.iter
+      (fun (pid, rfd) ->
+        let ic = Unix.in_channel_of_descr rfd in
+        (try
+           while true do
+             let line = input_line ic in
+             match Json.parse line with
+             | Ok j -> (
+               match (Json.member "task" j, Json.member "result" j) with
+               | Some (Json.Int i), Some rj when i >= 0 && i < n ->
+                 results.(i) <- result_of_json rj
+               | _ -> ())
+             | Error _ -> () (* torn final line of a killed worker *)
+           done
+         with End_of_file -> ());
+        close_in ic;
+        ignore (Unix.waitpid [] pid))
+      workers;
+    results
+  end

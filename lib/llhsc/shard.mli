@@ -1,0 +1,59 @@
+(** Fork-based worker pool for the pipeline's per-product check phase.
+
+    The pipeline slices each product's checking work into independent
+    tasks (chunks of syntactic obligations, one semantic task per
+    product), each of which runs on a {e fresh} solver instance and
+    produces a {!result}.  [run_tasks] executes the task list either
+    in-process (`jobs <= 1`) or sharded across [jobs] forked worker
+    processes; because every task owns its solver, the per-task results —
+    findings, certificate stats, retry logs, isolated diagnostics — are
+    identical either way, and the pipeline's canonical-order merge makes
+    the rendered report byte-identical across job counts.
+
+    Workers ship results back over a pipe, one JSON line per task
+    ({!result_to_json}).  Workers never touch the journal: the parent
+    remains the sole journal writer.  A worker that crashes (or is
+    SIGKILLed by the fault harness via [LLHSC_FAULT_KILL_WORKER]) simply
+    stops producing lines; its unfinished tasks stay [None] and the
+    pipeline degrades each affected product to an isolated diagnostic. *)
+
+(** Everything one task produced.  Query indices in [certs],
+    [cert_failures] and [retried] are local to the task's solver (0-based
+    from the task's first [check]); the merge renumbers them into the
+    run-wide canonical sequence with {!renumber}. *)
+type result = {
+  product : string;  (** owning product, e.g. ["vm1"] *)
+  findings : Report.finding list;
+  errors : Diag.t list;
+      (** isolated failures inside the task (already prefixed with the
+          product name); non-empty means the product's check is incomplete *)
+  queries : int;  (** solver [check] calls the task made *)
+  certs : Smt.Solver.cert list;
+  cert_failures : string list;
+  retried : Smt.Solver.retry_entry list;
+}
+
+(** Shift every query index (including the ["query N: ..."] prefixes of
+    [cert_failures]) by [offset]. *)
+val renumber : offset:int -> result -> result
+
+val result_to_json : result -> Json.t
+
+(** [None] on a structurally invalid encoding (e.g. a torn pipe line). *)
+val result_of_json : Json.t -> result option
+
+(** [run_tasks ~jobs tasks] runs every task and returns its result, or
+    [None] for tasks whose worker died before reporting.
+
+    [jobs <= 1] (or a single task): all tasks run in this process, in
+    order; exceptions propagate as usual (tasks are expected to do their
+    own isolation).  [jobs > 1]: tasks are dealt round-robin to [jobs]
+    forked workers; the parent drains each worker's pipe and reaps it.  An
+    unknown exception inside a forked task is printed to stderr and the
+    worker stops — surfacing as [None] results — rather than unwinding a
+    second copy of the parent.
+
+    Fault hook: when [LLHSC_FAULT_KILL_WORKER=N] is set, the forked worker
+    owning global task index [N] SIGKILLs itself right before running that
+    task (in-process runs ignore the hook — there is no worker to kill). *)
+val run_tasks : jobs:int -> (unit -> result) array -> result option array

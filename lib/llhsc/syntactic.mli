@@ -7,6 +7,25 @@
     obligations stating facts about the binding. *)
 val summarize_core : string list -> string list
 
+(** One unit of syntactic checking: a (node path, node, schema) pair whose
+    verdict is independent of every other obligation — the property the
+    pipeline's worker pool relies on to shard a product's check. *)
+type obligation = string * Devicetree.Tree.t * Schema.Binding.t
+
+(** All applicable node/schema pairs of a tree, in preorder (the order
+    {!check} discharges them). *)
+val obligations :
+  schemas:Schema.Binding.t list -> Devicetree.Tree.t -> obligation list
+
+(** Check an explicit slice of obligations; findings come back in slice
+    order.  Same solver-ownership contract as {!check}. *)
+val check_obligations :
+  ?solver:Smt.Solver.t ->
+  ?certify:bool ->
+  ?product:string ->
+  obligation list ->
+  Report.finding list
+
 (** [check ?solver ~schemas ?product tree] checks every applicable
     node/schema pair.  [product] prefixes solver symbols so several products
     can share one incremental solver.  Without a caller-supplied [solver],

@@ -77,7 +77,9 @@ type line = {
 }
 
 let strip_comment s =
-  (* '#' starts a comment unless inside quotes *)
+  (* Per YAML, '#' starts a comment only at the start of the line or after
+     whitespace (and never inside quotes): a plain scalar like
+     "acme,uart#1" keeps its '#'. *)
   let len = String.length s in
   let rec go i in_quote quote_char =
     if i >= len then s
@@ -85,7 +87,10 @@ let strip_comment s =
       match s.[i] with
       | ('"' | '\'') as c when not in_quote -> go (i + 1) true c
       | c when in_quote && c = quote_char -> go (i + 1) false ' '
-      | '#' when not in_quote -> String.sub s 0 i
+      | '#'
+        when (not in_quote)
+             && (i = 0 || s.[i - 1] = ' ' || s.[i - 1] = '\t') ->
+        String.sub s 0 i
       | _ -> go (i + 1) in_quote quote_char
   in
   go 0 false ' '
@@ -98,7 +103,12 @@ let split_lines src =
            let rec count i = if i < String.length raw && raw.[i] = ' ' then count (i + 1) else i in
            count 0
          in
-         { num = i + 1; indent; content = String.trim raw })
+         let content = String.trim raw in
+         (* Tabs in indentation are forbidden by YAML; counting them as
+            zero-width would silently reparent the line's block. *)
+         if content <> "" && indent < String.length raw && raw.[indent] = '\t'
+         then error (i + 1) "tab in indentation (YAML indentation is spaces only)";
+         { num = i + 1; indent; content })
   |> List.filter (fun l -> l.content <> "" && l.content <> "---")
 
 (* --- block structure ---------------------------------------------------------- *)

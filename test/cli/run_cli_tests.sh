@@ -232,4 +232,42 @@ grep -q "all checks passed" "$TMP/retry.out" || fail "retry pipeline checks"
 grep -q "escalation: .* recovered" "$TMP/retry.out" || fail "expected escalation summary"
 grep -q "inconclusive" "$TMP/retry.out" && fail "escalation left inconclusive verdicts"
 
+echo "# parallel: --jobs 4 reports are byte-identical to --jobs 1"
+run_pipeline_at() {
+  njobs=$1; shift
+  "$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
+    --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \
+    --vm "memory,cpu@0,uart@20000000,uart@30000000,veth0" \
+    --vm "memory,cpu@1,uart@20000000,uart@30000000,veth1" \
+    --exclusive cpus --jobs "$njobs" "$@"
+}
+run_pipeline_at 1 > "$TMP/j1.out" || fail "--jobs 1 pipeline should pass"
+run_pipeline_at 4 > "$TMP/j4.out" || fail "--jobs 4 pipeline should pass"
+cmp -s "$TMP/j1.out" "$TMP/j4.out" || fail "--jobs 4 report differs from --jobs 1"
+run_pipeline_at 1 --certify > "$TMP/j1c.out" || fail "--jobs 1 --certify should pass"
+run_pipeline_at 4 --certify > "$TMP/j4c.out" || fail "--jobs 4 --certify should pass"
+cmp -s "$TMP/j1c.out" "$TMP/j4c.out" || fail "--certify report differs across job counts"
+run_pipeline_at 1 --unsound force-unknown:3 --retry 3 > "$TMP/j1r.out" \
+  || fail "--jobs 1 --retry pipeline should pass"
+run_pipeline_at 4 --unsound force-unknown:3 --retry 3 > "$TMP/j4r.out" \
+  || fail "--jobs 4 --retry pipeline should pass"
+cmp -s "$TMP/j1r.out" "$TMP/j4r.out" || fail "--retry report differs across job counts"
+
+echo "# parallel: --jobs 0 is rejected with a structured error"
+set +e
+run_pipeline_at 0 2> "$TMP/j0.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "--jobs 0 should exit 2 (got $rc)"
+grep -q "jobs" "$TMP/j0.err" || fail "expected --jobs validation message"
+
+echo "# parallel: journal written at --jobs 4 resumes at --jobs 1"
+run_pipeline_at 4 --journal "$TMP/par.journal" > "$TMP/par4.out" 2> /dev/null \
+  || fail "journaled --jobs 4 pipeline should pass"
+[ -s "$TMP/par.journal" ] || fail "parallel journal not written"
+run_pipeline_at 1 --journal "$TMP/par.journal" --resume > "$TMP/par1.out" 2> "$TMP/par.err" \
+  || fail "cross-job-count resume should pass"
+cmp -s "$TMP/par4.out" "$TMP/par1.out" || fail "cross-job-count resumed report differs"
+grep -q "resume: replayed from journal" "$TMP/par.err" || fail "expected resume status on stderr"
+
 echo "all CLI tests passed"

@@ -326,6 +326,71 @@ let run_kill_resume binary sandbox ~failures ~total =
           ("LLHSC_FAULT_KILL_MID_RECORD", "mid") ])
     kill_configs
 
+(* --- kill-a-worker phase -------------------------------------------------------- *)
+
+(* Parallel-mode crash isolation: SIGKILL a forked check worker right
+   before it runs its n-th task (the LLHSC_FAULT_KILL_WORKER hook in
+   Shard).  Contract: the parent never crashes; either the kill index is
+   beyond the task list (no worker dies, report byte-identical to an
+   unkilled run) or every product the dead worker still owed degrades to
+   an isolated error[WORKER] diagnostic and the run exits 2 — and in
+   single-process mode (--jobs 1) the hook is inert. *)
+let run_kill_worker binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "stderr.txt" in
+  let out_file = Filename.concat sandbox "worker.out" in
+  let base_out = Filename.concat sandbox "worker-base.out" in
+  let vms =
+    [ "memory,cpu@0,uart@20000000,uart@30000000,veth0";
+      "memory,cpu@1,uart@20000000,uart@30000000,veth1" ]
+  in
+  let args jobs =
+    pipeline_args sandbox ~vms ~journal:None ~resume:false @ [ "--jobs"; jobs ]
+  in
+  let bad what reason err =
+    incr failures;
+    log_failure "phase=kill-worker what=%S reason=%S" what reason;
+    Printf.printf "FAIL (kill-worker, %s): %s\n  stderr: %s\n" what reason
+      (if err = "" then "(empty)" else String.trim err)
+  in
+  (* Unkilled baseline; --jobs determinism makes it the reference for the
+     --jobs 1 hook-inertness check too. *)
+  let base_status, base_err = run_cli binary ~stdout_file:base_out (args "4") ~stderr_file in
+  (match base_status with
+   | Unix.WEXITED 0 -> ()
+   | _ -> bad "baseline" "unkilled --jobs 4 pipeline did not exit 0" base_err);
+  let baseline = read_file base_out in
+  List.iter
+    (fun n ->
+      incr total;
+      let what = Printf.sprintf "task=%d jobs=4" n in
+      let status, err =
+        run_cli binary
+          ~env:[ Printf.sprintf "LLHSC_FAULT_KILL_WORKER=%d" n ]
+          ~stdout_file:out_file (args "4") ~stderr_file
+      in
+      let stdout = read_file out_file in
+      (match status with
+       | Unix.WEXITED 0 when stdout = baseline -> () (* index beyond the task list *)
+       | Unix.WEXITED 0 -> bad what "clean exit but report differs from unkilled run" err
+       | Unix.WEXITED 2 when contains stdout "error[WORKER]" -> ()
+       | Unix.WEXITED 2 -> bad what "exit 2 but no error[WORKER] diagnostic" err
+       | Unix.WEXITED c -> bad what (Printf.sprintf "exit %d (want 0 or 2)" c) err
+       | Unix.WSIGNALED s -> bad what (Printf.sprintf "parent killed by signal %d" s) err
+       | Unix.WSTOPPED s -> bad what (Printf.sprintf "parent stopped by signal %d" s) err);
+      if contains err "Fatal error" || contains err "Raised at" then
+        bad what "uncaught OCaml exception on stderr" err)
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 64 ];
+  incr total;
+  let status, err =
+    run_cli binary
+      ~env:[ "LLHSC_FAULT_KILL_WORKER=0" ]
+      ~stdout_file:out_file (args "1") ~stderr_file
+  in
+  (match status with
+   | Unix.WEXITED 0 when read_file out_file = baseline -> ()
+   | Unix.WEXITED 0 -> bad "jobs=1" "hook changed the single-process report" err
+   | _ -> bad "jobs=1" "kill hook fired with --jobs 1 (must be inert)" err)
+
 (* --- forced-Unknown phase ------------------------------------------------------- *)
 
 (* Inject Unknown verdicts (a budget-style degradation, not an
@@ -428,6 +493,11 @@ let () =
   if Sys.file_exists sandbox then remove_tree sandbox;
   copy_dir fixtures sandbox;
   run_kill_resume binary sandbox ~failures ~total;
+  (* Kill-a-worker phase: SIGKILL a forked check worker at every seeded
+     task index, demand isolated WORKER diagnostics and a live parent. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_kill_worker binary sandbox ~failures ~total;
   (* Forced-Unknown phase: saturate the solver with Unknown verdicts, with
      and without the escalation ladder. *)
   if Sys.file_exists sandbox then remove_tree sandbox;

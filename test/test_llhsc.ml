@@ -745,7 +745,10 @@ let prop_resume_idempotent =
            (fun n -> not (List.mem n r1.Llhsc.Pipeline.replayed))
            stale_names)
 
-let tight_budget () = Sat.Solver.budget ~max_propagations:2000 ()
+(* Tight enough that several of the per-task (fresh-solver) queries
+   exhaust it, loose enough that the x4-per-rung escalation ladder
+   recovers every one of them. *)
+let tight_budget () = Sat.Solver.budget ~max_propagations:500 ()
 
 let inconclusive_count (outcome : Llhsc.Pipeline.outcome) =
   let count fs =
@@ -794,6 +797,67 @@ let test_quad_escalation_recovers_tight_budget () =
   | Some c -> check_bool "no certification failures" true (c.Smt.Solver.failures = [])
   | None -> Alcotest.fail "cert report expected"
 
+
+(* --- json: \u escapes, surrogate pairs, astral code points -------------------- *)
+
+module Js = Llhsc.Json
+
+let parse_str s =
+  match Js.parse s with
+  | Ok (Js.Str v) -> v
+  | Ok _ -> Alcotest.failf "parsed %s to a non-string" s
+  | Error e -> Alcotest.failf "parse of %s failed: %s" s e
+
+let test_json_surrogate_pair_decodes () =
+  (* Regression: 😀 is ONE code point (U+1F600) escaped as a
+     UTF-16 surrogate pair; it must decode to a single 4-byte UTF-8
+     sequence.  The old decoder emitted each half as a separate 3-byte
+     sequence (CESU-8 mojibake). *)
+  Alcotest.(check string) "astral pair" "\xf0\x9f\x98\x80" (parse_str {|"\ud83d\ude00"|});
+  Alcotest.(check string) "uppercase hex too" "\xf0\x9f\x98\x80" (parse_str {|"\uD83D\uDE00"|});
+  (* Boundary pairs: U+10000 (lowest astral) and U+10FFFF (highest). *)
+  Alcotest.(check string) "U+10000" "\xf0\x90\x80\x80" (parse_str {|"\ud800\udc00"|});
+  Alcotest.(check string) "U+10FFFF" "\xf4\x8f\xbf\xbf" (parse_str {|"\udbff\udfff"|});
+  (* BMP escapes are unaffected: 2-byte and 3-byte sequences. *)
+  Alcotest.(check string) "U+00E9" "\xc3\xa9" (parse_str {|"\u00e9"|});
+  Alcotest.(check string) "U+20AC" "\xe2\x82\xac" (parse_str {|"\u20ac"|});
+  (* Writer round-trip: raw astral UTF-8 passes through to_string/parse. *)
+  Alcotest.(check string) "writer round-trip" "\xf0\x9f\x98\x80"
+    (parse_str (Js.to_string (Js.Str "\xf0\x9f\x98\x80")))
+
+let test_json_lone_surrogates_rejected () =
+  (* A surrogate half on its own is not a code point; decoding it would
+     produce invalid UTF-8 in journal records.  Structured parse error,
+     not mojibake and not a crash. *)
+  let rejected s = match Js.parse s with Error _ -> true | Ok _ -> false in
+  check_bool "lone high at end" true (rejected {|"\ud83d"|});
+  check_bool "lone high before text" true (rejected {|"\ud83d x"|});
+  check_bool "lone high before non-u escape" true (rejected {|"\ud83d\n"|});
+  check_bool "high followed by high" true (rejected {|"\ud83d\ud83d"|});
+  check_bool "lone low" true (rejected {|"\ude00"|});
+  check_bool "truncated second escape" true (rejected {|"\ud83d\ude0|})
+
+(* --- property: the report does not depend on the job count --------------------- *)
+
+(* Acceptance criterion of the --jobs work, under randomly generated
+   feature selections (valid or not — rejection reports must match too):
+   sharding the check phase across 4 forked workers yields a report
+   byte-identical to the single-process run. *)
+let prop_parallel_report_identical =
+  QCheck.Test.make ~count:8 ~name:"--jobs 4 report = --jobs 1 report"
+    QCheck.(
+      pair (list_of_size (Gen.return 7) bool) (list_of_size (Gen.return 7) bool))
+    (fun (m1, m2) ->
+      let feats =
+        [ "memory"; "cpu@0"; "cpu@1"; "uart@20000000"; "uart@30000000"; "veth0"; "veth1" ]
+      in
+      let pick mask = List.filteri (fun i _ -> List.nth mask i) feats in
+      let run jobs =
+        Llhsc.Pipeline.run ~exclusive:RE.exclusive ~jobs ~model:(RE.feature_model ())
+          ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+          ~vm_requests:[ pick m1; pick m2 ] ()
+      in
+      outcome_string (run 1) = outcome_string (run 4))
 
 (* --- disabled devices claim no resources --------------------------------------- *)
 
@@ -899,10 +963,17 @@ let () =
           Alcotest.test_case "duplicate" `Quick test_unit_address_duplicate;
           Alcotest.test_case "clean" `Quick test_unit_address_clean;
         ] );
+      ( "json",
+        [
+          Alcotest.test_case "surrogate pair decodes" `Quick test_json_surrogate_pair_decodes;
+          Alcotest.test_case "lone surrogates rejected" `Quick
+            test_json_lone_surrogates_rejected;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_sweep_equals_pairwise;
           QCheck_alcotest.to_alcotest prop_resume_idempotent;
+          QCheck_alcotest.to_alcotest prop_parallel_report_identical;
         ] );
       ( "product-line",
         [

@@ -125,6 +125,37 @@ let test_yaml_empty_inputs () =
   check_bool "comment only" true (Y.parse "# nothing here\n" = Y.Null);
   check_bool "document separator" true (Y.parse "---\n" = Y.Null)
 
+let test_yaml_midword_hash () =
+  (* Regression: '#' opens a comment only at line start or after
+     whitespace (real YAML semantics); a hash inside a plain scalar is
+     content.  The old strip_comment truncated "acme,uart#1" to
+     "acme,uart". *)
+  check_bool "mid-word hash kept" true
+    (Y.parse "x: acme,uart#1" = Y.Map [ ("x", Y.Str "acme,uart#1") ]);
+  check_bool "hash after space is comment" true
+    (Y.parse "x: val # note" = Y.Map [ ("x", Y.Str "val") ]);
+  check_bool "hash after tab is comment" true
+    (Y.parse "x: val\t# note" = Y.Map [ ("x", Y.Str "val") ]);
+  check_bool "line-leading hash is comment" true
+    (Y.parse "# header\nx: 1" = Y.Map [ ("x", Y.Int 1L) ]);
+  check_bool "mid-word hash in flow list kept" true
+    (Y.parse "xs: [uart#1, b]" = Y.Map [ ("xs", Y.List [ Y.Str "uart#1"; Y.Str "b" ]) ])
+
+let test_yaml_tab_indentation () =
+  (* Regression: YAML forbids tabs in indentation; the old parser counted
+     a tab as one column and silently mis-nested the mapping.  Now it is
+     a structured error naming the offending line. *)
+  let msg, line = yaml_error "a:\n\tx: 1" in
+  check_bool "tab msg" true (Test_util.contains msg "tab in indentation");
+  check_int "tab line" 2 line;
+  let msg, line = yaml_error "a: 1\nb:\n  ok: 1\n \t- x" in
+  check_bool "space-then-tab msg" true (Test_util.contains msg "tab in indentation");
+  check_int "space-then-tab line" 4 line;
+  (* Tabs in *content* stay legal: inside scalars, and before comments. *)
+  check_bool "tab inside scalar ok" true (Y.parse "x: a\tb" = Y.Map [ ("x", Y.Str "a\tb") ]);
+  check_bool "tab-indented comment ok" true
+    (Y.parse "a: 1\n\t# note" = Y.Map [ ("a", Y.Int 1L) ])
+
 (* --- schema model ----------------------------------------------------------------- *)
 
 (* The paper's Listing 5 schema for the memory node, with the array-stride
@@ -588,6 +619,8 @@ let () =
           Alcotest.test_case "malformed line numbers" `Quick test_yaml_malformed_line_numbers;
           Alcotest.test_case "duplicate keys rejected" `Quick test_yaml_duplicate_keys;
           Alcotest.test_case "empty inputs" `Quick test_yaml_empty_inputs;
+          Alcotest.test_case "mid-word hash is content" `Quick test_yaml_midword_hash;
+          Alcotest.test_case "tab indentation rejected" `Quick test_yaml_tab_indentation;
         ] );
       ( "model",
         [
