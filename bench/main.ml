@@ -634,12 +634,88 @@ let write_parallel_json path =
     "wrote %s (%d cpus; j1 %.2f ms, j2 %.2f ms, j4 %.2f ms, speedup x%.2f; certify j1 %.2f ms, j4 %.2f ms, x%.2f; identical=%b)@."
     path cpus j1 j2 j4 (j1 /. j4) c1 c4 (c1 /. c4) identical
 
+(* ------------------------------------------------------------------ *)
+(* Supervision measurement (BENCH_supervision.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The self-healing column: what do leases/heartbeats/deadlines cost on a
+   healthy run, and what does recovering from a SIGKILLed worker cost?
+   The kill-recovery run must still merge byte-identically — asserted on
+   the spot, like the parallel determinism contract. *)
+
+let with_env var value f =
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var "") f
+
+let write_supervision_json path =
+  let runs = 11 in
+  let time ?task_deadline ?mem_limit ?cpu_limit jobs =
+    median_ms ~runs (fun () ->
+        Llhsc.Quad_rv64.run_pipeline ?task_deadline ?mem_limit ?cpu_limit ~jobs ())
+  in
+  let j1 = time 1 in
+  let j2 = time 2 in
+  let j4 = time 4 in
+  (* Supervised extras on a healthy run: lease clock + heartbeat parsing
+     (deadline), plus rlimit installation in every worker (guards). *)
+  let j4_deadline = time ~task_deadline:30. 4 in
+  let j4_guarded = time ~task_deadline:30. ~mem_limit:2048 ~cpu_limit:300 4 in
+  (* Kill-recovery: the worker dispatched task 0 SIGKILLs itself, crashes
+     its replacement too, and the task is quarantined and retried
+     in-process — the full supervision path on every run. *)
+  let baseline = outcome_string (Llhsc.Quad_rv64.run_pipeline ~jobs:1 ()) in
+  let kill_ms, kill_identical =
+    with_env "LLHSC_FAULT_KILL_WORKER" "0" (fun () ->
+        let ms =
+          median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ~jobs:2 ())
+        in
+        (ms, outcome_string (Llhsc.Quad_rv64.run_pipeline ~jobs:2 ()) = baseline))
+  in
+  let identical =
+    kill_identical
+    && outcome_string
+         (Llhsc.Quad_rv64.run_pipeline ~jobs:4 ~task_deadline:30. ~mem_limit:2048
+            ~cpu_limit:300 ())
+       = baseline
+  in
+  let cpus = online_cpus () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "workload": "quad_rv64 pipeline (3 VMs + platform), supervised pool",
+  "runs": %d,
+  "online_cpus": %d,
+  "jobs1_ms": %.3f,
+  "jobs2_ms": %.3f,
+  "jobs4_ms": %.3f,
+  "jobs4_deadline_ms": %.3f,
+  "deadline_overhead_pct": %.1f,
+  "jobs4_guarded_ms": %.3f,
+  "guard_overhead_pct": %.1f,
+  "kill_recovery_jobs2_ms": %.3f,
+  "kill_recovery_overhead_pct": %.1f,
+  "reports_byte_identical": %b
+}
+|}
+    runs cpus j1 j2 j4 j4_deadline
+    (100. *. ((j4_deadline /. j4) -. 1.))
+    j4_guarded
+    (100. *. ((j4_guarded /. j4) -. 1.))
+    kill_ms
+    (100. *. ((kill_ms /. j2) -. 1.))
+    identical;
+  close_out oc;
+  Fmt.pr
+    "wrote %s (%d cpus; j4 %.2f ms, +deadline %.2f ms, +guards %.2f ms; kill-recovery %.2f ms vs j2 %.2f ms; identical=%b)@."
+    path cpus j4 j4_deadline j4_guarded kill_ms j2 identical
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match arg with
   | "certify" -> write_certify_json "BENCH_certify.json"
   | "resilience" -> write_resilience_json "BENCH_resilience.json"
   | "parallel" -> write_parallel_json "BENCH_parallel.json"
+  | "supervision" -> write_supervision_json "BENCH_supervision.json"
   | "report" -> report ()
   | _ ->
     report ();

@@ -253,10 +253,37 @@ let retry_of = function
     failwith (Printf.sprintf "--retry wants at least 2 attempts, got %d" n)
 
 let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
-    max_conflicts timeout certify retry journal_path resume unsound jobs =
+    max_conflicts timeout certify retry journal_path resume unsound jobs
+    task_deadline max_respawns mem_limit cpu_limit =
   handle_errors @@ fun () ->
-  if jobs < 1 then
-    failwith (Printf.sprintf "--jobs wants a positive worker count, got %d" jobs);
+  if jobs < 0 then
+    failwith
+      (Printf.sprintf "--jobs wants a worker count >= 0 (0 = auto-detect), got %d" jobs);
+  if max_respawns < 0 then
+    failwith (Printf.sprintf "--max-respawns wants a count >= 0, got %d" max_respawns);
+  (match task_deadline with
+   | Some d when d <= 0. ->
+     failwith (Printf.sprintf "--task-deadline wants a positive duration, got %g" d)
+   | _ -> ());
+  (match mem_limit with
+   | Some m when m <= 0 ->
+     failwith (Printf.sprintf "--mem-limit wants a positive MiB count, got %d" m)
+   | _ -> ());
+  (match cpu_limit with
+   | Some c when c <= 0 ->
+     failwith (Printf.sprintf "--cpu-limit wants a positive second count, got %d" c)
+   | _ -> ());
+  (* Without an explicit --task-deadline, derive one from the per-query
+     solver timeout: a worker's lease covers a whole task (at most a
+     chunk of obligations), so give it a generous multiple plus slack.
+     No deadline at all when neither flag is given — supervision must
+     never kill a legitimately slow unbudgeted run. *)
+  let task_deadline =
+    match (task_deadline, timeout) with
+    | (Some _ as d), _ -> d
+    | None, Some t -> Some ((t *. 32.) +. 10.)
+    | None, None -> None
+  in
   let core = load_tree core_path in
   let deltas = Delta.Parse.parse ~file:deltas_path (read_file deltas_path) in
   let model = Featuremodel.Parse.parse (read_file fm_path) in
@@ -301,7 +328,8 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
   let outcome =
     Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~certify
       ?retry:(retry_of retry) ?unsound:(Option.map parse_unsound unsound)
-      ~inputs_hash ?journal:sink ~resume:resume_entries ~jobs
+      ~inputs_hash ?journal:sink ~resume:resume_entries ~jobs ?task_deadline
+      ~max_respawns ?mem_limit ?cpu_limit
       ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
   in
   Option.iter Llhsc.Journal.close sink;
@@ -394,7 +422,7 @@ let cmd_diff a_path b_path =
        - name: vm1
          features: [memory, cpu@0]
      output: out               # optional artifact directory
-     jobs: 4                   # optional check-phase worker processes
+     jobs: 4                   # optional check-phase worker processes (0 = auto-detect cores)
    Paths are relative to the project file. *)
 let cmd_build project_path =
   handle_errors @@ fun () ->
@@ -443,9 +471,10 @@ let cmd_build project_path =
   in
   let exclusive = str_list "exclusive" in
   let jobs =
+    (* 0 = auto-detect online cores, mirroring --jobs 0. *)
     match Option.bind (Schema.Yaml_lite.find "jobs" y) Schema.Yaml_lite.as_int with
-    | Some n when Int64.compare n 1L >= 0 -> Int64.to_int n
-    | Some n -> failwith (Printf.sprintf "project file: jobs must be >= 1, got %Ld" n)
+    | Some n when Int64.compare n 0L >= 0 -> Int64.to_int n
+    | Some n -> failwith (Printf.sprintf "project file: jobs must be >= 0, got %Ld" n)
     | None -> 1
   in
   let outcome =
@@ -717,17 +746,50 @@ let pipeline_cmd =
   let jobs =
     Arg.(value & opt int 1
          & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Shard the per-product check phase across $(docv) forked \
-                   worker processes.  The report is byte-identical to a \
-                   sequential run (the merge is deterministic), the parent \
-                   remains the sole journal writer, and a crashed worker \
-                   degrades to an isolated per-product diagnostic.")
+             ~doc:"Dispatch the per-product check phase across a supervised \
+                   pool of $(docv) forked worker processes ($(docv)=0 \
+                   auto-detects the number of online CPU cores).  The report \
+                   is byte-identical to a sequential run (the merge is \
+                   deterministic), the parent remains the sole journal \
+                   writer, and a crashed or hung worker's task is reassigned \
+                   to a replacement worker.")
+  in
+  let task_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "task-deadline" ] ~docv:"SECONDS"
+             ~doc:"Supervision: per-task lease for pool workers.  A worker \
+                   whose in-flight task outlives $(docv) seconds is killed \
+                   and its task reassigned.  Defaults to 32 x \
+                   --solver-timeout + 10s when that flag is set, otherwise \
+                   no deadline.")
+  in
+  let max_respawns =
+    Arg.(value & opt int 8
+         & info [ "max-respawns" ] ~docv:"N"
+             ~doc:"Supervision: replace at most $(docv) crashed or killed \
+                   pool workers over the whole run (exponential backoff); \
+                   once exhausted, remaining tasks finish in-process.")
+  in
+  let mem_limit =
+    Arg.(value & opt (some int) None
+         & info [ "mem-limit" ] ~docv:"MIB"
+             ~doc:"Resource guard: cap each pool worker's address space at \
+                   $(docv) MiB (RLIMIT_AS).  A task that trips the guard \
+                   degrades to an error[RESOURCE] diagnostic instead of \
+                   taking the checker down.")
+  in
+  let cpu_limit =
+    Arg.(value & opt (some int) None
+         & info [ "cpu-limit" ] ~docv:"SECONDS"
+             ~doc:"Resource guard: cap each pool worker's CPU time at \
+                   $(docv) seconds (RLIMIT_CPU).  A task that trips the \
+                   guard degrades to an error[RESOURCE] diagnostic.")
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
     Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out
           $ max_conflicts $ timeout $ certify_arg $ retry $ journal $ resume $ unsound
-          $ jobs)
+          $ jobs $ task_deadline $ max_respawns $ mem_limit $ cpu_limit)
 
 let dtb_cmd =
   let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in

@@ -6,6 +6,12 @@
 
 type severity = Error | Warning | Info
 
+(* Raised when an installed resource guard trips (a worker's RLIMIT_CPU
+   SIGXCPU handler, an explicit quota check).  Owned here rather than by
+   the pool so every isolation boundary that already routes through
+   [of_exn] converts it to an [error[RESOURCE]] diagnostic for free. *)
+exception Resource_limit of string
+
 type t = {
   severity : severity;
   code : string;
@@ -77,6 +83,10 @@ let of_exn exn =
   | Invalid_argument msg -> at "INTERNAL" "invalid argument: %s" msg
   | Not_found -> at "INTERNAL" "internal lookup failed (Not_found)"
   | Stack_overflow -> at "INTERNAL" "stack overflow (input too deeply nested?)"
+  (* resource exhaustion: a tripped rlimit guard (or a genuine OOM) must
+     degrade to a per-task diagnostic, not take the whole checker down *)
+  | Resource_limit msg -> at "RESOURCE" "%s" msg
+  | Out_of_memory -> at "RESOURCE" "out of memory (memory limit exceeded?)"
   | _ -> None
 
 let catch f =

@@ -11,6 +11,11 @@
 
 type severity = Error | Warning | Info
 
+(** Raised when an installed resource guard trips (e.g. the worker pool's
+    [RLIMIT_CPU] SIGXCPU handler).  Converted by {!of_exn} into an
+    [error[RESOURCE]] diagnostic at every isolation boundary. *)
+exception Resource_limit of string
+
 type t = {
   severity : severity;
   code : string;  (** stable, e.g. ["DT-PARSE"], ["SMT-SORT"], ["IO"] *)
@@ -40,11 +45,13 @@ val is_error : t -> bool
 val exit_code : t list -> int
 
 (** Convert any known llhsc exception into a diagnostic; [None] for
-    exceptions the pipeline does not own (e.g. [Out_of_memory]), which
-    should keep propagating.  This is the exhaustive catalogue of every
-    [exception Error] in the libraries plus the runtime escape hatches
-    ([Sys_error], [Failure], [Invalid_argument], [Not_found],
-    [Stack_overflow]) that would otherwise crash the CLI. *)
+    exceptions the pipeline does not own, which should keep propagating.
+    This is the exhaustive catalogue of every [exception Error] in the
+    libraries plus the runtime escape hatches ([Sys_error], [Failure],
+    [Invalid_argument], [Not_found], [Stack_overflow]) that would
+    otherwise crash the CLI.  {!Resource_limit} and [Out_of_memory] map
+    to [error[RESOURCE]]: a tripped rlimit guard degrades to a per-task
+    diagnostic instead of killing the checker. *)
 val of_exn : exn -> t option
 
 (** Run a thunk, converting known exceptions into a diagnostic. Unknown

@@ -145,15 +145,20 @@ let env_int name =
 
 type sink = { oc : out_channel; mutable written : int }
 
+(* fsync is retried on EINTR: a stray signal must not let a record slip
+   through unsynced (the whole point of the journal is that a SIGKILL
+   right after [record] returns loses nothing). *)
 let sync oc =
   flush oc;
-  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+  try Util.retry_eintr (fun () -> Unix.fsync (Unix.descr_of_out_channel oc))
+  with Unix.Unix_error _ -> ()
 
 let open_ ~path ~inputs_hash =
   let exists = Sys.file_exists path in
   let fresh =
     (not exists)
-    || (try (Unix.stat path).Unix.st_size = 0 with Unix.Unix_error _ -> true)
+    || (try (Util.retry_eintr (fun () -> Unix.stat path)).Unix.st_size = 0
+        with Unix.Unix_error _ -> true)
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   if fresh then begin

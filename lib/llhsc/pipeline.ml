@@ -11,11 +11,14 @@
 
    The check phase is sliced into independent tasks — fixed-size chunks of
    a product's syntactic obligations plus one semantic task per product —
-   and every task runs on a fresh solver instance.  [?jobs] shards the
-   task list across forked workers (see {!Shard}); because the slicing,
-   the per-task solvers and the canonical merge order are all independent
-   of the job count, a [--jobs N] report is byte-identical to a sequential
-   one.  The parent keeps everything stateful: allocation, delta
+   and every task runs on a fresh solver instance.  [?jobs] dispatches the
+   task list across a supervised pool of forked workers (see {!Shard}:
+   leases, deadlines, reassignment, respawn, rlimit guards); because the
+   slicing, the per-task solvers and the canonical merge order are all
+   independent of the job count AND of the crash/reassignment schedule, a
+   [--jobs N] report is byte-identical to a sequential one even when
+   workers are killed or hang mid-run.  The parent keeps everything
+   stateful: allocation, delta
    application, the journal, and the cross-VM partition check (which needs
    every product's tree and runs after the merge barrier).
 
@@ -129,9 +132,10 @@ type plan =
    certificate.  Replay is decided in the parent before any task is
    sharded, and only the parent ever writes the journal. *)
 let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
-    ?(inputs_hash = "") ?journal ?(resume = []) ?(jobs = 1) ~model ~core
-    ~deltas ~schemas_for ~vm_requests () =
-  let jobs = max 1 jobs in
+    ?(inputs_hash = "") ?journal ?(resume = []) ?(jobs = 1) ?task_deadline
+    ?max_respawns ?mem_limit ?cpu_limit ~model ~core ~deltas ~schemas_for
+    ~vm_requests () =
+  let jobs = if jobs <= 0 then Shard.online_cpus () else jobs in
   let errors = ref [] in
   let replayed = ref [] in
   let fresh_solver () =
@@ -217,7 +221,10 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
     (* Wrap a checking thunk as one task: fresh solver, local isolation,
        result assembled from that solver's own reports. *)
     let checking_task ~name f =
-      add_task (fun () ->
+      add_task
+        { Shard.owner = name;
+          run =
+            (fun () ->
           let solver = fresh_solver () in
           let task_errors = ref [] in
           let findings =
@@ -233,7 +240,7 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
             queries = rr.Smt.Solver.total_queries;
             certs = (if certify then cr.Smt.Solver.certs else []);
             cert_failures = (if certify then cr.Smt.Solver.failures else []);
-            retried = rr.Smt.Solver.retried })
+            retried = rr.Smt.Solver.retried }) }
     in
     let degraded ~name ~features =
       Done { p = { name; features; tree = core; findings = [] };
@@ -295,7 +302,9 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
     in
     let plans = List.map plan_product specs in
     let results =
-      Shard.run_tasks ~jobs (Array.of_list (List.rev !tasks))
+      Shard.run_tasks ~jobs ?deadline:task_deadline ?max_respawns ?mem_limit
+        ?cpu_limit
+        (Array.of_list (List.rev !tasks))
     in
     (* Canonical merge: task order == plan order, so absorbing the results
        array front to back renumbers queries identically for every job
@@ -315,12 +324,15 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
       | Sharded { name; features; hash; tree; first; count } ->
         let rs = Array.to_list (Array.sub absorbed first count) in
         if List.exists Option.is_none rs then begin
-          (* A worker died (crash, or the fault harness's SIGKILL) before
-             shipping this product's results: degrade to an isolated
-             diagnostic, exactly like an in-process phase failure. *)
+          (* Last resort: the supervised pool reassigns a dead worker's
+             task and retries quarantined poison tasks in-process, so a
+             [None] here means the task failed every avenue.  Degrade to
+             an isolated diagnostic, exactly like an in-process phase
+             failure. *)
           errors :=
             Diag.make ~code:"WORKER"
-              "product %s: worker exited before reporting; product not checked"
+              "product %s: task failed in workers and in-process retry; \
+               product not checked"
               name
             :: !errors;
           { name; features; tree = core; findings = [] }

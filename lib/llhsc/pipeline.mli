@@ -79,15 +79,27 @@ val ok : outcome -> bool
     without unsoundness.  With per-task solvers the injection period is
     counted per task, identically at every job count.
 
-    [jobs] (default 1) shards the check-phase tasks across that many
-    forked worker processes (see {!Shard.run_tasks}).  The rendered
-    report is byte-identical for every job count — including certifying
-    and retrying runs — because task slicing, solver instantiation and
-    merge order never depend on [jobs].  Only the parent writes the
-    journal, and replay is decided before sharding, so [jobs] composes
-    with [journal]/[resume] (a journal written at one job count resumes
-    at any other).  A worker crash degrades each product it owed to an
-    isolated [WORKER] diagnostic in [outcome.errors]. *)
+    [jobs] (default 1) dispatches the check-phase tasks across a
+    supervised pool of that many forked worker processes
+    (see {!Shard.run_tasks}); [jobs <= 0] auto-detects the number of
+    online CPU cores.  The rendered report is byte-identical for every
+    job count — including certifying and retrying runs — because task
+    slicing, solver instantiation and merge order never depend on
+    [jobs].  Only the parent writes the journal, and replay is decided
+    before sharding, so [jobs] composes with [journal]/[resume] (a
+    journal written at one job count resumes at any other).
+
+    The pool is self-healing: a crashed worker's in-flight task is
+    reassigned to a replacement worker (bounded by [max_respawns],
+    default 8); a task whose lease outlives [task_deadline] seconds has
+    its worker SIGKILLed and is reassigned; a task that crashes two
+    workers is quarantined and retried once in-process.  Only a task
+    that fails every avenue degrades its product to an isolated
+    [WORKER] diagnostic in [outcome.errors].  [mem_limit] (MiB) and
+    [cpu_limit] (seconds) install per-worker [RLIMIT_AS]/[RLIMIT_CPU]
+    guards; a tripped guard degrades that task to an [error[RESOURCE]]
+    diagnostic instead of killing the checker.  None of the supervision
+    knobs affect verdicts or report bytes. *)
 val run :
   ?exclusive:string list ->
   ?budget:Sat.Solver.budget ->
@@ -98,6 +110,10 @@ val run :
   ?journal:Journal.sink ->
   ?resume:Journal.entry list ->
   ?jobs:int ->
+  ?task_deadline:float ->
+  ?max_respawns:int ->
+  ?mem_limit:int ->
+  ?cpu_limit:int ->
   model:Featuremodel.Model.t ->
   core:Devicetree.Tree.t ->
   deltas:Delta.Lang.t list ->

@@ -29,8 +29,10 @@ val exclusive : string list
 (** The full Fig.-2 pipeline on this case study; [~certify:true] certifies
     every solver verdict of the run.  [?budget]/[?retry] bound and escalate
     solver work, [?journal]/[?resume]/[?inputs_hash] thread crash-safe
-    journaling through, [?jobs] shards the check phase across forked
-    workers (see {!Pipeline.run}). *)
+    journaling through, [?jobs] dispatches the check phase across a
+    supervised pool of forked workers, and
+    [?task_deadline]/[?max_respawns]/[?mem_limit]/[?cpu_limit] tune its
+    supervision (see {!Pipeline.run}). *)
 val run_pipeline :
   ?budget:Sat.Solver.budget ->
   ?certify:bool ->
@@ -39,5 +41,9 @@ val run_pipeline :
   ?journal:Journal.sink ->
   ?resume:Journal.entry list ->
   ?jobs:int ->
+  ?task_deadline:float ->
+  ?max_respawns:int ->
+  ?mem_limit:int ->
+  ?cpu_limit:int ->
   unit ->
   Pipeline.outcome

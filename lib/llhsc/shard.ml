@@ -1,11 +1,22 @@
-(* Worker pool for the sharded check phase.  See the .mli for the
-   contract; the key invariants live here:
+(* Supervised worker pool for the sharded check phase.  See the .mli for
+   the contract; the key invariants live here:
 
-   - one pipe per worker, written only by that worker, drained fully by
-     the parent before the next pipe (no interleaving, no deadlock: the
-     parent is the only reader and children never read);
-   - one complete JSON line per task result, flushed as soon as the task
-     finishes, so a crashing worker loses only its in-flight task(s);
+   - dynamic dispatch: the parent writes one task index per line down a
+     worker's command pipe and the worker answers with a heartbeat line
+     (lease start) followed by one complete JSON result line, flushed
+     immediately, so a crashing worker loses only its in-flight task;
+   - the parent multiplexes every result pipe through a non-blocking
+     [select] drain, tracks a per-worker lease (task + start time),
+     SIGKILLs leases that outlive the task deadline, reaps and respawns
+     dead workers (bounded, exponential backoff), and *reassigns* a dead
+     worker's task instead of degrading it — a task that has crashed two
+     workers is quarantined as a poison task and retried once in-process;
+   - every slow syscall is wrapped in an EINTR retry ([Util.retry_eintr]):
+     a stray signal must not abort the drain;
+   - results are keyed by task index and each task runs on a fresh
+     solver, so no matter which worker (or the parent) finally runs a
+     task, its result — and with it the merged report — is byte-identical
+     across crash/reassign schedules;
    - children exit through [Unix._exit], never [exit]: the parent's
      [at_exit] handlers and buffered channels must not run or flush a
      second time in the child. *)
@@ -19,6 +30,8 @@ type result = {
   cert_failures : string list;
   retried : Smt.Solver.retry_entry list;
 }
+
+type task = { owner : string; run : unit -> result }
 
 (* --- renumbering ----------------------------------------------------------- *)
 
@@ -240,84 +253,418 @@ let result_of_json j =
   let* retried = all_or_none retry_entry_of_json retried in
   Some { product; findings; errors; queries; certs; cert_failures; retried }
 
-(* --- worker pool ------------------------------------------------------------ *)
+(* --- resource guards -------------------------------------------------------- *)
 
-let kill_worker_at () =
-  match Sys.getenv_opt "LLHSC_FAULT_KILL_WORKER" with
-  | None -> None
-  | Some v -> int_of_string_opt v
+(* OCaml's Unix library exposes getrlimit through neither stdlib nor
+   unix; two tiny C stubs (shard_stubs.c) cover the pool's needs. *)
+external set_rlimit : int -> int -> int -> bool = "llhsc_set_rlimit"
+external online_cpus_stub : unit -> int = "llhsc_online_cpus"
 
-let run_tasks ~jobs (tasks : (unit -> result) array) =
+let online_cpus () = max 1 (online_cpus_stub ())
+let rlimit_as = 0
+let rlimit_cpu = 1
+
+(* Workers install the guards after the fork, so a tripped limit takes
+   down (or signals) only the one child.  RLIMIT_AS makes allocation
+   fail, which OCaml surfaces as Out_of_memory; RLIMIT_CPU delivers
+   SIGXCPU, which the handler turns into Resource_limit.  Both are owned
+   by Diag.of_exn, so the task degrades to error[RESOURCE]. *)
+let install_guards ~mem_limit ~cpu_limit =
+  (match mem_limit with
+   | Some mb when mb > 0 ->
+     let bytes = mb * 1024 * 1024 in
+     ignore (set_rlimit rlimit_as bytes bytes : bool)
+   | _ -> ());
+  match cpu_limit with
+  | Some secs when secs > 0 ->
+    Sys.set_signal Sys.sigxcpu
+      (Sys.Signal_handle
+         (fun _ -> raise (Diag.Resource_limit "cpu time limit exceeded")));
+    (* Hard limit a few seconds above soft: if the handler cannot fire
+       (e.g. a blocking C call), SIGKILL ends the worker and the
+       supervisor reassigns the task. *)
+    ignore (set_rlimit rlimit_cpu secs (secs + 5) : bool)
+  | _ -> ()
+
+(* --- fault-injection hooks (read only in worker children) ------------------- *)
+
+let env_int name = Option.bind (Sys.getenv_opt name) int_of_string_opt
+
+(* Deliberately exceed RLIMIT_AS: large untouched allocations raise the
+   address-space watermark without paging in real memory, so the guard
+   trips long before the machine feels it.  Only ever called when a
+   memory limit is installed. *)
+let gobble_memory () =
+  let hoard = ref [] in
+  for _ = 1 to 1024 do
+    hoard := Bytes.create (128 * 1024 * 1024) :: !hoard
+  done;
+  ignore (Sys.opaque_identity !hoard)
+
+(* --- worker child ------------------------------------------------------------ *)
+
+let degraded_result ~owner (d : Diag.t) =
+  {
+    product = owner;
+    findings = [];
+    errors =
+      [ { d with Diag.message = Printf.sprintf "product %s: %s" owner d.Diag.message } ];
+    queries = 0;
+    certs = [];
+    cert_failures = [];
+    retried = [];
+  }
+
+let run_task_guarded (t : task) =
+  try t.run ()
+  with e -> (
+    match Diag.of_exn e with
+    | Some d -> degraded_result ~owner:t.owner d
+    | None -> raise e)
+
+(* The worker serves task indices read one per line from the command
+   pipe.  For each it emits a heartbeat line ({"hb": i}) before running
+   the task — the supervisor uses it to start/refresh the lease clock —
+   then the result line.  EOF on the command pipe is the retirement
+   signal. *)
+let worker_main ~(tasks : task array) ~mem_limit ~cpu_limit cmd_rfd res_wfd =
+  install_guards ~mem_limit ~cpu_limit;
+  let ic = Unix.in_channel_of_descr cmd_rfd in
+  let oc = Unix.out_channel_of_descr res_wfd in
+  let kill_at = env_int "LLHSC_FAULT_KILL_WORKER" in
+  let hang_at = env_int "LLHSC_FAULT_HANG_WORKER" in
+  let oom_at = env_int "LLHSC_FAULT_OOM_WORKER" in
+  let emit j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  try
+    let rec serve () =
+      match input_line ic with
+      | exception End_of_file -> Unix._exit 0
+      | line ->
+        let i =
+          match int_of_string_opt (String.trim line) with
+          | Some i when i >= 0 && i < Array.length tasks -> i
+          | _ -> Unix._exit 124
+        in
+        (match kill_at with
+         | Some k when k = i -> Unix.kill (Unix.getpid ()) Sys.sigkill
+         | _ -> ());
+        emit (Json.Obj [ ("hb", Json.Int i) ]);
+        (match hang_at with
+         | Some k when k = i ->
+           (* Simulated livelock: heartbeats stop, the result never
+              comes; only the supervisor's deadline can end this. *)
+           while true do
+             Unix.sleep 3600
+           done
+         | _ -> ());
+        let t = tasks.(i) in
+        (* The OOM hook runs inside the task guard: a tripped memory
+           limit must degrade to error[RESOURCE] exactly like a genuine
+           allocation failure inside the task. *)
+        let t =
+          match oom_at with
+          | Some k when k = i && mem_limit <> None ->
+            { t with run = (fun () -> gobble_memory (); t.run ()) }
+          | _ -> t
+        in
+        let res = run_task_guarded t in
+        emit (Json.Obj [ ("task", Json.Int i); ("result", result_to_json res) ]);
+        serve ()
+    in
+    serve ()
+  with e ->
+    (* Don't unwind into a second copy of the parent: report and die;
+       the supervisor reassigns the in-flight task. *)
+    Printf.eprintf "llhsc worker: %s\n%!" (Printexc.to_string e);
+    Unix._exit 125
+
+(* --- supervisor -------------------------------------------------------------- *)
+
+type worker = {
+  pid : int;
+  cmd_fd : Unix.file_descr;  (** parent writes task indices here *)
+  res_fd : Unix.file_descr;  (** parent reads heartbeat/result lines here *)
+  mutable acc : string;  (** partial line carried between drains *)
+  mutable lease : (int * float) option;  (** in-flight task, clock start *)
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      go (off + Util.retry_eintr (fun () -> Unix.write fd b off (len - off)))
+  in
+  go 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Supervision notices go to stderr only and never into the report:
+   *what* happened to the pool must not change *what the checker
+   found*. *)
+let notice fmt = Printf.eprintf ("llhsc: " ^^ fmt ^^ "\n%!")
+
+let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
+    (tasks : task array) =
   let n = Array.length tasks in
   let results = Array.make n None in
-  let jobs = min jobs n in
-  if jobs <= 1 then begin
-    Array.iteri (fun i task -> results.(i) <- Some (task ())) tasks;
-    results
-  end
-  else begin
+  let pending = ref (List.init n Fun.id) in
+  let crash_count = Array.make n 0 in
+  let quarantined = ref 0 in
+  let done_count = ref 0 in
+  let respawns = ref 0 in
+  let workers = ref [] in
+  (* A write to a worker that died between select rounds must surface as
+     EPIPE, not kill the supervisor. *)
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let spawn () =
     (* Anything buffered before the fork would be flushed once per child
        on top of once in the parent. *)
     flush stdout;
     flush stderr;
     Format.pp_print_flush Format.std_formatter ();
     Format.pp_print_flush Format.err_formatter ();
-    let kill_at = kill_worker_at () in
-    let workers =
-      Array.init jobs (fun w ->
-          let rfd, wfd = Unix.pipe () in
-          match Unix.fork () with
-          | 0 ->
-            Unix.close rfd;
-            let oc = Unix.out_channel_of_descr wfd in
-            (try
-               for i = 0 to n - 1 do
-                 if i mod jobs = w then begin
-                   (match kill_at with
-                    | Some k when k = i ->
-                      Unix.kill (Unix.getpid ()) Sys.sigkill
-                    | _ -> ());
-                   let res = tasks.(i) () in
-                   output_string oc
-                     (Json.to_string
-                        (Json.Obj
-                           [
-                             ("task", Json.Int i);
-                             ("result", result_to_json res);
-                           ]));
-                   output_char oc '\n';
-                   flush oc
-                 end
-               done;
-               flush oc;
-               Unix._exit 0
-             with e ->
-               (* Don't unwind into a second copy of the parent: report and
-                  die; the parent degrades the missing results. *)
-               Printf.eprintf "llhsc worker %d: %s\n%!" w
-                 (Printexc.to_string e);
-               Unix._exit 125)
-          | pid ->
-            Unix.close wfd;
-            (pid, rfd))
-    in
-    Array.iter
-      (fun (pid, rfd) ->
-        let ic = Unix.in_channel_of_descr rfd in
+    let cmd_r, cmd_w = Unix.pipe () in
+    let res_r, res_w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.close cmd_w;
+      Unix.close res_r;
+      (* Close inherited pipe ends of sibling workers: a sibling holding
+         a dead worker's write end open would mask its EOF forever. *)
+      List.iter
+        (fun w ->
+          close_quiet w.cmd_fd;
+          close_quiet w.res_fd)
+        !workers;
+      worker_main ~tasks ~mem_limit ~cpu_limit cmd_r res_w
+    | pid ->
+      Unix.close cmd_r;
+      Unix.close res_w;
+      let w = { pid; cmd_fd = cmd_w; res_fd = res_r; acc = ""; lease = None } in
+      workers := !workers @ [ w ];
+      w
+  in
+  let dispatch w =
+    match !pending with
+    | [] -> ()
+    | i :: rest -> (
+      match write_all w.cmd_fd (string_of_int i ^ "\n") with
+      | () ->
+        pending := rest;
+        w.lease <- Some (i, Unix.gettimeofday ())
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        (* Worker already dead: leave the task pending; the EOF on its
+           result pipe triggers the reap/reassign path. *)
+        ())
+  in
+  let fill () =
+    List.iter (fun w -> if w.lease = None then dispatch w) !workers
+  in
+  let reap w =
+    close_quiet w.cmd_fd;
+    close_quiet w.res_fd;
+    (try ignore (Util.retry_eintr (fun () -> Unix.waitpid [] w.pid))
+     with Unix.Unix_error _ -> ());
+    workers := List.filter (fun w' -> w' != w) !workers
+  in
+  let handle_death w =
+    reap w;
+    (match w.lease with
+     | Some (i, _) when results.(i) = None ->
+       crash_count.(i) <- crash_count.(i) + 1;
+       if crash_count.(i) >= 2 then begin
+         notice
+           "task %d (product %s): crashed %d workers; quarantined as poison \
+            task, will retry in-process"
+           i tasks.(i).owner crash_count.(i);
+         incr quarantined
+       end
+       else begin
+         notice "task %d (product %s): worker died before reporting; reassigning"
+           i tasks.(i).owner;
+         pending := i :: !pending
+       end
+     | _ -> ());
+    (* Restore lost capacity, but only while there is queued work and
+       respawn budget left. *)
+    if !pending <> [] then
+      if !respawns < max_respawns then begin
+        incr respawns;
+        let backoff = min 0.5 (0.02 *. (2. ** float_of_int (!respawns - 1))) in
+        Unix.sleepf backoff;
+        ignore (spawn () : worker)
+      end
+      else if !workers = [] then
+        notice "worker respawn budget (%d) exhausted; finishing %d task(s) \
+                in-process"
+          max_respawns (List.length !pending)
+  in
+  let resolve w i r =
+    if results.(i) = None then begin
+      results.(i) <- Some r;
+      incr done_count
+    end;
+    pending := List.filter (fun j -> j <> i) !pending;
+    (match w.lease with Some (j, _) when j = i -> w.lease <- None | _ -> ());
+    dispatch w
+  in
+  let process_line w line =
+    match Json.parse line with
+    | Error _ -> () (* torn line of a worker killed mid-write *)
+    | Ok j -> (
+      match Json.member "hb" j with
+      | Some (Json.Int i) -> (
+        (* Heartbeat: restart the lease clock for the in-flight task. *)
+        match w.lease with
+        | Some (i', _) when i' = i -> w.lease <- Some (i, Unix.gettimeofday ())
+        | _ -> ())
+      | _ -> (
+        match (Json.member "task" j, Json.member "result" j) with
+        | Some (Json.Int i), Some rj when i >= 0 && i < n -> (
+          match result_of_json rj with
+          | Some r -> resolve w i r
+          | None -> ())
+        | _ -> ()))
+  in
+  let buf = Bytes.create 65536 in
+  let drain w =
+    match
+      Util.retry_eintr (fun () -> Unix.read w.res_fd buf 0 (Bytes.length buf))
+    with
+    | 0 -> handle_death w
+    | k ->
+      w.acc <- w.acc ^ Bytes.sub_string buf 0 k;
+      let rec split () =
+        match String.index_opt w.acc '\n' with
+        | None -> ()
+        | Some nl ->
+          let line = String.sub w.acc 0 nl in
+          w.acc <- String.sub w.acc (nl + 1) (String.length w.acc - nl - 1);
+          process_line w line;
+          split ()
+      in
+      split ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      handle_death w
+  in
+  let expire () =
+    match deadline with
+    | None -> ()
+    | Some dl ->
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          match w.lease with
+          | Some (i, t0) when now -. t0 > dl ->
+            notice
+              "task %d (product %s): deadline of %.1fs expired; killing hung \
+               worker (pid %d)"
+              i tasks.(i).owner dl w.pid;
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (* Death arrives as EOF on the result pipe; restart the clock
+               so the worker isn't re-killed every round meanwhile. *)
+            w.lease <- Some (i, now)
+          | _ -> ())
+        !workers
+  in
+  let select_timeout () =
+    match deadline with
+    | None -> -1.
+    | Some dl ->
+      let now = Unix.gettimeofday () in
+      let next =
+        List.fold_left
+          (fun acc w ->
+            match w.lease with
+            | Some (_, t0) -> min acc (t0 +. dl -. now)
+            | None -> acc)
+          infinity !workers
+      in
+      if next = infinity then -1. else Float.max 0.01 next
+  in
+  let unfinished () = !done_count + !quarantined < n in
+  let supervise () =
+    for _ = 1 to min jobs n do
+      ignore (spawn () : worker)
+    done;
+    while unfinished () && !workers <> [] do
+      fill ();
+      expire ();
+      if unfinished () && !workers <> [] then begin
+        let fds = List.map (fun w -> w.res_fd) !workers in
+        let readable, _, _ =
+          Util.retry_eintr (fun () -> Unix.select fds [] [] (select_timeout ()))
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun w -> w.res_fd = fd) !workers with
+            | Some w -> drain w
+            | None -> ())
+          readable
+      end
+    done;
+    (* Retire the pool: closing the command pipes makes idle workers exit;
+       a worker still computing a redundant copy of an already-resolved
+       task finishes, writes, sees EOF and exits — the drain below
+       discards the duplicate bytes and reaps everyone. *)
+    List.iter (fun w -> close_quiet w.cmd_fd) !workers;
+    List.iter
+      (fun w ->
         (try
-           while true do
-             let line = input_line ic in
-             match Json.parse line with
-             | Ok j -> (
-               match (Json.member "task" j, Json.member "result" j) with
-               | Some (Json.Int i), Some rj when i >= 0 && i < n ->
-                 results.(i) <- result_of_json rj
-               | _ -> ())
-             | Error _ -> () (* torn final line of a killed worker *)
+           while
+             Util.retry_eintr (fun () ->
+                 Unix.read w.res_fd buf 0 (Bytes.length buf))
+             > 0
+           do
+             ()
            done
-         with End_of_file -> ());
-        close_in ic;
-        ignore (Unix.waitpid [] pid))
-      workers;
+         with Unix.Unix_error _ -> ());
+        close_quiet w.res_fd;
+        try ignore (Util.retry_eintr (fun () -> Unix.waitpid [] w.pid))
+        with Unix.Unix_error _ -> ())
+      !workers;
+    workers := [];
+    (* In-process fallback: quarantined poison tasks get exactly one
+       retry here (the fault hooks are read only in children, so a task
+       that only crashed because of an injected fault now succeeds); the
+       same path finishes leftovers after respawn exhaustion.  Identical
+       task closures on a fresh solver keep the results byte-identical
+       to a worker run. *)
+    for i = 0 to n - 1 do
+      if results.(i) = None then begin
+        if crash_count.(i) >= 2 then
+          notice "task %d (product %s): retrying poison task in-process" i
+            tasks.(i).owner;
+        match run_task_guarded tasks.(i) with
+        | r -> results.(i) <- Some r
+        | exception e ->
+          (* Unknown exception even in-process: give up on this task; the
+             merge phase degrades it to error[WORKER]. *)
+          notice "task %d (product %s): in-process retry failed (%s)" i
+            tasks.(i).owner (Printexc.to_string e)
+      end
+    done
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.signal Sys.sigpipe old_sigpipe : Sys.signal_behavior))
+    supervise;
+  results
+
+let run_tasks ~jobs ?deadline ?(max_respawns = 8) ?mem_limit ?cpu_limit
+    (tasks : task array) =
+  let n = Array.length tasks in
+  let jobs = min jobs n in
+  if jobs <= 1 then begin
+    (* In-process path: no forks, no hooks, no guards — this is the
+       reference schedule every supervised run must match byte for
+       byte. *)
+    let results = Array.make n None in
+    Array.iteri (fun i t -> results.(i) <- Some (t.run ())) tasks;
     results
   end
+  else run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit tasks

@@ -1,21 +1,48 @@
-(** Fork-based worker pool for the pipeline's per-product check phase.
+(** Supervised fork-based worker pool for the pipeline's per-product
+    check phase.
 
     The pipeline slices each product's checking work into independent
     tasks (chunks of syntactic obligations, one semantic task per
     product), each of which runs on a {e fresh} solver instance and
     produces a {!result}.  [run_tasks] executes the task list either
-    in-process (`jobs <= 1`) or sharded across [jobs] forked worker
-    processes; because every task owns its solver, the per-task results —
-    findings, certificate stats, retry logs, isolated diagnostics — are
-    identical either way, and the pipeline's canonical-order merge makes
-    the rendered report byte-identical across job counts.
+    in-process (`jobs <= 1`) or dynamically dispatched across up to
+    [jobs] forked worker processes; because every task owns its solver,
+    the per-task results — findings, certificate stats, retry logs,
+    isolated diagnostics — are identical either way, and the pipeline's
+    canonical-order merge makes the rendered report byte-identical
+    across job counts {e and} across worker crash/reassignment
+    schedules.
+
+    The pool is self-healing rather than deal-once:
+
+    - {b Leases and deadlines.}  The parent dispatches one task index at
+      a time down a per-worker command pipe; the worker answers with a
+      heartbeat line that starts the lease clock, then a result line.
+      A lease that outlives [deadline] seconds marks the worker hung:
+      it is SIGKILLed, reaped, and its task reassigned.
+    - {b Reassignment and respawn.}  A dead worker's in-flight task goes
+      back on the pending queue and a replacement worker is forked
+      (bounded by [max_respawns], exponential backoff).  A task that has
+      crashed {e two} workers is quarantined as a poison task and
+      retried once in-process after the pool retires; only if that
+      retry also dies does the task stay [None] (degraded to
+      [error[WORKER]] by the merge).
+    - {b Resource guards.}  Workers install [RLIMIT_AS] / [RLIMIT_CPU]
+      from [mem_limit] (MiB) / [cpu_limit] (seconds) after the fork;
+      a tripped guard surfaces as [Out_of_memory] or
+      {!Diag.Resource_limit} and degrades to a per-task
+      [error[RESOURCE]] diagnostic instead of killing the checker.
 
     Workers ship results back over a pipe, one JSON line per task
     ({!result_to_json}).  Workers never touch the journal: the parent
-    remains the sole journal writer.  A worker that crashes (or is
-    SIGKILLed by the fault harness via [LLHSC_FAULT_KILL_WORKER]) simply
-    stops producing lines; its unfinished tasks stay [None] and the
-    pipeline degrades each affected product to an isolated diagnostic. *)
+    remains the sole journal writer.
+
+    Fault hooks (read only in worker children; in-process runs never
+    consult them): [LLHSC_FAULT_KILL_WORKER=N] makes the worker
+    dispatched task [N] SIGKILL itself; [LLHSC_FAULT_HANG_WORKER=N]
+    makes it hang forever after the heartbeat; [LLHSC_FAULT_OOM_WORKER=N]
+    makes it allocate until the memory guard trips (only when
+    [mem_limit] is set). *)
 
 (** Everything one task produced.  Query indices in [certs],
     [cert_failures] and [retried] are local to the task's solver (0-based
@@ -33,6 +60,11 @@ type result = {
   retried : Smt.Solver.retry_entry list;
 }
 
+(** One unit of checking work.  [owner] is the product name, used for
+    supervision notices and for synthesizing a degraded result when the
+    task's own isolation is bypassed by a resource guard. *)
+type task = { owner : string; run : unit -> result }
+
 (** Shift every query index (including the ["query N: ..."] prefixes of
     [cert_failures]) by [offset]. *)
 val renumber : offset:int -> result -> result
@@ -42,18 +74,29 @@ val result_to_json : result -> Json.t
 (** [None] on a structurally invalid encoding (e.g. a torn pipe line). *)
 val result_of_json : Json.t -> result option
 
+(** Number of online CPU cores (via [sysconf(_SC_NPROCESSORS_ONLN)]),
+    at least 1.  [--jobs 0] resolves through this. *)
+val online_cpus : unit -> int
+
 (** [run_tasks ~jobs tasks] runs every task and returns its result, or
-    [None] for tasks whose worker died before reporting.
+    [None] for tasks that could not be completed even after reassignment
+    and an in-process quarantine retry.
 
     [jobs <= 1] (or a single task): all tasks run in this process, in
     order; exceptions propagate as usual (tasks are expected to do their
-    own isolation).  [jobs > 1]: tasks are dealt round-robin to [jobs]
-    forked workers; the parent drains each worker's pipe and reaps it.  An
-    unknown exception inside a forked task is printed to stderr and the
-    worker stops — surfacing as [None] results — rather than unwinding a
-    second copy of the parent.
+    own isolation).  This is the reference schedule: every supervised
+    run merges to the same bytes.
 
-    Fault hook: when [LLHSC_FAULT_KILL_WORKER=N] is set, the forked worker
-    owning global task index [N] SIGKILLs itself right before running that
-    task (in-process runs ignore the hook — there is no worker to kill). *)
-val run_tasks : jobs:int -> (unit -> result) array -> result option array
+    [jobs > 1]: the supervised pool described above.  [deadline] is the
+    per-task lease in seconds (no deadline when omitted);
+    [max_respawns] bounds replacement workers across the whole run
+    (default 8); [mem_limit] (MiB) and [cpu_limit] (seconds) install
+    per-worker rlimit guards. *)
+val run_tasks :
+  jobs:int ->
+  ?deadline:float ->
+  ?max_respawns:int ->
+  ?mem_limit:int ->
+  ?cpu_limit:int ->
+  task array ->
+  result option array

@@ -1,0 +1,39 @@
+/* POSIX bindings the worker pool needs and the OCaml Unix library does
+   not expose: setrlimit (per-worker resource guards) and the online CPU
+   count (--jobs 0 auto-detection).  Kept deliberately tiny: both calls
+   return a plain value and never raise, so they are safe to use in a
+   freshly forked child before the OCaml runtime does anything else. */
+
+#include <caml/mlvalues.h>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+/* (resource, soft, hard) -> success?  resource: 0 = RLIMIT_AS (bytes),
+   1 = RLIMIT_CPU (seconds).  Never raises: a worker installs its guards
+   best-effort and a failure must not crash the pool. */
+CAMLprim value llhsc_set_rlimit(value vres, value vsoft, value vhard)
+{
+  struct rlimit rl;
+  int res;
+  switch (Long_val(vres)) {
+  case 0: res = RLIMIT_AS; break;
+  case 1: res = RLIMIT_CPU; break;
+  default: return Val_false;
+  }
+  rl.rlim_cur = (rlim_t)Long_val(vsoft);
+  rl.rlim_max = (rlim_t)Long_val(vhard);
+  return Val_bool(setrlimit(res, &rl) == 0);
+}
+
+/* Number of online processors; >= 1 even when sysconf fails. */
+CAMLprim value llhsc_online_cpus(value unit)
+{
+  long n = 1;
+  (void)unit;
+#ifdef _SC_NPROCESSORS_ONLN
+  n = sysconf(_SC_NPROCESSORS_ONLN);
+#endif
+  if (n < 1) n = 1;
+  return Val_long(n);
+}

@@ -8,3 +8,10 @@ let contains haystack needle =
 let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
+
+(* A stray signal (SIGCHLD from a reaped worker, a profiler's SIGPROF, ...)
+   interrupts slow syscalls with EINTR; every [Unix.read]/[select]/[waitpid]
+   /[fsync] in the pool and the journal must retry instead of surfacing a
+   spurious error. *)
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f

@@ -4,3 +4,8 @@
 val contains : string -> string -> bool
 
 val starts_with : prefix:string -> string -> bool
+
+(** Run a syscall thunk, retrying as long as it fails with
+    [Unix.EINTR].  Wrap every blocking [Unix.read]/[select]/[waitpid]/
+    [fsync] call site: a stray signal must not abort a drain. *)
+val retry_eintr : (unit -> 'a) -> 'a

@@ -239,7 +239,7 @@ run_pipeline_at() {
     --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \
     --vm "memory,cpu@0,uart@20000000,uart@30000000,veth0" \
     --vm "memory,cpu@1,uart@20000000,uart@30000000,veth1" \
-    --exclusive cpus --jobs "$njobs" "$@"
+    --exclusive cpus --jobs="$njobs" "$@"
 }
 run_pipeline_at 1 > "$TMP/j1.out" || fail "--jobs 1 pipeline should pass"
 run_pipeline_at 4 > "$TMP/j4.out" || fail "--jobs 4 pipeline should pass"
@@ -253,13 +253,73 @@ run_pipeline_at 4 --unsound force-unknown:3 --retry 3 > "$TMP/j4r.out" \
   || fail "--jobs 4 --retry pipeline should pass"
 cmp -s "$TMP/j1r.out" "$TMP/j4r.out" || fail "--retry report differs across job counts"
 
-echo "# parallel: --jobs 0 is rejected with a structured error"
+echo "# parallel: --jobs 0 auto-detects cores, report identical to --jobs 1"
+run_pipeline_at 0 > "$TMP/j0.out" || fail "--jobs 0 pipeline should pass (auto-detect)"
+cmp -s "$TMP/j1.out" "$TMP/j0.out" || fail "--jobs 0 report differs from --jobs 1"
+
+echo "# parallel: negative --jobs is rejected with a structured error"
+# the function passes --jobs=-1 glued: cmdliner reads a bare -1 as a flag
 set +e
-run_pipeline_at 0 2> "$TMP/j0.err"
+run_pipeline_at -1 2> "$TMP/jneg.err"
 rc=$?
 set -e
-[ "$rc" -eq 2 ] || fail "--jobs 0 should exit 2 (got $rc)"
-grep -q "jobs" "$TMP/j0.err" || fail "expected --jobs validation message"
+[ "$rc" -eq 2 ] || fail "--jobs -1 should exit 2 (got $rc)"
+grep -q "jobs" "$TMP/jneg.err" || fail "expected --jobs validation message"
+
+echo "# supervision: SIGKILLed workers are reassigned, report byte-identical"
+# env assignments live in subshells: VAR=x fn leaks the var in some shells
+(export LLHSC_FAULT_KILL_WORKER=0; run_pipeline_at 2 > "$TMP/skill.out" 2> "$TMP/skill.err") \
+  || fail "pipeline with killed worker should still pass"
+cmp -s "$TMP/j1.out" "$TMP/skill.out" || fail "killed-worker report differs from --jobs 1"
+grep -q "error\[WORKER\]" "$TMP/skill.out" && fail "self-healing pool left error[WORKER]"
+grep -q "reassigning\|quarantined" "$TMP/skill.err" || fail "expected supervision notice on stderr"
+
+echo "# supervision: kills under --certify --retry stay byte-identical"
+run_pipeline_at 1 --certify --unsound force-unknown:3 --retry 3 > "$TMP/j1cr.out" \
+  || fail "--jobs 1 --certify --retry should pass"
+(export LLHSC_FAULT_KILL_WORKER=1; run_pipeline_at 2 --certify --unsound force-unknown:3 \
+  --retry 3 > "$TMP/skillcr.out" 2> /dev/null) \
+  || fail "killed-worker --certify --retry should pass"
+cmp -s "$TMP/j1cr.out" "$TMP/skillcr.out" \
+  || fail "killed-worker --certify --retry report differs from --jobs 1"
+
+echo "# supervision: hung worker hits the task deadline and its task is reassigned"
+(export LLHSC_FAULT_HANG_WORKER=0; run_pipeline_at 2 --task-deadline 1 \
+  > "$TMP/hang.out" 2> "$TMP/hang.err") || fail "pipeline with hung worker should still pass"
+cmp -s "$TMP/j1.out" "$TMP/hang.out" || fail "hung-worker report differs from --jobs 1"
+grep -q "deadline" "$TMP/hang.err" || fail "expected deadline-expiry notice on stderr"
+grep -q "error\[WORKER\]" "$TMP/hang.out" && fail "hung worker left error[WORKER]"
+
+echo "# supervision: respawn budget exhaustion falls back to in-process checking"
+(export LLHSC_FAULT_KILL_WORKER=0; run_pipeline_at 2 --max-respawns 0 \
+  > "$TMP/exhaust.out" 2> "$TMP/exhaust.err") \
+  || fail "respawn-exhausted pipeline should still pass"
+cmp -s "$TMP/j1.out" "$TMP/exhaust.out" || fail "respawn-exhausted report differs from --jobs 1"
+
+echo "# supervision: rlimit OOM degrades to error[RESOURCE], exit 2"
+set +e
+(export LLHSC_FAULT_OOM_WORKER=0; run_pipeline_at 2 --mem-limit 512 \
+  > "$TMP/oom.out" 2> "$TMP/oom.err")
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "OOM-injected pipeline should exit 2 (got $rc)"
+grep -q "error\[RESOURCE\]" "$TMP/oom.out" || fail "expected error[RESOURCE] diagnostic"
+grep -q "error\[WORKER\]" "$TMP/oom.out" && fail "OOM should degrade to RESOURCE, not WORKER"
+grep -q "Fatal error" "$TMP/oom.err" && fail "OOM must not crash the checker"
+
+echo "# supervision: flag validation"
+set +e
+run_pipeline_at 2 --task-deadline 0 2> "$TMP/baddl.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "--task-deadline 0 should exit 2 (got $rc)"
+grep -q "task-deadline" "$TMP/baddl.err" || fail "expected --task-deadline validation message"
+set +e
+run_pipeline_at 2 --mem-limit 0 2> "$TMP/badmem.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "--mem-limit 0 should exit 2 (got $rc)"
+grep -q "mem-limit" "$TMP/badmem.err" || fail "expected --mem-limit validation message"
 
 echo "# parallel: journal written at --jobs 4 resumes at --jobs 1"
 run_pipeline_at 4 --journal "$TMP/par.journal" > "$TMP/par4.out" 2> /dev/null \

@@ -328,13 +328,12 @@ let run_kill_resume binary sandbox ~failures ~total =
 
 (* --- kill-a-worker phase -------------------------------------------------------- *)
 
-(* Parallel-mode crash isolation: SIGKILL a forked check worker right
-   before it runs its n-th task (the LLHSC_FAULT_KILL_WORKER hook in
-   Shard).  Contract: the parent never crashes; either the kill index is
-   beyond the task list (no worker dies, report byte-identical to an
-   unkilled run) or every product the dead worker still owed degrades to
-   an isolated error[WORKER] diagnostic and the run exits 2 — and in
-   single-process mode (--jobs 1) the hook is inert. *)
+(* Self-healing contract: SIGKILL the worker dispatched the n-th task
+   (the LLHSC_FAULT_KILL_WORKER hook in Shard).  The supervised pool must
+   reassign the task, quarantine it after a second crash and retry it
+   in-process, so EVERY kill index — in range or not — yields exit 0, a
+   report byte-identical to the unkilled run, and zero error[WORKER]
+   diagnostics.  In single-process mode (--jobs 1) the hook is inert. *)
 let run_kill_worker binary sandbox ~failures ~total =
   let stderr_file = Filename.concat sandbox "stderr.txt" in
   let out_file = Filename.concat sandbox "worker.out" in
@@ -370,13 +369,14 @@ let run_kill_worker binary sandbox ~failures ~total =
       in
       let stdout = read_file out_file in
       (match status with
-       | Unix.WEXITED 0 when stdout = baseline -> () (* index beyond the task list *)
+       | Unix.WEXITED 0 when stdout = baseline -> ()
        | Unix.WEXITED 0 -> bad what "clean exit but report differs from unkilled run" err
-       | Unix.WEXITED 2 when contains stdout "error[WORKER]" -> ()
-       | Unix.WEXITED 2 -> bad what "exit 2 but no error[WORKER] diagnostic" err
-       | Unix.WEXITED c -> bad what (Printf.sprintf "exit %d (want 0 or 2)" c) err
+       | Unix.WEXITED c ->
+         bad what (Printf.sprintf "exit %d (self-healing pool must recover to 0)" c) err
        | Unix.WSIGNALED s -> bad what (Printf.sprintf "parent killed by signal %d" s) err
        | Unix.WSTOPPED s -> bad what (Printf.sprintf "parent stopped by signal %d" s) err);
+      if contains stdout "error[WORKER]" then
+        bad what "reassignment left an error[WORKER] diagnostic" err;
       if contains err "Fatal error" || contains err "Raised at" then
         bad what "uncaught OCaml exception on stderr" err)
     [ 0; 1; 2; 3; 4; 5; 6; 7; 64 ];
@@ -390,6 +390,117 @@ let run_kill_worker binary sandbox ~failures ~total =
    | Unix.WEXITED 0 when read_file out_file = baseline -> ()
    | Unix.WEXITED 0 -> bad "jobs=1" "hook changed the single-process report" err
    | _ -> bad "jobs=1" "kill hook fired with --jobs 1 (must be inert)" err)
+
+(* --- supervision phase ----------------------------------------------------------- *)
+
+(* The rest of the self-healing contract: hung workers (heartbeats stop)
+   are killed at the task deadline and their tasks reassigned; respawn
+   budget exhaustion falls back to in-process checking; a worker that
+   trips its RLIMIT_AS guard degrades the task to error[RESOURCE]; and
+   crash recovery composes with --certify/--retry byte-identically. *)
+let run_supervision binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "stderr.txt" in
+  let out_file = Filename.concat sandbox "supervision.out" in
+  let base_out = Filename.concat sandbox "supervision-base.out" in
+  let vms =
+    [ "memory,cpu@0,uart@20000000,uart@30000000,veth0";
+      "memory,cpu@1,uart@20000000,uart@30000000,veth1" ]
+  in
+  let args extra =
+    pipeline_args sandbox ~vms ~journal:None ~resume:false @ extra
+  in
+  let bad what reason err =
+    incr failures;
+    log_failure "phase=supervision what=%S reason=%S" what reason;
+    Printf.printf "FAIL (supervision, %s): %s\n  stderr: %s\n" what reason
+      (if err = "" then "(empty)" else String.trim err)
+  in
+  let baseline_of extra =
+    let status, err =
+      run_cli binary ~stdout_file:base_out (args extra) ~stderr_file
+    in
+    (match status with
+     | Unix.WEXITED 0 -> ()
+     | _ -> bad "baseline" "undisturbed --jobs 1 pipeline did not exit 0" err);
+    read_file base_out
+  in
+  (* Expect a disturbed run to recover: exit 0, byte-identical stdout,
+     no error[WORKER], no backtrace; [expect_err] must appear on stderr. *)
+  let expect_recovery what ~env ~extra ~baseline ?expect_err () =
+    incr total;
+    let status, err = run_cli binary ~env ~stdout_file:out_file (args extra) ~stderr_file in
+    let stdout = read_file out_file in
+    (match status with
+     | Unix.WEXITED 0 when stdout = baseline -> ()
+     | Unix.WEXITED 0 -> bad what "recovered exit but report differs from baseline" err
+     | Unix.WEXITED c -> bad what (Printf.sprintf "exit %d (want 0)" c) err
+     | Unix.WSIGNALED s -> bad what (Printf.sprintf "parent killed by signal %d" s) err
+     | Unix.WSTOPPED s -> bad what (Printf.sprintf "parent stopped by signal %d" s) err);
+    if contains stdout "error[WORKER]" then
+      bad what "recovery left an error[WORKER] diagnostic" err;
+    (match expect_err with
+     | Some needle when not (contains err needle) ->
+       bad what (Printf.sprintf "expected %S notice on stderr" needle) err
+     | _ -> ());
+    if contains err "Fatal error" || contains err "Raised at" then
+      bad what "uncaught OCaml exception on stderr" err
+  in
+  let plain_baseline = baseline_of [ "--jobs"; "1" ] in
+  (* Hung workers: every seeded hang index must be recovered through the
+     deadline/reassign path. *)
+  List.iter
+    (fun n ->
+      expect_recovery
+        (Printf.sprintf "hang task=%d" n)
+        ~env:[ Printf.sprintf "LLHSC_FAULT_HANG_WORKER=%d" n ]
+        ~extra:[ "--jobs"; "2"; "--task-deadline"; "1" ]
+        ~baseline:plain_baseline ~expect_err:"deadline" ())
+    [ 0; 2; 5 ];
+  (* Respawn exhaustion: no replacement workers allowed, so the pool must
+     finish the remaining tasks in-process. *)
+  expect_recovery "respawn-exhaustion"
+    ~env:[ "LLHSC_FAULT_KILL_WORKER=0" ]
+    ~extra:[ "--jobs"; "2"; "--max-respawns"; "0" ]
+    ~baseline:plain_baseline ~expect_err:"exhausted" ();
+  (* Crash recovery composes with certification and retry: the disturbed
+     report must still carry identical certificate/escalation stats. *)
+  let cr_flags = [ "--certify"; "--unsound"; "force-unknown:3"; "--retry"; "3" ] in
+  let cr_baseline = baseline_of ([ "--jobs"; "1" ] @ cr_flags) in
+  expect_recovery "kill under certify+retry"
+    ~env:[ "LLHSC_FAULT_KILL_WORKER=1" ]
+    ~extra:([ "--jobs"; "2" ] @ cr_flags)
+    ~baseline:cr_baseline ();
+  expect_recovery "hang under certify+retry"
+    ~env:[ "LLHSC_FAULT_HANG_WORKER=1" ]
+    ~extra:([ "--jobs"; "2"; "--task-deadline"; "1" ] @ cr_flags)
+    ~baseline:cr_baseline ~expect_err:"deadline" ();
+  (* RLIMIT_AS guard: the OOM-injected task degrades to error[RESOURCE]
+     (exit 2), never to error[WORKER], and never crashes the parent. *)
+  incr total;
+  let status, err =
+    run_cli binary
+      ~env:[ "LLHSC_FAULT_OOM_WORKER=0" ]
+      ~stdout_file:out_file
+      (args [ "--jobs"; "2"; "--mem-limit"; "512" ])
+      ~stderr_file
+  in
+  let stdout = read_file out_file in
+  (match status with
+   | Unix.WEXITED 2 when contains stdout "error[RESOURCE]" -> ()
+   | Unix.WEXITED 2 -> bad "rlimit-oom" "exit 2 but no error[RESOURCE] diagnostic" err
+   | Unix.WEXITED c -> bad "rlimit-oom" (Printf.sprintf "exit %d (want 2)" c) err
+   | Unix.WSIGNALED s -> bad "rlimit-oom" (Printf.sprintf "parent killed by signal %d" s) err
+   | Unix.WSTOPPED s -> bad "rlimit-oom" (Printf.sprintf "parent stopped by signal %d" s) err);
+  if contains stdout "error[WORKER]" then
+    bad "rlimit-oom" "OOM degraded to error[WORKER] instead of error[RESOURCE]" err;
+  if contains err "Fatal error" || contains err "Raised at" then
+    bad "rlimit-oom" "uncaught OCaml exception on stderr" err;
+  (* The hooks are inert without workers: a --jobs 1 run with every hook
+     set must be byte-identical to the undisturbed baseline. *)
+  expect_recovery "hooks inert in-process"
+    ~env:[ "LLHSC_FAULT_HANG_WORKER=0"; "LLHSC_FAULT_OOM_WORKER=0" ]
+    ~extra:[ "--jobs"; "1" ]
+    ~baseline:plain_baseline ()
 
 (* --- forced-Unknown phase ------------------------------------------------------- *)
 
@@ -498,6 +609,11 @@ let () =
   if Sys.file_exists sandbox then remove_tree sandbox;
   copy_dir fixtures sandbox;
   run_kill_worker binary sandbox ~failures ~total;
+  (* Supervision phase: hung workers, respawn exhaustion, rlimit OOM, and
+     crash recovery under --certify/--retry. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_supervision binary sandbox ~failures ~total;
   (* Forced-Unknown phase: saturate the solver with Unknown verdicts, with
      and without the escalation ladder. *)
   if Sys.file_exists sandbox then remove_tree sandbox;

@@ -859,6 +859,67 @@ let prop_parallel_report_identical =
       in
       outcome_string (run 1) = outcome_string (run 4))
 
+(* --- property: supervision does not change the report --------------------------- *)
+
+(* Acceptance criterion of the self-healing pool: with a seeded worker
+   fault (SIGKILL or hang) on a random task, the supervised run —
+   reassignment, quarantine, in-process retry and all — merges to a
+   report byte-identical to the undisturbed single-process run.  The
+   fault hooks are read only in forked workers, so the jobs-1 baseline
+   is undisturbed by construction. *)
+let with_fault_env var value f =
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var "") f
+
+let prop_supervised_crash_report_identical =
+  QCheck.Test.make ~count:4
+    ~name:"supervised pool with kills/hangs = --jobs 1 report"
+    QCheck.(pair (int_range 0 3) bool)
+    (fun (victim, hang) ->
+      let vm_requests =
+        [ [ "memory"; "cpu@0"; "uart@20000000"; "veth0" ]; [ "memory"; "cpu@1" ] ]
+      in
+      let run ?task_deadline jobs =
+        Llhsc.Pipeline.run ~exclusive:RE.exclusive ~jobs ?task_deadline
+          ~model:(RE.feature_model ()) ~core:(RE.core_tree ())
+          ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for ~vm_requests ()
+      in
+      let baseline = outcome_string (run 1) in
+      let var =
+        if hang then "LLHSC_FAULT_HANG_WORKER" else "LLHSC_FAULT_KILL_WORKER"
+      in
+      let disturbed =
+        with_fault_env var (string_of_int victim) (fun () ->
+            outcome_string (run ~task_deadline:1.0 2))
+      in
+      disturbed = baseline)
+
+(* --- supervision unit tests ----------------------------------------------------- *)
+
+let test_resource_limit_diagnostics () =
+  (match Diag.of_exn (Diag.Resource_limit "cpu time limit exceeded") with
+   | Some d ->
+     Alcotest.(check string) "code" "RESOURCE" d.Diag.code;
+     check_bool "is error" true (Diag.is_error d)
+   | None -> Alcotest.fail "Resource_limit not converted");
+  match Diag.of_exn Out_of_memory with
+  | Some d -> Alcotest.(check string) "oom code" "RESOURCE" d.Diag.code
+  | None -> Alcotest.fail "Out_of_memory not converted"
+
+let test_online_cpus_positive () =
+  check_bool "at least one core" true (Llhsc.Shard.online_cpus () >= 1)
+
+let test_jobs_zero_auto_detects () =
+  (* jobs <= 0 resolves to the online core count; the report must still
+     be byte-identical to the sequential run. *)
+  let run jobs =
+    Llhsc.Pipeline.run ~exclusive:RE.exclusive ~jobs ~model:(RE.feature_model ())
+      ~core:(RE.core_tree ()) ~deltas:(RE.deltas ()) ~schemas_for:RE.schemas_for
+      ~vm_requests:[ [ "memory"; "cpu@0" ]; [ "memory"; "cpu@1" ] ] ()
+  in
+  Alcotest.(check string) "auto-detected report" (outcome_string (run 1))
+    (outcome_string (run 0))
+
 (* --- disabled devices claim no resources --------------------------------------- *)
 
 let test_disabled_devices_claim_nothing () =
@@ -974,6 +1035,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_sweep_equals_pairwise;
           QCheck_alcotest.to_alcotest prop_resume_idempotent;
           QCheck_alcotest.to_alcotest prop_parallel_report_identical;
+          QCheck_alcotest.to_alcotest prop_supervised_crash_report_identical;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "resource-limit diagnostics" `Quick
+            test_resource_limit_diagnostics;
+          Alcotest.test_case "online cpus" `Quick test_online_cpus_positive;
+          Alcotest.test_case "jobs 0 auto-detects" `Quick test_jobs_zero_auto_detects;
         ] );
       ( "product-line",
         [
