@@ -709,6 +709,153 @@ let write_supervision_json path =
     "wrote %s (%d cpus; j4 %.2f ms, +deadline %.2f ms, +guards %.2f ms; kill-recovery %.2f ms vs j2 %.2f ms; identical=%b)@."
     path cpus j4 j4_deadline j4_guarded kill_ms j2 identical
 
+(* ------------------------------------------------------------------ *)
+(* Serve measurement (BENCH_serve.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon column: request latency through the full HTTP + fork/exec
+   path on a healthy run, and the shed behaviour under a burst at 2x
+   capacity.  The daemon is the real binary on an ephemeral port; the
+   client is a minimal blocking HTTP/1.1 writer (one request per
+   connection, matching the daemon's contract). *)
+
+let serve_dts =
+  "/dts-v1/;\n/ {\n\t#address-cells = <2>;\n\t#size-cells = <2>;\n\
+   \tmemory@80000000 {\n\t\tdevice_type = \"memory\";\n\
+   \t\treg = <0x0 0x80000000 0x0 0x40000000>;\n\t};\n};\n"
+
+let serve_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.;
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let serve_send fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* Read to EOF (the daemon closes after one response); return the status. *)
+let serve_read_status fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  try Scanf.sscanf (Buffer.contents buf) "HTTP/1.1 %d" (fun s -> s)
+  with Scanf.Scan_failure _ | End_of_file -> -1
+
+let serve_request ?(headers = "") port body =
+  let fd = serve_connect port in
+  serve_send fd
+    (Printf.sprintf "POST /v1/check HTTP/1.1\r\nHost: b\r\n%sContent-Length: %d\r\n\r\n%s"
+       headers (String.length body) body);
+  let status = serve_read_status fd in
+  Unix.close fd;
+  status
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let write_serve_json path =
+  let llhsc =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/main.exe"
+  in
+  let workers = 2 and queue = 4 in
+  let out_r, out_w = Unix.pipe () in
+  let env = Array.append (Unix.environment ()) [| "LLHSC_SERVE_TEST_HOOKS=1" |] in
+  let pid =
+    Unix.create_process_env llhsc
+      [| llhsc; "serve"; "--port"; "0"; "--workers"; string_of_int workers;
+         "--queue"; string_of_int queue |]
+      env Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let log = Unix.in_channel_of_descr out_r in
+  let port =
+    Scanf.sscanf (input_line log) "llhsc serve: listening on %[0-9.]:%d" (fun _ p -> p)
+  in
+  (* Latency: sequential requests through the whole HTTP + fork/exec +
+     check path, p50/p95 over a healthy run. *)
+  let requests = 60 in
+  let latencies =
+    Array.init requests (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let status = serve_request port serve_dts in
+        let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        if status <> 200 then failwith (Printf.sprintf "healthy request got %d" status);
+        ms)
+  in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.50 and p95 = percentile latencies 0.95 in
+  (* Overload: a burst at 2x capacity (capacity = workers running + queue
+     waiting), all in flight before the first delayed job finishes.  The
+     daemon must shed the excess immediately with 429 and answer every
+     accepted request. *)
+  let capacity = workers + queue in
+  let burst = 2 * capacity in
+  let fds =
+    Array.init burst (fun _ ->
+        let fd = serve_connect port in
+        serve_send fd
+          (Printf.sprintf
+             "POST /v1/check HTTP/1.1\r\nHost: b\r\nX-Llhsc-Test-Delay-Ms: 300\r\n\
+              Content-Length: %d\r\n\r\n%s"
+             (String.length serve_dts) serve_dts);
+        fd)
+  in
+  let statuses =
+    Array.map
+      (fun fd ->
+        let s = serve_read_status fd in
+        Unix.close fd;
+        s)
+      fds
+  in
+  let count s = Array.fold_left (fun acc x -> if x = s then acc + 1 else acc) 0 statuses in
+  let ok = count 200 and shed = count 429 in
+  let unanswered = burst - ok - shed in
+  (* Drain: SIGTERM must exit 0. *)
+  Unix.kill pid Sys.sigterm;
+  let drain_clean = match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false in
+  close_in_noerr log;
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "workload": "llhsc serve, POST /v1/check (fork/exec of the batch CLI per request)",
+  "workers": %d,
+  "queue": %d,
+  "requests": %d,
+  "latency_p50_ms": %.3f,
+  "latency_p95_ms": %.3f,
+  "burst": %d,
+  "burst_capacity": %d,
+  "burst_ok": %d,
+  "burst_shed": %d,
+  "shed_rate": %.3f,
+  "unanswered": %d,
+  "drain_exit_clean": %b
+}
+|}
+    workers queue requests p50 p95 burst capacity ok shed
+    (float_of_int shed /. float_of_int burst)
+    unanswered drain_clean;
+  close_out oc;
+  Fmt.pr
+    "wrote %s (p50 %.2f ms, p95 %.2f ms; burst %d -> %d ok, %d shed, %d unanswered; drain=%b)@."
+    path p50 p95 burst ok shed unanswered drain_clean;
+  if unanswered > 0 then failwith "serve bench: some burst requests went unanswered";
+  if not drain_clean then failwith "serve bench: drain did not exit 0"
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match arg with
@@ -716,6 +863,7 @@ let () =
   | "resilience" -> write_resilience_json "BENCH_resilience.json"
   | "parallel" -> write_parallel_json "BENCH_parallel.json"
   | "supervision" -> write_supervision_json "BENCH_supervision.json"
+  | "serve" -> write_serve_json "BENCH_serve.json"
   | "report" -> report ()
   | _ ->
     report ();

@@ -30,6 +30,11 @@ let loader_for path file =
    them) by [handle_errors]. *)
 exception Input_errors of Diag.t list
 
+(* A delivery of SIGTERM/SIGINT mid-pipeline.  Raised from the signal
+   handler so the journal sink can be fsync'd and closed on the way out —
+   an interrupted --journal run must always be --resume-able. *)
+exception Interrupted of int
+
 (* Multi-error loading: report every syntax/merge error in the file, not
    just the first. *)
 let load_tree path =
@@ -325,13 +330,36 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
   let sink =
     Option.map (fun path -> Llhsc.Journal.open_ ~path ~inputs_hash) journal_path
   in
-  let outcome =
+  (* Make an interrupt exit journal-clean: the handler raises, the journal
+     is flushed/closed, and the run exits with the conventional 128+signal
+     code.  Records are individually fsync'd, so everything completed
+     before the signal is durable and --resume replays it. *)
+  (* OCaml signal numbers are its own encoding (negative); carry the OS
+     number so "interrupted by signal 15" and exit 128+15 come out right. *)
+  let handler os_signal = Sys.Signal_handle (fun _ -> raise (Interrupted os_signal)) in
+  let prev_term = Sys.signal Sys.sigterm (handler 15) in
+  let prev_int = Sys.signal Sys.sigint (handler 2) in
+  let restore () =
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigint prev_int
+  in
+  match
     Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~certify
       ?retry:(retry_of retry) ?unsound:(Option.map parse_unsound unsound)
       ~inputs_hash ?journal:sink ~resume:resume_entries ~jobs ?task_deadline
       ~max_respawns ?mem_limit ?cpu_limit
       ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
-  in
+  with
+  | exception Interrupted s ->
+    restore ();
+    Option.iter Llhsc.Journal.close sink;
+    (match journal_path with
+     | Some path ->
+       Fmt.epr "interrupted by signal %d: journal %s synced; rerun with --resume@." s path
+     | None -> Fmt.epr "interrupted by signal %d@." s);
+    128 + s
+  | outcome ->
+  restore ();
   Option.iter Llhsc.Journal.close sink;
   (* Resume status goes to stderr only: a resumed run's stdout report stays
      byte-identical to an uninterrupted run's. *)
@@ -371,6 +399,40 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
    | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
    | None -> ());
   exit_of_outcome outcome
+
+(* --- serve ------------------------------------------------------------------------ *)
+
+let cmd_serve host port workers queue tenant_quota request_deadline read_timeout
+    write_timeout max_body max_header retry_after max_request_jobs verbose =
+  handle_errors @@ fun () ->
+  if port < 0 || port > 65535 then
+    failwith (Printf.sprintf "--port wants 0..65535 (0 = ephemeral), got %d" port);
+  if workers < 1 then
+    failwith (Printf.sprintf "--workers wants a count >= 1, got %d" workers);
+  if queue < 1 then failwith (Printf.sprintf "--queue wants a depth >= 1, got %d" queue);
+  if tenant_quota < 1 then
+    failwith (Printf.sprintf "--tenant-quota wants a count >= 1, got %d" tenant_quota);
+  if max_request_jobs < 1 then
+    failwith (Printf.sprintf "--max-request-jobs wants a count >= 1, got %d" max_request_jobs);
+  if retry_after < 1 then
+    failwith (Printf.sprintf "--retry-after wants seconds >= 1, got %d" retry_after);
+  List.iter
+    (fun (flag, v) ->
+      if v <= 0. then failwith (Printf.sprintf "%s wants a positive duration, got %g" flag v))
+    [ ("--read-timeout", read_timeout); ("--write-timeout", write_timeout) ];
+  (match request_deadline with
+   | Some d when d <= 0. ->
+     failwith (Printf.sprintf "--request-deadline wants a positive duration, got %g" d)
+   | _ -> ());
+  List.iter
+    (fun (flag, v) ->
+      if v < 1024 then failwith (Printf.sprintf "%s wants at least 1024 bytes, got %d" flag v))
+    [ ("--max-body", max_body); ("--max-header", max_header) ];
+  Serve.Server.run
+    { Serve.Server.host; port; workers; queue; tenant_quota; request_deadline;
+      read_timeout; write_timeout; max_body_bytes = max_body;
+      max_header_bytes = max_header; retry_after; max_request_jobs;
+      exec = Sys.executable_name; verbose }
 
 (* --- dtb -------------------------------------------------------------------------- *)
 
@@ -840,6 +902,101 @@ let sat_cmd =
     (Cmd.info "sat" ~doc:"Solve a DIMACS CNF file (optionally certifying the verdict)")
     Term.(const cmd_sat $ cnf $ certify_arg $ unsound)
 
+let serve_cmd =
+  let host =
+    Arg.(value & opt string Serve.Server.default_config.Serve.Server.host
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.port
+         & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Listen port (0 picks an ephemeral port).")
+  in
+  let workers =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.workers
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Maximum concurrently running check jobs.  Each job is a \
+                   forked child exec'ing this binary, so a crashed or hung \
+                   check never takes the daemon down.")
+  in
+  let queue =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.queue
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Bounded admission queue depth.  A request arriving when \
+                   $(docv) jobs already wait is shed immediately with 429 + \
+                   Retry-After — the daemon never buffers unbounded work.")
+  in
+  let tenant_quota =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.tenant_quota
+         & info [ "tenant-quota" ] ~docv:"N"
+             ~doc:"Maximum in-flight jobs per tenant (the X-Api-Key request \
+                   header; requests without one share the \"anonymous\" \
+                   tenant).  A tenant at its quota is shed with 429 without \
+                   consuming queue space.")
+  in
+  let request_deadline =
+    Arg.(value & opt (some float) Serve.Server.default_config.Serve.Server.request_deadline
+         & info [ "request-deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-job lease, like the pipeline's --task-deadline one \
+                   level up: a job outliving $(docv) seconds has its process \
+                   group killed and the client gets 504.")
+  in
+  let read_timeout =
+    Arg.(value & opt float Serve.Server.default_config.Serve.Server.read_timeout
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Slow-loris guard: a connection that has not delivered a \
+                   complete request within $(docv) seconds gets 408.")
+  in
+  let write_timeout =
+    Arg.(value & opt float Serve.Server.default_config.Serve.Server.write_timeout
+         & info [ "write-timeout" ] ~docv:"SECONDS"
+             ~doc:"A response that cannot be flushed within $(docv) seconds \
+                   is abandoned and the connection closed.")
+  in
+  let max_body =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_body_bytes
+         & info [ "max-body" ] ~docv:"BYTES"
+             ~doc:"Request bodies larger than $(docv) bytes are refused with \
+                   413, at the Content-Length declaration when possible.")
+  in
+  let max_header =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_header_bytes
+         & info [ "max-header" ] ~docv:"BYTES"
+             ~doc:"Request header blocks larger than $(docv) bytes are \
+                   refused with 431.")
+  in
+  let retry_after =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.retry_after
+         & info [ "retry-after" ] ~docv:"SECONDS"
+             ~doc:"Retry-After hint attached to every 429/503 shed response.")
+  in
+  let max_request_jobs =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_request_jobs
+         & info [ "max-request-jobs" ] ~docv:"N"
+             ~doc:"Clamp on the \"jobs\" field of pipeline request bodies \
+                   (each job may fan out onto the supervised shard pool \
+                   inside its child).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Supervision notices on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the checker as an overload-safe multi-tenant HTTP daemon"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Serves POST /v1/check (raw DTS body, flags as query \
+               parameters) and POST /v1/pipeline (JSON body shipping the \
+               core DTS, delta modules, feature model, schemas and VM \
+               selections inline), plus GET /healthz, /readyz and \
+               /v1/stats.  Each admitted request runs as a forked child of \
+               this same binary in a private working directory, so served \
+               verdicts are byte-identical to the batch CLI on the same \
+               inputs.  SIGTERM drains gracefully: stop accepting, answer \
+               every admitted request, exit 0." ])
+    Term.(const cmd_serve $ host $ port $ workers $ queue $ tenant_quota
+          $ request_deadline $ read_timeout $ write_timeout $ max_body $ max_header
+          $ retry_after $ max_request_jobs $ verbose)
+
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's running example end to end")
@@ -850,6 +1007,6 @@ let main_cmd =
     (Cmd.info "llhsc" ~version:"1.0.0"
        ~doc:"DeviceTree syntax and semantic checker for static-partitioning hypervisors")
     [ check_cmd; products_cmd; configure_cmd; analyze_cmd; generate_cmd; pipeline_cmd;
-      build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd; sat_cmd; demo_cmd ]
+      build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd; sat_cmd; serve_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -181,8 +181,14 @@ let record sink entry =
   output_string sink.oc line;
   output_char sink.oc '\n';
   sync sink.oc;
-  match env_int "LLHSC_FAULT_KILL_AFTER_RECORDS" with
-  | Some n when n = sink.written -> kill_self ()
+  (match env_int "LLHSC_FAULT_KILL_AFTER_RECORDS" with
+   | Some n when n = sink.written -> kill_self ()
+   | _ -> ());
+  (* Unlike the SIGKILL hooks above, this one is catchable: it exercises
+     the CLI's graceful-interrupt path (close the journal, exit 128+15)
+     rather than simulating a crash. *)
+  match env_int "LLHSC_FAULT_TERM_AFTER_RECORDS" with
+  | Some n when n = sink.written -> Unix.kill (Unix.getpid ()) Sys.sigterm
   | _ -> ()
 
 let close sink = close_out sink.oc

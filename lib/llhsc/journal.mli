@@ -69,7 +69,9 @@ val open_ : path:string -> inputs_hash:string -> sink
 (** Append one record: a single JSON line, flushed and fsync'd before
     returning.  Honours the fault-injection kill hooks
     [LLHSC_FAULT_KILL_AFTER_RECORDS]/[LLHSC_FAULT_KILL_MID_RECORD] (test
-    harness only: simulate SIGKILL at seeded points). *)
+    harness only: simulate SIGKILL at seeded points) and
+    [LLHSC_FAULT_TERM_AFTER_RECORDS] (raise SIGTERM in-process after the
+    n-th record, exercising the CLI's graceful-interrupt path). *)
 val record : sink -> entry -> unit
 
 val close : sink -> unit

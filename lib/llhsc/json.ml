@@ -183,7 +183,14 @@ let parse src =
     | Some i -> i
     | None -> fail "bad number %S" text
   in
-  let rec parse_value () =
+  (* Depth guard: a hostile body like megabytes of '[' would otherwise
+     recurse once per byte and blow the stack.  512 is far beyond any
+     legitimate journal record or serve request, and small enough that the
+     parser fails with a diagnosable error long before the runtime
+     would. *)
+  let rec parse_value depth =
+    if depth > 512 then fail "nesting too deep (limit 512)";
+    let parse_value () = parse_value (depth + 1) in
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -247,7 +254,7 @@ let parse src =
     | Some c -> fail "unexpected character %C" c
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> len then fail "trailing garbage";
     v

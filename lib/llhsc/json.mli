@@ -18,7 +18,9 @@ val to_string : t -> string
 
 (** Parse a complete JSON value; [Error] carries a message with an offset.
     Trailing garbage after the value is an error (journal records are one
-    value per line). *)
+    value per line), and nesting deeper than 512 levels is rejected rather
+    than risking a stack overflow — this parser also fronts the serve
+    daemon, where bodies are hostile. *)
 val parse : string -> (t, string) result
 
 (** {1 Accessors} ([None] on shape mismatch) *)

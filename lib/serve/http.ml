@@ -1,0 +1,351 @@
+(* Incremental HTTP/1.1 request parsing for the serve daemon.  See the
+   .mli for the contract; the invariant that makes the qcheck split-read
+   property hold is that every verdict is a pure function of the prefix
+   of bytes fed so far: header parsing is (re-)attempted on the
+   accumulated buffer, the body plan is decided once at header
+   completion, and a non-[`Await] verdict freezes the state. *)
+
+type limits = {
+  max_header_bytes : int;
+  max_body_bytes : int;
+}
+
+let default_limits = { max_header_bytes = 16 * 1024; max_body_bytes = 8 * 1024 * 1024 }
+
+type request = {
+  meth : string;
+  target : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error = { status : int; reason : string }
+
+(* What the headers said about the body, decided exactly once. *)
+type body_plan =
+  | No_body
+  | Length of int
+  | Chunked
+
+type head = {
+  req : request;            (* body still empty *)
+  body_start : int;         (* offset of the first body byte in [acc] *)
+  plan : body_plan;
+}
+
+type verdict = [ `Await | `Request of request | `Error of error ]
+
+type state = {
+  limits : limits;
+  acc : Buffer.t;
+  mutable head : head option;    (* parsed header block, if complete *)
+  mutable final : verdict option; (* non-Await verdicts are frozen here *)
+}
+
+let create ?(limits = default_limits) () =
+  { limits; acc = Buffer.create 512; head = None; final = None }
+
+let err status reason = `Error { status; reason }
+
+(* --- token / header syntax --------------------------------------------------- *)
+
+let is_tchar = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9'
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' -> true
+  | _ -> false
+
+let is_token s = s <> "" && String.for_all is_tchar s
+
+let trim_ows s =
+  let n = String.length s in
+  let i = ref 0 and j = ref n in
+  while !i < !j && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  while !j > !i && (s.[!j - 1] = ' ' || s.[!j - 1] = '\t') do decr j done;
+  String.sub s !i (!j - !i)
+
+(* Lines are LF-terminated with an optional trailing CR: strict CRLF
+   requests parse, and so do bare-LF ones from sloppy clients. *)
+let split_line src ~pos =
+  match String.index_from_opt src pos '\n' with
+  | None -> None
+  | Some nl ->
+    let stop = if nl > pos && src.[nl - 1] = '\r' then nl - 1 else nl in
+    Some (String.sub src pos (stop - pos), nl + 1)
+
+(* --- header block ------------------------------------------------------------ *)
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+    if not (is_token meth) then err 400 "malformed method token"
+    else if target = "" || String.exists (fun c -> c <= ' ' || c = '\127') target then
+      err 400 "malformed request target"
+    else if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+      if String.length version >= 5 && String.sub version 0 5 = "HTTP/" then
+        err 505 "unsupported HTTP version"
+      else err 400 "malformed request line"
+    else `Line (meth, target, version)
+  | _ -> err 400 "malformed request line"
+
+let parse_header_field line =
+  match String.index_opt line ':' with
+  | None -> err 400 "malformed header field"
+  | Some i ->
+    let name = String.sub line 0 i in
+    if not (is_token name) then err 400 "malformed header name"
+    else
+      let value = trim_ows (String.sub line (i + 1) (String.length line - i - 1)) in
+      if String.exists (fun c -> (c < ' ' && c <> '\t') || c = '\127') value then
+        err 400 "control character in header value"
+      else `Field (String.lowercase_ascii name, value)
+
+let find_all name headers =
+  List.filter_map (fun (n, v) -> if n = name then Some v else None) headers
+
+(* Decide the body plan from the complete header block.  The oversized
+   declaration is refused here — before a single body byte is read. *)
+let body_plan limits headers =
+  let cls = find_all "content-length" headers in
+  let tes = find_all "transfer-encoding" headers in
+  match (cls, tes) with
+  | _ :: _, _ :: _ -> err 400 "both Content-Length and Transfer-Encoding"
+  | [], [] -> `Plan No_body
+  | [], [ te ] when String.lowercase_ascii te = "chunked" -> `Plan Chunked
+  | [], _ -> err 501 "unsupported transfer encoding"
+  | cl :: rest, [] ->
+    if List.exists (fun v -> v <> cl) rest then err 400 "conflicting Content-Length"
+    else if cl = "" || not (String.for_all (fun c -> c >= '0' && c <= '9') cl) then
+      err 400 "malformed Content-Length"
+    else (
+      (* > 15 digits cannot be a legitimate body and would overflow. *)
+      match if String.length cl > 15 then None else int_of_string_opt cl with
+      | None -> err 413 "declared body too large"
+      | Some n when n > limits.max_body_bytes -> err 413 "declared body too large"
+      | Some n -> `Plan (Length n))
+
+let parse_head limits src =
+  (* The header block ends at the first empty line. *)
+  let rec go pos line_no acc_headers pending =
+    match split_line src ~pos with
+    | None ->
+      if String.length src > limits.max_header_bytes then
+        err 431 "header block too large"
+      else `Await
+    | Some (_, next) when next > limits.max_header_bytes ->
+      err 431 "header block too large"
+    | Some (line, next) ->
+      if line = "" then begin
+        match pending with
+        | None -> err 400 "empty request line"
+        | Some (meth, target, version) -> (
+          let headers = List.rev acc_headers in
+          match body_plan limits headers with
+          | `Error _ as e -> e
+          | `Plan plan ->
+            `Head
+              { req = { meth; target; version; headers; body = "" };
+                body_start = next;
+                plan })
+      end
+      else if line_no = 0 then (
+        match parse_request_line line with
+        | `Error _ as e -> e
+        | `Line rl -> go next 1 [] (Some rl))
+      else if line.[0] = ' ' || line.[0] = '\t' then
+        err 400 "obsolete header folding"
+      else (
+        match parse_header_field line with
+        | `Error _ as e -> e
+        | `Field f -> go next (line_no + 1) (f :: acc_headers) pending)
+  in
+  go 0 0 [] None
+
+(* --- body -------------------------------------------------------------------- *)
+
+(* Decode a chunked body from [src] starting at [pos].  Re-run from the
+   body start on every poll: decoding is linear and bodies are bounded by
+   the limit, so the re-scan stays cheap, and statelessness is what makes
+   the split-read property trivially true. *)
+let decode_chunked limits src pos =
+  let len = String.length src in
+  let body = Buffer.create 256 in
+  let rec chunk pos =
+    match split_line src ~pos with
+    | None ->
+      if len - pos > 1024 then err 400 "oversized chunk-size line" else `Await
+    | Some (line, _) when String.length line > 1024 ->
+      (* Same verdict whether or not the line's newline has arrived yet —
+         the split-read property depends on it. *)
+      err 400 "oversized chunk-size line"
+    | Some (line, next) ->
+      let size_text =
+        match String.index_opt line ';' with
+        | Some i -> trim_ows (String.sub line 0 i) (* extensions ignored *)
+        | None -> trim_ows line
+      in
+      let valid_hex =
+        size_text <> "" && String.length size_text <= 7
+        && String.for_all
+             (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+             size_text
+      in
+      if not valid_hex then
+        if size_text <> ""
+           && String.length size_text > 7
+           && String.for_all
+                (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+                size_text
+        then err 413 "chunk too large"
+        else err 400 "malformed chunk size"
+      else
+        let size = int_of_string ("0x" ^ size_text) in
+        if size = 0 then trailers next
+        else if Buffer.length body + size > limits.max_body_bytes then
+          err 413 "chunked body too large"
+        else if next + size + 1 > len then `Await
+        else begin
+          Buffer.add_substring body src next size;
+          (* chunk data must be followed by its own CRLF *)
+          match split_line src ~pos:(next + size) with
+          | None -> `Await
+          | Some ("", after) -> chunk after
+          | Some _ -> err 400 "malformed chunk terminator"
+        end
+  and trailers pos =
+    match split_line src ~pos with
+    | None -> if len - pos > 4096 then err 400 "oversized trailers" else `Await
+    | Some ("", _) -> `Body (Buffer.contents body)
+    | Some (line, _) when String.length line > 4096 -> err 400 "oversized trailers"
+    | Some (line, next) -> (
+      match parse_header_field line with
+      | `Error _ as e -> e
+      | `Field _ -> trailers next)
+  in
+  chunk pos
+
+(* --- driver ------------------------------------------------------------------ *)
+
+let compute state : verdict =
+  let src = Buffer.contents state.acc in
+  let head =
+    match state.head with
+    | Some h -> `Head h
+    | None -> parse_head state.limits src
+  in
+  match head with
+  | `Await -> `Await
+  | `Error _ as e -> e
+  | `Head h ->
+    state.head <- Some h;
+    (match h.plan with
+     | No_body -> `Request h.req
+     | Length n ->
+       if String.length src - h.body_start >= n then
+         `Request { h.req with body = String.sub src h.body_start n }
+       else `Await
+     | Chunked -> (
+       match decode_chunked state.limits src h.body_start with
+       | `Await -> `Await
+       | `Error _ as e -> e
+       | `Body b -> `Request { h.req with body = b }))
+
+let poll state =
+  match state.final with
+  | Some v -> v
+  | None -> (
+    match compute state with
+    | `Await -> `Await
+    | v ->
+      state.final <- Some v;
+      v)
+
+let feed state bytes =
+  match state.final with
+  | Some _ -> () (* one state parses one request *)
+  | None -> Buffer.add_string state.acc bytes
+
+(* --- accessors --------------------------------------------------------------- *)
+
+let header req name = List.assoc_opt name req.headers
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else
+      match s.[i] with
+      | '+' ->
+        Buffer.add_char buf ' ';
+        go (i + 1)
+      | '%' when i + 2 < n -> (
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some hi, Some lo ->
+          Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char buf '%';
+          go (i + 1))
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go 0
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some q ->
+    let path = String.sub target 0 q in
+    let query = String.sub target (q + 1) (String.length target - q - 1) in
+    let params =
+      String.split_on_char '&' query
+      |> List.filter (fun kv -> kv <> "")
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> (percent_decode kv, "")
+             | Some i ->
+               ( percent_decode (String.sub kv 0 i),
+                 percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+    in
+    (path, params)
+
+(* --- responses --------------------------------------------------------------- *)
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | 505 -> "HTTP Version Not Supported"
+  | _ -> "Unknown"
+
+let response ~status ?(headers = []) ~body () =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
+       (String.length body));
+  Buffer.add_string buf body;
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+(** Hand-rolled HTTP/1.1 request parsing and response rendering for the
+    [llhsc serve] daemon — no external dependency, built to survive
+    hostile clients.
+
+    The parser is {e incremental}: the connection loop feeds it whatever
+    bytes [read] produced and polls for a verdict.  Parsing is a pure
+    function of the concatenation of the fed bytes, so any split of the
+    same byte stream — one-shot, byte-at-a-time, or adversarially
+    chunked — yields the identical verdict (qcheck-tested).
+
+    Hostile-input posture:
+    - header block capped at [max_header_bytes] → [431];
+    - declared or chunked body capped at [max_body_bytes] → [413],
+      decided as early as the declaration allows (a client announcing an
+      oversized [Content-Length] is refused before it sends the body);
+    - malformed request lines, header syntax, lengths and chunk framing
+      → [400]; unsupported transfer encodings → [501];
+    - truncated input (including truncated chunked framing) never
+      completes: the connection layer's read deadline turns it into
+      [408]. *)
+
+type limits = {
+  max_header_bytes : int;  (** request line + headers, CRLFs included *)
+  max_body_bytes : int;    (** decoded body bytes *)
+}
+
+val default_limits : limits
+
+type request = {
+  meth : string;     (** verbatim token, e.g. ["POST"] *)
+  target : string;   (** request target, query string included *)
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;
+      (** in wire order; names lowercased, values trimmed *)
+  body : string;     (** decoded (de-chunked) body *)
+}
+
+(** A request that must be refused: the HTTP status to answer with and a
+    human-readable reason for the response body. *)
+type error = { status : int; reason : string }
+
+type state
+
+val create : ?limits:limits -> unit -> state
+
+(** Append bytes from the wire.  Feeding after a non-[`Await] verdict is
+    a no-op: one [state] parses exactly one request (the daemon serves
+    one request per connection). *)
+val feed : state -> string -> unit
+
+(** Current verdict.  [`Await] means the request is incomplete — feed
+    more bytes (or let the read deadline expire).  Both other verdicts
+    are final and stable. *)
+val poll : state -> [ `Await | `Request of request | `Error of error ]
+
+(** First value of a (lowercased) header, if present. *)
+val header : request -> string -> string option
+
+(** Path and decoded query parameters of a request target:
+    ["/v1/check?certify=1"] → [("/v1/check", [("certify", "1")])]. *)
+val split_target : string -> string * (string * string) list
+
+(** Render a complete HTTP/1.1 response with [Content-Length] and
+    [Connection: close] (the daemon serves one request per connection,
+    which keeps response framing trivially correct under faults). *)
+val response : status:int -> ?headers:(string * string) list -> body:string -> unit -> string
+
+(** Standard reason phrase for the status codes the daemon emits. *)
+val reason_phrase : int -> string

@@ -221,6 +221,23 @@ run_journaled_pipeline --resume > "$TMP/journal2.out" 2> "$TMP/resume.err" \
 cmp -s "$TMP/journal1.out" "$TMP/journal2.out" || fail "resumed report differs from original"
 grep -q "resume: replayed from journal" "$TMP/resume.err" || fail "expected resume status on stderr"
 
+echo "# journal + SIGTERM: interrupted run exits 143 and is resume-able"
+rm -f "$TMP/run.journal"
+set +e
+LLHSC_FAULT_TERM_AFTER_RECORDS=2 run_journaled_pipeline > "$TMP/term.out" 2> "$TMP/term.err"
+rc=$?
+set -e
+[ "$rc" -eq 143 ] || fail "interrupted pipeline should exit 143 (got $rc)"
+grep -q "interrupted by signal 15" "$TMP/term.err" || fail "expected interrupt notice"
+grep -q "rerun with --resume" "$TMP/term.err" || fail "expected resume hint"
+[ -s "$TMP/run.journal" ] || fail "interrupted journal not written"
+run_journaled_pipeline --resume > "$TMP/term-resume.out" 2> "$TMP/term-resume.err" \
+  || fail "resume after SIGTERM should pass"
+cmp -s "$TMP/journal1.out" "$TMP/term-resume.out" \
+  || fail "post-SIGTERM resumed report differs from uninterrupted run"
+grep -q "resume: replayed from journal" "$TMP/term-resume.err" \
+  || fail "expected replay after SIGTERM (journal was not durable)"
+
 echo "# retry: escalation recovers injected Unknown verdicts"
 "$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
   --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \

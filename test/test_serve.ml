@@ -1,0 +1,290 @@
+(* Tests for the serve daemon's HTTP layer: the qcheck split-read
+   property (any partition of the same byte stream yields the identical
+   verdict), unit tests for the hostile-input posture (oversized bodies,
+   bad methods, truncated chunked encoding, header caps), and the
+   Json.parse hardening the daemon leans on (depth limit, trailing
+   garbage). *)
+
+module Http = Serve.Http
+
+(* Feed [bytes] to a fresh parser in the given [cuts] and return the final
+   verdict, normalised for comparison. *)
+let parse_with_cuts ?limits bytes cuts =
+  let st = Http.create ?limits () in
+  let n = String.length bytes in
+  let rec go pos = function
+    | [] ->
+      if pos < n then Http.feed st (String.sub bytes pos (n - pos));
+      Http.poll st
+    | cut :: rest ->
+      let cut = max pos (min cut n) in
+      Http.feed st (String.sub bytes pos (cut - pos));
+      (* Polling between feeds must not disturb the final verdict. *)
+      ignore (Http.poll st);
+      go cut rest
+  in
+  go 0 cuts
+
+let verdict_repr = function
+  | `Await -> "await"
+  | `Error { Http.status; reason } -> Printf.sprintf "error %d %s" status reason
+  | `Request r ->
+    Printf.sprintf "request %s %s %s [%s] %S" r.Http.meth r.Http.target r.Http.version
+      (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) r.Http.headers))
+      r.Http.body
+
+let check_verdict = Alcotest.(check string)
+
+let one_shot ?limits bytes = parse_with_cuts ?limits bytes []
+
+(* --- unit: well-formed requests ------------------------------------------- *)
+
+let test_simple_get () =
+  check_verdict "GET parses"
+    "request GET /healthz HTTP/1.1 [host=x] \"\""
+    (verdict_repr (one_shot "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"))
+
+let test_post_with_body () =
+  check_verdict "POST body delivered"
+    "request POST /v1/check HTTP/1.1 [content-length=5] \"hello\""
+    (verdict_repr (one_shot "POST /v1/check HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"))
+
+let test_bare_lf_lines () =
+  (* Sloppy clients terminate lines with bare LF; we accept both. *)
+  check_verdict "bare-LF request parses"
+    "request GET / HTTP/1.0 [a=b] \"\""
+    (verdict_repr (one_shot "GET / HTTP/1.0\na: b\n\n"))
+
+let test_chunked_body () =
+  let wire =
+    "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    ^ "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+  in
+  check_verdict "chunked body de-chunked"
+    "request POST /x HTTP/1.1 [transfer-encoding=chunked] \"hello world\""
+    (verdict_repr (one_shot wire))
+
+let test_chunk_extensions_ignored () =
+  let wire =
+    "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    ^ "5;ext=1\r\nhello\r\n0\r\n\r\n"
+  in
+  check_verdict "chunk extension ignored"
+    "request POST /x HTTP/1.1 [transfer-encoding=chunked] \"hello\""
+    (verdict_repr (one_shot wire))
+
+(* --- unit: hostile inputs -------------------------------------------------- *)
+
+let tiny = { Http.max_header_bytes = 256; max_body_bytes = 64 }
+
+let status_of = function `Error { Http.status; _ } -> status | _ -> -1
+
+let test_bad_method () =
+  Alcotest.(check int) "space in method -> 400" 400
+    (status_of (one_shot "GE T / HTTP/1.1\r\n\r\n"));
+  Alcotest.(check int) "empty request line -> 400" 400
+    (status_of (one_shot "\r\n\r\n"))
+
+let test_bad_version () =
+  Alcotest.(check int) "HTTP/2.0 -> 505" 505
+    (status_of (one_shot "GET / HTTP/2.0\r\n\r\n"));
+  Alcotest.(check int) "garbage version -> 400" 400
+    (status_of (one_shot "GET / FTP/1.1\r\n\r\n"))
+
+let test_oversized_declared_body () =
+  (* Refused at the declaration: not a single body byte was sent. *)
+  Alcotest.(check int) "Content-Length over cap -> 413" 413
+    (status_of
+       (one_shot ~limits:tiny "POST /x HTTP/1.1\r\nContent-Length: 65\r\n\r\n"));
+  Alcotest.(check int) "absurd Content-Length -> 413" 413
+    (status_of
+       (one_shot ~limits:tiny
+          "POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n"))
+
+let test_oversized_chunked_body () =
+  let wire =
+    "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    ^ "41\r\n" ^ String.make 65 'a' ^ "\r\n0\r\n\r\n"
+  in
+  Alcotest.(check int) "chunked body over cap -> 413" 413
+    (status_of (one_shot ~limits:tiny wire))
+
+let test_truncated_chunked () =
+  (* Truncation is not an error the parser can prove: it must await (the
+     connection read deadline turns it into 408). *)
+  let full =
+    "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"
+  in
+  for cut = String.length "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      to String.length full - 1 do
+    check_verdict
+      (Printf.sprintf "truncated at %d awaits" cut)
+      "await"
+      (verdict_repr (one_shot (String.sub full 0 cut)))
+  done
+
+let test_malformed_chunk_framing () =
+  Alcotest.(check int) "non-hex chunk size -> 400" 400
+    (status_of
+       (one_shot "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"));
+  Alcotest.(check int) "missing chunk terminator -> 400" 400
+    (status_of
+       (one_shot
+          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloX\r\n0\r\n\r\n"));
+  Alcotest.(check int) "huge hex chunk size -> 413" 413
+    (status_of
+       (one_shot "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfffffffff\r\n"))
+
+let test_oversized_headers () =
+  let wire =
+    "GET / HTTP/1.1\r\nX-Pad: " ^ String.make 300 'a' ^ "\r\n\r\n"
+  in
+  Alcotest.(check int) "header block over cap -> 431" 431
+    (status_of (one_shot ~limits:tiny wire));
+  (* Even without a newline in sight, an oversized header block is cut. *)
+  Alcotest.(check int) "unterminated oversized head -> 431" 431
+    (status_of (one_shot ~limits:tiny ("GET / HTTP/1.1\r\nX: " ^ String.make 300 'b')))
+
+let test_conflicting_framing () =
+  Alcotest.(check int) "CL + TE -> 400" 400
+    (status_of
+       (one_shot
+          "POST /x HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n"));
+  Alcotest.(check int) "conflicting CLs -> 400" 400
+    (status_of
+       (one_shot "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n"));
+  Alcotest.(check int) "gzip TE -> 501" 501
+    (status_of (one_shot "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"))
+
+let test_header_syntax () =
+  Alcotest.(check int) "obs-fold -> 400" 400
+    (status_of (one_shot "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n"));
+  Alcotest.(check int) "colonless header -> 400" 400
+    (status_of (one_shot "GET / HTTP/1.1\r\nnocolon\r\n\r\n"));
+  Alcotest.(check int) "ctrl char in value -> 400" 400
+    (status_of (one_shot "GET / HTTP/1.1\r\nA: b\x01c\r\n\r\n"))
+
+let test_feed_after_verdict_frozen () =
+  let st = Http.create () in
+  Http.feed st "GET / HTTP/1.1\r\n\r\n";
+  let before = verdict_repr (Http.poll st) in
+  Http.feed st "GARBAGE MORE BYTES";
+  check_verdict "verdict frozen after completion" before (verdict_repr (Http.poll st))
+
+let test_split_target () =
+  let path, params = Http.split_target "/v1/check?certify=1&name=a%20b+c" in
+  Alcotest.(check string) "path" "/v1/check" path;
+  Alcotest.(check (list (pair string string)))
+    "params" [ ("certify", "1"); ("name", "a b c") ] params
+
+(* --- property: split-read determinism -------------------------------------- *)
+
+(* Mix of well-formed requests (plain, chunked) and adversarial byte
+   soup: the property is not "parses correctly" but "the verdict never
+   depends on how the stream was split". *)
+let gen_wire =
+  let open QCheck.Gen in
+  let printable = map Char.chr (int_range 32 126) in
+  let soup = string_size ~gen:printable (int_range 0 80) in
+  let plain =
+    let* path = oneofl [ "/"; "/healthz"; "/v1/check?certify=1" ] in
+    let* body = string_size ~gen:printable (int_range 0 40) in
+    let* meth = oneofl [ "GET"; "POST"; "BAD METHOD"; "" ] in
+    return
+      (Printf.sprintf "%s %s HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+         meth path (String.length body) body)
+  in
+  let chunked =
+    let* chunks = list_size (int_range 0 4) (string_size ~gen:printable (int_range 0 20)) in
+    let framed =
+      List.map (fun c -> Printf.sprintf "%x\r\n%s\r\n" (String.length c) c) chunks
+    in
+    return
+      ("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      ^ String.concat "" framed ^ "0\r\n\r\n")
+  in
+  let truncated =
+    let* base = oneof [ plain; chunked ] in
+    let* keep = int_range 0 (String.length base) in
+    return (String.sub base 0 keep)
+  in
+  oneof [ plain; chunked; truncated; soup ]
+
+let gen_case =
+  let open QCheck.Gen in
+  let* wire = gen_wire in
+  let* cuts = list_size (int_range 0 12) (int_range 0 (max 1 (String.length wire))) in
+  return (wire, List.sort compare cuts)
+
+let prop_split_read_deterministic =
+  QCheck.Test.make ~count:1000 ~name:"split reads never change the verdict"
+    (QCheck.make gen_case ~print:(fun (wire, cuts) ->
+         Printf.sprintf "wire=%S cuts=[%s]" wire
+           (String.concat ";" (List.map string_of_int cuts))))
+    (fun (wire, cuts) ->
+      let whole = verdict_repr (parse_with_cuts wire []) in
+      let split = verdict_repr (parse_with_cuts wire cuts) in
+      let byte_at_a_time =
+        verdict_repr (parse_with_cuts wire (List.init (String.length wire) Fun.id))
+      in
+      whole = split && whole = byte_at_a_time)
+
+(* --- Json hardening --------------------------------------------------------- *)
+
+let test_json_depth_limit () =
+  (* A hostile body of raw '[' must fail with a parse error, not a stack
+     overflow. *)
+  let deep = String.make 100_000 '[' in
+  (match Llhsc.Json.parse deep with
+   | Error msg ->
+     Alcotest.(check bool) "mentions nesting" true
+       (Llhsc.Util.contains msg "nesting")
+   | Ok _ -> Alcotest.fail "deep nesting accepted");
+  (* Well under the limit still parses. *)
+  let shallow = String.make 100 '[' ^ "1" ^ String.make 100 ']' in
+  match Llhsc.Json.parse shallow with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("shallow nesting rejected: " ^ msg)
+
+let test_json_trailing_garbage () =
+  (match Llhsc.Json.parse "{\"a\":1} extra" with
+   | Error msg ->
+     Alcotest.(check bool) "mentions trailing" true
+       (Llhsc.Util.contains msg "trailing")
+   | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Llhsc.Json.parse "  {\"a\": 1}  " with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("surrounding whitespace rejected: " ^ msg)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "http well-formed",
+        [
+          Alcotest.test_case "simple GET" `Quick test_simple_get;
+          Alcotest.test_case "POST with body" `Quick test_post_with_body;
+          Alcotest.test_case "bare LF lines" `Quick test_bare_lf_lines;
+          Alcotest.test_case "chunked body" `Quick test_chunked_body;
+          Alcotest.test_case "chunk extensions" `Quick test_chunk_extensions_ignored;
+          Alcotest.test_case "split_target" `Quick test_split_target;
+        ] );
+      ( "http hostile",
+        [
+          Alcotest.test_case "bad method" `Quick test_bad_method;
+          Alcotest.test_case "bad version" `Quick test_bad_version;
+          Alcotest.test_case "oversized declared body" `Quick test_oversized_declared_body;
+          Alcotest.test_case "oversized chunked body" `Quick test_oversized_chunked_body;
+          Alcotest.test_case "truncated chunked awaits" `Quick test_truncated_chunked;
+          Alcotest.test_case "malformed chunk framing" `Quick test_malformed_chunk_framing;
+          Alcotest.test_case "oversized headers" `Quick test_oversized_headers;
+          Alcotest.test_case "conflicting framing" `Quick test_conflicting_framing;
+          Alcotest.test_case "header syntax" `Quick test_header_syntax;
+          Alcotest.test_case "verdict frozen" `Quick test_feed_after_verdict_frozen;
+        ] );
+      ( "json hardening",
+        [
+          Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
+          Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
+        ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest prop_split_read_deterministic ] );
+    ]
