@@ -856,6 +856,185 @@ let write_serve_json path =
   if unanswered > 0 then failwith "serve bench: some burst requests went unanswered";
   if not drain_clean then failwith "serve bench: drain did not exit 0"
 
+(* ------------------------------------------------------------------ *)
+(* Fleet measurement (BENCH_fleet.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The socket-transport column: the quad_rv64 pipeline dispatched to real
+   worker processes over loopback TCP, against the in-process --jobs
+   baselines, plus the cost of recovering from a worker that dies
+   mid-task.  Everything runs the real binary end to end (fork/exec,
+   handshake, spec shipping, frame I/O), so the fleet timings carry the
+   whole transport overhead, not just the check phase. *)
+
+let write_fleet_json path =
+  let llhsc =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/main.exe"
+  in
+  (* Materialise the quad_rv64 fixture (same layout as
+     `examples/quad_rv64.exe dump`). *)
+  let module Q = Llhsc.Quad_rv64 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llhsc-bench-fleet-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf p =
+    match Unix.lstat p with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      (try Unix.rmdir p with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  at_exit (fun () -> rm_rf dir);
+  let write_file p contents =
+    let oc = open_out (Filename.concat dir p) in
+    output_string oc contents;
+    close_out oc
+  in
+  write_file "quad-rv64.dts" Q.core_dts;
+  write_file "quad-rv64.fm" Q.feature_model_src;
+  write_file "quad-rv64.deltas" Q.deltas_src;
+  Unix.mkdir (Filename.concat dir "schemas") 0o700;
+  List.iteri
+    (fun i src -> write_file (Printf.sprintf "schemas/schema-%d.yaml" i) src)
+    Q.schemas_src;
+  let p f = Filename.concat dir f in
+  let pipeline_tail =
+    [ "--core"; p "quad-rv64.dts"; "--deltas"; p "quad-rv64.deltas";
+      "--model"; p "quad-rv64.fm"; "--schemas"; p "schemas";
+      "--exclusive"; String.concat "," Q.exclusive ]
+    @ List.concat_map
+        (fun fs -> [ "--vm"; String.concat "," fs ])
+        [ Q.vm1_features; Q.vm2_features; Q.vm3_features ]
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let spawn ?(env = []) ~out args =
+    Unix.create_process_env llhsc
+      (Array.of_list (llhsc :: args))
+      (Array.append (Unix.environment ()) (Array.of_list env))
+      Unix.stdin out devnull
+  in
+  let wait_zero what pid =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED c -> failwith (Printf.sprintf "fleet bench: %s exited %d" what c)
+    | _ -> failwith (Printf.sprintf "fleet bench: %s died on a signal" what)
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let out_file = p "report.out" in
+  let with_out f =
+    let out = Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+    Fun.protect ~finally:(fun () -> Unix.close out) (fun () -> f out)
+  in
+  (* One in-process run: seconds + report bytes. *)
+  let local_run jobs =
+    let t0 = Unix.gettimeofday () in
+    with_out (fun out ->
+        wait_zero "pipeline"
+          (spawn ~out (("pipeline" :: pipeline_tail) @ [ "--jobs"; string_of_int jobs ])));
+    (Unix.gettimeofday () -. t0, read_file out_file)
+  in
+  (* One fleet run: dispatcher + [workers] worker processes on loopback,
+     timed from dispatcher spawn to dispatcher exit (the user-visible
+     wall clock, transport included).  [kill] seeds the self-kill hook
+     in the first worker. *)
+  let fleet_run ?(kill = false) workers =
+    let port_file = p "port" in
+    (try Sys.remove port_file with Sys_error _ -> ());
+    let t0 = Unix.gettimeofday () in
+    let dpid =
+      with_out (fun out ->
+          spawn ~out
+            (("dispatch" :: "--listen" :: "127.0.0.1:0" :: "--port-file" :: port_file
+              :: "--wait-workers" :: "30" :: pipeline_tail)))
+    in
+    let rec wait_port tries =
+      if (try (Unix.stat port_file).Unix.st_size > 0 with Unix.Unix_error _ -> false)
+      then ()
+      else if tries = 0 then failwith "fleet bench: dispatcher never wrote its port"
+      else begin
+        Unix.sleepf 0.05;
+        wait_port (tries - 1)
+      end
+    in
+    wait_port 200;
+    let wpids =
+      List.init workers (fun i ->
+          let env = if kill && i = 0 then [ "LLHSC_FAULT_KILL_WORKER=1" ] else [] in
+          spawn ~env ~out:devnull
+            [ "worker"; "--port-file"; port_file; "--max-reconnects"; "3" ])
+    in
+    wait_zero "dispatcher" dpid;
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun pid ->
+        let rec poll tries =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ when tries > 0 ->
+            Unix.sleepf 0.05;
+            poll (tries - 1)
+          | 0, _ ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid)
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+        in
+        poll 100)
+      wpids;
+    (dt, read_file out_file)
+  in
+  let runs = 5 in
+  let median_of f =
+    let samples = List.init runs (fun _ -> f ()) in
+    let times = List.sort compare (List.map fst samples) in
+    (1000. *. List.nth times (runs / 2), snd (List.hd samples))
+  in
+  let j1, base = median_of (fun () -> local_run 1) in
+  let j4, j4_report = median_of (fun () -> local_run 4) in
+  let f2, f2_report = median_of (fun () -> fleet_run 2) in
+  let f3, f3_report = median_of (fun () -> fleet_run 3) in
+  let fk, fk_report = median_of (fun () -> fleet_run ~kill:true 2) in
+  Unix.close devnull;
+  let identical =
+    j4_report = base && f2_report = base && f3_report = base && fk_report = base
+  in
+  let cpus = online_cpus () in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "workload": "quad_rv64 pipeline (3 VMs + platform), dispatched over loopback TCP",
+  "runs": %d,
+  "online_cpus": %d,
+  "jobs1_ms": %.3f,
+  "jobs4_ms": %.3f,
+  "fleet2_ms": %.3f,
+  "fleet3_ms": %.3f,
+  "fleet3_vs_jobs1_speedup": %.2f,
+  "fleet3_vs_jobs4_overhead_pct": %.1f,
+  "kill_recovery_fleet2_ms": %.3f,
+  "kill_recovery_overhead_pct": %.1f,
+  "reports_byte_identical": %b
+}
+|}
+    runs cpus j1 j4 f2 f3 (j1 /. f3)
+    (100. *. ((f3 /. j4) -. 1.))
+    fk
+    (100. *. ((fk /. f2) -. 1.))
+    identical;
+  close_out oc;
+  Fmt.pr
+    "wrote %s (%d cpus; j1 %.2f ms, j4 %.2f ms; fleet2 %.2f ms, fleet3 %.2f ms; kill-recovery %.2f ms; identical=%b)@."
+    path cpus j1 j4 f2 f3 fk identical;
+  if not identical then failwith "fleet bench: reports diverged from --jobs 1"
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match arg with
@@ -864,6 +1043,7 @@ let () =
   | "parallel" -> write_parallel_json "BENCH_parallel.json"
   | "supervision" -> write_supervision_json "BENCH_supervision.json"
   | "serve" -> write_serve_json "BENCH_serve.json"
+  | "fleet" -> write_fleet_json "BENCH_fleet.json"
   | "report" -> report ()
   | _ ->
     report ();

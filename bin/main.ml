@@ -257,8 +257,8 @@ let retry_of = function
   | Some n ->
     failwith (Printf.sprintf "--retry wants at least 2 attempts, got %d" n)
 
-let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
-    max_conflicts timeout certify retry journal_path resume unsound jobs
+let cmd_pipeline ?runner core_path deltas_path fm_path schema_dir vm_features exclusive
+    out_dir max_conflicts timeout certify retry journal_path resume unsound jobs
     task_deadline max_respawns mem_limit cpu_limit =
   handle_errors @@ fun () ->
   if jobs < 0 then
@@ -347,7 +347,7 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
     Llhsc.Pipeline.run ~exclusive ?budget:(budget_of max_conflicts timeout) ~certify
       ?retry:(retry_of retry) ?unsound:(Option.map parse_unsound unsound)
       ~inputs_hash ?journal:sink ~resume:resume_entries ~jobs ?task_deadline
-      ~max_respawns ?mem_limit ?cpu_limit
+      ~max_respawns ?mem_limit ?cpu_limit ?runner
       ~model ~core ~deltas ~schemas_for ~vm_requests:vm_features ()
   with
   | exception Interrupted s ->
@@ -399,6 +399,126 @@ let cmd_pipeline core_path deltas_path fm_path schema_dir vm_features exclusive 
    | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
    | None -> ());
   exit_of_outcome outcome
+
+(* --- dispatch / worker (fleet mode) ----------------------------------------------- *)
+
+(* "HOST:PORT" (the last ':' splits, so a future IPv6 form still parses). *)
+let parse_hostport what s =
+  match String.rindex_opt s ':' with
+  | None -> failwith (Printf.sprintf "%s wants HOST:PORT, got %S" what s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some p when p >= 0 && p <= 65535 -> (host, p)
+    | _ -> failwith (Printf.sprintf "%s wants a port in 0..65535, got %S" what s))
+
+let cmd_dispatch listen min_workers wait_workers max_inflight port_file ship
+    core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
+    max_conflicts timeout certify retry journal_path resume unsound
+    task_deadline =
+  handle_errors @@ fun () ->
+  let host, port = parse_hostport "--listen" listen in
+  if min_workers < 0 then
+    failwith (Printf.sprintf "--min-workers wants a count >= 0, got %d" min_workers);
+  if wait_workers < 0. then
+    failwith (Printf.sprintf "--wait-workers wants seconds >= 0, got %g" wait_workers);
+  if max_inflight < 1 then
+    failwith (Printf.sprintf "--max-inflight wants a count >= 1, got %d" max_inflight);
+  (match task_deadline with
+   | Some d when d <= 0. ->
+     failwith (Printf.sprintf "--task-deadline wants a positive duration, got %g" d)
+   | _ -> ());
+  (* A remote lease must always expire eventually — a partitioned worker
+     holds its tasks until then — so unlike the local pool there is a
+     hard default. *)
+  let deadline =
+    match (task_deadline, timeout) with
+    | Some d, _ -> d
+    | None, Some t -> (t *. 32.) +. 10.
+    | None, None -> 60.
+  in
+  (* Everything a worker needs to replan the run, as raw bytes keyed by
+     the original file-name strings (so remote diagnostics match local
+     ones byte for byte).  /include/d files are shipped by name:
+     .dtsi siblings of the core automatically, anything else via --ship
+     (NAME=PATH to override the key). *)
+  let ship_entry s =
+    match String.index_opt s '=' with
+    | Some i ->
+      (String.sub s 0 i, read_file (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (Filename.basename s, read_file s)
+  in
+  let files =
+    let dir = Filename.dirname core_path in
+    let auto =
+      Sys.readdir dir |> Array.to_list |> List.sort String.compare
+      |> List.filter (fun f -> Filename.check_suffix f ".dtsi")
+      |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+    in
+    let explicit = List.map ship_entry ship in
+    explicit @ auto (* first match wins on lookup: --ship overrides *)
+  in
+  let schemas =
+    match schema_dir with
+    | None -> []
+    | Some dir ->
+      Sys.readdir dir |> Array.to_list |> List.sort String.compare
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".yaml" || Filename.check_suffix f ".yml")
+      |> List.map (fun f -> read_file (Filename.concat dir f))
+  in
+  let spec =
+    { Fleet.Spec.core = { Fleet.Spec.file = core_path; text = read_file core_path };
+      deltas = { Fleet.Spec.file = deltas_path; text = read_file deltas_path };
+      model = read_file fm_path;
+      schemas;
+      files;
+      vms = vm_features;
+      exclusive;
+      certify;
+      retry;
+      max_conflicts;
+      solver_timeout = timeout;
+      unsound;
+      skip = [] }
+  in
+  let cfg =
+    { Fleet.Dispatch.host; port; min_workers; wait_workers; deadline;
+      max_inflight; port_file }
+  in
+  let runner ~skip tasks =
+    Fleet.Dispatch.run cfg ~spec:{ spec with Fleet.Spec.skip } tasks
+  in
+  (* Same driver as `pipeline`, with the fleet in place of the local
+     pool: journal, resume, report rendering and exit codes are shared,
+     and the local-pool knobs are fixed to their no-op values. *)
+  cmd_pipeline ~runner core_path deltas_path fm_path schema_dir vm_features
+    exclusive out_dir max_conflicts timeout certify retry journal_path resume
+    unsound 1 None 8 None None
+
+let cmd_worker connect port_file max_reconnects mem_limit cpu_limit =
+  handle_errors @@ fun () ->
+  if max_reconnects < 0 then
+    failwith (Printf.sprintf "--max-reconnects wants a count >= 0, got %d" max_reconnects);
+  (match mem_limit with
+   | Some m when m <= 0 ->
+     failwith (Printf.sprintf "--mem-limit wants a positive MiB count, got %d" m)
+   | _ -> ());
+  (match cpu_limit with
+   | Some c when c <= 0 ->
+     failwith (Printf.sprintf "--cpu-limit wants a positive second count, got %d" c)
+   | _ -> ());
+  let host, port =
+    match connect with
+    | Some s ->
+      let h, p = parse_hostport "--connect" s in
+      (h, Some p)
+    | None -> ("127.0.0.1", None)
+  in
+  if port = None && port_file = None then
+    failwith "worker needs --connect HOST:PORT or --port-file FILE";
+  Fleet.Worker.run
+    { Fleet.Worker.host; port; port_file; max_reconnects; mem_limit; cpu_limit }
 
 (* --- serve ------------------------------------------------------------------------ *)
 
@@ -755,56 +875,60 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a DTS product from a core and delta modules")
     Term.(const cmd_generate $ core $ deltas $ features_arg $ out $ check)
 
+(* Args shared by `pipeline` and `dispatch` (the fleet dispatcher is the
+   same workflow with the local pool swapped for remote workers). *)
+let pl_core = Arg.(required & opt (some string) None & info [ "core" ] ~docv:"CORE.dts")
+let pl_deltas = Arg.(required & opt (some string) None & info [ "deltas" ] ~docv:"FILE.deltas")
+let pl_fm = Arg.(required & opt (some string) None & info [ "model" ] ~docv:"FILE.fm")
+
+let pl_vms =
+  Arg.(value & opt_all (list string) [] & info [ "vm" ] ~docv:"F1,F2" ~doc:"Feature selection of one VM (repeatable).")
+
+let pl_exclusive =
+  Arg.(value & opt (list string) [] & info [ "exclusive" ] ~docv:"FEATS" ~doc:"Features whose children are exclusive across VMs.")
+
+let pl_out = Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR")
+
+let pl_max_conflicts =
+  Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N"
+         ~doc:"Solver budget: cap conflicts per query; exhausted queries report inconclusive.")
+
+let pl_timeout =
+  Arg.(value & opt (some float) None & info [ "solver-timeout" ] ~docv:"SECONDS"
+         ~doc:"Solver budget: wall-clock deadline per query.")
+
+let pl_retry =
+  Arg.(value & opt (some int) None & info [ "retry" ] ~docv:"ATTEMPTS"
+         ~doc:"Retry inconclusive (budget-exhausted) solver queries up an \
+               escalation ladder of at most $(docv) total attempts: budget \
+               x4 per rung with diversified restarts (fresh seed, flipped \
+               or randomized phases, alternate VSIDS decay).  Per-attempt \
+               statistics are reported for every retried query.")
+
+let pl_journal =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Crash-safe journal: append one fsync'd JSONL record per \
+               completed product to $(docv), keyed by a content hash of \
+               the run's inputs.  A killed run loses at most the product \
+               being checked.")
+
+let pl_resume =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Replay the --journal file: products whose recorded content \
+                 hash still matches are skipped (findings replayed \
+                 verbatim), stale or missing ones are re-checked.  The \
+                 stdout report is byte-identical to an uninterrupted run.")
+
+let pl_unsound =
+  Arg.(value & opt (some string) None
+       & info [ "unsound" ] ~docv:"KIND:N"
+           ~doc:"Testing only: inject a deliberate solver fault every N \
+                 queries (drop-lit:N, flip-model:N, mute-proof:N or \
+                 force-unknown:N) to exercise certification and \
+                 escalation paths.")
+
 let pipeline_cmd =
-  let core = Arg.(required & opt (some string) None & info [ "core" ] ~docv:"CORE.dts") in
-  let deltas = Arg.(required & opt (some string) None & info [ "deltas" ] ~docv:"FILE.deltas") in
-  let fm = Arg.(required & opt (some string) None & info [ "model" ] ~docv:"FILE.fm") in
-  let vms =
-    Arg.(value & opt_all (list string) [] & info [ "vm" ] ~docv:"F1,F2" ~doc:"Feature selection of one VM (repeatable).")
-  in
-  let exclusive =
-    Arg.(value & opt (list string) [] & info [ "exclusive" ] ~docv:"FEATS" ~doc:"Features whose children are exclusive across VMs.")
-  in
-  let out = Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR") in
-  let max_conflicts =
-    Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~docv:"N"
-           ~doc:"Solver budget: cap conflicts per query; exhausted queries report inconclusive.")
-  in
-  let timeout =
-    Arg.(value & opt (some float) None & info [ "solver-timeout" ] ~docv:"SECONDS"
-           ~doc:"Solver budget: wall-clock deadline per query.")
-  in
-  let retry =
-    Arg.(value & opt (some int) None & info [ "retry" ] ~docv:"ATTEMPTS"
-           ~doc:"Retry inconclusive (budget-exhausted) solver queries up an \
-                 escalation ladder of at most $(docv) total attempts: budget \
-                 x4 per rung with diversified restarts (fresh seed, flipped \
-                 or randomized phases, alternate VSIDS decay).  Per-attempt \
-                 statistics are reported for every retried query.")
-  in
-  let journal =
-    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
-           ~doc:"Crash-safe journal: append one fsync'd JSONL record per \
-                 completed product to $(docv), keyed by a content hash of \
-                 the run's inputs.  A killed run loses at most the product \
-                 being checked.")
-  in
-  let resume =
-    Arg.(value & flag
-         & info [ "resume" ]
-             ~doc:"Replay the --journal file: products whose recorded content \
-                   hash still matches are skipped (findings replayed \
-                   verbatim), stale or missing ones are re-checked.  The \
-                   stdout report is byte-identical to an uninterrupted run.")
-  in
-  let unsound =
-    Arg.(value & opt (some string) None
-         & info [ "unsound" ] ~docv:"KIND:N"
-             ~doc:"Testing only: inject a deliberate solver fault every N \
-                   queries (drop-lit:N, flip-model:N, mute-proof:N or \
-                   force-unknown:N) to exercise certification and \
-                   escalation paths.")
-  in
   let jobs =
     Arg.(value & opt int 1
          & info [ "jobs"; "j" ] ~docv:"N"
@@ -849,9 +973,124 @@ let pipeline_cmd =
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the full llhsc workflow (Fig. 2)")
-    Term.(const cmd_pipeline $ core $ deltas $ fm $ schema_dir_arg $ vms $ exclusive $ out
-          $ max_conflicts $ timeout $ certify_arg $ retry $ journal $ resume $ unsound
+    Term.(const (cmd_pipeline ?runner:None) $ pl_core $ pl_deltas $ pl_fm $ schema_dir_arg $ pl_vms
+          $ pl_exclusive $ pl_out $ pl_max_conflicts $ pl_timeout $ certify_arg
+          $ pl_retry $ pl_journal $ pl_resume $ pl_unsound
           $ jobs $ task_deadline $ max_respawns $ mem_limit $ cpu_limit)
+
+let dispatch_cmd =
+  let listen =
+    Arg.(value & opt string "127.0.0.1:0"
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Bind address for worker connections (port 0 picks an \
+                   ephemeral port; see --port-file).")
+  in
+  let min_workers =
+    Arg.(value & opt int 1
+         & info [ "min-workers" ] ~docv:"N"
+             ~doc:"Degradation floor: when fewer than $(docv) workers are \
+                   connected (after the --wait-workers grace), remaining \
+                   tasks finish in-process so the run always terminates.  \
+                   0 waits for workers indefinitely.")
+  in
+  let wait_workers =
+    Arg.(value & opt float 10.
+         & info [ "wait-workers" ] ~docv:"SECONDS"
+             ~doc:"Registration grace: how long the fleet may stay below \
+                   --min-workers before the dispatcher degrades to \
+                   in-process checking.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 1
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Tasks leased to one worker at a time.")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound port to $(docv) once listening (workers \
+                   can poll it with their own --port-file).")
+  in
+  let ship =
+    Arg.(value & opt_all string []
+         & info [ "ship" ] ~docv:"[NAME=]PATH"
+             ~doc:"Ship an extra /include/d file to workers under its base \
+                   name (or $(b,NAME)).  .dtsi files next to the core are \
+                   shipped automatically.")
+  in
+  let task_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "task-deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-task lease: a worker whose task outlives $(docv) \
+                   seconds is presumed hung or partitioned, its connection \
+                   dropped and its tasks reassigned.  Defaults to 32 x \
+                   --solver-timeout + 10s, else 60s — remote leases always \
+                   expire.")
+  in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:"Run the pipeline with its check phase sharded over socket workers"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs the same workflow as $(b,pipeline), but dispatches the \
+               per-product check tasks to llhsc $(b,worker) processes \
+               connected over TCP instead of a local fork pool.  Inputs are \
+               shipped to workers in full, so workers need no shared \
+               filesystem; results are validated against a spec hash and \
+               merged exactly-once (first valid result per task wins), \
+               making the stdout report byte-identical to --jobs 1 under \
+               any schedule of worker crashes, hangs, disconnects or \
+               duplicated results.  If the fleet shrinks below \
+               --min-workers, remaining tasks finish in-process — a run \
+               that loses every worker still completes." ])
+    Term.(const cmd_dispatch $ listen $ min_workers $ wait_workers $ max_inflight
+          $ port_file $ ship $ pl_core $ pl_deltas $ pl_fm $ schema_dir_arg $ pl_vms
+          $ pl_exclusive $ pl_out $ pl_max_conflicts $ pl_timeout $ certify_arg
+          $ pl_retry $ pl_journal $ pl_resume $ pl_unsound $ task_deadline)
+
+let worker_cmd =
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT"
+             ~doc:"Dispatcher address.")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Poll the dispatcher's --port-file for the port instead \
+                   of naming it in --connect (connects to 127.0.0.1).")
+  in
+  let max_reconnects =
+    Arg.(value & opt int 8
+         & info [ "max-reconnects" ] ~docv:"N"
+             ~doc:"Give up after $(docv) consecutive failed connections or \
+                   broken sessions (exponential backoff between attempts; a \
+                   completed handshake resets the budget).")
+  in
+  let mem_limit =
+    Arg.(value & opt (some int) None
+         & info [ "mem-limit" ] ~docv:"MIB"
+             ~doc:"Resource guard: cap this worker's address space at \
+                   $(docv) MiB (RLIMIT_AS), like a fork-pool child's.")
+  in
+  let cpu_limit =
+    Arg.(value & opt (some int) None
+         & info [ "cpu-limit" ] ~docv:"SECONDS"
+             ~doc:"Resource guard: cap this worker's CPU time at $(docv) \
+                   seconds (RLIMIT_CPU).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Serve check tasks to an llhsc dispatch process"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Connects to an llhsc $(b,dispatch) process, rebuilds its task \
+               list from the shipped inputs, and executes leased tasks until \
+               retired (exit 0).  Survives connection loss with \
+               exponential-backoff reconnects; exits 1 once \
+               --max-reconnects consecutive attempts fail." ])
+    Term.(const cmd_worker $ connect $ port_file $ max_reconnects $ mem_limit
+          $ cpu_limit)
 
 let dtb_cmd =
   let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
@@ -1007,6 +1246,7 @@ let main_cmd =
     (Cmd.info "llhsc" ~version:"1.0.0"
        ~doc:"DeviceTree syntax and semantic checker for static-partitioning hypervisors")
     [ check_cmd; products_cmd; configure_cmd; analyze_cmd; generate_cmd; pipeline_cmd;
-      build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd; sat_cmd; serve_cmd; demo_cmd ]
+      dispatch_cmd; worker_cmd; build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd;
+      sat_cmd; serve_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,393 @@
+(* The fleet dispatcher: shard a task array across remote socket workers
+   with the same supervision guarantees as the fork pool.
+
+   Single-threaded nonblocking select loop.  Workers connect, handshake
+   (hello -> setup -> ready, with the spec hash and task count checked
+   so a worker that planned a different run is rejected before it can
+   contribute a result), then receive task indices up to the per-worker
+   in-flight bound.  The {!Llhsc.Supervise} core — shared with the fork
+   pool — owns the pending queue, first-wins results (exactly-once
+   merge), crash counts and poison quarantine; this module owns only the
+   sockets.
+
+   Remote workers cannot be SIGKILLed, so every fault collapses to one
+   remedy: drop the connection and record a crash for each of its
+   leases (reassigning them, or quarantining a task on its second
+   crash).  That covers death, partition, hangs (lease deadline) and
+   protocol violations (bad frame, bad hash, bad result) uniformly.
+
+   Termination never depends on workers: when the live fleet falls below
+   the configured floor after the registration grace, the loop exits and
+   a final in-process sweep runs every unresolved task locally — a run
+   that loses ALL its workers still completes, merging to the same bytes
+   (each task is a deterministic closure on a fresh solver, wherever it
+   runs). *)
+
+module Json = Llhsc.Json
+module Shard = Llhsc.Shard
+module Supervise = Llhsc.Supervise
+module Util = Llhsc.Util
+
+type config = {
+  host : string;
+  port : int; (* 0 picks an ephemeral port *)
+  min_workers : int; (* degrade to in-process below this floor *)
+  wait_workers : float; (* registration grace before the floor applies *)
+  deadline : float; (* per-task lease, seconds *)
+  max_inflight : int; (* tasks leased to one worker at a time *)
+  port_file : string option; (* write the bound port here (for tests) *)
+}
+
+let notice fmt =
+  Format.kfprintf
+    (fun f -> Format.pp_print_newline f (); Format.pp_print_flush f ())
+    Format.err_formatter
+    ("llhsc dispatch: " ^^ fmt)
+
+(* How long a freshly accepted connection may dawdle before Ready; a
+   connected-but-silent peer must not stall degradation forever. *)
+let handshake_timeout = 10.0
+
+type state = Awaiting_hello | Awaiting_ready | Ready
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  dec : Frame.Decoder.t;
+  out : Buffer.t; (* encoded frames not yet written *)
+  mutable out_pos : int;
+  mutable state : state;
+  mutable alive : bool;
+  created : float;
+  leases : Supervise.Lease.t;
+}
+
+let addr_of host port =
+  let ip =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  Unix.ADDR_INET (ip, port)
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+  | Unix.ADDR_UNIX p -> p
+  | exception Unix.Unix_error _ -> "?"
+
+(* --- protocol messages ------------------------------------------------------ *)
+
+let msg_setup spec hash =
+  Json.to_string (Json.Obj [ ("setup", Spec.to_json spec); ("hash", Json.Str hash) ])
+
+let msg_task i = Json.to_string (Json.Obj [ ("task", Json.Int i) ])
+let msg_retire = Json.to_string (Json.Obj [ ("retire", Json.Bool true) ])
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run cfg ~spec (tasks : Shard.task array) =
+  let n = Array.length tasks in
+  let st : Shard.result Supervise.t = Supervise.create n in
+  let spec_hash = Spec.hash spec in
+  let setup_payload = msg_setup spec spec_hash in
+  let restore_sigpipe = Util.ignore_sigpipe () in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let conns = ref ([] : conn list) in
+  let degraded = ref false in
+
+  let drop_conn c reason =
+    if c.alive then begin
+      c.alive <- false;
+      conns := List.filter (fun c' -> c' != c) !conns;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      List.iter
+        (fun i ->
+          Supervise.Lease.finish c.leases i;
+          match Supervise.record_crash st i with
+          | `Resolved -> ()
+          | `Reassign ->
+            notice "worker %s %s; reassigning task %d (product %s)" c.peer
+              reason i tasks.(i).Shard.owner
+          | `Quarantine k ->
+            notice
+              "task %d (product %s) crashed %d workers; quarantined as poison \
+               task, will retry in-process"
+              i tasks.(i).Shard.owner k)
+        (Supervise.Lease.tasks c.leases)
+    end
+  in
+
+  (* Flush as much of the outbuf as the socket accepts right now.  A
+     write error is a lost worker: drop the connection (its leases are
+     reassigned) rather than erroring the run — SIGPIPE is ignored, so a
+     peer vanishing mid-write surfaces here as EPIPE/ECONNRESET. *)
+  let flush_out c =
+    if c.alive then begin
+      let s = Buffer.contents c.out in
+      let len = String.length s in
+      (try
+         let continue = ref true in
+         while !continue && c.out_pos < len do
+           match
+             Util.retry_eintr (fun () ->
+                 Unix.write_substring c.fd s c.out_pos (len - c.out_pos))
+           with
+           | 0 -> continue := false
+           | k -> c.out_pos <- c.out_pos + k
+           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+             ->
+             continue := false
+         done
+       with Unix.Unix_error _ -> drop_conn c "failed mid-write");
+      if c.alive && c.out_pos >= len then begin
+        Buffer.clear c.out;
+        c.out_pos <- 0
+      end
+    end
+  in
+
+  let send c payload =
+    Buffer.add_string c.out (Frame.encode payload);
+    flush_out c
+  in
+
+  (* Lease tasks to a ready worker up to the in-flight bound. *)
+  let rec fill c =
+    if c.alive && c.state = Ready
+       && Supervise.Lease.count c.leases < cfg.max_inflight
+    then
+      match Supervise.next st with
+      | None -> ()
+      | Some i ->
+        (* Lease before the (fallible) send: if the write drops the
+           connection, the lease is already on the books and the crash
+           path reassigns it. *)
+        Supervise.Lease.start c.leases i (Unix.gettimeofday ());
+        send c (msg_task i);
+        fill c
+  in
+
+  let fill_all () = List.iter fill !conns in
+
+  let handle_msg c payload =
+    match Json.parse payload with
+    | Error e -> drop_conn c (Printf.sprintf "sent unparsable frame (%s)" e)
+    | Ok j -> (
+      match c.state with
+      | Awaiting_hello -> (
+        match Json.member "hello" j with
+        | Some _ ->
+          c.state <- Awaiting_ready;
+          send c setup_payload
+        | None -> drop_conn c "spoke before hello")
+      | Awaiting_ready -> (
+        match Json.member "ready" j with
+        | Some r ->
+          let h = Option.bind (Json.member "spec" r) Json.to_str in
+          let k = Option.bind (Json.member "tasks" r) Json.to_int in
+          if h = Some spec_hash && k = Some n then begin
+            c.state <- Ready;
+            notice "worker %s ready (%d in fleet)" c.peer
+              (List.length
+                 (List.filter (fun c' -> c'.state = Ready) !conns));
+            fill c
+          end
+          else
+            (* The worker planned a different run (version skew, wrong
+               inputs): none of its results would be trustworthy. *)
+            drop_conn c
+              (Printf.sprintf "planned a different run (spec %s, %s tasks)"
+                 (Option.value ~default:"?" h)
+                 (match k with Some k -> string_of_int k | None -> "?"))
+        | None -> (
+          match Option.bind (Json.member "error" j) Json.to_str with
+          | Some msg -> drop_conn c (Printf.sprintf "failed to plan: %s" msg)
+          | None -> drop_conn c "spoke before ready"))
+      | Ready -> (
+        match Json.member "result" j with
+        | Some r -> (
+          let h = Option.bind (Json.member "spec" r) Json.to_str in
+          let i = Option.bind (Json.member "task" r) Json.to_int in
+          let res = Option.bind (Json.member "r" r) Shard.result_of_json in
+          match (h, i, res) with
+          | Some h, Some i, Some res
+            when h = spec_hash && i >= 0 && i < n
+                 && res.Shard.product = tasks.(i).Shard.owner -> (
+            Supervise.Lease.finish c.leases i;
+            match Supervise.resolve st i res with
+            | `Fresh -> fill c
+            | `Duplicate ->
+              (* A reassigned task completing twice (or a duplicated
+                 send): first valid result won, drop this copy. *)
+              notice "duplicate result for task %d from %s ignored" i c.peer;
+              fill c)
+          | _ ->
+            (* A result we cannot trust taints the whole connection. *)
+            drop_conn c "sent an invalid result")
+        | None -> (
+          match Json.member "hb" j with
+          | Some hb -> (
+            let h = Option.bind (Json.member "spec" hb) Json.to_str in
+            match Option.bind (Json.member "task" hb) Json.to_int with
+            | Some i when h = Some spec_hash ->
+              Supervise.Lease.beat c.leases i (Unix.gettimeofday ())
+            | _ -> ())
+          | None -> (
+            match Option.bind (Json.member "error" j) Json.to_str with
+            | Some msg -> drop_conn c (Printf.sprintf "failed: %s" msg)
+            | None -> drop_conn c "sent an unknown message"))))
+  in
+
+  let handle_readable c =
+    match Frame.read_chunk c.fd c.dec with
+    | exception Unix.Unix_error _ -> drop_conn c "failed mid-read"
+    | `Eof -> drop_conn c "disconnected"
+    | `Data _ ->
+      let continue = ref true in
+      while c.alive && !continue do
+        match Frame.Decoder.next c.dec with
+        | `Awaiting -> continue := false
+        | `Corrupt msg -> drop_conn c (Printf.sprintf "sent a corrupt frame (%s)" msg)
+        | `Frame payload -> handle_msg c payload
+      done
+  in
+
+  let accept_new () =
+    match Util.retry_eintr (fun () -> Unix.accept lfd) with
+    | exception Unix.Unix_error _ -> () (* EAGAIN, ECONNABORTED, ... *)
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      conns :=
+        { fd; peer = peer_name fd; dec = Frame.Decoder.create ();
+          out = Buffer.create 256; out_pos = 0; state = Awaiting_hello;
+          alive = true; created = Unix.gettimeofday ();
+          leases = Supervise.Lease.create () }
+        :: !conns
+  in
+
+  (* Remote lease expiry: a worker can't be SIGKILLed like a fork-pool
+     child, so one overdue lease condemns the whole connection — every
+     lease it holds is reassigned (or quarantined). *)
+  let expire now =
+    List.iter
+      (fun c ->
+        if c.state = Ready then (
+          match
+            Supervise.Lease.expired c.leases ~deadline:cfg.deadline ~now
+          with
+          | [] -> ()
+          | i :: _ ->
+            notice
+              "task %d (product %s): deadline of %.1fs expired; dropping hung \
+               worker %s"
+              i tasks.(i).Shard.owner cfg.deadline c.peer;
+            drop_conn c "hung")
+        else if now -. c.created > handshake_timeout then
+          drop_conn c "stalled during handshake")
+      !conns
+  in
+
+  let select_timeout now =
+    let t = ref 0.25 in
+    List.iter
+      (fun c ->
+        if c.state = Ready then
+          match
+            Supervise.Lease.next_expiry c.leases ~deadline:cfg.deadline ~now
+          with
+          | Some dt -> t := Float.min !t (Float.max 0. dt)
+          | None -> ())
+      !conns;
+    !t
+  in
+
+  let supervise () =
+    Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+    Unix.bind lfd (addr_of cfg.host cfg.port);
+    Unix.listen lfd 64;
+    Unix.set_nonblock lfd;
+    let bound_port =
+      match Unix.getsockname lfd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> cfg.port
+    in
+    notice "listening on %s:%d (fleet floor %d, grace %.1fs)" cfg.host
+      bound_port cfg.min_workers cfg.wait_workers;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Printf.fprintf oc "%d\n" bound_port;
+        close_out oc)
+      cfg.port_file;
+    let t0 = Unix.gettimeofday () in
+    while Supervise.unfinished st && not !degraded do
+      let now = Unix.gettimeofday () in
+      expire now;
+      let live = List.length !conns in
+      if now -. t0 >= cfg.wait_workers && live < cfg.min_workers then begin
+        degraded := true;
+        notice
+          "fleet below %d worker(s) (%d connected); finishing %d task(s) \
+           in-process"
+          cfg.min_workers live
+          (List.length (Supervise.unresolved st))
+      end
+      else if Supervise.unfinished st then begin
+        let rfds = lfd :: List.map (fun c -> c.fd) !conns in
+        let wfds =
+          List.filter_map
+            (fun c ->
+              if Buffer.length c.out > c.out_pos then Some c.fd else None)
+            !conns
+        in
+        match Unix.select rfds wfds [] (select_timeout now) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, writable, _ ->
+          if List.memq lfd readable then accept_new ();
+          List.iter
+            (fun c ->
+              if c.alive && List.memq c.fd writable then flush_out c)
+            !conns;
+          List.iter
+            (fun c ->
+              if c.alive && List.memq c.fd readable then handle_readable c)
+            !conns;
+          fill_all ()
+      end
+    done;
+    (* Retire the surviving fleet (best effort — a worker that vanishes
+       during retirement has nothing left to contribute). *)
+    List.iter
+      (fun c ->
+        (try
+           Unix.clear_nonblock c.fd;
+           flush_out c;
+           if c.alive then Frame.write c.fd msg_retire
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !conns;
+    conns := [];
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    (* In-process sweep, exactly as the fork pool's: quarantined poison
+       tasks get their one local retry here, and after degradation every
+       leftover task finishes locally — so the run terminates (exit 0 on
+       clean inputs) even with zero workers ever connecting. *)
+    List.iter
+      (fun i ->
+        if Supervise.is_quarantined st i then
+          notice "task %d (product %s): retrying poison task in-process" i
+            tasks.(i).Shard.owner;
+        match Shard.run_task_guarded tasks.(i) with
+        | r -> ignore (Supervise.resolve st i r)
+        | exception e ->
+          notice "task %d (product %s): in-process retry failed (%s)" i
+            tasks.(i).Shard.owner (Printexc.to_string e))
+      (Supervise.unresolved st)
+  in
+  Fun.protect ~finally:restore_sigpipe supervise;
+  Supervise.results st

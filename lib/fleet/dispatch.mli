@@ -1,0 +1,43 @@
+(** The fleet dispatcher: shard a task array across remote socket
+    workers with the same supervision guarantees — and the same merged
+    bytes — as the fork pool.
+
+    Single-threaded nonblocking select loop.  Workers connect and
+    handshake (hello -> setup -> ready); the ready message must echo the
+    spec hash and task count, so a worker that planned a different run
+    is rejected before it can contribute a result.  Task indices are
+    then leased to ready workers (at most [max_inflight] per worker);
+    the shared {!Llhsc.Supervise} core provides first-wins duplicate
+    suppression (exactly-once merge), reassignment on worker loss, and
+    poison quarantine after two crashes.
+
+    Remote workers cannot be SIGKILLed, so every fault — death,
+    partition, hang (lease past [deadline]), corrupt frame, invalid
+    result — collapses to dropping the connection and crash-recording
+    its leases.  Termination never depends on the fleet: when live
+    connections fall below [min_workers] after the [wait_workers]
+    registration grace (or once only quarantined tasks remain), a final
+    in-process sweep completes every unresolved task locally, so a run
+    that loses all its workers still finishes with the same report.
+    [min_workers = 0] waits for workers indefinitely instead of
+    degrading.
+
+    All supervision notices go to stderr; stdout is untouched (the
+    pipeline report must stay byte-identical to [--jobs 1]). *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  min_workers : int;  (** degrade to in-process below this floor *)
+  wait_workers : float;  (** registration grace before the floor applies *)
+  deadline : float;  (** per-task lease, seconds *)
+  max_inflight : int;  (** tasks leased to one worker at a time *)
+  port_file : string option;  (** write the bound port here *)
+}
+
+(** [run cfg ~spec tasks] — serve [tasks] to the fleet and return one
+    result per index ([None] only for a task that failed remotely and
+    in the local sweep).  [spec] must describe the same run that planned
+    [tasks], with [spec.skip] naming the journal-replayed products. *)
+val run :
+  config -> spec:Spec.t -> Llhsc.Shard.task array -> Llhsc.Shard.result option array

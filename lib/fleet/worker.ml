@@ -1,0 +1,254 @@
+(* A fleet worker: connect to a dispatcher, replan its run from the
+   shipped spec, and execute leased tasks until retired.
+
+   The worker is deliberately stateless across connections: everything
+   it needs arrives in the setup message, and the task array it builds
+   is cached by spec hash so a reconnect (network blip, injected drop)
+   re-handshakes in microseconds instead of re-parsing.  Task results go
+   back as one frame each, stamped with the spec hash and validated
+   again on the dispatcher — the worker is not trusted, merely useful.
+
+   Connection loss is survived, not fatal: exponential-backoff reconnect,
+   bounded by [max_reconnects] consecutive failures (a completed
+   handshake resets the counter).  A [retire] message is the one clean
+   exit (code 0); exhausting reconnects exits 1 so a supervisor can tell
+   "fleet finished without me" from "I was told to go".
+
+   Fault hooks (test harness only; task index N):
+     LLHSC_FAULT_KILL_WORKER=N          SIGKILL self when task N arrives
+     LLHSC_FAULT_HANG_WORKER=N          heartbeat, then hang forever
+     LLHSC_FAULT_DROP_CONN_WORKER=N     drop the connection mid-task,
+                                        once per process, then reconnect
+     LLHSC_FAULT_DELAY_RESULT_WORKER=N  sleep ~2s before sending task
+                                        N's result (overlaps the
+                                        dispatcher's lease deadline in
+                                        tests, forcing reassignment
+                                        plus a late duplicate)
+     LLHSC_FAULT_DUP_RESULT_WORKER=N    send task N's result twice *)
+
+module Json = Llhsc.Json
+module Shard = Llhsc.Shard
+module Util = Llhsc.Util
+
+type config = {
+  host : string;
+  port : int option;
+  port_file : string option; (* read the port from here when [port] is None *)
+  max_reconnects : int;
+  mem_limit : int option;
+  cpu_limit : int option;
+}
+
+let notice fmt =
+  Format.kfprintf
+    (fun f -> Format.pp_print_newline f (); Format.pp_print_flush f ())
+    Format.err_formatter
+    ("llhsc worker: " ^^ fmt)
+
+let env_int name =
+  match Sys.getenv_opt name with None -> None | Some v -> int_of_string_opt v
+
+exception Protocol of string
+exception Retired
+exception Dropped (* injected connection drop; reconnect *)
+
+let read_port_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let r = try int_of_string_opt (String.trim (input_line ic)) with _ -> None in
+    close_in ic;
+    r
+
+(* The dispatcher writes the port file after binding; give it a moment. *)
+let resolve_port cfg =
+  match (cfg.port, cfg.port_file) with
+  | Some p, _ -> Some p
+  | None, Some path ->
+    let rec wait tries =
+      match read_port_file path with
+      | Some p -> Some p
+      | None when tries > 0 ->
+        Unix.sleepf 0.1;
+        wait (tries - 1)
+      | None -> None
+    in
+    wait 100
+  | None, None -> None
+
+let connect cfg =
+  match resolve_port cfg with
+  | None -> failwith "no dispatcher port: need --connect HOST:PORT or --port-file"
+  | Some port ->
+    let ip =
+      try Unix.inet_addr_of_string cfg.host
+      with Failure _ -> (
+        try (Unix.gethostbyname cfg.host).Unix.h_addr_list.(0)
+        with Not_found ->
+          failwith (Printf.sprintf "cannot resolve host %S" cfg.host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (ip, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    fd
+
+let send fd j = Frame.write fd (Json.to_string j)
+
+(* Blocking: next complete frame, [None] on EOF. *)
+let next_frame fd dec =
+  let rec go () =
+    match Frame.Decoder.next dec with
+    | `Frame p -> Some p
+    | `Corrupt msg -> raise (Protocol msg)
+    | `Awaiting -> (
+      match Frame.read_chunk fd dec with
+      | `Eof -> None
+      | `Data _ -> go ())
+  in
+  go ()
+
+(* One connection's lifetime: hello, build (or reuse) the task array,
+   then serve task messages until retire/EOF.  Returns [true] when the
+   handshake completed (resets the reconnect budget). *)
+let session fd ~cache ~drop_fired =
+  let kill_at = env_int "LLHSC_FAULT_KILL_WORKER" in
+  let hang_at = env_int "LLHSC_FAULT_HANG_WORKER" in
+  let drop_at = env_int "LLHSC_FAULT_DROP_CONN_WORKER" in
+  let delay_at = env_int "LLHSC_FAULT_DELAY_RESULT_WORKER" in
+  let dup_at = env_int "LLHSC_FAULT_DUP_RESULT_WORKER" in
+  let dec = Frame.Decoder.create () in
+  let handshaken = ref false in
+  let spec_hash = ref "" in
+  let tasks = ref [||] in
+  send fd
+    (Json.Obj
+       [ ("hello", Json.Obj [ ("pid", Json.Int (Unix.getpid ())) ]) ]);
+  let handle j =
+    match Json.member "setup" j with
+    | Some sj -> (
+      let h =
+        match Option.bind (Json.member "hash" j) Json.to_str with
+        | Some h -> h
+        | None -> raise (Protocol "setup without hash")
+      in
+      let built =
+        match !cache with
+        | Some (h', ts) when h' = h -> Ok ts
+        | _ -> (
+          match Spec.of_json sj with
+          | None -> Error "malformed spec"
+          | Some spec ->
+            if Spec.hash spec <> h then Error "spec hash mismatch"
+            else Spec.build spec)
+      in
+      match built with
+      | Error msg ->
+        send fd (Json.Obj [ ("error", Json.Str msg) ]);
+        notice "cannot plan the shipped run: %s" msg
+      | Ok ts ->
+        cache := Some (h, ts);
+        spec_hash := h;
+        tasks := ts;
+        handshaken := true;
+        send fd
+          (Json.Obj
+             [ ( "ready",
+                 Json.Obj
+                   [ ("spec", Json.Str h);
+                     ("tasks", Json.Int (Array.length ts)) ] ) ]))
+    | None -> (
+      match Option.bind (Json.member "task" j) Json.to_int with
+      | Some i ->
+        if i < 0 || i >= Array.length !tasks then
+          raise (Protocol (Printf.sprintf "task %d out of range" i));
+        if kill_at = Some i then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        send fd
+          (Json.Obj
+             [ ( "hb",
+                 Json.Obj
+                   [ ("task", Json.Int i); ("spec", Json.Str !spec_hash) ] )
+             ]);
+        if hang_at = Some i then
+          while true do
+            Unix.sleep 3600
+          done;
+        if drop_at = Some i && not !drop_fired then begin
+          drop_fired := true;
+          raise Dropped
+        end;
+        let r = Shard.run_task_guarded !tasks.(i) in
+        if delay_at = Some i then Unix.sleepf 2.0;
+        let msg =
+          Json.Obj
+            [ ( "result",
+                Json.Obj
+                  [ ("task", Json.Int i);
+                    ("spec", Json.Str !spec_hash);
+                    ("r", Shard.result_to_json r) ] ) ]
+        in
+        send fd msg;
+        if dup_at = Some i then send fd msg
+      | None ->
+        if Json.member "retire" j <> None then raise Retired
+        else raise (Protocol "unknown message"))
+  in
+  let rec loop () =
+    match next_frame fd dec with
+    | None -> ()
+    | Some payload -> (
+      match Json.parse payload with
+      | Error e -> raise (Protocol ("unparsable frame: " ^ e))
+      | Ok j ->
+        handle j;
+        loop ())
+  in
+  loop ();
+  !handshaken
+
+let run cfg =
+  Shard.install_guards ~mem_limit:cfg.mem_limit ~cpu_limit:cfg.cpu_limit;
+  let restore_sigpipe = Util.ignore_sigpipe () in
+  let cache = ref None in
+  let drop_fired = ref false in
+  let failures = ref 0 in
+  let code = ref 1 in
+  (try
+     let again = ref true in
+     while !again do
+       (match
+          let fd = connect cfg in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> session fd ~cache ~drop_fired)
+        with
+        | handshaken -> if handshaken then failures := 0 else incr failures
+        | exception Retired ->
+          notice "retired by dispatcher";
+          code := 0;
+          again := false
+        | exception Dropped ->
+          notice "injected connection drop; reconnecting"
+          (* not a failure: the hook wants an immediate reconnect *)
+        | exception Protocol msg ->
+          notice "protocol error: %s" msg;
+          incr failures
+        | exception Unix.Unix_error (e, _, _) ->
+          notice "connection failed: %s" (Unix.error_message e);
+          incr failures);
+       if !again then
+         if !failures > cfg.max_reconnects then begin
+           notice "reconnect budget (%d) exhausted; giving up" cfg.max_reconnects;
+           again := false
+         end
+         else if !failures > 0 then
+           Unix.sleepf (Float.min 5.0 (0.2 *. (2. ** float_of_int (!failures - 1))))
+     done
+   with Failure msg ->
+     notice "%s" msg);
+  restore_sigpipe ();
+  !code

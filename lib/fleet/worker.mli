@@ -1,0 +1,31 @@
+(** A fleet worker process: connect to a dispatcher, rebuild its task
+    array from the shipped {!Spec}, and execute leased tasks until
+    retired.
+
+    Stateless across connections: the setup message carries everything,
+    and the built task array is cached by spec hash so reconnects
+    re-handshake without re-parsing.  Connection loss is survived with
+    exponential-backoff reconnects, bounded by [max_reconnects]
+    {e consecutive} failures (a completed handshake resets the budget).
+    Resource guards ([mem_limit] MiB / [cpu_limit] seconds) are
+    installed once at startup, like a fork-pool child's.
+
+    Fault hooks ([LLHSC_FAULT_{KILL,HANG,DROP_CONN,DELAY_RESULT,
+    DUP_RESULT}_WORKER=N], test harness only) inject worker death,
+    hangs, connection drops, slow results and duplicate results at task
+    [N]; see [worker.ml] for exact semantics. *)
+
+type config = {
+  host : string;
+  port : int option;
+  port_file : string option;
+      (** poll the dispatcher's [--port-file] when [port] is [None] *)
+  max_reconnects : int;
+  mem_limit : int option;
+  cpu_limit : int option;
+}
+
+(** Serve until retired.  Returns the process exit code: 0 after a
+    [retire] message, 1 when the reconnect budget is exhausted or no
+    dispatcher port could be resolved. *)
+val run : config -> int

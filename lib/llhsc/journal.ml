@@ -168,8 +168,34 @@ let open_ ~path ~inputs_hash =
   end;
   { oc; written = 0 }
 
+(* A record line is "<json>\t<crc32 of json, 8 lowercase hex digits>".
+   [Json.to_string] escapes control characters, so a raw tab can never
+   appear inside the JSON itself and the last tab splits unambiguously.
+   The checksum catches corrupt-but-still-parseable lines (bit rot, a
+   partial overwrite that happens to stay valid JSON) that the parse
+   failure heuristic cannot; lines without a tab are accepted as the
+   older checksum-less format. *)
+let checksummed line = Printf.sprintf "%s\t%08x" line (Util.crc32 line)
+
+(* [Some body] when the line is an old-format line or a checksummed line
+   whose CRC verifies; [None] when the checksum is torn or wrong. *)
+let verify_line line =
+  match String.rindex_opt line '\t' with
+  | None -> Some line (* pre-checksum journal *)
+  | Some t ->
+    let body = String.sub line 0 t in
+    let crc = String.sub line (t + 1) (String.length line - t - 1) in
+    if
+      String.length crc = 8
+      && String.for_all
+           (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+           crc
+      && int_of_string_opt ("0x" ^ crc) = Some (Util.crc32 body)
+    then Some body
+    else None
+
 let record sink entry =
-  let line = Json.to_string (entry_to_json entry) in
+  let line = checksummed (Json.to_string (entry_to_json entry)) in
   sink.written <- sink.written + 1;
   (match env_int "LLHSC_FAULT_KILL_MID_RECORD" with
    | Some n when n = sink.written ->
@@ -220,9 +246,12 @@ let load ~path ~inputs_hash =
     if not header_ok then []
     else
       let parse line =
-        match Json.parse line with
-        | Ok j -> entry_of_json j
-        | Error _ -> None (* torn final record, or garbage: skip *)
+        match verify_line line with
+        | None -> None (* checksum mismatch: corrupt line, skip *)
+        | Some body -> (
+          match Json.parse body with
+          | Ok j -> entry_of_json j
+          | Error _ -> None (* torn final record, or garbage: skip *))
       in
       (* Last record wins per (kind, name): a resumed run appends fresher
          verdicts rather than rewriting the file. *)

@@ -4,9 +4,13 @@
 
     File layout: the first line is a header record carrying a format
     version and a hash of the run's inputs; every following line is one
-    {!entry}.  Each record is written, flushed and [fsync]'d before the
-    pipeline moves on, so a SIGKILL at any point loses at most the record
-    being written.  {!load} tolerates a truncated final line and takes the
+    {!entry}, written as ["<json>\t<crc32 of json, 8 hex digits>"] —
+    the per-line checksum catches corrupt-but-still-parseable lines
+    that a JSON parse failure cannot.  Each record is written, flushed
+    and [fsync]'d before the pipeline moves on, so a SIGKILL at any
+    point loses at most the record being written.  {!load} tolerates a
+    truncated final line, skips lines whose checksum does not verify,
+    accepts checksum-less lines written by older versions, and takes the
     last record per (kind, name) when a product appears twice (a resumed
     run appends, it never rewrites). *)
 

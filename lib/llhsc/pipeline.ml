@@ -109,6 +109,168 @@ type plan =
       count : int; (* its number of tasks (syntactic chunks + semantic) *)
     }
 
+let fresh_solver ~certify ~budget ~retry ~unsound () =
+  let s = Smt.Solver.create ~certify () in
+  Smt.Solver.set_budget s budget;
+  Smt.Solver.set_escalation s retry;
+  Option.iter (Smt.Solver.inject_unsoundness s) unsound;
+  s
+
+type planned =
+  | Plan_rejected of Report.finding list (* allocation said no *)
+  | Planned of { plans : plan list; tasks : Shard.task array }
+
+(* The planning phase, shared between [run] (local, journal-aware) and
+   [plan_tasks] (a remote fleet worker rebuilding the dispatcher's task
+   array from shipped inputs).  Everything here is a deterministic
+   function of the run inputs plus [skip]/[resume]: allocation, delta
+   application, obligation slicing and the per-task solver construction
+   never look at the clock, the host, or the job count — which is what
+   lets a worker on another machine produce tasks (and so results)
+   identical to the dispatcher's own.
+
+   Journal replay is the only plan decision that depends on private
+   parent state (the resume entries); [skip] is its transport: the
+   dispatcher ships the names of the products it replayed and the worker
+   plans them as [Done] without needing the journal itself. *)
+let plan_all ~exclusive ~budget ~certify ~retry ~unsound ~inputs_hash ~resume
+    ~skip ~errors ~replayed ~model ~core ~deltas ~schemas_for ~vm_requests =
+  (* A journal entry is only worth replaying if the current run's
+     certification demands are no stricter than the run that wrote it. *)
+  let trusted (e : Journal.entry) =
+    (not certify) || (e.Journal.certified && e.Journal.cert_failures = 0)
+  in
+  let replay_findings name hash =
+    if List.mem name skip then Some []
+    else
+      match Journal.find resume Journal.Product name with
+      | Some e when e.Journal.hash = hash && trusted e ->
+        Some e.Journal.findings
+      | _ -> None
+  in
+  let vms = List.length vm_requests in
+  let requests =
+    List.mapi (fun i selected -> Alloc.request (i + 1) selected) vm_requests
+  in
+  match
+    guarded ~errors ~what:"allocation" ~fallback:(Alloc.Rejected []) (fun () ->
+        Alloc.allocate ~exclusive model ~vms ~requests)
+  with
+  | Alloc.Rejected findings -> Plan_rejected findings
+  | Alloc.Allocated { vms = completed; platform } ->
+    let specs =
+      List.map
+        (fun (vm, features) -> (Printf.sprintf "vm%d" vm, features))
+        completed
+      @ [ ("platform", platform) ]
+    in
+    let tasks = ref [] (* reversed *) in
+    let n_tasks = ref 0 in
+    let add_task f =
+      tasks := f :: !tasks;
+      incr n_tasks
+    in
+    (* Wrap a checking thunk as one task: fresh solver, local isolation,
+       result assembled from that solver's own reports. *)
+    let checking_task ~name f =
+      add_task
+        { Shard.owner = name;
+          run =
+            (fun () ->
+          let solver = fresh_solver ~certify ~budget ~retry ~unsound () in
+          let task_errors = ref [] in
+          let findings =
+            guarded ~solver ~errors:task_errors ~what:("product " ^ name)
+              ~fallback:[]
+              (fun () -> f solver)
+          in
+          let rr = Smt.Solver.retry_report solver in
+          let cr = Smt.Solver.cert_report solver in
+          { Shard.product = name;
+            findings;
+            errors = List.rev !task_errors;
+            queries = rr.Smt.Solver.total_queries;
+            certs = (if certify then cr.Smt.Solver.certs else []);
+            cert_failures = (if certify then cr.Smt.Solver.failures else []);
+            retried = rr.Smt.Solver.retried }) }
+    in
+    let degraded ~name ~features =
+      Done { p = { name; features; tree = core; findings = [] };
+             journal_hash = None }
+    in
+    let plan_product (name, features) =
+      let hash = Journal.product_hash ~inputs_hash ~name ~features in
+      match replay_findings name hash with
+      | Some findings ->
+        (* Replay: regenerate the tree (needed downstream by the partition
+           check and artifact rendering) but skip all solver work and take
+           the recorded findings verbatim. *)
+        replayed := name :: !replayed;
+        let tree =
+          guarded ~errors ~what:("product " ^ name) ~fallback:core
+            (fun () ->
+              match Delta.Apply.generate ~core ~deltas ~selected:features with
+              | tree -> tree
+              | exception Delta.Apply.Error _ -> core)
+        in
+        Done { p = { name; features; tree; findings }; journal_hash = None }
+      | None -> (
+        match Delta.Apply.generate ~core ~deltas ~selected:features with
+        | exception Delta.Apply.Error e ->
+          let finding =
+            Report.finding ~checker:"delta"
+              ~node_path:(Option.value ~default:"?" e.Delta.Apply.delta)
+              ~loc:e.Delta.Apply.loc "product %s: %s" name e.Delta.Apply.message
+          in
+          (* The delta failure IS the product's complete verdict: journal
+             it like any checked product. *)
+          Done { p = { name; features; tree = core; findings = [ finding ] };
+                 journal_hash = Some hash }
+        | exception e -> (
+          match Diag.of_exn e with
+          | None -> raise e
+          | Some d ->
+            errors :=
+              { d with Diag.message = "product " ^ name ^ ": " ^ d.Diag.message }
+              :: !errors;
+            degraded ~name ~features)
+        | tree -> (
+          match
+            guarded ~errors ~what:("product " ^ name) ~fallback:None (fun () ->
+                Some (Syntactic.obligations ~schemas:(schemas_for tree) tree))
+          with
+          | None -> degraded ~name ~features
+          | Some obls ->
+            let first = !n_tasks in
+            List.iter
+              (fun slice ->
+                checking_task ~name (fun solver ->
+                    Syntactic.check_obligations ~solver ~product:name slice))
+              (chunks syn_chunk_size obls);
+            checking_task ~name (fun solver -> Semantic.check ~solver tree);
+            Sharded { name; features; hash; tree; first;
+                      count = !n_tasks - first }))
+    in
+    let plans = List.map plan_product specs in
+    Planned { plans; tasks = Array.of_list (List.rev !tasks) }
+
+(* Rebuild the dispatcher's task array on a fleet worker: same inputs,
+   same [skip] list (the products the dispatcher replayed from its
+   journal), same deterministic planning — so task index [i] here runs
+   exactly the closure the dispatcher's own pool would have run.
+   Returns [[||]] when allocation rejects the product line (the
+   dispatcher's plan holds no tasks either). *)
+let plan_tasks ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
+    ?(skip = []) ~model ~core ~deltas ~schemas_for ~vm_requests () =
+  let errors = ref [] and replayed = ref [] in
+  match
+    plan_all ~exclusive ~budget ~certify ~retry ~unsound ~inputs_hash:""
+      ~resume:[] ~skip ~errors ~replayed ~model ~core ~deltas ~schemas_for
+      ~vm_requests
+  with
+  | Plan_rejected _ -> [||]
+  | Planned { tasks; _ } -> tasks
+
 (* Run the full workflow.
 
    [vm_requests]: per-VM feature selections (possibly partial; the alloc
@@ -133,18 +295,12 @@ type plan =
    sharded, and only the parent ever writes the journal. *)
 let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
     ?(inputs_hash = "") ?journal ?(resume = []) ?(jobs = 1) ?task_deadline
-    ?max_respawns ?mem_limit ?cpu_limit ~model ~core ~deltas ~schemas_for
-    ~vm_requests () =
+    ?max_respawns ?mem_limit ?cpu_limit ?runner ~model ~core ~deltas
+    ~schemas_for ~vm_requests () =
   let jobs = if jobs <= 0 then Shard.online_cpus () else jobs in
   let errors = ref [] in
   let replayed = ref [] in
-  let fresh_solver () =
-    let s = Smt.Solver.create ~certify () in
-    Smt.Solver.set_budget s budget;
-    Smt.Solver.set_escalation s retry;
-    Option.iter (Smt.Solver.inject_unsoundness s) unsound;
-    s
-  in
+  let fresh_solver () = fresh_solver ~certify ~budget ~retry ~unsound () in
   let journal_entry ~kind ~name ~hash ~features ~order ~findings
       ~cert_failures =
     match journal with
@@ -195,116 +351,24 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
                retried = List.rev !stat_retried });
       replayed = List.rev !replayed }
   in
-  let vms = List.length vm_requests in
-  let requests =
-    List.mapi (fun i selected -> Alloc.request (i + 1) selected) vm_requests
-  in
   match
-    guarded ~errors ~what:"allocation" ~fallback:(Alloc.Rejected []) (fun () ->
-        Alloc.allocate ~exclusive model ~vms ~requests)
+    plan_all ~exclusive ~budget ~certify ~retry ~unsound ~inputs_hash ~resume
+      ~skip:[] ~errors ~replayed ~model ~core ~deltas ~schemas_for ~vm_requests
   with
-  | Alloc.Rejected findings ->
+  | Plan_rejected findings ->
     finish ~products:[] ~alloc_findings:findings ~partition_findings:[] ~delta_orders:[]
-  | Alloc.Allocated { vms = completed; platform } ->
-    let specs =
-      List.map
-        (fun (vm, features) -> (Printf.sprintf "vm%d" vm, features))
-        completed
-      @ [ ("platform", platform) ]
-    in
-    let tasks = ref [] (* reversed *) in
-    let n_tasks = ref 0 in
-    let add_task f =
-      tasks := f :: !tasks;
-      incr n_tasks
-    in
-    (* Wrap a checking thunk as one task: fresh solver, local isolation,
-       result assembled from that solver's own reports. *)
-    let checking_task ~name f =
-      add_task
-        { Shard.owner = name;
-          run =
-            (fun () ->
-          let solver = fresh_solver () in
-          let task_errors = ref [] in
-          let findings =
-            guarded ~solver ~errors:task_errors ~what:("product " ^ name)
-              ~fallback:[]
-              (fun () -> f solver)
-          in
-          let rr = Smt.Solver.retry_report solver in
-          let cr = Smt.Solver.cert_report solver in
-          { Shard.product = name;
-            findings;
-            errors = List.rev !task_errors;
-            queries = rr.Smt.Solver.total_queries;
-            certs = (if certify then cr.Smt.Solver.certs else []);
-            cert_failures = (if certify then cr.Smt.Solver.failures else []);
-            retried = rr.Smt.Solver.retried }) }
-    in
-    let degraded ~name ~features =
-      Done { p = { name; features; tree = core; findings = [] };
-             journal_hash = None }
-    in
-    let plan_product (name, features) =
-      let hash = Journal.product_hash ~inputs_hash ~name ~features in
-      match Journal.find resume Journal.Product name with
-      | Some e when e.Journal.hash = hash && trusted e ->
-        (* Replay: regenerate the tree (needed downstream by the partition
-           check and artifact rendering) but skip all solver work and take
-           the recorded findings verbatim. *)
-        replayed := name :: !replayed;
-        let tree =
-          guarded ~errors ~what:("product " ^ name) ~fallback:core
-            (fun () ->
-              match Delta.Apply.generate ~core ~deltas ~selected:features with
-              | tree -> tree
-              | exception Delta.Apply.Error _ -> core)
-        in
-        Done { p = { name; features; tree; findings = e.Journal.findings };
-               journal_hash = None }
-      | _ -> (
-        match Delta.Apply.generate ~core ~deltas ~selected:features with
-        | exception Delta.Apply.Error e ->
-          let finding =
-            Report.finding ~checker:"delta"
-              ~node_path:(Option.value ~default:"?" e.Delta.Apply.delta)
-              ~loc:e.Delta.Apply.loc "product %s: %s" name e.Delta.Apply.message
-          in
-          (* The delta failure IS the product's complete verdict: journal
-             it like any checked product. *)
-          Done { p = { name; features; tree = core; findings = [ finding ] };
-                 journal_hash = Some hash }
-        | exception e -> (
-          match Diag.of_exn e with
-          | None -> raise e
-          | Some d ->
-            errors :=
-              { d with Diag.message = "product " ^ name ^ ": " ^ d.Diag.message }
-              :: !errors;
-            degraded ~name ~features)
-        | tree -> (
-          match
-            guarded ~errors ~what:("product " ^ name) ~fallback:None (fun () ->
-                Some (Syntactic.obligations ~schemas:(schemas_for tree) tree))
-          with
-          | None -> degraded ~name ~features
-          | Some obls ->
-            let first = !n_tasks in
-            List.iter
-              (fun slice ->
-                checking_task ~name (fun solver ->
-                    Syntactic.check_obligations ~solver ~product:name slice))
-              (chunks syn_chunk_size obls);
-            checking_task ~name (fun solver -> Semantic.check ~solver tree);
-            Sharded { name; features; hash; tree; first;
-                      count = !n_tasks - first }))
-    in
-    let plans = List.map plan_product specs in
+  | Planned { plans; tasks } ->
     let results =
-      Shard.run_tasks ~jobs ?deadline:task_deadline ?max_respawns ?mem_limit
-        ?cpu_limit
-        (Array.of_list (List.rev !tasks))
+      (* [runner] (the fleet dispatcher) takes the place of the local
+         pool when supplied; it receives the replayed product names so
+         remote workers can rebuild the identical task array via
+         [plan_tasks ~skip].  Everything downstream — merge, journal,
+         partition check — is runner-agnostic. *)
+      match runner with
+      | Some f -> f ~skip:(List.rev !replayed) tasks
+      | None ->
+        Shard.run_tasks ~jobs ?deadline:task_deadline ?max_respawns ?mem_limit
+          ?cpu_limit tasks
     in
     (* Canonical merge: task order == plan order, so absorbing the results
        array front to back renumbers queries identically for every job

@@ -99,7 +99,16 @@ val ok : outcome -> bool
     [cpu_limit] (seconds) install per-worker [RLIMIT_AS]/[RLIMIT_CPU]
     guards; a tripped guard degrades that task to an [error[RESOURCE]]
     diagnostic instead of killing the checker.  None of the supervision
-    knobs affect verdicts or report bytes. *)
+    knobs affect verdicts or report bytes.
+
+    [runner] replaces the local task pool with a caller-supplied
+    executor (the fleet dispatcher): it receives the names of the
+    products replayed from the journal (so remote workers can rebuild
+    the identical task array via {!plan_tasks}[ ~skip]) and the task
+    array, and must return one result per index ([None] for tasks that
+    failed every avenue).  When present, [jobs]/[task_deadline]/
+    [max_respawns]/[mem_limit]/[cpu_limit] are ignored; merge, journal
+    and partition check behave identically either way. *)
 val run :
   ?exclusive:string list ->
   ?budget:Sat.Solver.budget ->
@@ -114,6 +123,7 @@ val run :
   ?max_respawns:int ->
   ?mem_limit:int ->
   ?cpu_limit:int ->
+  ?runner:(skip:string list -> Shard.task array -> Shard.result option array) ->
   model:Featuremodel.Model.t ->
   core:Devicetree.Tree.t ->
   deltas:Delta.Lang.t list ->
@@ -121,5 +131,29 @@ val run :
   vm_requests:string list list ->
   unit ->
   outcome
+
+(** Rebuild the check-phase task array from raw inputs, exactly as [run]
+    would plan it.  This is the fleet worker's half of the distributed
+    contract: the dispatcher plans with its journal and ships the inputs
+    plus [skip] (the names of the products it replayed); a worker calling
+    [plan_tasks] with the same inputs and [skip] obtains an array whose
+    index [i] runs the very closure the dispatcher's own pool would have
+    run — same solver construction, same obligation slicing, same query
+    numbering.  Planning diagnostics are discarded here (the dispatcher
+    reports them); allocation rejection yields [[||]]. *)
+val plan_tasks :
+  ?exclusive:string list ->
+  ?budget:Sat.Solver.budget ->
+  ?certify:bool ->
+  ?retry:Smt.Escalation.t ->
+  ?unsound:Sat.Solver.unsound_mutation ->
+  ?skip:string list ->
+  model:Featuremodel.Model.t ->
+  core:Devicetree.Tree.t ->
+  deltas:Delta.Lang.t list ->
+  schemas_for:(Devicetree.Tree.t -> Schema.Binding.t list) ->
+  vm_requests:string list list ->
+  unit ->
+  Shard.task array
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -384,12 +384,16 @@ let worker_main ~(tasks : task array) ~mem_limit ~cpu_limit cmd_rfd res_wfd =
 
 (* --- supervisor -------------------------------------------------------------- *)
 
+(* Task progress (pending queue, first-wins results, crash counts,
+   quarantine) and lease clocks live in the transport-agnostic
+   {!Supervise} core, shared with the socket fleet dispatcher; this
+   record keeps only what is specific to the fork-pipe transport. *)
 type worker = {
   pid : int;
   cmd_fd : Unix.file_descr;  (** parent writes task indices here *)
   res_fd : Unix.file_descr;  (** parent reads heartbeat/result lines here *)
   mutable acc : string;  (** partial line carried between drains *)
-  mutable lease : (int * float) option;  (** in-flight task, clock start *)
+  leases : Supervise.Lease.t;  (** at most one in-flight task *)
 }
 
 let write_all fd s =
@@ -411,16 +415,13 @@ let notice fmt = Printf.eprintf ("llhsc: " ^^ fmt ^^ "\n%!")
 let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
     (tasks : task array) =
   let n = Array.length tasks in
-  let results = Array.make n None in
-  let pending = ref (List.init n Fun.id) in
-  let crash_count = Array.make n 0 in
-  let quarantined = ref 0 in
-  let done_count = ref 0 in
+  let st : result Supervise.t = Supervise.create n in
+  let results = Supervise.results st in
   let respawns = ref 0 in
   let workers = ref [] in
   (* A write to a worker that died between select rounds must surface as
      EPIPE, not kill the supervisor. *)
-  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore_sigpipe = Util.ignore_sigpipe () in
   let spawn () =
     (* Anything buffered before the fork would be flushed once per child
        on top of once in the parent. *)
@@ -445,25 +446,28 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
     | pid ->
       Unix.close cmd_r;
       Unix.close res_w;
-      let w = { pid; cmd_fd = cmd_w; res_fd = res_r; acc = ""; lease = None } in
+      let w =
+        { pid; cmd_fd = cmd_w; res_fd = res_r; acc = "";
+          leases = Supervise.Lease.create () }
+      in
       workers := !workers @ [ w ];
       w
   in
   let dispatch w =
-    match !pending with
-    | [] -> ()
-    | i :: rest -> (
+    match Supervise.next st with
+    | None -> ()
+    | Some i -> (
       match write_all w.cmd_fd (string_of_int i ^ "\n") with
-      | () ->
-        pending := rest;
-        w.lease <- Some (i, Unix.gettimeofday ())
+      | () -> Supervise.Lease.start w.leases i (Unix.gettimeofday ())
       | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
-        (* Worker already dead: leave the task pending; the EOF on its
-           result pipe triggers the reap/reassign path. *)
-        ())
+        (* Worker already dead: put the task back; the EOF on its result
+           pipe triggers the reap/reassign path. *)
+        Supervise.requeue st i)
   in
   let fill () =
-    List.iter (fun w -> if w.lease = None then dispatch w) !workers
+    List.iter
+      (fun w -> if Supervise.Lease.count w.leases = 0 then dispatch w)
+      !workers
   in
   let reap w =
     close_quiet w.cmd_fd;
@@ -474,25 +478,22 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
   in
   let handle_death w =
     reap w;
-    (match w.lease with
-     | Some (i, _) when results.(i) = None ->
-       crash_count.(i) <- crash_count.(i) + 1;
-       if crash_count.(i) >= 2 then begin
-         notice
-           "task %d (product %s): crashed %d workers; quarantined as poison \
-            task, will retry in-process"
-           i tasks.(i).owner crash_count.(i);
-         incr quarantined
-       end
-       else begin
-         notice "task %d (product %s): worker died before reporting; reassigning"
-           i tasks.(i).owner;
-         pending := i :: !pending
-       end
-     | _ -> ());
+    List.iter
+      (fun i ->
+        match Supervise.record_crash st i with
+        | `Resolved -> ()
+        | `Quarantine k ->
+          notice
+            "task %d (product %s): crashed %d workers; quarantined as poison \
+             task, will retry in-process"
+            i tasks.(i).owner k
+        | `Reassign ->
+          notice "task %d (product %s): worker died before reporting; reassigning"
+            i tasks.(i).owner)
+      (Supervise.Lease.tasks w.leases);
     (* Restore lost capacity, but only while there is queued work and
        respawn budget left. *)
-    if !pending <> [] then
+    if Supervise.has_pending st then
       if !respawns < max_respawns then begin
         incr respawns;
         let backoff = min 0.5 (0.02 *. (2. ** float_of_int (!respawns - 1))) in
@@ -502,15 +503,11 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
       else if !workers = [] then
         notice "worker respawn budget (%d) exhausted; finishing %d task(s) \
                 in-process"
-          max_respawns (List.length !pending)
+          max_respawns (Supervise.pending_count st)
   in
   let resolve w i r =
-    if results.(i) = None then begin
-      results.(i) <- Some r;
-      incr done_count
-    end;
-    pending := List.filter (fun j -> j <> i) !pending;
-    (match w.lease with Some (j, _) when j = i -> w.lease <- None | _ -> ());
+    ignore (Supervise.resolve st i r : [ `Fresh | `Duplicate ]);
+    Supervise.Lease.finish w.leases i;
     dispatch w
   in
   let process_line w line =
@@ -518,11 +515,9 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
     | Error _ -> () (* torn line of a worker killed mid-write *)
     | Ok j -> (
       match Json.member "hb" j with
-      | Some (Json.Int i) -> (
+      | Some (Json.Int i) ->
         (* Heartbeat: restart the lease clock for the in-flight task. *)
-        match w.lease with
-        | Some (i', _) when i' = i -> w.lease <- Some (i, Unix.gettimeofday ())
-        | _ -> ())
+        Supervise.Lease.beat w.leases i (Unix.gettimeofday ())
       | _ -> (
         match (Json.member "task" j, Json.member "result" j) with
         | Some (Json.Int i), Some rj when i >= 0 && i < n -> (
@@ -559,17 +554,17 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
       let now = Unix.gettimeofday () in
       List.iter
         (fun w ->
-          match w.lease with
-          | Some (i, t0) when now -. t0 > dl ->
-            notice
-              "task %d (product %s): deadline of %.1fs expired; killing hung \
-               worker (pid %d)"
-              i tasks.(i).owner dl w.pid;
-            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-            (* Death arrives as EOF on the result pipe; restart the clock
-               so the worker isn't re-killed every round meanwhile. *)
-            w.lease <- Some (i, now)
-          | _ -> ())
+          List.iter
+            (fun i ->
+              notice
+                "task %d (product %s): deadline of %.1fs expired; killing hung \
+                 worker (pid %d)"
+                i tasks.(i).owner dl w.pid;
+              (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              (* Death arrives as EOF on the result pipe; restart the clock
+                 so the worker isn't re-killed every round meanwhile. *)
+              Supervise.Lease.start w.leases i now)
+            (Supervise.Lease.expired w.leases ~deadline:dl ~now))
         !workers
   in
   let select_timeout () =
@@ -580,22 +575,21 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
       let next =
         List.fold_left
           (fun acc w ->
-            match w.lease with
-            | Some (_, t0) -> min acc (t0 +. dl -. now)
+            match Supervise.Lease.next_expiry w.leases ~deadline:dl ~now with
+            | Some dt -> min acc dt
             | None -> acc)
           infinity !workers
       in
       if next = infinity then -1. else Float.max 0.01 next
   in
-  let unfinished () = !done_count + !quarantined < n in
   let supervise () =
     for _ = 1 to min jobs n do
       ignore (spawn () : worker)
     done;
-    while unfinished () && !workers <> [] do
+    while Supervise.unfinished st && !workers <> [] do
       fill ();
       expire ();
-      if unfinished () && !workers <> [] then begin
+      if Supervise.unfinished st && !workers <> [] then begin
         let fds = List.map (fun w -> w.res_fd) !workers in
         let readable, _, _ =
           Util.retry_eintr (fun () -> Unix.select fds [] [] (select_timeout ()))
@@ -635,9 +629,9 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
        same path finishes leftovers after respawn exhaustion.  Identical
        task closures on a fresh solver keep the results byte-identical
        to a worker run. *)
-    for i = 0 to n - 1 do
-      if results.(i) = None then begin
-        if crash_count.(i) >= 2 then
+    List.iter
+      (fun i ->
+        if Supervise.is_quarantined st i then
           notice "task %d (product %s): retrying poison task in-process" i
             tasks.(i).owner;
         match run_task_guarded tasks.(i) with
@@ -646,13 +640,10 @@ let run_supervised ~jobs ~deadline ~max_respawns ~mem_limit ~cpu_limit
           (* Unknown exception even in-process: give up on this task; the
              merge phase degrades it to error[WORKER]. *)
           notice "task %d (product %s): in-process retry failed (%s)" i
-            tasks.(i).owner (Printexc.to_string e)
-      end
-    done
+            tasks.(i).owner (Printexc.to_string e))
+      (Supervise.unresolved st)
   in
-  Fun.protect
-    ~finally:(fun () -> ignore (Sys.signal Sys.sigpipe old_sigpipe : Sys.signal_behavior))
-    supervise;
+  Fun.protect ~finally:restore_sigpipe supervise;
   results
 
 let run_tasks ~jobs ?deadline ?(max_respawns = 8) ?mem_limit ?cpu_limit

@@ -69,6 +69,21 @@ type task = { owner : string; run : unit -> result }
     [cert_failures]) by [offset]. *)
 val renumber : offset:int -> result -> result
 
+(** Run one task under the worker-side isolation guard: a known
+    exception ([Diag.of_exn]) degrades to a result whose [errors] carry
+    the diagnostic (prefixed with the owning product), unknown
+    exceptions propagate.  This is THE task-execution function — the
+    fork pool's children, its in-process fallback, and the remote fleet
+    workers all run tasks through it, which is what keeps a task's
+    result independent of where it ran. *)
+val run_task_guarded : task -> result
+
+(** Install the worker-side [RLIMIT_AS] ([mem_limit], MiB) /
+    [RLIMIT_CPU] ([cpu_limit], seconds) resource guards in the calling
+    process.  The fork pool installs them in each child after the fork;
+    a remote fleet worker installs them once at startup. *)
+val install_guards : mem_limit:int option -> cpu_limit:int option -> unit
+
 val result_to_json : result -> Json.t
 
 (** [None] on a structurally invalid encoding (e.g. a torn pipe line). *)

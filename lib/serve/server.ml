@@ -306,7 +306,10 @@ let run cfg =
   in
   let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
-  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  (* Peer disconnect mid-write must degrade to this connection's EPIPE,
+     never a process-wide SIGPIPE death (shared idiom with the fleet's
+     socket paths). *)
+  let restore_pipe = Llhsc.Util.ignore_sigpipe () in
   (* SIGCHLD pokes the self-pipe too: a job child's pipes hit EOF while it
      is still exiting, so the waitpid probe can race ahead of the zombie
      and the job then has no fd left to wake select.  Without this the
@@ -756,7 +759,7 @@ let run cfg =
     close_fd sig_w;
     Sys.set_signal Sys.sigterm prev_term;
     Sys.set_signal Sys.sigint prev_int;
-    Sys.set_signal Sys.sigpipe prev_pipe;
+    restore_pipe ();
     Sys.set_signal Sys.sigchld prev_chld;
     note
       "drained: accepted=%d completed=%d shed_queue=%d shed_tenant=%d \

@@ -126,10 +126,11 @@ let mutate s = mutators.(rand_int (Array.length mutators)) s
 
 (* --- running the CLI ---------------------------------------------------------- *)
 
-(* Run [argv]; stdin from /dev/null, stdout devnulled unless [stdout_file]
-   is given, stderr to a file.  [env] appends NAME=VALUE bindings (the
-   journal's kill hooks).  Returns (status, stderr). *)
-let run_cli ?env ?stdout_file binary args ~stderr_file =
+(* Start [argv]; stdin from /dev/null, stdout devnulled unless
+   [stdout_file] is given, stderr to a file.  [env] appends NAME=VALUE
+   bindings (the fault hooks).  Returns the pid — the fleet phase runs a
+   dispatcher and workers concurrently; everything else waits. *)
+let spawn_cli ?env ?stdout_file binary args ~stderr_file =
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let out =
     match stdout_file with
@@ -149,6 +150,11 @@ let run_cli ?env ?stdout_file binary args ~stderr_file =
   Unix.close devnull;
   if out <> devnull then Unix.close out;
   Unix.close err;
+  pid
+
+(* Run [argv] to completion; returns (status, stderr). *)
+let run_cli ?env ?stdout_file binary args ~stderr_file =
+  let pid = spawn_cli ?env ?stdout_file binary args ~stderr_file in
   let _, status = Unix.waitpid [] pid in
   (status, read_file stderr_file)
 
@@ -502,6 +508,125 @@ let run_supervision binary sandbox ~failures ~total =
     ~extra:[ "--jobs"; "1" ]
     ~baseline:plain_baseline ()
 
+(* --- fleet phase ----------------------------------------------------------------- *)
+
+(* Socket-transport half of the self-healing contract: a real dispatcher
+   and a real worker over a loopback socket, with the worker-side fault
+   hooks — connection drop, result delayed past the lease deadline,
+   duplicate result — injected at seeded task indices (in range or not).
+   Every schedule must exit 0 with a report byte-identical to the
+   --jobs 1 baseline: reassignment, reconnection and first-wins
+   duplicate suppression are invisible in the merge. *)
+let run_fleet binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "fleet-dispatch.err" in
+  let out_file = Filename.concat sandbox "fleet.out" in
+  let base_out = Filename.concat sandbox "fleet-base.out" in
+  let port_file = Filename.concat sandbox "fleet.port" in
+  let vms =
+    [ "memory,cpu@0,uart@20000000,uart@30000000,veth0";
+      "memory,cpu@1,uart@20000000,uart@30000000,veth1" ]
+  in
+  let bad what reason err =
+    incr failures;
+    log_failure "phase=fleet what=%S reason=%S" what reason;
+    Printf.printf "FAIL (fleet, %s): %s\n  stderr: %s\n" what reason
+      (if err = "" then "(empty)" else String.trim err)
+  in
+  let base_status, base_err =
+    run_cli binary ~stdout_file:base_out
+      (pipeline_args sandbox ~vms ~journal:None ~resume:false @ [ "--jobs"; "1" ])
+      ~stderr_file
+  in
+  (match base_status with
+   | Unix.WEXITED 0 -> ()
+   | _ -> bad "baseline" "undisturbed --jobs 1 pipeline did not exit 0" base_err);
+  let baseline = read_file base_out in
+  let wait_port () =
+    let rec go tries =
+      if Sys.file_exists port_file && (Unix.stat port_file).Unix.st_size > 0 then true
+      else if tries = 0 then false
+      else begin
+        Unix.sleepf 0.1;
+        go (tries - 1)
+      end
+    in
+    go 100
+  in
+  (* Reap a worker, SIGKILLing it if it does not exit on its own. *)
+  let reap pid =
+    let rec poll tries =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ when tries > 0 ->
+        Unix.sleepf 0.1;
+        poll (tries - 1)
+      | 0, _ ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    poll 50
+  in
+  let schedule what ~env ~flags =
+    incr total;
+    if Sys.file_exists port_file then Sys.remove port_file;
+    let dispatch_args =
+      "dispatch" :: "--listen" :: "127.0.0.1:0" :: "--port-file" :: port_file
+      :: flags
+      @ List.tl (pipeline_args sandbox ~vms ~journal:None ~resume:false)
+    in
+    let dpid = spawn_cli binary ~stdout_file:out_file dispatch_args ~stderr_file in
+    if not (wait_port ()) then begin
+      (try Unix.kill dpid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] dpid);
+      bad what "dispatcher never wrote its port file" (read_file stderr_file)
+    end
+    else begin
+      let wpid =
+        spawn_cli binary ~env
+          [ "worker"; "--port-file"; port_file; "--max-reconnects"; "3" ]
+          ~stderr_file:(Filename.concat sandbox "fleet-worker.err")
+      in
+      let _, status = Unix.waitpid [] dpid in
+      let err = read_file stderr_file in
+      let stdout = read_file out_file in
+      (match status with
+       | Unix.WEXITED 0 when stdout = baseline -> ()
+       | Unix.WEXITED 0 -> bad what "clean exit but report differs from --jobs 1 run" err
+       | Unix.WEXITED c -> bad what (Printf.sprintf "exit %d (want 0)" c) err
+       | Unix.WSIGNALED s -> bad what (Printf.sprintf "dispatcher killed by signal %d" s) err
+       | Unix.WSTOPPED s -> bad what (Printf.sprintf "dispatcher stopped by signal %d" s) err);
+      if contains stdout "error[WORKER]" then
+        bad what "fleet recovery left an error[WORKER] diagnostic" err;
+      if contains err "Fatal error" || contains err "Raised at" then
+        bad what "uncaught OCaml exception on stderr" err;
+      reap wpid
+    end
+  in
+  (* Connection drops: the worker must reconnect and redo the crashed
+     task (the long grace keeps the fleet floor from tripping); an
+     out-of-range index leaves the hook inert. *)
+  List.iter
+    (fun n ->
+      schedule
+        (Printf.sprintf "drop-conn task=%d" n)
+        ~env:[ Printf.sprintf "LLHSC_FAULT_DROP_CONN_WORKER=%d" n ]
+        ~flags:[ "--wait-workers"; "30" ])
+    [ 0; 1; 64 ];
+  (* A result delayed past the lease deadline: reassigned, and the late
+     copy lands on a closed socket without upsetting the merge. *)
+  schedule "delay-result task=1"
+    ~env:[ "LLHSC_FAULT_DELAY_RESULT_WORKER=1" ]
+    ~flags:[ "--wait-workers"; "3"; "--task-deadline"; "1" ];
+  (* Duplicate results: the second copy must be suppressed first-wins. *)
+  List.iter
+    (fun n ->
+      schedule
+        (Printf.sprintf "dup-result task=%d" n)
+        ~env:[ Printf.sprintf "LLHSC_FAULT_DUP_RESULT_WORKER=%d" n ]
+        ~flags:[ "--wait-workers"; "30" ])
+    [ 0; 2 ]
+
 (* --- forced-Unknown phase ------------------------------------------------------- *)
 
 (* Inject Unknown verdicts (a budget-style degradation, not an
@@ -614,6 +739,11 @@ let () =
   if Sys.file_exists sandbox then remove_tree sandbox;
   copy_dir fixtures sandbox;
   run_supervision binary sandbox ~failures ~total;
+  (* Fleet phase: the same recovery contract over the socket transport —
+     connection drops, late results, duplicate results. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_fleet binary sandbox ~failures ~total;
   (* Forced-Unknown phase: saturate the solver with Unknown verdicts, with
      and without the escalation ladder. *)
   if Sys.file_exists sandbox then remove_tree sandbox;

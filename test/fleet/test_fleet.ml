@@ -1,0 +1,275 @@
+(* Unit tests for the fleet building blocks: CRC32, the frame codec, the
+   shared supervision core, the journal's per-line checksums, and the
+   spec's JSON round-trip.  The socket paths themselves are exercised by
+   fleet_smoke.ml with real processes. *)
+
+module Util = Llhsc.Util
+module Journal = Llhsc.Journal
+module Supervise = Llhsc.Supervise
+module Json = Llhsc.Json
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- crc32 ------------------------------------------------------------------- *)
+
+let test_crc_known_answer () =
+  (* The standard IEEE 802.3 check value. *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Util.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Util.crc32 "")
+
+let test_crc_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let mid = String.length s / 2 in
+  let inc =
+    Util.crc32_update (Util.crc32_update 0 s 0 mid) s mid (String.length s - mid)
+  in
+  Alcotest.(check int) "incremental = one-shot" (Util.crc32 s) inc;
+  Alcotest.(check bool) "corruption changes crc" true
+    (Util.crc32 s <> Util.crc32 (s ^ " "))
+
+(* --- frame codec ------------------------------------------------------------- *)
+
+let next_frame dec =
+  match Fleet.Frame.Decoder.next dec with
+  | `Frame p -> Some p
+  | `Awaiting -> None
+  | `Corrupt m -> Alcotest.failf "unexpected corrupt: %s" m
+
+let test_frame_roundtrip () =
+  let dec = Fleet.Frame.Decoder.create () in
+  let payloads = [ "alpha"; ""; String.make 100_000 'x'; "{\"task\":3}" ] in
+  let wire = String.concat "" (List.map Fleet.Frame.encode payloads) in
+  (* Feed byte by byte: boundaries must not matter. *)
+  let got = ref [] in
+  String.iteri
+    (fun i _ ->
+      Fleet.Frame.Decoder.feed dec wire i 1;
+      match next_frame dec with Some p -> got := p :: !got | None -> ())
+    wire;
+  (* Drain anything completed by the last byte. *)
+  let rec drain () =
+    match next_frame dec with
+    | Some p ->
+      got := p :: !got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "all frames, in order" payloads (List.rev !got)
+
+let test_frame_corruption () =
+  let wire = Fleet.Frame.encode "hello fleet" in
+  (* Flip one payload byte: checksum must catch it. *)
+  let b = Bytes.of_string wire in
+  Bytes.set b (String.length wire - 1) '!';
+  let dec = Fleet.Frame.Decoder.create () in
+  Fleet.Frame.Decoder.feed dec (Bytes.to_string b) 0 (Bytes.length b);
+  (match Fleet.Frame.Decoder.next dec with
+   | `Corrupt m -> Alcotest.(check bool) "mentions checksum" true (contains m "checksum")
+   | `Frame _ | `Awaiting -> Alcotest.fail "corrupt frame accepted");
+  (* An absurd declared length is rejected without buffering. *)
+  let dec = Fleet.Frame.Decoder.create () in
+  Fleet.Frame.Decoder.feed dec "\xff\xff\xff\xff????" 0 8;
+  (match Fleet.Frame.Decoder.next dec with
+   | `Corrupt m -> Alcotest.(check bool) "mentions size" true (contains m "oversized")
+   | `Frame _ | `Awaiting -> Alcotest.fail "oversized frame accepted")
+
+(* --- supervision core -------------------------------------------------------- *)
+
+let test_supervise_first_wins () =
+  let st : string Supervise.t = Supervise.create 3 in
+  Alcotest.(check bool) "has pending" true (Supervise.has_pending st);
+  Alcotest.(check (option int)) "pops in order" (Some 0) (Supervise.next st);
+  (match Supervise.resolve st 0 "first" with
+   | `Fresh -> ()
+   | `Duplicate -> Alcotest.fail "first result flagged duplicate");
+  (match Supervise.resolve st 0 "second" with
+   | `Duplicate -> ()
+   | `Fresh -> Alcotest.fail "duplicate result accepted");
+  Alcotest.(check (option string)) "first result kept" (Some "first")
+    (Supervise.results st).(0)
+
+let test_supervise_crash_quarantine () =
+  let st : unit Supervise.t = Supervise.create 2 in
+  ignore (Supervise.next st);
+  (match Supervise.record_crash st 0 with
+   | `Reassign -> ()
+   | _ -> Alcotest.fail "first crash should reassign");
+  (* Reassigned to the front of the queue. *)
+  Alcotest.(check (option int)) "requeued first" (Some 0) (Supervise.next st);
+  (match Supervise.record_crash st 0 with
+   | `Quarantine 2 -> ()
+   | _ -> Alcotest.fail "second crash should quarantine");
+  Alcotest.(check bool) "quarantined" true (Supervise.is_quarantined st 0);
+  (* Quarantined tasks are out of the queue but still unresolved. *)
+  Alcotest.(check (option int)) "queue skips poison" (Some 1) (Supervise.next st);
+  ignore (Supervise.resolve st 1 ());
+  Alcotest.(check bool) "pool-side work done" false (Supervise.unfinished st);
+  Alcotest.(check (list int)) "sweep list" [ 0 ] (Supervise.unresolved st);
+  (* A crash on an already-resolved task is a no-op. *)
+  (match Supervise.record_crash st 1 with
+   | `Resolved -> ()
+   | _ -> Alcotest.fail "crash after resolve should be `Resolved")
+
+let test_lease_clock () =
+  let l = Supervise.Lease.create () in
+  Supervise.Lease.start l 7 100.0;
+  Supervise.Lease.start l 9 101.0;
+  Alcotest.(check int) "two leases" 2 (Supervise.Lease.count l);
+  Alcotest.(check (list int)) "expired at 103" [ 7 ]
+    (List.sort compare (Supervise.Lease.expired l ~deadline:2.5 ~now:103.0));
+  (* A heartbeat restarts the clock; one for a non-leased task is ignored. *)
+  Supervise.Lease.beat l 7 103.0;
+  Supervise.Lease.beat l 42 103.0;
+  Alcotest.(check (list int)) "beat deferred expiry" [ 9 ]
+    (Supervise.Lease.expired l ~deadline:2.5 ~now:104.0);
+  Supervise.Lease.finish l 9;
+  Alcotest.(check (list int)) "finish drops" [ 7 ] (Supervise.Lease.tasks l)
+
+(* --- journal per-line checksums ---------------------------------------------- *)
+
+let entry name : Journal.entry =
+  { Journal.kind = Journal.Product; name; hash = "h-" ^ name; features = [ "f" ];
+    order = []; findings = []; certified = false; cert_failures = 0 }
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let with_tmp f =
+  let path = Filename.temp_file "llhsc-journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_journal_checksummed_lines () =
+  with_tmp @@ fun path ->
+  let sink = Journal.open_ ~path ~inputs_hash:"ih" in
+  Journal.record sink (entry "vm1");
+  Journal.record sink (entry "vm2");
+  Journal.close sink;
+  (match read_lines path with
+   | [ _header; l1; l2 ] ->
+     List.iter
+       (fun l ->
+         match String.rindex_opt l '\t' with
+         | None -> Alcotest.fail "record line has no checksum"
+         | Some t ->
+           let body = String.sub l 0 t in
+           let crc = String.sub l (t + 1) (String.length l - t - 1) in
+           Alcotest.(check string) "crc suffix"
+             (Printf.sprintf "%08x" (Util.crc32 body)) crc)
+       [ l1; l2 ]
+   | ls -> Alcotest.failf "expected 3 lines, got %d" (List.length ls));
+  let loaded = Journal.load ~path ~inputs_hash:"ih" in
+  Alcotest.(check (list string)) "loads back" [ "vm1"; "vm2" ]
+    (List.map (fun (e : Journal.entry) -> e.Journal.name) loaded)
+
+let test_journal_corrupt_line_skipped () =
+  with_tmp @@ fun path ->
+  let sink = Journal.open_ ~path ~inputs_hash:"ih" in
+  Journal.record sink (entry "vm1");
+  Journal.record sink (entry "vm2");
+  Journal.close sink;
+  (* Corrupt one byte inside vm1's record body while keeping its old
+     checksum: the result is still valid JSON, so only the CRC can tell. *)
+  let lines = read_lines path in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      let l =
+        if contains l "vm1" then (
+          let b = Bytes.of_string l in
+          let i =
+            let rec find i = if Bytes.get b i = '1' then i else find (i + 1) in
+            find 0
+          in
+          Bytes.set b i '7';
+          Bytes.to_string b)
+        else l
+      in
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let loaded = Journal.load ~path ~inputs_hash:"ih" in
+  Alcotest.(check (list string)) "corrupt record skipped, rest kept" [ "vm2" ]
+    (List.map (fun (e : Journal.entry) -> e.Journal.name) loaded)
+
+let test_journal_backward_compat () =
+  with_tmp @@ fun path ->
+  (* Hand-write an old-format (checksum-less) journal; load must accept it. *)
+  let oc = open_out path in
+  output_string oc "{\"llhsc-journal\":1,\"inputs\":\"ih\"}\n";
+  output_string oc
+    "{\"kind\":\"product\",\"name\":\"old\",\"hash\":\"h\",\"features\":[],\
+     \"order\":[],\"findings\":[],\"certified\":false,\"cert_failures\":0}\n";
+  close_out oc;
+  let loaded = Journal.load ~path ~inputs_hash:"ih" in
+  Alcotest.(check (list string)) "old lines accepted" [ "old" ]
+    (List.map (fun (e : Journal.entry) -> e.Journal.name) loaded)
+
+(* --- spec round-trip ---------------------------------------------------------- *)
+
+let sample_spec =
+  { Fleet.Spec.core = { Fleet.Spec.file = "core.dts"; text = "/dts-v1/;\n/ { };\n" };
+    deltas = { Fleet.Spec.file = "b.deltas"; text = "" };
+    model = "model m\n";
+    schemas = [ "s1"; "s2" ];
+    files = [ ("inc.dtsi", "/* inc */") ];
+    vms = [ [ "a"; "b" ]; [ "c" ] ];
+    exclusive = [ "cpus" ];
+    certify = true;
+    retry = Some 3;
+    max_conflicts = None;
+    solver_timeout = Some 1.5;
+    unsound = None;
+    skip = [ "vm2" ] }
+
+let test_spec_roundtrip () =
+  let j = Fleet.Spec.to_json sample_spec in
+  (match Json.parse (Json.to_string j) with
+   | Error e -> Alcotest.failf "spec JSON does not reparse: %s" e
+   | Ok j' -> (
+     match Fleet.Spec.of_json j' with
+     | None -> Alcotest.fail "spec does not decode"
+     | Some s ->
+       Alcotest.(check bool) "round-trips" true (s = sample_spec);
+       Alcotest.(check string) "hash stable" (Fleet.Spec.hash sample_spec)
+         (Fleet.Spec.hash s)));
+  (* The hash must see every verdict-affecting field. *)
+  Alcotest.(check bool) "hash covers certify" true
+    (Fleet.Spec.hash sample_spec
+    <> Fleet.Spec.hash { sample_spec with Fleet.Spec.certify = false });
+  Alcotest.(check bool) "hash covers skip" true
+    (Fleet.Spec.hash sample_spec
+    <> Fleet.Spec.hash { sample_spec with Fleet.Spec.skip = [] })
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "crc32",
+        [ Alcotest.test_case "known answer" `Quick test_crc_known_answer;
+          Alcotest.test_case "incremental" `Quick test_crc_incremental ] );
+      ( "frame",
+        [ Alcotest.test_case "roundtrip split reads" `Quick test_frame_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_frame_corruption ] );
+      ( "supervise",
+        [ Alcotest.test_case "first result wins" `Quick test_supervise_first_wins;
+          Alcotest.test_case "crash and quarantine" `Quick test_supervise_crash_quarantine;
+          Alcotest.test_case "lease clock" `Quick test_lease_clock ] );
+      ( "journal-crc",
+        [ Alcotest.test_case "lines checksummed" `Quick test_journal_checksummed_lines;
+          Alcotest.test_case "corrupt line skipped" `Quick test_journal_corrupt_line_skipped;
+          Alcotest.test_case "old format accepted" `Quick test_journal_backward_compat ] );
+      ( "spec",
+        [ Alcotest.test_case "json roundtrip + hash" `Quick test_spec_roundtrip ] );
+    ]
