@@ -1003,6 +1003,25 @@ let write_fleet_json path =
   let f3, f3_report = median_of (fun () -> fleet_run 3) in
   let fk, fk_report = median_of (fun () -> fleet_run ~kill:true 2) in
   Unix.close devnull;
+  (* Setup-payload sizes: the spec this workload ships to each worker,
+     plain vs --compress (LZ77 + base64, as it travels in the frame). *)
+  let spec =
+    { Fleet.Spec.core = { Fleet.Spec.file = "quad-rv64.dts"; text = Q.core_dts };
+      deltas = { Fleet.Spec.file = "quad-rv64.deltas"; text = Q.deltas_src };
+      model = Q.feature_model_src;
+      schemas = Q.schemas_src;
+      files = [];
+      vms = [ Q.vm1_features; Q.vm2_features; Q.vm3_features ];
+      exclusive = Q.exclusive;
+      certify = false; retry = None; max_conflicts = None; solver_timeout = None;
+      unsound = None; skip = [] }
+  in
+  let spec_bytes =
+    String.length (Llhsc.Json.to_string (Fleet.Spec.to_wire spec))
+  in
+  let spec_bytes_compressed =
+    String.length (Llhsc.Json.to_string (Fleet.Spec.to_wire ~compress:true spec))
+  in
   let identical =
     j4_report = base && f2_report = base && f3_report = base && fk_report = base
   in
@@ -1021,6 +1040,9 @@ let write_fleet_json path =
   "fleet3_vs_jobs4_overhead_pct": %.1f,
   "kill_recovery_fleet2_ms": %.3f,
   "kill_recovery_overhead_pct": %.1f,
+  "spec_wire_bytes": %d,
+  "spec_wire_bytes_compressed": %d,
+  "spec_compression_ratio": %.2f,
   "reports_byte_identical": %b
 }
 |}
@@ -1028,23 +1050,45 @@ let write_fleet_json path =
     (100. *. ((f3 /. j4) -. 1.))
     fk
     (100. *. ((fk /. f2) -. 1.))
+    spec_bytes spec_bytes_compressed
+    (float_of_int spec_bytes /. float_of_int (max 1 spec_bytes_compressed))
     identical;
   close_out oc;
   Fmt.pr
-    "wrote %s (%d cpus; j1 %.2f ms, j4 %.2f ms; fleet2 %.2f ms, fleet3 %.2f ms; kill-recovery %.2f ms; identical=%b)@."
-    path cpus j1 j4 f2 f3 fk identical;
+    "wrote %s (%d cpus; j1 %.2f ms, j4 %.2f ms; fleet2 %.2f ms, fleet3 %.2f ms; kill-recovery %.2f ms; spec %d -> %d bytes; identical=%b)@."
+    path cpus j1 j4 f2 f3 fk spec_bytes spec_bytes_compressed identical;
   if not identical then failwith "fleet bench: reports diverged from --jobs 1"
+
+(* A measurement mode that silently produces nothing poisons the
+   committed BENCH_*.json trail, so every mode is checked for a
+   non-empty output file and an unrecognised mode is an error instead of
+   a silent fall-through to the default report. *)
+let checked_output mode path write =
+  write path;
+  match Unix.stat path with
+  | exception Unix.Unix_error _ ->
+    Printf.eprintf "bench %s: expected output %s was never written\n" mode path;
+    exit 1
+  | { Unix.st_size = 0; _ } ->
+    Printf.eprintf "bench %s: output %s is empty\n" mode path;
+    exit 1
+  | _ -> ()
 
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match arg with
-  | "certify" -> write_certify_json "BENCH_certify.json"
-  | "resilience" -> write_resilience_json "BENCH_resilience.json"
-  | "parallel" -> write_parallel_json "BENCH_parallel.json"
-  | "supervision" -> write_supervision_json "BENCH_supervision.json"
-  | "serve" -> write_serve_json "BENCH_serve.json"
-  | "fleet" -> write_fleet_json "BENCH_fleet.json"
+  | "certify" -> checked_output arg "BENCH_certify.json" write_certify_json
+  | "resilience" -> checked_output arg "BENCH_resilience.json" write_resilience_json
+  | "parallel" -> checked_output arg "BENCH_parallel.json" write_parallel_json
+  | "supervision" -> checked_output arg "BENCH_supervision.json" write_supervision_json
+  | "serve" -> checked_output arg "BENCH_serve.json" write_serve_json
+  | "fleet" -> checked_output arg "BENCH_fleet.json" write_fleet_json
   | "report" -> report ()
-  | _ ->
+  | "" ->
     report ();
     run_benchmarks ()
+  | other ->
+    Printf.eprintf
+      "bench: unknown mode %S (want certify|resilience|parallel|supervision|serve|fleet|report)\n"
+      other;
+    exit 1

@@ -412,12 +412,21 @@ let parse_hostport what s =
     | Some p when p >= 0 && p <= 65535 -> (host, p)
     | _ -> failwith (Printf.sprintf "%s wants a port in 0..65535, got %S" what s))
 
+(* The shared fleet secret lives in a file (never on the command line,
+   where `ps` would leak it).  Surrounding whitespace is trimmed so a
+   trailing newline from `echo` does not silently split the fleet. *)
+let read_secret_file path =
+  let s = String.trim (read_file path) in
+  if s = "" then failwith (Printf.sprintf "secret file %s is empty" path);
+  s
+
 let cmd_dispatch listen min_workers wait_workers max_inflight port_file ship
-    core_path deltas_path fm_path schema_dir vm_features exclusive out_dir
-    max_conflicts timeout certify retry journal_path resume unsound
-    task_deadline =
+    secret_file compress core_path deltas_path fm_path schema_dir vm_features
+    exclusive out_dir max_conflicts timeout certify retry journal_path resume
+    unsound task_deadline =
   handle_errors @@ fun () ->
   let host, port = parse_hostport "--listen" listen in
+  let secret = Option.map read_secret_file secret_file in
   if min_workers < 0 then
     failwith (Printf.sprintf "--min-workers wants a count >= 0, got %d" min_workers);
   if wait_workers < 0. then
@@ -484,7 +493,12 @@ let cmd_dispatch listen min_workers wait_workers max_inflight port_file ship
   in
   let cfg =
     { Fleet.Dispatch.host; port; min_workers; wait_workers; deadline;
-      max_inflight; port_file }
+      max_inflight; port_file; secret; compress;
+      (* The task journal rides next to the product journal: the
+         product journal replays finished products on --resume, the
+         task journal replays finished tasks of the interrupted sweep. *)
+      task_journal = Option.map (fun p -> p ^ ".tasks") journal_path;
+      resume }
   in
   let runner ~skip tasks =
     Fleet.Dispatch.run cfg ~spec:{ spec with Fleet.Spec.skip } tasks
@@ -496,7 +510,8 @@ let cmd_dispatch listen min_workers wait_workers max_inflight port_file ship
     exclusive out_dir max_conflicts timeout certify retry journal_path resume
     unsound 1 None 8 None None
 
-let cmd_worker connect port_file max_reconnects mem_limit cpu_limit =
+let cmd_worker connect port_file max_reconnects mem_limit cpu_limit secret_file
+    =
   handle_errors @@ fun () ->
   if max_reconnects < 0 then
     failwith (Printf.sprintf "--max-reconnects wants a count >= 0, got %d" max_reconnects);
@@ -517,13 +532,38 @@ let cmd_worker connect port_file max_reconnects mem_limit cpu_limit =
   in
   if port = None && port_file = None then
     failwith "worker needs --connect HOST:PORT or --port-file FILE";
+  let secret = Option.map read_secret_file secret_file in
   Fleet.Worker.run
-    { Fleet.Worker.host; port; port_file; max_reconnects; mem_limit; cpu_limit }
+    { Fleet.Worker.host; port; port_file; max_reconnects; mem_limit; cpu_limit;
+      secret }
+
+(* --- chaosproxy ------------------------------------------------------------- *)
+
+let cmd_chaosproxy listen upstream port_file seed corrupt drop trunc stall
+    stall_ms reorder dup split =
+  handle_errors @@ fun () ->
+  let listen_host, listen_port = parse_hostport "--listen" listen in
+  let upstream_host, upstream_port = parse_hostport "--upstream" upstream in
+  List.iter
+    (fun (flag, p) ->
+      if p < 0. || p > 1. then
+        failwith (Printf.sprintf "%s wants a probability in 0..1, got %g" flag p))
+    [ ("--corrupt", corrupt); ("--drop", drop); ("--truncate", trunc);
+      ("--stall", stall); ("--reorder", reorder); ("--dup", dup);
+      ("--split", split) ];
+  if stall_ms < 0 then
+    failwith (Printf.sprintf "--stall-ms wants milliseconds >= 0, got %d" stall_ms);
+  Fleet.Chaos.run
+    { Fleet.Chaos.listen_host; listen_port; upstream_host; upstream_port;
+      port_file; seed; corrupt; drop; trunc; stall; stall_ms; reorder; dup;
+      split };
+  0
 
 (* --- serve ------------------------------------------------------------------------ *)
 
 let cmd_serve host port workers queue tenant_quota request_deadline read_timeout
-    write_timeout max_body max_header retry_after max_request_jobs verbose =
+    write_timeout max_body max_header retry_after max_request_jobs dispatch
+    dispatch_secret_file verbose =
   handle_errors @@ fun () ->
   if port < 0 || port > 65535 then
     failwith (Printf.sprintf "--port wants 0..65535 (0 = ephemeral), got %d" port);
@@ -548,11 +588,23 @@ let cmd_serve host port workers queue tenant_quota request_deadline read_timeout
     (fun (flag, v) ->
       if v < 1024 then failwith (Printf.sprintf "%s wants at least 1024 bytes, got %d" flag v))
     [ ("--max-body", max_body); ("--max-header", max_header) ];
+  let dispatch =
+    match dispatch with
+    | None -> []
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.filter (fun a -> String.trim a <> "")
+      |> List.map (fun a -> parse_hostport "--dispatch" (String.trim a))
+  in
+  (match dispatch_secret_file with
+   | Some p -> ignore (read_secret_file p) (* fail fast, before the first job *)
+   | None -> ());
   Serve.Server.run
     { Serve.Server.host; port; workers; queue; tenant_quota; request_deadline;
       read_timeout; write_timeout; max_body_bytes = max_body;
       max_header_bytes = max_header; retry_after; max_request_jobs;
-      exec = Sys.executable_name; verbose }
+      exec = Sys.executable_name; dispatch;
+      dispatch_secret_file; verbose }
 
 (* --- dtb -------------------------------------------------------------------------- *)
 
@@ -1027,6 +1079,23 @@ let dispatch_cmd =
                    --solver-timeout + 10s, else 60s — remote leases always \
                    expire.")
   in
+  let secret_file =
+    Arg.(value & opt (some string) None
+         & info [ "secret-file" ] ~docv:"FILE"
+             ~doc:"Shared fleet secret: require every worker to complete a \
+                   mutual HMAC-SHA256 challenge-response proving knowledge \
+                   of $(docv)'s contents before the run's inputs are \
+                   shipped; all later frames carry session-keyed MACs.  \
+                   Workers that cannot authenticate are dropped and \
+                   counted, never leased a task.")
+  in
+  let compress =
+    Arg.(value & flag
+         & info [ "compress" ]
+             ~doc:"Ship the run spec LZ77-compressed (dependency-free; \
+                   workers detect the encoding automatically).  The spec \
+                   hash is always over the uncompressed form.")
+  in
   Cmd.v
     (Cmd.info "dispatch"
        ~doc:"Run the pipeline with its check phase sharded over socket workers"
@@ -1044,7 +1113,8 @@ let dispatch_cmd =
                --min-workers, remaining tasks finish in-process — a run \
                that loses every worker still completes." ])
     Term.(const cmd_dispatch $ listen $ min_workers $ wait_workers $ max_inflight
-          $ port_file $ ship $ pl_core $ pl_deltas $ pl_fm $ schema_dir_arg $ pl_vms
+          $ port_file $ ship $ secret_file $ compress $ pl_core $ pl_deltas
+          $ pl_fm $ schema_dir_arg $ pl_vms
           $ pl_exclusive $ pl_out $ pl_max_conflicts $ pl_timeout $ certify_arg
           $ pl_retry $ pl_journal $ pl_resume $ pl_unsound $ task_deadline)
 
@@ -1079,6 +1149,14 @@ let worker_cmd =
              ~doc:"Resource guard: cap this worker's CPU time at $(docv) \
                    seconds (RLIMIT_CPU).")
   in
+  let secret_file =
+    Arg.(value & opt (some string) None
+         & info [ "secret-file" ] ~docv:"FILE"
+             ~doc:"Shared fleet secret: authenticate the dispatcher with a \
+                   mutual HMAC-SHA256 challenge-response and refuse specs \
+                   from one that cannot prove knowledge of $(docv)'s \
+                   contents.")
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:"Serve check tasks to an llhsc dispatch process"
@@ -1087,10 +1165,62 @@ let worker_cmd =
            `P "Connects to an llhsc $(b,dispatch) process, rebuilds its task \
                list from the shipped inputs, and executes leased tasks until \
                retired (exit 0).  Survives connection loss with \
-               exponential-backoff reconnects; exits 1 once \
+               jittered exponential-backoff reconnects; exits 1 once \
                --max-reconnects consecutive attempts fail." ])
     Term.(const cmd_worker $ connect $ port_file $ max_reconnects $ mem_limit
-          $ cpu_limit)
+          $ cpu_limit $ secret_file)
+
+let chaosproxy_cmd =
+  let listen =
+    Arg.(value & opt string "127.0.0.1:0"
+         & info [ "listen" ] ~docv:"HOST:PORT"
+             ~doc:"Bind address for proxied clients (port 0 picks an \
+                   ephemeral port; see --port-file).")
+  in
+  let upstream =
+    Arg.(required & opt (some string) None
+         & info [ "upstream" ] ~docv:"HOST:PORT"
+             ~doc:"Where real connections go (the dispatcher).")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound port to $(docv) once listening (workers \
+                   can poll it with their own --port-file).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Seed for the chaos schedule; the same seed injects the \
+                   same fault mix.")
+  in
+  let prob name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc) in
+  let corrupt = prob "corrupt" "Per-chunk probability of one flipped byte." in
+  let drop = prob "drop" "Per-chunk probability of killing the connection (partition)." in
+  let trunc = prob "truncate" "Per-chunk probability of truncating the chunk." in
+  let stall = prob "stall" "Per-chunk probability of delaying delivery by --stall-ms." in
+  let stall_ms =
+    Arg.(value & opt int 100
+         & info [ "stall-ms" ] ~docv:"MS" ~doc:"Stall duration in milliseconds.")
+  in
+  let reorder = prob "reorder" "Per-chunk probability of delivering newer bytes before older ones." in
+  let dup = prob "dup" "Per-chunk probability of delivering the chunk twice." in
+  let split = prob "split" "Per-chunk probability of splitting the chunk into two writes." in
+  Cmd.v
+    (Cmd.info "chaosproxy"
+       ~doc:"Seeded fault-injecting TCP proxy for fleet testing"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Relays TCP connections to --upstream while injecting \
+               partitions, corruption, truncation, stalls, reordering, \
+               duplication and split writes at seeded per-chunk \
+               probabilities.  Point llhsc $(b,worker) processes at the \
+               proxy and the dispatcher at the other side to rehearse a \
+               hostile network: the fleet protocol must degrade every \
+               injected fault to dead-worker handling and keep the \
+               dispatcher's report byte-identical to a local run." ])
+    Term.(const cmd_chaosproxy $ listen $ upstream $ port_file $ seed $ corrupt
+          $ drop $ trunc $ stall $ stall_ms $ reorder $ dup $ split)
 
 let dtb_cmd =
   let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT") in
@@ -1215,6 +1345,27 @@ let serve_cmd =
                    (each job may fan out onto the supervised shard pool \
                    inside its child).")
   in
+  let dispatch =
+    Arg.(value & opt (some string) None
+         & info [ "dispatch" ] ~docv:"HOST:PORT[,...]"
+             ~doc:"Fleet backend: a comma-separated pool of listen \
+                   addresses.  Each running pipeline job claims a free \
+                   address and is spawned as $(b,llhsc dispatch --listen) \
+                   on it, so operator-run $(b,llhsc worker) processes \
+                   pointed at the pool execute the tasks.  With no free \
+                   address the job falls back to the local fork pool, and \
+                   a dispatcher that finds no worker (or cannot bind) \
+                   degrades to its in-process sweep — the verdict bytes \
+                   never depend on fleet health.  /v1/stats reports \
+                   backend_fleet and backend_local counts.")
+  in
+  let dispatch_secret_file =
+    Arg.(value & opt (some string) None
+         & info [ "dispatch-secret-file" ] ~docv:"FILE"
+             ~doc:"Shared fleet secret passed to each spawned dispatcher \
+                   as --secret-file; workers must authenticate before \
+                   receiving any work.")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Supervision notices on stderr.")
   in
@@ -1234,7 +1385,7 @@ let serve_cmd =
                every admitted request, exit 0." ])
     Term.(const cmd_serve $ host $ port $ workers $ queue $ tenant_quota
           $ request_deadline $ read_timeout $ write_timeout $ max_body $ max_header
-          $ retry_after $ max_request_jobs $ verbose)
+          $ retry_after $ max_request_jobs $ dispatch $ dispatch_secret_file $ verbose)
 
 let demo_cmd =
   Cmd.v
@@ -1246,7 +1397,7 @@ let main_cmd =
     (Cmd.info "llhsc" ~version:"1.0.0"
        ~doc:"DeviceTree syntax and semantic checker for static-partitioning hypervisors")
     [ check_cmd; products_cmd; configure_cmd; analyze_cmd; generate_cmd; pipeline_cmd;
-      dispatch_cmd; worker_cmd; build_cmd; dtb_cmd; diff_cmd; overlay_cmd; smt2_cmd;
-      sat_cmd; serve_cmd; demo_cmd ]
+      dispatch_cmd; worker_cmd; chaosproxy_cmd; build_cmd; dtb_cmd; diff_cmd;
+      overlay_cmd; smt2_cmd; sat_cmd; serve_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,30 @@
+(** Seeded network-chaos TCP proxy backing [llhsc chaosproxy].
+
+    Relays client connections to an upstream dispatcher while injecting,
+    per read chunk and driven by one xorshift64* stream, the listed
+    fault probabilities.  Used by the fleet smoke/fault harnesses to
+    assert byte-identical reports under hostile networks. *)
+
+type config = {
+  listen_host : string;
+  listen_port : int; (* 0 = ephemeral *)
+  upstream_host : string;
+  upstream_port : int;
+  port_file : string option; (* write the bound port here *)
+  seed : int;
+  corrupt : float; (* per-chunk probability of one flipped byte *)
+  drop : float; (* per-chunk probability of killing the connection *)
+  trunc : float; (* per-chunk probability of truncating the chunk *)
+  stall : float; (* per-chunk probability of delaying delivery *)
+  stall_ms : int;
+  reorder : float; (* per-chunk probability of jumping the queue *)
+  dup : float; (* per-chunk probability of delivering twice *)
+  split : float; (* per-chunk probability of two separate writes *)
+}
+
+(** All probabilities 0, listen 127.0.0.1:0, seed 1. *)
+val default : config
+
+(** Run forever (terminated by signal).  Raises [Unix_error]/[Failure]
+    on bind or upstream-resolution failure. *)
+val run : config -> unit

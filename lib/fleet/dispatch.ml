@@ -36,6 +36,10 @@ type config = {
   deadline : float; (* per-task lease, seconds *)
   max_inflight : int; (* tasks leased to one worker at a time *)
   port_file : string option; (* write the bound port here (for tests) *)
+  secret : string option; (* require the HMAC handshake (--secret-file) *)
+  compress : bool; (* ship the spec LZ77-compressed (--compress) *)
+  task_journal : string option; (* journal per-task results here *)
+  resume : bool; (* replay a matching task journal before dispatching *)
 }
 
 let notice fmt =
@@ -48,7 +52,7 @@ let notice fmt =
    connected-but-silent peer must not stall degradation forever. *)
 let handshake_timeout = 10.0
 
-type state = Awaiting_hello | Awaiting_ready | Ready
+type state = Awaiting_hello | Awaiting_auth | Awaiting_ready | Ready
 
 type conn = {
   fd : Unix.file_descr;
@@ -60,7 +64,14 @@ type conn = {
   mutable alive : bool;
   created : float;
   leases : Supervise.Lease.t;
+  mutable nonces : string * string; (* (nonce_w, nonce_d) during auth *)
+  mutable skey : string option; (* session key once authenticated *)
+  mutable seq_in : int; (* next expected worker->dispatcher MAC seq *)
+  mutable seq_out : int; (* next dispatcher->worker MAC seq *)
 }
+
+let env_int name =
+  match Sys.getenv_opt name with None -> None | Some v -> int_of_string_opt v
 
 let addr_of host port =
   let ip =
@@ -80,11 +91,76 @@ let peer_name fd =
 
 (* --- protocol messages ------------------------------------------------------ *)
 
-let msg_setup spec hash =
-  Json.to_string (Json.Obj [ ("setup", Spec.to_json spec); ("hash", Json.Str hash) ])
+let msg_setup ~compress spec hash =
+  Json.to_string
+    (Json.Obj [ ("setup", Spec.to_wire ~compress spec); ("hash", Json.Str hash) ])
 
 let msg_task i = Json.to_string (Json.Obj [ ("task", Json.Int i) ])
 let msg_retire = Json.to_string (Json.Obj [ ("retire", Json.Bool true) ])
+
+(* --- task journal -----------------------------------------------------------
+
+   Crash recovery for the dispatcher itself: every task result that wins
+   the first-wins merge is appended — one CRC-checksummed JSON line, the
+   same per-line framing as the pipeline journal — and fsync'd before
+   the next frame is processed.  The header binds the journal to the
+   spec hash and task count, so a journal from a different run (or from
+   a resumed run whose product-journal skip set changed the task array)
+   is ignored wholesale rather than replaying results onto the wrong
+   indices.  [dispatch --resume] preloads matching records through
+   {!Supervise.resolve}, which removes those tasks from the pending
+   queue; a reconnecting worker that completes the same task later
+   merges as a harmless duplicate. *)
+
+let task_journal_header ~spec_hash ~n =
+  Json.to_string
+    (Json.Obj
+       [ ("llhsc-tasks", Json.Int 1);
+         ("spec", Json.Str spec_hash);
+         ("count", Json.Int n) ])
+
+(* (header_matches, entries) — entries only from a matching header. *)
+let load_task_journal path ~spec_hash ~(tasks : Shard.task array) =
+  let n = Array.length tasks in
+  match open_in path with
+  | exception Sys_error _ -> (false, [])
+  | ic ->
+    let ok_header =
+      match input_line ic with
+      | exception End_of_file -> false
+      | line -> (
+        match Json.parse line with
+        | Error _ -> false
+        | Ok j ->
+          Json.member "llhsc-tasks" j = Some (Json.Int 1)
+          && Option.bind (Json.member "spec" j) Json.to_str = Some spec_hash
+          && Option.bind (Json.member "count" j) Json.to_int = Some n)
+    in
+    let out = ref [] in
+    if ok_header then begin
+      try
+        while true do
+          let line = input_line ic in
+          match Llhsc.Journal.verify_line line with
+          | None -> () (* torn or corrupt record: skip *)
+          | Some body -> (
+            match Json.parse body with
+            | Error _ -> ()
+            | Ok j -> (
+              match
+                ( Option.bind (Json.member "task" j) Json.to_int,
+                  Option.bind (Json.member "r" j) Shard.result_of_json )
+              with
+              | Some i, Some r
+                when i >= 0 && i < n && r.Shard.product = tasks.(i).Shard.owner
+                ->
+                out := (i, r) :: !out
+              | _ -> ()))
+        done
+      with End_of_file -> ()
+    end;
+    close_in ic;
+    (ok_header, List.rev !out)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -92,11 +168,69 @@ let run cfg ~spec (tasks : Shard.task array) =
   let n = Array.length tasks in
   let st : Shard.result Supervise.t = Supervise.create n in
   let spec_hash = Spec.hash spec in
-  let setup_payload = msg_setup spec spec_hash in
+  let setup_payload = msg_setup ~compress:cfg.compress spec spec_hash in
   let restore_sigpipe = Util.ignore_sigpipe () in
   let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let conns = ref ([] : conn list) in
   let degraded = ref false in
+  (* Auth bookkeeping: hello nonces seen this run (replay rejection) and
+     the rejected-connection count surfaced in the final stats line. *)
+  let seen_nonces : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let auth_rejected = ref 0 in
+
+  (* Task journal: preload completed results on --resume, then append
+     every fresh result.  Preloaded tasks leave the pending queue before
+     any worker connects, so they are never dispatched again. *)
+  let header_ok, preloaded =
+    match cfg.task_journal with
+    | Some path when cfg.resume -> load_task_journal path ~spec_hash ~tasks
+    | _ -> (false, [])
+  in
+  List.iter (fun (i, r) -> ignore (Supervise.resolve st i r)) preloaded;
+  if preloaded <> [] then
+    notice "resume: replayed %d task result(s) from %s" (List.length preloaded)
+      (Option.get cfg.task_journal);
+  let tj_oc =
+    match cfg.task_journal with
+    | None -> None
+    | Some path ->
+      let oc =
+        if header_ok then
+          open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+        else begin
+          (* New run, or a stale journal (different spec/skip set):
+             start over rather than appending under a wrong header. *)
+          let oc =
+            open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path
+          in
+          output_string oc (task_journal_header ~spec_hash ~n);
+          output_char oc '\n';
+          oc
+        end
+      in
+      Some oc
+  in
+  let tasks_recorded = ref 0 in
+  let term_after = env_int "LLHSC_FAULT_TERM_AFTER_TASKS" in
+  let record_task i r =
+    match tj_oc with
+    | None -> ()
+    | Some oc ->
+      output_string oc
+        (Llhsc.Journal.checksummed
+           (Json.to_string
+              (Json.Obj
+                 [ ("task", Json.Int i); ("r", Shard.result_to_json r) ])));
+      output_char oc '\n';
+      flush oc;
+      (try Util.retry_eintr (fun () -> Unix.fsync (Unix.descr_of_out_channel oc))
+       with Unix.Unix_error _ -> ());
+      incr tasks_recorded;
+      (* Test hook: raise SIGTERM in-process after the n-th record,
+         exercising the CLI's graceful-interrupt + --resume path. *)
+      if term_after = Some !tasks_recorded then
+        Unix.kill (Unix.getpid ()) Sys.sigterm
+  in
 
   let drop_conn c reason =
     if c.alive then begin
@@ -150,8 +284,27 @@ let run cfg ~spec (tasks : Shard.task array) =
   in
 
   let send c payload =
+    let payload =
+      match c.skey with
+      | Some key ->
+        let sealed = Frame.seal ~key ~seq:c.seq_out payload in
+        c.seq_out <- c.seq_out + 1;
+        sealed
+      | None -> payload
+    in
     Buffer.add_string c.out (Frame.encode payload);
     flush_out c
+  in
+
+  (* Authentication failures are counted and surfaced distinctly — they
+     are a property of the fleet's environment, not of any task — but
+     the remedy is the usual one: the connection dies, and an
+     unauthenticated peer never holds leases, never sees the spec, and
+     never contributes a result. *)
+  let auth_reject c reason =
+    incr auth_rejected;
+    notice "notice[AUTH] %s: %s" c.peer reason;
+    drop_conn c "failed authentication"
   in
 
   (* Lease tasks to a ready worker up to the in-flight bound. *)
@@ -179,10 +332,56 @@ let run cfg ~spec (tasks : Shard.task array) =
       match c.state with
       | Awaiting_hello -> (
         match Json.member "hello" j with
-        | Some _ ->
-          c.state <- Awaiting_ready;
-          send c setup_payload
+        | Some hello -> (
+          match cfg.secret with
+          | None ->
+            c.state <- Awaiting_ready;
+            send c setup_payload
+          | Some secret -> (
+            (* Challenge–response: never ship the spec to a peer that
+               has not proven knowledge of the shared secret. *)
+            match Option.bind (Json.member "nonce" hello) Json.to_str with
+            | None -> auth_reject c "unauthenticated hello (no nonce)"
+            | Some nw when Hashtbl.mem seen_nonces nw ->
+              auth_reject c "replayed hello nonce"
+            | Some nw ->
+              Hashtbl.add seen_nonces nw ();
+              let nd = Llhsc.Hmac.nonce () in
+              c.nonces <- (nw, nd);
+              c.state <- Awaiting_auth;
+              send c
+                (Json.to_string
+                   (Json.Obj
+                      [ ( "challenge",
+                          Json.Obj
+                            [ ("nonce", Json.Str nd);
+                              ( "mac",
+                                Json.Str
+                                  (Llhsc.Hmac.to_hex
+                                     (Llhsc.Hmac.hmac ~key:secret
+                                        ("llhsc-disp:" ^ nw ^ ":" ^ nd))) )
+                            ] ) ]))))
         | None -> drop_conn c "spoke before hello")
+      | Awaiting_auth -> (
+        match (Json.member "auth" j, cfg.secret) with
+        | Some aj, Some secret -> (
+          let nw, nd = c.nonces in
+          match Option.bind (Json.member "mac" aj) Json.to_str with
+          | None -> auth_reject c "auth without mac"
+          | Some mac_w ->
+            let expect =
+              Llhsc.Hmac.to_hex
+                (Llhsc.Hmac.hmac ~key:secret ("llhsc-work:" ^ nd ^ ":" ^ nw))
+            in
+            if Llhsc.Hmac.equal expect mac_w then begin
+              c.skey <-
+                Some
+                  (Llhsc.Hmac.hmac ~key:secret ("llhsc-sess:" ^ nw ^ ":" ^ nd));
+              c.state <- Awaiting_ready;
+              send c setup_payload
+            end
+            else auth_reject c "bad auth mac")
+        | _ -> auth_reject c "spoke before authenticating")
       | Awaiting_ready -> (
         match Json.member "ready" j with
         | Some r ->
@@ -218,7 +417,9 @@ let run cfg ~spec (tasks : Shard.task array) =
                  && res.Shard.product = tasks.(i).Shard.owner -> (
             Supervise.Lease.finish c.leases i;
             match Supervise.resolve st i res with
-            | `Fresh -> fill c
+            | `Fresh ->
+              record_task i res;
+              fill c
             | `Duplicate ->
               (* A reassigned task completing twice (or a duplicated
                  send): first valid result won, drop this copy. *)
@@ -251,7 +452,18 @@ let run cfg ~spec (tasks : Shard.task array) =
         match Frame.Decoder.next c.dec with
         | `Awaiting -> continue := false
         | `Corrupt msg -> drop_conn c (Printf.sprintf "sent a corrupt frame (%s)" msg)
-        | `Frame payload -> handle_msg c payload
+        | `Frame payload -> (
+          match c.skey with
+          | None -> handle_msg c payload
+          | Some key -> (
+            (* Post-handshake, every frame must carry the session MAC
+               with the next sequence number; a forged, spliced or
+               replayed frame is a dead worker, never data. *)
+            match Frame.unseal ~key ~seq:c.seq_in payload with
+            | None -> auth_reject c "frame MAC mismatch mid-stream"
+            | Some body ->
+              c.seq_in <- c.seq_in + 1;
+              handle_msg c body))
       done
   in
 
@@ -266,7 +478,8 @@ let run cfg ~spec (tasks : Shard.task array) =
         { fd; peer = peer_name fd; dec = Frame.Decoder.create ();
           out = Buffer.create 256; out_pos = 0; state = Awaiting_hello;
           alive = true; created = Unix.gettimeofday ();
-          leases = Supervise.Lease.create () }
+          leases = Supervise.Lease.create (); nonces = ("", "");
+          skey = None; seq_in = 0; seq_out = 0 }
         :: !conns
   in
 
@@ -307,23 +520,35 @@ let run cfg ~spec (tasks : Shard.task array) =
   in
 
   let supervise () =
-    Unix.setsockopt lfd Unix.SO_REUSEADDR true;
-    Unix.bind lfd (addr_of cfg.host cfg.port);
-    Unix.listen lfd 64;
-    Unix.set_nonblock lfd;
-    let bound_port =
-      match Unix.getsockname lfd with
-      | Unix.ADDR_INET (_, p) -> p
-      | _ -> cfg.port
-    in
-    notice "listening on %s:%d (fleet floor %d, grace %.1fs)" cfg.host
-      bound_port cfg.min_workers cfg.wait_workers;
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        Printf.fprintf oc "%d\n" bound_port;
-        close_out oc)
-      cfg.port_file;
+    (* A dispatcher that cannot listen (port stolen, host misresolved)
+       still completes the run: degrade straight to the in-process
+       sweep instead of erroring — the serve daemon relies on this when
+       it races other jobs for fleet listen addresses. *)
+    (match
+       Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+       Unix.bind lfd (addr_of cfg.host cfg.port);
+       Unix.listen lfd 64;
+       Unix.set_nonblock lfd
+     with
+    | () ->
+      let bound_port =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      notice "listening on %s:%d (fleet floor %d, grace %.1fs)" cfg.host
+        bound_port cfg.min_workers cfg.wait_workers;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Printf.fprintf oc "%d\n" bound_port;
+          close_out oc)
+        cfg.port_file
+    | exception (Unix.Unix_error _ | Failure _) ->
+      degraded := true;
+      notice "cannot listen on %s:%d; finishing %d task(s) in-process"
+        cfg.host cfg.port
+        (List.length (Supervise.unresolved st)));
     let t0 = Unix.gettimeofday () in
     while Supervise.unfinished st && not !degraded do
       let now = Unix.gettimeofday () in
@@ -367,7 +592,19 @@ let run cfg ~spec (tasks : Shard.task array) =
         (try
            Unix.clear_nonblock c.fd;
            flush_out c;
-           if c.alive then Frame.write c.fd msg_retire
+           if c.alive then begin
+             (* Retirement rides the session too: an authenticated
+                worker treats an unsealed frame as an injected one. *)
+             let payload =
+               match c.skey with
+               | Some key ->
+                 let s = Frame.seal ~key ~seq:c.seq_out msg_retire in
+                 c.seq_out <- c.seq_out + 1;
+                 s
+               | None -> msg_retire
+             in
+             Frame.write c.fd payload
+           end
          with Unix.Unix_error _ | Sys_error _ -> ());
         try Unix.close c.fd with Unix.Unix_error _ -> ())
       !conns;
@@ -383,11 +620,31 @@ let run cfg ~spec (tasks : Shard.task array) =
           notice "task %d (product %s): retrying poison task in-process" i
             tasks.(i).Shard.owner;
         match Shard.run_task_guarded tasks.(i) with
-        | r -> ignore (Supervise.resolve st i r)
+        | r ->
+          (match Supervise.resolve st i r with
+          | `Fresh -> record_task i r
+          | `Duplicate -> ())
         | exception e ->
           notice "task %d (product %s): in-process retry failed (%s)" i
             tasks.(i).Shard.owner (Printexc.to_string e))
-      (Supervise.unresolved st)
+      (Supervise.unresolved st);
+    if !auth_rejected > 0 then
+      notice "auth: rejected %d connection attempt(s)" !auth_rejected
   in
-  Fun.protect ~finally:restore_sigpipe supervise;
+  let finish () =
+    restore_sigpipe ();
+    (* Flush-and-fsync the task journal even on SIGTERM/SIGINT — the
+       interrupt arrives as an exception, and a resumed run replays
+       exactly what reached the disk. *)
+    Option.iter
+      (fun oc ->
+        try
+          flush oc;
+          (try Unix.fsync (Unix.descr_of_out_channel oc)
+           with Unix.Unix_error _ -> ());
+          close_out oc
+        with Sys_error _ -> ())
+      tj_oc
+  in
+  Fun.protect ~finally:finish supervise;
   Supervise.results st

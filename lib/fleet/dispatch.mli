@@ -22,6 +22,20 @@
     [min_workers = 0] waits for workers indefinitely instead of
     degrading.
 
+    With [secret] set, workers must complete a mutual HMAC-SHA256
+    challenge–response before the spec is shipped; unauthenticated or
+    replayed hellos are dropped with a [notice[AUTH]] and counted, and
+    all post-handshake frames carry session-keyed MACs so a mid-stream
+    injector is handled as a dead worker (see DESIGN.md "fleet trust").
+
+    With [task_journal] set, every merged task result is appended to a
+    CRC-checksummed, fsync'd journal; [resume] preloads a matching
+    journal through the first-wins merge so a crashed dispatcher's
+    successor re-runs only what is missing.
+
+    A dispatcher that cannot bind its listen address degrades straight
+    to the in-process sweep instead of failing the run.
+
     All supervision notices go to stderr; stdout is untouched (the
     pipeline report must stay byte-identical to [--jobs 1]). *)
 
@@ -33,6 +47,10 @@ type config = {
   deadline : float;  (** per-task lease, seconds *)
   max_inflight : int;  (** tasks leased to one worker at a time *)
   port_file : string option;  (** write the bound port here *)
+  secret : string option;  (** require the HMAC handshake ([--secret-file]) *)
+  compress : bool;  (** ship the spec LZ77-compressed ([--compress]) *)
+  task_journal : string option;  (** journal per-task results here *)
+  resume : bool;  (** replay a matching task journal before dispatching *)
 }
 
 (** [run cfg ~spec tasks] — serve [tasks] to the fleet and return one

@@ -82,6 +82,37 @@ module Decoder = struct
     end
 end
 
+(* Session MACs.  After the authenticated handshake each direction
+   carries a monotonically increasing sequence number; a frame's payload
+   becomes [HMAC(session_key, u64be(seq) || body) | body] with the MAC's
+   32 raw bytes in front.  Binding the sequence number into the MAC
+   means a mid-stream injector can neither forge frames (no key), splice
+   in a recorded frame from another position (wrong seq), nor replay one
+   (seq already consumed) — any of those fails [unseal] and the peer is
+   handled as a dead worker, never as a source of data. *)
+
+let mac_len = 32
+
+let u64be v =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+  done;
+  Bytes.unsafe_to_string b
+
+let seal ~key ~seq body =
+  Llhsc.Hmac.hmac ~key (u64be seq ^ body) ^ body
+
+let unseal ~key ~seq payload =
+  if String.length payload < mac_len then None
+  else begin
+    let mac = String.sub payload 0 mac_len in
+    let body = String.sub payload mac_len (String.length payload - mac_len) in
+    if Llhsc.Hmac.equal mac (Llhsc.Hmac.hmac ~key (u64be seq ^ body)) then
+      Some body
+    else None
+  end
+
 (* Blocking full write of one encoded frame.  EINTR is retried; every
    other write error (EPIPE with SIGPIPE ignored, ECONNRESET, ...)
    propagates for the caller's per-connection handling. *)

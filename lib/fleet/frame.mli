@@ -30,6 +30,24 @@ module Decoder : sig
   val next : t -> [ `Frame of string | `Awaiting | `Corrupt of string ]
 end
 
+(** {1 Session MACs}
+
+    After the authenticated handshake (see {!Dispatch}/{!Worker}) every
+    frame body is prefixed with
+    [HMAC-SHA256(session_key, u64be(seq) || body)] — 32 raw bytes —
+    where [seq] counts frames per direction.  Forged, spliced, and
+    replayed frames all fail {!unseal} and collapse to dead-worker
+    handling. *)
+
+(** Byte length of the MAC prefix (32). *)
+val mac_len : int
+
+val seal : key:string -> seq:int -> string -> string
+
+(** [None] if the payload is too short or the MAC does not verify
+    (constant-time compare). *)
+val unseal : key:string -> seq:int -> string -> string option
+
 (** Blocking write of one complete frame.  Retries [EINTR]; any other
     error ([EPIPE], [ECONNRESET], ...) propagates as [Unix_error] for
     per-connection handling — fleet processes run with SIGPIPE ignored. *)

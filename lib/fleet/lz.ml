@@ -1,0 +1,188 @@
+(* Dependency-free LZ77 for spec shipping (`dispatch --compress`).
+   Specs carry whole DTS/YAML file bodies, which are highly repetitive;
+   a greedy single-candidate LZ77 with a 64 KiB window recovers most of
+   the easy redundancy without pulling in zlib.
+
+   Token stream:
+     control byte c < 0x80  -> literal run of (c + 1) bytes follows
+     control byte c >= 0x80 -> match of length (c land 0x7f) + 4
+                               (4..131), followed by u16be distance
+                               (1..65535) back from the current output
+                               position.
+
+   [decompress] validates every distance/length against the bytes
+   produced so far and returns [None] on any malformed input — the
+   worker feeds it bytes straight off the wire. *)
+
+let max_dist = 65535
+let max_len = 131
+let min_len = 4
+
+let compress s =
+  let n = String.length s in
+  let out = Buffer.create ((n / 2) + 16) in
+  let lits = Buffer.create 128 in
+  let flush_lits () =
+    let l = Buffer.contents lits in
+    Buffer.clear lits;
+    let len = String.length l in
+    let i = ref 0 in
+    while !i < len do
+      let run = min 128 (len - !i) in
+      Buffer.add_char out (Char.chr (run - 1));
+      Buffer.add_substring out l !i run;
+      i := !i + run
+    done
+  in
+  (* Most recent position of each 4-byte prefix hash. *)
+  let tbl = Hashtbl.create 4096 in
+  let key i =
+    (Char.code s.[i] lsl 24)
+    lor (Char.code s.[i + 1] lsl 16)
+    lor (Char.code s.[i + 2] lsl 8)
+    lor Char.code s.[i + 3]
+  in
+  let i = ref 0 in
+  while !i < n do
+    let emitted =
+      if !i + min_len <= n then begin
+        let k = key !i in
+        let cand = Hashtbl.find_opt tbl k in
+        Hashtbl.replace tbl k !i;
+        match cand with
+        | Some j when !i - j <= max_dist ->
+          let limit = min max_len (n - !i) in
+          let len = ref 0 in
+          while !len < limit && s.[j + !len] = s.[!i + !len] do incr len done;
+          if !len >= min_len then begin
+            flush_lits ();
+            let dist = !i - j in
+            Buffer.add_char out (Char.chr (0x80 lor (!len - min_len)));
+            Buffer.add_char out (Char.chr (dist lsr 8));
+            Buffer.add_char out (Char.chr (dist land 0xff));
+            (* Seed the table inside the match so later repeats of its
+               interior can still be found. *)
+            let stop = min (!i + !len) (n - min_len) in
+            let p = ref (!i + 1) in
+            while !p < stop do
+              Hashtbl.replace tbl (key !p) !p;
+              incr p
+            done;
+            i := !i + !len;
+            true
+          end
+          else false
+        | _ -> false
+      end
+      else false
+    in
+    if not emitted then begin
+      Buffer.add_char lits s.[!i];
+      incr i
+    end
+  done;
+  flush_lits ();
+  Buffer.contents out
+
+let decompress s =
+  let n = String.length s in
+  let out = Buffer.create (n * 2) in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let c = Char.code s.[!i] in
+    incr i;
+    if c < 0x80 then begin
+      let len = c + 1 in
+      if !i + len > n then ok := false
+      else begin
+        Buffer.add_substring out s !i len;
+        i := !i + len
+      end
+    end
+    else begin
+      let len = (c land 0x7f) + min_len in
+      if !i + 2 > n then ok := false
+      else begin
+        let dist = (Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1] in
+        i := !i + 2;
+        if dist = 0 || dist > Buffer.length out then ok := false
+        else
+          (* Byte-at-a-time so overlapping matches (dist < len)
+             replicate correctly. *)
+          for _ = 1 to len do
+            Buffer.add_char out (Buffer.nth out (Buffer.length out - dist))
+          done
+      end
+    end
+  done;
+  if !ok then Some (Buffer.contents out) else None
+
+(* Minimal base64 (RFC 4648, with padding) so compressed bytes can ride
+   inside a JSON string. *)
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let to_base64 s =
+  let n = String.length s in
+  let out = Buffer.create (((n + 2) / 3) * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let x =
+      (Char.code s.[!i] lsl 16) lor (Char.code s.[!i + 1] lsl 8)
+      lor Char.code s.[!i + 2]
+    in
+    Buffer.add_char out b64_alphabet.[(x lsr 18) land 63];
+    Buffer.add_char out b64_alphabet.[(x lsr 12) land 63];
+    Buffer.add_char out b64_alphabet.[(x lsr 6) land 63];
+    Buffer.add_char out b64_alphabet.[x land 63];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let x = Char.code s.[!i] lsl 16 in
+    Buffer.add_char out b64_alphabet.[(x lsr 18) land 63];
+    Buffer.add_char out b64_alphabet.[(x lsr 12) land 63];
+    Buffer.add_string out "=="
+  | 2 ->
+    let x = (Char.code s.[!i] lsl 16) lor (Char.code s.[!i + 1] lsl 8) in
+    Buffer.add_char out b64_alphabet.[(x lsr 18) land 63];
+    Buffer.add_char out b64_alphabet.[(x lsr 12) land 63];
+    Buffer.add_char out b64_alphabet.[(x lsr 6) land 63];
+    Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let b64_value = function
+  | 'A' .. 'Z' as c -> Some (Char.code c - 65)
+  | 'a' .. 'z' as c -> Some (Char.code c - 97 + 26)
+  | '0' .. '9' as c -> Some (Char.code c - 48 + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let of_base64 s =
+  let n = String.length s in
+  (* Strip padding. *)
+  let n = if n > 0 && s.[n - 1] = '=' then n - 1 else n in
+  let n = if n > 0 && s.[n - 1] = '=' then n - 1 else n in
+  if n mod 4 = 1 then None
+  else begin
+    let out = Buffer.create ((n * 3) / 4) in
+    let acc = ref 0 and bits = ref 0 in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      (match b64_value s.[!i] with
+      | None -> ok := false
+      | Some v ->
+        acc := (!acc lsl 6) lor v;
+        bits := !bits + 6;
+        if !bits >= 8 then begin
+          bits := !bits - 8;
+          Buffer.add_char out (Char.chr ((!acc lsr !bits) land 0xff))
+        end);
+      incr i
+    done;
+    if !ok then Some (Buffer.contents out) else None
+  end

@@ -1,0 +1,10 @@
+(** Dependency-free LZ77 + base64 used by [dispatch --compress] to
+    shrink shipped specs.  Decoding functions validate everything and
+    return [None] on malformed input — they consume bytes straight off
+    the wire. *)
+
+val compress : string -> string
+val decompress : string -> string option
+
+val to_base64 : string -> string
+val of_base64 : string -> string option

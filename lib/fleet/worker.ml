@@ -37,6 +37,7 @@ type config = {
   max_reconnects : int;
   mem_limit : int option;
   cpu_limit : int option;
+  secret : string option; (* shared fleet secret (--secret-file) *)
 }
 
 let notice fmt =
@@ -96,7 +97,27 @@ let connect cfg =
      with Unix.Unix_error _ -> ());
     fd
 
-let send fd j = Frame.write fd (Json.to_string j)
+(* Reconnect delay before attempt [attempt]: exponential base capped at
+   5 s, with deterministic ±25% jitter drawn from (seed, attempt) so a
+   restarted dispatcher sees its workers trickle back instead of a
+   thundering herd of synchronized reconnects.  Pure (exposed for the
+   bounds unit test); [run] seeds it with the worker's pid. *)
+let backoff_delay ~seed ~attempt =
+  let base = Float.min 5.0 (0.2 *. (2. ** float_of_int (attempt - 1))) in
+  let x =
+    ref (Int64.logxor 0x9E3779B97F4A7C15L (Int64.of_int ((seed * 1000003) + attempt)))
+  in
+  if !x = 0L then x := 1L;
+  for _ = 1 to 3 do
+    x := Int64.logxor !x (Int64.shift_left !x 13);
+    x := Int64.logxor !x (Int64.shift_right_logical !x 7);
+    x := Int64.logxor !x (Int64.shift_left !x 17)
+  done;
+  let u =
+    Int64.to_float (Int64.shift_right_logical (Int64.mul !x 0x2545F4914F6CDD1DL) 11)
+    /. 9007199254740992.0
+  in
+  base *. (0.75 +. (0.5 *. u))
 
 (* Blocking: next complete frame, [None] on EOF. *)
 let next_frame fd dec =
@@ -111,10 +132,23 @@ let next_frame fd dec =
   in
   go ()
 
-(* One connection's lifetime: hello, build (or reuse) the task array,
-   then serve task messages until retire/EOF.  Returns [true] when the
-   handshake completed (resets the reconnect budget). *)
-let session fd ~cache ~drop_fired =
+(* One connection's lifetime: hello (with a fresh nonce when a secret
+   is configured), the mutual HMAC challenge–response, build (or reuse)
+   the task array, then serve task messages until retire/EOF.  Returns
+   [true] when the handshake completed (resets the reconnect budget).
+
+   Auth protocol (see DESIGN.md "fleet trust"): the worker's hello
+   carries nonce_w; a secret-holding dispatcher replies with
+   {challenge: {nonce: nonce_d, mac: HMAC(secret, "llhsc-disp:" ^
+   nonce_w ^ ":" ^ nonce_d)}}; the worker verifies (constant-time) and
+   answers {auth: {mac: HMAC(secret, "llhsc-work:" ^ nonce_d ^ ":" ^
+   nonce_w)}}.  Both sides then derive session_key = HMAC(secret,
+   "llhsc-sess:" ^ nonce_w ^ ":" ^ nonce_d) and every further frame in
+   each direction is sealed with the session key and a per-direction
+   sequence number ({!Frame.seal}).  A secret-configured worker never
+   accepts a spec from a dispatcher that did not complete the
+   challenge. *)
+let session fd ~secret ~cache ~drop_fired =
   let kill_at = env_int "LLHSC_FAULT_KILL_WORKER" in
   let hang_at = env_int "LLHSC_FAULT_HANG_WORKER" in
   let drop_at = env_int "LLHSC_FAULT_DROP_CONN_WORKER" in
@@ -124,80 +158,148 @@ let session fd ~cache ~drop_fired =
   let handshaken = ref false in
   let spec_hash = ref "" in
   let tasks = ref [||] in
-  send fd
+  let skey = ref None in
+  let seq_in = ref 0 and seq_out = ref 0 in
+  let nonce_w =
+    match secret with Some _ -> Some (Llhsc.Hmac.nonce ()) | None -> None
+  in
+  let send_msg j =
+    let body = Json.to_string j in
+    match !skey with
+    | Some key ->
+      Frame.write fd (Frame.seal ~key ~seq:!seq_out body);
+      incr seq_out
+    | None -> Frame.write fd body
+  in
+  send_msg
     (Json.Obj
-       [ ("hello", Json.Obj [ ("pid", Json.Int (Unix.getpid ())) ]) ]);
+       [ ( "hello",
+           Json.Obj
+             (("pid", Json.Int (Unix.getpid ()))
+             ::
+             (match nonce_w with
+             | Some n -> [ ("nonce", Json.Str n) ]
+             | None -> [])) ) ]);
   let handle j =
-    match Json.member "setup" j with
-    | Some sj -> (
-      let h =
-        match Option.bind (Json.member "hash" j) Json.to_str with
-        | Some h -> h
-        | None -> raise (Protocol "setup without hash")
-      in
-      let built =
-        match !cache with
-        | Some (h', ts) when h' = h -> Ok ts
-        | _ -> (
-          match Spec.of_json sj with
-          | None -> Error "malformed spec"
-          | Some spec ->
-            if Spec.hash spec <> h then Error "spec hash mismatch"
-            else Spec.build spec)
-      in
-      match built with
-      | Error msg ->
-        send fd (Json.Obj [ ("error", Json.Str msg) ]);
-        notice "cannot plan the shipped run: %s" msg
-      | Ok ts ->
-        cache := Some (h, ts);
-        spec_hash := h;
-        tasks := ts;
-        handshaken := true;
-        send fd
-          (Json.Obj
-             [ ( "ready",
-                 Json.Obj
-                   [ ("spec", Json.Str h);
-                     ("tasks", Json.Int (Array.length ts)) ] ) ]))
-    | None -> (
-      match Option.bind (Json.member "task" j) Json.to_int with
-      | Some i ->
-        if i < 0 || i >= Array.length !tasks then
-          raise (Protocol (Printf.sprintf "task %d out of range" i));
-        if kill_at = Some i then Unix.kill (Unix.getpid ()) Sys.sigkill;
-        send fd
-          (Json.Obj
-             [ ( "hb",
-                 Json.Obj
-                   [ ("task", Json.Int i); ("spec", Json.Str !spec_hash) ] )
-             ]);
-        if hang_at = Some i then
-          while true do
-            Unix.sleep 3600
-          done;
-        if drop_at = Some i && not !drop_fired then begin
-          drop_fired := true;
-          raise Dropped
-        end;
-        let r = Shard.run_task_guarded !tasks.(i) in
-        if delay_at = Some i then Unix.sleepf 2.0;
-        let msg =
-          Json.Obj
-            [ ( "result",
-                Json.Obj
-                  [ ("task", Json.Int i);
-                    ("spec", Json.Str !spec_hash);
-                    ("r", Shard.result_to_json r) ] ) ]
+    match Json.member "challenge" j with
+    | Some cj -> (
+      match (secret, nonce_w) with
+      | Some secret, Some nw ->
+        let nd =
+          match Option.bind (Json.member "nonce" cj) Json.to_str with
+          | Some n -> n
+          | None -> raise (Protocol "challenge without nonce")
         in
-        send fd msg;
-        if dup_at = Some i then send fd msg
-      | None ->
-        if Json.member "retire" j <> None then raise Retired
-        else raise (Protocol "unknown message"))
+        let mac_d =
+          match Option.bind (Json.member "mac" cj) Json.to_str with
+          | Some m -> m
+          | None -> raise (Protocol "challenge without mac")
+        in
+        let expect =
+          Llhsc.Hmac.to_hex
+            (Llhsc.Hmac.hmac ~key:secret ("llhsc-disp:" ^ nw ^ ":" ^ nd))
+        in
+        if not (Llhsc.Hmac.equal expect mac_d) then
+          raise (Protocol "dispatcher failed authentication");
+        send_msg
+          (Json.Obj
+             [ ( "auth",
+                 Json.Obj
+                   [ ( "mac",
+                       Json.Str
+                         (Llhsc.Hmac.to_hex
+                            (Llhsc.Hmac.hmac ~key:secret
+                               ("llhsc-work:" ^ nd ^ ":" ^ nw))) ) ] ) ]);
+        skey :=
+          Some (Llhsc.Hmac.hmac ~key:secret ("llhsc-sess:" ^ nw ^ ":" ^ nd))
+      | _ ->
+        raise (Protocol "dispatcher requires authentication (--secret-file)"))
+    | None -> (
+      match Json.member "setup" j with
+      | Some sj -> (
+        if secret <> None && !skey = None then
+          raise (Protocol "dispatcher did not authenticate");
+        let h =
+          match Option.bind (Json.member "hash" j) Json.to_str with
+          | Some h -> h
+          | None -> raise (Protocol "setup without hash")
+        in
+        let built =
+          match !cache with
+          | Some (h', ts) when h' = h -> Ok ts
+          | _ -> (
+            match Spec.of_wire sj with
+            | None -> Error "malformed spec"
+            | Some spec ->
+              if Spec.hash spec <> h then Error "spec hash mismatch"
+              else Spec.build spec)
+        in
+        match built with
+        | Error msg ->
+          send_msg (Json.Obj [ ("error", Json.Str msg) ]);
+          notice "cannot plan the shipped run: %s" msg
+        | Ok ts ->
+          cache := Some (h, ts);
+          spec_hash := h;
+          tasks := ts;
+          handshaken := true;
+          send_msg
+            (Json.Obj
+               [ ( "ready",
+                   Json.Obj
+                     [ ("spec", Json.Str h);
+                       ("tasks", Json.Int (Array.length ts)) ] ) ]))
+      | None -> (
+        match Option.bind (Json.member "task" j) Json.to_int with
+        | Some i ->
+          if i < 0 || i >= Array.length !tasks then
+            raise (Protocol (Printf.sprintf "task %d out of range" i));
+          if kill_at = Some i then Unix.kill (Unix.getpid ()) Sys.sigkill;
+          send_msg
+            (Json.Obj
+               [ ( "hb",
+                   Json.Obj
+                     [ ("task", Json.Int i); ("spec", Json.Str !spec_hash) ] )
+               ]);
+          if hang_at = Some i then
+            while true do
+              Unix.sleep 3600
+            done;
+          if drop_at = Some i && not !drop_fired then begin
+            drop_fired := true;
+            raise Dropped
+          end;
+          let r = Shard.run_task_guarded !tasks.(i) in
+          if delay_at = Some i then Unix.sleepf 2.0;
+          let msg =
+            Json.Obj
+              [ ( "result",
+                  Json.Obj
+                    [ ("task", Json.Int i);
+                      ("spec", Json.Str !spec_hash);
+                      ("r", Shard.result_to_json r) ] ) ]
+          in
+          send_msg msg;
+          if dup_at = Some i then send_msg msg
+        | None ->
+          if Json.member "retire" j <> None then raise Retired
+          else raise (Protocol "unknown message")))
+  in
+  let recv () =
+    match next_frame fd dec with
+    | None -> None
+    | Some payload -> (
+      match !skey with
+      | None -> Some payload
+      | Some key -> (
+        match Frame.unseal ~key ~seq:!seq_in payload with
+        | None -> raise (Protocol "frame MAC mismatch")
+        | Some body ->
+          incr seq_in;
+          Some body))
   in
   let rec loop () =
-    match next_frame fd dec with
+    match recv () with
     | None -> ()
     | Some payload -> (
       match Json.parse payload with
@@ -224,7 +326,7 @@ let run cfg =
           Fun.protect
             ~finally:(fun () ->
               try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () -> session fd ~cache ~drop_fired)
+            (fun () -> session fd ~secret:cfg.secret ~cache ~drop_fired)
         with
         | handshaken -> if handshaken then failures := 0 else incr failures
         | exception Retired ->
@@ -246,7 +348,8 @@ let run cfg =
            again := false
          end
          else if !failures > 0 then
-           Unix.sleepf (Float.min 5.0 (0.2 *. (2. ** float_of_int (!failures - 1))))
+           Unix.sleepf
+             (backoff_delay ~seed:(Unix.getpid ()) ~attempt:!failures)
      done
    with Failure msg ->
      notice "%s" msg);

@@ -1,0 +1,26 @@
+(** Dependency-free SHA-256 and HMAC-SHA256 for the fleet's
+    authenticated transport.
+
+    Scope (see DESIGN.md "fleet trust"): message {e authentication}
+    under a pre-shared secret — proving a peer knows the secret and that
+    frames were not forged or tampered in flight.  Not confidentiality
+    (frames travel in clear), not replay protection beyond the
+    handshake's per-connection nonce window and per-frame sequence
+    numbers. *)
+
+(** Raw 32-byte SHA-256 digest (FIPS 180-4). *)
+val sha256 : string -> string
+
+(** Raw 32-byte HMAC-SHA256 (RFC 2104). *)
+val hmac : key:string -> string -> string
+
+(** Lowercase hex of a raw digest. *)
+val to_hex : string -> string
+
+(** Constant-time equality: timing never reveals the position of the
+    first differing byte.  Use for every MAC comparison. *)
+val equal : string -> string -> bool
+
+(** 32 hex chars of fresh nonce (16 bytes from /dev/urandom, with a
+    time/pid digest fallback). *)
+val nonce : unit -> string

@@ -91,3 +91,16 @@ val load : path:string -> inputs_hash:string -> entry list
 
 (** Lookup in a loaded journal. *)
 val find : entry list -> kind -> string -> entry option
+
+(** {1 Line checksums}
+
+    The per-line CRC32 framing, exported so other journals (the fleet
+    dispatcher's task journal) share the exact format. *)
+
+(** [checksummed line] is ["<line>\t<crc32 of line, 8 hex digits>"]. *)
+val checksummed : string -> string
+
+(** Inverse of {!checksummed}: [Some line] when the checksum verifies,
+    [Some line] unchanged for checksum-less lines written by older
+    versions, [None] when the checksum is present but wrong. *)
+val verify_line : string -> string option

@@ -27,6 +27,8 @@ type config = {
   retry_after : int;
   max_request_jobs : int;
   exec : string;
+  dispatch : (string * int) list;
+  dispatch_secret_file : string option;
   verbose : bool;
 }
 
@@ -44,6 +46,8 @@ let default_config =
     retry_after = 1;
     max_request_jobs = 4;
     exec = Sys.executable_name;
+    dispatch = [];
+    dispatch_secret_file = None;
     verbose = false }
 
 let now () = Unix.gettimeofday ()
@@ -94,7 +98,8 @@ type job = {
   tenant : string;
   mutable conn_fd : Unix.file_descr option; (* None once the client is gone *)
   dir : string;
-  argv : string array;
+  mutable argv : string array;              (* rewritten at start for fleet jobs *)
+  mutable fleet_addr : (string * int) option; (* claimed dispatch listen address *)
   delay_ms : int;                           (* test hook, see .mli *)
   mutable cancelled : bool;                 (* client vanished while queued *)
   mutable tenant_released : bool;
@@ -126,6 +131,8 @@ type stats = {
   mutable crashes : int;        (* 500: job child died on a signal *)
   mutable disconnects : int;    (* clients that vanished mid-request *)
   mutable read_timeouts : int;  (* 408: slow-loris reads cut *)
+  mutable backend_fleet : int;  (* pipeline jobs handed to a fleet dispatcher *)
+  mutable backend_local : int;  (* pipeline jobs run by the local fork pool *)
 }
 
 (* --- request-to-argv preparation --------------------------------------------- *)
@@ -285,7 +292,7 @@ let run cfg =
   let stats =
     { accepted = 0; completed = 0; shed_queue = 0; shed_tenant = 0;
       shed_drain = 0; refused = 0; timeouts = 0; crashes = 0; disconnects = 0;
-      read_timeouts = 0 }
+      read_timeouts = 0; backend_fleet = 0; backend_local = 0 }
   in
   let note fmt =
     Printf.ksprintf
@@ -358,6 +365,55 @@ let run cfg =
       else Hashtbl.replace tenants job.tenant n
     end
   in
+  (* --- fleet backend --- *)
+  (* [--dispatch] reserves each listed listen address for one running
+     pipeline job at a time and rewrites that job's argv from
+     [pipeline ...] to [dispatch --listen HOST:PORT ...]: the child
+     becomes a fleet dispatcher serving the operator's long-lived
+     workers.  Every fleet degradation (no worker inside the grace,
+     address already bound, workers lost mid-run) collapses to the
+     dispatcher's own in-process sweep, so the verdict bytes never
+     depend on the fleet being healthy.  When all addresses are claimed
+     the job keeps its plain pipeline argv (local fork pool). *)
+  let free_addrs = ref cfg.dispatch in
+  let claim_addr () =
+    match !free_addrs with
+    | [] -> None
+    | a :: rest ->
+      free_addrs := rest;
+      Some a
+  in
+  let release_addr (job : job) =
+    match job.fleet_addr with
+    | None -> ()
+    | Some a ->
+      job.fleet_addr <- None;
+      free_addrs := a :: !free_addrs
+  in
+  let fleet_argv argv (host, port) =
+    (* Strip the fork-pool-only flags [dispatch] does not take. *)
+    let rec strip = function
+      | [] -> []
+      | ("--jobs" | "--mem-limit" | "--cpu-limit") :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+    in
+    match Array.to_list argv with
+    | "pipeline" :: rest ->
+      let secret =
+        match cfg.dispatch_secret_file with
+        | None -> []
+        | Some p ->
+          (* The child execs from inside the job directory. *)
+          let p = if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p in
+          [ "--secret-file"; p ]
+      in
+      Array.of_list
+        ("dispatch" :: "--listen"
+         :: Printf.sprintf "%s:%d" host port
+         :: "--wait-workers" :: "2"
+         :: (secret @ strip rest))
+    | _ -> argv
+  in
   let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
   let close_conn conn =
     Hashtbl.remove conns conn.fd;
@@ -370,6 +426,17 @@ let run cfg =
   in
   (* --- job lifecycle --- *)
   let start_job (job : job) =
+    if Array.length job.argv > 0 && job.argv.(0) = "pipeline" then
+      (match claim_addr () with
+       | Some (h, p) ->
+         job.fleet_addr <- Some (h, p);
+         stats.backend_fleet <- stats.backend_fleet + 1;
+         job.argv <- fleet_argv job.argv (h, p);
+         note "job %d: fleet backend at %s:%d" job.id h p
+       | None ->
+         stats.backend_local <- stats.backend_local + 1;
+         if cfg.dispatch <> [] then
+           note "job %d: all dispatch addresses busy; local backend" job.id);
     let out_r, out_w = Unix.pipe () in
     let err_r, err_w = Unix.pipe () in
     Unix.set_close_on_exec out_r;
@@ -461,6 +528,7 @@ let run cfg =
     job.out_fd <- None;
     job.err_fd <- None;
     tenant_release job;
+    release_addr job;
     rm_rf job.dir;
     match job.conn_fd with
     | None -> () (* client vanished; verdict dropped *)
@@ -580,7 +648,8 @@ let run cfg =
             in
             let job =
               { id; tenant; conn_fd = Some conn.fd; dir;
-                argv = Array.of_list argv; delay_ms; cancelled = false;
+                argv = Array.of_list argv; fleet_addr = None;
+                delay_ms; cancelled = false;
                 tenant_released = false; pid = 0; out_fd = None; err_fd = None;
                 out_buf = Buffer.create 1024; err_buf = Buffer.create 256;
                 lease_expiry = infinity; timed_out = false;
@@ -607,6 +676,8 @@ let run cfg =
            ("crashes", Json.Int stats.crashes);
            ("disconnects", Json.Int stats.disconnects);
            ("read_timeouts", Json.Int stats.read_timeouts);
+           ("backend_fleet", Json.Int stats.backend_fleet);
+           ("backend_local", Json.Int stats.backend_local);
            ("queued", Json.Int (Queue.length pending));
            ("running", Json.Int (Hashtbl.length running));
            ("draining", Json.Bool !draining) ])

@@ -49,6 +49,17 @@ type config = {
   retry_after : int;          (** seconds hinted on every 429/503 shed *)
   max_request_jobs : int;     (** clamp on the request body's [jobs] field *)
   exec : string;              (** llhsc binary to exec for each job *)
+  dispatch : (string * int) list;
+      (** fleet listen addresses ([--dispatch HOST:PORT,...]): each is
+          reserved by at most one running pipeline job at a time, whose
+          argv is rewritten to [llhsc dispatch --listen HOST:PORT ...]
+          so operator-run workers execute the tasks.  Fleet trouble —
+          no worker inside the registration grace, address already
+          bound, workers lost mid-run — degrades to the dispatcher's
+          in-process sweep; with no free address the job runs the plain
+          local fork pool.  [/v1/stats] counts both backends. *)
+  dispatch_secret_file : string option;
+      (** passed through as the spawned dispatcher's [--secret-file] *)
   verbose : bool;             (** supervision notices on stderr *)
 }
 

@@ -627,6 +627,133 @@ let run_fleet binary sandbox ~failures ~total =
         ~flags:[ "--wait-workers"; "30" ])
     [ 0; 2 ]
 
+(* --- network-chaos phase --------------------------------------------------------- *)
+
+(* The dispatcher/worker link runs through llhsc's own seeded
+   fault-injecting TCP proxy (corruption, partitions, truncation,
+   stalls, reorders, duplicated and split writes), with authentication
+   on.  The contract: every damaged frame collapses to dead-worker
+   handling, the run still exits 0 with the baseline bytes, and nothing
+   ever crashes. *)
+let run_network_chaos binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "chaos-dispatch.err" in
+  let out_file = Filename.concat sandbox "chaos.out" in
+  let base_out = Filename.concat sandbox "chaos-base.out" in
+  let port_file = Filename.concat sandbox "chaos.port" in
+  let proxy_port_file = Filename.concat sandbox "chaos-proxy.port" in
+  let secret_file = Filename.concat sandbox "chaos.secret" in
+  write_file secret_file "fault-harness-secret\n";
+  let vms =
+    [ "memory,cpu@0,uart@20000000,uart@30000000,veth0";
+      "memory,cpu@1,uart@20000000,uart@30000000,veth1" ]
+  in
+  let bad what reason err =
+    incr failures;
+    log_failure "phase=network-chaos what=%S reason=%S" what reason;
+    Printf.printf "FAIL (network-chaos, %s): %s\n  stderr: %s\n" what reason
+      (if err = "" then "(empty)" else String.trim err)
+  in
+  let base_status, base_err =
+    run_cli binary ~stdout_file:base_out
+      (pipeline_args sandbox ~vms ~journal:None ~resume:false @ [ "--jobs"; "1" ])
+      ~stderr_file
+  in
+  (match base_status with
+   | Unix.WEXITED 0 -> ()
+   | _ -> bad "baseline" "undisturbed --jobs 1 pipeline did not exit 0" base_err);
+  let baseline = read_file base_out in
+  let wait_file path =
+    let rec go tries =
+      if Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 then true
+      else if tries = 0 then false
+      else begin
+        Unix.sleepf 0.1;
+        go (tries - 1)
+      end
+    in
+    go 100
+  in
+  let reap pid =
+    let rec poll tries =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ when tries > 0 ->
+        Unix.sleepf 0.1;
+        poll (tries - 1)
+      | 0, _ ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    poll 50
+  in
+  let kill_now pid =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid)
+  in
+  let schedule seed =
+    incr total;
+    let what = Printf.sprintf "chaos seed=%d" seed in
+    List.iter
+      (fun f -> if Sys.file_exists f then Sys.remove f)
+      [ port_file; proxy_port_file ];
+    let dpid =
+      spawn_cli binary ~stdout_file:out_file
+        ("dispatch" :: "--listen" :: "127.0.0.1:0" :: "--port-file" :: port_file
+         :: "--wait-workers" :: "30" :: "--secret-file" :: secret_file
+         :: List.tl (pipeline_args sandbox ~vms ~journal:None ~resume:false))
+        ~stderr_file
+    in
+    if not (wait_file port_file) then begin
+      kill_now dpid;
+      bad what "dispatcher never wrote its port file" (read_file stderr_file)
+    end
+    else begin
+      let ppid =
+        spawn_cli binary
+          [ "chaosproxy"; "--listen"; "127.0.0.1:0";
+            "--upstream"; "127.0.0.1:" ^ String.trim (read_file port_file);
+            "--port-file"; proxy_port_file; "--seed"; string_of_int seed;
+            "--corrupt"; "0.03"; "--drop"; "0.02"; "--truncate"; "0.02";
+            "--stall"; "0.1"; "--stall-ms"; "80"; "--reorder"; "0.05";
+            "--dup"; "0.05"; "--split"; "0.3" ]
+          ~stderr_file:(Filename.concat sandbox "chaos-proxy.err")
+      in
+      if not (wait_file proxy_port_file) then begin
+        kill_now ppid;
+        kill_now dpid;
+        bad what "chaos proxy never wrote its port file"
+          (read_file (Filename.concat sandbox "chaos-proxy.err"))
+      end
+      else begin
+        let wpid =
+          spawn_cli binary
+            [ "worker";
+              "--connect"; "127.0.0.1:" ^ String.trim (read_file proxy_port_file);
+              "--secret-file"; secret_file; "--max-reconnects"; "50" ]
+            ~stderr_file:(Filename.concat sandbox "chaos-worker.err")
+        in
+        let _, status = Unix.waitpid [] dpid in
+        let err = read_file stderr_file in
+        let stdout = read_file out_file in
+        (match status with
+         | Unix.WEXITED 0 when stdout = baseline -> ()
+         | Unix.WEXITED 0 -> bad what "clean exit but report differs from --jobs 1 run" err
+         | Unix.WEXITED c -> bad what (Printf.sprintf "exit %d (want 0)" c) err
+         | Unix.WSIGNALED s -> bad what (Printf.sprintf "dispatcher killed by signal %d" s) err
+         | Unix.WSTOPPED s -> bad what (Printf.sprintf "dispatcher stopped by signal %d" s) err);
+        if contains stdout "error[WORKER]" then
+          bad what "chaos recovery left an error[WORKER] diagnostic" err;
+        if contains err "Fatal error" || contains err "Raised at" then
+          bad what "uncaught OCaml exception on stderr" err;
+        (try Unix.kill ppid Sys.sigterm with Unix.Unix_error _ -> ());
+        reap ppid;
+        reap wpid
+      end
+    end
+  in
+  List.iter schedule [ 1; 2; 3 ]
+
 (* --- forced-Unknown phase ------------------------------------------------------- *)
 
 (* Inject Unknown verdicts (a budget-style degradation, not an
@@ -744,6 +871,11 @@ let () =
   if Sys.file_exists sandbox then remove_tree sandbox;
   copy_dir fixtures sandbox;
   run_fleet binary sandbox ~failures ~total;
+  (* Network-chaos phase: the fleet link through the seeded
+     fault-injecting proxy, authentication on. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_network_chaos binary sandbox ~failures ~total;
   (* Forced-Unknown phase: saturate the solver with Unknown verdicts, with
      and without the escalation ladder. *)
   if Sys.file_exists sandbox then remove_tree sandbox;

@@ -138,7 +138,8 @@ let wait_port_file path =
 (* Run one fleet schedule: a dispatcher plus one worker per element of
    [workers] (each element is that worker's extra environment).  Returns
    (dispatcher exit code, report path, dispatcher stderr path, worker pids). *)
-let fleet ~name ?(dispatch_flags = []) ?(pipeline = pipeline_args) ~workers () =
+let fleet ~name ?(dispatch_flags = []) ?(worker_flags = [ "--max-reconnects"; "3" ])
+    ?(pipeline = pipeline_args) ~workers () =
   say "schedule: %s" name;
   let dir = scenario_dir name in
   let pf = Filename.concat dir "port" in
@@ -157,11 +158,30 @@ let fleet ~name ?(dispatch_flags = []) ?(pipeline = pipeline_args) ~workers () =
         spawn ~env
           ~out:(Filename.concat dir (Printf.sprintf "w%d.out" i))
           ~err:(Filename.concat dir (Printf.sprintf "w%d.err" i))
-          [ "worker"; "--port-file"; pf; "--max-reconnects"; "3" ])
+          ([ "worker"; "--port-file"; pf ] @ worker_flags))
       workers
   in
   let code = wait_exit ~what:"dispatcher" dpid in
   (code, out, err, wpids)
+
+(* --- fleet trust fixtures ----------------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let secret_file =
+  let path = Filename.concat tmp_root "fleet.secret" in
+  write_file path "smoke-shared-secret\n";
+  path
+
+let wrong_secret_file =
+  let path = Filename.concat tmp_root "wrong.secret" in
+  write_file path "a-different-secret\n";
+  path
+
+let read_port path = String.trim (read_file path)
 
 let check ~name ~base (code, out, err, wpids) =
   if code <> 0 then fail "%s: dispatcher exited %d:\n%s" name code (read_file err);
@@ -283,5 +303,146 @@ let () =
   in
   let err = check ~name:"resume" ~base r in
   expect_notice ~name:"resume" err "replayed from journal";
+
+  (* Authenticated fleet, spec shipped LZ77-compressed: two workers
+     complete the HMAC handshake, session MACs seal every frame, and the
+     report is still byte-identical. *)
+  let code, out, err, wpids =
+    fleet ~name:"auth-compress"
+      ~dispatch_flags:[ "--secret-file"; secret_file; "--compress" ]
+      ~worker_flags:[ "--max-reconnects"; "3"; "--secret-file"; secret_file ]
+      ~workers:[ []; [] ] ()
+  in
+  ignore (check ~name:"auth-compress" ~base (code, out, err, []));
+  List.iter
+    (fun pid ->
+      match wait_exit ~what:"authed worker" pid with
+      | 0 -> ()
+      | c -> fail "auth-compress: retired worker exited %d, want 0" c)
+    wpids;
+
+  (* A worker with no secret knocks on a secret-requiring dispatcher:
+     its hellos are dropped with notice[AUTH], it never receives the
+     spec, and the dispatcher degrades to the in-process sweep. *)
+  let r =
+    fleet ~name:"auth-reject"
+      ~dispatch_flags:[ "--secret-file"; secret_file; "--wait-workers"; "1" ]
+      ~worker_flags:[ "--max-reconnects"; "2" ]
+      ~workers:[ [] ] ()
+  in
+  let err = check ~name:"auth-reject" ~base r in
+  expect_notice ~name:"auth-reject" err "notice[AUTH]";
+  expect_notice ~name:"auth-reject" err "in-process";
+  expect_notice ~name:"auth-reject" err "auth: rejected";
+
+  (* Same with the wrong secret: the mutual handshake fails on the
+     worker side (the dispatcher cannot prove knowledge of the worker's
+     secret), so the worker refuses the spec and the dispatcher sees
+     only a vanished connection and degrades. *)
+  let r =
+    fleet ~name:"auth-wrong-secret"
+      ~dispatch_flags:[ "--secret-file"; secret_file; "--wait-workers"; "1" ]
+      ~worker_flags:[ "--max-reconnects"; "2"; "--secret-file"; wrong_secret_file ]
+      ~workers:[ [] ] ()
+  in
+  let err = check ~name:"auth-wrong-secret" ~base r in
+  expect_notice ~name:"auth-wrong-secret" err "in-process";
+  expect_notice ~name:"auth-wrong-secret"
+    (Filename.concat (Filename.concat tmp_root "auth-wrong-secret") "w0.err")
+    "dispatcher failed authentication";
+
+  (* Network chaos: the worker reaches the dispatcher only through a
+     seeded fault-injecting proxy (corruption, partitions, truncation,
+     stalls, reorders, dups, split writes).  Authentication stays on —
+     corrupted frames must read as a dead worker, never as data — and
+     every seed must still produce the baseline bytes. *)
+  List.iter
+    (fun seed ->
+      let name = Printf.sprintf "chaos-%d" seed in
+      say "schedule: %s" name;
+      let dir = scenario_dir name in
+      let pf = Filename.concat dir "port" in
+      let ppf = Filename.concat dir "proxy-port" in
+      let out = Filename.concat dir "report.txt" in
+      let err = Filename.concat dir "dispatch.err" in
+      let dpid =
+        spawn ~out ~err
+          (("dispatch" :: "--listen" :: "127.0.0.1:0" :: "--port-file" :: pf
+            :: "--wait-workers" :: "30" :: "--secret-file" :: secret_file :: [])
+          @ pipeline_args)
+      in
+      wait_port_file pf;
+      let proxy =
+        spawn
+          ~out:(Filename.concat dir "proxy.out")
+          ~err:(Filename.concat dir "proxy.err")
+          [ "chaosproxy"; "--listen"; "127.0.0.1:0";
+            "--upstream"; "127.0.0.1:" ^ read_port pf; "--port-file"; ppf;
+            "--seed"; string_of_int seed; "--corrupt"; "0.03"; "--drop"; "0.02";
+            "--truncate"; "0.02"; "--stall"; "0.1"; "--stall-ms"; "80";
+            "--reorder"; "0.05"; "--dup"; "0.05"; "--split"; "0.3" ]
+      in
+      wait_port_file ppf;
+      let w =
+        spawn
+          ~out:(Filename.concat dir "w0.out")
+          ~err:(Filename.concat dir "w0.err")
+          [ "worker"; "--connect"; "127.0.0.1:" ^ read_port ppf;
+            "--secret-file"; secret_file; "--max-reconnects"; "50" ]
+      in
+      let code = wait_exit ~what:"dispatcher" dpid in
+      ignore (check ~name ~base (code, out, err, []));
+      (try Unix.kill proxy Sys.sigterm with Unix.Unix_error _ -> ());
+      reap proxy;
+      reap w)
+    [ 1; 2 ];
+
+  (* Dispatcher crash-recovery: SIGTERM (via the fault hook) after two
+     task results are journalled, then a --resume successor on the same
+     port file.  The surviving worker re-reads the port, re-handshakes,
+     and the resumed run replays the two completed tasks instead of
+     re-running them — byte-identical to the baseline. *)
+  say "schedule: term-resume";
+  let dir = scenario_dir "term-resume" in
+  let pf = Filename.concat dir "port" in
+  let jj = Filename.concat dir "run.jsonl" in
+  let out1 = Filename.concat dir "report1.txt" in
+  let err1 = Filename.concat dir "dispatch1.err" in
+  let dpid =
+    spawn ~env:[ "LLHSC_FAULT_TERM_AFTER_TASKS=2" ] ~out:out1 ~err:err1
+      (("dispatch" :: "--listen" :: "127.0.0.1:0" :: "--port-file" :: pf
+        :: "--wait-workers" :: "30" :: "--journal" :: jj
+        :: "--secret-file" :: secret_file :: [])
+      @ pipeline_args)
+  in
+  wait_port_file pf;
+  let w =
+    spawn
+      ~out:(Filename.concat dir "w0.out")
+      ~err:(Filename.concat dir "w0.err")
+      [ "worker"; "--port-file"; pf; "--secret-file"; secret_file;
+        "--max-reconnects"; "60" ]
+  in
+  (match wait_exit ~what:"terminated dispatcher" dpid with
+   | 143 -> ()
+   | c -> fail "term-resume: dispatcher exited %d, want 143 (128+SIGTERM)" c);
+  if not (Sys.file_exists (jj ^ ".tasks")) then
+    fail "term-resume: no task journal at %s.tasks" jj;
+  Sys.remove pf;
+  let out2 = Filename.concat dir "report2.txt" in
+  let err2 = Filename.concat dir "dispatch2.err" in
+  let dpid =
+    spawn ~out:out2 ~err:err2
+      (("dispatch" :: "--listen" :: "127.0.0.1:0" :: "--port-file" :: pf
+        :: "--wait-workers" :: "30" :: "--journal" :: jj :: "--resume"
+        :: "--secret-file" :: secret_file :: [])
+      @ pipeline_args)
+  in
+  let code = wait_exit ~what:"resumed dispatcher" dpid in
+  ignore (check ~name:"term-resume" ~base (code, out2, err2, []));
+  expect_notice ~name:"term-resume" err2 "resume: replayed 2 task result(s)";
+  (match wait_exit ~what:"surviving worker" w with
+   | 0 -> ()
+   | c -> fail "term-resume: surviving worker exited %d, want 0 (retired)" c);
 
   say "fleet smoke: all schedules byte-identical, exit 0"

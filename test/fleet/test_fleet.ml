@@ -1,12 +1,16 @@
-(* Unit tests for the fleet building blocks: CRC32, the frame codec, the
-   shared supervision core, the journal's per-line checksums, and the
-   spec's JSON round-trip.  The socket paths themselves are exercised by
-   fleet_smoke.ml with real processes. *)
+(* Unit tests for the fleet building blocks: CRC32, the frame codec and
+   its session MACs, SHA-256/HMAC against the published vectors, the
+   LZ77 spec compressor, the shared supervision core, the journal's
+   per-line checksums, and the spec's JSON round-trip — plus qcheck
+   properties pushing adversarial bytes through the decoder.  The socket
+   paths themselves are exercised by fleet_smoke.ml with real
+   processes. *)
 
 module Util = Llhsc.Util
 module Journal = Llhsc.Journal
 module Supervise = Llhsc.Supervise
 module Json = Llhsc.Json
+module Hmac = Llhsc.Hmac
 
 let contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in
@@ -76,6 +80,212 @@ let test_frame_corruption () =
   (match Fleet.Frame.Decoder.next dec with
    | `Corrupt m -> Alcotest.(check bool) "mentions size" true (contains m "oversized")
    | `Frame _ | `Awaiting -> Alcotest.fail "oversized frame accepted")
+
+(* --- sha256 / hmac ----------------------------------------------------------- *)
+
+let test_sha256_known () =
+  (* FIPS 180-4 / NIST CAVP vectors. *)
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Hmac.to_hex (Hmac.sha256 "abc"));
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Hmac.to_hex (Hmac.sha256 ""));
+  (* 56 bytes forces the two-block padding path. *)
+  Alcotest.(check string) "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Hmac.to_hex (Hmac.sha256 "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  (* A million 'a's exercises the length counter across many blocks. *)
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Hmac.to_hex (Hmac.sha256 (String.make 1_000_000 'a')))
+
+let test_hmac_rfc4231 () =
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.to_hex (Hmac.hmac ~key:(String.make 20 '\x0b') "Hi There"));
+  Alcotest.(check string) "case 2 (short key)"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.to_hex (Hmac.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Key longer than the block size must be hashed first. *)
+  Alcotest.(check string) "case 6 (long key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.to_hex
+       (Hmac.hmac ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_constant_time_equal () =
+  Alcotest.(check bool) "equal" true (Hmac.equal "abcd" "abcd");
+  Alcotest.(check bool) "differs" false (Hmac.equal "abcd" "abce");
+  Alcotest.(check bool) "first byte differs" false (Hmac.equal "xbcd" "abcd");
+  Alcotest.(check bool) "length differs" false (Hmac.equal "abc" "abcd");
+  Alcotest.(check bool) "empty" true (Hmac.equal "" "");
+  Alcotest.(check int) "nonce is 32 hex chars" 32 (String.length (Hmac.nonce ()));
+  Alcotest.(check bool) "nonces differ" true (Hmac.nonce () <> Hmac.nonce ())
+
+(* --- session MACs ------------------------------------------------------------ *)
+
+let test_seal_unseal () =
+  let key = Hmac.sha256 "session key" in
+  let sealed = Fleet.Frame.seal ~key ~seq:7 "payload bytes" in
+  Alcotest.(check (option string)) "roundtrip" (Some "payload bytes")
+    (Fleet.Frame.unseal ~key ~seq:7 sealed);
+  Alcotest.(check (option string)) "empty body" (Some "")
+    (Fleet.Frame.unseal ~key ~seq:0 (Fleet.Frame.seal ~key ~seq:0 ""));
+  (* A replayed or reordered frame carries the wrong sequence number. *)
+  Alcotest.(check (option string)) "wrong seq" None
+    (Fleet.Frame.unseal ~key ~seq:8 sealed);
+  Alcotest.(check (option string)) "wrong key" None
+    (Fleet.Frame.unseal ~key:(Hmac.sha256 "other") ~seq:7 sealed);
+  let b = Bytes.of_string sealed in
+  Bytes.set b (Bytes.length b - 1) 'X';
+  Alcotest.(check (option string)) "tampered body" None
+    (Fleet.Frame.unseal ~key ~seq:7 (Bytes.to_string b));
+  let b = Bytes.of_string sealed in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+  Alcotest.(check (option string)) "tampered mac" None
+    (Fleet.Frame.unseal ~key ~seq:7 (Bytes.to_string b));
+  Alcotest.(check (option string)) "payload shorter than a MAC" None
+    (Fleet.Frame.unseal ~key ~seq:0 "short")
+
+(* --- lz77 + base64 ----------------------------------------------------------- *)
+
+let lz_roundtrip s =
+  match Fleet.Lz.decompress (Fleet.Lz.compress s) with
+  | Some s' -> Alcotest.(check string) "roundtrip" s s'
+  | None -> Alcotest.fail "compressed output does not decompress"
+
+let test_lz_known () =
+  List.iter lz_roundtrip
+    [ ""; "a"; "abcabcabcabcabcabc"; String.make 300_000 'x';
+      "the quick brown fox jumps over the lazy dog" ];
+  (* A spec-shaped repetitive payload must actually shrink. *)
+  let spec =
+    String.concat ""
+      (List.init 200 (fun i ->
+           Printf.sprintf "{\"vm\":[\"memory\",\"cpu@%d\",\"uart@20000000\"]}" i))
+  in
+  Alcotest.(check bool) "repetitive input shrinks >2x" true
+    (String.length (Fleet.Lz.compress spec) * 2 < String.length spec);
+  (* Truncated stream: a match token with its distance bytes cut off. *)
+  Alcotest.(check (option string)) "truncated stream rejected" None
+    (Fleet.Lz.decompress "\x80");
+  Alcotest.(check (option string)) "b64 roundtrip" (Some "any + carnal pleasure.")
+    (Fleet.Lz.of_base64 (Fleet.Lz.to_base64 "any + carnal pleasure."));
+  Alcotest.(check (option string)) "b64 garbage rejected" None
+    (Fleet.Lz.of_base64 "!!!!")
+
+let prop_lz_roundtrip_random =
+  QCheck.Test.make ~name:"lz roundtrip (random bytes)" ~count:300 QCheck.string
+    (fun s -> Fleet.Lz.decompress (Fleet.Lz.compress s) = Some s)
+
+(* Repetitive inputs drive the match-emitting paths (random bytes almost
+   never produce a 4-byte repeat). *)
+let repetitive_string =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "<%d bytes> %S" (String.length s) s)
+    QCheck.Gen.(
+      map
+        (fun parts ->
+          String.concat ""
+            (List.concat_map (fun (s, n) -> List.init n (fun _ -> s)) parts))
+        (list_size (int_range 0 30)
+           (pair (string_size (int_range 0 12)) (int_range 1 60))))
+
+let prop_lz_roundtrip_repetitive =
+  QCheck.Test.make ~name:"lz roundtrip (repetitive)" ~count:300 repetitive_string
+    (fun s -> Fleet.Lz.decompress (Fleet.Lz.compress s) = Some s)
+
+let prop_lz_decompress_total =
+  QCheck.Test.make ~name:"lz decompress never raises" ~count:500 QCheck.string
+    (fun s ->
+      match Fleet.Lz.decompress s with Some _ | None -> true)
+
+(* --- adversarial frames ------------------------------------------------------ *)
+
+(* Satellite of the trust work: whatever bytes arrive — garbage,
+   truncations, bit flips, absurd lengths, MAC tampering — the decoder
+   must neither raise nor hand back a payload the MAC layer accepts. *)
+
+let drain_frames wire =
+  let dec = Fleet.Frame.Decoder.create () in
+  Fleet.Frame.Decoder.feed dec wire 0 (String.length wire);
+  let rec go acc =
+    match Fleet.Frame.Decoder.next dec with
+    | `Frame p -> go (p :: acc)
+    | `Awaiting | `Corrupt _ -> List.rev acc
+  in
+  go []
+
+let adversarial_input =
+  QCheck.make
+    ~print:(fun (payload, mode, a, b) ->
+      Printf.sprintf "mode %d, %d payload bytes, a=%d b=%d" mode
+        (String.length payload) a b)
+    QCheck.Gen.(
+      map
+        (fun ((payload, mode), (a, b)) -> (payload, mode, a, b))
+        (pair (pair (string_size (int_range 0 200)) (int_range 0 4)) (pair nat nat)))
+
+let prop_adversarial_frames =
+  QCheck.Test.make ~name:"adversarial frames: no crash, no accepted forgery"
+    ~count:500 adversarial_input (fun (payload, mode, a, b) ->
+      let key = Hmac.sha256 "adversarial-key" in
+      let flip s i mask =
+        let by = Bytes.of_string s in
+        Bytes.set by i (Char.chr (Char.code (Bytes.get by i) lxor mask));
+        Bytes.to_string by
+      in
+      let mask = 1 + (b mod 255) in
+      let wire =
+        match mode with
+        | 0 -> payload (* raw garbage *)
+        | 1 ->
+          let w = Fleet.Frame.encode payload in
+          String.sub w 0 (a mod String.length w) (* truncated frame *)
+        | 2 ->
+          let w = Fleet.Frame.encode payload in
+          flip w (a mod String.length w) mask (* one flipped byte *)
+        | 3 -> "\xff\xff\xff\xff" ^ payload (* absurd declared length *)
+        | _ ->
+          (* Valid frame around a MAC-tampered sealed payload. *)
+          let sealed = Fleet.Frame.seal ~key ~seq:3 payload in
+          Fleet.Frame.encode (flip sealed (a mod Fleet.Frame.mac_len) mask)
+      in
+      let frames = drain_frames wire in
+      match mode with
+      | 4 -> (
+        (* The frame itself is intact, so it decodes — but the MAC layer
+           must refuse it (and accept the untampered original). *)
+        Fleet.Frame.unseal ~key ~seq:3 (Fleet.Frame.seal ~key ~seq:3 payload)
+        = Some payload
+        &&
+        match frames with
+        | [ f ] -> Fleet.Frame.unseal ~key ~seq:3 f = None
+        | _ -> false)
+      | _ ->
+        (* Corrupted or truncated wire bytes never produce a frame (a
+           chance CRC collision is a 2^-32 event). *)
+        frames = [])
+
+(* --- worker backoff ----------------------------------------------------------- *)
+
+let test_backoff_bounds () =
+  for seed = 1 to 50 do
+    for attempt = 1 to 12 do
+      let base = Float.min 5.0 (0.2 *. (2. ** float_of_int (attempt - 1))) in
+      let d = Fleet.Worker.backoff_delay ~seed ~attempt in
+      if d < (0.75 *. base) -. 1e-9 || d >= (1.25 *. base) +. 1e-9 then
+        Alcotest.failf "seed %d attempt %d: %g outside [%g, %g)" seed attempt d
+          (0.75 *. base) (1.25 *. base)
+    done
+  done;
+  (* The jitter must actually depend on the seed (no thundering herd). *)
+  let ds =
+    List.init 20 (fun seed -> Fleet.Worker.backoff_delay ~seed:(seed + 1) ~attempt:5)
+  in
+  Alcotest.(check bool) "seed-dependent" true
+    (List.exists (fun d -> d <> List.hd ds) ds)
 
 (* --- supervision core -------------------------------------------------------- *)
 
@@ -259,9 +469,23 @@ let () =
       ( "crc32",
         [ Alcotest.test_case "known answer" `Quick test_crc_known_answer;
           Alcotest.test_case "incremental" `Quick test_crc_incremental ] );
+      ( "hmac",
+        [ Alcotest.test_case "sha256 vectors" `Quick test_sha256_known;
+          Alcotest.test_case "rfc 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "constant-time equal + nonce" `Quick
+            test_constant_time_equal ] );
       ( "frame",
         [ Alcotest.test_case "roundtrip split reads" `Quick test_frame_roundtrip;
-          Alcotest.test_case "corruption" `Quick test_frame_corruption ] );
+          Alcotest.test_case "corruption" `Quick test_frame_corruption;
+          Alcotest.test_case "seal/unseal" `Quick test_seal_unseal;
+          QCheck_alcotest.to_alcotest prop_adversarial_frames ] );
+      ( "lz",
+        [ Alcotest.test_case "known inputs + base64" `Quick test_lz_known;
+          QCheck_alcotest.to_alcotest prop_lz_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_lz_roundtrip_repetitive;
+          QCheck_alcotest.to_alcotest prop_lz_decompress_total ] );
+      ( "backoff",
+        [ Alcotest.test_case "jitter bounds" `Quick test_backoff_bounds ] );
       ( "supervise",
         [ Alcotest.test_case "first result wins" `Quick test_supervise_first_wins;
           Alcotest.test_case "crash and quarantine" `Quick test_supervise_crash_quarantine;
