@@ -450,7 +450,7 @@ let write_certify_json path =
         *. List.fold_left (fun a (c : Smt.Solver.cert) -> a +. c.time) 0. r.Smt.Solver.certs,
         List.length r.Smt.Solver.failures )
   in
-  let oc = open_out path in
+  Llhsc.Durable.with_file ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "workload": "quad_rv64 pipeline (3 VMs + platform)",
@@ -466,8 +466,7 @@ let write_certify_json path =
 |}
     runs plain_ms certify_ms
     (100. *. ((certify_ms /. plain_ms) -. 1.))
-    queries steps check_ms failures;
-  close_out oc;
+    queries steps check_ms failures);
   Fmt.pr "wrote %s (plain %.2f ms, certify %.2f ms, %d queries, %d steps)@." path
     plain_ms certify_ms queries steps
 
@@ -537,7 +536,7 @@ let write_resilience_json path =
     median_ms ~runs (fun () -> Llhsc.Quad_rv64.run_pipeline ~inputs_hash ~resume:entries ())
   in
   Sys.remove journal_path;
-  let oc = open_out path in
+  Llhsc.Durable.with_file ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "workload": "quad_rv64 pipeline (3 VMs + platform), max_propagations=2000",
@@ -565,9 +564,7 @@ let write_resilience_json path =
     base_ms journal_ms
     (100. *. ((journal_ms /. base_ms) -. 1.))
     resume_ms
-    (100. *. (resume_ms /. base_ms))
-  ;
-  close_out oc;
+    (100. *. (resume_ms /. base_ms)));
   Fmt.pr
     "wrote %s (plain %.2f ms, retry %.2f ms, %d/%d retried queries recovered; resume %.2f ms vs full %.2f ms)@."
     path plain_ms retry_ms recovered retried resume_ms base_ms
@@ -611,7 +608,7 @@ let write_parallel_json path =
        = outcome_string (Llhsc.Quad_rv64.run_pipeline ~certify:true ~jobs:1 ())
   in
   let cpus = online_cpus () in
-  let oc = open_out path in
+  Llhsc.Durable.with_file ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "workload": "quad_rv64 pipeline (3 VMs + platform), check phase sharded",
@@ -628,8 +625,7 @@ let write_parallel_json path =
   "reports_byte_identical": %b
 }
 |}
-    runs cpus j1 j2 j4 (j1 /. j2) (j1 /. j4) c1 c4 (c1 /. c4) identical;
-  close_out oc;
+    runs cpus j1 j2 j4 (j1 /. j2) (j1 /. j4) c1 c4 (c1 /. c4) identical);
   Fmt.pr
     "wrote %s (%d cpus; j1 %.2f ms, j2 %.2f ms, j4 %.2f ms, speedup x%.2f; certify j1 %.2f ms, j4 %.2f ms, x%.2f; identical=%b)@."
     path cpus j1 j2 j4 (j1 /. j4) c1 c4 (c1 /. c4) identical
@@ -679,7 +675,7 @@ let write_supervision_json path =
        = baseline
   in
   let cpus = online_cpus () in
-  let oc = open_out path in
+  Llhsc.Durable.with_file ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "workload": "quad_rv64 pipeline (3 VMs + platform), supervised pool",
@@ -703,8 +699,7 @@ let write_supervision_json path =
     (100. *. ((j4_guarded /. j4) -. 1.))
     kill_ms
     (100. *. ((kill_ms /. j2) -. 1.))
-    identical;
-  close_out oc;
+    identical);
   Fmt.pr
     "wrote %s (%d cpus; j4 %.2f ms, +deadline %.2f ms, +guards %.2f ms; kill-recovery %.2f ms vs j2 %.2f ms; identical=%b)@."
     path cpus j4 j4_deadline j4_guarded kill_ms j2 identical
@@ -828,7 +823,7 @@ let write_serve_json path =
   Unix.kill pid Sys.sigterm;
   let drain_clean = match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false in
   close_in_noerr log;
-  let oc = open_out path in
+  Llhsc.Durable.with_file ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "workload": "llhsc serve, POST /v1/check (fork/exec of the batch CLI per request)",
@@ -848,8 +843,7 @@ let write_serve_json path =
 |}
     workers queue requests p50 p95 burst capacity ok shed
     (float_of_int shed /. float_of_int burst)
-    unanswered drain_clean;
-  close_out oc;
+    unanswered drain_clean);
   Fmt.pr
     "wrote %s (p50 %.2f ms, p95 %.2f ms; burst %d -> %d ok, %d shed, %d unanswered; drain=%b)@."
     path p50 p95 burst ok shed unanswered drain_clean;
@@ -1026,7 +1020,7 @@ let write_fleet_json path =
     j4_report = base && f2_report = base && f3_report = base && fk_report = base
   in
   let cpus = online_cpus () in
-  let oc = open_out path in
+  Llhsc.Durable.with_file ~path (fun oc ->
   Printf.fprintf oc
     {|{
   "workload": "quad_rv64 pipeline (3 VMs + platform), dispatched over loopback TCP",
@@ -1052,12 +1046,164 @@ let write_fleet_json path =
     (100. *. ((fk /. f2) -. 1.))
     spec_bytes spec_bytes_compressed
     (float_of_int spec_bytes /. float_of_int (max 1 spec_bytes_compressed))
-    identical;
-  close_out oc;
+    identical);
   Fmt.pr
     "wrote %s (%d cpus; j1 %.2f ms, j4 %.2f ms; fleet2 %.2f ms, fleet3 %.2f ms; kill-recovery %.2f ms; spec %d -> %d bytes; identical=%b)@."
     path cpus j1 j4 f2 f3 fk spec_bytes spec_bytes_compressed identical;
   if not identical then failwith "fleet bench: reports diverged from --jobs 1"
+
+(* ------------------------------------------------------------------ *)
+(* Durability measurement (BENCH_durability.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The storage column: what the fsync-per-record discipline costs against
+   a buffered append of the same bytes, what the atomic
+   write-temp/fsync/rename whole-file commit costs against a plain
+   write, and how long [llhsc journal fsck]/[compact] take on a journal
+   big enough to matter.  The big journal is built by replicating real
+   fsync'd record lines (the shape of a long resumed run that appended
+   the same products many times over), so compact's last-wins collapse
+   is measured on genuine superseded records, not synthetic noise. *)
+
+let write_durability_json path =
+  let runs = 11 in
+  let n_records = 256 in
+  let inputs_hash = Llhsc.Journal.inputs_hash ~parts:[ "bench-durability" ] in
+  let entry i =
+    {
+      Llhsc.Journal.kind = Llhsc.Journal.Product;
+      name = Printf.sprintf "vm%03d" i;
+      hash = Llhsc.Journal.product_hash ~inputs_hash ~name:(Printf.sprintf "vm%03d" i)
+          ~features:[ "cpu"; "mem" ];
+      features = [ "cpu"; "mem" ];
+      order = [];
+      findings = [];
+      certified = false;
+      cert_failures = 0;
+    }
+  in
+  let scratch = Filename.temp_file "llhsc-bench-durability" ".jsonl" in
+  let journal_ms =
+    median_ms ~runs (fun () ->
+        if Sys.file_exists scratch then Sys.remove scratch;
+        let sink = Llhsc.Journal.open_ ~path:scratch ~inputs_hash in
+        for i = 0 to n_records - 1 do
+          Llhsc.Journal.record sink (entry i)
+        done;
+        Llhsc.Journal.close sink)
+  in
+  (* The same bytes through a buffered channel with no fsync: the
+     baseline the durability premium is measured against. *)
+  let lines =
+    let ic = open_in scratch in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let ls = go [] in
+    close_in ic;
+    ls
+  in
+  let buffered_ms =
+    median_ms ~runs (fun () ->
+        let oc = open_out scratch in
+        List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+        close_out oc)
+  in
+  (* Atomic whole-file commit vs plain write, report-sized payload. *)
+  let blob = String.make (1 lsl 20) 'x' in
+  let atomic_ms =
+    median_ms ~runs (fun () -> Llhsc.Durable.write_file ~path:scratch blob)
+  in
+  let plain_ms =
+    median_ms ~runs (fun () ->
+        let oc = open_out_bin scratch in
+        output_string oc blob;
+        close_out oc)
+  in
+  (* fsck/compact at scale: replicate the real record lines (keeping the
+     header first) until the journal holds ~50k lines. *)
+  let header, records =
+    match lines with h :: t -> (h, t) | [] -> failwith "durability bench: empty journal"
+  in
+  let big_lines = 50_000 in
+  let big =
+    let b = Buffer.create (big_lines * 128) in
+    Buffer.add_string b header;
+    Buffer.add_char b '\n';
+    let rec fill n =
+      if n < big_lines then begin
+        List.iter
+          (fun l ->
+            Buffer.add_string b l;
+            Buffer.add_char b '\n')
+          records;
+        fill (n + List.length records)
+      end
+    in
+    fill 0;
+    Buffer.contents b
+  in
+  Llhsc.Durable.write_file ~path:scratch big;
+  let fsck_ms = median_ms ~runs (fun () -> Llhsc.Journal.fsck ~path:scratch) in
+  let report =
+    match Llhsc.Journal.fsck ~path:scratch with
+    | Some r -> r
+    | None -> failwith "durability bench: fsck could not read the big journal"
+  in
+  (* compact rewrites the file, so restore it outside the timed region. *)
+  let compact_samples =
+    List.init runs (fun _ ->
+        Llhsc.Durable.write_file ~path:scratch big;
+        let t0 = Unix.gettimeofday () in
+        (match Llhsc.Journal.compact ~path:scratch with
+        | Ok _ -> ()
+        | Error e -> failwith ("durability bench: compact failed: " ^ e));
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let compact_ms = List.nth (List.sort compare compact_samples) (runs / 2) in
+  let compacted =
+    match Llhsc.Journal.fsck ~path:scratch with
+    | Some r -> r.Llhsc.Journal.records
+    | None -> -1
+  in
+  Sys.remove scratch;
+  Llhsc.Durable.with_file ~path (fun oc ->
+  Printf.fprintf oc
+    {|{
+  "workload": "journal record stream + atomic whole-file commit",
+  "runs": %d,
+  "journal_records": %d,
+  "journal_fsync_ms": %.3f,
+  "buffered_append_ms": %.3f,
+  "fsync_premium_x": %.1f,
+  "fsync_us_per_record": %.1f,
+  "atomic_commit_1mib_ms": %.3f,
+  "plain_write_1mib_ms": %.3f,
+  "big_journal_lines": %d,
+  "big_journal_records": %d,
+  "big_journal_entries": %d,
+  "big_journal_torn": %d,
+  "big_journal_invalid": %d,
+  "fsck_ms": %.3f,
+  "compact_ms": %.3f,
+  "compacted_records": %d
+}
+|}
+    runs n_records journal_ms buffered_ms
+    (journal_ms /. Float.max 0.001 buffered_ms)
+    (1000. *. journal_ms /. float_of_int n_records)
+    atomic_ms plain_ms
+    (report.Llhsc.Journal.records + report.Llhsc.Journal.torn
+   + report.Llhsc.Journal.invalid)
+    report.Llhsc.Journal.records
+    report.Llhsc.Journal.entries report.Llhsc.Journal.torn
+    report.Llhsc.Journal.invalid fsck_ms compact_ms compacted);
+  Fmt.pr
+    "wrote %s (%d records: fsync'd %.2f ms vs buffered %.2f ms; fsck %.2f ms, compact %.2f ms over %d lines -> %d entries)@."
+    path n_records journal_ms buffered_ms fsck_ms compact_ms
+    report.Llhsc.Journal.records report.Llhsc.Journal.entries
 
 (* A measurement mode that silently produces nothing poisons the
    committed BENCH_*.json trail, so every mode is checked for a
@@ -1083,12 +1229,13 @@ let () =
   | "supervision" -> checked_output arg "BENCH_supervision.json" write_supervision_json
   | "serve" -> checked_output arg "BENCH_serve.json" write_serve_json
   | "fleet" -> checked_output arg "BENCH_fleet.json" write_fleet_json
+  | "durability" -> checked_output arg "BENCH_durability.json" write_durability_json
   | "report" -> report ()
   | "" ->
     report ();
     run_benchmarks ()
   | other ->
     Printf.eprintf
-      "bench: unknown mode %S (want certify|resilience|parallel|supervision|serve|fleet|report)\n"
+      "bench: unknown mode %S (want certify|resilience|parallel|supervision|serve|fleet|durability|report)\n"
       other;
     exit 1

@@ -15,10 +15,10 @@ let read_file path =
   close_in ic;
   s
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+(* Every artifact the CLI emits (generated DTS, Bao configs, DTBs, SMT
+   dumps) commits atomically: a crash or disk error mid-write leaves the
+   old bytes or no file, never a torn artifact. *)
+let write_file path contents = Llhsc.Durable.write_file ~path contents
 
 (* Resolve /include/ relative to the including file's directory. *)
 let loader_for path file =
@@ -324,7 +324,26 @@ let cmd_pipeline ?runner core_path deltas_path fm_path schema_dir vm_features ex
     if not resume then []
     else
       match journal_path with
-      | Some path -> Llhsc.Journal.load ~path ~inputs_hash
+      | Some path ->
+        (* Quiet fsck first: surface (on stderr, never in the report) why
+           a journal will not be trusted, instead of silently re-checking
+           everything. *)
+        (match Llhsc.Journal.fsck ~path with
+         | None -> () (* no journal yet: a fresh run, nothing to say *)
+         | Some r ->
+           (match r.Llhsc.Journal.degraded_reason with
+            | Some reason ->
+              Fmt.epr
+                "resume: journal %s recorded a durability degradation (%s); \
+                 not trusting it (run `llhsc journal compact` to re-bless \
+                 the surviving entries)@."
+                path reason
+            | None ->
+              if r.Llhsc.Journal.torn > 0 || r.Llhsc.Journal.invalid > 0 then
+                Fmt.epr "resume: journal %s: skipping %d torn/corrupt line(s)@."
+                  path
+                  (r.Llhsc.Journal.torn + r.Llhsc.Journal.invalid)));
+        Llhsc.Journal.load ~path ~inputs_hash
       | None -> failwith "--resume requires --journal FILE"
   in
   let sink =
@@ -399,6 +418,54 @@ let cmd_pipeline ?runner core_path deltas_path fm_path schema_dir vm_features ex
    | Some _ -> Fmt.pr "checks failed; not writing artifacts@."
    | None -> ());
   exit_of_outcome outcome
+
+(* --- journal maintenance ----------------------------------------------------------- *)
+
+(* Exit-code contract mirrors the CLI's: 0 the journal is clean, 1 it has
+   recoverable issues (torn/corrupt lines, a degradation marker), 2 it is
+   unusable (missing, unreadable, or the header is gone). *)
+let cmd_journal_fsck path quiet =
+  handle_errors @@ fun () ->
+  match Llhsc.Journal.fsck ~path with
+  | None ->
+    Fmt.epr "%a@." Diag.pp (Diag.make ~code:"IO" "%s: cannot read journal" path);
+    2
+  | Some r -> (
+    let say fmt =
+      if quiet then Format.ifprintf Format.std_formatter fmt else Fmt.pr fmt
+    in
+    (match r.Llhsc.Journal.header with
+     | `Ok ih -> say "journal %s: header ok (inputs %s)@." path ih
+     | `Bad -> say "journal %s: unrecognised header@." path
+     | `Missing -> say "journal %s: empty@." path);
+    say "  records: %d (%d distinct, %d superseded, %d legacy checksum-less)@."
+      r.Llhsc.Journal.records r.Llhsc.Journal.entries
+      (r.Llhsc.Journal.records - r.Llhsc.Journal.entries)
+      r.Llhsc.Journal.legacy;
+    if r.Llhsc.Journal.torn > 0 then
+      say "  torn: %d line(s) whose checksum does not verify@." r.Llhsc.Journal.torn;
+    if r.Llhsc.Journal.invalid > 0 then
+      say "  corrupt: %d line(s) that are not valid records@." r.Llhsc.Journal.invalid;
+    (match r.Llhsc.Journal.degraded_reason with
+     | Some reason ->
+       say "  degraded: the writing run lost durability (%s); --resume will \
+            refuse this journal until `llhsc journal compact` re-blesses it@."
+         reason
+     | None -> ());
+    match r.Llhsc.Journal.header with
+    | `Bad | `Missing -> 2
+    | `Ok _ -> if Llhsc.Journal.fsck_issues r then 1 else 0)
+
+let cmd_journal_compact path =
+  handle_errors @@ fun () ->
+  match Llhsc.Journal.compact ~path with
+  | Error reason ->
+    Fmt.epr "%a@." Diag.pp (Diag.make ~code:"IO" "%s" reason);
+    2
+  | Ok (lines, entries) ->
+    Fmt.pr "journal %s: compacted %d line(s) to %d entr%s@." path lines entries
+      (if entries = 1 then "y" else "ies");
+    0
 
 (* --- dispatch / worker (fleet mode) ----------------------------------------------- *)
 
@@ -1387,6 +1454,33 @@ let serve_cmd =
           $ request_deadline $ read_timeout $ write_timeout $ max_body $ max_header
           $ retry_after $ max_request_jobs $ dispatch $ dispatch_secret_file $ verbose)
 
+let journal_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL") in
+  let fsck =
+    let quiet =
+      Arg.(value & flag
+           & info [ "q"; "quiet" ] ~doc:"No census on stdout; exit code only.")
+    in
+    Cmd.v
+      (Cmd.info "fsck"
+         ~doc:"Check a --journal file: header, per-line CRCs, torn/corrupt \
+               census, degradation marker.  Exit 0 clean, 1 recoverable \
+               issues, 2 unusable.")
+      Term.(const cmd_journal_fsck $ path $ quiet)
+  in
+  let compact =
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"Atomically rewrite a journal to its last-wins entries, \
+               dropping torn lines, superseded duplicates and any \
+               degradation marker (the explicit recovery step that lets \
+               --resume trust a degraded journal again).")
+      Term.(const cmd_journal_compact $ path)
+  in
+  Cmd.group
+    (Cmd.info "journal" ~doc:"Inspect and maintain --journal files")
+    [ fsck; compact ]
+
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's running example end to end")
@@ -1398,6 +1492,6 @@ let main_cmd =
        ~doc:"DeviceTree syntax and semantic checker for static-partitioning hypervisors")
     [ check_cmd; products_cmd; configure_cmd; analyze_cmd; generate_cmd; pipeline_cmd;
       dispatch_cmd; worker_cmd; chaosproxy_cmd; build_cmd; dtb_cmd; diff_cmd;
-      overlay_cmd; smt2_cmd; sat_cmd; serve_cmd; demo_cmd ]
+      overlay_cmd; smt2_cmd; sat_cmd; serve_cmd; journal_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

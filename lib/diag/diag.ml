@@ -79,6 +79,12 @@ let of_exn exn =
   (* runtime escape hatches: these indicate an internal bug, but the
      checker must degrade to a diagnostic, not a backtrace *)
   | Sys_error msg -> at "IO" "%s" msg
+  (* disk errors that escape the fail-operational journal path (e.g. an
+     atomic report write hitting ENOSPC) are input-environment errors *)
+  | Unix.Unix_error (e, op, arg) ->
+    at "IO" "%s%s: %s" op
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e)
   | Failure msg -> at "FAIL" "%s" msg
   | Invalid_argument msg -> at "INTERNAL" "invalid argument: %s" msg
   | Not_found -> at "INTERNAL" "internal lookup failed (Not_found)"

@@ -65,6 +65,8 @@ type conn = {
   created : float;
   leases : Supervise.Lease.t;
   mutable nonces : string * string; (* (nonce_w, nonce_d) during auth *)
+  mutable cached : string list; (* spec hashes the hello advertised *)
+  mutable sent_cached : bool; (* last setup sent was hash-only *)
   mutable skey : string option; (* session key once authenticated *)
   mutable seq_in : int; (* next expected worker->dispatcher MAC seq *)
   mutable seq_out : int; (* next dispatcher->worker MAC seq *)
@@ -95,6 +97,20 @@ let msg_setup ~compress spec hash =
   Json.to_string
     (Json.Obj [ ("setup", Spec.to_wire ~compress spec); ("hash", Json.Str hash) ])
 
+(* Bandwidth-aware setup: a worker whose hello advertised this spec hash
+   already holds the built task array from an earlier session, so the
+   setup carries only the hash — no spec body.  A worker that lost its
+   cache replies with an error and the dispatcher falls back to shipping
+   in full. *)
+let msg_setup_cached hash =
+  Json.to_string
+    (Json.Obj
+       [ ("setup", Json.Obj [ ("cached", Json.Bool true) ]);
+         ("hash", Json.Str hash) ])
+
+let setup_choice ~cached ~spec_hash =
+  if List.mem spec_hash cached then `Cached else `Ship
+
 let msg_task i = Json.to_string (Json.Obj [ ("task", Json.Int i) ])
 let msg_retire = Json.to_string (Json.Obj [ ("retire", Json.Bool true) ])
 
@@ -119,7 +135,15 @@ let task_journal_header ~spec_hash ~n =
          ("spec", Json.Str spec_hash);
          ("count", Json.Int n) ])
 
-(* (header_matches, entries) — entries only from a matching header. *)
+(* Appended (best-effort) when a task-journal write or fsync fails: the
+   dispatcher carried on without journaling, so the file is incomplete
+   from an unknowable point and a resumed run must not trust it. *)
+let task_degraded_json reason =
+  Json.to_string (Json.Obj [ ("llhsc-tasks-degraded", Json.Str reason) ])
+
+(* (header_matches, entries) — entries only from a matching header.  A
+   journal carrying a degradation marker is refused wholesale (header
+   reported as non-matching, so the caller rewrites it fresh). *)
 let load_task_journal path ~spec_hash ~(tasks : Shard.task array) =
   let n = Array.length tasks in
   match open_in path with
@@ -137,6 +161,7 @@ let load_task_journal path ~spec_hash ~(tasks : Shard.task array) =
           && Option.bind (Json.member "count" j) Json.to_int = Some n)
     in
     let out = ref [] in
+    let degraded = ref false in
     if ok_header then begin
       try
         while true do
@@ -146,21 +171,23 @@ let load_task_journal path ~spec_hash ~(tasks : Shard.task array) =
           | Some body -> (
             match Json.parse body with
             | Error _ -> ()
-            | Ok j -> (
-              match
-                ( Option.bind (Json.member "task" j) Json.to_int,
-                  Option.bind (Json.member "r" j) Shard.result_of_json )
-              with
-              | Some i, Some r
-                when i >= 0 && i < n && r.Shard.product = tasks.(i).Shard.owner
-                ->
-                out := (i, r) :: !out
-              | _ -> ()))
+            | Ok j ->
+              if Json.member "llhsc-tasks-degraded" j <> None then degraded := true
+              else (
+                match
+                  ( Option.bind (Json.member "task" j) Json.to_int,
+                    Option.bind (Json.member "r" j) Shard.result_of_json )
+                with
+                | Some i, Some r
+                  when i >= 0 && i < n && r.Shard.product = tasks.(i).Shard.owner
+                  ->
+                  out := (i, r) :: !out
+                | _ -> ()))
         done
       with End_of_file -> ()
     end;
     close_in ic;
-    (ok_header, List.rev !out)
+    if !degraded then (false, []) else (ok_header, List.rev !out)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -177,6 +204,9 @@ let run cfg ~spec (tasks : Shard.task array) =
      the rejected-connection count surfaced in the final stats line. *)
   let seen_nonces : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let auth_rejected = ref 0 in
+  (* Spec transfers skipped because the worker's hello advertised a warm
+     cache of this spec hash (bandwidth-aware scheduling). *)
+  let spec_skips = ref 0 in
 
   (* Task journal: preload completed results on --resume, then append
      every fresh result.  Preloaded tasks leave the pending queue before
@@ -190,6 +220,32 @@ let run cfg ~spec (tasks : Shard.task array) =
   if preloaded <> [] then
     notice "resume: replayed %d task result(s) from %s" (List.length preloaded)
       (Option.get cfg.task_journal);
+  (* Fail-operational task journaling, mirroring the pipeline journal: a
+     write/fsync failure stops journaling (loud notice, best-effort
+     degradation marker so --resume refuses the file) but never stops the
+     dispatch — the merge and the report do not depend on the journal. *)
+  let tj_degraded = ref None in
+  let tj_degrade oc e =
+    let reason =
+      match e with
+      | Unix.Unix_error (err, op, _) ->
+        Printf.sprintf "%s: %s" op (Unix.error_message err)
+      | Sys_error m -> m
+      | e -> Printexc.to_string e
+    in
+    tj_degraded := Some reason;
+    notice
+      "warning[JOURNAL] task journal %s: %s; journaling disabled for the rest \
+       of the run"
+      (Option.value ~default:"?" cfg.task_journal)
+      reason;
+    try
+      output_char oc '\n';
+      output_string oc (Llhsc.Journal.checksummed (task_degraded_json reason));
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ -> ()
+  in
   let tj_oc =
     match cfg.task_journal with
     | None -> None
@@ -198,13 +254,15 @@ let run cfg ~spec (tasks : Shard.task array) =
         if header_ok then
           open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
         else begin
-          (* New run, or a stale journal (different spec/skip set):
-             start over rather than appending under a wrong header. *)
+          (* New run, or a stale/degraded journal (different spec/skip
+             set, or a marker): start over rather than appending under a
+             wrong header. *)
           let oc =
             open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path
           in
-          output_string oc (task_journal_header ~spec_hash ~n);
-          output_char oc '\n';
+          (try
+             Llhsc.Durable.out_string oc (task_journal_header ~spec_hash ~n ^ "\n")
+           with (Unix.Unix_error _ | Sys_error _) as e -> tj_degrade oc e);
           oc
         end
       in
@@ -215,21 +273,26 @@ let run cfg ~spec (tasks : Shard.task array) =
   let record_task i r =
     match tj_oc with
     | None -> ()
+    | Some _ when !tj_degraded <> None -> ()
     | Some oc ->
-      output_string oc
-        (Llhsc.Journal.checksummed
-           (Json.to_string
-              (Json.Obj
-                 [ ("task", Json.Int i); ("r", Shard.result_to_json r) ])));
-      output_char oc '\n';
-      flush oc;
-      (try Util.retry_eintr (fun () -> Unix.fsync (Unix.descr_of_out_channel oc))
-       with Unix.Unix_error _ -> ());
-      incr tasks_recorded;
-      (* Test hook: raise SIGTERM in-process after the n-th record,
-         exercising the CLI's graceful-interrupt + --resume path. *)
-      if term_after = Some !tasks_recorded then
-        Unix.kill (Unix.getpid ()) Sys.sigterm
+      (match
+         Llhsc.Durable.out_string oc
+           (Llhsc.Journal.checksummed
+              (Json.to_string
+                 (Json.Obj
+                    [ ("task", Json.Int i); ("r", Shard.result_to_json r) ]))
+           ^ "\n");
+         Llhsc.Durable.sync oc
+       with
+       | () -> ()
+       | exception ((Unix.Unix_error _ | Sys_error _) as e) -> tj_degrade oc e);
+      if !tj_degraded = None then begin
+        incr tasks_recorded;
+        (* Test hook: raise SIGTERM in-process after the n-th record,
+           exercising the CLI's graceful-interrupt + --resume path. *)
+        if term_after = Some !tasks_recorded then
+          Unix.kill (Unix.getpid ()) Sys.sigterm
+      end
   in
 
   let drop_conn c reason =
@@ -296,6 +359,22 @@ let run cfg ~spec (tasks : Shard.task array) =
     flush_out c
   in
 
+  (* Ship the spec, or just its hash when the worker's hello advertised a
+     warm cache for it — the worker rebuilds its task array from the cache
+     and replies ready exactly as if the spec had been shipped. *)
+  let send_setup c =
+    match setup_choice ~cached:c.cached ~spec_hash with
+    | `Cached ->
+      c.sent_cached <- true;
+      incr spec_skips;
+      notice "worker %s has spec %s cached; skipping spec transfer" c.peer
+        spec_hash;
+      send c (msg_setup_cached spec_hash)
+    | `Ship ->
+      c.sent_cached <- false;
+      send c setup_payload
+  in
+
   (* Authentication failures are counted and surfaced distinctly — they
      are a property of the fleet's environment, not of any task — but
      the remedy is the usual one: the connection dies, and an
@@ -333,10 +412,13 @@ let run cfg ~spec (tasks : Shard.task array) =
       | Awaiting_hello -> (
         match Json.member "hello" j with
         | Some hello -> (
+          c.cached <-
+            Option.value ~default:[]
+              (Option.bind (Json.member "cached" hello) Json.to_str_list);
           match cfg.secret with
           | None ->
             c.state <- Awaiting_ready;
-            send c setup_payload
+            send_setup c
           | Some secret -> (
             (* Challenge–response: never ship the spec to a peer that
                has not proven knowledge of the shared secret. *)
@@ -378,7 +460,7 @@ let run cfg ~spec (tasks : Shard.task array) =
                 Some
                   (Llhsc.Hmac.hmac ~key:secret ("llhsc-sess:" ^ nw ^ ":" ^ nd));
               c.state <- Awaiting_ready;
-              send c setup_payload
+              send_setup c
             end
             else auth_reject c "bad auth mac")
         | _ -> auth_reject c "spoke before authenticating")
@@ -403,6 +485,15 @@ let run cfg ~spec (tasks : Shard.task array) =
                  (match k with Some k -> string_of_int k | None -> "?"))
         | None -> (
           match Option.bind (Json.member "error" j) Json.to_str with
+          | Some msg when c.sent_cached ->
+            (* The worker advertised this spec but lost its cache (e.g. a
+               restart between hello and setup): fall back to shipping in
+               full rather than dropping a healthy worker. *)
+            notice "worker %s lost its cached spec (%s); shipping in full"
+              c.peer msg;
+            c.sent_cached <- false;
+            decr spec_skips;
+            send c setup_payload
           | Some msg -> drop_conn c (Printf.sprintf "failed to plan: %s" msg)
           | None -> drop_conn c "spoke before ready"))
       | Ready -> (
@@ -479,6 +570,7 @@ let run cfg ~spec (tasks : Shard.task array) =
           out = Buffer.create 256; out_pos = 0; state = Awaiting_hello;
           alive = true; created = Unix.gettimeofday ();
           leases = Supervise.Lease.create (); nonces = ("", "");
+          cached = []; sent_cached = false;
           skey = None; seq_in = 0; seq_out = 0 }
         :: !conns
   in
@@ -538,11 +630,11 @@ let run cfg ~spec (tasks : Shard.task array) =
       in
       notice "listening on %s:%d (fleet floor %d, grace %.1fs)" cfg.host
         bound_port cfg.min_workers cfg.wait_workers;
+      (* Atomic: a polling reader sees the old port file or the complete
+         new one, never a partially-written port number. *)
       Option.iter
         (fun path ->
-          let oc = open_out path in
-          Printf.fprintf oc "%d\n" bound_port;
-          close_out oc)
+          Llhsc.Durable.write_file ~path (Printf.sprintf "%d\n" bound_port))
         cfg.port_file
     | exception (Unix.Unix_error _ | Failure _) ->
       degraded := true;
@@ -629,7 +721,10 @@ let run cfg ~spec (tasks : Shard.task array) =
             tasks.(i).Shard.owner (Printexc.to_string e))
       (Supervise.unresolved st);
     if !auth_rejected > 0 then
-      notice "auth: rejected %d connection attempt(s)" !auth_rejected
+      notice "auth: rejected %d connection attempt(s)" !auth_rejected;
+    if !spec_skips > 0 then
+      notice "spec cache: skipped %d spec transfer(s) to worker(s) with a \
+              warm cache" !spec_skips
   in
   let finish () =
     restore_sigpipe ();

@@ -59,3 +59,19 @@ type config = {
     [tasks], with [spec.skip] naming the journal-replayed products. *)
 val run :
   config -> spec:Spec.t -> Llhsc.Shard.task array -> Llhsc.Shard.result option array
+
+(** {1 Bandwidth-aware setup}
+
+    Exposed for unit tests: the pure policy deciding whether a worker's
+    setup ships the spec body or only its hash. *)
+
+(** [`Cached] when [spec_hash] is among the hashes the worker's hello
+    advertised as cached — the dispatcher sends {!msg_setup_cached} and
+    skips the spec transfer; [`Ship] otherwise. *)
+val setup_choice : cached:string list -> spec_hash:string -> [ `Cached | `Ship ]
+
+(** The hash-only setup message sent on a cache hit:
+    [{"setup":{"cached":true},"hash":h}] — no spec body.  A worker whose
+    cache no longer holds [h] replies with an error and the dispatcher
+    falls back to the full setup. *)
+val msg_setup_cached : string -> string

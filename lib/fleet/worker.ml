@@ -171,11 +171,19 @@ let session fd ~secret ~cache ~drop_fired =
       incr seq_out
     | None -> Frame.write fd body
   in
+  (* Advertise which spec hashes we already hold so the dispatcher can
+     skip re-shipping the spec body on reconnect (bandwidth-aware
+     scheduling; it sends a hash-only setup and we answer from cache). *)
   send_msg
     (Json.Obj
        [ ( "hello",
            Json.Obj
              (("pid", Json.Int (Unix.getpid ()))
+             :: ( "cached",
+                  Json.List
+                    (match !cache with
+                    | Some (h, _) -> [ Json.Str h ]
+                    | None -> []) )
              ::
              (match nonce_w with
              | Some n -> [ ("nonce", Json.Str n) ]
@@ -224,15 +232,25 @@ let session fd ~secret ~cache ~drop_fired =
           | Some h -> h
           | None -> raise (Protocol "setup without hash")
         in
+        let cached_only =
+          match Json.member "cached" sj with
+          | Some (Json.Bool true) -> true
+          | _ -> false
+        in
         let built =
           match !cache with
           | Some (h', ts) when h' = h -> Ok ts
-          | _ -> (
-            match Spec.of_wire sj with
-            | None -> Error "malformed spec"
-            | Some spec ->
-              if Spec.hash spec <> h then Error "spec hash mismatch"
-              else Spec.build spec)
+          | _ ->
+            (* A hash-only setup with a cold cache (e.g. the worker
+               restarted between hello and setup) cannot be planned;
+               the dispatcher falls back to shipping the full spec. *)
+            if cached_only then Error "spec not cached"
+            else (
+              match Spec.of_wire sj with
+              | None -> Error "malformed spec"
+              | Some spec ->
+                if Spec.hash spec <> h then Error "spec hash mismatch"
+                else Spec.build spec)
         in
         match built with
         | Error msg ->

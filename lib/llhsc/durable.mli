@@ -1,0 +1,68 @@
+(** Durable I/O: the one place every state-bearing write goes through.
+
+    Two disciplines, matching the two kinds of state llhsc persists:
+
+    - {b Whole files} (reports, port files, bench JSON, serve job inputs,
+      compacted journals): {!write_file} writes to a temp file in the
+      same directory, fsyncs it, renames it over the destination and
+      fsyncs the directory.  A reader can never observe a partial file
+      and a crash leaves either the old bytes or the new bytes, never a
+      mix.
+    - {b Append-only journals}: {!open_for_append} / {!out_string} /
+      {!sync} are checked variants of the stdlib calls — every error,
+      including fsync failure, is raised rather than swallowed, so the
+      journal layer can degrade loudly instead of silently claiming
+      durability it no longer has.
+
+    {1 Fault injection}
+
+    [LLHSC_FAULT_FS] holds a comma-separated schedule of seeded disk
+    faults, in the style of the other [LLHSC_FAULT_*] hooks (inert in
+    production, deterministic under test).  Each token is [<kind>@<n>]
+    where [n] is a 1-based count of operations of that kind performed by
+    this process:
+
+    - [enospc@n] — the [n]-th write raises [ENOSPC] before writing.
+    - [short@n] — the [n]-th write persists only half its bytes (a torn
+      write), then raises [ENOSPC].
+    - [eio-fsync@n] — the [n]-th fsync raises [EIO].
+    - [crash-rename@n] — the [n]-th atomic commit SIGKILLs the process
+      after the temp file is written and fsync'd but before the rename,
+      simulating a crash in the commit window.
+    - [erofs@n] — the [n]-th open-for-write raises [Sys_error]
+      ("Read-only file system").
+
+    Unrecognised tokens are ignored.  Counters are process-global;
+    {!reset_faults} rewinds them for in-process unit tests. *)
+
+(** Atomically replace [path] with [data]: write [path ^ ".tmp.<pid>"],
+    fsync, rename over [path], fsync the parent directory.  On failure the
+    temp file is removed and the original [path] is untouched.  Raises
+    [Sys_error] or [Unix.Unix_error]. *)
+val write_file : path:string -> string -> unit
+
+(** [with_file ~path f] is {!write_file} for callers that stream their
+    output: [f] writes to a channel backed by the temp file, and the
+    atomic fsync/rename commit happens after [f] returns.  If [f] raises,
+    the temp file is removed and [path] is untouched. *)
+val with_file : path:string -> (out_channel -> unit) -> unit
+
+(** Open for appending (creating if needed, mode 0o644).  Raises
+    [Sys_error], including the injected [erofs@n] fault. *)
+val open_for_append : string -> out_channel
+
+(** Checked write: raises [Unix.Unix_error (ENOSPC, _, _)] under the
+    [enospc@n]/[short@n] faults ([short] flushes the half-written prefix
+    first, leaving a torn record on disk, exactly like a real short
+    write on a full disk). *)
+val out_string : out_channel -> string -> unit
+
+(** Flush then fsync, retrying [EINTR].  Unlike the stdlib idiom this
+    PROPAGATES failure — [Sys_error] from the flush, [Unix.Unix_error]
+    from the fsync (including the injected [eio-fsync@n]) — because a
+    record must never be reported durable when its fsync failed. *)
+val sync : out_channel -> unit
+
+(** Rewind the process-global fault-schedule counters (unit tests only;
+    production code never calls this). *)
+val reset_faults : unit -> unit

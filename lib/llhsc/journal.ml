@@ -130,6 +130,19 @@ let header_of_json j =
   | Some v when v = version -> Option.bind (Json.member "inputs" j) Json.to_str
   | _ -> None
 
+(* A degradation marker is appended (best-effort, no durability claim)
+   when a journal write or fsync fails mid-run: the run carried on
+   checking but stopped journaling, so the file must never be trusted by
+   [--resume] again.  [compact] is the explicit operator path that drops
+   the marker. *)
+let degraded_json reason = Json.Obj [ ("llhsc-degraded", Json.Str reason) ]
+let degraded_of_json j = Option.bind (Json.member "llhsc-degraded" j) Json.to_str
+
+let reason_of_exn = function
+  | Unix.Unix_error (e, op, _) -> Printf.sprintf "%s: %s" op (Unix.error_message e)
+  | Sys_error m -> m
+  | e -> Printexc.to_string e
+
 (* --- fault-injection kill hooks -------------------------------------------- *)
 
 (* The fault harness simulates a crash at a seeded point by having the
@@ -141,32 +154,7 @@ let kill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
 let env_int name =
   match Sys.getenv_opt name with None -> None | Some v -> int_of_string_opt v
 
-(* --- sink ------------------------------------------------------------------ *)
-
-type sink = { oc : out_channel; mutable written : int }
-
-(* fsync is retried on EINTR: a stray signal must not let a record slip
-   through unsynced (the whole point of the journal is that a SIGKILL
-   right after [record] returns loses nothing). *)
-let sync oc =
-  flush oc;
-  try Util.retry_eintr (fun () -> Unix.fsync (Unix.descr_of_out_channel oc))
-  with Unix.Unix_error _ -> ()
-
-let open_ ~path ~inputs_hash =
-  let exists = Sys.file_exists path in
-  let fresh =
-    (not exists)
-    || (try (Util.retry_eintr (fun () -> Unix.stat path)).Unix.st_size = 0
-        with Unix.Unix_error _ -> true)
-  in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  if fresh then begin
-    output_string oc (Json.to_string (header_json ~inputs_hash));
-    output_char oc '\n';
-    sync oc
-  end;
-  { oc; written = 0 }
+(* --- line checksums -------------------------------------------------------- *)
 
 (* A record line is "<json>\t<crc32 of json, 8 lowercase hex digits>".
    [Json.to_string] escapes control characters, so a raw tab can never
@@ -194,30 +182,87 @@ let verify_line line =
     then Some body
     else None
 
-let record sink entry =
-  let line = checksummed (Json.to_string (entry_to_json entry)) in
-  sink.written <- sink.written + 1;
-  (match env_int "LLHSC_FAULT_KILL_MID_RECORD" with
-   | Some n when n = sink.written ->
-     (* Torn write: half the record, no newline, then die. *)
-     output_string sink.oc (String.sub line 0 (String.length line / 2));
-     sync sink.oc;
-     kill_self ()
-   | _ -> ());
-  output_string sink.oc line;
-  output_char sink.oc '\n';
-  sync sink.oc;
-  (match env_int "LLHSC_FAULT_KILL_AFTER_RECORDS" with
-   | Some n when n = sink.written -> kill_self ()
-   | _ -> ());
-  (* Unlike the SIGKILL hooks above, this one is catchable: it exercises
-     the CLI's graceful-interrupt path (close the journal, exit 128+15)
-     rather than simulating a crash. *)
-  match env_int "LLHSC_FAULT_TERM_AFTER_RECORDS" with
-  | Some n when n = sink.written -> Unix.kill (Unix.getpid ()) Sys.sigterm
-  | _ -> ()
+(* --- sink ------------------------------------------------------------------ *)
 
-let close sink = close_out sink.oc
+type sink = { oc : out_channel; mutable written : int; mutable degraded : string option }
+
+(* fsync failure PROPAGATES ([Durable.sync]): a record must never be
+   reported durable when its fsync failed.  [record] catches the failure
+   and degrades the sink instead of crashing the check. *)
+let sync oc = Durable.sync oc
+
+(* Fail-operational: remember why journaling stopped, leave a marker so
+   [load] refuses the file, and let the run carry on unjournaled.  The
+   marker write is best-effort over the raw channel (the disk is already
+   failing; the leading newline terminates any torn line the failed
+   write left behind). *)
+let degrade sink reason =
+  sink.degraded <- Some reason;
+  try
+    output_char sink.oc '\n';
+    output_string sink.oc (checksummed (Json.to_string (degraded_json reason)));
+    output_char sink.oc '\n';
+    flush sink.oc
+  with Sys_error _ -> ()
+
+let degradation sink = sink.degraded
+
+let open_ ~path ~inputs_hash =
+  let exists = Sys.file_exists path in
+  let fresh =
+    (not exists)
+    || (try (Util.retry_eintr (fun () -> Unix.stat path)).Unix.st_size = 0
+        with Unix.Unix_error _ -> true)
+  in
+  let oc = Durable.open_for_append path in
+  let sink = { oc; written = 0; degraded = None } in
+  if fresh then begin
+    try
+      Durable.out_string oc (Json.to_string (header_json ~inputs_hash) ^ "\n");
+      sync oc
+    with (Unix.Unix_error _ | Sys_error _) as e -> degrade sink (reason_of_exn e)
+  end;
+  sink
+
+let record sink entry =
+  if sink.degraded <> None then () (* fail-operational: journaling is off *)
+  else begin
+    let line = checksummed (Json.to_string (entry_to_json entry)) in
+    sink.written <- sink.written + 1;
+    (match env_int "LLHSC_FAULT_KILL_MID_RECORD" with
+     | Some n when n = sink.written ->
+       (* Torn write: half the record, no newline, then die. *)
+       output_string sink.oc (String.sub line 0 (String.length line / 2));
+       flush sink.oc;
+       (try sync sink.oc with Unix.Unix_error _ | Sys_error _ -> ());
+       kill_self ()
+     | _ -> ());
+    (match
+       Durable.out_string sink.oc (line ^ "\n");
+       sync sink.oc
+     with
+     | () -> ()
+     | exception ((Unix.Unix_error _ | Sys_error _) as e) ->
+       degrade sink (reason_of_exn e));
+    if sink.degraded = None then begin
+      (match env_int "LLHSC_FAULT_KILL_AFTER_RECORDS" with
+       | Some n when n = sink.written -> kill_self ()
+       | _ -> ());
+      (* Unlike the SIGKILL hooks above, this one is catchable: it
+         exercises the CLI's graceful-interrupt path (close the journal,
+         exit 128+15) rather than simulating a crash. *)
+      match env_int "LLHSC_FAULT_TERM_AFTER_RECORDS" with
+      | Some n when n = sink.written -> Unix.kill (Unix.getpid ()) Sys.sigterm
+      | _ -> ()
+    end
+  end
+
+(* After a degradation the channel may hold the tail of a failed write
+   whose flush would raise again; nothing durable is lost by dropping it. *)
+let close sink =
+  match sink.degraded with
+  | Some _ -> close_out_noerr sink.oc
+  | None -> close_out sink.oc
 
 (* --- load ------------------------------------------------------------------ *)
 
@@ -234,39 +279,127 @@ let read_lines path =
     in
     go []
 
-let load ~path ~inputs_hash =
+(* Split a journal into (header verdict, record lines).  [None] when the
+   file is missing or unreadable. *)
+let scan path =
   match read_lines path with
-  | None | Some [] -> []
+  | None -> None
+  | Some [] -> Some (`Missing, [])
   | Some (header :: rest) ->
-    let header_ok =
+    let verdict =
       match Json.parse header with
-      | Ok j -> header_of_json j = Some inputs_hash
-      | Error _ -> false
+      | Error _ -> `Bad
+      | Ok j -> (
+        match header_of_json j with Some ih -> `Ok ih | None -> `Bad)
     in
-    if not header_ok then []
-    else
-      let parse line =
-        match verify_line line with
-        | None -> None (* checksum mismatch: corrupt line, skip *)
-        | Some body -> (
-          match Json.parse body with
-          | Ok j -> entry_of_json j
-          | Error _ -> None (* torn final record, or garbage: skip *))
-      in
-      (* Last record wins per (kind, name): a resumed run appends fresher
-         verdicts rather than rewriting the file. *)
-      let tbl = Hashtbl.create 16 in
-      let order = ref [] in
-      List.iter
-        (fun line ->
-          match parse line with
-          | None -> ()
-          | Some e ->
-            let key = (e.kind, e.name) in
-            if not (Hashtbl.mem tbl key) then order := key :: !order;
-            Hashtbl.replace tbl key e)
-        rest;
-      List.rev_map (fun key -> Hashtbl.find tbl key) !order
+    Some (verdict, rest)
+
+(* Last record wins per (kind, name): a resumed run appends fresher
+   verdicts rather than rewriting the file.  Also reports whether a
+   degradation marker was seen anywhere in the record stream. *)
+let entries_of_lines rest =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let degraded = ref None in
+  List.iter
+    (fun line ->
+      match verify_line line with
+      | None -> () (* checksum mismatch: corrupt line, skip *)
+      | Some body -> (
+        match Json.parse body with
+        | Error _ -> () (* torn final record, or garbage: skip *)
+        | Ok j -> (
+          match degraded_of_json j with
+          | Some r -> degraded := Some r
+          | None -> (
+            match entry_of_json j with
+            | None -> ()
+            | Some e ->
+              let key = (e.kind, e.name) in
+              if not (Hashtbl.mem tbl key) then order := key :: !order;
+              Hashtbl.replace tbl key e))))
+    rest;
+  (List.rev_map (fun key -> Hashtbl.find tbl key) !order, !degraded)
+
+let load ~path ~inputs_hash =
+  match scan path with
+  | None | Some (`Missing, _) | Some (`Bad, _) -> []
+  | Some (`Ok ih, _) when ih <> inputs_hash -> []
+  | Some (`Ok _, rest) ->
+    let entries, degraded = entries_of_lines rest in
+    (* A journal whose run recorded a degradation stopped being complete
+       at an unknowable point; trusting it could silently skip re-checks. *)
+    if degraded <> None then [] else entries
 
 let find entries kind name =
   List.find_opt (fun e -> e.kind = kind && e.name = name) entries
+
+(* --- fsck / compact -------------------------------------------------------- *)
+
+type fsck_report = {
+  header : [ `Ok of string | `Bad | `Missing ];
+  records : int;
+  entries : int;
+  legacy : int;
+  torn : int;
+  invalid : int;
+  degraded_reason : string option;
+}
+
+let fsck_issues r = r.torn > 0 || r.invalid > 0 || r.degraded_reason <> None
+
+let fsck ~path =
+  match scan path with
+  | None -> None
+  | Some (header, rest) ->
+    let records = ref 0 in
+    let legacy = ref 0 in
+    let torn = ref 0 in
+    let invalid = ref 0 in
+    let degraded = ref None in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun line ->
+        if String.trim line = "" then () (* separator left by a degradation *)
+        else
+          match verify_line line with
+          | None -> incr torn
+          | Some body -> (
+            match Json.parse body with
+            | Error _ -> incr invalid
+            | Ok j -> (
+              match degraded_of_json j with
+              | Some r -> degraded := Some r
+              | None -> (
+                match entry_of_json j with
+                | None -> incr invalid
+                | Some e ->
+                  incr records;
+                  if not (String.contains line '\t') then incr legacy;
+                  Hashtbl.replace tbl (e.kind, e.name) ()))))
+      rest;
+    Some
+      { header; records = !records; entries = Hashtbl.length tbl;
+        legacy = !legacy; torn = !torn; invalid = !invalid;
+        degraded_reason = !degraded }
+
+let compact ~path =
+  match scan path with
+  | None -> Error (path ^ ": cannot read journal")
+  | Some (`Missing, _) -> Error (path ^ ": empty journal, nothing to compact")
+  | Some (`Bad, _) -> Error (path ^ ": unrecognised journal header")
+  | Some (`Ok ih, rest) ->
+    let entries, _degraded = entries_of_lines rest in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Json.to_string (header_json ~inputs_hash:ih));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (checksummed (Json.to_string (entry_to_json e)));
+        Buffer.add_char buf '\n')
+      entries;
+    (* Atomic rewrite: a crash mid-compact leaves the old journal intact.
+       Dropping the degradation marker here is deliberate — compacting is
+       the explicit operator act that re-blesses the surviving entries. *)
+    Durable.write_file ~path (Buffer.contents buf);
+    Ok (List.length rest, List.length entries)

@@ -67,7 +67,10 @@ val finding_of_json : Json.t -> Report.finding option
 type sink
 
 (** Open (append mode, creating if needed) and write the header record if
-    the file is new or empty.  Raises [Sys_error] on unwritable paths. *)
+    the file is new or empty.  Raises [Sys_error] on unwritable paths
+    (including {!Durable}'s injected [erofs@n] fault).  A header
+    write/fsync failure does not raise: the sink opens already degraded
+    (see {!degradation}). *)
 val open_ : path:string -> inputs_hash:string -> sink
 
 (** Append one record: a single JSON line, flushed and fsync'd before
@@ -75,18 +78,32 @@ val open_ : path:string -> inputs_hash:string -> sink
     [LLHSC_FAULT_KILL_AFTER_RECORDS]/[LLHSC_FAULT_KILL_MID_RECORD] (test
     harness only: simulate SIGKILL at seeded points) and
     [LLHSC_FAULT_TERM_AFTER_RECORDS] (raise SIGTERM in-process after the
-    n-th record, exercising the CLI's graceful-interrupt path). *)
+    n-th record, exercising the CLI's graceful-interrupt path).
+
+    Fail-operational on disk errors: if the write or its fsync fails
+    (ENOSPC, EIO, ...), the sink degrades instead of raising — a
+    best-effort marker record is appended so {!load} refuses the file,
+    every later [record] is a no-op, and {!degradation} reports the
+    reason so the caller can surface a [warning[JOURNAL]].  A record is
+    never reported durable when its fsync failed. *)
 val record : sink -> entry -> unit
+
+(** [Some reason] once a journal write or fsync has failed; the run
+    carries on unjournaled and must report the degradation loudly. *)
+val degradation : sink -> string option
 
 val close : sink -> unit
 
 (** {1 Loading} *)
 
 (** Parse a journal for resumption.  Returns [[]] when the file is
-    missing, unreadable, or its header's inputs hash differs from
-    [inputs_hash] (the whole journal is stale).  Unparsable lines — e.g. a
-    half-written final record — are skipped.  Later records win over
-    earlier ones with the same (kind, name). *)
+    missing, unreadable, its header's inputs hash differs from
+    [inputs_hash] (the whole journal is stale), or the writing run
+    recorded a durability degradation — the journal stopped being
+    complete at an unknowable point, and {!compact} is the explicit
+    operator path that re-blesses the surviving entries.  Unparsable
+    lines — e.g. a half-written final record — are skipped.  Later
+    records win over earlier ones with the same (kind, name). *)
 val load : path:string -> inputs_hash:string -> entry list
 
 (** Lookup in a loaded journal. *)
@@ -104,3 +121,46 @@ val checksummed : string -> string
     [Some line] unchanged for checksum-less lines written by older
     versions, [None] when the checksum is present but wrong. *)
 val verify_line : string -> string option
+
+(** {1 fsck / compact}
+
+    Offline integrity checking and recovery, exposed by the
+    [llhsc journal] subcommand and run (quietly) before every
+    [--resume]. *)
+
+type fsck_report = {
+  header : [ `Ok of string | `Bad | `Missing ];
+      (** [`Ok hash] carries the inputs hash the journal claims; [`Bad]
+          is an unparsable or wrong-version header; [`Missing] an empty
+          file *)
+  records : int; (** CRC-valid, well-formed entry records *)
+  entries : int; (** distinct (kind, name) after last-wins merge *)
+  legacy : int; (** records accepted in the older checksum-less format *)
+  torn : int; (** lines whose checksum is present but does not verify *)
+  invalid : int;
+      (** lines whose checksum verifies (or is absent) but whose body is
+          not a valid entry — torn final records land here too *)
+  degraded_reason : string option;
+      (** the degradation marker's reason, when the writing run recorded
+          one *)
+}
+
+(** [true] when the journal has something to report: torn or invalid
+    lines, or a degradation marker.  Drives the fsck exit-code contract
+    (0 clean / 1 issues / 2 unusable). *)
+val fsck_issues : fsck_report -> bool
+
+(** Census a journal without loading it for resumption.  [None] when the
+    file is missing or unreadable. *)
+val fsck : path:string -> fsck_report option
+
+(** Atomic last-wins rewrite: parse tolerantly (exactly like {!load},
+    but also accepting a degraded journal), then atomically replace the
+    file with a fresh header plus one checksummed line per surviving
+    entry — dropping torn lines, superseded duplicates and any
+    degradation marker.  [Ok (lines_before, entries_after)] on success;
+    [Error reason] when the file is unreadable or its header is
+    missing/unrecognised (the inputs hash to re-bless is unknowable).
+    May raise [Sys_error]/[Unix.Unix_error] if the atomic rewrite itself
+    fails. *)
+val compact : path:string -> (int * int, string) result

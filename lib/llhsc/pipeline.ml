@@ -44,6 +44,7 @@ type outcome = {
   cert : Smt.Solver.cert_report option; (* Some iff the run certified *)
   retry : Smt.Solver.retry_report option; (* Some iff a retry policy ran *)
   replayed : string list; (* products whose verdicts came from the journal *)
+  journal_fault : string option; (* journal degraded mid-run: reason *)
 }
 
 let ok outcome =
@@ -349,7 +350,13 @@ let run ?(exclusive = []) ?budget ?(certify = false) ?retry ?unsound
              { Smt.Solver.retry_enabled = !offset > 0;
                total_queries = !offset;
                retried = List.rev !stat_retried });
-      replayed = List.rev !replayed }
+      replayed = List.rev !replayed;
+      (* Read at finish time: the sink degrades at the failing record and
+         stays degraded, so this is the run's final durability verdict. *)
+      journal_fault =
+        (match journal with
+         | Some sink -> Journal.degradation sink
+         | None -> None) }
   in
   match
     plan_all ~exclusive ~budget ~certify ~retry ~unsound ~inputs_hash ~resume
@@ -499,6 +506,16 @@ let pp_outcome ppf outcome =
      Fmt.pf ppf "cross-VM partitioning:@.";
      List.iter (fun f -> Fmt.pf ppf "  %a@." Report.pp f) fs);
   List.iter (fun d -> Fmt.pf ppf "%a@." Diag.pp d) outcome.errors;
+  (* Fail-operational disk errors degrade loudly: a run that lost its
+     journal must say so in the report, not just on stderr. *)
+  (match outcome.journal_fault with
+   | None -> ()
+   | Some reason ->
+     Fmt.pf ppf "%a@." Diag.pp
+       (Diag.make ~severity:Diag.Warning ~code:"JOURNAL"
+          "journal degraded (%s): journaling disabled for the rest of the \
+           run; the journal cannot be resumed from"
+          reason));
   (* Resume/replay status deliberately does NOT appear here: a resumed
      run's report must be byte-identical to an uninterrupted one.  The CLI
      reports replays on stderr. *)

@@ -34,6 +34,11 @@ type outcome = {
       (** Product names (plus ["partition"]) whose verdicts were replayed
           from the resume journal instead of re-checked; empty on a
           non-resumed run. *)
+  journal_fault : string option;
+      (** [Some reason] when a journal write/fsync failed mid-run: the
+          run carried on unjournaled (fail-operational) and the report
+          carries a [warning[JOURNAL]].  Deliberately not part of
+          {!ok}/the exit code — checking itself still concluded. *)
 }
 
 (** All checks clean (warnings allowed), no isolated phase errors, and —

@@ -68,10 +68,10 @@ let rec rm_rf path =
     (try Unix.rmdir path with Unix.Unix_error _ -> ())
   | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+(* Job inputs are materialised atomically (write-temp/fsync/rename) so a
+   worker that starts checking never sees a torn file, and a daemon crash
+   mid-submit leaves no partial job dir contents behind. *)
+let write_file path contents = Llhsc.Durable.write_file ~path contents
 
 (* --- responses --------------------------------------------------------------- *)
 

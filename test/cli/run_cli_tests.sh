@@ -238,6 +238,55 @@ cmp -s "$TMP/journal1.out" "$TMP/term-resume.out" \
 grep -q "resume: replayed from journal" "$TMP/term-resume.err" \
   || fail "expected replay after SIGTERM (journal was not durable)"
 
+echo "# journal fsck: exit-code contract (0 clean / 1 issues / 2 unusable)"
+"$LLHSC" journal fsck "$TMP/run.journal" > "$TMP/fsck.out" \
+  || fail "fsck of a clean journal should exit 0"
+grep -q "header ok" "$TMP/fsck.out" || fail "expected a header verdict"
+printf 'torn line with a bad checksum\tdeadbeef\n' >> "$TMP/run.journal"
+set +e
+"$LLHSC" journal fsck "$TMP/run.journal" > "$TMP/fsck-torn.out"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "fsck of a torn journal should exit 1 (got $rc)"
+grep -q "torn: 1" "$TMP/fsck-torn.out" || fail "expected the torn-line census"
+set +e
+"$LLHSC" journal fsck "$TMP/no-such.journal" 2> "$TMP/fsck-missing.err"
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "fsck of a missing journal should exit 2 (got $rc)"
+grep -q 'error\[IO\]' "$TMP/fsck-missing.err" || fail "expected error[IO] for a missing journal"
+
+echo "# journal compact: drops torn lines, compacted journal is clean and resumable"
+"$LLHSC" journal compact "$TMP/run.journal" > "$TMP/compact.out" \
+  || fail "compact should exit 0"
+grep -q "compacted" "$TMP/compact.out" || fail "expected a compaction summary"
+"$LLHSC" journal fsck -q "$TMP/run.journal" || fail "compacted journal should fsck clean"
+run_journaled_pipeline --resume > "$TMP/compact-resume.out" 2> "$TMP/compact-resume.err" \
+  || fail "resume from the compacted journal should pass"
+cmp -s "$TMP/journal1.out" "$TMP/compact-resume.out" \
+  || fail "post-compact resumed report differs from uninterrupted run"
+grep -q "resume: replayed from journal" "$TMP/compact-resume.err" \
+  || fail "expected replay from the compacted journal"
+
+echo "# kill mid-record: fsck reports the torn tail, resume recovers byte-identically"
+rm -f "$TMP/run.journal"
+set +e
+(export LLHSC_FAULT_KILL_MID_RECORD=2; run_journaled_pipeline > /dev/null 2> /dev/null)
+rc=$?
+set -e
+[ "$rc" -eq 137 ] || fail "mid-record kill should die of SIGKILL (got $rc)"
+set +e
+"$LLHSC" journal fsck "$TMP/run.journal" > "$TMP/fsck-killed.out"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "fsck after a mid-record kill should exit 1 (got $rc)"
+run_journaled_pipeline --resume > "$TMP/killed-resume.out" 2> "$TMP/killed-resume.err" \
+  || fail "resume after a mid-record kill should pass"
+cmp -s "$TMP/journal1.out" "$TMP/killed-resume.out" \
+  || fail "post-kill resumed report differs from uninterrupted run"
+grep -q "skipping .* torn/corrupt line" "$TMP/killed-resume.err" \
+  || fail "expected the quiet-fsck torn-line notice on resume stderr"
+
 echo "# retry: escalation recovers injected Unknown verdicts"
 "$LLHSC" pipeline --core "$FIXTURES/custom-sbc.dts" --deltas "$FIXTURES/custom-sbc.deltas" \
   --model "$FIXTURES/custom-sbc.fm" --schemas "$FIXTURES/schemas" \

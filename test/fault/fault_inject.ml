@@ -804,6 +804,157 @@ let run_forced_unknown binary sandbox ~failures ~total =
        (fun n -> [ (n, None); (n, Some "3") ])
        [ 1; 2; 3; 5 ])
 
+(* --- disk-fault phase ----------------------------------------------------------- *)
+
+(* Storage contract (LLHSC_FAULT_FS, lib/llhsc/durable.ml): under any
+   seeded disk fault the checker never crashes mid-check and never
+   pretends data is durable when it is not.
+
+   - [enospc@n]/[eio-fsync@n] on a journaled run: the journal degrades,
+     the run completes with its baseline exit code, the report carries a
+     warning[JOURNAL] line and is otherwise byte-identical to baseline;
+     a subsequent --resume refuses the degraded journal, re-checks
+     everything, and reproduces the baseline report byte-for-byte.
+   - [erofs@1] on the journal open: structured error[IO], exit 2.
+   - [short@1] during an atomic output commit: structured error[IO],
+     exit 2, and the previous output file contents survive untouched.
+   - [crash-rename@1] during an atomic output commit: the process dies
+     of the injected SIGKILL and the previous contents survive — the
+     reader never sees a torn half-file. *)
+let run_disk_faults binary sandbox ~failures ~total =
+  let stderr_file = Filename.concat sandbox "stderr.txt" in
+  let journal = Filename.concat sandbox "journal.jsonl" in
+  let base_out = Filename.concat sandbox "disk-base.out" in
+  let out_file = Filename.concat sandbox "disk.out" in
+  let res_out = Filename.concat sandbox "disk-resume.out" in
+  let bad what reason err =
+    incr failures;
+    log_failure "phase=disk what=%S reason=%S" what reason;
+    Printf.printf "FAIL (disk, %s): %s\n  stderr: %s\n" what reason
+      (if err = "" then "(empty)" else String.trim err)
+  in
+  let exit_str = function
+    | Unix.WEXITED n -> string_of_int n
+    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+    | Unix.WSTOPPED s -> Printf.sprintf "stop %d" s
+  in
+  let strip_journal_warning s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> not (contains l "warning[JOURNAL]"))
+    |> String.concat "\n"
+  in
+  List.iter
+    (fun (label, vms, records) ->
+      let base_status, _ =
+        run_cli binary ~stdout_file:base_out
+          (pipeline_args sandbox ~vms ~journal:None ~resume:false)
+          ~stderr_file
+      in
+      let baseline = read_file base_out in
+      (* Every write and every fsync the journal performs (header +
+         [records] records) fails in turn: fail-operational, loudly. *)
+      List.iter
+        (fun kind ->
+          for n = 1 to records + 1 do
+            incr total;
+            let what = Printf.sprintf "%s %s@%d" label kind n in
+            if Sys.file_exists journal then Sys.remove journal;
+            let status, err =
+              run_cli binary ~stdout_file:out_file
+                ~env:[ Printf.sprintf "LLHSC_FAULT_FS=%s@%d" kind n ]
+                (pipeline_args sandbox ~vms ~journal:(Some journal) ~resume:false)
+                ~stderr_file
+            in
+            let stdout = read_file out_file in
+            if contains err "Fatal error" || contains err "Raised at" then
+              bad what "uncaught OCaml exception on stderr" err
+            else if status <> base_status then
+              bad what
+                (Printf.sprintf "exit %s under a journal fault (baseline %s)"
+                   (exit_str status) (exit_str base_status))
+                err
+            else if not (contains stdout "warning[JOURNAL]") then
+              bad what "journal write fault degraded silently (no warning[JOURNAL])"
+                err
+            else if strip_journal_warning stdout <> baseline then
+              bad what "degraded report differs beyond the JOURNAL warning" err
+            else begin
+              (* The degraded journal must be refused: the resume
+                 re-checks everything and reproduces the baseline. *)
+              incr total;
+              let res_status, rerr =
+                run_cli binary ~stdout_file:res_out
+                  (pipeline_args sandbox ~vms ~journal:(Some journal) ~resume:true)
+                  ~stderr_file
+              in
+              if res_status <> base_status then
+                bad (what ^ " resume")
+                  (Printf.sprintf "resumed exit %s (baseline %s)"
+                     (exit_str res_status) (exit_str base_status))
+                  rerr
+              else if read_file res_out <> baseline then
+                bad (what ^ " resume")
+                  "resume after degradation is not byte-identical to baseline" rerr
+              else if not (contains rerr "not trusting it") then
+                bad (what ^ " resume") "no degradation notice on resume stderr" rerr
+            end
+          done)
+        [ "enospc"; "eio-fsync" ];
+      (* Read-only journal directory: a structured input error, never a
+         crash or a silently unjournaled run. *)
+      incr total;
+      if Sys.file_exists journal then Sys.remove journal;
+      let status, err =
+        run_cli binary ~stdout_file:out_file ~env:[ "LLHSC_FAULT_FS=erofs@1" ]
+          (pipeline_args sandbox ~vms ~journal:(Some journal) ~resume:false)
+          ~stderr_file
+      in
+      (match status with
+       | Unix.WEXITED 2 when contains err "error[IO]" -> ()
+       | Unix.WEXITED 2 -> bad (label ^ " erofs") "exit 2 but no error[IO] on stderr" err
+       | s -> bad (label ^ " erofs") (Printf.sprintf "exit %s (want 2)" (exit_str s)) err))
+    kill_configs;
+  (* Atomic output commit: generate -o through the durable write path. *)
+  let gen = Filename.concat sandbox "gen.dts" in
+  let gen_args =
+    [ "generate"; "--core"; Filename.concat sandbox "custom-sbc.dts";
+      "--deltas"; Filename.concat sandbox "custom-sbc.deltas";
+      "-f"; "memory,cpu@0"; "-o"; gen ]
+  in
+  List.iter
+    (fun (kind, check) ->
+      incr total;
+      write_file gen "previous contents\n";
+      let status, err =
+        run_cli binary ~env:[ "LLHSC_FAULT_FS=" ^ kind ] gen_args ~stderr_file
+      in
+      check status err;
+      if read_file gen <> "previous contents\n" then
+        bad ("generate " ^ kind) "previous output contents did not survive the fault"
+          err)
+    [ ("short@1",
+       fun status err ->
+         match status with
+         | Unix.WEXITED 2 when contains err "error[IO]" -> ()
+         | s ->
+           bad "generate short@1"
+             (Printf.sprintf "exit %s (want 2 with error[IO])" (exit_str s)) err);
+      ("crash-rename@1",
+       fun status err ->
+         match status with
+         | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+         | s ->
+           bad "generate crash-rename@1"
+             (Printf.sprintf "exit %s (want the injected SIGKILL)" (exit_str s)) err)
+    ];
+  (* And with the fault cleared the same command commits atomically. *)
+  incr total;
+  let status, err = run_cli binary gen_args ~stderr_file in
+  (match status with
+   | Unix.WEXITED 0 when read_file gen <> "previous contents\n" && read_file gen <> "" -> ()
+   | Unix.WEXITED 0 -> bad "generate clean" "output was never replaced" err
+   | s -> bad "generate clean" (Printf.sprintf "exit %s (want 0)" (exit_str s)) err)
+
 let () =
   let binary, fixtures, artifact =
     match Sys.argv with
@@ -856,6 +1007,12 @@ let () =
   if Sys.file_exists sandbox then remove_tree sandbox;
   copy_dir fixtures sandbox;
   run_kill_resume binary sandbox ~failures ~total;
+  (* Disk-fault phase: seeded ENOSPC/EIO/short-write/read-only/crash
+     schedules through the durable I/O layer; degradation must be loud,
+     resumable state trustworthy, atomic commits all-or-nothing. *)
+  if Sys.file_exists sandbox then remove_tree sandbox;
+  copy_dir fixtures sandbox;
+  run_disk_faults binary sandbox ~failures ~total;
   (* Kill-a-worker phase: SIGKILL a forked check worker at every seeded
      task index, demand isolated WORKER diagnostics and a live parent. *)
   if Sys.file_exists sandbox then remove_tree sandbox;

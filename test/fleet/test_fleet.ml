@@ -463,6 +463,36 @@ let test_spec_roundtrip () =
     (Fleet.Spec.hash sample_spec
     <> Fleet.Spec.hash { sample_spec with Fleet.Spec.skip = [] })
 
+(* --- bandwidth-aware setup ---------------------------------------------------- *)
+
+let test_setup_choice () =
+  let h = Fleet.Spec.hash sample_spec in
+  Alcotest.(check bool) "cold cache ships" true
+    (Fleet.Dispatch.setup_choice ~cached:[] ~spec_hash:h = `Ship);
+  Alcotest.(check bool) "other hash ships" true
+    (Fleet.Dispatch.setup_choice ~cached:[ "deadbeef" ] ~spec_hash:h = `Ship);
+  Alcotest.(check bool) "warm cache skips the transfer" true
+    (Fleet.Dispatch.setup_choice ~cached:[ "deadbeef"; h ] ~spec_hash:h = `Cached)
+
+let test_msg_setup_cached_wire () =
+  let h = Fleet.Spec.hash sample_spec in
+  let full = Json.to_string (Json.Obj [ ("setup", Fleet.Spec.to_json sample_spec);
+                                        ("hash", Json.Str h) ]) in
+  match Json.parse (Fleet.Dispatch.msg_setup_cached h) with
+  | Error e -> Alcotest.failf "cached setup does not parse: %s" e
+  | Ok j ->
+    Alcotest.(check (option string)) "carries the spec hash" (Some h)
+      (Option.bind (Json.member "hash" j) Json.to_str);
+    (match Json.member "setup" j with
+    | Some sj ->
+      Alcotest.(check bool) "marked cached" true
+        (Json.member "cached" sj = Some (Json.Bool true));
+      Alcotest.(check bool) "no spec body shipped" true
+        (Fleet.Spec.of_json sj = None)
+    | None -> Alcotest.fail "cached setup lacks a setup member");
+    Alcotest.(check bool) "materially smaller than the full setup" true
+      (String.length (Fleet.Dispatch.msg_setup_cached h) * 4 < String.length full)
+
 let () =
   Alcotest.run "fleet"
     [
@@ -496,4 +526,8 @@ let () =
           Alcotest.test_case "old format accepted" `Quick test_journal_backward_compat ] );
       ( "spec",
         [ Alcotest.test_case "json roundtrip + hash" `Quick test_spec_roundtrip ] );
+      ( "setup-cache",
+        [ Alcotest.test_case "choice policy" `Quick test_setup_choice;
+          Alcotest.test_case "cached setup wire shape" `Quick
+            test_msg_setup_cached_wire ] );
     ]

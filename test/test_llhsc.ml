@@ -667,6 +667,179 @@ let test_journal_stale_inputs_hash () =
     (J.load ~path ~inputs_hash:(J.inputs_hash ~parts:[ "different" ]) = []);
   check_bool "matching hash still loads" true (J.load ~path ~inputs_hash <> [])
 
+(* --- storage faults: Durable fault hooks, journal degradation, fsck ------------ *)
+
+module D = Llhsc.Durable
+
+(* The LLHSC_FAULT_FS schedule is read per-operation, so flipping it with
+   putenv works; the counters are process-global and must be rewound
+   around every use or a later test inherits a half-spent schedule. *)
+let with_fs_fault schedule f =
+  Unix.putenv "LLHSC_FAULT_FS" schedule;
+  D.reset_faults ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "LLHSC_FAULT_FS" "";
+      D.reset_faults ())
+    f
+
+let with_temp_file f =
+  let path = Filename.temp_file "llhsc-durable" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_durable_atomic_write () =
+  with_temp_file @@ fun path ->
+  D.write_file ~path "first";
+  D.write_file ~path "second";
+  Alcotest.(check string) "last commit wins" "second" (slurp path);
+  check_bool "no temp file left behind" true
+    (Sys.readdir (Filename.dirname path)
+    |> Array.for_all (fun f ->
+           not (String.length f > String.length (Filename.basename path)
+               && String.sub f 0 (String.length (Filename.basename path))
+                  = Filename.basename path)))
+
+(* Every injected failure mode must leave the previous contents intact:
+   the commit is the rename, and the rename never happens. *)
+let check_old_contents_survive name schedule expect_exn =
+  with_temp_file @@ fun path ->
+  D.write_file ~path "before";
+  with_fs_fault schedule @@ fun () ->
+  (match D.write_file ~path "after" with
+  | () -> Alcotest.fail (name ^ ": injected fault did not fire")
+  | exception e ->
+    check_bool (name ^ ": expected exception") true (expect_exn e));
+  Alcotest.(check string) (name ^ ": old contents intact") "before" (slurp path)
+
+let test_durable_enospc () =
+  check_old_contents_survive "enospc" "enospc@1" (function
+    | Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+    | _ -> false)
+
+let test_durable_short_write () =
+  check_old_contents_survive "short" "short@1" (function
+    | Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+    | _ -> false)
+
+let test_durable_eio_fsync () =
+  check_old_contents_survive "eio-fsync" "eio-fsync@1" (function
+    | Unix.Unix_error (Unix.EIO, _, _) -> true
+    | _ -> false)
+
+let test_durable_erofs () =
+  check_old_contents_survive "erofs" "erofs@1" (function
+    | Sys_error msg ->
+      let sub = "Read-only file system" in
+      let n = String.length msg and k = String.length sub in
+      let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+      scan 0
+    | _ -> false)
+
+let test_durable_crash_between_write_and_rename () =
+  with_temp_file @@ fun path ->
+  D.write_file ~path "before";
+  match Unix.fork () with
+  | 0 ->
+    (* Child: the hook SIGKILLs the process after the temp file is
+       written and fsync'd but before the rename publishes it. *)
+    Unix.putenv "LLHSC_FAULT_FS" "crash-rename@1";
+    D.reset_faults ();
+    (try D.write_file ~path "after" with _ -> ());
+    Unix._exit 0 (* only reached if the hook failed to fire *)
+  | pid ->
+    let _, status = Unix.waitpid [] pid in
+    check_bool "child died of SIGKILL before the rename" true
+      (status = Unix.WSIGNALED Sys.sigkill);
+    Alcotest.(check string) "old contents intact" "before" (slurp path)
+
+let test_journal_degrades_on_enospc () =
+  with_temp_journal @@ fun path ->
+  let inputs_hash = quad_inputs_hash in
+  let entries = sample_entries ~inputs_hash in
+  let sink = J.open_ ~path ~inputs_hash in
+  J.record sink (List.hd entries);
+  check_bool "healthy before the fault" true (J.degradation sink = None);
+  (* The next record's write hits ENOSPC: the sink degrades instead of
+     raising, and later records are dropped without touching the disk. *)
+  with_fs_fault "enospc@1" (fun () -> J.record sink (List.nth entries 1));
+  (match J.degradation sink with
+  | Some _ -> ()
+  | None -> Alcotest.fail "sink did not degrade on ENOSPC");
+  J.record sink (List.nth entries 1);
+  J.close sink;
+  check_bool "degraded journal refused by load" true (J.load ~path ~inputs_hash = []);
+  (match J.fsck ~path with
+  | Some r ->
+    check_bool "fsck sees the degradation marker" true (r.J.degraded_reason <> None);
+    check_bool "fsck flags issues" true (J.fsck_issues r);
+    check_int "the pre-fault record survived" 1 r.J.entries
+  | None -> Alcotest.fail "fsck could not read the journal");
+  (* compact is the explicit operator act that re-blesses the survivors. *)
+  (match J.compact ~path with
+  | Ok (_, entries_after) -> check_int "compact keeps the survivor" 1 entries_after
+  | Error e -> Alcotest.fail ("compact failed: " ^ e));
+  let reloaded = J.load ~path ~inputs_hash in
+  check_int "compacted journal loads again" 1 (List.length reloaded);
+  check_bool "surviving entry intact" true (List.hd reloaded = List.hd entries)
+
+let test_journal_degrades_on_fsync_eio () =
+  with_temp_journal @@ fun path ->
+  let inputs_hash = quad_inputs_hash in
+  let entries = sample_entries ~inputs_hash in
+  let sink = J.open_ ~path ~inputs_hash in
+  (* The record's write lands but its fsync reports EIO: the record may
+     not be durable, so the sink must degrade — never pretend-durable. *)
+  with_fs_fault "eio-fsync@1" (fun () -> J.record sink (List.hd entries));
+  check_bool "sink degraded on fsync failure" true (J.degradation sink <> None);
+  J.close sink;
+  check_bool "load refuses the degraded journal" true (J.load ~path ~inputs_hash = [])
+
+(* The fsck/load tolerance property: whatever a disk does to a journal —
+   truncation at any byte, arbitrary byte flips, appended garbage —
+   [load] never raises and never yields an entry that was not written
+   (the per-line CRC catches corrupt-but-parseable lines), and [fsck]
+   never raises either. *)
+let prop_journal_corruption_safe =
+  QCheck.Test.make ~count:100 ~name:"corrupted journal: load never raises or fabricates"
+    QCheck.(
+      triple (int_range 0 8192)
+        (list_of_size Gen.(int_range 0 12) (pair small_nat small_nat))
+        (option (string_of_size Gen.(int_range 0 64))))
+    (fun (cut, flips, garbage) ->
+      with_temp_journal @@ fun path ->
+      let inputs_hash = quad_inputs_hash in
+      let entries = sample_entries ~inputs_hash in
+      let sink = J.open_ ~path ~inputs_hash in
+      List.iter (J.record sink) entries;
+      J.close sink;
+      let original = Bytes.of_string (slurp path) in
+      let cut = cut mod (Bytes.length original + 1) in
+      let corrupted = Bytes.sub original 0 cut in
+      List.iter
+        (fun (pos, v) ->
+          if Bytes.length corrupted > 0 then
+            Bytes.set corrupted (pos mod Bytes.length corrupted) (Char.chr (v land 0xff)))
+        flips;
+      let oc = open_out_bin path in
+      output_bytes oc corrupted;
+      (match garbage with Some g -> output_string oc g | None -> ());
+      close_out oc;
+      let fsck_safe = match J.fsck ~path with Some _ | None -> true in
+      let load_safe =
+        match J.load ~path ~inputs_hash with
+        | loaded -> List.for_all (fun e -> List.mem e entries) loaded
+        | exception _ -> false
+      in
+      fsck_safe && load_safe)
+
 let all_quad_record_names = [ "partition"; "platform"; "vm1"; "vm2"; "vm3" ]
 
 let quad_journal_entries path =
@@ -1004,6 +1177,21 @@ let () =
           Alcotest.test_case "last record wins" `Quick test_journal_last_record_wins;
           Alcotest.test_case "stale inputs hash" `Quick test_journal_stale_inputs_hash;
         ] );
+      ( "storage-faults",
+        [
+          Alcotest.test_case "atomic write commits last" `Quick test_durable_atomic_write;
+          Alcotest.test_case "ENOSPC leaves old contents" `Quick test_durable_enospc;
+          Alcotest.test_case "short write leaves old contents" `Quick
+            test_durable_short_write;
+          Alcotest.test_case "fsync EIO leaves old contents" `Quick test_durable_eio_fsync;
+          Alcotest.test_case "read-only dir rejected" `Quick test_durable_erofs;
+          Alcotest.test_case "crash before rename leaves old contents" `Quick
+            test_durable_crash_between_write_and_rename;
+          Alcotest.test_case "journal degrades on ENOSPC" `Quick
+            test_journal_degrades_on_enospc;
+          Alcotest.test_case "journal degrades on fsync EIO" `Quick
+            test_journal_degrades_on_fsync_eio;
+        ] );
       ( "resume",
         [
           Alcotest.test_case "replays byte-identical" `Quick test_resume_replays_byte_identical;
@@ -1033,6 +1221,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_sweep_equals_pairwise;
+          QCheck_alcotest.to_alcotest prop_journal_corruption_safe;
           QCheck_alcotest.to_alcotest prop_resume_idempotent;
           QCheck_alcotest.to_alcotest prop_parallel_report_identical;
           QCheck_alcotest.to_alcotest prop_supervised_crash_report_identical;
